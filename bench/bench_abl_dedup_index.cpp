@@ -1,0 +1,69 @@
+// Ablation: dedup index data structure — the open-addressing FlatMap64
+// behind FileDedupIndex vs std::unordered_map (google-benchmark). At paper
+// scale the index holds ~169M entries, so constant factors matter.
+#include <benchmark/benchmark.h>
+
+#include <unordered_map>
+
+#include "dockmine/dedup/file_dedup.h"
+#include "dockmine/util/flat_map.h"
+#include "dockmine/util/rng.h"
+
+namespace {
+
+using namespace dockmine;
+
+std::vector<std::uint64_t> make_keys(std::size_t n, std::size_t distinct) {
+  // Zipf-ish duplication pattern like real content keys.
+  util::Rng rng(7);
+  std::vector<std::uint64_t> keys;
+  keys.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    keys.push_back(1 + rng.uniform(distinct));
+  }
+  return keys;
+}
+
+void BM_FlatMapCount(benchmark::State& state) {
+  const auto keys = make_keys(1 << 20, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    util::FlatMap64<std::uint64_t> map(keys.size() / 8);
+    for (std::uint64_t key : keys) ++map[key];
+    benchmark::DoNotOptimize(map.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(keys.size()));
+}
+BENCHMARK(BM_FlatMapCount)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 19);
+
+void BM_UnorderedMapCount(benchmark::State& state) {
+  const auto keys = make_keys(1 << 20, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    std::unordered_map<std::uint64_t, std::uint64_t> map;
+    map.reserve(keys.size() / 8);
+    for (std::uint64_t key : keys) ++map[key];
+    benchmark::DoNotOptimize(map.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(keys.size()));
+}
+BENCHMARK(BM_UnorderedMapCount)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 19);
+
+void BM_FileDedupIndexAdd(benchmark::State& state) {
+  const auto keys = make_keys(1 << 20, 1 << 16);
+  for (auto _ : state) {
+    dedup::FileDedupIndex index(1 << 14);
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      index.add(keys[i], 1000, filetype::Type::kAsciiText,
+                static_cast<std::uint32_t>(i & 1023));
+    }
+    benchmark::DoNotOptimize(index.distinct_contents());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(keys.size()));
+}
+BENCHMARK(BM_FileDedupIndexAdd);
+
+}  // namespace
+
+BENCHMARK_MAIN();

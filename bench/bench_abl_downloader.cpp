@@ -1,0 +1,77 @@
+// Ablation: downloader parallelism and unique-layer dedup (google-benchmark).
+// The paper's downloader "can download multiple images simultaneously and
+// fetch the individual layers of an image in parallel ... we only download
+// unique layers" (§III-B); this quantifies both choices.
+#include <benchmark/benchmark.h>
+
+#include "dockmine/core/dataset.h"
+#include "dockmine/downloader/downloader.h"
+#include "dockmine/registry/service.h"
+#include "dockmine/synth/generator.h"
+#include "dockmine/synth/materialize.h"
+
+namespace {
+
+using namespace dockmine;
+
+struct World {
+  World() : hub(synth::Calibration::light(), synth::Scale{250, 20170530}) {
+    synth::Materializer materializer(hub, /*gzip_level=*/1);
+    auto pushed = materializer.populate(service);
+    if (!pushed.ok()) std::abort();
+    for (const auto& repo : hub.repositories()) {
+      if (repo.has_latest && !repo.requires_auth) repos.push_back(repo.name);
+    }
+  }
+  synth::HubModel hub;
+  registry::Service service;
+  std::vector<std::string> repos;
+};
+
+World& world() {
+  static World instance;
+  return instance;
+}
+
+void BM_DownloadAll(benchmark::State& state) {
+  const auto workers = static_cast<std::size_t>(state.range(0));
+  const bool dedup = state.range(1) != 0;
+  std::uint64_t bytes = 0, images = 0;
+  for (auto _ : state) {
+    downloader::Options options;
+    options.workers = workers;
+    options.dedup_unique_layers = dedup;
+    downloader::Downloader dl(world().service, options);
+    const auto stats = dl.run(world().repos, nullptr);
+    bytes += stats.bytes_downloaded;
+    images += stats.succeeded;
+  }
+  state.counters["images/s"] = benchmark::Counter(
+      static_cast<double>(images), benchmark::Counter::kIsRate);
+  state.counters["MB_transferred"] =
+      static_cast<double>(bytes) / 1e6 / static_cast<double>(state.iterations());
+  state.SetLabel(dedup ? "unique-layer dedup ON" : "dedup OFF");
+}
+
+BENCHMARK(BM_DownloadAll)
+    ->Args({1, 1})
+    ->Args({2, 1})
+    ->Args({4, 1})
+    ->Args({8, 1})
+    ->Args({4, 0})
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(0.5);
+
+void BM_SingleImagePull(benchmark::State& state) {
+  downloader::Downloader dl(world().service);
+  const std::string& repo = world().repos.front();
+  for (auto _ : state) {
+    auto image = dl.download_one(repo);
+    benchmark::DoNotOptimize(image);
+  }
+}
+BENCHMARK(BM_SingleImagePull)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,54 @@
+// Ablation: gzip level trade-off for registry storage — compression ratio
+// vs (de)compression throughput over representative layer content
+// (google-benchmark). Context for the paper's "compression is one of the
+// major sources of latency when pulling" observation.
+#include <benchmark/benchmark.h>
+
+#include "dockmine/compress/content_gen.h"
+#include "dockmine/compress/gzip.h"
+#include "dockmine/util/rng.h"
+
+namespace {
+
+using namespace dockmine;
+
+const std::string& layer_like_content() {
+  static const std::string content = [] {
+    util::Rng rng(3);
+    return compress::generate(8 << 20, 2.6, rng);  // paper's median ratio
+  }();
+  return content;
+}
+
+void BM_GzipCompress(benchmark::State& state) {
+  const int level = static_cast<int>(state.range(0));
+  const std::string& raw = layer_like_content();
+  std::size_t compressed_size = 0;
+  for (auto _ : state) {
+    auto member = compress::gzip_compress(raw, level);
+    compressed_size = member.value().size();
+    benchmark::DoNotOptimize(member);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(raw.size()));
+  state.counters["ratio"] =
+      static_cast<double>(raw.size()) / static_cast<double>(compressed_size);
+}
+BENCHMARK(BM_GzipCompress)->Arg(1)->Arg(6)->Arg(9)->Unit(benchmark::kMillisecond)->MinTime(0.5);
+
+void BM_GzipDecompress(benchmark::State& state) {
+  const std::string member =
+      compress::gzip_compress(layer_like_content(), 6).value();
+  for (auto _ : state) {
+    auto raw = compress::gzip_decompress(member);
+    benchmark::DoNotOptimize(raw);
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(layer_like_content().size()));
+}
+BENCHMARK(BM_GzipDecompress)->Unit(benchmark::kMillisecond)->MinTime(0.5);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,34 @@
+// Extension (paper §VI future work): multiple image versions per
+// repository. How much registry space does tag history cost, and how much
+// does layer sharing reclaim across versions?
+#include "common.h"
+#include "dockmine/synth/versions.h"
+
+int main() {
+  using namespace dockmine;
+  const synth::Scale scale = bench::bench_scale();
+  std::cout << "snapshot: " << scale.repositories << " repositories\n";
+  synth::HubModel hub(synth::Calibration::paper(), scale);
+
+  std::cout << "\n=== Extension: multi-version repositories (paper §VI) ===\n";
+  std::cout << "  mean historical tags swept; versions churn the top 2 "
+               "layers per rebuild\n\n";
+  std::cout << "  tags/repo  total tags  logical        stored         "
+               "sharing\n";
+  for (double mean : {0.0, 1.0, 2.0, 5.0, 10.0}) {
+    synth::VersionModel::Options options;
+    options.extra_tags_mean = mean;
+    const synth::VersionModel model(hub, options);
+    const auto stats = model.analyze();
+    std::printf("  %-9.0f  %-10llu  %-13s  %-13s  %s\n", mean + 1,
+                static_cast<unsigned long long>(stats.tags),
+                util::format_bytes(stats.logical_bytes).c_str(),
+                util::format_bytes(stats.physical_bytes).c_str(),
+                core::fmt_ratio(stats.sharing_ratio()).c_str());
+  }
+  std::cout << "\n  takeaway: because versions share everything below the\n"
+               "  churned top layers, tag history is nearly free under\n"
+               "  layer sharing - the cross-version sharing ratio grows\n"
+               "  almost linearly with tags per repository.\n";
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Fig. 3 — layer size distribution (CLS and FLS): CDFs plus the 0-128 MB
+// histogram panel the paper zooms into.
+#include "common.h"
+
+int main() {
+  using namespace dockmine;
+  core::DatasetOptions options;
+  options.file_dedup = false;
+  auto ctx = bench::make_context(options);
+  const auto& s = ctx.stats;
+
+  core::FigureTable table("Fig. 3", "Layer size distribution");
+  table.row("CLS median", "< 4 MB", core::fmt_bytes(s.layer_cls.median()))
+      .row("CLS p90", "63 MB", core::fmt_bytes(s.layer_cls.p90()))
+      .row("FLS median", "< 4 MB", core::fmt_bytes(s.layer_fls.median()))
+      .row("FLS p90", "177 MB", core::fmt_bytes(s.layer_fls.p90()))
+      .row("layers with CLS < 4 MB", "~50%",
+           core::fmt_pct(s.layer_cls.fraction_at_or_below(4e6)))
+      .row("layers with FLS < 4 MB", "~50%",
+           core::fmt_pct(s.layer_fls.fraction_at_or_below(4e6)))
+      .row("layers with CLS < 5 MB", "> 55%",
+           core::fmt_pct(s.layer_cls.fraction_at_or_below(5e6)),
+           "paper: >1M of 1.79M layers");
+  table.print(std::cout);
+
+  core::print_cdf(std::cout, "compressed layer size (CLS)", s.layer_cls,
+                  core::fmt_bytes);
+  core::print_cdf(std::cout, "files-in-layer size (FLS)", s.layer_fls,
+                  core::fmt_bytes);
+
+  stats::LinearHistogram cls_hist(0, 128e6, 26);
+  stats::LinearHistogram fls_hist(0, 128e6, 26);
+  for (double v : s.layer_cls.sorted_samples()) cls_hist.add(v);
+  for (double v : s.layer_fls.sorted_samples()) fls_hist.add(v);
+  core::print_histogram(std::cout, "CLS, 0-128 MB (Fig. 3b)", cls_hist,
+                        core::fmt_bytes);
+  core::print_histogram(std::cout, "FLS, 0-128 MB (Fig. 3b)", fls_hist,
+                        core::fmt_bytes);
+  return 0;
+}

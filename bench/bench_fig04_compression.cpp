@@ -1,0 +1,63 @@
+// Fig. 4 — FLS-to-CLS compression ratios. Two measurements:
+//  (a) the modeled ratio over every layer in the snapshot, and
+//  (b) REAL gzip over a sample of materialized layer tars, proving the
+//      bytes path delivers the same distribution shape.
+#include <algorithm>
+
+#include "common.h"
+#include "dockmine/compress/gzip.h"
+#include "dockmine/stats/sampling.h"
+#include "dockmine/synth/materialize.h"
+
+int main() {
+  using namespace dockmine;
+  core::DatasetOptions options;
+  options.file_dedup = false;
+  auto ctx = bench::make_context(options);
+  const auto& s = ctx.stats;
+
+  core::FigureTable table("Fig. 4", "Layer compression ratio (FLS/CLS)");
+  table.row("median ratio", "2.6", core::fmt_ratio(s.layer_ratio.median()))
+      .row("p90 ratio", "< 4", core::fmt_ratio(s.layer_ratio.p90()))
+      .row("max ratio", "1026", core::fmt_ratio(s.layer_ratio.max(), 0))
+      .row("ratio in [2,3)", "~600k of 1.79M layers",
+           core::fmt_pct(s.layer_ratio.fraction_at_or_below(3.0) -
+                         s.layer_ratio.fraction_at_or_below(2.0)))
+      .row("ratio in [1,2)", "~300k of 1.79M layers",
+           core::fmt_pct(s.layer_ratio.fraction_at_or_below(2.0) -
+                         s.layer_ratio.fraction_at_or_below(1.0)));
+  table.print(std::cout);
+  core::print_cdf(std::cout, "modeled layer ratio", s.layer_ratio,
+                  [](double v) { return core::fmt_ratio(v); });
+
+  stats::LinearHistogram hist(0, 8, 16);
+  for (double v : s.layer_ratio.sorted_samples()) hist.add(v);
+  core::print_histogram(std::cout, "ratio histogram (Fig. 4b)", hist,
+                        [](double v) { return core::fmt_ratio(v); });
+
+  // (b) real gzip over sampled materialized layers.
+  const synth::Materializer materializer(ctx.hub, /*gzip_level=*/6);
+  util::Rng rng(7);
+  const auto& layers = ctx.hub.unique_layers();
+  const auto picks = stats::sample_indices(layers.size(), 200, rng);
+  stats::Ecdf real_ratio;
+  for (std::uint64_t index : picks) {
+    const synth::LayerSpec spec = ctx.hub.layer_spec(layers[index]);
+    if (spec.file_count == 0 || spec.file_count > 3000) continue;
+    const std::string tar = materializer.layer_tar(spec);
+    auto blob = compress::gzip_compress(tar, 6);
+    if (!blob.ok()) continue;
+    std::uint64_t fls = 0;
+    ctx.hub.layers().for_each_file(
+        spec, [&](const synth::FileInstance& f) { fls += f.size; });
+    if (fls == 0) continue;
+    real_ratio.add(static_cast<double>(fls) /
+                   static_cast<double>(blob.value().size()));
+  }
+  core::print_cdf(std::cout, "REAL gzip ratio over sampled layers",
+                  real_ratio, [](double v) { return core::fmt_ratio(v); });
+  std::cout << "note: the real-gzip median should track the modeled median\n"
+               "(tar headers and cross-file redundancy make it slightly\n"
+               "higher); the paper's 1026x outliers are sparse DB layers.\n";
+  return 0;
+}

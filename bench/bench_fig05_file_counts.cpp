@@ -1,0 +1,21 @@
+// Fig. 5 — files per layer.
+#include "common.h"
+
+int main() {
+  using namespace dockmine;
+  core::DatasetOptions options;
+  options.file_dedup = false;
+  auto ctx = bench::make_context(options);
+  const auto& files = ctx.stats.layer_files;
+
+  core::FigureTable table("Fig. 5", "File count per layer");
+  table.row("median files", "< 30", core::fmt_count(files.median()))
+      .row("p90 files", "7,410", core::fmt_count(files.p90()))
+      .row("empty layers", "7%", core::fmt_pct(files.fraction_equal(0)))
+      .row("single-file layers", "27%", core::fmt_pct(files.fraction_equal(1)))
+      .row("max files", "826,196", core::fmt_count(files.max()),
+           "paper: a Debian image layer");
+  table.print(std::cout);
+  core::print_cdf(std::cout, "files per layer", files, core::fmt_count);
+  return 0;
+}

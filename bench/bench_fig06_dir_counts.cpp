@@ -1,0 +1,20 @@
+// Fig. 6 — directories per layer.
+#include "common.h"
+
+int main() {
+  using namespace dockmine;
+  core::DatasetOptions options;
+  options.file_dedup = false;
+  auto ctx = bench::make_context(options);
+  const auto& dirs = ctx.stats.layer_dirs;
+
+  core::FigureTable table("Fig. 6", "Directory count per layer");
+  table.row("median dirs", "< 11", core::fmt_count(dirs.median()))
+      .row("p90 dirs", "826", core::fmt_count(dirs.p90()))
+      .row("min dirs", "1", core::fmt_count(dirs.min()))
+      .row("max dirs", "111,940", core::fmt_count(dirs.max()),
+           "paper: conjurinc/developer-quiz");
+  table.print(std::cout);
+  core::print_cdf(std::cout, "directories per layer", dirs, core::fmt_count);
+  return 0;
+}

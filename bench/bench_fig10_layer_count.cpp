@@ -1,0 +1,28 @@
+// Fig. 10 — layers per image (CDF + histogram with the mode at 8).
+#include "common.h"
+
+int main() {
+  using namespace dockmine;
+  core::DatasetOptions options;
+  options.file_dedup = false;
+  auto ctx = bench::make_context(options);
+  const auto& layers = ctx.stats.image_layers;
+
+  stats::LinearHistogram hist(0, 40, 40);
+  for (double v : layers.sorted_samples()) hist.add(v);
+
+  core::FigureTable table("Fig. 10", "Layer count per image");
+  table.row("median layers", "< 8", core::fmt_count(layers.median()))
+      .row("p90 layers", "18", core::fmt_count(layers.p90()))
+      .row("modal layer count", "8 (51,300 images)",
+           core::fmt_count(static_cast<double>(hist.mode_bucket())))
+      .row("single-layer images", "7,060 of 355,319 (2.0%)",
+           core::fmt_pct(layers.fraction_equal(1)))
+      .row("max layers", "120 (cfgarden/120-layer-image)",
+           core::fmt_count(layers.max()), "scale-dependent tail");
+  table.print(std::cout);
+  core::print_cdf(std::cout, "layers per image", layers, core::fmt_count);
+  core::print_histogram(std::cout, "layer count histogram (Fig. 10b)", hist,
+                        core::fmt_count);
+  return 0;
+}

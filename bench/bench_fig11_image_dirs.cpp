@@ -1,0 +1,17 @@
+// Fig. 11 — directories per image.
+#include "common.h"
+
+int main() {
+  using namespace dockmine;
+  core::DatasetOptions options;
+  options.file_dedup = false;
+  auto ctx = bench::make_context(options);
+  const auto& dirs = ctx.stats.image_dirs;
+
+  core::FigureTable table("Fig. 11", "Directory count per image");
+  table.row("median dirs", "296", core::fmt_count(dirs.median()))
+      .row("p90 dirs", "7,344", core::fmt_count(dirs.p90()));
+  table.print(std::cout);
+  core::print_cdf(std::cout, "directories per image", dirs, core::fmt_count);
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Fig. 12 — files per image.
+#include "common.h"
+
+int main() {
+  using namespace dockmine;
+  core::DatasetOptions options;
+  options.file_dedup = false;
+  auto ctx = bench::make_context(options);
+  const auto& files = ctx.stats.image_files;
+
+  core::FigureTable table("Fig. 12", "File count per image");
+  table.row("median files", "1,090", core::fmt_count(files.median()))
+      .row("p90 files", "64,780", core::fmt_count(files.p90()));
+  table.print(std::cout);
+  core::print_cdf(std::cout, "files per image", files, core::fmt_count);
+  return 0;
+}

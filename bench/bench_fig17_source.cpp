@@ -1,0 +1,21 @@
+// Fig. 17 — source code breakdown by language.
+#include "common.h"
+
+int main() {
+  using namespace dockmine;
+  using filetype::Type;
+  auto ctx = bench::make_context();
+  const dedup::TypeBreakdown breakdown(*ctx.stats.file_index);
+  bench::print_subtype_figure(
+      "Fig. 17", "Source code", breakdown,
+      {
+          {Type::kCSource, "80.3%", "~80%"},
+          {Type::kPerlModule, "9%", "11%"},
+          {Type::kRubyModule, "8%", "3%"},
+          {Type::kPascalSource, "small", "small"},
+          {Type::kFortranSource, "small", "small"},
+          {Type::kBasicSource, "small", "small"},
+          {Type::kLispSource, "small", "small"},
+      });
+  return 0;
+}

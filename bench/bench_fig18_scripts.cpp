@@ -1,0 +1,25 @@
+// Fig. 18 — scripts breakdown.
+#include "common.h"
+
+int main() {
+  using namespace dockmine;
+  using filetype::Type;
+  auto ctx = bench::make_context();
+  const dedup::TypeBreakdown breakdown(*ctx.stats.file_index);
+  bench::print_subtype_figure(
+      "Fig. 18", "Scripts", breakdown,
+      {
+          {Type::kPythonScript, "53.5%", "66%"},
+          {Type::kShellScript, "20%", "6%"},
+          {Type::kRubyScript, "10%", "5%"},
+          {Type::kPerlScript, "small", "small"},
+          {Type::kPhpScript, "small", "small"},
+          {Type::kNodeScript, "small", "small"},
+          {Type::kMakefile, "small", "small"},
+          {Type::kM4Script, "small", "small"},
+          {Type::kAwkScript, "small", "small"},
+          {Type::kTclScript, "small", "small"},
+          {Type::kOtherScript, "small", "small"},
+      });
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Fig. 21 — database files breakdown.
+#include "common.h"
+
+int main() {
+  using namespace dockmine;
+  using filetype::Type;
+  auto ctx = bench::make_context();
+  const dedup::TypeBreakdown breakdown(*ctx.stats.file_index);
+  bench::print_subtype_figure(
+      "Fig. 21", "Database files", breakdown,
+      {
+          {Type::kBerkeleyDb, "33%", "< 40% (with MySQL)"},
+          {Type::kMysql, "30%", "(with BDB)"},
+          {Type::kSqlite, "7%", "57%"},
+          {Type::kOtherDb, "~30%", "rest"},
+      });
+  return 0;
+}

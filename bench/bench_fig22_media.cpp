@@ -1,0 +1,19 @@
+// Fig. 22 — image media files breakdown.
+#include "common.h"
+
+int main() {
+  using namespace dockmine;
+  using filetype::Type;
+  auto ctx = bench::make_context();
+  const dedup::TypeBreakdown breakdown(*ctx.stats.file_index);
+  bench::print_subtype_figure(
+      "Fig. 22", "Image media files", breakdown,
+      {
+          {Type::kPng, "67%", "45%"},
+          {Type::kJpeg, "~20% of capacity", "~20%"},
+          {Type::kGif, "small", "small"},
+          {Type::kSvg, "small", "small"},
+          {Type::kOtherImage, "small", "small"},
+      });
+  return 0;
+}

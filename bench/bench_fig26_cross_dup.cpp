@@ -1,0 +1,28 @@
+// Fig. 26 / §V-D — cross-layer and cross-image file duplicates.
+#include "common.h"
+
+int main() {
+  using namespace dockmine;
+  core::DatasetOptions options;
+  options.file_dedup = true;
+  options.cross_dup = true;
+  auto ctx = bench::make_context(options);
+  const auto& s = ctx.stats;
+
+  core::FigureTable table("Fig. 26", "Cross-layer / cross-image duplicates");
+  table.row("p10 layer dup fraction", ">= 97.6% (90% of layers above)",
+            core::fmt_pct(s.cross_layer_dup.quantile(0.1)),
+            "rises with scale; see EXPERIMENTS.md")
+      .row("median layer dup fraction", "(high)",
+           core::fmt_pct(s.cross_layer_dup.median()))
+      .row("p10 image dup fraction", ">= 99.4% (90% of images above)",
+           core::fmt_pct(s.cross_image_dup.quantile(0.1)))
+      .row("median image dup fraction", "(high)",
+           core::fmt_pct(s.cross_image_dup.median()));
+  table.print(std::cout);
+  core::print_cdf(std::cout, "per-layer cross-layer duplicate fraction",
+                  s.cross_layer_dup, [](double v) { return core::fmt_ratio(v); });
+  core::print_cdf(std::cout, "per-image cross-image duplicate fraction",
+                  s.cross_image_dup, [](double v) { return core::fmt_ratio(v); });
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Fig. 27 / §V-E — dedup ratio (capacity removed) by type group.
+#include "common.h"
+
+int main() {
+  using namespace dockmine;
+  auto ctx = bench::make_context();
+  const dedup::TypeBreakdown breakdown(*ctx.stats.file_index);
+  using filetype::Group;
+
+  core::FigureTable table("Fig. 27", "Dedup ratio by type group");
+  auto add = [&](Group group, const char* paper) {
+    table.row(std::string(filetype::to_string(group)), paper,
+              core::fmt_pct(breakdown.by_group(group).capacity_removed()));
+  };
+  add(Group::kScripts, "98%");
+  add(Group::kSourceCode, "96.8%");
+  add(Group::kDocuments, "92%");
+  add(Group::kEol, "86%");
+  add(Group::kArchival, "~86%");
+  add(Group::kImages, "~86%");
+  add(Group::kDatabases, "76% (lowest)");
+  add(Group::kOther, "-");
+  table.row("overall", "85.69%",
+            core::fmt_pct(breakdown.overall().capacity_removed()),
+            "scale-dependent; ordering is the reproduction target");
+  table.print(std::cout);
+  return 0;
+}

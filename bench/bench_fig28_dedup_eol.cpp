@@ -1,0 +1,24 @@
+// Fig. 28 — dedup within the EOL group.
+#include "common.h"
+
+int main() {
+  using namespace dockmine;
+  using filetype::Type;
+  auto ctx = bench::make_context();
+  const dedup::TypeBreakdown breakdown(*ctx.stats.file_index);
+  bench::print_subtype_dedup(
+      "Fig. 28", "EOL files", breakdown,
+      {
+          {Type::kElfSharedObject, "~87%", "redundant ELF = 73.4% of EOL capacity"},
+          {Type::kElfExecutable, "~87%", ""},
+          {Type::kElfRelocatable, "~87%", ""},
+          {Type::kPythonBytecode, "> 77%", "67% of intermediate capacity"},
+          {Type::kJavaClass, "> 77%", ""},
+          {Type::kTerminfo, "> 77%", ""},
+          {Type::kMsExecutable, "~87%", ""},
+          {Type::kStaticLibrary, "53.5% (lowest)", "libraries"},
+          {Type::kCoff, "61%", ""},
+          {Type::kDebRpmPackage, "-", ""},
+      });
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Shared scaffolding for the figure-reproduction benches.
+//
+// Every bench binary regenerates one figure of the paper: it builds the
+// synthetic snapshot at the configured scale (env DOCKMINE_REPOS /
+// DOCKMINE_SEED override), computes the statistics the figure needs, and
+// prints a paper-vs-measured table plus the CDF/histogram panels.
+// Absolute values at reduced scale differ from the paper where they are
+// scale-dependent (dedup ratios grow with dataset size, Fig. 25); the
+// tables say so in their notes.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "dockmine/core/dataset.h"
+#include "dockmine/util/bytes.h"
+#include "dockmine/core/report.h"
+#include "dockmine/synth/generator.h"
+
+namespace dockmine::bench {
+
+inline synth::Scale bench_scale() {
+  return core::scale_from_env(synth::Scale::bench());
+}
+
+struct Context {
+  synth::HubModel hub;
+  core::DatasetStats stats;
+};
+
+inline Context make_context(core::DatasetOptions options = {}) {
+  const synth::Scale scale = bench_scale();
+  std::cout << "snapshot: " << scale.repositories
+            << " repositories (seed " << scale.seed
+            << "; DOCKMINE_REPOS / DOCKMINE_SEED override)\n";
+  synth::HubModel hub(synth::Calibration::paper(), scale);
+  core::DatasetStats stats = core::DatasetStats::compute(hub, options);
+  std::cout << "generated " << stats.image_count << " images, "
+            << stats.unique_layer_count << " unique layers, "
+            << util::format_count(stats.total_files) << " files in "
+            << stats.compute_seconds << "s\n";
+  return Context{std::move(hub), std::move(stats)};
+}
+
+inline std::string q(const stats::Ecdf& cdf, double quantile,
+                     const core::ValueFormatter& fmt) {
+  return cdf.empty() ? "n/a" : fmt(cdf.quantile(quantile));
+}
+
+}  // namespace dockmine::bench
+
+// ---- subtype figure helper (Figs. 16-22) ----
+#include "dockmine/dedup/by_type.h"
+
+namespace dockmine::bench {
+
+struct SubtypeRow {
+  filetype::Type type;
+  const char* paper_count;
+  const char* paper_capacity;
+};
+
+/// Print a within-group count/capacity share table (a Figs. 16-22 panel).
+inline void print_subtype_figure(const std::string& fig,
+                                 const std::string& title,
+                                 const dedup::TypeBreakdown& breakdown,
+                                 std::initializer_list<SubtypeRow> rows) {
+  core::FigureTable count_table(fig + "a", title + " — file count share");
+  core::FigureTable cap_table(fig + "b", title + " — capacity share");
+  for (const SubtypeRow& row : rows) {
+    count_table.row(std::string(filetype::to_string(row.type)),
+                    row.paper_count,
+                    core::fmt_pct(breakdown.count_share(row.type)));
+    cap_table.row(std::string(filetype::to_string(row.type)),
+                  row.paper_capacity,
+                  core::fmt_pct(breakdown.capacity_share(row.type)));
+  }
+  count_table.print(std::cout);
+  cap_table.print(std::cout);
+}
+
+/// Print a per-type dedup table (a Figs. 28-29 panel): capacity-removed
+/// percentage per subtype.
+inline void print_subtype_dedup(const std::string& fig,
+                                const std::string& title,
+                                const dedup::TypeBreakdown& breakdown,
+                                std::initializer_list<SubtypeRow> rows) {
+  core::FigureTable table(fig, title + " — dedup ratio (capacity removed)");
+  for (const SubtypeRow& row : rows) {
+    table.row(std::string(filetype::to_string(row.type)), row.paper_count,
+              core::fmt_pct(breakdown.by_type(row.type).capacity_removed()),
+              row.paper_capacity);
+  }
+  table.print(std::cout);
+}
+
+}  // namespace dockmine::bench

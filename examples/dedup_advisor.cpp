@@ -1,0 +1,63 @@
+// dedup_advisor: storage planning for a Docker registry.
+//
+// Given a snapshot scale, quantifies the three storage strategies the
+// paper's §V analyzes:
+//   1. naive           — every image stores private copies of its layers
+//   2. layer sharing   — what Docker registries do today (paper: 1.8x)
+//   3. file-level dedup — the paper's proposal (31.5x / 6.9x at full scale)
+// and prints the advisor's recommendation with projected savings.
+//
+//   $ ./examples/dedup_advisor [repositories]
+#include <cstdlib>
+#include <iostream>
+
+#include "dockmine/core/dataset.h"
+#include "dockmine/core/report.h"
+#include "dockmine/util/bytes.h"
+
+int main(int argc, char** argv) {
+  using namespace dockmine;
+  synth::Scale scale;
+  scale.repositories = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 800;
+
+  std::cout << "analyzing a snapshot of " << scale.repositories
+            << " repositories...\n";
+  synth::HubModel hub(synth::Calibration::paper(), scale);
+  core::DatasetOptions options;
+  options.file_dedup = true;
+  const auto stats = core::DatasetStats::compute(hub, options);
+  const auto totals = stats.file_index->totals();
+
+  const double naive = static_cast<double>(stats.sharing.logical_bytes());
+  const double shared = static_cast<double>(stats.sharing.physical_bytes());
+  // File dedup applies to uncompressed content; express it against the
+  // uncompressed dataset like the paper (167 TB -> 24 TB).
+  const double uncompressed = static_cast<double>(totals.total_bytes);
+  const double file_dedup = static_cast<double>(totals.unique_bytes);
+
+  core::FigureTable table("advisor", "Projected registry storage");
+  table.row("naive (no sharing)", "85 TB at full scale",
+            core::fmt_bytes(naive), "compressed bytes")
+      .row("layer sharing", "47 TB at full scale", core::fmt_bytes(shared),
+           "saves " + core::fmt_ratio(naive / shared))
+      .row("uncompressed dataset", "167 TB at full scale",
+           core::fmt_bytes(uncompressed))
+      .row("file-level dedup", "24 TB at full scale",
+           core::fmt_bytes(file_dedup),
+           "saves " + core::fmt_ratio(totals.capacity_ratio()) +
+               " vs uncompressed")
+      .row("unique files", "3.2% at full scale",
+           core::fmt_pct(totals.unique_file_fraction()),
+           "ratio grows with registry size (Fig. 25)");
+  table.print(std::cout);
+
+  std::cout << "\nrecommendation: layer sharing alone leaves "
+            << core::fmt_pct(1.0 - 1.0 / totals.count_ratio())
+            << " of files stored redundantly; a file-level deduplicating\n"
+               "backend (content-addressed file store under the layer\n"
+               "index) reclaims "
+            << core::fmt_bytes(uncompressed - file_dedup)
+            << " at this scale, and proportionally more as the registry\n"
+               "grows.\n";
+  return 0;
+}

@@ -1,0 +1,79 @@
+// popularity_cache_sim: size a pull-through layer cache for a registry.
+//
+// The paper's popularity analysis (Fig. 8, §IV-B) motivates caching:
+// pulls are extremely skewed. This tool sweeps cache capacities against a
+// popularity-weighted pull workload and reports the smallest cache that
+// reaches a target hit ratio.
+//
+//   $ ./examples/popularity_cache_sim [repositories] [target_hit_pct]
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <unordered_map>
+
+#include "dockmine/core/cache_sim.h"
+#include "dockmine/core/dataset.h"
+#include "dockmine/util/bytes.h"
+
+int main(int argc, char** argv) {
+  using namespace dockmine;
+  synth::Scale scale;
+  scale.repositories = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 800;
+  const double target =
+      (argc > 2 ? std::strtod(argv[2], nullptr) : 90.0) / 100.0;
+
+  synth::HubModel hub(synth::Calibration::paper(), scale);
+  core::DatasetOptions options;
+  options.file_dedup = false;
+  const auto stats = core::DatasetStats::compute(hub, options);
+
+  std::unordered_map<synth::LayerId, std::size_t> dense;
+  for (std::size_t i = 0; i < hub.unique_layers().size(); ++i) {
+    dense[hub.unique_layers()[i]] = i;
+  }
+  std::vector<core::CachedImage> images;
+  std::uint64_t dataset_bytes = 0;
+  for (const synth::RepoSpec& repo : hub.repositories()) {
+    if (repo.image_index < 0 || repo.requires_auth) continue;
+    core::CachedImage entry;
+    for (synth::LayerId id : hub.images()[repo.image_index].layers) {
+      const auto& agg = stats.layer_aggregates()[dense.at(id)];
+      entry.layer_keys.push_back(id);
+      entry.layer_sizes.push_back(agg.cls);
+      dataset_bytes += agg.cls;
+    }
+    entry.popularity_weight = static_cast<double>(repo.pull_count) + 1.0;
+    images.push_back(std::move(entry));
+  }
+
+  std::cout << "dataset: " << util::format_bytes(dataset_bytes)
+            << " of compressed layers across " << images.size()
+            << " images; pulls follow the Fig. 8 skew\n\n";
+  std::printf("  %-14s %-10s %-10s\n", "capacity", "hit%", "byte-hit%");
+  std::uint64_t recommended = 0;
+  for (double frac = 0.0005; frac <= 1.0; frac *= 2) {
+    const auto capacity = static_cast<std::uint64_t>(
+        frac * static_cast<double>(dataset_bytes));
+    const auto result =
+        core::simulate_layer_cache(images, capacity, 60000, 99);
+    std::printf("  %-14s %-10s %-10s\n",
+                util::format_bytes(capacity).c_str(),
+                util::format_percent(result.hit_ratio()).c_str(),
+                util::format_percent(result.byte_hit_ratio()).c_str());
+    if (recommended == 0 && result.hit_ratio() >= target) {
+      recommended = capacity;
+    }
+  }
+  if (recommended != 0) {
+    std::cout << "\nsmallest swept cache reaching "
+              << util::format_percent(target) << " object hits: "
+              << util::format_bytes(recommended) << " ("
+              << util::format_percent(static_cast<double>(recommended) /
+                                      static_cast<double>(dataset_bytes))
+              << " of the dataset)\n";
+  } else {
+    std::cout << "\nno swept capacity reached "
+              << util::format_percent(target) << " hits\n";
+  }
+  return 0;
+}

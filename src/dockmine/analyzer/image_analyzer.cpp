@@ -1,0 +1,35 @@
+#include "dockmine/analyzer/image_analyzer.h"
+
+namespace dockmine::analyzer {
+
+void ProfileStore::put(const LayerProfile& profile) {
+  profiles_.emplace(profile.digest, profile);
+}
+
+std::optional<LayerProfile> ProfileStore::find(
+    const digest::Digest& digest) const {
+  const auto it = profiles_.find(digest);
+  if (it == profiles_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool ProfileStore::contains(const digest::Digest& digest) const {
+  return profiles_.find(digest) != profiles_.end();
+}
+
+util::Result<ImageProfile> build_image_profile(
+    const registry::Manifest& manifest, const ProfileStore& store) {
+  ImageProfile image;
+  image.repository = manifest.repository;
+  for (const registry::LayerRef& ref : manifest.layers) {
+    const auto layer = store.find(ref.digest);
+    if (!layer.has_value()) {
+      return util::not_found("layer " + ref.digest.short_hex() +
+                             " not profiled for image " + manifest.repository);
+    }
+    image.accumulate(*layer);
+  }
+  return image;
+}
+
+}  // namespace dockmine::analyzer

@@ -1,0 +1,43 @@
+// Image-level profiling: aggregate a manifest's layer profiles into an
+// image profile (paper §III-C b: FIS, CIS, directory count, file count,
+// plus pointers to layer profiles).
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+
+#include "dockmine/analyzer/profile.h"
+#include "dockmine/registry/model.h"
+#include "dockmine/util/error.h"
+
+namespace dockmine::analyzer {
+
+/// Cache of layer profiles keyed by layer digest. Layers shared between
+/// images are profiled once — the same economy the paper's downloader
+/// applied ("we only download unique layers").
+class ProfileStore {
+ public:
+  /// Insert (no-op if the digest is already profiled).
+  void put(const LayerProfile& profile);
+
+  std::optional<LayerProfile> find(const digest::Digest& digest) const;
+  bool contains(const digest::Digest& digest) const;
+  std::size_t size() const noexcept { return profiles_.size(); }
+
+  /// Iterate all profiles (unspecified order).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& [key, profile] : profiles_) fn(profile);
+  }
+
+ private:
+  std::unordered_map<digest::Digest, LayerProfile, digest::DigestHash>
+      profiles_;
+};
+
+/// Build the image profile for `manifest` from profiled layers.
+/// Fails with kNotFound if any referenced layer is missing from the store.
+util::Result<ImageProfile> build_image_profile(
+    const registry::Manifest& manifest, const ProfileStore& store);
+
+}  // namespace dockmine::analyzer

@@ -1,0 +1,74 @@
+#include "dockmine/analyzer/pipeline.h"
+
+#include <mutex>
+#include <unordered_set>
+
+#include "dockmine/util/thread_pool.h"
+
+namespace dockmine::analyzer {
+
+util::Result<ProfileStore> AnalysisPipeline::run(
+    const std::vector<registry::Manifest>& manifests, const BlobFetch& fetch,
+    const Sink& sink) const {
+  // Unique layer digests in first-reference order.
+  std::vector<digest::Digest> unique;
+  {
+    std::unordered_set<digest::Digest, digest::DigestHash> seen;
+    for (const auto& manifest : manifests) {
+      for (const auto& ref : manifest.layers) {
+        if (seen.insert(ref.digest).second) unique.push_back(ref.digest);
+      }
+    }
+  }
+
+  ProfileStore store;
+  std::mutex sink_mutex;   // serializes sink callbacks and the store
+  util::Status first_error;
+  const LayerAnalyzer analyzer(options_.analyzer);
+
+  util::ThreadPool pool(options_.workers);
+  util::parallel_for(pool, 0, unique.size(), /*grain=*/1, [&](std::size_t i) {
+    {
+      std::lock_guard lock(sink_mutex);
+      if (!first_error.ok()) return;  // fail fast
+    }
+    auto blob = fetch(unique[i]);
+    if (!blob.ok()) {
+      std::lock_guard lock(sink_mutex);
+      if (first_error.ok()) first_error = std::move(blob).error();
+      return;
+    }
+
+    // Buffer file records locally; flush in batches to bound lock traffic.
+    std::vector<FileRecord> batch;
+    FileVisitor visitor = [&](std::string_view, const FileRecord& record) {
+      batch.push_back(record);
+    };
+    auto profile = analyzer.analyze_blob(
+        *blob.value(), sink.on_file ? &visitor : nullptr);
+
+    std::lock_guard lock(sink_mutex);
+    if (!profile.ok()) {
+      if (first_error.ok()) first_error = std::move(profile).error();
+      return;
+    }
+    store.put(profile.value());
+    if (sink.on_layer) sink.on_layer(profile.value());
+    if (sink.on_file) {
+      for (const FileRecord& record : batch) {
+        sink.on_file(profile.value().digest, record);
+      }
+    }
+  });
+  pool.shutdown();
+  if (!first_error.ok()) return first_error.error();
+
+  for (const auto& manifest : manifests) {
+    auto image = build_image_profile(manifest, store);
+    if (!image.ok()) return std::move(image).error();
+    if (sink.on_image) sink.on_image(image.value());
+  }
+  return store;
+}
+
+}  // namespace dockmine::analyzer

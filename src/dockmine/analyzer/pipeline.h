@@ -1,0 +1,51 @@
+// Parallel analysis pipeline: profile every unique layer of a set of
+// manifests (fetching blobs through a caller-supplied function), then build
+// image profiles. Mirrors Fig. 2 of the paper — the Analyzer stage — with
+// the unique-layer economy of §III-B.
+#pragma once
+
+#include <functional>
+#include <string_view>
+#include <vector>
+
+#include "dockmine/analyzer/image_analyzer.h"
+#include "dockmine/analyzer/layer_analyzer.h"
+#include "dockmine/blob/store.h"
+#include "dockmine/registry/model.h"
+#include "dockmine/util/error.h"
+
+namespace dockmine::analyzer {
+
+class AnalysisPipeline {
+ public:
+  struct Options {
+    std::size_t workers = 0;  ///< 0 => hardware concurrency
+    LayerAnalyzer::Options analyzer;
+  };
+
+  /// Consumer callbacks. All are invoked under an internal mutex (thread
+  /// safe to use plain accumulators); any may be null.
+  struct Sink {
+    std::function<void(const LayerProfile&)> on_layer;  ///< per unique layer
+    std::function<void(const digest::Digest& layer_digest,
+                       const FileRecord& record)>
+        on_file;                                        ///< per file
+    std::function<void(const ImageProfile&)> on_image;
+  };
+
+  using BlobFetch =
+      std::function<util::Result<blob::BlobPtr>(const digest::Digest&)>;
+
+  AnalysisPipeline() = default;
+  explicit AnalysisPipeline(Options options) : options_(options) {}
+
+  /// Analyze all manifests. Unique layers are profiled exactly once, in
+  /// parallel. Returns the profile store (reusable for further queries).
+  util::Result<ProfileStore> run(const std::vector<registry::Manifest>& manifests,
+                                 const BlobFetch& fetch, const Sink& sink) const;
+
+ private:
+  Options options_{};
+};
+
+}  // namespace dockmine::analyzer

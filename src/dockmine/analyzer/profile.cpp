@@ -1,0 +1,10 @@
+// Profile types are header-only aggregates; this TU anchors the header and
+// pins layout assumptions that the dedup index relies on.
+#include "dockmine/analyzer/profile.h"
+
+namespace dockmine::analyzer {
+
+static_assert(sizeof(FileRecord) <= 64,
+              "FileRecord is copied per file on the hot path; keep it lean");
+
+}  // namespace dockmine::analyzer

@@ -1,0 +1,66 @@
+// Layer and image profiles — the analyzer's outputs, mirroring §III-C of
+// the paper:
+//   layer profile: digest, FLS, CLS, directory count, file count, max
+//                  directory depth, FLS-to-CLS ratio, per-file metadata
+//   image profile: FIS, CIS, directory count, file count, compression ratio
+//
+// Per-file metadata is not stored in the profile (a full-scale snapshot has
+// billions of files); consumers that need it (dedup, type statistics)
+// receive a streaming callback during analysis instead.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "dockmine/digest/digest.h"
+#include "dockmine/filetype/taxonomy.h"
+
+namespace dockmine::analyzer {
+
+struct LayerProfile {
+  digest::Digest digest;          ///< digest of the compressed layer blob
+  std::uint64_t fls = 0;          ///< sum of contained file sizes
+  std::uint64_t cls = 0;          ///< compressed layer (blob) size
+  std::uint64_t file_count = 0;
+  std::uint64_t dir_count = 1;    ///< explicit dirs; implicit root counts 1
+  std::uint32_t max_depth = 1;
+
+  /// FLS-to-CLS. Layers with no files report 0 (excluded from ratio CDFs,
+  /// matching the paper's treatment of empty layers).
+  double compression_ratio() const noexcept {
+    return cls == 0 || fls == 0
+               ? 0.0
+               : static_cast<double>(fls) / static_cast<double>(cls);
+  }
+};
+
+struct ImageProfile {
+  std::string repository;
+  std::uint64_t fis = 0;          ///< sum of file sizes across layers
+  std::uint64_t cis = 0;          ///< sum of compressed layer sizes
+  std::uint64_t file_count = 0;
+  std::uint64_t dir_count = 0;
+  std::uint32_t layer_count = 0;
+
+  double compression_ratio() const noexcept {
+    return cis == 0 ? 0.0
+                    : static_cast<double>(fis) / static_cast<double>(cis);
+  }
+
+  void accumulate(const LayerProfile& layer) noexcept {
+    fis += layer.fls;
+    cis += layer.cls;
+    file_count += layer.file_count;
+    dir_count += layer.dir_count;
+    ++layer_count;
+  }
+};
+
+/// One file observation streamed out of layer analysis.
+struct FileRecord {
+  digest::Digest digest;
+  std::uint64_t size = 0;
+  filetype::Type type = filetype::Type::kEmpty;
+};
+
+}  // namespace dockmine::analyzer

@@ -1,0 +1,124 @@
+#include "dockmine/blob/disk_store.h"
+
+#include <atomic>
+#include <fstream>
+#include <system_error>
+
+namespace dockmine::blob {
+
+namespace fs = std::filesystem;
+
+util::Result<DiskStore> DiskStore::open(const fs::path& root) {
+  std::error_code ec;
+  fs::create_directories(root / "blobs" / "sha256", ec);
+  if (ec) {
+    return util::internal("create_directories: " + ec.message());
+  }
+  return DiskStore(root);
+}
+
+fs::path DiskStore::path_for(const digest::Digest& digest) const {
+  const std::string hex = digest.to_string().substr(7);  // strip "sha256:"
+  return root_ / "blobs" / "sha256" / hex.substr(0, 2) / hex / "data";
+}
+
+util::Result<digest::Digest> DiskStore::put(const std::string& content) {
+  const digest::Digest digest = digest::Digest::of(content);
+  auto stored = put_with_digest(digest, content);
+  if (!stored.ok()) return stored.error();
+  return digest;
+}
+
+util::Status DiskStore::put_with_digest(const digest::Digest& digest,
+                                        const std::string& content) {
+  const fs::path target = path_for(digest);
+  std::error_code ec;
+  if (fs::exists(target, ec)) return util::Status::success();
+  fs::create_directories(target.parent_path(), ec);
+  if (ec) return util::internal("create_directories: " + ec.message());
+
+  // Unique temp name without per-store state (DiskStore stays movable).
+  static std::atomic<std::uint64_t> temp_counter{0};
+  const fs::path temp =
+      target.parent_path() /
+      ("tmp." + std::to_string(temp_counter.fetch_add(1)));
+  {
+    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+    if (!out) return util::internal("cannot open temp file " + temp.string());
+    out.write(content.data(),
+              static_cast<std::streamsize>(content.size()));
+    if (!out) return util::internal("short write to " + temp.string());
+  }
+  fs::rename(temp, target, ec);
+  if (ec) {
+    fs::remove(temp, ec);
+    return util::internal("rename: " + ec.message());
+  }
+  return util::Status::success();
+}
+
+util::Result<std::string> DiskStore::get(const digest::Digest& digest) const {
+  std::ifstream in(path_for(digest), std::ios::binary);
+  if (!in) return util::not_found("blob " + digest.short_hex());
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  if (!in.eof() && in.fail()) {
+    return util::internal("read failed for " + digest.short_hex());
+  }
+  return content;
+}
+
+bool DiskStore::contains(const digest::Digest& digest) const {
+  std::error_code ec;
+  return fs::exists(path_for(digest), ec);
+}
+
+util::Result<std::uint64_t> DiskStore::stat(const digest::Digest& digest) const {
+  std::error_code ec;
+  const auto size = fs::file_size(path_for(digest), ec);
+  if (ec) return util::not_found("blob " + digest.short_hex());
+  return static_cast<std::uint64_t>(size);
+}
+
+util::Status DiskStore::remove(const digest::Digest& digest) {
+  std::error_code ec;
+  const fs::path target = path_for(digest);
+  if (!fs::remove(target, ec)) {
+    return util::not_found("blob " + digest.short_hex());
+  }
+  fs::remove(target.parent_path(), ec);  // prune the digest dir if empty
+  return util::Status::success();
+}
+
+util::Status DiskStore::for_each_digest(
+    const std::function<void(const digest::Digest&, std::uint64_t)>& fn)
+    const {
+  std::error_code ec;
+  const fs::path base = root_ / "blobs" / "sha256";
+  for (auto it = fs::recursive_directory_iterator(base, ec);
+       !ec && it != fs::recursive_directory_iterator(); it.increment(ec)) {
+    if (!it->is_regular_file(ec) || it->path().filename() != "data") continue;
+    const std::string hex = it->path().parent_path().filename().string();
+    auto parsed = digest::Digest::parse("sha256:" + hex);
+    if (!parsed.ok()) continue;  // stray file; not ours
+    fn(parsed.value(), static_cast<std::uint64_t>(it->file_size(ec)));
+  }
+  if (ec) return util::internal("walk: " + ec.message());
+  return util::Status::success();
+}
+
+util::Result<DiskStore::Usage> DiskStore::usage() const {
+  Usage usage;
+  std::error_code ec;
+  for (auto it = fs::recursive_directory_iterator(root_, ec);
+       !ec && it != fs::recursive_directory_iterator(); it.increment(ec)) {
+    if (it->is_regular_file(ec) && it->path().filename() == "data") {
+      ++usage.blobs;
+      usage.bytes += static_cast<std::uint64_t>(it->file_size(ec));
+    }
+  }
+  if (ec) return util::internal("walk: " + ec.message());
+  return usage;
+}
+
+}  // namespace dockmine::blob

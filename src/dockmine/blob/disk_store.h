@@ -1,0 +1,59 @@
+// On-disk content-addressed blob store, laid out the way Docker's registry
+// stores blobs: <root>/blobs/sha256/<xx>/<digest>/data (xx = first two hex
+// chars). Writes are atomic (temp file + rename); reads memory the file.
+// Useful for snapshots bigger than RAM and for inspecting generated
+// registries with ordinary shell tools.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <string>
+
+#include "dockmine/blob/store.h"
+#include "dockmine/digest/digest.h"
+#include "dockmine/util/error.h"
+
+namespace dockmine::blob {
+
+class DiskStore {
+ public:
+  /// Opens (creating if needed) a store rooted at `root`.
+  static util::Result<DiskStore> open(const std::filesystem::path& root);
+
+  /// Hash and persist `content`; returns its digest. Idempotent: an
+  /// existing blob is left untouched (content addressing).
+  util::Result<digest::Digest> put(const std::string& content);
+
+  util::Status put_with_digest(const digest::Digest& digest,
+                               const std::string& content);
+
+  util::Result<std::string> get(const digest::Digest& digest) const;
+  bool contains(const digest::Digest& digest) const;
+  util::Result<std::uint64_t> stat(const digest::Digest& digest) const;
+
+  /// Remove a blob (no reference counting; callers own GC policy).
+  util::Status remove(const digest::Digest& digest);
+
+  /// Number of blobs and total bytes on disk (walks the tree).
+  struct Usage {
+    std::uint64_t blobs = 0;
+    std::uint64_t bytes = 0;
+  };
+  util::Result<Usage> usage() const;
+
+  /// Enumerate every stored digest (walks the tree).
+  util::Status for_each_digest(
+      const std::function<void(const digest::Digest&, std::uint64_t size)>&
+          fn) const;
+
+  const std::filesystem::path& root() const noexcept { return root_; }
+
+ private:
+  explicit DiskStore(std::filesystem::path root) : root_(std::move(root)) {}
+  std::filesystem::path path_for(const digest::Digest& digest) const;
+
+  std::filesystem::path root_;
+};
+
+}  // namespace dockmine::blob

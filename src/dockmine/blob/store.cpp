@@ -1,0 +1,59 @@
+#include "dockmine/blob/store.h"
+
+namespace dockmine::blob {
+
+digest::Digest Store::put(std::string content) {
+  const digest::Digest d = digest::Digest::of(content);
+  (void)put_with_digest(d, std::move(content));
+  return d;
+}
+
+util::Status Store::put_with_digest(const digest::Digest& digest,
+                                    std::string content) {
+  std::lock_guard lock(mutex_);
+  ++stats_.puts;
+  stats_.logical_bytes += content.size();
+  const auto it = blobs_.find(digest);
+  if (it != blobs_.end()) {
+    if (it->second->size() != content.size()) {
+      return util::invalid_argument("digest collision with mismatched size: " +
+                                    digest.short_hex());
+    }
+    ++stats_.dedup_hits;
+    return util::Status::success();
+  }
+  stats_.physical_bytes += content.size();
+  ++stats_.unique_blobs;
+  blobs_.emplace(digest, std::make_shared<const std::string>(std::move(content)));
+  return util::Status::success();
+}
+
+util::Result<BlobPtr> Store::get(const digest::Digest& digest) const {
+  std::lock_guard lock(mutex_);
+  const auto it = blobs_.find(digest);
+  if (it == blobs_.end()) {
+    return util::not_found("blob " + digest.short_hex());
+  }
+  return it->second;
+}
+
+bool Store::contains(const digest::Digest& digest) const {
+  std::lock_guard lock(mutex_);
+  return blobs_.find(digest) != blobs_.end();
+}
+
+util::Result<std::uint64_t> Store::stat(const digest::Digest& digest) const {
+  std::lock_guard lock(mutex_);
+  const auto it = blobs_.find(digest);
+  if (it == blobs_.end()) {
+    return util::not_found("blob " + digest.short_hex());
+  }
+  return static_cast<std::uint64_t>(it->second->size());
+}
+
+StoreStats Store::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+}  // namespace dockmine::blob

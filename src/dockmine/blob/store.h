@@ -1,0 +1,68 @@
+// Content-addressed blob store — the registry's storage backend.
+//
+// Blobs (gzipped layer tarballs, manifest/config JSON) are keyed by the
+// SHA-256 of their bytes, exactly like Docker's registry storage. Identical
+// content stored twice occupies one physical copy; the store tracks logical
+// vs physical bytes, which is the mechanism behind the paper's layer-sharing
+// estimate ("without layer sharing the dataset would grow from 47 TB to
+// 85 TB", §V-A).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "dockmine/digest/digest.h"
+#include "dockmine/util/error.h"
+
+namespace dockmine::blob {
+
+using BlobPtr = std::shared_ptr<const std::string>;
+
+struct StoreStats {
+  std::uint64_t puts = 0;          ///< total put() calls
+  std::uint64_t dedup_hits = 0;    ///< puts whose content already existed
+  std::uint64_t physical_bytes = 0;
+  std::uint64_t logical_bytes = 0; ///< sum of sizes over all puts
+  std::uint64_t unique_blobs = 0;
+
+  double dedup_ratio() const noexcept {
+    return physical_bytes == 0
+               ? 1.0
+               : static_cast<double>(logical_bytes) /
+                     static_cast<double>(physical_bytes);
+  }
+};
+
+/// Thread-safe in-memory store. Reads return shared ownership so callers can
+/// hold blob bytes without lifetime coupling to the store.
+class Store {
+ public:
+  Store() = default;
+
+  /// Hash `content` and store it. Returns the digest.
+  digest::Digest put(std::string content);
+
+  /// Store under a caller-supplied digest. Used in metadata mode, where the
+  /// digest comes from the synthetic id space instead of hashing bytes.
+  /// Rejects an insert whose digest already maps to different-sized content.
+  util::Status put_with_digest(const digest::Digest& digest,
+                               std::string content);
+
+  util::Result<BlobPtr> get(const digest::Digest& digest) const;
+  bool contains(const digest::Digest& digest) const;
+
+  /// Size of a stored blob without fetching it.
+  util::Result<std::uint64_t> stat(const digest::Digest& digest) const;
+
+  StoreStats stats() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<digest::Digest, BlobPtr, digest::DigestHash> blobs_;
+  StoreStats stats_;
+};
+
+}  // namespace dockmine::blob

@@ -1,0 +1,181 @@
+#include "dockmine/compress/gzip.h"
+
+#include <zlib.h>
+
+#include <cstring>
+
+#include "dockmine/compress/crc32.h"
+
+namespace dockmine::compress {
+
+namespace {
+
+constexpr std::uint8_t kMagic1 = 0x1f;
+constexpr std::uint8_t kMagic2 = 0x8b;
+constexpr std::uint8_t kMethodDeflate = 8;
+constexpr std::uint8_t kFlagHcrc = 0x02;
+constexpr std::uint8_t kFlagExtra = 0x04;
+constexpr std::uint8_t kFlagName = 0x08;
+constexpr std::uint8_t kFlagComment = 0x10;
+
+void put_le32(std::string& out, std::uint32_t v) {
+  out += static_cast<char>(v & 0xff);
+  out += static_cast<char>((v >> 8) & 0xff);
+  out += static_cast<char>((v >> 16) & 0xff);
+  out += static_cast<char>((v >> 24) & 0xff);
+}
+
+std::uint32_t get_le32(const unsigned char* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+/// Raw DEFLATE (no zlib/gzip wrapper) of `raw`.
+util::Result<std::string> deflate_raw(std::string_view raw, int level) {
+  z_stream zs{};
+  if (deflateInit2(&zs, level, Z_DEFLATED, /*windowBits=*/-15,
+                   /*memLevel=*/8, Z_DEFAULT_STRATEGY) != Z_OK) {
+    return util::internal("deflateInit2 failed");
+  }
+  std::string out;
+  out.resize(deflateBound(&zs, static_cast<uLong>(raw.size())));
+  zs.next_in = reinterpret_cast<Bytef*>(const_cast<char*>(raw.data()));
+  zs.avail_in = static_cast<uInt>(raw.size());
+  zs.next_out = reinterpret_cast<Bytef*>(out.data());
+  zs.avail_out = static_cast<uInt>(out.size());
+  const int rc = deflate(&zs, Z_FINISH);
+  const std::size_t produced = out.size() - zs.avail_out;
+  deflateEnd(&zs);
+  if (rc != Z_STREAM_END) {
+    return util::internal("deflate did not finish (rc=" + std::to_string(rc) + ")");
+  }
+  out.resize(produced);
+  return out;
+}
+
+/// Raw INFLATE with an output cap.
+util::Result<std::string> inflate_raw(std::string_view body,
+                                      std::uint64_t max_output) {
+  z_stream zs{};
+  if (inflateInit2(&zs, /*windowBits=*/-15) != Z_OK) {
+    return util::internal("inflateInit2 failed");
+  }
+  std::string out;
+  std::string chunk(256 * 1024, '\0');
+  zs.next_in = reinterpret_cast<Bytef*>(const_cast<char*>(body.data()));
+  zs.avail_in = static_cast<uInt>(body.size());
+  int rc = Z_OK;
+  while (rc != Z_STREAM_END) {
+    zs.next_out = reinterpret_cast<Bytef*>(chunk.data());
+    zs.avail_out = static_cast<uInt>(chunk.size());
+    rc = inflate(&zs, Z_NO_FLUSH);
+    if (rc != Z_OK && rc != Z_STREAM_END) {
+      inflateEnd(&zs);
+      return util::corrupt("inflate failed (rc=" + std::to_string(rc) + ")");
+    }
+    out.append(chunk.data(), chunk.size() - zs.avail_out);
+    if (out.size() > max_output) {
+      inflateEnd(&zs);
+      return util::out_of_range("decompressed size exceeds cap");
+    }
+    if (rc == Z_OK && zs.avail_in == 0 && zs.avail_out != 0) {
+      inflateEnd(&zs);
+      return util::corrupt("truncated deflate stream");
+    }
+  }
+  inflateEnd(&zs);
+  return out;
+}
+
+}  // namespace
+
+util::Result<std::string> gzip_compress(std::string_view raw, int level) {
+  if (level < 1 || level > 9) {
+    return util::invalid_argument("gzip level must be 1..9");
+  }
+  auto body = deflate_raw(raw, level);
+  if (!body.ok()) return std::move(body).error();
+
+  std::string out;
+  out.reserve(body.value().size() + 18);
+  out += static_cast<char>(kMagic1);
+  out += static_cast<char>(kMagic2);
+  out += static_cast<char>(kMethodDeflate);
+  out += '\0';                      // FLG: no optional fields
+  put_le32(out, 0);                 // MTIME: 0 => no timestamp (reproducible)
+  out += static_cast<char>(level == 9 ? 2 : level == 1 ? 4 : 0);  // XFL
+  out += static_cast<char>(0xff);   // OS: unknown
+  out += body.value();
+  put_le32(out, Crc32::of(raw));
+  put_le32(out, static_cast<std::uint32_t>(raw.size() & 0xffffffffULL));
+  return out;
+}
+
+util::Result<GzipInfo> gzip_probe(std::string_view member) {
+  const auto* p = reinterpret_cast<const unsigned char*>(member.data());
+  if (member.size() < 18) return util::corrupt("gzip member too short");
+  if (p[0] != kMagic1 || p[1] != kMagic2) {
+    return util::corrupt("bad gzip magic");
+  }
+  GzipInfo info;
+  info.compression_method = p[2];
+  if (info.compression_method != kMethodDeflate) {
+    return util::corrupt("unsupported gzip compression method " +
+                         std::to_string(p[2]));
+  }
+  const std::uint8_t flags = p[3];
+  info.mtime = get_le32(p + 4);
+  std::size_t pos = 10;
+  if (flags & kFlagExtra) {
+    if (pos + 2 > member.size()) return util::corrupt("truncated FEXTRA");
+    const std::size_t xlen = p[pos] | (static_cast<std::size_t>(p[pos + 1]) << 8);
+    pos += 2 + xlen;
+    if (pos > member.size()) return util::corrupt("truncated FEXTRA data");
+  }
+  if (flags & kFlagName) {
+    while (pos < member.size() && p[pos] != 0) {
+      info.original_name += static_cast<char>(p[pos++]);
+    }
+    if (pos >= member.size()) return util::corrupt("unterminated FNAME");
+    ++pos;
+  }
+  if (flags & kFlagComment) {
+    while (pos < member.size() && p[pos] != 0) ++pos;
+    if (pos >= member.size()) return util::corrupt("unterminated FCOMMENT");
+    ++pos;
+  }
+  if (flags & kFlagHcrc) {
+    pos += 2;
+    if (pos > member.size()) return util::corrupt("truncated FHCRC");
+  }
+  info.header_size = pos;
+  return info;
+}
+
+util::Result<std::string> gzip_decompress(std::string_view member,
+                                          std::uint64_t max_output) {
+  auto info = gzip_probe(member);
+  if (!info.ok()) return std::move(info).error();
+  const std::size_t header = info.value().header_size;
+  if (member.size() < header + 8) return util::corrupt("gzip member too short");
+  const std::string_view body =
+      member.substr(header, member.size() - header - 8);
+  auto raw = inflate_raw(body, max_output);
+  if (!raw.ok()) return raw;
+
+  const auto* trailer = reinterpret_cast<const unsigned char*>(
+      member.data() + member.size() - 8);
+  const std::uint32_t want_crc = get_le32(trailer);
+  const std::uint32_t want_isize = get_le32(trailer + 4);
+  if (Crc32::of(raw.value()) != want_crc) {
+    return util::corrupt("gzip CRC mismatch");
+  }
+  if (static_cast<std::uint32_t>(raw.value().size() & 0xffffffffULL) != want_isize) {
+    return util::corrupt("gzip ISIZE mismatch");
+  }
+  return raw;
+}
+
+}  // namespace dockmine::compress

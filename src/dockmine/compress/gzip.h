@@ -1,0 +1,38 @@
+// Gzip (RFC 1952) member framing over zlib's raw DEFLATE.
+//
+// Docker layers travel as "gzip compressed tar archives" (paper §III-B).
+// We produce and parse the gzip container ourselves — 10-byte header,
+// optional FEXTRA/FNAME/FCOMMENT/FHCRC fields, CRC-32 + ISIZE trailer —
+// and delegate only the DEFLATE bitstream to zlib (windowBits = -15).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "dockmine/util/error.h"
+
+namespace dockmine::compress {
+
+/// zlib compression level 1..9 (6 is the gzip default Docker uses).
+inline constexpr int kDefaultLevel = 6;
+
+/// Compress `raw` into one complete gzip member.
+util::Result<std::string> gzip_compress(std::string_view raw,
+                                        int level = kDefaultLevel);
+
+/// Decompress one complete gzip member; verifies CRC-32 and ISIZE.
+/// `max_output` caps the decompressed size (decompression-bomb guard).
+util::Result<std::string> gzip_decompress(
+    std::string_view member, std::uint64_t max_output = 1ULL << 34);
+
+/// Header fields of a gzip member without decompressing the body.
+struct GzipInfo {
+  std::uint8_t compression_method = 8;
+  std::uint32_t mtime = 0;
+  std::string original_name;  // FNAME field if present
+  std::size_t header_size = 0;
+};
+util::Result<GzipInfo> gzip_probe(std::string_view member);
+
+}  // namespace dockmine::compress

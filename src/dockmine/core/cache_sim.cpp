@@ -1,0 +1,59 @@
+#include "dockmine/core/cache_sim.h"
+
+#include "dockmine/stats/distributions.h"
+
+namespace dockmine::core {
+
+bool LruCache::access(std::uint64_t key, std::uint64_t size) {
+  const auto it = map_.find(key);
+  if (it != map_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return true;
+  }
+  if (size > capacity_) return false;  // uncacheable
+  while (used_ + size > capacity_ && !lru_.empty()) {
+    const Node& victim = lru_.back();
+    used_ -= victim.size;
+    map_.erase(victim.key);
+    lru_.pop_back();
+  }
+  lru_.push_front(Node{key, size});
+  map_.emplace(key, lru_.begin());
+  used_ += size;
+  return false;
+}
+
+CacheSimResult simulate_layer_cache(const std::vector<CachedImage>& images,
+                                    std::uint64_t capacity_bytes,
+                                    std::uint64_t pulls, std::uint64_t seed) {
+  CacheSimResult result;
+  if (images.empty()) return result;
+
+  std::vector<double> weights;
+  weights.reserve(images.size());
+  for (const CachedImage& image : images) {
+    weights.push_back(image.popularity_weight <= 0.0
+                          ? 1e-9
+                          : image.popularity_weight);
+  }
+  const stats::AliasTable picker(weights);
+  LruCache cache(capacity_bytes);
+  util::Rng rng(seed);
+
+  for (std::uint64_t p = 0; p < pulls; ++p) {
+    const CachedImage& image = images[picker.sample(rng)];
+    ++result.pulls;
+    for (std::size_t i = 0; i < image.layer_keys.size(); ++i) {
+      const std::uint64_t size = image.layer_sizes[i];
+      ++result.layer_requests;
+      result.bytes_requested += size;
+      if (cache.access(image.layer_keys[i], size)) {
+        ++result.layer_hits;
+        result.bytes_hit += size;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace dockmine::core

@@ -1,0 +1,79 @@
+// Registry-side layer cache simulation.
+//
+// The paper's popularity analysis concludes that "Docker Hub is a good fit
+// for caching popular repositories or images to reduce pull latencies"
+// (§IV-B a). This simulator quantifies that: pulls arrive with the
+// popularity skew of Fig. 8, each pull requests the image's layers, and an
+// LRU cache of configurable byte capacity serves them. Used by
+// bench_abl_cache and the popularity_cache_sim example.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "dockmine/util/rng.h"
+
+namespace dockmine::core {
+
+/// Byte-capacity LRU over 64-bit keys.
+class LruCache {
+ public:
+  explicit LruCache(std::uint64_t capacity_bytes)
+      : capacity_(capacity_bytes) {}
+
+  /// Touch `key` of `size` bytes; returns true on hit. On miss the entry is
+  /// admitted (evicting LRU entries as needed). Objects larger than the
+  /// whole cache are never admitted.
+  bool access(std::uint64_t key, std::uint64_t size);
+
+  std::uint64_t used_bytes() const noexcept { return used_; }
+  std::size_t entries() const noexcept { return map_.size(); }
+
+ private:
+  struct Node {
+    std::uint64_t key;
+    std::uint64_t size;
+  };
+  std::uint64_t capacity_;
+  std::uint64_t used_ = 0;
+  std::list<Node> lru_;  // front = most recent
+  std::unordered_map<std::uint64_t, std::list<Node>::iterator> map_;
+};
+
+/// One image as the cache sees it: its layers (key + compressed size).
+struct CachedImage {
+  std::vector<std::uint64_t> layer_keys;
+  std::vector<std::uint64_t> layer_sizes;
+  double popularity_weight = 1.0;  ///< pull-count share
+};
+
+struct CacheSimResult {
+  std::uint64_t pulls = 0;
+  std::uint64_t layer_requests = 0;
+  std::uint64_t layer_hits = 0;
+  std::uint64_t bytes_requested = 0;
+  std::uint64_t bytes_hit = 0;
+
+  double hit_ratio() const noexcept {
+    return layer_requests == 0
+               ? 0.0
+               : static_cast<double>(layer_hits) /
+                     static_cast<double>(layer_requests);
+  }
+  double byte_hit_ratio() const noexcept {
+    return bytes_requested == 0
+               ? 0.0
+               : static_cast<double>(bytes_hit) /
+                     static_cast<double>(bytes_requested);
+  }
+};
+
+/// Run `pulls` popularity-weighted image pulls against an LRU layer cache
+/// of `capacity_bytes`.
+CacheSimResult simulate_layer_cache(const std::vector<CachedImage>& images,
+                                    std::uint64_t capacity_bytes,
+                                    std::uint64_t pulls, std::uint64_t seed);
+
+}  // namespace dockmine::core

@@ -1,0 +1,184 @@
+#include "dockmine/core/dataset.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <latch>
+#include <unordered_map>
+
+#include "dockmine/util/thread_pool.h"
+
+#include "dockmine/util/stopwatch.h"
+
+namespace dockmine::core {
+
+DatasetStats DatasetStats::compute(const synth::HubModel& hub,
+                                   DatasetOptions options) {
+  util::Stopwatch clock;
+  DatasetStats out;
+  const auto& unique_layers = hub.unique_layers();
+  out.unique_layer_count = unique_layers.size();
+
+  // Dense index per layer id.
+  std::unordered_map<synth::LayerId, std::uint32_t> dense;
+  dense.reserve(unique_layers.size() * 2);
+  for (std::size_t i = 0; i < unique_layers.size(); ++i) {
+    dense.emplace(unique_layers[i], static_cast<std::uint32_t>(i));
+  }
+
+  // ---- pass 1: layers (aggregates + dedup shards) ----
+  // Each worker streams a contiguous slice of the unique layers: layer
+  // aggregates land in a pre-sized vector (disjoint writes), dedup
+  // observations in a per-worker shard merged below. The result is
+  // byte-identical to the serial pass (layer streams are deterministic
+  // and the Ecdfs only see multisets).
+  out.layer_aggs_.resize(unique_layers.size());
+  const auto& layer_model = hub.layers();
+  const auto& file_model = hub.files();
+
+  const std::size_t shard_count =
+      options.workers > 1
+          ? std::min<std::size_t>(options.workers, unique_layers.size())
+          : 1;
+  std::vector<std::unique_ptr<dedup::FileDedupIndex>> shards;
+  if (options.file_dedup) {
+    for (std::size_t w = 0; w < shard_count; ++w) {
+      shards.push_back(std::make_unique<dedup::FileDedupIndex>(1 << 18));
+    }
+  }
+
+  auto process_slice = [&](std::size_t begin, std::size_t end,
+                           dedup::FileDedupIndex* index) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const synth::LayerSpec spec = hub.layer_spec(unique_layers[i]);
+      LayerAgg agg;
+      agg.file_count = spec.file_count;
+      agg.dir_count = spec.dir_count;
+      agg.max_depth = spec.max_depth;
+      agg.cls = synth::LayerModel::kGzipBaseOverhead;
+      layer_model.for_each_file(spec, [&](const synth::FileInstance& inst) {
+        agg.fls += inst.size;
+        const double ratio = file_model.gzip_ratio_of(inst.content);
+        agg.cls += synth::LayerModel::kPerFileOverhead +
+                   static_cast<std::uint64_t>(static_cast<double>(inst.size) /
+                                              (ratio < 1.0 ? 1.0 : ratio));
+        if (index != nullptr) {
+          index->add(inst.content, inst.size, inst.type,
+                     static_cast<std::uint32_t>(i));
+        }
+      });
+      out.layer_aggs_[i] = agg;
+    }
+  };
+
+  if (shard_count == 1) {
+    process_slice(0, unique_layers.size(),
+                  options.file_dedup ? shards[0].get() : nullptr);
+  } else {
+    util::ThreadPool pool(shard_count);
+    const std::size_t per_shard =
+        (unique_layers.size() + shard_count - 1) / shard_count;
+    std::latch done(static_cast<std::ptrdiff_t>(shard_count));
+    for (std::size_t w = 0; w < shard_count; ++w) {
+      const std::size_t begin = w * per_shard;
+      const std::size_t end =
+          std::min(unique_layers.size(), begin + per_shard);
+      pool.submit([&, w, begin, end] {
+        process_slice(begin, end,
+                      options.file_dedup ? shards[w].get() : nullptr);
+        done.count_down();
+      });
+    }
+    done.wait();
+    pool.shutdown();
+  }
+
+  if (options.file_dedup) {
+    out.file_index = std::move(shards[0]);
+    for (std::size_t w = 1; w < shards.size(); ++w) {
+      out.file_index->merge(*shards[w]);
+    }
+  }
+
+  for (std::size_t i = 0; i < unique_layers.size(); ++i) {
+    const LayerAgg& agg = out.layer_aggs_[i];
+    out.layer_cls.add(static_cast<double>(agg.cls));
+    out.layer_fls.add(static_cast<double>(agg.fls));
+    if (agg.fls > 0) {
+      out.layer_ratio.add(static_cast<double>(agg.fls) /
+                          static_cast<double>(agg.cls));
+    }
+    out.layer_files.add(static_cast<double>(agg.file_count));
+    out.layer_dirs.add(static_cast<double>(agg.dir_count));
+    out.layer_depth.add(static_cast<double>(agg.max_depth));
+    out.total_files += agg.file_count;
+    out.total_fls_bytes += agg.fls;
+    out.total_cls_bytes += agg.cls;
+  }
+
+  // ---- pass 2: images, sharing, popularity ----
+  std::vector<dedup::LayerSharingAnalysis::LayerUse> uses;
+  std::vector<std::vector<std::uint32_t>> image_layer_indices;
+  const bool want_cross = options.cross_dup && out.file_index != nullptr;
+  for (const synth::RepoSpec& repo : hub.repositories()) {
+    out.repo_pulls.add(static_cast<double>(repo.pull_count));
+    if (repo.image_index < 0 || repo.requires_auth) continue;
+    const synth::ImageSpec& image =
+        hub.images()[static_cast<std::size_t>(repo.image_index)];
+    std::uint64_t cis = 0, fis = 0, files = 0, dirs = 0;
+    uses.clear();
+    std::vector<std::uint32_t> indices;
+    indices.reserve(image.layers.size());
+    for (synth::LayerId id : image.layers) {
+      const std::uint32_t idx = dense.at(id);
+      const LayerAgg& agg = out.layer_aggs_[idx];
+      cis += agg.cls;
+      fis += agg.fls;
+      files += agg.file_count;
+      dirs += agg.dir_count;
+      uses.push_back({id, agg.cls});
+      indices.push_back(idx);
+    }
+    out.sharing.add_image(uses);
+    if (want_cross) image_layer_indices.push_back(std::move(indices));
+    out.image_cis.add(static_cast<double>(cis));
+    out.image_fis.add(static_cast<double>(fis));
+    out.image_layers.add(static_cast<double>(image.layers.size()));
+    out.image_files.add(static_cast<double>(files));
+    out.image_dirs.add(static_cast<double>(dirs));
+    ++out.image_count;
+  }
+
+  // ---- pass 3 (optional): cross-layer/image duplicates ----
+  if (want_cross) {
+    std::vector<std::uint32_t> refcounts(unique_layers.size(), 0);
+    for (const auto& indices : image_layer_indices) {
+      for (std::uint32_t idx : indices) ++refcounts[idx];
+    }
+    dedup::CrossDupAnalysis cross(*out.file_index, std::move(refcounts));
+    for (std::size_t i = 0; i < unique_layers.size(); ++i) {
+      const synth::LayerSpec spec = hub.layer_spec(unique_layers[i]);
+      layer_model.for_each_file(spec, [&](const synth::FileInstance& inst) {
+        cross.observe(static_cast<std::uint32_t>(i), inst.content);
+      });
+    }
+    out.cross_layer_dup = cross.cross_layer_cdf();
+    out.cross_image_dup = cross.cross_image_cdf(image_layer_indices);
+  }
+
+  out.compute_seconds = clock.seconds();
+  return out;
+}
+
+synth::Scale scale_from_env(synth::Scale fallback) {
+  if (const char* repos = std::getenv("DOCKMINE_REPOS")) {
+    const long long value = std::atoll(repos);
+    if (value > 0) fallback.repositories = static_cast<std::uint64_t>(value);
+  }
+  if (const char* seed = std::getenv("DOCKMINE_SEED")) {
+    const long long value = std::atoll(seed);
+    if (value > 0) fallback.seed = static_cast<std::uint64_t>(value);
+  }
+  return fallback;
+}
+
+}  // namespace dockmine::core

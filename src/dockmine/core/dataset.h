@@ -1,0 +1,99 @@
+// DatasetStats: every statistic the paper's evaluation reports, computed
+// from a HubModel in streaming passes (metadata mode). This is the engine
+// behind the Figs. 3-29 benches.
+//
+// Pass structure:
+//   1. one pass over unique layers, streaming each layer's files once:
+//      layer aggregates (FLS/CLS/counts) + the file dedup index
+//   2. image/popularity aggregation over the per-layer aggregates
+//   3. (optional) a second file pass for cross-layer/image duplicates
+//
+// The passes are deterministic replays of the generator's per-layer
+// streams, so no per-file state is ever stored beyond the dedup index.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "dockmine/dedup/cross_dup.h"
+#include "dockmine/dedup/file_dedup.h"
+#include "dockmine/dedup/layer_sharing.h"
+#include "dockmine/stats/cdf.h"
+#include "dockmine/synth/generator.h"
+
+namespace dockmine::core {
+
+struct DatasetOptions {
+  bool file_dedup = true;   ///< build the content index (Figs. 14-29)
+  bool cross_dup = false;   ///< extra pass for Fig. 26
+  /// Worker threads for the layer pass (0 = serial). Each worker streams a
+  /// contiguous slice of the unique layers into its own dedup shard; the
+  /// shards merge afterwards. Results are identical to the serial pass.
+  std::size_t workers = 0;
+};
+
+/// Cached per-unique-layer aggregates (dense, indexed like
+/// HubModel::unique_layers()).
+struct LayerAgg {
+  std::uint64_t fls = 0;
+  std::uint64_t cls = 0;
+  std::uint64_t file_count = 0;
+  std::uint64_t dir_count = 1;
+  std::uint32_t max_depth = 1;
+};
+
+class DatasetStats {
+ public:
+  static DatasetStats compute(const synth::HubModel& hub,
+                              DatasetOptions options = {});
+
+  // ---- layer-level distributions (Figs. 3-7) ----
+  stats::Ecdf layer_cls;
+  stats::Ecdf layer_fls;
+  stats::Ecdf layer_ratio;   ///< FLS/CLS, non-empty layers only
+  stats::Ecdf layer_files;
+  stats::Ecdf layer_dirs;
+  stats::Ecdf layer_depth;
+
+  // ---- image-level distributions (Figs. 9-12, 10) ----
+  stats::Ecdf image_cis;
+  stats::Ecdf image_fis;
+  stats::Ecdf image_layers;
+  stats::Ecdf image_files;
+  stats::Ecdf image_dirs;
+
+  // ---- popularity (Fig. 8), over every crawled repository ----
+  stats::Ecdf repo_pulls;
+
+  // ---- sharing (Fig. 23, §V-A) ----
+  dedup::LayerSharingAnalysis sharing;
+
+  // ---- file-level dedup (Figs. 24-29) ----
+  std::unique_ptr<dedup::FileDedupIndex> file_index;  // null if disabled
+
+  // ---- cross duplicates (Fig. 26) ----
+  stats::Ecdf cross_layer_dup;
+  stats::Ecdf cross_image_dup;
+
+  // ---- bookkeeping ----
+  std::uint64_t total_files = 0;
+  std::uint64_t total_fls_bytes = 0;
+  std::uint64_t total_cls_bytes = 0;
+  std::uint64_t unique_layer_count = 0;
+  std::uint64_t image_count = 0;
+  double compute_seconds = 0.0;
+
+  const std::vector<LayerAgg>& layer_aggregates() const noexcept {
+    return layer_aggs_;
+  }
+
+ private:
+  std::vector<LayerAgg> layer_aggs_;
+};
+
+/// Scale selection for bench binaries: DOCKMINE_REPOS / DOCKMINE_SEED
+/// environment variables override the default.
+synth::Scale scale_from_env(synth::Scale fallback);
+
+}  // namespace dockmine::core

@@ -1,0 +1,84 @@
+#include "dockmine/core/pipeline.h"
+
+#include <unordered_map>
+
+#include "dockmine/analyzer/pipeline.h"
+#include "dockmine/registry/manifest.h"
+
+namespace dockmine::core {
+
+util::Result<PipelineResult> run_end_to_end(const PipelineOptions& options) {
+  PipelineResult result;
+
+  // --- build & publish the snapshot ---
+  synth::HubModel hub(options.calibration, options.scale);
+  registry::Service service;
+  synth::Materializer materializer(hub, options.gzip_level);
+  auto pushed = materializer.populate(service);
+  if (!pushed.ok()) return std::move(pushed).error();
+  result.manifests_pushed = pushed.value();
+
+  // --- crawl ---
+  registry::SearchIndex index(service,
+                              synth::Calibration::kSearchDuplicateFactor,
+                              options.scale.seed);
+  crawler::Crawler crawler(index);
+  result.crawl = crawler.crawl_all();
+
+  // --- download (manifests kept, layer blobs cached by the downloader) ---
+  downloader::Options dl_options;
+  dl_options.workers = options.download_workers;
+  downloader::Downloader downloader(service, dl_options);
+  std::vector<registry::Manifest> manifests;
+  result.download = downloader.run(
+      result.crawl.repositories, [&](downloader::DownloadedImage&& image) {
+        manifests.push_back(std::move(image.manifest));
+      });
+
+  // --- analyze + dedup ---
+  if (options.run_file_dedup) {
+    result.file_index = std::make_unique<dedup::FileDedupIndex>(1 << 16);
+  }
+  std::unordered_map<std::uint64_t, std::uint32_t> layer_dense;
+
+  analyzer::AnalysisPipeline::Options an_options;
+  an_options.workers = options.analyze_workers;
+  analyzer::AnalysisPipeline analysis(an_options);
+
+  analyzer::AnalysisPipeline::Sink sink;
+  if (result.file_index) {
+    sink.on_file = [&](const digest::Digest& layer_digest,
+                       const analyzer::FileRecord& record) {
+      auto [it, inserted] = layer_dense.emplace(
+          layer_digest.key64(),
+          static_cast<std::uint32_t>(layer_dense.size()));
+      result.file_index->add(record.digest, record.size, record.type,
+                             it->second);
+    };
+  }
+  sink.on_image = [&](const analyzer::ImageProfile& profile) {
+    result.images.push_back(profile);
+  };
+
+  auto store = analysis.run(
+      manifests,
+      [&](const digest::Digest& digest) { return service.get_blob(digest); },
+      sink);
+  if (!store.ok()) return std::move(store).error();
+  result.layer_profiles = std::move(store).value();
+
+  // --- layer sharing over the downloaded manifests ---
+  std::vector<dedup::LayerSharingAnalysis::LayerUse> uses;
+  for (const auto& manifest : manifests) {
+    uses.clear();
+    for (const auto& ref : manifest.layers) {
+      uses.push_back({ref.digest.key64(), ref.compressed_size});
+    }
+    result.sharing.add_image(uses);
+  }
+
+  result.service = service.stats();
+  return result;
+}
+
+}  // namespace dockmine::core

@@ -1,0 +1,51 @@
+// End-to-end bytes-mode pipeline: the paper's Fig. 2 as one call.
+//
+//   generate snapshot -> materialize registry (real gzip'd tars)
+//   -> crawl (paginated search, dedup raw hits)
+//   -> download (parallel, unique layers only, 401/404 accounting)
+//   -> analyze (gunzip + untar + classify, parallel)
+//   -> dedup (file index + layer sharing)
+//
+// Used by the integration tests, the quickstart example, and
+// bench_pipeline_end2end.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "dockmine/analyzer/image_analyzer.h"
+#include "dockmine/crawler/crawler.h"
+#include "dockmine/dedup/file_dedup.h"
+#include "dockmine/dedup/layer_sharing.h"
+#include "dockmine/downloader/downloader.h"
+#include "dockmine/registry/service.h"
+#include "dockmine/synth/generator.h"
+#include "dockmine/synth/materialize.h"
+#include "dockmine/util/error.h"
+
+namespace dockmine::core {
+
+struct PipelineOptions {
+  synth::Scale scale = synth::Scale::test();
+  synth::Calibration calibration = synth::Calibration::paper();
+  std::size_t download_workers = 4;
+  std::size_t analyze_workers = 2;
+  int gzip_level = 6;
+  bool run_file_dedup = true;
+};
+
+struct PipelineResult {
+  crawler::CrawlResult crawl;
+  downloader::DownloadStats download;
+  registry::ServiceStats service;
+  std::vector<analyzer::ImageProfile> images;
+  analyzer::ProfileStore layer_profiles;
+  std::unique_ptr<dedup::FileDedupIndex> file_index;
+  dedup::LayerSharingAnalysis sharing;
+  std::uint64_t manifests_pushed = 0;
+};
+
+util::Result<PipelineResult> run_end_to_end(const PipelineOptions& options);
+
+}  // namespace dockmine::core

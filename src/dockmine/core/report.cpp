@@ -1,0 +1,110 @@
+#include "dockmine/core/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <iomanip>
+
+#include "dockmine/util/bytes.h"
+
+namespace dockmine::core {
+
+FigureTable& FigureTable::row(std::string metric, std::string paper,
+                              std::string measured, std::string note) {
+  rows_.push_back(Row{std::move(metric), std::move(paper), std::move(measured),
+                      std::move(note)});
+  return *this;
+}
+
+void FigureTable::print(std::ostream& os) const {
+  os << "\n=== " << figure_id_ << ": " << title_ << " ===\n";
+  std::size_t w_metric = 24, w_paper = 12, w_measured = 12;
+  for (const Row& row : rows_) {
+    w_metric = std::max(w_metric, row.metric.size());
+    w_paper = std::max(w_paper, row.paper.size());
+    w_measured = std::max(w_measured, row.measured.size());
+  }
+  auto pad = [&os](const std::string& text, std::size_t width) {
+    os << text;
+    for (std::size_t i = text.size(); i < width + 2; ++i) os << ' ';
+  };
+  pad("metric", w_metric);
+  pad("paper", w_paper);
+  pad("measured", w_measured);
+  os << "note\n";
+  for (std::size_t i = 0; i < w_metric + w_paper + w_measured + 12; ++i) {
+    os << '-';
+  }
+  os << '\n';
+  for (const Row& row : rows_) {
+    pad(row.metric, w_metric);
+    pad(row.paper, w_paper);
+    pad(row.measured, w_measured);
+    os << row.note << '\n';
+  }
+}
+
+std::string fmt_bytes(double bytes) {
+  if (bytes < 0) bytes = 0;
+  return util::format_bytes(static_cast<std::uint64_t>(std::llround(bytes)));
+}
+
+std::string fmt_count(double count) {
+  if (count < 0) count = 0;
+  if (count < 1e15) {
+    return util::format_count(static_cast<std::uint64_t>(std::llround(count)));
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3g", count);
+  return buf;
+}
+
+std::string fmt_ratio(double ratio, int decimals) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.*fx", decimals, ratio);
+  return buf;
+}
+
+std::string fmt_pct(double fraction, int decimals) {
+  return util::format_percent(fraction, decimals);
+}
+
+void print_cdf(std::ostream& os, const std::string& caption,
+               const stats::Ecdf& cdf, const ValueFormatter& fmt) {
+  os << "  CDF " << caption << " (n=" << cdf.size() << ")\n";
+  if (cdf.empty()) {
+    os << "    <empty>\n";
+    return;
+  }
+  static constexpr double kQuantiles[] = {0.01, 0.10, 0.25, 0.50,
+                                          0.75, 0.90, 0.99};
+  os << "    ";
+  for (double q : kQuantiles) {
+    char head[16];
+    std::snprintf(head, sizeof head, "p%-2d=", static_cast<int>(q * 100));
+    os << head << fmt(cdf.quantile(q)) << "  ";
+  }
+  os << "max=" << fmt(cdf.max()) << '\n';
+}
+
+void print_histogram(std::ostream& os, const std::string& caption,
+                     const stats::LinearHistogram& hist,
+                     const ValueFormatter& fmt) {
+  os << "  Histogram " << caption << " (n=" << hist.total() << ")\n";
+  std::uint64_t peak = 1;
+  for (std::size_t i = 0; i < hist.bucket_count(); ++i) {
+    peak = std::max(peak, hist.bucket(i));
+  }
+  for (std::size_t i = 0; i < hist.bucket_count(); ++i) {
+    const std::uint64_t count = hist.bucket(i);
+    if (count == 0) continue;
+    const int bar = static_cast<int>(40.0 * static_cast<double>(count) /
+                                     static_cast<double>(peak));
+    os << "    [" << fmt(hist.bucket_lo(i)) << ", " << fmt(hist.bucket_hi(i))
+       << ")  " << std::setw(10) << count << "  ";
+    for (int b = 0; b < bar; ++b) os << '#';
+    os << '\n';
+  }
+}
+
+}  // namespace dockmine::core

@@ -1,0 +1,55 @@
+// Report formatting for the bench harness: paper-vs-measured tables and
+// CDF/histogram printers that mirror the paper's figure panels.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "dockmine/stats/cdf.h"
+#include "dockmine/stats/histogram.h"
+
+namespace dockmine::core {
+
+/// A figure-reproduction table: one row per metric the paper reports, with
+/// the paper's value next to ours.
+class FigureTable {
+ public:
+  FigureTable(std::string figure_id, std::string title)
+      : figure_id_(std::move(figure_id)), title_(std::move(title)) {}
+
+  FigureTable& row(std::string metric, std::string paper, std::string measured,
+                   std::string note = "");
+
+  void print(std::ostream& os) const;
+
+ private:
+  struct Row {
+    std::string metric, paper, measured, note;
+  };
+  std::string figure_id_;
+  std::string title_;
+  std::vector<Row> rows_;
+};
+
+// ---- value formatting (matching the paper's units) ----
+std::string fmt_bytes(double bytes);
+std::string fmt_count(double count);
+std::string fmt_ratio(double ratio, int decimals = 2);
+std::string fmt_pct(double fraction, int decimals = 1);
+
+using ValueFormatter = std::function<std::string(double)>;
+
+/// Print a CDF as a quantile table: p1 p10 p25 p50 p75 p90 p99 max.
+/// `fmt` renders each value (fmt_bytes, fmt_count, ...).
+void print_cdf(std::ostream& os, const std::string& caption,
+               const stats::Ecdf& cdf, const ValueFormatter& fmt);
+
+/// Print a histogram panel (counts per bucket) like the paper's (b) panels.
+void print_histogram(std::ostream& os, const std::string& caption,
+                     const stats::LinearHistogram& hist,
+                     const ValueFormatter& fmt);
+
+}  // namespace dockmine::core

@@ -1,0 +1,88 @@
+#include "dockmine/core/trace.h"
+
+#include <algorithm>
+
+#include "dockmine/stats/sampling.h"
+
+namespace dockmine::core {
+
+PullTraceGenerator::PullTraceGenerator(std::vector<double> weights,
+                                       Options options)
+    : base_weights_(std::move(weights)), options_(options) {
+  for (double& w : base_weights_) {
+    if (w <= 0.0) w = 1e-9;
+  }
+  base_picker_ = stats::AliasTable(base_weights_);
+}
+
+void PullTraceGenerator::reshuffle_trend(util::Rng& rng) {
+  // A new small hot set absorbs `drift_fraction` of the pull mass.
+  const std::size_t hot = std::max<std::size_t>(
+      1, base_weights_.size() / 50);
+  trending_.clear();
+  auto picks = stats::sample_indices(base_weights_.size(), hot, rng);
+  for (auto p : picks) trending_.push_back(static_cast<std::uint32_t>(p));
+}
+
+void PullTraceGenerator::generate(
+    double duration_s, const std::function<void(const PullEvent&)>& sink) {
+  util::Rng rng(options_.seed);
+  reshuffle_trend(rng);
+  double now = 0.0;
+  double next_drift = options_.drift_period_s;
+  while (true) {
+    now += rng.exponential(options_.rate_per_s);
+    if (now >= duration_s) return;
+    if (options_.drift_fraction > 0.0 && now >= next_drift) {
+      reshuffle_trend(rng);
+      next_drift += options_.drift_period_s;
+    }
+    PullEvent event;
+    event.time_s = now;
+    if (options_.drift_fraction > 0.0 &&
+        rng.chance(options_.drift_fraction) && !trending_.empty()) {
+      event.image = trending_[rng.uniform(trending_.size())];
+    } else {
+      event.image = static_cast<std::uint32_t>(base_picker_.sample(rng));
+    }
+    sink(event);
+  }
+}
+
+std::vector<PullEvent> PullTraceGenerator::generate(double duration_s) {
+  std::vector<PullEvent> trace;
+  generate(duration_s,
+           [&](const PullEvent& event) { trace.push_back(event); });
+  return trace;
+}
+
+ReplayResult replay_trace(const std::vector<PullEvent>& trace,
+                          const std::vector<CachedImage>& images,
+                          std::uint64_t cache_capacity_bytes,
+                          const registry::CostModel& origin_cost,
+                          double cache_per_mb_ms) {
+  ReplayResult result;
+  LruCache cache(cache_capacity_bytes);
+  for (const PullEvent& event : trace) {
+    if (event.image >= images.size()) continue;
+    const CachedImage& image = images[event.image];
+    ++result.pulls;
+    double latency_ms = origin_cost.base_ms;
+    for (std::size_t i = 0; i < image.layer_keys.size(); ++i) {
+      const std::uint64_t size = image.layer_sizes[i];
+      ++result.layer_requests;
+      result.served_bytes += size;
+      if (cache.access(image.layer_keys[i], size)) {
+        ++result.layer_hits;
+        latency_ms += cache_per_mb_ms * static_cast<double>(size) / 1e6;
+      } else {
+        result.origin_bytes += size;
+        latency_ms += origin_cost.transfer_ms(size);
+      }
+    }
+    result.pull_latency_ms.add(latency_ms);
+  }
+  return result;
+}
+
+}  // namespace dockmine::core

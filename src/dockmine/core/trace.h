@@ -1,0 +1,89 @@
+// Pull-trace generation and replay.
+//
+// The paper motivates caching from a static popularity snapshot (Fig. 8);
+// production registry studies (its refs [28], [29]) work from pull traces.
+// This module bridges the two: it synthesizes a pull trace whose marginal
+// distribution is the Fig. 8 popularity — Poisson arrivals, optional
+// popularity drift ("trending" images) — and replays it against a cache +
+// cost model to produce per-pull latency distributions.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "dockmine/core/cache_sim.h"
+#include "dockmine/registry/service.h"
+#include "dockmine/stats/cdf.h"
+#include "dockmine/stats/distributions.h"
+#include "dockmine/util/rng.h"
+
+namespace dockmine::core {
+
+struct PullEvent {
+  double time_s = 0.0;
+  std::uint32_t image = 0;
+};
+
+class PullTraceGenerator {
+ public:
+  struct Options {
+    double rate_per_s = 10.0;      ///< mean arrival rate (Poisson)
+    /// Popularity drift: every `drift_period_s`, this fraction of the
+    /// probability mass moves to a freshly "trending" random image subset.
+    double drift_fraction = 0.0;
+    double drift_period_s = 3600.0;
+    std::uint64_t seed = 20170530;
+  };
+
+  /// `weights[i]` is image i's long-run pull share (e.g. pull counts).
+  PullTraceGenerator(std::vector<double> weights, Options options);
+
+  /// Generate events until `duration_s`; calls `sink` in time order.
+  void generate(double duration_s,
+                const std::function<void(const PullEvent&)>& sink);
+
+  std::vector<PullEvent> generate(double duration_s);
+
+ private:
+  void reshuffle_trend(util::Rng& rng);
+
+  std::vector<double> base_weights_;
+  Options options_;
+  stats::AliasTable base_picker_;
+  std::vector<std::uint32_t> trending_;  // current hot set
+};
+
+/// Replay outcome: latency distribution and origin offload.
+struct ReplayResult {
+  stats::Ecdf pull_latency_ms;
+  std::uint64_t pulls = 0;
+  std::uint64_t layer_requests = 0;
+  std::uint64_t layer_hits = 0;
+  std::uint64_t origin_bytes = 0;   ///< bytes fetched from the origin
+  std::uint64_t served_bytes = 0;   ///< total bytes delivered to clients
+
+  double hit_ratio() const noexcept {
+    return layer_requests == 0
+               ? 0.0
+               : static_cast<double>(layer_hits) /
+                     static_cast<double>(layer_requests);
+  }
+  double origin_offload() const noexcept {
+    return served_bytes == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(origin_bytes) /
+                           static_cast<double>(served_bytes);
+  }
+};
+
+/// Replay `trace` against an LRU layer cache in front of an origin with the
+/// given cost model. Cache hits cost `cache_per_mb_ms`; misses pay the
+/// origin's transfer model and admit the layer.
+ReplayResult replay_trace(const std::vector<PullEvent>& trace,
+                          const std::vector<CachedImage>& images,
+                          std::uint64_t cache_capacity_bytes,
+                          const registry::CostModel& origin_cost,
+                          double cache_per_mb_ms = 1.0);
+
+}  // namespace dockmine::core

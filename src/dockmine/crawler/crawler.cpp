@@ -1,0 +1,43 @@
+#include "dockmine/crawler/crawler.h"
+
+#include <unordered_set>
+
+namespace dockmine::crawler {
+
+void Crawler::crawl_into(const std::string& query, bool officials_only,
+                         CrawlResult& result) const {
+  std::unordered_set<std::string> seen(result.repositories.begin(),
+                                       result.repositories.end());
+  for (std::uint64_t page_no = 0;; ++page_no) {
+    const registry::SearchPage page =
+        index_.page(query, page_no, page_size_);
+    ++result.pages_fetched;
+    for (const registry::SearchHit& hit : page.hits) {
+      if (officials_only && hit.repository.find('/') != std::string::npos) {
+        continue;
+      }
+      ++result.raw_hits;
+      if (seen.insert(hit.repository).second) {
+        result.repositories.push_back(hit.repository);
+      } else {
+        ++result.duplicates_removed;
+      }
+    }
+    if (!page.has_next) break;
+  }
+}
+
+CrawlResult Crawler::crawl(const std::string& query) const {
+  CrawlResult result;
+  crawl_into(query, /*officials_only=*/false, result);
+  return result;
+}
+
+CrawlResult Crawler::crawl_all() const {
+  CrawlResult result;
+  crawl_into("/", /*officials_only=*/false, result);
+  crawl_into("", /*officials_only=*/true, result);
+  return result;
+}
+
+}  // namespace dockmine::crawler

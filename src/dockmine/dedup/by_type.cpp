@@ -1,0 +1,52 @@
+#include "dockmine/dedup/by_type.h"
+
+namespace dockmine::dedup {
+
+TypeBreakdown::TypeBreakdown(const FileDedupIndex& index) {
+  index.for_each([&](std::uint64_t, const ContentEntry& entry) {
+    TypeStats& type_stats = types_[static_cast<std::size_t>(entry.type)];
+    type_stats.count += entry.count;
+    type_stats.bytes += entry.count * entry.size;
+    type_stats.unique_count += 1;
+    type_stats.unique_bytes += entry.size;
+  });
+  for (std::size_t t = 0; t < types_.size(); ++t) {
+    const auto group = filetype::group_of(static_cast<filetype::Type>(t));
+    groups_[static_cast<std::size_t>(group)].merge(types_[t]);
+    overall_.merge(types_[t]);
+  }
+}
+
+double TypeBreakdown::count_share(filetype::Group group) const {
+  return overall_.count == 0
+             ? 0.0
+             : static_cast<double>(by_group(group).count) /
+                   static_cast<double>(overall_.count);
+}
+
+double TypeBreakdown::capacity_share(filetype::Group group) const {
+  return overall_.bytes == 0
+             ? 0.0
+             : static_cast<double>(by_group(group).bytes) /
+                   static_cast<double>(overall_.bytes);
+}
+
+double TypeBreakdown::count_share(filetype::Type type) const {
+  const auto group = filetype::group_of(type);
+  const auto& group_stats = by_group(group);
+  return group_stats.count == 0
+             ? 0.0
+             : static_cast<double>(by_type(type).count) /
+                   static_cast<double>(group_stats.count);
+}
+
+double TypeBreakdown::capacity_share(filetype::Type type) const {
+  const auto group = filetype::group_of(type);
+  const auto& group_stats = by_group(group);
+  return group_stats.bytes == 0
+             ? 0.0
+             : static_cast<double>(by_type(type).bytes) /
+                   static_cast<double>(group_stats.bytes);
+}
+
+}  // namespace dockmine::dedup

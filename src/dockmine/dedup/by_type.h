@@ -1,0 +1,70 @@
+// Type-resolved statistics derived from the dedup index:
+//  * the file-type characterization of §IV-C (Figs. 14-22: count/capacity
+//    shares and average sizes per group and per type), and
+//  * the per-type dedup ratios of §V-E (Figs. 27-29).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "dockmine/dedup/file_dedup.h"
+#include "dockmine/filetype/taxonomy.h"
+
+namespace dockmine::dedup {
+
+struct TypeStats {
+  std::uint64_t count = 0;        ///< file instances
+  std::uint64_t bytes = 0;
+  std::uint64_t unique_count = 0; ///< distinct contents
+  std::uint64_t unique_bytes = 0;
+
+  double avg_size() const noexcept {
+    return count == 0 ? 0.0
+                      : static_cast<double>(bytes) / static_cast<double>(count);
+  }
+  /// Fig. 27/28/29 y-axis: fraction of this type's capacity removed.
+  double capacity_removed() const noexcept {
+    return bytes == 0 ? 0.0
+                      : 1.0 - static_cast<double>(unique_bytes) /
+                                  static_cast<double>(bytes);
+  }
+  double count_removed() const noexcept {
+    return count == 0 ? 0.0
+                      : 1.0 - static_cast<double>(unique_count) /
+                                  static_cast<double>(count);
+  }
+
+  void merge(const TypeStats& other) noexcept {
+    count += other.count;
+    bytes += other.bytes;
+    unique_count += other.unique_count;
+    unique_bytes += other.unique_bytes;
+  }
+};
+
+/// Aggregate the dedup index by level-3 type and level-2 group.
+class TypeBreakdown {
+ public:
+  explicit TypeBreakdown(const FileDedupIndex& index);
+
+  const TypeStats& by_type(filetype::Type type) const {
+    return types_[static_cast<std::size_t>(type)];
+  }
+  const TypeStats& by_group(filetype::Group group) const {
+    return groups_[static_cast<std::size_t>(group)];
+  }
+  const TypeStats& overall() const noexcept { return overall_; }
+
+  /// Count / capacity shares for the Fig. 14 panels.
+  double count_share(filetype::Group group) const;
+  double capacity_share(filetype::Group group) const;
+  double count_share(filetype::Type type) const;
+  double capacity_share(filetype::Type type) const;
+
+ private:
+  std::array<TypeStats, filetype::kTypeCount> types_{};
+  std::array<TypeStats, filetype::kGroupCount> groups_{};
+  TypeStats overall_{};
+};
+
+}  // namespace dockmine::dedup

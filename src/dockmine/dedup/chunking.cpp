@@ -1,0 +1,83 @@
+#include "dockmine/dedup/chunking.h"
+
+#include <algorithm>
+
+#include "dockmine/util/rng.h"
+
+namespace dockmine::dedup {
+
+std::vector<Chunk> FixedChunker::chunk(std::string_view content) const {
+  std::vector<Chunk> chunks;
+  if (size_ == 0) return chunks;
+  chunks.reserve(content.size() / size_ + 1);
+  std::uint64_t offset = 0;
+  while (offset < content.size()) {
+    const std::uint64_t take =
+        std::min<std::uint64_t>(size_, content.size() - offset);
+    chunks.push_back(Chunk{offset, take});
+    offset += take;
+  }
+  return chunks;
+}
+
+namespace {
+
+/// 256-entry gear table: deterministic pseudo-random 64-bit words.
+struct GearTable {
+  std::uint64_t g[256];
+  GearTable() {
+    std::uint64_t seed = 0x9e3779b97f4a7c15ULL;
+    for (auto& word : g) word = util::splitmix64(seed);
+  }
+};
+const GearTable kGear;
+
+}  // namespace
+
+GearChunker::GearChunker(std::uint64_t average_size) {
+  average_size = std::max<std::uint64_t>(64, average_size);
+  min_ = average_size / 4;
+  max_ = average_size * 4;
+  // mask with log2(average - min) low bits set: boundary prob per byte is
+  // 1/2^bits once past min, giving ~average chunks.
+  std::uint64_t bits = 0;
+  while ((1ULL << (bits + 1)) <= average_size - min_) ++bits;
+  mask_ = (1ULL << bits) - 1;
+}
+
+std::vector<Chunk> GearChunker::chunk(std::string_view content) const {
+  std::vector<Chunk> chunks;
+  std::uint64_t start = 0;
+  while (start < content.size()) {
+    const std::uint64_t remaining = content.size() - start;
+    if (remaining <= min_) {
+      chunks.push_back(Chunk{start, remaining});
+      break;
+    }
+    std::uint64_t hash = 0;
+    const std::uint64_t limit = std::min<std::uint64_t>(remaining, max_);
+    std::uint64_t cut = limit;
+    for (std::uint64_t i = 0; i < limit; ++i) {
+      hash = (hash << 1) +
+             kGear.g[static_cast<unsigned char>(content[start + i])];
+      if (i >= min_ && (hash & mask_) == 0) {
+        cut = i + 1;
+        break;
+      }
+    }
+    chunks.push_back(Chunk{start, cut});
+    start += cut;
+  }
+  return chunks;
+}
+
+void ChunkDedupIndex::add(std::uint64_t chunk_key, std::uint64_t size) {
+  if (chunk_key == 0) chunk_key = 0x9e3779b97f4a7c15ULL;
+  ++total_chunks_;
+  total_bytes_ += size;
+  std::uint32_t& refs = chunks_[chunk_key];
+  if (refs == 0) unique_bytes_ += size;
+  ++refs;
+}
+
+}  // namespace dockmine::dedup

@@ -1,0 +1,85 @@
+// Sub-file deduplication — an extension beyond the paper's file-level
+// analysis (§V-B), answering the natural follow-up: how much more space
+// would chunk-level dedup reclaim, and at what index cost?
+//
+// Two chunkers:
+//  * FixedChunker     — straight N-byte blocks.
+//  * GearChunker      — content-defined chunking with a gear rolling hash
+//                       (FastCDC-style), so insertions shift boundaries
+//                       only locally and shared regions still align.
+// Plus ChunkDedupIndex, a byte-level dedup counter with index-overhead
+// accounting (bench_ext_chunking compares the three levels).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "dockmine/util/flat_map.h"
+
+namespace dockmine::dedup {
+
+/// Chunk boundaries as (offset, size) pairs covering the whole input.
+struct Chunk {
+  std::uint64_t offset = 0;
+  std::uint64_t size = 0;
+};
+
+class FixedChunker {
+ public:
+  explicit FixedChunker(std::uint64_t chunk_size) : size_(chunk_size) {}
+  std::vector<Chunk> chunk(std::string_view content) const;
+
+ private:
+  std::uint64_t size_;
+};
+
+/// Gear-hash CDC: a boundary is declared where the rolling hash has
+/// `mask` low bits clear, bounded by [min, max] chunk sizes.
+/// Average chunk size ~= 2^mask_bits + min.
+class GearChunker {
+ public:
+  explicit GearChunker(std::uint64_t average_size);
+
+  std::vector<Chunk> chunk(std::string_view content) const;
+
+  std::uint64_t min_size() const noexcept { return min_; }
+  std::uint64_t max_size() const noexcept { return max_; }
+
+ private:
+  std::uint64_t min_;
+  std::uint64_t max_;
+  std::uint64_t mask_;
+};
+
+/// Byte-level dedup accounting over chunk digests (64-bit keys from
+/// SHA-256 prefixes or any uniform hash).
+class ChunkDedupIndex {
+ public:
+  void add(std::uint64_t chunk_key, std::uint64_t size);
+
+  std::uint64_t total_bytes() const noexcept { return total_bytes_; }
+  std::uint64_t unique_bytes() const noexcept { return unique_bytes_; }
+  std::uint64_t total_chunks() const noexcept { return total_chunks_; }
+  std::uint64_t unique_chunks() const noexcept { return chunks_.size(); }
+
+  double capacity_ratio() const noexcept {
+    return unique_bytes_ == 0 ? 1.0
+                              : static_cast<double>(total_bytes_) /
+                                    static_cast<double>(unique_bytes_);
+  }
+  /// Bytes of index metadata per stored unique chunk (key + size + refs),
+  /// the cost side of finer-grained dedup.
+  static constexpr std::uint64_t kIndexEntryBytes = 48;
+  std::uint64_t index_overhead_bytes() const noexcept {
+    return unique_chunks() * kIndexEntryBytes;
+  }
+
+ private:
+  util::FlatMap64<std::uint32_t> chunks_;  // key -> refcount
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t unique_bytes_ = 0;
+  std::uint64_t total_chunks_ = 0;
+};
+
+}  // namespace dockmine::dedup

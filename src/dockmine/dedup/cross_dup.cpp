@@ -1,0 +1,49 @@
+#include "dockmine/dedup/cross_dup.h"
+
+namespace dockmine::dedup {
+
+void CrossDupAnalysis::observe(std::uint32_t layer_index,
+                               std::uint64_t content_key) {
+  LayerTally& tally = per_layer_.at(layer_index);
+  ++tally.files;
+  const ContentEntry* entry =
+      index_.find(FileDedupIndex::remap_key(content_key));
+  if (entry == nullptr) return;  // index and stream out of sync; skip
+  const bool cross_layer = entry->multi_layer;
+  // Same-content copies within one layer also count as duplicates across
+  // images whenever that layer serves more than one image.
+  const bool cross_image =
+      cross_layer || layer_refcounts_[entry->first_layer] > 1 ||
+      (entry->count > 1 && layer_refcounts_[layer_index] > 1);
+  if (cross_layer) ++tally.cross_layer;
+  if (cross_image) ++tally.cross_image;
+}
+
+stats::Ecdf CrossDupAnalysis::cross_layer_cdf() const {
+  stats::Ecdf cdf;
+  for (const LayerTally& tally : per_layer_) {
+    if (tally.files == 0) continue;
+    cdf.add(static_cast<double>(tally.cross_layer) /
+            static_cast<double>(tally.files));
+  }
+  return cdf;
+}
+
+stats::Ecdf CrossDupAnalysis::cross_image_cdf(
+    std::span<const std::vector<std::uint32_t>> images) const {
+  stats::Ecdf cdf;
+  for (const auto& layer_indices : images) {
+    std::uint64_t files = 0;
+    std::uint64_t dups = 0;
+    for (std::uint32_t layer : layer_indices) {
+      const LayerTally& tally = per_layer_.at(layer);
+      files += tally.files;
+      dups += tally.cross_image;
+    }
+    if (files == 0) continue;
+    cdf.add(static_cast<double>(dups) / static_cast<double>(files));
+  }
+  return cdf;
+}
+
+}  // namespace dockmine::dedup

@@ -1,0 +1,62 @@
+// Cross-layer and cross-image file duplicates (paper §V-D, Fig. 26):
+// per layer, the fraction of its files whose content also exists in some
+// OTHER layer; per image, the fraction duplicated in some other image.
+//
+// Works in two streaming passes over the same deterministic file stream:
+// pass 1 populates the FileDedupIndex (which tracks first-layer and the
+// multi-layer bit); pass 2 re-streams each layer and counts. A file counts
+// as duplicated across images when its content spans two layers, or when
+// its (single) layer is referenced by more than one image — exact except
+// for the rare content confined to two layers of one image.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dockmine/dedup/file_dedup.h"
+#include "dockmine/stats/cdf.h"
+
+namespace dockmine::dedup {
+
+class CrossDupAnalysis {
+ public:
+  /// `index` must outlive the analysis. `layer_refcounts[i]` = number of
+  /// images referencing unique layer i.
+  CrossDupAnalysis(const FileDedupIndex& index,
+                   std::vector<std::uint32_t> layer_refcounts)
+      : index_(index), layer_refcounts_(std::move(layer_refcounts)) {
+    per_layer_.resize(layer_refcounts_.size());
+  }
+
+  /// Pass 2: observe one file of unique layer `layer_index`.
+  void observe(std::uint32_t layer_index, std::uint64_t content_key);
+
+  struct LayerTally {
+    std::uint64_t files = 0;
+    std::uint64_t cross_layer = 0;
+    std::uint64_t cross_image = 0;
+  };
+
+  /// CDF over layers of the cross-layer duplicate fraction (Fig. 26a;
+  /// paper: 90% of layers have >= 97.6% duplicated files). Layers with no
+  /// files are skipped, as in the paper.
+  stats::Ecdf cross_layer_cdf() const;
+
+  /// CDF over images of the cross-image duplicate fraction (Fig. 26b;
+  /// paper: 90% of images >= 99.4%). The caller supplies each image's
+  /// unique-layer indices.
+  stats::Ecdf cross_image_cdf(
+      std::span<const std::vector<std::uint32_t>> images) const;
+
+  const LayerTally& layer_tally(std::uint32_t layer_index) const {
+    return per_layer_.at(layer_index);
+  }
+
+ private:
+  const FileDedupIndex& index_;
+  std::vector<std::uint32_t> layer_refcounts_;
+  std::vector<LayerTally> per_layer_;
+};
+
+}  // namespace dockmine::dedup

@@ -1,0 +1,62 @@
+#include "dockmine/dedup/file_dedup.h"
+
+#include <algorithm>
+
+namespace dockmine::dedup {
+
+void FileDedupIndex::add(std::uint64_t content_key, std::uint64_t size,
+                         filetype::Type type, std::uint32_t layer_index) {
+  ContentEntry& entry = entries_[remap_key(content_key)];
+  if (entry.count == 0) {
+    entry.size = size;
+    entry.type = type;
+    entry.first_layer = layer_index;
+  } else if (!entry.multi_layer && entry.first_layer != layer_index) {
+    entry.multi_layer = true;
+  }
+  ++entry.count;
+}
+
+void FileDedupIndex::merge(const FileDedupIndex& other) {
+  other.entries_.for_each([&](std::uint64_t key, const ContentEntry& in) {
+    ContentEntry& entry = entries_[key];
+    if (entry.count == 0) {
+      entry = in;
+      return;
+    }
+    entry.count += in.count;
+    entry.multi_layer = entry.multi_layer || in.multi_layer ||
+                        entry.first_layer != in.first_layer;
+    entry.first_layer = std::min(entry.first_layer, in.first_layer);
+  });
+}
+
+DedupTotals FileDedupIndex::totals() const {
+  DedupTotals totals;
+  entries_.for_each([&](std::uint64_t, const ContentEntry& entry) {
+    totals.total_files += entry.count;
+    totals.total_bytes += entry.count * entry.size;
+    totals.unique_files += 1;
+    totals.unique_bytes += entry.size;
+  });
+  return totals;
+}
+
+stats::Ecdf FileDedupIndex::repeat_count_cdf() const {
+  stats::Ecdf cdf;
+  cdf.reserve(entries_.size());
+  entries_.for_each([&](std::uint64_t, const ContentEntry& entry) {
+    cdf.add(static_cast<double>(entry.count));
+  });
+  return cdf;
+}
+
+ContentEntry FileDedupIndex::max_repeat() const {
+  ContentEntry best;
+  entries_.for_each([&](std::uint64_t, const ContentEntry& entry) {
+    if (entry.count > best.count) best = entry;
+  });
+  return best;
+}
+
+}  // namespace dockmine::dedup

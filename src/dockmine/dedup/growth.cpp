@@ -1,0 +1,32 @@
+#include "dockmine/dedup/growth.h"
+
+#include <algorithm>
+
+#include "dockmine/stats/sampling.h"
+#include "dockmine/util/rng.h"
+
+namespace dockmine::dedup {
+
+std::vector<GrowthPoint> dedup_growth(
+    std::uint64_t n_layers, std::span<const std::uint64_t> sample_sizes,
+    const std::function<void(std::uint64_t, std::uint32_t, FileDedupIndex&)>&
+        stream_layer,
+    std::uint64_t seed) {
+  std::vector<GrowthPoint> points;
+  points.reserve(sample_sizes.size());
+  util::Rng rng(seed);
+  for (std::uint64_t want : sample_sizes) {
+    const std::uint64_t take = std::min(want, n_layers);
+    std::vector<std::uint64_t> chosen =
+        stats::sample_indices(n_layers, static_cast<std::size_t>(take), rng);
+    FileDedupIndex index(static_cast<std::size_t>(take) * 64);
+    std::uint32_t dense = 0;
+    for (std::uint64_t ordinal : chosen) {
+      stream_layer(ordinal, dense++, index);
+    }
+    points.push_back(GrowthPoint{take, index.totals()});
+  }
+  return points;
+}
+
+}  // namespace dockmine::dedup

@@ -1,0 +1,34 @@
+// Dedup-ratio growth (paper §V-C, Fig. 25): deduplication measured on
+// random samples of increasing size drawn from the dataset — "the
+// deduplication ratio increases almost linearly with the layer dataset
+// size", 3.6x -> 31.5x (count) and 1.9x -> 6.9x (capacity) from 1,000 to
+// 1.7M layers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "dockmine/dedup/file_dedup.h"
+
+namespace dockmine::dedup {
+
+struct GrowthPoint {
+  std::uint64_t sample_layers = 0;
+  DedupTotals totals;
+};
+
+/// For each requested sample size, draw that many distinct layers uniformly
+/// (Floyd sampling), stream their files into a fresh index, and record the
+/// resulting totals. `stream_layer(layer_ordinal, dense_index, index)` must
+/// add every file of the dataset's `layer_ordinal`-th unique layer, tagging
+/// observations with `dense_index`.
+std::vector<GrowthPoint> dedup_growth(
+    std::uint64_t n_layers, std::span<const std::uint64_t> sample_sizes,
+    const std::function<void(std::uint64_t layer_ordinal,
+                             std::uint32_t dense_index, FileDedupIndex& index)>&
+        stream_layer,
+    std::uint64_t seed);
+
+}  // namespace dockmine::dedup

@@ -1,0 +1,46 @@
+#include "dockmine/dedup/layer_sharing.h"
+
+#include <algorithm>
+
+namespace dockmine::dedup {
+
+void LayerSharingAnalysis::add_image(std::span<const LayerUse> layers) {
+  ++images_;
+  for (const LayerUse& use : layers) {
+    const std::uint64_t key = use.layer_key == 0 ? ~0ULL : use.layer_key;
+    Entry& entry = refs_[key];
+    if (entry.references == 0) {
+      entry.cls = use.cls;
+      physical_bytes_ += use.cls;
+    }
+    ++entry.references;
+    logical_bytes_ += use.cls;
+  }
+}
+
+stats::Ecdf LayerSharingAnalysis::reference_count_cdf() const {
+  stats::Ecdf cdf;
+  cdf.reserve(refs_.size());
+  refs_.for_each([&](std::uint64_t, const Entry& entry) {
+    cdf.add(static_cast<double>(entry.references));
+  });
+  return cdf;
+}
+
+std::vector<LayerSharingAnalysis::TopLayer> LayerSharingAnalysis::top(
+    std::size_t k) const {
+  std::vector<TopLayer> all;
+  all.reserve(refs_.size());
+  refs_.for_each([&](std::uint64_t key, const Entry& entry) {
+    all.push_back(TopLayer{key, entry.references, entry.cls});
+  });
+  const std::size_t take = std::min(k, all.size());
+  std::partial_sort(all.begin(), all.begin() + take, all.end(),
+                    [](const TopLayer& a, const TopLayer& b) {
+                      return a.references > b.references;
+                    });
+  all.resize(take);
+  return all;
+}
+
+}  // namespace dockmine::dedup

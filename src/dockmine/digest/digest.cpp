@@ -1,0 +1,56 @@
+#include "dockmine/digest/digest.h"
+
+namespace dockmine::digest {
+
+namespace {
+int hex_value(char c) noexcept {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+Digest Digest::from_u64(std::uint64_t id) noexcept {
+  Sha256::Bytes raw{};
+  // Distinct salts per word make the 256-bit expansion injective in id and
+  // word-wise independent, so key64() is uniform.
+  std::uint64_t seed = id;
+  for (int word = 0; word < 4; ++word) {
+    std::uint64_t s = seed + 0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(word + 1);
+    const std::uint64_t v = util::splitmix64(s);
+    for (int b = 0; b < 8; ++b) {
+      raw[word * 8 + b] = static_cast<std::uint8_t>(v >> (8 * b));
+    }
+  }
+  return Digest(raw);
+}
+
+util::Result<Digest> Digest::parse(std::string_view text) {
+  constexpr std::string_view kPrefix = "sha256:";
+  if (text.substr(0, kPrefix.size()) != kPrefix) {
+    return util::invalid_argument("digest missing 'sha256:' prefix: " +
+                                  std::string(text));
+  }
+  const std::string_view hex = text.substr(kPrefix.size());
+  if (hex.size() != 64) {
+    return util::invalid_argument("digest hex must be 64 chars, got " +
+                                  std::to_string(hex.size()));
+  }
+  Sha256::Bytes raw{};
+  for (std::size_t i = 0; i < 32; ++i) {
+    const int hi = hex_value(hex[2 * i]);
+    const int lo = hex_value(hex[2 * i + 1]);
+    if (hi < 0 || lo < 0) {
+      return util::invalid_argument("non-hex character in digest");
+    }
+    raw[i] = static_cast<std::uint8_t>((hi << 4) | lo);
+  }
+  return Digest(raw);
+}
+
+std::string Digest::to_string() const { return "sha256:" + to_hex(raw_); }
+
+std::string Digest::short_hex() const { return to_hex(raw_).substr(0, 12); }
+
+}  // namespace dockmine::digest

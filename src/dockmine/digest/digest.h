@@ -1,0 +1,84 @@
+// Docker-style content digest value type: "sha256:<64 hex chars>".
+// Used as the identity of blobs, layers, manifests, and files.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "dockmine/digest/sha256.h"
+#include "dockmine/util/error.h"
+#include "dockmine/util/rng.h"
+
+namespace dockmine::digest {
+
+class Digest {
+ public:
+  Digest() = default;
+  explicit Digest(const Sha256::Bytes& raw) : raw_(raw) {}
+
+  /// Hash real content.
+  static Digest of(std::string_view content) {
+    return Digest(Sha256::hash(content));
+  }
+  static Digest of(const void* data, std::size_t size) {
+    return Digest(Sha256::hash(data, size));
+  }
+
+  /// Deterministically expand a 64-bit content id into a digest. Metadata
+  /// mode identifies files by ids drawn from the duplication pool without
+  /// materializing bytes; this keeps those ids in the same keyspace as real
+  /// hashes. Collision-free across ids by construction (bijective per word).
+  static Digest from_u64(std::uint64_t id) noexcept;
+
+  /// Parse "sha256:<hex>"; the "sha256:" prefix is required, hex must be 64
+  /// lowercase/uppercase hex chars.
+  static util::Result<Digest> parse(std::string_view text);
+
+  const Sha256::Bytes& raw() const noexcept { return raw_; }
+
+  /// "sha256:ab12...".
+  std::string to_string() const;
+
+  /// First 12 hex chars, the common human-readable abbreviation.
+  std::string short_hex() const;
+
+  /// Cheap 64-bit key for hash maps (first 8 bytes; uniform for real
+  /// SHA-256 output and for from_u64 expansion).
+  std::uint64_t key64() const noexcept {
+    std::uint64_t k;
+    std::memcpy(&k, raw_.data(), sizeof k);
+    return k;
+  }
+
+  bool is_zero() const noexcept {
+    for (auto b : raw_) {
+      if (b != 0) return false;
+    }
+    return true;
+  }
+
+  friend bool operator==(const Digest& a, const Digest& b) noexcept {
+    return a.raw_ == b.raw_;
+  }
+  friend bool operator!=(const Digest& a, const Digest& b) noexcept {
+    return !(a == b);
+  }
+  friend bool operator<(const Digest& a, const Digest& b) noexcept {
+    return a.raw_ < b.raw_;
+  }
+
+ private:
+  Sha256::Bytes raw_{};
+};
+
+struct DigestHash {
+  std::size_t operator()(const Digest& d) const noexcept {
+    return static_cast<std::size_t>(d.key64());
+  }
+};
+
+}  // namespace dockmine::digest

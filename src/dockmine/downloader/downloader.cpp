@@ -1,0 +1,121 @@
+#include "dockmine/downloader/downloader.h"
+
+#include "dockmine/registry/manifest.h"
+#include "dockmine/util/stopwatch.h"
+#include "dockmine/util/thread_pool.h"
+
+namespace dockmine::downloader {
+
+util::Result<blob::BlobPtr> Downloader::fetch_layer(
+    const digest::Digest& digest) {
+  if (!options_.dedup_unique_layers) {
+    auto blob = service_.fetch_blob(digest);
+    if (!blob.ok()) return blob;
+    bytes_fetched_.fetch_add(blob.value()->size(), std::memory_order_relaxed);
+    blobs_fetched_.fetch_add(1, std::memory_order_relaxed);
+    return blob;
+  }
+
+  {
+    std::unique_lock lock(cache_mutex_);
+    for (;;) {
+      const auto it = layer_cache_.find(digest);
+      if (it != layer_cache_.end()) {
+        cache_hits_.fetch_add(1, std::memory_order_relaxed);
+        return it->second;
+      }
+      if (in_flight_.insert(digest).second) break;  // we fetch
+      // Another worker is transferring this layer; wait for it.
+      cache_cv_.wait(lock);
+    }
+  }
+
+  auto blob = service_.fetch_blob(digest);
+  {
+    std::lock_guard lock(cache_mutex_);
+    in_flight_.erase(digest);
+    if (blob.ok()) {
+      layer_cache_.emplace(digest, blob.value());
+      bytes_fetched_.fetch_add(blob.value()->size(),
+                               std::memory_order_relaxed);
+      blobs_fetched_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  cache_cv_.notify_all();
+  return blob;
+}
+
+util::Result<DownloadedImage> Downloader::fetch_image(
+    const std::string& repository) {
+  auto manifest_body =
+      service_.fetch_manifest(repository, options_.tag, options_.authenticated);
+  if (!manifest_body.ok()) return std::move(manifest_body).error();
+  auto manifest = registry::manifest_from_json(manifest_body.value());
+  if (!manifest.ok()) return std::move(manifest).error();
+
+  DownloadedImage image;
+  image.manifest = std::move(manifest).value();
+  image.layer_blobs.resize(image.manifest.layers.size());
+
+  for (std::size_t i = 0; i < image.manifest.layers.size(); ++i) {
+    auto blob = fetch_layer(image.manifest.layers[i].digest);
+    if (!blob.ok()) return std::move(blob).error();
+    image.layer_blobs[i] = std::move(blob).value();
+  }
+  return image;
+}
+
+util::Result<DownloadedImage> Downloader::download_one(
+    const std::string& repository) {
+  return fetch_image(repository);
+}
+
+DownloadStats Downloader::run(
+    const std::vector<std::string>& repositories,
+    const std::function<void(DownloadedImage&&)>& sink) {
+  DownloadStats stats;
+  stats.attempted = repositories.size();
+  const std::uint64_t cache_hits_before = cache_hits_.load();
+  const std::uint64_t bytes_before = bytes_fetched_.load();
+  const std::uint64_t blobs_before = blobs_fetched_.load();
+
+  std::mutex stats_mutex;  // also serializes sink
+  util::Stopwatch clock;
+  util::ThreadPool pool(options_.workers);
+  util::parallel_for(pool, 0, repositories.size(), /*grain=*/1,
+                     [&](std::size_t i) {
+    auto image = fetch_image(repositories[i]);
+    std::lock_guard lock(stats_mutex);
+    if (!image.ok()) {
+      switch (image.error().code()) {
+        case util::ErrorCode::kUnauthorized:
+          ++stats.failed_auth;
+          break;
+        case util::ErrorCode::kNotFound: {
+          // Distinguish unknown repo from missing tag by the message the
+          // service produced.
+          if (image.error().message().find("has no tag") != std::string::npos) {
+            ++stats.failed_no_tag;
+          } else {
+            ++stats.failed_missing;
+          }
+          break;
+        }
+        default:
+          ++stats.failed_other;
+      }
+      return;
+    }
+    ++stats.succeeded;
+    if (sink) sink(std::move(image).value());
+  });
+  pool.shutdown();
+
+  stats.layers_deduped = cache_hits_.load() - cache_hits_before;
+  stats.bytes_downloaded = bytes_fetched_.load() - bytes_before;
+  stats.layers_fetched = blobs_fetched_.load() - blobs_before;
+  stats.wall_seconds = clock.seconds();
+  return stats;
+}
+
+}  // namespace dockmine::downloader

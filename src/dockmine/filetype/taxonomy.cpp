@@ -1,0 +1,159 @@
+#include "dockmine/filetype/taxonomy.h"
+
+namespace dockmine::filetype {
+
+Group group_of(Type type) noexcept {
+  switch (type) {
+    case Type::kElfRelocatable:
+    case Type::kElfSharedObject:
+    case Type::kElfExecutable:
+    case Type::kCoff:
+    case Type::kPythonBytecode:
+    case Type::kJavaClass:
+    case Type::kTerminfo:
+    case Type::kMsExecutable:
+    case Type::kMachO:
+    case Type::kDebRpmPackage:
+    case Type::kStaticLibrary:
+    case Type::kOtherEol:
+      return Group::kEol;
+    case Type::kCSource:
+    case Type::kPerlModule:
+    case Type::kRubyModule:
+    case Type::kPascalSource:
+    case Type::kFortranSource:
+    case Type::kBasicSource:
+    case Type::kLispSource:
+      return Group::kSourceCode;
+    case Type::kPythonScript:
+    case Type::kAwkScript:
+    case Type::kRubyScript:
+    case Type::kPerlScript:
+    case Type::kPhpScript:
+    case Type::kMakefile:
+    case Type::kM4Script:
+    case Type::kNodeScript:
+    case Type::kTclScript:
+    case Type::kShellScript:
+    case Type::kOtherScript:
+      return Group::kScripts;
+    case Type::kAsciiText:
+    case Type::kUtf8Text:
+    case Type::kIso8859Text:
+    case Type::kXmlHtml:
+    case Type::kPdfPs:
+    case Type::kLatex:
+    case Type::kOtherDocument:
+      return Group::kDocuments;
+    case Type::kZipGzip:
+    case Type::kBzip2:
+    case Type::kXz:
+    case Type::kTarArchive:
+    case Type::kOtherArchive:
+      return Group::kArchival;
+    case Type::kBerkeleyDb:
+    case Type::kMysql:
+    case Type::kSqlite:
+    case Type::kOtherDb:
+      return Group::kDatabases;
+    case Type::kPng:
+    case Type::kJpeg:
+    case Type::kSvg:
+    case Type::kGif:
+    case Type::kOtherImage:
+      return Group::kImages;
+    case Type::kVideo:
+    case Type::kEmpty:
+    case Type::kOtherBinary:
+    case Type::kTypeCount:
+      return Group::kOther;
+  }
+  return Group::kOther;
+}
+
+std::string_view to_string(Group group) noexcept {
+  switch (group) {
+    case Group::kEol: return "EOL";
+    case Group::kSourceCode: return "SC.";
+    case Group::kScripts: return "Scr.";
+    case Group::kDocuments: return "Doc.";
+    case Group::kArchival: return "Arch.";
+    case Group::kImages: return "Img.";
+    case Group::kDatabases: return "DB.";
+    case Group::kOther: return "Oths";
+  }
+  return "?";
+}
+
+std::string_view to_string(Type type) noexcept {
+  switch (type) {
+    case Type::kElfRelocatable: return "ELF relocatable";
+    case Type::kElfSharedObject: return "ELF shared object";
+    case Type::kElfExecutable: return "ELF executable";
+    case Type::kCoff: return "COFF";
+    case Type::kPythonBytecode: return "Python byte-compiled";
+    case Type::kJavaClass: return "Java class";
+    case Type::kTerminfo: return "terminfo compiled";
+    case Type::kMsExecutable: return "MS executable (PE)";
+    case Type::kMachO: return "Mach-O";
+    case Type::kDebRpmPackage: return "Deb/RPM package";
+    case Type::kStaticLibrary: return "library (ar)";
+    case Type::kOtherEol: return "other EOL";
+    case Type::kCSource: return "C/C++ source";
+    case Type::kPerlModule: return "Perl5 module";
+    case Type::kRubyModule: return "Ruby module";
+    case Type::kPascalSource: return "Pascal source";
+    case Type::kFortranSource: return "Fortran source";
+    case Type::kBasicSource: return "Applesoft BASIC";
+    case Type::kLispSource: return "Lisp/Scheme";
+    case Type::kPythonScript: return "Python script";
+    case Type::kAwkScript: return "AWK script";
+    case Type::kRubyScript: return "Ruby script";
+    case Type::kPerlScript: return "Perl script";
+    case Type::kPhpScript: return "PHP script";
+    case Type::kMakefile: return "Makefile";
+    case Type::kM4Script: return "M4 macro";
+    case Type::kNodeScript: return "Node/JS script";
+    case Type::kTclScript: return "Tcl script";
+    case Type::kShellScript: return "Bash/shell script";
+    case Type::kOtherScript: return "other script";
+    case Type::kAsciiText: return "ASCII text";
+    case Type::kUtf8Text: return "UTF-8/16 text";
+    case Type::kIso8859Text: return "ISO-8859 text";
+    case Type::kXmlHtml: return "XML/HTML/XHTML";
+    case Type::kPdfPs: return "PDF/PS";
+    case Type::kLatex: return "LaTeX";
+    case Type::kOtherDocument: return "other document";
+    case Type::kZipGzip: return "Zip/Gzip";
+    case Type::kBzip2: return "Bzip2";
+    case Type::kXz: return "XZ";
+    case Type::kTarArchive: return "Tar";
+    case Type::kOtherArchive: return "other archive";
+    case Type::kBerkeleyDb: return "Berkeley DB";
+    case Type::kMysql: return "MySQL";
+    case Type::kSqlite: return "SQLite DB";
+    case Type::kOtherDb: return "other DB";
+    case Type::kPng: return "PNG";
+    case Type::kJpeg: return "JPEG";
+    case Type::kSvg: return "SVG";
+    case Type::kGif: return "GIF";
+    case Type::kOtherImage: return "other image";
+    case Type::kVideo: return "video (AVI/MPEG)";
+    case Type::kEmpty: return "empty";
+    case Type::kOtherBinary: return "other binary";
+    case Type::kTypeCount: return "?";
+  }
+  return "?";
+}
+
+bool is_intermediate_representation(Type type) noexcept {
+  return type == Type::kPythonBytecode || type == Type::kJavaClass ||
+         type == Type::kTerminfo;
+}
+
+bool is_elf(Type type) noexcept {
+  return type == Type::kElfRelocatable || type == Type::kElfSharedObject ||
+         type == Type::kElfExecutable;
+}
+
+}  // namespace dockmine::filetype

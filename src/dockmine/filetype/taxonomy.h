@@ -1,0 +1,108 @@
+// Three-level file-type taxonomy from the paper's Fig. 13.
+//
+// Level 1 (common vs non-common) is a property of aggregate capacity and is
+// computed by the analysis, not the classifier. Level 2 is the type GROUP
+// (EOL, source code, scripts, documents, archival, images, databases,
+// others). Level 3 is the specific TYPE (ELF, Python byte-code, C/C++
+// source, PNG, SQLite, ...). Every type the paper's Figs. 14-22 break out
+// is represented.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace dockmine::filetype {
+
+enum class Group : std::uint8_t {
+  kEol,        ///< executables, object code, and libraries
+  kSourceCode,
+  kScripts,
+  kDocuments,
+  kArchival,
+  kImages,     ///< image *media* files (PNG...), not container images
+  kDatabases,
+  kOther,
+};
+inline constexpr std::size_t kGroupCount = 8;
+
+enum class Type : std::uint8_t {
+  // --- EOL (Fig. 16) ---
+  kElfRelocatable,
+  kElfSharedObject,
+  kElfExecutable,
+  kCoff,
+  kPythonBytecode,   // "intermediate representation"
+  kJavaClass,        // "intermediate representation"
+  kTerminfo,         // "intermediate representation"
+  kMsExecutable,     // PE / "MZ"
+  kMachO,
+  kDebRpmPackage,
+  kStaticLibrary,    // ar archives (.a), the "libraries" bucket
+  kOtherEol,
+  // --- Source code (Fig. 17) ---
+  kCSource,          // C/C++
+  kPerlModule,
+  kRubyModule,
+  kPascalSource,
+  kFortranSource,
+  kBasicSource,      // Applesoft basic
+  kLispSource,       // Lisp/Scheme
+  // --- Scripts (Fig. 18) ---
+  kPythonScript,
+  kAwkScript,
+  kRubyScript,
+  kPerlScript,
+  kPhpScript,
+  kMakefile,
+  kM4Script,
+  kNodeScript,
+  kTclScript,
+  kShellScript,
+  kOtherScript,
+  // --- Documents (Fig. 19) ---
+  kAsciiText,
+  kUtf8Text,
+  kIso8859Text,
+  kXmlHtml,
+  kPdfPs,
+  kLatex,
+  kOtherDocument,
+  // --- Archival (Fig. 20) ---
+  kZipGzip,
+  kBzip2,
+  kXz,
+  kTarArchive,
+  kOtherArchive,
+  // --- Databases (Fig. 21) ---
+  kBerkeleyDb,
+  kMysql,
+  kSqlite,
+  kOtherDb,
+  // --- Image media (Fig. 22) ---
+  kPng,
+  kJpeg,
+  kSvg,
+  kGif,
+  kOtherImage,
+  // --- Other ---
+  kVideo,            // AVI, MPEG
+  kEmpty,            // zero-byte file
+  kOtherBinary,
+  kTypeCount,        // sentinel
+};
+inline constexpr std::size_t kTypeCount =
+    static_cast<std::size_t>(Type::kTypeCount);
+
+/// Level-2 group a type belongs to.
+Group group_of(Type type) noexcept;
+
+/// Human-readable names matching the paper's figure labels.
+std::string_view to_string(Group group) noexcept;
+std::string_view to_string(Type type) noexcept;
+
+/// "Intermediate representation" super-type used by Fig. 16 ("Com.").
+bool is_intermediate_representation(Type type) noexcept;
+/// ELF super-type.
+bool is_elf(Type type) noexcept;
+
+}  // namespace dockmine::filetype

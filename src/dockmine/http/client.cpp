@@ -1,0 +1,57 @@
+#include "dockmine/http/client.h"
+
+namespace dockmine::http {
+
+util::Result<Response> Client::round_trip(Socket& connection,
+                                          const Request& request) {
+  auto sent = connection.write_all(request.serialize());
+  if (!sent.ok()) return sent.error();
+  MessageReader reader;
+  Response response;
+  for (;;) {
+    auto ready = reader.next_response(response);
+    if (!ready.ok()) return std::move(ready).error();
+    if (ready.value()) return response;
+    auto bytes = connection.read_some();
+    if (!bytes.ok()) return std::move(bytes).error();
+    if (bytes.value().empty()) {
+      return util::corrupt("connection closed mid-response");
+    }
+    reader.feed(bytes.value());
+  }
+}
+
+util::Result<Response> Client::request(const Request& request) {
+  // Check out an idle connection, or dial.
+  Socket connection;
+  {
+    std::lock_guard lock(pool_mutex_);
+    if (!idle_.empty()) {
+      connection = std::move(idle_.back());
+      idle_.pop_back();
+    }
+  }
+  bool fresh = false;
+  if (!connection.valid()) {
+    auto dialed = Socket::connect_loopback(port_);
+    if (!dialed.ok()) return std::move(dialed).error();
+    connection = std::move(dialed).value();
+    fresh = true;
+  }
+
+  auto response = round_trip(connection, request);
+  if (!response.ok() && !fresh) {
+    // Stale keep-alive connection: dial once and retry.
+    auto dialed = Socket::connect_loopback(port_);
+    if (!dialed.ok()) return std::move(dialed).error();
+    connection = std::move(dialed).value();
+    response = round_trip(connection, request);
+  }
+  if (response.ok()) {
+    std::lock_guard lock(pool_mutex_);
+    idle_.push_back(std::move(connection));
+  }
+  return response;
+}
+
+}  // namespace dockmine::http

@@ -1,0 +1,32 @@
+// Blocking HTTP/1.1 client with a keep-alive connection pool, safe for
+// concurrent callers (each request checks out a connection; broken
+// connections are re-dialed once).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "dockmine/http/message.h"
+#include "dockmine/http/socket.h"
+
+namespace dockmine::http {
+
+class Client {
+ public:
+  explicit Client(std::uint16_t port) : port_(port) {}
+
+  /// Issue one request; thread-safe.
+  util::Result<Response> request(const Request& request);
+
+  std::uint16_t port() const noexcept { return port_; }
+
+ private:
+  util::Result<Response> round_trip(Socket& connection, const Request& request);
+
+  std::uint16_t port_;
+  std::mutex pool_mutex_;
+  std::vector<Socket> idle_;
+};
+
+}  // namespace dockmine::http

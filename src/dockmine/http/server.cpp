@@ -1,0 +1,152 @@
+#include "dockmine/http/server.h"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include "dockmine/util/log.h"
+
+namespace dockmine::http {
+
+util::Status Server::start() {
+  auto bound = listener_.bind_loopback(requested_port_);
+  if (!bound.ok()) return bound;
+  if (::pipe(wake_pipe_) != 0) return util::internal("pipe failed");
+  stopping_.store(false);
+  for (std::size_t i = 0; i < worker_count_; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  poller_ = std::thread([this] { poll_loop(); });
+  acceptor_ = std::thread([this] { accept_loop(); });
+  return util::Status::success();
+}
+
+void Server::wake_poller() {
+  const char byte = 'w';
+  [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+}
+
+void Server::to_poller(ConnectionPtr connection) {
+  {
+    std::lock_guard lock(poll_mutex_);
+    idle_.push_back(std::move(connection));
+  }
+  wake_poller();
+}
+
+void Server::to_workers(ConnectionPtr connection) {
+  {
+    std::lock_guard lock(work_mutex_);
+    ready_.push_back(std::move(connection));
+  }
+  work_cv_.notify_one();
+}
+
+void Server::accept_loop() {
+  while (!stopping_.load()) {
+    auto accepted = listener_.accept_one();
+    if (!accepted.ok()) return;  // listener closed (stop())
+    auto connection = std::make_unique<Connection>();
+    connection->socket = std::move(accepted).value();
+    // Fresh connections go straight to the poller; the client speaks first.
+    to_poller(std::move(connection));
+  }
+}
+
+void Server::poll_loop() {
+  std::vector<ConnectionPtr> watching;
+  std::vector<pollfd> fds;
+  while (!stopping_.load()) {
+    {
+      std::lock_guard lock(poll_mutex_);
+      for (auto& connection : idle_) watching.push_back(std::move(connection));
+      idle_.clear();
+    }
+    fds.clear();
+    fds.push_back(pollfd{wake_pipe_[0], POLLIN, 0});
+    for (const auto& connection : watching) {
+      fds.push_back(pollfd{connection->socket.fd(), POLLIN, 0});
+    }
+    const int rc = ::poll(fds.data(), fds.size(), 250);
+    if (stopping_.load()) return;
+    if (rc < 0) continue;  // EINTR
+    if (fds[0].revents & POLLIN) {
+      char drain[64];
+      [[maybe_unused]] const ssize_t n =
+          ::read(wake_pipe_[0], drain, sizeof drain);
+    }
+    // Move readable (or hung-up) connections to the workers.
+    std::vector<ConnectionPtr> keep;
+    keep.reserve(watching.size());
+    for (std::size_t i = 0; i < watching.size(); ++i) {
+      const short events = fds[i + 1].revents;
+      if (events & (POLLIN | POLLHUP | POLLERR)) {
+        to_workers(std::move(watching[i]));
+      } else {
+        keep.push_back(std::move(watching[i]));
+      }
+    }
+    watching = std::move(keep);
+  }
+}
+
+bool Server::pump(Connection& connection) {
+  auto bytes = connection.socket.read_some();
+  if (!bytes.ok() || bytes.value().empty()) return false;  // peer closed
+  connection.reader.feed(bytes.value());
+
+  Request request;
+  for (;;) {
+    auto ready = connection.reader.next_request(request);
+    if (!ready.ok()) return false;  // malformed: drop
+    if (!ready.value()) return true;  // need more bytes: back to poller
+    Response response = handler_(request);
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    const bool close_requested =
+        find_header(request.headers, "Connection") == "close";
+    if (close_requested) {
+      response.headers.emplace_back("Connection", "close");
+    }
+    if (!connection.socket.write_all(response.serialize()).ok()) return false;
+    if (close_requested) return false;
+  }
+}
+
+void Server::worker_loop() {
+  for (;;) {
+    ConnectionPtr connection;
+    {
+      std::unique_lock lock(work_mutex_);
+      work_cv_.wait(lock, [this] {
+        return stopping_.load() || !ready_.empty();
+      });
+      if (stopping_.load()) return;
+      connection = std::move(ready_.front());
+      ready_.pop_front();
+    }
+    if (pump(*connection)) {
+      to_poller(std::move(connection));
+    }
+    // else: dropped; Socket destructor closes it.
+  }
+}
+
+void Server::stop() {
+  if (stopping_.exchange(true)) return;
+  listener_.close();   // unblocks accept
+  wake_poller();       // unblocks poll
+  work_cv_.notify_all();
+  if (acceptor_.joinable()) acceptor_.join();
+  if (poller_.joinable()) poller_.join();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  for (int& fd : wake_pipe_) {
+    if (fd >= 0) {
+      ::close(fd);
+      fd = -1;
+    }
+  }
+}
+
+}  // namespace dockmine::http

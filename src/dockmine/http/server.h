@@ -1,0 +1,86 @@
+// Blocking-handler HTTP/1.1 server with a poll-based connection
+// multiplexer: an acceptor thread admits connections, a poller thread
+// watches idle keep-alive connections for readability, and a worker pool
+// runs the handler. Workers never block on idle connections, so any number
+// of keep-alive clients can be served by a small pool (thread-per-
+// connection designs deadlock once clients hold more idle connections
+// than there are threads).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "dockmine/http/message.h"
+#include "dockmine/http/socket.h"
+
+namespace dockmine::http {
+
+using Handler = std::function<Response(const Request&)>;
+
+class Server {
+ public:
+  /// `port == 0` picks an ephemeral port (see port() after start()).
+  Server(Handler handler, std::uint16_t port = 0, std::size_t workers = 4)
+      : handler_(std::move(handler)), requested_port_(port),
+        worker_count_(workers) {}
+  ~Server() { stop(); }
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  util::Status start();
+  void stop();
+
+  std::uint16_t port() const noexcept { return listener_.port(); }
+  std::uint64_t requests_served() const noexcept {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// One client connection and its parse state, shuttled between the
+  /// poller (idle) and the workers (has readable data).
+  struct Connection {
+    Socket socket;
+    MessageReader reader;
+  };
+  using ConnectionPtr = std::unique_ptr<Connection>;
+
+  void accept_loop();
+  void poll_loop();
+  void worker_loop();
+  /// Read once, serve every complete request; returns false when the
+  /// connection should be dropped.
+  bool pump(Connection& connection);
+  void to_poller(ConnectionPtr connection);
+  void to_workers(ConnectionPtr connection);
+  void wake_poller();
+
+  Handler handler_;
+  std::uint16_t requested_port_;
+  std::size_t worker_count_;
+  Listener listener_;
+
+  std::thread acceptor_;
+  std::thread poller_;
+  std::vector<std::thread> workers_;
+
+  std::mutex poll_mutex_;
+  std::vector<ConnectionPtr> idle_;      // handed to the poller
+  int wake_pipe_[2] = {-1, -1};          // self-pipe to interrupt poll()
+
+  std::mutex work_mutex_;
+  std::condition_variable work_cv_;
+  std::deque<ConnectionPtr> ready_;      // readable connections
+
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> requests_{0};
+};
+
+}  // namespace dockmine::http

@@ -1,0 +1,119 @@
+#include "dockmine/http/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace dockmine::http {
+
+namespace {
+util::Error errno_error(const char* what) {
+  return util::internal(std::string(what) + ": " + std::strerror(errno));
+}
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+util::Status Socket::write_all(std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t n = ::send(fd_, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return errno_error("send");
+    }
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return util::Status::success();
+}
+
+util::Result<std::string> Socket::read_some(std::size_t max) {
+  std::string buffer(max, '\0');
+  for (;;) {
+    const ssize_t n = ::recv(fd_, buffer.data(), buffer.size(), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return errno_error("recv");
+    }
+    buffer.resize(static_cast<std::size_t>(n));
+    return buffer;
+  }
+}
+
+void Socket::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+util::Result<Socket> Socket::connect_loopback(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return errno_error("socket");
+  Socket socket(fd);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    return errno_error("connect");
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return socket;
+}
+
+util::Status Listener::bind_loopback(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return errno_error("socket");
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    return errno_error("bind");
+  }
+  if (::listen(fd_, 64) != 0) return errno_error("listen");
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return errno_error("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+  return util::Status::success();
+}
+
+util::Result<Socket> Listener::accept_one() {
+  for (;;) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return errno_error("accept");
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    return Socket(fd);
+  }
+}
+
+void Listener::close() noexcept {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace dockmine::http

@@ -1,0 +1,56 @@
+// Thin RAII layer over POSIX TCP sockets (loopback-oriented).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "dockmine/util/error.h"
+
+namespace dockmine::http {
+
+/// Connected stream socket. Move-only.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const noexcept { return fd_ >= 0; }
+  int fd() const noexcept { return fd_; }
+
+  /// Write the whole buffer (loops over partial writes).
+  util::Status write_all(std::string_view data);
+
+  /// Read up to `max` bytes; 0 bytes => peer closed.
+  util::Result<std::string> read_some(std::size_t max = 64 * 1024);
+
+  void close() noexcept;
+
+  /// Connect to 127.0.0.1:port.
+  static util::Result<Socket> connect_loopback(std::uint16_t port);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening socket bound to 127.0.0.1 on an ephemeral (or given) port.
+class Listener {
+ public:
+  util::Status bind_loopback(std::uint16_t port = 0);
+  util::Result<Socket> accept_one();
+  std::uint16_t port() const noexcept { return port_; }
+  void close() noexcept;
+  bool valid() const noexcept { return fd_ >= 0; }
+  ~Listener() { close(); }
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace dockmine::http

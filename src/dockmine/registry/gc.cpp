@@ -1,0 +1,46 @@
+#include "dockmine/registry/gc.h"
+
+#include <unordered_set>
+#include <vector>
+
+namespace dockmine::registry {
+
+util::Result<GcReport> collect_garbage(
+    std::span<const std::string> live_manifest_json, blob::DiskStore& store) {
+  // Mark: every digest reachable from a live manifest.
+  std::unordered_set<digest::Digest, digest::DigestHash> live;
+  for (const std::string& body : live_manifest_json) {
+    live.insert(digest::Digest::of(body));  // the manifest's own blob
+    auto manifest = manifest_from_json(body);
+    if (!manifest.ok()) return std::move(manifest).error();
+    if (!manifest.value().config_digest.is_zero()) {
+      live.insert(manifest.value().config_digest);
+    }
+    for (const LayerRef& layer : manifest.value().layers) {
+      live.insert(layer.digest);
+    }
+  }
+
+  // Sweep: everything else.
+  GcReport report;
+  std::vector<digest::Digest> victims;
+  auto walked = store.for_each_digest(
+      [&](const digest::Digest& digest, std::uint64_t size) {
+        if (live.count(digest)) {
+          ++report.live_blobs;
+          report.live_bytes += size;
+        } else {
+          victims.push_back(digest);
+          ++report.swept_blobs;
+          report.swept_bytes += size;
+        }
+      });
+  if (!walked.ok()) return walked.error();
+  for (const digest::Digest& victim : victims) {
+    auto removed = store.remove(victim);
+    if (!removed.ok()) return removed.error();
+  }
+  return report;
+}
+
+}  // namespace dockmine::registry

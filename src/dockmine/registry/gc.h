@@ -1,0 +1,33 @@
+// Registry garbage collection: mark-and-sweep over an on-disk blob store.
+//
+// The operational counterpart of the paper's reference-count analysis
+// (Fig. 23): layers are shared, so deleting an image must not delete blobs
+// other manifests still reference. GC marks everything reachable from the
+// live manifests (manifest blob, config blob, layer blobs) and sweeps the
+// rest — the same discipline `registry garbage-collect` applies in the
+// real Docker distribution registry.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "dockmine/blob/disk_store.h"
+#include "dockmine/registry/manifest.h"
+
+namespace dockmine::registry {
+
+struct GcReport {
+  std::uint64_t live_blobs = 0;
+  std::uint64_t live_bytes = 0;
+  std::uint64_t swept_blobs = 0;
+  std::uint64_t swept_bytes = 0;
+};
+
+/// Sweep every blob in `store` not reachable from `live_manifest_json`
+/// (each entry a serialized manifest whose own blob may also live in the
+/// store). Returns what was kept and what was reclaimed.
+util::Result<GcReport> collect_garbage(
+    std::span<const std::string> live_manifest_json, blob::DiskStore& store);
+
+}  // namespace dockmine::registry

@@ -1,0 +1,83 @@
+#include "dockmine/registry/manifest.h"
+
+#include "dockmine/json/json.h"
+
+namespace dockmine::registry {
+
+namespace {
+constexpr std::string_view kManifestMediaType =
+    "application/vnd.docker.distribution.manifest.v2+json";
+constexpr std::string_view kConfigMediaType =
+    "application/vnd.docker.container.image.v1+json";
+constexpr std::string_view kLayerMediaType =
+    "application/vnd.docker.image.rootfs.diff.tar.gzip";
+}  // namespace
+
+std::string manifest_to_json(const Manifest& manifest) {
+  json::Value root = json::Value::object();
+  root.set("schemaVersion", 2);
+  root.set("mediaType", std::string(kManifestMediaType));
+  // Non-standard but convenient: carry name/tag/platform so the analyzer can
+  // build image profiles without a separate config fetch.
+  root.set("name", manifest.repository);
+  root.set("tag", manifest.tag);
+  root.set("architecture", manifest.architecture);
+  root.set("os", manifest.os);
+
+  json::Value config = json::Value::object();
+  config.set("mediaType", std::string(kConfigMediaType));
+  config.set("size", manifest.config_size);
+  config.set("digest", manifest.config_digest.to_string());
+  root.set("config", std::move(config));
+
+  json::Value layers = json::Value::array();
+  for (const auto& layer : manifest.layers) {
+    json::Value entry = json::Value::object();
+    entry.set("mediaType", std::string(kLayerMediaType));
+    entry.set("size", layer.compressed_size);
+    entry.set("digest", layer.digest.to_string());
+    layers.push_back(std::move(entry));
+  }
+  root.set("layers", std::move(layers));
+  return root.dump();
+}
+
+util::Result<Manifest> manifest_from_json(std::string_view json_text) {
+  auto doc = json::parse(json_text);
+  if (!doc.ok()) return std::move(doc).error();
+  const json::Value& root = doc.value();
+  if (!root.is_object()) return util::corrupt("manifest is not an object");
+  if (!root["schemaVersion"].is_int() || root["schemaVersion"].as_int() != 2) {
+    return util::corrupt("unsupported manifest schemaVersion");
+  }
+  if (root["mediaType"].as_string() != kManifestMediaType) {
+    return util::corrupt("unexpected manifest mediaType");
+  }
+  Manifest out;
+  out.repository = root["name"].as_string();
+  out.tag = root["tag"].is_string() ? root["tag"].as_string() : "latest";
+  if (root["architecture"].is_string()) {
+    out.architecture = root["architecture"].as_string();
+  }
+  if (root["os"].is_string()) out.os = root["os"].as_string();
+
+  const json::Value& config = root["config"];
+  if (config.is_object()) {
+    auto d = digest::Digest::parse(config["digest"].as_string());
+    if (!d.ok()) return std::move(d).error();
+    out.config_digest = d.value();
+    out.config_size = config["size"].as_uint();
+  }
+
+  const json::Value& layers = root["layers"];
+  if (!layers.is_array()) return util::corrupt("manifest missing layers[]");
+  out.layers.reserve(layers.size());
+  for (const json::Value& entry : layers.items()) {
+    auto d = digest::Digest::parse(entry["digest"].as_string());
+    if (!d.ok()) return std::move(d).error();
+    out.layers.push_back(LayerRef{d.value(), entry["size"].as_uint()});
+  }
+  return out;
+}
+
+}  // namespace dockmine::registry

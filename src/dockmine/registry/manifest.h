@@ -1,0 +1,20 @@
+// Manifest <-> JSON codec (Docker image manifest schema v2 subset).
+// Manifests are stored and served as JSON blobs and content-addressed by
+// the digest of their serialized bytes, as in the real registry.
+#pragma once
+
+#include <string>
+
+#include "dockmine/registry/model.h"
+#include "dockmine/util/error.h"
+
+namespace dockmine::registry {
+
+/// Serialize to the canonical (compact, stable member order) JSON form.
+std::string manifest_to_json(const Manifest& manifest);
+
+/// Parse a manifest JSON document. Validates schemaVersion, mediaType, and
+/// every layer digest.
+util::Result<Manifest> manifest_from_json(std::string_view json_text);
+
+}  // namespace dockmine::registry

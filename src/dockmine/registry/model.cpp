@@ -1,0 +1,31 @@
+#include "dockmine/registry/model.h"
+
+// Repository-name helpers live here; declared in service.h's support header
+// space but kept near the model.
+#include <cctype>
+
+namespace dockmine::registry {
+
+bool is_official_name(std::string_view name) noexcept {
+  return name.find('/') == std::string_view::npos;
+}
+
+bool is_valid_repository_name(std::string_view name) noexcept {
+  if (name.empty() || name.size() > 255) return false;
+  std::size_t slashes = 0;
+  char prev = '\0';
+  for (char c : name) {
+    if (c == '/') {
+      ++slashes;
+      if (prev == '\0' || prev == '/') return false;  // empty component
+    } else if (!(std::islower(static_cast<unsigned char>(c)) ||
+                 std::isdigit(static_cast<unsigned char>(c)) || c == '-' ||
+                 c == '_' || c == '.')) {
+      return false;
+    }
+    prev = c;
+  }
+  return prev != '/' && slashes <= 1;
+}
+
+}  // namespace dockmine::registry

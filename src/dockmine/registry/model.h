@@ -1,0 +1,53 @@
+// Registry data model: layers, manifests, repositories — the entities the
+// paper's §II-B/§II-C describe.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dockmine/digest/digest.h"
+
+namespace dockmine::registry {
+
+/// Reference to one layer blob from a manifest.
+struct LayerRef {
+  digest::Digest digest;          ///< digest of the *compressed* layer blob
+  std::uint64_t compressed_size = 0;
+};
+
+/// Image manifest (schema v2 subset): ordered layer list + config.
+struct Manifest {
+  std::string repository;         ///< e.g. "library/nginx" or "alice/app"
+  std::string tag = "latest";
+  std::string architecture = "amd64";
+  std::string os = "linux";
+  digest::Digest config_digest;
+  std::uint64_t config_size = 0;
+  std::vector<LayerRef> layers;
+
+  std::uint64_t compressed_image_size() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& layer : layers) total += layer.compressed_size;
+    return total;
+  }
+};
+
+/// A repository: namespace entry holding tagged manifests plus the
+/// popularity metadata Docker Hub exposes.
+struct Repository {
+  std::string name;
+  bool official = false;          ///< "<name>" vs "<user>/<name>"
+  bool requires_auth = false;     ///< pulls fail with 401 (13% of the paper's
+                                  ///< failed downloads)
+  std::uint64_t pull_count = 0;
+  std::uint64_t star_count = 0;
+  std::map<std::string, digest::Digest> tags;  ///< tag -> manifest digest
+
+  bool has_tag(const std::string& tag) const {
+    return tags.find(tag) != tags.end();
+  }
+};
+
+}  // namespace dockmine::registry

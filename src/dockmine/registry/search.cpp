@@ -1,0 +1,61 @@
+#include "dockmine/registry/search.h"
+
+#include <algorithm>
+
+#include "dockmine/stats/sampling.h"
+
+namespace dockmine::registry {
+
+SearchIndex::SearchIndex(const Service& service, double duplicate_factor,
+                         std::uint64_t seed) {
+  util::Rng rng(seed);
+  const std::vector<std::string> names = service.repository_names();
+  entries_.reserve(static_cast<std::size_t>(
+      static_cast<double>(names.size()) * std::max(1.0, duplicate_factor)));
+  for (const auto& name : names) {
+    std::uint64_t pulls = 0;
+    if (auto repo = service.find_repository(name)) pulls = repo->pull_count;
+    entries_.push_back(SearchHit{name, pulls});
+  }
+  // Inject duplicates: each extra entry repeats a uniformly chosen
+  // repository, mimicking index shards answering overlapping ranges.
+  const std::size_t distinct = entries_.size();
+  const auto extra = static_cast<std::size_t>(
+      static_cast<double>(distinct) * (std::max(1.0, duplicate_factor) - 1.0));
+  for (std::size_t i = 0; i < extra; ++i) {
+    entries_.push_back(entries_[rng.uniform(distinct)]);
+  }
+  stats::shuffle(entries_, rng);
+}
+
+SearchPage SearchIndex::page(const std::string& query,
+                             std::uint64_t page_number,
+                             std::size_t page_size) const {
+  SearchPage out;
+  out.page_number = page_number;
+  if (page_size == 0) return out;
+  auto matches = [&](const SearchHit& hit) {
+    if (query.empty()) return true;
+    if (query == "/") return hit.repository.find('/') != std::string::npos;
+    return hit.repository.find(query) != std::string::npos;
+  };
+  // Scan with skipping; acceptable because crawls read pages sequentially
+  // and the index fits memory (at full Docker Hub scale a real engine
+  // would keep per-query cursors).
+  std::uint64_t to_skip = page_number * page_size;
+  for (const auto& entry : entries_) {
+    if (!matches(entry)) continue;
+    if (to_skip > 0) {
+      --to_skip;
+      continue;
+    }
+    if (out.hits.size() == page_size) {
+      out.has_next = true;
+      break;
+    }
+    out.hits.push_back(entry);
+  }
+  return out;
+}
+
+}  // namespace dockmine::registry

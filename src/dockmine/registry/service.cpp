@@ -1,0 +1,105 @@
+#include "dockmine/registry/service.h"
+
+namespace dockmine::registry {
+
+void Service::put_repository(Repository repo) {
+  std::lock_guard lock(mutex_);
+  repos_[repo.name] = std::move(repo);
+}
+
+util::Result<digest::Digest> Service::push_manifest(const Manifest& manifest) {
+  if (!is_valid_repository_name(manifest.repository)) {
+    return util::invalid_argument("bad repository name '" +
+                                  manifest.repository + "'");
+  }
+  const std::string body = manifest_to_json(manifest);
+  const digest::Digest digest = blobs_.put(body);
+  std::lock_guard lock(mutex_);
+  auto& repo = repos_[manifest.repository];
+  if (repo.name.empty()) {
+    repo.name = manifest.repository;
+    repo.official = is_official_name(manifest.repository);
+  }
+  repo.tags[manifest.tag] = digest;
+  return digest;
+}
+
+util::Result<std::string> Service::get_manifest(const std::string& repository,
+                                                const std::string& tag,
+                                                bool authenticated) {
+  digest::Digest manifest_digest;
+  {
+    std::lock_guard lock(mutex_);
+    ++stats_.manifest_requests;
+    stats_.simulated_ms += cost_.base_ms;
+    const auto it = repos_.find(repository);
+    if (it == repos_.end()) {
+      ++stats_.not_found;
+      return util::not_found("repository '" + repository + "'");
+    }
+    if (it->second.requires_auth && !authenticated) {
+      ++stats_.unauthorized;
+      return util::unauthorized("repository '" + repository +
+                                "' requires a token");
+    }
+    const auto tag_it = it->second.tags.find(tag);
+    if (tag_it == it->second.tags.end()) {
+      ++stats_.not_found;
+      return util::not_found("repository '" + repository + "' has no tag '" +
+                             tag + "'");
+    }
+    manifest_digest = tag_it->second;
+  }
+  auto body = blobs_.get(manifest_digest);
+  if (!body.ok()) return std::move(body).error();
+  {
+    std::lock_guard lock(mutex_);
+    stats_.bytes_served += body.value()->size();
+  }
+  return std::string(*body.value());
+}
+
+util::Result<blob::BlobPtr> Service::get_blob(const digest::Digest& digest) {
+  auto blob = blobs_.get(digest);
+  std::lock_guard lock(mutex_);
+  ++stats_.blob_requests;
+  if (!blob.ok()) {
+    ++stats_.not_found;
+    stats_.simulated_ms += cost_.base_ms;
+    return blob;
+  }
+  stats_.bytes_served += blob.value()->size();
+  stats_.simulated_ms += cost_.transfer_ms(blob.value()->size());
+  return blob;
+}
+
+std::optional<Repository> Service::find_repository(
+    const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  const auto it = repos_.find(name);
+  if (it == repos_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::string> Service::repository_names() const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(repos_.size());
+  for (const auto& [name, repo] : repos_) {
+    (void)repo;
+    names.push_back(name);
+  }
+  return names;
+}
+
+std::size_t Service::repository_count() const {
+  std::lock_guard lock(mutex_);
+  return repos_.size();
+}
+
+ServiceStats Service::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+}  // namespace dockmine::registry

@@ -1,0 +1,80 @@
+#include "dockmine/stats/cdf.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace dockmine::stats {
+
+Ecdf::Ecdf(std::vector<double> samples) : samples_(std::move(samples)) {}
+
+void Ecdf::ensure_sorted() const {
+  if (dirty_) {
+    std::sort(samples_.begin(), samples_.end());
+    dirty_ = false;
+  }
+}
+
+double Ecdf::quantile(double q) const {
+  assert(!samples_.empty());
+  ensure_sorted();
+  q = std::clamp(q, 0.0, 1.0);
+  if (samples_.size() == 1) return samples_.front();
+  const double pos = q * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples_[lo] + frac * (samples_[hi] - samples_[lo]);
+}
+
+double Ecdf::min() const {
+  ensure_sorted();
+  return samples_.empty() ? 0.0 : samples_.front();
+}
+
+double Ecdf::max() const {
+  ensure_sorted();
+  return samples_.empty() ? 0.0 : samples_.back();
+}
+
+double Ecdf::mean() const {
+  if (samples_.empty()) return 0.0;
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
+         static_cast<double>(samples_.size());
+}
+
+double Ecdf::fraction_at_or_below(double x) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+double Ecdf::fraction_equal(double x) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  const auto range = std::equal_range(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(range.second - range.first) /
+         static_cast<double>(samples_.size());
+}
+
+std::vector<std::pair<double, double>> Ecdf::curve(std::size_t points) const {
+  std::vector<std::pair<double, double>> out;
+  if (samples_.empty() || points == 0) return out;
+  out.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double q =
+        points == 1 ? 1.0 : static_cast<double>(i) / static_cast<double>(points - 1);
+    out.emplace_back(q, quantile(q));
+  }
+  return out;
+}
+
+const std::vector<double>& Ecdf::sorted_samples() const {
+  ensure_sorted();
+  return samples_;
+}
+
+}  // namespace dockmine::stats

@@ -1,0 +1,56 @@
+// Empirical CDFs. Every distribution figure in the paper (Figs. 3-12, 23-26)
+// is a CDF panel; this type is what the bench harness prints.
+//
+// `Ecdf` keeps the full sample (exact percentiles; fine for the 10^4-10^6
+// sample counts our scaled runs produce). For the multi-billion-file cases a
+// quantile sketch would be needed; the log-bucketed `Histogram` doubles as a
+// mergeable approximate CDF for those paths.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dockmine::stats {
+
+class Ecdf {
+ public:
+  Ecdf() = default;
+  explicit Ecdf(std::vector<double> samples);
+
+  void add(double x) { samples_.push_back(x); dirty_ = true; }
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
+  std::size_t size() const noexcept { return samples_.size(); }
+  bool empty() const noexcept { return samples_.empty(); }
+
+  /// Value at quantile q in [0, 1]; linear interpolation between order
+  /// statistics. Precondition: non-empty.
+  double quantile(double q) const;
+
+  double median() const { return quantile(0.5); }
+  double p90() const { return quantile(0.9); }
+  double min() const;
+  double max() const;
+  double mean() const;
+
+  /// P(X <= x): fraction of samples at or below x.
+  double fraction_at_or_below(double x) const;
+
+  /// Fraction of samples exactly equal to x (e.g., "27% of layers have a
+  /// single file": fraction_equal(1)).
+  double fraction_equal(double x) const;
+
+  /// Evenly spaced (quantile, value) points for plotting/printing.
+  std::vector<std::pair<double, double>> curve(std::size_t points = 100) const;
+
+  const std::vector<double>& sorted_samples() const;
+
+ private:
+  void ensure_sorted() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool dirty_ = true;
+};
+
+}  // namespace dockmine::stats

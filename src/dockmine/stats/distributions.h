@@ -1,0 +1,100 @@
+// Parametric samplers behind the synthetic Docker Hub model.
+//
+// The paper's populations are heavy-tailed (layer sizes span 0 B to 498 GB,
+// pull counts 0 to 650 M). We model them with log-normals (body),
+// Pareto tails, Zipf rank popularity, and weighted mixtures. Each sampler
+// takes an explicit Rng so generation is deterministic and parallelizable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dockmine/util/rng.h"
+
+namespace dockmine::stats {
+
+/// Log-normal: X = exp(mu + sigma * Z). Natural fit for sizes.
+class LogNormal {
+ public:
+  LogNormal(double mu, double sigma) noexcept : mu_(mu), sigma_(sigma) {}
+
+  /// Construct from two quantile targets, the form the paper reports
+  /// ("median 4 MB, 90% below 63 MB"). z(0.9) = 1.2815515655.
+  static LogNormal from_median_p90(double median, double p90) noexcept;
+
+  double sample(util::Rng& rng) const noexcept;
+  double median() const noexcept;
+  double quantile(double q) const noexcept;
+
+  double mu() const noexcept { return mu_; }
+  double sigma() const noexcept { return sigma_; }
+
+ private:
+  double mu_, sigma_;
+};
+
+/// Pareto (Type I): survival P(X > x) = (xm / x)^alpha for x >= xm.
+class Pareto {
+ public:
+  Pareto(double xm, double alpha) noexcept : xm_(xm), alpha_(alpha) {}
+  double sample(util::Rng& rng) const noexcept;
+  double quantile(double q) const noexcept;
+
+ private:
+  double xm_, alpha_;
+};
+
+/// Zipf over ranks {1..n} with exponent s: P(rank=k) proportional to k^-s.
+/// Uses Devroye's rejection method — O(1) per sample, no O(n) tables — so it
+/// scales to n = hundreds of thousands of repositories.
+class Zipf {
+ public:
+  Zipf(std::uint64_t n, double s) noexcept;
+  std::uint64_t sample(util::Rng& rng) const noexcept;
+
+  std::uint64_t n() const noexcept { return n_; }
+  double s() const noexcept { return s_; }
+
+ private:
+  double h_integral(double x) const noexcept;
+  double h_integral_inverse(double x) const noexcept;
+
+  std::uint64_t n_;
+  double s_;
+  double h_x1_, h_n_;
+  double threshold_;
+};
+
+/// Walker alias table: O(1) samples from an arbitrary finite discrete
+/// distribution. Drives the file-type mixture (Figs. 14-22 shares).
+class AliasTable {
+ public:
+  /// Empty table; sample() returns 0. Exists so the type can be a class
+  /// member initialized after construction.
+  AliasTable() = default;
+  explicit AliasTable(const std::vector<double>& weights);
+  std::size_t sample(util::Rng& rng) const noexcept;
+  std::size_t size() const noexcept { return prob_.size(); }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<std::uint32_t> alias_;
+};
+
+/// Two-component size model: log-normal body with probability (1 - tail_p),
+/// Pareto tail otherwise. Matches the paper's shape of "most values modest,
+/// a few enormous" (Fig. 3: half the layers < 4 MB, max layer hundreds of GB).
+class BodyTail {
+ public:
+  BodyTail(LogNormal body, Pareto tail, double tail_p) noexcept
+      : body_(body), tail_(tail), tail_p_(tail_p) {}
+
+  double sample(util::Rng& rng) const noexcept;
+
+ private:
+  LogNormal body_;
+  Pareto tail_;
+  double tail_p_;
+};
+
+}  // namespace dockmine::stats

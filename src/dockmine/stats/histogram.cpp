@@ -1,0 +1,118 @@
+#include "dockmine/stats/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace dockmine::stats {
+
+LinearHistogram::LinearHistogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0) {
+  if (!(hi > lo) || buckets == 0) {
+    throw std::invalid_argument("LinearHistogram: need hi > lo and buckets > 0");
+  }
+}
+
+void LinearHistogram::add(double x, std::uint64_t weight) noexcept {
+  std::size_t idx;
+  if (x < lo_) {
+    idx = 0;
+  } else if (x >= hi_) {
+    idx = counts_.size() - 1;
+  } else {
+    idx = std::min(counts_.size() - 1,
+                   static_cast<std::size_t>((x - lo_) / width_));
+  }
+  counts_[idx] += weight;
+  total_ += weight;
+}
+
+void LinearHistogram::merge(const LinearHistogram& other) {
+  if (other.counts_.size() != counts_.size() || other.lo_ != lo_ ||
+      other.hi_ != hi_) {
+    throw std::invalid_argument("LinearHistogram::merge: shape mismatch");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  total_ += other.total_;
+}
+
+double LinearHistogram::bucket_lo(std::size_t i) const noexcept {
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+double LinearHistogram::bucket_hi(std::size_t i) const noexcept {
+  return lo_ + width_ * static_cast<double>(i + 1);
+}
+
+std::size_t LinearHistogram::mode_bucket() const noexcept {
+  return static_cast<std::size_t>(
+      std::max_element(counts_.begin(), counts_.end()) - counts_.begin());
+}
+
+Log2Histogram::Log2Histogram() = default;
+
+void Log2Histogram::add(double x, std::uint64_t weight) noexcept {
+  total_ += weight;
+  if (!(x >= 1.0)) {  // also catches NaN
+    zero_ += weight;
+    return;
+  }
+  int k = std::min(kBuckets - 1, static_cast<int>(std::log2(x)));
+  if (k < 0) k = 0;
+  counts_[k] += weight;
+}
+
+void Log2Histogram::merge(const Log2Histogram& other) {
+  zero_ += other.zero_;
+  total_ += other.total_;
+  for (int i = 0; i < kBuckets; ++i) counts_[i] += other.counts_[i];
+}
+
+double Log2Histogram::quantile(double q) const {
+  if (total_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(
+      q * static_cast<double>(total_ - 1));
+  std::uint64_t cum = zero_;
+  if (target < cum) return 0.0;
+  for (int k = 0; k < kBuckets; ++k) {
+    if (counts_[k] == 0) continue;
+    if (target < cum + counts_[k]) {
+      const double lo = std::exp2(k);
+      const double hi = std::exp2(k + 1);
+      const double within = static_cast<double>(target - cum) /
+                            static_cast<double>(counts_[k]);
+      // Geometric interpolation inside the bucket.
+      return lo * std::pow(hi / lo, within);
+    }
+    cum += counts_[k];
+  }
+  return std::exp2(kBuckets);
+}
+
+double Log2Histogram::fraction_at_or_below(double x) const {
+  if (total_ == 0) return 0.0;
+  if (x < 1.0) return static_cast<double>(zero_) / static_cast<double>(total_);
+  std::uint64_t cum = zero_;
+  const int kx = std::min(kBuckets - 1, static_cast<int>(std::log2(x)));
+  for (int k = 0; k < kx; ++k) cum += counts_[k];
+  // Partial credit within bucket kx by geometric position.
+  const double lo = std::exp2(kx);
+  const double hi = std::exp2(kx + 1);
+  const double within = std::clamp(std::log(x / lo) / std::log(hi / lo), 0.0, 1.0);
+  cum += static_cast<std::uint64_t>(within * static_cast<double>(counts_[kx]));
+  return static_cast<double>(cum) / static_cast<double>(total_);
+}
+
+std::vector<Log2Histogram::Row> Log2Histogram::rows() const {
+  std::vector<Row> out;
+  if (zero_ > 0) out.push_back({0.0, 1.0, zero_});
+  for (int k = 0; k < kBuckets; ++k) {
+    if (counts_[k] > 0) out.push_back({std::exp2(k), std::exp2(k + 1), counts_[k]});
+  }
+  return out;
+}
+
+}  // namespace dockmine::stats

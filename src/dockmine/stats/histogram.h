@@ -1,0 +1,74 @@
+// Bucketed histograms for the paper's "histogram of ..." panels
+// (Figs. 3(b), 4(b), 7(b), 8(b), 10(b)) and as mergeable approximate CDFs
+// for populations too large to keep exact samples for.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dockmine::stats {
+
+/// Fixed-width linear histogram over [lo, hi); values outside are clamped
+/// into the first/last bucket (the paper's histograms likewise truncate the
+/// long tail, e.g. Fig. 3(b) zooms into 0-128 MB).
+class LinearHistogram {
+ public:
+  LinearHistogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x, std::uint64_t weight = 1) noexcept;
+  void merge(const LinearHistogram& other);
+
+  std::size_t bucket_count() const noexcept { return counts_.size(); }
+  std::uint64_t bucket(std::size_t i) const { return counts_.at(i); }
+  std::uint64_t total() const noexcept { return total_; }
+
+  double bucket_lo(std::size_t i) const noexcept;
+  double bucket_hi(std::size_t i) const noexcept;
+
+  /// Index of the fullest bucket (the mode bucket).
+  std::size_t mode_bucket() const noexcept;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Log2-bucketed histogram for heavy-tailed quantities (file sizes span
+/// 0 bytes to 498 GB). Bucket k covers [2^k, 2^(k+1)); values < 1 go to a
+/// dedicated zero bucket. Also provides approximate quantiles, making it a
+/// mergeable CDF sketch with <= 2x relative value error.
+class Log2Histogram {
+ public:
+  Log2Histogram();
+
+  void add(double x, std::uint64_t weight = 1) noexcept;
+  void merge(const Log2Histogram& other);
+
+  std::uint64_t total() const noexcept { return total_; }
+  std::uint64_t zero_count() const noexcept { return zero_; }
+
+  /// Approximate value at quantile q (geometric mid-point of the bucket the
+  /// quantile falls in, interpolated by rank within the bucket).
+  double quantile(double q) const;
+
+  /// Approximate P(X <= x).
+  double fraction_at_or_below(double x) const;
+
+  /// (bucket_lo, bucket_hi, count) rows for non-empty buckets.
+  struct Row {
+    double lo;
+    double hi;
+    std::uint64_t count;
+  };
+  std::vector<Row> rows() const;
+
+ private:
+  static constexpr int kBuckets = 64;
+  std::uint64_t zero_ = 0;
+  std::uint64_t counts_[kBuckets] = {};
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace dockmine::stats

@@ -1,0 +1,30 @@
+#include "dockmine/stats/sampling.h"
+
+#include <algorithm>
+
+namespace dockmine::stats {
+
+std::vector<std::uint64_t> sample_indices(std::uint64_t n, std::size_t k,
+                                          util::Rng& rng) {
+  if (k >= n) {
+    std::vector<std::uint64_t> all(n);
+    for (std::uint64_t i = 0; i < n; ++i) all[i] = i;
+    return all;
+  }
+  std::unordered_set<std::uint64_t> chosen;
+  chosen.reserve(k * 2);
+  std::vector<std::uint64_t> out;
+  out.reserve(k);
+  for (std::uint64_t j = n - k; j < n; ++j) {
+    const std::uint64_t t = rng.uniform(j + 1);
+    if (chosen.insert(t).second) {
+      out.push_back(t);
+    } else {
+      chosen.insert(j);
+      out.push_back(j);
+    }
+  }
+  return out;
+}
+
+}  // namespace dockmine::stats

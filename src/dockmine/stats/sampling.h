@@ -1,0 +1,57 @@
+// Sampling utilities for the dedup-growth experiment (Fig. 25 draws
+// "4 random samples from the whole dataset") and for bounded-memory
+// profiling of huge populations.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "dockmine/util/rng.h"
+
+namespace dockmine::stats {
+
+/// Classic reservoir sampling (Algorithm R): uniform k-subset of a stream of
+/// unknown length.
+template <typename T>
+class Reservoir {
+ public:
+  Reservoir(std::size_t capacity, util::Rng rng)
+      : capacity_(capacity), rng_(rng) {}
+
+  void add(T item) {
+    ++seen_;
+    if (items_.size() < capacity_) {
+      items_.push_back(std::move(item));
+      return;
+    }
+    const std::uint64_t j = rng_.uniform(seen_);
+    if (j < capacity_) items_[j] = std::move(item);
+  }
+
+  const std::vector<T>& items() const noexcept { return items_; }
+  std::uint64_t seen() const noexcept { return seen_; }
+
+ private:
+  std::size_t capacity_;
+  util::Rng rng_;
+  std::uint64_t seen_ = 0;
+  std::vector<T> items_;
+};
+
+/// Floyd's algorithm: k distinct indices uniformly drawn from [0, n).
+/// O(k) expected time and memory independent of n.
+std::vector<std::uint64_t> sample_indices(std::uint64_t n, std::size_t k,
+                                          util::Rng& rng);
+
+/// Fisher-Yates in-place shuffle.
+template <typename T>
+void shuffle(std::vector<T>& items, util::Rng& rng) {
+  for (std::size_t i = items.size(); i > 1; --i) {
+    const std::size_t j = rng.uniform(i);
+    using std::swap;
+    swap(items[i - 1], items[j]);
+  }
+}
+
+}  // namespace dockmine::stats

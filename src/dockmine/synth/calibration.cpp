@@ -1,0 +1,10 @@
+#include "dockmine/synth/calibration.h"
+
+namespace dockmine::synth {
+
+static_assert(Calibration::kFullRepositories == 457627);
+static_assert(Calibration::kFullImagesDownloaded +
+                  Calibration::kFullImagesFailed ==
+              466703);
+
+}  // namespace dockmine::synth

@@ -1,0 +1,217 @@
+// Calibration constants for the synthetic Docker Hub snapshot.
+//
+// Every number here is either copied from the paper (cited by section /
+// figure) or a model parameter fitted so the generated population
+// reproduces the paper's reported quantiles. The generator consumes ONLY
+// this struct; benches print paper-vs-measured so any drift is visible.
+#pragma once
+
+#include <cstdint>
+
+namespace dockmine::synth {
+
+/// Scale of a generated snapshot. The paper's full snapshot is preserved in
+/// `Calibration::kFullRepositories`; tests and benches run scaled-down
+/// replicas whose *distributions* match.
+struct Scale {
+  std::uint64_t repositories = 2000;
+  std::uint64_t seed = 20170530;  // the paper's crawl date
+
+  static Scale test() { return {300, 20170530}; }
+  static Scale bench() { return {2000, 20170530}; }
+  static Scale large() { return {40000, 20170530}; }
+};
+
+struct Calibration {
+  // ===== §III totals =====
+  static constexpr std::uint64_t kFullRepositories = 457627;   // distinct
+  static constexpr std::uint64_t kFullRawSearchHits = 634412;  // crawler raw
+  static constexpr double kSearchDuplicateFactor =
+      634412.0 / 457627.0;  // ~1.386
+  static constexpr std::uint64_t kFullImagesDownloaded = 355319;
+  static constexpr std::uint64_t kFullImagesFailed = 111384;
+  static constexpr std::uint64_t kFullLayers = 1792609;
+  static constexpr std::uint64_t kFullFiles = 5278465130ULL;
+  // Of failed downloads: 13% required auth, 87% had no `latest` tag.
+  static constexpr double kFailAuthFraction = 0.13;
+  static constexpr double kFailNoLatestFraction = 0.87;
+  // Failure rate over attempted repositories.
+  static constexpr double kDownloadFailureRate =
+      static_cast<double>(kFullImagesFailed) /
+      static_cast<double>(kFullImagesDownloaded + kFullImagesFailed);
+
+  // ===== Fig. 3 — layer sizes =====
+  // "50% of the layers are smaller than 4 MB ... 90% smaller than 177 MB
+  // uncompressed / 63 MB compressed."
+  static constexpr double kLayerClsMedian = 4.0e6;
+  static constexpr double kLayerClsP90 = 63.0e6;
+  static constexpr double kLayerFlsP90 = 177.0e6;
+
+  // ===== Fig. 4 — compression ratio =====
+  // "median compression ratio is 2.6 ... 90% less than 4 ... largest 1026."
+  double ratio_median = 2.6;
+  double ratio_p90 = 4.0;
+  double ratio_max = 1026.0;
+  double ratio_min = 1.0;
+
+  // ===== Fig. 5 — files per layer =====
+  // "7% no files, 27% single file, 50% < 30 files, 90% < 7410,
+  //  largest layer 826,196 files."
+  // File counts are generated per-image-class: most images are "light"
+  // (few, large files — an app binary plus configs), a minority are
+  // "heavy" (distro trees: thousands of small files). This reproduces the
+  // joint facts that layers have median 30 / p90 7,410 files while images
+  // have median 1,090 / p90 64,780 (Figs. 5 vs 12) — impossible if layers
+  // were i.i.d. across images.
+  double image_heavy_prob = 0.15;
+  // light-image own layers:
+  double light_empty_prob = 0.08;
+  double light_single_prob = 0.31;
+  double files_small_median = 61.0;
+  double files_small_sigma = 1.4;
+  // heavy-image own layers:
+  double heavy_empty_prob = 0.05;
+  double heavy_single_prob = 0.15;
+  double files_big_median = 12000.0;
+  double files_big_sigma = 1.0;
+  std::uint64_t files_max = 826196;
+  // Derived overall fractions (documented targets): empty ~7%, single ~27%.
+
+  // ===== Fig. 6/7 — directories and depth =====
+  // dirs ~ 0.8 * files^0.78 (fitted: median 11 @ 30 files, 826 @ 7410),
+  // lognormal noise; depth mode 3, median < 4, 90% < 10, max 111,940 dirs.
+  double dirs_coeff = 0.8;
+  double dirs_exponent = 0.78;
+  double dirs_noise_sigma = 0.35;
+  std::uint64_t dirs_max = 111940;
+  double depth_median = 3.4;
+  double depth_sigma = 0.45;
+  std::uint64_t depth_max = 40;
+
+  // ===== Fig. 8 — repository popularity =====
+  // "median 40 pulls, p90 333, max 650M (nginx); peaks at 0-5 pulls and a
+  //  second mode around 37."
+  double pulls_low_weight = 0.42;   // barely-pulled repos
+  double pulls_low_median = 4.0;
+  double pulls_low_sigma = 1.1;
+  double pulls_mid_weight = 0.565;  // the ~37-pull mode
+  double pulls_mid_median = 115.0;  // lognormal mode = median*e^-s^2 ~= 41
+  double pulls_mid_sigma = 1.05;
+  double pulls_tail_weight = 0.015; // heavy hitters
+  double pulls_tail_xm = 2000.0;
+  double pulls_tail_alpha = 0.52;
+  double pulls_max = 6.5e8;
+
+  // ===== Fig. 10 — layers per image =====
+  // "mode 8, 50% < 8, 90% < 18, max 120; 7,060 single-layer images (~2%)."
+  double layers_single_prob = 0.02;
+  double layers_median = 8.0;
+  double layers_sigma = 0.63;  // ln(18/8)/z90
+  std::uint64_t layers_max = 120;
+
+  // ===== Fig. 23 / §V-A — layer sharing =====
+  // One empty layer referenced by 184,171 of 355,319 images (~52%);
+  // top base layers referenced by ~29-33k images (~8-9%); 90% of layers
+  // referenced once; sharing saves 1.8x of compressed bytes.
+  double empty_layer_prob = 0.52;
+  double base_stack_prob = 0.40;     // image builds on a popular base stack
+  double base_pool_per_repo = 1.0 / 2500.0;  // number of base stacks
+  double base_zipf_s = 1.10;
+  std::uint32_t base_stack_layers_min = 1;
+  std::uint32_t base_stack_layers_max = 5;
+  // Bottom (distro rootfs) layer of a base stack; upper stack layers use
+  // the small component.
+  double files_base_median = 2600.0;
+  double files_base_sigma = 1.0;
+  // Twin images: users pushing several variants of one image share most of
+  // its non-base layers. This is what lifts the Fig. 23 reference-count
+  // curve off "everything referenced once" (paper: 90% once, ~5% twice).
+  std::uint32_t twin_cluster_size = 8;
+  double twin_prob = 0.24;          // non-head cluster members that twin
+  std::uint32_t twin_new_layers_max = 3;
+
+  // ===== Figs. 24-29 / §V-B — file-level dedup =====
+  // Full-scale targets: 3.2% unique files, dedup 31.5x count / 6.9x
+  // capacity; 50% of files have exactly 4 copies, 90% <= 10; the most
+  // repeated file is empty (53,654,306 copies ~= 1% of all files).
+  double empty_file_prob = 0.010;    // instances of THE empty file
+  // Probability that a non-empty file instance is a fresh, never-shared
+  // content (vs a draw from the shared pool). Per type group, fitted to the
+  // per-group dedup ratios of Fig. 27 (SC 96.8%, Scr 98%, Doc 92%,
+  // EOL/Arch/Img ~86%, DB 76%).
+  double fresh_prob[8] = {
+      0.020,  // EOL
+      0.006,  // SourceCode
+      0.004,  // Scripts
+      0.012,  // Documents
+      0.020,  // Archival
+      0.020,  // Images
+      0.060,  // Databases
+      0.010,  // Other
+  };
+  // Shared-pool rank popularity (Zipf exponent); pool sizes follow the
+  // Heaps-law fit in file_model.h, scaled per group by these multipliers —
+  // smaller pool => more duplication (scripts/source are the most
+  // replicated per Fig. 27, databases the least).
+  double pool_zipf_s = 0.70;
+  double pool_budget_mult[8] = {
+      1.3,   // EOL
+      0.35,  // SourceCode
+      0.25,  // Scripts
+      0.80,  // Documents
+      1.3,   // Archival
+      1.3,   // Images
+      2.5,   // Databases
+      1.0,   // Other
+  };
+  std::uint64_t pool_min_size = 64;
+
+  // Size-count anticorrelation: layers with few files skew toward large
+  // file types (a single added tarball or binary), file-count-heavy layers
+  // toward small ones (pyc trees, docs). Required to reconcile layer file
+  // counts (median 30) with layer sizes (median ~4 MB) — 30 average files
+  // would only be ~0.7 MB.
+  std::uint64_t bias_big_max_files = 100;    // <= this => big-file mixture
+  std::uint64_t bias_small_min_files = 2000; // >= this => small-file mixture
+
+  // Global multiplier on per-type mean file sizes. 1.0 reproduces the
+  // paper; light() shrinks it so bytes-mode tests stay cheap.
+  double file_size_scale = 1.0;
+
+  // ===== §IV-C — file type mix (Figs. 14-22) =====
+  // Count shares by group {EOL, SC, Scr, Doc, Arch, Img, DB, Other};
+  // see file_model.cpp for the per-type breakdown within groups.
+  // Base shares are pre-bias; the size-count bias shifts realized global
+  // shares, so these are fitted so the MEASURED shares match Fig. 14
+  // (Doc 44%, SC 13%, EOL 11%, Scr 9%, Img 4%; Arch/DB back-computed from
+  // capacity shares and average sizes).
+  double group_count_share[8] = {
+      0.1794,  // EOL
+      0.1315,  // SC
+      0.0912,  // Scr
+      0.3113,  // Doc
+      0.0956,  // Arch
+      0.0487,  // Img
+      0.0036,  // DB
+      0.1387,  // Other
+  };
+
+  static Calibration paper() { return {}; }
+
+  /// Same logic, drastically smaller layers: for bytes-mode tests that
+  /// exercise the tar/gzip/registry/analyzer paths without generating
+  /// gigabytes. Distribution-band tests must use paper().
+  static Calibration light() {
+    Calibration cal;
+    cal.image_heavy_prob = 0.10;
+    cal.files_small_median = 12.0;
+    cal.files_small_sigma = 1.0;
+    cal.files_big_median = 250.0;
+    cal.files_big_sigma = 0.8;
+    cal.files_base_median = 80.0;
+    cal.file_size_scale = 0.05;
+    return cal;
+  }
+};
+
+}  // namespace dockmine::synth

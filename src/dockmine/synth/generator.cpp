@@ -1,0 +1,145 @@
+#include "dockmine/synth/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace dockmine::synth {
+
+namespace {
+
+// Official repository names (beyond the pinned top-5): a plausible roster so
+// generated snapshots read like Docker Hub. ~200 officials at full scale.
+constexpr std::string_view kOfficialNames[] = {
+    "alpine",     "debian",    "busybox",   "mysql",      "postgres",
+    "mongo",      "node",      "python",    "golang",     "php",
+    "ruby",       "java",      "memcached", "rabbitmq",   "httpd",
+    "tomcat",     "jenkins",   "wordpress", "elasticsearch", "cassandra",
+    "mariadb",    "consul",    "haproxy",   "kibana",     "logstash",
+    "traefik",    "vault",     "influxdb",  "telegraf",   "ghost",
+    "owncloud",   "nextcloud", "drupal",    "joomla",     "sonarqube",
+    "nats",       "zookeeper", "kafka",     "solr",       "couchdb",
+};
+
+constexpr std::string_view kUserWords[] = {
+    "dev",  "lab",   "team",  "cloud", "data", "sys",  "net",  "ops",
+    "soft", "code",  "micro", "hub",   "apps", "stack", "core", "byte",
+};
+constexpr std::string_view kAppWords[] = {
+    "api",     "web",     "app",      "service", "worker", "proxy",
+    "backend", "frontend", "gateway", "pipeline", "bot",   "agent",
+    "builder", "runner",  "monitor",  "cache",    "queue", "store",
+};
+
+std::string make_user_repo_name(util::Rng& rng, std::uint64_t index) {
+  const std::string_view u1 = kUserWords[rng.uniform(std::size(kUserWords))];
+  const std::string_view a1 = kAppWords[rng.uniform(std::size(kAppWords))];
+  // The numeric suffix guarantees global uniqueness.
+  return std::string(u1) + std::to_string(index % 9973) + "/" +
+         std::string(a1) + "-" + std::to_string(index);
+}
+
+}  // namespace
+
+double expected_mean_files_per_layer(const Calibration& cal) {
+  const double mean_small =
+      cal.files_small_median *
+      std::exp(cal.files_small_sigma * cal.files_small_sigma / 2.0);
+  const double mean_big =
+      cal.files_big_median *
+      std::exp(cal.files_big_sigma * cal.files_big_sigma / 2.0);
+  const double light = cal.light_single_prob +
+                       (1.0 - cal.light_empty_prob - cal.light_single_prob) *
+                           mean_small;
+  const double heavy = cal.heavy_single_prob +
+                       (1.0 - cal.heavy_empty_prob - cal.heavy_single_prob) *
+                           mean_big;
+  return (1.0 - cal.image_heavy_prob) * light + cal.image_heavy_prob * heavy;
+}
+
+HubModel::HubModel(Calibration cal, Scale scale)
+    : cal_(cal), scale_(scale) {
+  util::Rng rng(util::splitmix64(scale_.seed));
+
+  const std::uint64_t n_repos = std::max<std::uint64_t>(8, scale_.repositories);
+
+  // Mean layers per image under the Fig. 10 model; used (with mean files
+  // per layer) to presize the file-content pools.
+  const double mean_layers =
+      cal_.layers_single_prob +
+      (1.0 - cal_.layers_single_prob) * cal_.layers_median *
+          std::exp(cal_.layers_sigma * cal_.layers_sigma / 2.0);
+  const double expected_images =
+      static_cast<double>(n_repos) * (1.0 - Calibration::kDownloadFailureRate);
+  const double expected_instances = expected_images * mean_layers *
+                                    expected_mean_files_per_layer(cal_) * 0.85;
+  files_ = std::make_unique<FileModel>(
+      cal_, static_cast<std::uint64_t>(expected_instances), scale_.seed);
+  layers_ = std::make_unique<LayerModel>(cal_, *files_, scale_.seed);
+  lineage_ = std::make_unique<LineageModel>(cal_, n_repos, scale_.seed);
+
+  PopularityModel popularity(cal_);
+
+  // ---- repositories ----
+  repos_.reserve(n_repos);
+  const auto top = PopularityModel::top_repositories();
+  const std::uint64_t n_official = std::max<std::uint64_t>(
+      top.size(),
+      static_cast<std::uint64_t>(200.0 * static_cast<double>(n_repos) /
+                                 static_cast<double>(Calibration::kFullRepositories)));
+
+  for (std::uint64_t i = 0; i < n_repos; ++i) {
+    RepoSpec repo;
+    if (i < top.size()) {
+      repo.name = std::string(top[i].name);
+      repo.official = top[i].name.find('/') == std::string_view::npos;
+      repo.pull_count = top[i].pulls;
+    } else if (i < n_official && (i - top.size()) < std::size(kOfficialNames)) {
+      repo.name = std::string(kOfficialNames[i - top.size()]);
+      repo.official = true;
+      // Officials are popular: boost an ordinary draw.
+      repo.pull_count = popularity.sample(rng) * 50000 + 100000;
+    } else {
+      repo.name = make_user_repo_name(rng, i);
+      repo.pull_count = popularity.sample(rng);
+    }
+
+    // Failure classes (§III-B): 13% of the 23.9% failures need auth, 87%
+    // lack a `latest` tag. Officials always resolve.
+    if (!repo.official && i >= top.size()) {
+      const double p_auth =
+          Calibration::kDownloadFailureRate * Calibration::kFailAuthFraction;
+      const double p_no_latest = Calibration::kDownloadFailureRate *
+                                 Calibration::kFailNoLatestFraction;
+      const double u = rng.uniform01();
+      if (u < p_auth) {
+        repo.requires_auth = true;
+      } else if (u < p_auth + p_no_latest) {
+        repo.has_latest = false;
+      }
+    }
+    repos_.push_back(std::move(repo));
+  }
+
+  // ---- images (one `latest` image per repo that has the tag) ----
+  std::unordered_set<LayerId> seen_layers;
+  images_.reserve(repos_.size());
+  for (std::uint64_t i = 0; i < repos_.size(); ++i) {
+    RepoSpec& repo = repos_[i];
+    if (!repo.has_latest) continue;
+    ImageSpec image =
+        lineage_->compose(static_cast<std::uint32_t>(i), /*image_index=*/i);
+    repo.image_index = static_cast<std::int64_t>(images_.size());
+    if (!repo.requires_auth) {
+      ++downloadable_;
+      // The analysis dataset is what the downloader retrieved: layers of
+      // auth-gated images never reach it (paper: 13% of failures).
+      for (LayerId id : image.layers) {
+        if (seen_layers.insert(id).second) unique_layers_.push_back(id);
+      }
+    }
+    images_.push_back(std::move(image));
+  }
+}
+
+}  // namespace dockmine::synth

@@ -1,0 +1,81 @@
+// Snapshot generator: assembles the whole synthetic Docker Hub — the
+// repositories, images, layers, and file populations of the May-2017
+// snapshot, at a configurable scale.
+//
+// The resulting `HubModel` is lightweight: per-image layer lists plus the
+// deterministic sub-models. Layer contents stream on demand (metadata mode)
+// or materialize into real gzipped tars (materialize.h, bytes mode).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dockmine/synth/calibration.h"
+#include "dockmine/synth/file_model.h"
+#include "dockmine/synth/layer_model.h"
+#include "dockmine/synth/lineage.h"
+#include "dockmine/synth/popularity.h"
+
+namespace dockmine::synth {
+
+struct RepoSpec {
+  std::string name;
+  bool official = false;
+  bool requires_auth = false;  ///< manifest requests 401 without a token
+  bool has_latest = true;      ///< absent `latest` tag (87% of failures)
+  std::uint64_t pull_count = 0;
+  std::int64_t image_index = -1;  ///< into HubModel::images, -1 if none
+};
+
+/// The generated snapshot. Move-only (owns the sub-models).
+class HubModel {
+ public:
+  HubModel(Calibration cal, Scale scale);
+
+  HubModel(const HubModel&) = delete;
+  HubModel& operator=(const HubModel&) = delete;
+  HubModel(HubModel&&) = default;
+
+  const Calibration& calibration() const noexcept { return cal_; }
+  const Scale& scale() const noexcept { return scale_; }
+
+  const std::vector<RepoSpec>& repositories() const noexcept { return repos_; }
+  const std::vector<ImageSpec>& images() const noexcept { return images_; }
+
+  /// Every distinct layer in the snapshot (the paper's 1,792,609 at full
+  /// scale): the empty layer, every referenced base layer, every own layer.
+  const std::vector<LayerId>& unique_layers() const noexcept {
+    return unique_layers_;
+  }
+
+  const FileModel& files() const noexcept { return *files_; }
+  const LayerModel& layers() const noexcept { return *layers_; }
+  const LineageModel& lineage() const noexcept { return *lineage_; }
+
+  /// Deterministic spec of any layer id.
+  LayerSpec layer_spec(LayerId id) const {
+    return layers_->make_spec(id, LineageModel::kind_of(id));
+  }
+
+  /// Images whose download succeeds (repo has `latest` and is public).
+  std::uint64_t downloadable_images() const noexcept { return downloadable_; }
+
+ private:
+  Calibration cal_;
+  Scale scale_;
+  std::vector<RepoSpec> repos_;
+  std::vector<ImageSpec> images_;
+  std::vector<LayerId> unique_layers_;
+  std::unique_ptr<FileModel> files_;
+  std::unique_ptr<LayerModel> layers_;
+  std::unique_ptr<LineageModel> lineage_;
+  std::uint64_t downloadable_ = 0;
+};
+
+/// Analytic expectation of mean files per (non-empty-able) layer under the
+/// calibration; used to size the shared content pools before generation.
+double expected_mean_files_per_layer(const Calibration& cal);
+
+}  // namespace dockmine::synth

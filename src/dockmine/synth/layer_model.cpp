@@ -1,0 +1,133 @@
+#include "dockmine/synth/layer_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dockmine::synth {
+
+LayerModel::LayerModel(const Calibration& cal, const FileModel& files,
+                       std::uint64_t seed)
+    : cal_(cal), files_(files), seed_(seed) {}
+
+util::Rng LayerModel::layer_rng(LayerId id, std::uint64_t salt) const {
+  std::uint64_t s = seed_ ^ (id * 0x9e3779b97f4a7c15ULL) ^
+                    (salt * 0xc2b2ae3d27d4eb4fULL);
+  return util::Rng(util::splitmix64(s));
+}
+
+LayerSpec LayerModel::make_spec(LayerId id, LayerKind kind) const {
+  LayerSpec spec;
+  spec.id = id;
+  spec.kind = kind;
+  if (kind == LayerKind::kEmpty) {
+    spec.file_count = 0;
+    spec.dir_count = 1;
+    spec.max_depth = 1;
+    return spec;
+  }
+
+  util::Rng rng = layer_rng(id, /*salt=*/1);
+
+  // --- file count (Fig. 5): per-image-class mixture ---
+  const stats::LogNormal small(std::log(cal_.files_small_median),
+                               cal_.files_small_sigma);
+  const stats::LogNormal big(std::log(cal_.files_big_median),
+                             cal_.files_big_sigma);
+  double count;
+  if (kind == LayerKind::kBase) {
+    // Base stacks: the bottom layer is the distro rootfs; upper stack
+    // layers are package additions. Level is encoded in the low id bits
+    // (LineageModel::base_layer_id).
+    const stats::LogNormal base(std::log(cal_.files_base_median),
+                                cal_.files_base_sigma);
+    const std::uint32_t level = static_cast<std::uint32_t>(id & 0xfff);
+    count = level == 0 ? std::max(2.0, base.sample(rng))
+                       : std::max(2.0, small.sample(rng));
+  } else {
+    // Own layer: heaviness is a deterministic property of the owning image
+    // (id encodes the image index; see LineageModel::app_layer_id).
+    const std::uint64_t image_index = (id >> 12) & 0x3ffffffffffffULL;
+    std::uint64_t h = seed_ ^ (image_index * 0xe7037ed1a0b428dbULL);
+    const bool heavy =
+        util::splitmix64(h) % 10000 <
+        static_cast<std::uint64_t>(cal_.image_heavy_prob * 10000.0);
+    const double p0 = heavy ? cal_.heavy_empty_prob : cal_.light_empty_prob;
+    const double p1 = p0 + (heavy ? cal_.heavy_single_prob
+                                  : cal_.light_single_prob);
+    const double u = rng.uniform01();
+    if (u < p0) {
+      count = 0;
+    } else if (u < p1) {
+      count = 1;
+    } else {
+      count = std::max(2.0, (heavy ? big : small).sample(rng));
+    }
+  }
+  spec.file_count = std::min<std::uint64_t>(
+      cal_.files_max,
+      static_cast<std::uint64_t>(std::llround(std::max(0.0, count))));
+
+  // Size-count anticorrelation -> file-type mixture of this layer.
+  if (spec.file_count == 0) {
+    spec.dir_count = 1;
+    spec.max_depth = 1;
+    return spec;
+  }
+  if (kind == LayerKind::kBase) {
+    // Base bottoms are byte-heavy, file-light (runtime images: big
+    // binaries, few files); upper stack layers mirror the global mix.
+    spec.bias = (spec.id & 0xfff) == 0 ? SizeBias::kBigFiles
+                                       : SizeBias::kNeutral;
+  } else if (spec.file_count <= cal_.bias_big_max_files) {
+    spec.bias = SizeBias::kBigFiles;
+  } else if (spec.file_count >= cal_.bias_small_min_files) {
+    spec.bias = SizeBias::kSmallFiles;
+  }
+
+  // --- max depth first (Fig. 7): lognormal, mode ~3 ---
+  const stats::LogNormal depth_model(std::log(cal_.depth_median),
+                                     cal_.depth_sigma);
+  spec.max_depth = static_cast<std::uint32_t>(std::clamp<std::uint64_t>(
+      static_cast<std::uint64_t>(std::llround(depth_model.sample(rng))), 1,
+      cal_.depth_max));
+
+  // --- directory count (Fig. 6): dirs ~ coeff * files^exponent * noise,
+  // but never fewer than the depth (a depth-d tree needs d directories) ---
+  const double f = static_cast<double>(spec.file_count);
+  const double noise = std::exp(cal_.dirs_noise_sigma * rng.normal());
+  const double dirs =
+      cal_.dirs_coeff * std::pow(f, cal_.dirs_exponent) * noise;
+  spec.dir_count = std::clamp<std::uint64_t>(
+      static_cast<std::uint64_t>(std::llround(dirs)), spec.max_depth,
+      cal_.dirs_max);
+  if (spec.dir_count == 0) spec.dir_count = 1;
+  return spec;
+}
+
+void LayerModel::for_each_file(
+    const LayerSpec& spec,
+    const std::function<void(const FileInstance&)>& fn) const {
+  util::Rng rng = layer_rng(spec.id, /*salt=*/2);
+  for (std::uint64_t i = 0; i < spec.file_count; ++i) {
+    FileInstance inst;
+    inst.content = files_.draw_content(rng, spec.bias);
+    inst.size = files_.size_of(inst.content);
+    inst.type = files_.type_of(inst.content);
+    fn(inst);
+  }
+}
+
+LayerSizes LayerModel::sizes(const LayerSpec& spec) const {
+  LayerSizes out;
+  out.cls = kGzipBaseOverhead;
+  for_each_file(spec, [&](const FileInstance& inst) {
+    out.fls += inst.size;
+    const double ratio = files_.gzip_ratio_of(inst.content);
+    out.cls += kPerFileOverhead +
+               static_cast<std::uint64_t>(
+                   static_cast<double>(inst.size) / std::max(1.0, ratio));
+  });
+  return out;
+}
+
+}  // namespace dockmine::synth

@@ -1,0 +1,93 @@
+// Per-layer population model: file/directory counts, depth, per-file
+// streaming, and layer sizes (FLS / CLS).
+//
+// A layer's entire content is a deterministic function of its 64-bit layer
+// id (plus the snapshot seed), so layers can be generated lazily, in
+// parallel, and identically in metadata and bytes mode. Nothing per-file is
+// stored: consumers stream.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "dockmine/digest/digest.h"
+#include "dockmine/filetype/taxonomy.h"
+#include "dockmine/synth/calibration.h"
+#include "dockmine/synth/file_model.h"
+#include "dockmine/util/rng.h"
+
+namespace dockmine::synth {
+
+using LayerId = std::uint64_t;
+
+enum class LayerKind : std::uint8_t {
+  kEmpty,  ///< THE shared empty layer (RUN steps that change nothing)
+  kApp,    ///< ordinary application layer
+  kBase,   ///< distro/base-image layer (heavily shared)
+};
+
+/// Shape of one layer (counts only; files stream separately).
+struct LayerSpec {
+  LayerId id = 0;
+  LayerKind kind = LayerKind::kApp;
+  std::uint64_t file_count = 0;
+  std::uint64_t dir_count = 1;
+  std::uint32_t max_depth = 1;
+  SizeBias bias = SizeBias::kNeutral;  ///< file-type mixture for this layer
+};
+
+/// One file instance inside a layer.
+struct FileInstance {
+  ContentId content = 0;
+  std::uint64_t size = 0;
+  filetype::Type type = filetype::Type::kEmpty;
+};
+
+/// Aggregate sizes of a layer.
+struct LayerSizes {
+  std::uint64_t fls = 0;  ///< files-in-layer size (sum of file sizes)
+  std::uint64_t cls = 0;  ///< compressed layer size (modeled in metadata
+                          ///< mode, actual gzip size in bytes mode)
+};
+
+class LayerModel {
+ public:
+  static constexpr LayerId kEmptyLayerId = 1;
+
+  LayerModel(const Calibration& cal, const FileModel& files,
+             std::uint64_t seed);
+
+  /// Deterministic spec for a layer id. `kind` selects the file-count
+  /// component (kBase forces the big/distro component).
+  LayerSpec make_spec(LayerId id, LayerKind kind) const;
+
+  /// Stream every file of the layer in a fixed order.
+  void for_each_file(const LayerSpec& spec,
+                     const std::function<void(const FileInstance&)>& fn) const;
+
+  /// FLS and modeled CLS (streams the files once).
+  LayerSizes sizes(const LayerSpec& spec) const;
+
+  /// Synthetic digest of the layer blob for metadata mode (bytes mode uses
+  /// the SHA-256 of the real gzip bytes).
+  digest::Digest synthetic_digest(LayerId id) const {
+    return digest::Digest::from_u64(seed_ ^ (id * 0x9e3779b97f4a7c15ULL));
+  }
+
+  const FileModel& files() const noexcept { return files_; }
+
+  // Modeled compressed-stream overheads (metadata mode): an empty gzipped
+  // tar is ~45 bytes; each archive member adds roughly 60 compressed bytes
+  // of header.
+  static constexpr std::uint64_t kGzipBaseOverhead = 45;
+  static constexpr std::uint64_t kPerFileOverhead = 60;
+
+ private:
+  util::Rng layer_rng(LayerId id, std::uint64_t salt) const;
+
+  Calibration cal_;
+  const FileModel& files_;
+  std::uint64_t seed_;
+};
+
+}  // namespace dockmine::synth

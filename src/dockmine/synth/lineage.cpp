@@ -1,0 +1,117 @@
+#include "dockmine/synth/lineage.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dockmine::synth {
+
+LineageModel::LineageModel(const Calibration& cal,
+                           std::uint64_t n_repositories, std::uint64_t seed)
+    : cal_(cal), seed_(seed), base_zipf_(1, cal.base_zipf_s) {
+  const auto n_bases = static_cast<std::uint64_t>(std::max(
+      12.0, static_cast<double>(n_repositories) * cal_.base_pool_per_repo));
+  util::Rng rng(util::splitmix64(seed_));
+  base_stack_len_.reserve(n_bases);
+  for (std::uint64_t b = 0; b < n_bases; ++b) {
+    base_stack_len_.push_back(static_cast<std::uint32_t>(rng.uniform_range(
+        cal_.base_stack_layers_min, cal_.base_stack_layers_max)));
+  }
+  base_zipf_ = stats::Zipf(n_bases, cal_.base_zipf_s);
+}
+
+std::uint64_t LineageModel::layers_per_image(util::Rng& rng) const {
+  if (rng.chance(cal_.layers_single_prob)) return 1;
+  const stats::LogNormal model(std::log(cal_.layers_median),
+                               cal_.layers_sigma);
+  const auto n = static_cast<std::uint64_t>(std::llround(model.sample(rng)));
+  return std::clamp<std::uint64_t>(n, 2, cal_.layers_max);
+}
+
+bool LineageModel::is_twin(std::uint64_t image_index) const {
+  if (cal_.twin_cluster_size == 0 ||
+      image_index % cal_.twin_cluster_size == 0) {
+    return false;
+  }
+  std::uint64_t s = seed_ ^ (image_index * 0x2545f4914f6cdd1dULL);
+  return util::splitmix64(s) % 10000 <
+         static_cast<std::uint64_t>(cal_.twin_prob * 10000.0);
+}
+
+LineageModel::Plan LineageModel::plan_image(std::uint64_t image_index) const {
+  std::uint64_t s = seed_ ^ (image_index * 0xd6e8feb86659fd93ULL);
+  util::Rng rng(util::splitmix64(s));
+
+  Plan plan;
+  plan.budget = layers_per_image(rng);
+  std::uint64_t remaining = plan.budget;
+
+  if (remaining > 1 && rng.chance(cal_.base_stack_prob)) {
+    plan.has_base = true;
+    plan.base = base_zipf_.sample(rng) - 1;
+    const std::uint32_t stack = base_stack_len_[plan.base];
+    plan.base_take = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(stack, remaining - 1));
+    remaining -= plan.base_take;
+  }
+  if (remaining > 0 && rng.chance(cal_.empty_layer_prob)) {
+    plan.has_empty = true;
+    --remaining;
+  }
+  plan.own_count = static_cast<std::uint32_t>(remaining);
+  return plan;
+}
+
+void LineageModel::append_plan_layers(const Plan& plan,
+                                      std::uint64_t owner_index,
+                                      std::uint32_t own_limit,
+                                      ImageSpec& spec) const {
+  if (plan.has_base) {
+    for (std::uint32_t level = 0; level < plan.base_take; ++level) {
+      spec.layers.push_back(base_layer_id(plan.base, level));
+    }
+  }
+  if (plan.has_empty) spec.layers.push_back(LayerModel::kEmptyLayerId);
+  const std::uint32_t own = std::min(plan.own_count, own_limit);
+  for (std::uint32_t k = 0; k < own; ++k) {
+    spec.layers.push_back(app_layer_id(owner_index, k));
+  }
+}
+
+ImageSpec LineageModel::compose(std::uint32_t repo_index,
+                                std::uint64_t image_index) const {
+  ImageSpec spec;
+  spec.repo_index = repo_index;
+
+  if (is_twin(image_index)) {
+    // Twin: share the cluster head's stack except its topmost own layer,
+    // then add a few layers of our own.
+    const std::uint64_t head =
+        image_index - image_index % cal_.twin_cluster_size;
+    const Plan head_plan = plan_image(head);
+    const std::uint32_t reuse =
+        head_plan.own_count > 1 ? head_plan.own_count - 1
+                                : head_plan.own_count;
+    append_plan_layers(head_plan, head, reuse, spec);
+
+    std::uint64_t s = seed_ ^ (image_index * 0x9e6c63d0876a9a99ULL);
+    util::Rng rng(util::splitmix64(s));
+    const auto extra = static_cast<std::uint32_t>(rng.uniform_range(
+        1, std::max<std::uint32_t>(1, cal_.twin_new_layers_max)));
+    for (std::uint32_t k = 0; k < extra; ++k) {
+      spec.layers.push_back(app_layer_id(image_index, k));
+    }
+    if (spec.layers.empty()) {
+      spec.layers.push_back(app_layer_id(image_index, 0));
+    }
+    return spec;
+  }
+
+  const Plan plan = plan_image(image_index);
+  append_plan_layers(plan, image_index, plan.own_count, spec);
+  if (spec.layers.empty()) {
+    spec.layers.push_back(app_layer_id(image_index, 0));
+  }
+  return spec;
+}
+
+}  // namespace dockmine::synth

@@ -1,0 +1,198 @@
+#include "dockmine/synth/materialize.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "dockmine/compress/gzip.h"
+#include "dockmine/json/json.h"
+#include "dockmine/synth/versions.h"
+#include "dockmine/tar/writer.h"
+
+namespace dockmine::synth {
+
+namespace {
+
+/// Directory skeleton honoring (dir_count, max_depth): a spine of nested
+/// directories reaching max_depth, remaining directories attached to spine
+/// levels round-robin. Returns the path of every directory, spine first.
+std::vector<std::string> build_dir_skeleton(const LayerSpec& spec,
+                                            util::Rng& rng) {
+  std::vector<std::string> dirs;
+  const std::uint64_t want = std::max<std::uint64_t>(1, spec.dir_count);
+  const std::uint32_t depth = std::max<std::uint32_t>(1, spec.max_depth);
+  dirs.reserve(want);
+
+  static constexpr std::string_view kNames[] = {
+      "usr", "lib", "share", "etc", "var", "opt", "srv", "bin",
+      "app", "src", "data",  "conf", "pkg", "mod", "sub", "dist"};
+
+  // Spine: one directory per depth level.
+  std::string spine;
+  for (std::uint32_t level = 0; level < depth && dirs.size() < want; ++level) {
+    if (!spine.empty()) spine += '/';
+    spine += kNames[rng.uniform(std::size(kNames))];
+    spine += std::to_string(level);
+    dirs.push_back(spine);
+  }
+  // Extras: siblings attached to random spine prefixes (never deepening).
+  std::uint64_t counter = 0;
+  while (dirs.size() < want) {
+    const std::uint32_t level =
+        static_cast<std::uint32_t>(rng.uniform(depth));
+    // Parent is the spine prefix at `level` (level 0 => filesystem root).
+    std::string parent = level == 0 ? std::string() : dirs[level - 1];
+    if (!parent.empty()) parent += '/';
+    parent += kNames[rng.uniform(std::size(kNames))];
+    parent += 'x';
+    parent += std::to_string(counter++);
+    dirs.push_back(std::move(parent));
+  }
+  return dirs;
+}
+
+std::string_view basename_view(std::string_view path) {
+  const std::size_t slash = path.rfind('/');
+  return slash == std::string_view::npos ? path : path.substr(slash + 1);
+}
+
+/// Unique member basename: stem-<idx>.ext keeps the extension visible to
+/// the classifier while guaranteeing uniqueness within the layer.
+std::string unique_basename(std::string_view representative,
+                            std::uint64_t index) {
+  const std::string_view base = basename_view(representative);
+  const std::size_t dot = base.rfind('.');
+  if (dot == std::string_view::npos || dot == 0) {
+    return std::string(base) + "-" + std::to_string(index);
+  }
+  return std::string(base.substr(0, dot)) + "-" + std::to_string(index) +
+         std::string(base.substr(dot));
+}
+
+}  // namespace
+
+std::string Materializer::layer_tar(const LayerSpec& spec) const {
+  tar::Writer writer;
+  if (spec.kind == LayerKind::kEmpty) {
+    // THE empty diff: an archive with no members. Every image's empty
+    // layer has this identical (and therefore shared) blob.
+    return writer.finish();
+  }
+
+  std::uint64_t s = hub_.scale().seed ^ (spec.id * 0xa0761d6478bd642fULL);
+  util::Rng rng{util::splitmix64(s)};
+  if (spec.file_count == 0) {
+    // File-less app layers (a RUN mkdir, a chmod, ...): one directory,
+    // salted by the layer id so distinct model layers stay distinct blobs
+    // under content addressing.
+    writer.add_directory("state-" + std::to_string(rng()));
+    return writer.finish();
+  }
+  const std::vector<std::string> dirs = build_dir_skeleton(spec, rng);
+  for (const std::string& dir : dirs) writer.add_directory(dir);
+
+  const FileModel& files = hub_.files();
+  std::uint64_t index = 0;
+  hub_.layers().for_each_file(spec, [&](const FileInstance& inst) {
+    const std::string rep = files.path_for(inst.content, spec.id ^ index);
+    const std::string& dir = dirs[index % dirs.size()];
+    const std::string path = dir + "/" + unique_basename(rep, index);
+    writer.add_file(path, files.materialize(inst.content));
+    ++index;
+  });
+  return writer.finish();
+}
+
+util::Result<std::string> Materializer::layer_blob(const LayerSpec& spec) const {
+  return compress::gzip_compress(layer_tar(spec), gzip_level_);
+}
+
+util::Result<std::uint64_t> Materializer::push_image(
+    registry::Service& service, const std::string& repository,
+    const std::string& tag, const ImageSpec& image,
+    std::unordered_map<LayerId, std::pair<digest::Digest, std::uint64_t>>&
+        blob_cache) const {
+  registry::Manifest manifest;
+  manifest.repository = repository;
+  manifest.tag = tag;
+
+  for (LayerId layer_id : image.layers) {
+    auto it = blob_cache.find(layer_id);
+    if (it == blob_cache.end()) {
+      const LayerKind kind = (layer_id >> 62) == 3
+                                 ? LayerKind::kApp
+                                 : LineageModel::kind_of(layer_id);
+      auto blob = layer_blob(hub_.layers().make_spec(layer_id, kind));
+      if (!blob.ok()) return std::move(blob).error();
+      const std::uint64_t size = blob.value().size();
+      const digest::Digest digest =
+          service.push_blob(std::move(blob).value());
+      it = blob_cache.emplace(layer_id, std::make_pair(digest, size)).first;
+    }
+    manifest.layers.push_back(
+        registry::LayerRef{it->second.first, it->second.second});
+  }
+
+  // Config blob: platform plus diff ids, like a real image config.
+  json::Value config = json::Value::object();
+  config.set("architecture", manifest.architecture);
+  config.set("os", manifest.os);
+  json::Value diff_ids = json::Value::array();
+  for (const auto& layer : manifest.layers) {
+    diff_ids.push_back(layer.digest.to_string());
+  }
+  json::Value rootfs = json::Value::object();
+  rootfs.set("type", "layers");
+  rootfs.set("diff_ids", std::move(diff_ids));
+  config.set("rootfs", std::move(rootfs));
+  std::string config_body = config.dump();
+  manifest.config_size = config_body.size();
+  manifest.config_digest = service.push_blob(std::move(config_body));
+
+  auto pushed = service.push_manifest(manifest);
+  if (!pushed.ok()) return std::move(pushed).error();
+  return std::uint64_t{1};
+}
+
+util::Result<std::uint64_t> Materializer::populate(
+    registry::Service& service) const {
+  std::unordered_map<LayerId, std::pair<digest::Digest, std::uint64_t>>
+      blob_cache;
+  std::uint64_t manifests = 0;
+  for (std::size_t i = 0; i < hub_.repositories().size(); ++i) {
+    const RepoSpec& repo = hub_.repositories()[i];
+    registry::Repository entry;
+    entry.name = repo.name;
+    entry.official = repo.official;
+    entry.requires_auth = repo.requires_auth;
+    entry.pull_count = repo.pull_count;
+    service.put_repository(std::move(entry));
+    if (repo.image_index < 0) continue;
+
+    const ImageSpec& image =
+        hub_.images()[static_cast<std::size_t>(repo.image_index)];
+    auto pushed = push_image(service, repo.name, "latest", image, blob_cache);
+    if (!pushed.ok()) return pushed;
+    ++manifests;
+  }
+  return manifests;
+}
+
+util::Result<std::uint64_t> Materializer::populate_versions(
+    registry::Service& service, const VersionModel& versions) const {
+  std::unordered_map<LayerId, std::pair<digest::Digest, std::uint64_t>>
+      blob_cache;
+  std::uint64_t manifests = 0;
+  for (std::size_t i = 0; i < hub_.repositories().size(); ++i) {
+    const RepoSpec& repo = hub_.repositories()[i];
+    for (const TaggedImage& tagged : versions.versions_for(i)) {
+      auto pushed =
+          push_image(service, repo.name, tagged.tag, tagged.image, blob_cache);
+      if (!pushed.ok()) return pushed;
+      ++manifests;
+    }
+  }
+  return manifests;
+}
+
+}  // namespace dockmine::synth

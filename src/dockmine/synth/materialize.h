@@ -1,0 +1,55 @@
+// Bytes mode: turn model layers into real gzipped tar archives and push a
+// complete, pullable registry.
+//
+// Everything the metadata mode describes statistically exists here as real
+// bytes: tar members with directory skeletons honoring the layer's
+// dir-count/depth spec, per-file content stamped with the right magic
+// numbers and compressibility, gzip blobs, content-addressed digests, and
+// schema-v2 manifests. The analyzer can then run end-to-end exactly as the
+// paper's did: pull, gunzip, untar, profile.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "dockmine/registry/service.h"
+#include "dockmine/synth/generator.h"
+#include "dockmine/util/error.h"
+
+namespace dockmine::synth {
+
+class Materializer {
+ public:
+  explicit Materializer(const HubModel& hub, int gzip_level = 6)
+      : hub_(hub), gzip_level_(gzip_level) {}
+
+  /// Uncompressed tar bytes of one layer (deterministic).
+  std::string layer_tar(const LayerSpec& spec) const;
+
+  /// Complete gzip blob of one layer.
+  util::Result<std::string> layer_blob(const LayerSpec& spec) const;
+
+  /// Push every repository, manifest, config, and unique layer blob of the
+  /// snapshot into `service`. Returns the number of manifests pushed.
+  util::Result<std::uint64_t> populate(registry::Service& service) const;
+
+  /// Push a full version history (see synth/versions.h): every tag chain
+  /// becomes pullable ("repo:v1", ..., "repo:latest"). Layers shared with
+  /// `latest` are reused; churned layers are materialized fresh. Returns
+  /// manifests pushed.
+  util::Result<std::uint64_t> populate_versions(
+      registry::Service& service, const class VersionModel& versions) const;
+
+ private:
+  util::Result<std::uint64_t> push_image(
+      registry::Service& service, const std::string& repository,
+      const std::string& tag, const ImageSpec& image,
+      std::unordered_map<LayerId, std::pair<digest::Digest, std::uint64_t>>&
+          blob_cache) const;
+
+  const HubModel& hub_;
+  int gzip_level_;
+};
+
+}  // namespace dockmine::synth

@@ -1,0 +1,46 @@
+#include "dockmine/synth/popularity.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "dockmine/stats/distributions.h"
+
+namespace dockmine::synth {
+
+namespace {
+constexpr std::array<OfficialRepo, 5> kTop = {{
+    {"nginx", 650000000ULL},
+    {"google/cadvisor", 434000000ULL},
+    {"redis", 264000000ULL},
+    {"gliderlabs/registrator", 212000000ULL},
+    {"ubuntu", 28000000ULL},
+}};
+}  // namespace
+
+std::uint64_t PopularityModel::sample(util::Rng& rng) const {
+  const double u = rng.uniform01();
+  double pulls;
+  if (u < cal_.pulls_low_weight) {
+    const stats::LogNormal low(std::log(cal_.pulls_low_median),
+                               cal_.pulls_low_sigma);
+    pulls = low.sample(rng);
+    // The 0-2 pull bin is real: allow rounding to zero.
+    pulls = std::max(0.0, pulls - 1.0);
+  } else if (u < cal_.pulls_low_weight + cal_.pulls_mid_weight) {
+    const stats::LogNormal mid(std::log(cal_.pulls_mid_median),
+                               cal_.pulls_mid_sigma);
+    pulls = mid.sample(rng);
+  } else {
+    const stats::Pareto tail(cal_.pulls_tail_xm, cal_.pulls_tail_alpha);
+    pulls = tail.sample(rng);
+  }
+  pulls = std::min(pulls, cal_.pulls_max);
+  return static_cast<std::uint64_t>(std::llround(pulls));
+}
+
+std::span<const OfficialRepo> PopularityModel::top_repositories() {
+  return {kTop.data(), kTop.size()};
+}
+
+}  // namespace dockmine::synth

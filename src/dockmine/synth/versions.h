@@ -1,0 +1,76 @@
+// Multi-version (tag) extension — the paper's first future-work item:
+// "we plan to extend our analysis to multiple versions of Docker images
+// and study the dependencies among them" (§VI).
+//
+// Each repository gets a chain of historical tags (v1 ... vK, latest).
+// Consecutive versions share their lower layers and differ in the top one
+// or two — the way rebuilds of the same Dockerfile actually behave. The
+// model quantifies cross-version redundancy: how much registry space tag
+// history costs with and without layer sharing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dockmine/synth/generator.h"
+
+namespace dockmine::synth {
+
+struct TaggedImage {
+  std::string tag;       ///< "v1", "v2", ..., or "latest"
+  ImageSpec image;
+};
+
+class VersionModel {
+ public:
+  struct Options {
+    double extra_tags_mean = 2.0;   ///< geometric mean of historical tags
+    std::uint32_t max_tags = 20;
+    /// Layers of version k rewritten relative to version k+1 (the top of
+    /// the stack churns, the base never does).
+    std::uint32_t churn_layers = 2;
+  };
+
+  explicit VersionModel(const HubModel& hub) : hub_(hub) {}
+  VersionModel(const HubModel& hub, Options options)
+      : hub_(hub), options_(options) {}
+
+  /// Tag chain for one repository, oldest first, ending with the existing
+  /// `latest` image. Repositories without `latest` have no versions.
+  std::vector<TaggedImage> versions_for(std::size_t repo_index) const;
+
+  /// Aggregate cross-version statistics over the whole hub.
+  struct Stats {
+    std::uint64_t repositories = 0;
+    std::uint64_t tags = 0;              ///< including latest
+    std::uint64_t logical_layer_refs = 0;
+    std::uint64_t distinct_layers = 0;
+    std::uint64_t logical_bytes = 0;     ///< sum of CLS over every tag
+    std::uint64_t physical_bytes = 0;    ///< distinct layers only
+    double sharing_ratio() const noexcept {
+      return physical_bytes == 0
+                 ? 1.0
+                 : static_cast<double>(logical_bytes) /
+                       static_cast<double>(physical_bytes);
+    }
+  };
+  Stats analyze() const;
+
+  /// Version-k app layer id: reuses the image-id space with a per-version
+  /// salt so layer contents are deterministic and version-distinct.
+  static LayerId versioned_layer_id(std::uint64_t image_index,
+                                    std::uint32_t version,
+                                    std::uint32_t k) noexcept {
+    // Top bits pattern 3 distinguishes versioned layers from base (1),
+    // app (2), and the empty layer.
+    return (3ULL << 62) | ((image_index & 0xffffffffffULL) << 22) |
+           (static_cast<std::uint64_t>(version & 0x3ff) << 12) | k;
+  }
+
+ private:
+  const HubModel& hub_;
+  Options options_{};
+};
+
+}  // namespace dockmine::synth

@@ -1,0 +1,153 @@
+#include "dockmine/tar/header.h"
+
+#include <cstring>
+
+namespace dockmine::tar {
+
+namespace {
+
+// ustar field offsets and sizes (POSIX.1-1988 + ustar extension).
+constexpr std::size_t kNameOff = 0, kNameLen = 100;
+constexpr std::size_t kModeOff = 100, kModeLen = 8;
+constexpr std::size_t kUidOff = 108, kUidLen = 8;
+constexpr std::size_t kGidOff = 116, kGidLen = 8;
+constexpr std::size_t kSizeOff = 124, kSizeLen = 12;
+constexpr std::size_t kMtimeOff = 136, kMtimeLen = 12;
+constexpr std::size_t kChksumOff = 148, kChksumLen = 8;
+constexpr std::size_t kTypeOff = 156;
+constexpr std::size_t kLinkOff = 157, kLinkLen = 100;
+constexpr std::size_t kMagicOff = 257;
+constexpr std::size_t kUnameOff = 265, kUnameLen = 32;
+constexpr std::size_t kGnameOff = 297, kGnameLen = 32;
+constexpr std::size_t kPrefixOff = 345, kPrefixLen = 155;
+
+constexpr char kMagic[8] = {'u', 's', 't', 'a', 'r', '\0', '0', '0'};
+
+std::string read_c_string(std::string_view block, std::size_t off,
+                          std::size_t len) {
+  const std::string_view field = block.substr(off, len);
+  const std::size_t end = field.find('\0');
+  return std::string(field.substr(0, end == std::string_view::npos ? len : end));
+}
+
+std::uint32_t header_checksum(std::string_view block) {
+  std::uint32_t sum = 0;
+  for (std::size_t i = 0; i < kBlockSize; ++i) {
+    // The checksum field itself counts as spaces.
+    const bool in_chksum = i >= kChksumOff && i < kChksumOff + kChksumLen;
+    sum += in_chksum ? 0x20u
+                     : static_cast<std::uint32_t>(
+                           static_cast<unsigned char>(block[i]));
+  }
+  return sum;
+}
+
+}  // namespace
+
+void write_octal(char* field, std::size_t field_size, std::uint64_t value) {
+  // NUL-terminated, zero-padded octal, the most interoperable convention.
+  const std::size_t digits = field_size - 1;
+  field[digits] = '\0';
+  for (std::size_t i = 0; i < digits; ++i) {
+    field[digits - 1 - i] = static_cast<char>('0' + (value & 7));
+    value >>= 3;
+  }
+}
+
+util::Result<std::uint64_t> read_octal(std::string_view field) {
+  std::uint64_t value = 0;
+  bool seen_digit = false;
+  for (char c : field) {
+    if (c == '\0') break;
+    if (c == ' ') {
+      if (seen_digit) break;
+      continue;
+    }
+    if (c < '0' || c > '7') {
+      return util::corrupt("non-octal character in tar numeric field");
+    }
+    value = (value << 3) | static_cast<std::uint64_t>(c - '0');
+    seen_digit = true;
+  }
+  return value;
+}
+
+void encode_header(const Header& header, std::string& out) {
+  char block[kBlockSize];
+  std::memset(block, 0, sizeof block);
+
+  std::memcpy(block + kNameOff, header.name.data(),
+              std::min<std::size_t>(header.name.size(), kNameLen));
+  write_octal(block + kModeOff, kModeLen, header.mode);
+  write_octal(block + kUidOff, kUidLen, 0);
+  write_octal(block + kGidOff, kGidLen, 0);
+  const bool has_body = header.type == EntryType::kFile ||
+                        header.type == EntryType::kGnuLongName;
+  write_octal(block + kSizeOff, kSizeLen, has_body ? header.size : 0);
+  write_octal(block + kMtimeOff, kMtimeLen, header.mtime);
+  block[kTypeOff] = static_cast<char>(header.type);
+  std::memcpy(block + kLinkOff, header.linkname.data(),
+              std::min<std::size_t>(header.linkname.size(), kLinkLen));
+  std::memcpy(block + kMagicOff, kMagic, sizeof kMagic);
+  std::memcpy(block + kUnameOff, header.uname.data(),
+              std::min<std::size_t>(header.uname.size(), kUnameLen));
+  std::memcpy(block + kGnameOff, header.gname.data(),
+              std::min<std::size_t>(header.gname.size(), kGnameLen));
+
+  const std::uint32_t sum = header_checksum(std::string_view(block, kBlockSize));
+  // Classic format: 6 octal digits, NUL, space.
+  char chksum[8];
+  write_octal(chksum, 7, sum);
+  chksum[7] = ' ';
+  std::memcpy(block + kChksumOff, chksum, 8);
+
+  out.append(block, kBlockSize);
+}
+
+bool is_zero_block(std::string_view block) noexcept {
+  for (char c : block) {
+    if (c != '\0') return false;
+  }
+  return true;
+}
+
+util::Result<Header> decode_header(std::string_view block) {
+  if (block.size() != kBlockSize) {
+    return util::corrupt("tar header block must be 512 bytes");
+  }
+  if (is_zero_block(block)) {
+    return util::not_found("end-of-archive zero block");
+  }
+  auto want_sum = read_octal(block.substr(kChksumOff, kChksumLen));
+  if (!want_sum.ok()) return std::move(want_sum).error();
+  if (header_checksum(block) != want_sum.value()) {
+    return util::corrupt("tar header checksum mismatch");
+  }
+
+  Header header;
+  header.name = read_c_string(block, kNameOff, kNameLen);
+  // ustar prefix field extends names to 255 chars.
+  const std::string prefix = read_c_string(block, kPrefixOff, kPrefixLen);
+  if (!prefix.empty()) header.name = prefix + "/" + header.name;
+
+  auto mode = read_octal(block.substr(kModeOff, kModeLen));
+  if (!mode.ok()) return std::move(mode).error();
+  header.mode = static_cast<std::uint32_t>(mode.value());
+
+  auto size = read_octal(block.substr(kSizeOff, kSizeLen));
+  if (!size.ok()) return std::move(size).error();
+  header.size = size.value();
+
+  auto mtime = read_octal(block.substr(kMtimeOff, kMtimeLen));
+  if (!mtime.ok()) return std::move(mtime).error();
+  header.mtime = mtime.value();
+
+  const char type = block[kTypeOff];
+  header.type = type == '\0' ? EntryType::kFile : static_cast<EntryType>(type);
+  header.linkname = read_c_string(block, kLinkOff, kLinkLen);
+  header.uname = read_c_string(block, kUnameOff, kUnameLen);
+  header.gname = read_c_string(block, kGnameOff, kGnameLen);
+  return header;
+}
+
+}  // namespace dockmine::tar

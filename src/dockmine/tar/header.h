@@ -1,0 +1,64 @@
+// POSIX ustar header block: layout, octal field codecs, checksum.
+//
+// Docker layers are tar archives; the analyzer "decompresses and extracts
+// each layer tarball" (paper §III-C). We implement the format from scratch:
+// 512-byte blocks, ustar magic, octal-encoded numeric fields, and the GNU
+// 'L' long-name extension for paths beyond 100 bytes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "dockmine/util/error.h"
+
+namespace dockmine::tar {
+
+inline constexpr std::size_t kBlockSize = 512;
+
+enum class EntryType : char {
+  kFile = '0',
+  kHardLink = '1',
+  kSymlink = '2',
+  kCharDevice = '3',
+  kBlockDevice = '4',
+  kDirectory = '5',
+  kFifo = '6',
+  kGnuLongName = 'L',  // GNU extension: next entry's name in this body
+};
+
+/// Parsed view of one header block.
+struct Header {
+  std::string name;       // full path (prefix joined, long-name resolved)
+  std::uint32_t mode = 0644;
+  std::uint64_t size = 0;  // body size in bytes (files only)
+  std::uint64_t mtime = 0;
+  EntryType type = EntryType::kFile;
+  std::string linkname;
+  std::string uname;
+  std::string gname;
+};
+
+/// Encode `header` into a 512-byte ustar block appended to `out`.
+/// Precondition: name fits in 100 bytes (the writer handles longer names by
+/// emitting a GNU 'L' entry first).
+void encode_header(const Header& header, std::string& out);
+
+/// Decode the block at `block` (exactly kBlockSize bytes).
+/// A block of all zeros yields kNotFound (end-of-archive marker);
+/// a checksum mismatch yields kCorrupt.
+util::Result<Header> decode_header(std::string_view block);
+
+/// True if the 512 bytes are all zero.
+bool is_zero_block(std::string_view block) noexcept;
+
+/// Octal field codec, exposed for tests.
+void write_octal(char* field, std::size_t field_size, std::uint64_t value);
+util::Result<std::uint64_t> read_octal(std::string_view field);
+
+/// Bytes of padding needed to reach the next 512-byte boundary.
+constexpr std::size_t padding_for(std::uint64_t size) noexcept {
+  return static_cast<std::size_t>((kBlockSize - size % kBlockSize) % kBlockSize);
+}
+
+}  // namespace dockmine::tar

@@ -1,0 +1,61 @@
+#include "dockmine/tar/reader.h"
+
+namespace dockmine::tar {
+
+bool Entry::is_whiteout() const noexcept {
+  std::string_view name = header.name;
+  const std::size_t slash = name.rfind('/');
+  if (slash != std::string_view::npos) name = name.substr(slash + 1);
+  return name.substr(0, 4) == ".wh.";
+}
+
+util::Result<std::optional<Entry>> Reader::next() {
+  if (failed_) return util::corrupt("reader in failed state");
+  std::string pending_long_name;
+  for (;;) {
+    if (pos_ + kBlockSize > archive_.size()) {
+      // Clean end without the zero-block trailer is tolerated (some writers
+      // truncate); mid-header garbage is not.
+      if (pos_ == archive_.size()) return std::optional<Entry>{};
+      failed_ = true;
+      return util::corrupt("trailing partial block in tar stream");
+    }
+    const std::string_view block = archive_.substr(pos_, kBlockSize);
+    if (is_zero_block(block)) {
+      // End marker: two zero blocks; accept one as well.
+      return std::optional<Entry>{};
+    }
+    auto header = decode_header(block);
+    if (!header.ok()) {
+      failed_ = true;
+      return std::move(header).error();
+    }
+    pos_ += kBlockSize;
+
+    const std::uint64_t body_size = header.value().size;
+    const bool has_body = header.value().type == EntryType::kFile ||
+                          header.value().type == EntryType::kGnuLongName;
+    const std::uint64_t stored = has_body ? body_size : 0;
+    if (pos_ + stored > archive_.size()) {
+      failed_ = true;
+      return util::corrupt("tar entry body extends past archive end");
+    }
+    const std::string_view body = archive_.substr(pos_, stored);
+    pos_ += stored + padding_for(stored);
+    if (pos_ > archive_.size()) pos_ = archive_.size();
+
+    if (header.value().type == EntryType::kGnuLongName) {
+      // Body holds the real name (NUL-terminated) of the *next* entry.
+      pending_long_name = std::string(body.substr(0, body.find('\0')));
+      continue;
+    }
+
+    Entry entry{std::move(header).value(), body};
+    if (!pending_long_name.empty()) {
+      entry.header.name = std::move(pending_long_name);
+    }
+    return std::optional<Entry>{std::move(entry)};
+  }
+}
+
+}  // namespace dockmine::tar

@@ -1,0 +1,61 @@
+// Streaming tar reader over an in-memory archive. The analyzer walks layer
+// tarballs entry by entry — content is exposed as a view into the archive
+// buffer, so profiling a layer does not copy file bodies.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "dockmine/tar/header.h"
+#include "dockmine/util/error.h"
+
+namespace dockmine::tar {
+
+/// One archive member with a non-owning view of its body.
+struct Entry {
+  Header header;
+  std::string_view content;
+
+  bool is_file() const noexcept { return header.type == EntryType::kFile; }
+  bool is_directory() const noexcept {
+    return header.type == EntryType::kDirectory;
+  }
+  bool is_symlink() const noexcept {
+    return header.type == EntryType::kSymlink;
+  }
+
+  /// Overlay whiteout marker? (basename starts with ".wh.")
+  bool is_whiteout() const noexcept;
+};
+
+class Reader {
+ public:
+  /// `archive` must outlive the reader and all returned entries.
+  explicit Reader(std::string_view archive) : archive_(archive) {}
+
+  /// Next entry, or std::nullopt at the end-of-archive marker (or at a
+  /// clean end of input). GNU 'L' long-name entries are resolved
+  /// transparently. Errors are sticky: after a kCorrupt result the reader
+  /// refuses to continue.
+  util::Result<std::optional<Entry>> next();
+
+  /// Convenience: iterate all entries, invoking `fn(entry)`.
+  /// Stops early and returns the error on corruption.
+  template <typename Fn>
+  util::Status for_each(Fn&& fn) {
+    for (;;) {
+      auto entry = next();
+      if (!entry.ok()) return std::move(entry).error();
+      if (!entry.value().has_value()) return util::Status::success();
+      fn(*entry.value());
+    }
+  }
+
+ private:
+  std::string_view archive_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace dockmine::tar

@@ -1,0 +1,98 @@
+#include "dockmine/tar/writer.h"
+
+#include <cassert>
+
+namespace dockmine::tar {
+
+void Writer::maybe_long_name(std::string_view path) {
+  if (path.size() < 100) return;
+  // GNU long-name extension: an 'L' typed entry named "././@LongLink" whose
+  // body is the real NUL-terminated path.
+  Header long_header;
+  long_header.name = "././@LongLink";
+  long_header.type = EntryType::kGnuLongName;
+  long_header.size = path.size() + 1;
+  encode_header(long_header, buffer_);
+  buffer_.append(path.data(), path.size());
+  buffer_ += '\0';
+  buffer_.append(padding_for(path.size() + 1), '\0');
+}
+
+void Writer::add_entry(Header header, std::string_view content) {
+  assert(!finished_);
+  maybe_long_name(header.name);
+  if (header.name.size() >= 100) {
+    header.name = header.name.substr(0, 99);  // truncated stub; real name in 'L'
+  }
+  encode_header(header, buffer_);
+  if (!content.empty()) {
+    buffer_.append(content.data(), content.size());
+    buffer_.append(padding_for(content.size()), '\0');
+  }
+  ++entries_;
+}
+
+void Writer::add_file(std::string_view path, std::string_view content,
+                      std::uint32_t mode, std::uint64_t mtime) {
+  Header header;
+  header.name = std::string(path);
+  header.mode = mode;
+  header.size = content.size();
+  header.mtime = mtime;
+  header.type = EntryType::kFile;
+  header.uname = "root";
+  header.gname = "root";
+  add_entry(std::move(header), content);
+}
+
+void Writer::add_directory(std::string_view path, std::uint32_t mode,
+                           std::uint64_t mtime) {
+  Header header;
+  header.name = std::string(path);
+  if (!header.name.empty() && header.name.back() != '/') header.name += '/';
+  header.mode = mode;
+  header.mtime = mtime;
+  header.type = EntryType::kDirectory;
+  header.uname = "root";
+  header.gname = "root";
+  add_entry(std::move(header), {});
+}
+
+void Writer::add_symlink(std::string_view path, std::string_view target,
+                         std::uint64_t mtime) {
+  Header header;
+  header.name = std::string(path);
+  header.linkname = std::string(target);
+  header.mode = 0777;
+  header.mtime = mtime;
+  header.type = EntryType::kSymlink;
+  add_entry(std::move(header), {});
+}
+
+void Writer::add_hardlink(std::string_view path, std::string_view target,
+                          std::uint64_t mtime) {
+  Header header;
+  header.name = std::string(path);
+  header.linkname = std::string(target);
+  header.mode = 0644;
+  header.mtime = mtime;
+  header.type = EntryType::kHardLink;
+  add_entry(std::move(header), {});
+}
+
+void Writer::add_whiteout(std::string_view dir, std::string_view name) {
+  std::string path(dir);
+  if (!path.empty() && path.back() != '/') path += '/';
+  path += ".wh.";
+  path += name;
+  add_file(path, {}, 0644, 0);
+}
+
+std::string Writer::finish() {
+  assert(!finished_);
+  finished_ = true;
+  buffer_.append(2 * kBlockSize, '\0');
+  return std::move(buffer_);
+}
+
+}  // namespace dockmine::tar

@@ -1,0 +1,53 @@
+// In-memory tar archive writer. Produces the byte stream that, gzipped,
+// becomes a Docker layer blob.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "dockmine/tar/header.h"
+
+namespace dockmine::tar {
+
+class Writer {
+ public:
+  Writer() = default;
+
+  /// Add a regular file. Long paths (>100 bytes) are handled via a GNU 'L'
+  /// long-name pseudo entry, like GNU tar and Docker's archive writer.
+  void add_file(std::string_view path, std::string_view content,
+                std::uint32_t mode = 0644, std::uint64_t mtime = 0);
+
+  void add_directory(std::string_view path, std::uint32_t mode = 0755,
+                     std::uint64_t mtime = 0);
+
+  void add_symlink(std::string_view path, std::string_view target,
+                   std::uint64_t mtime = 0);
+
+  void add_hardlink(std::string_view path, std::string_view target,
+                    std::uint64_t mtime = 0);
+
+  /// Overlay whiteout marker (".wh.<name>") — how aufs/overlay record a
+  /// deletion in an upper layer. An empty regular file with a magic name.
+  void add_whiteout(std::string_view dir, std::string_view name);
+
+  std::size_t entry_count() const noexcept { return entries_; }
+
+  /// Finish the archive (two zero blocks) and return the bytes.
+  /// The writer is spent afterwards.
+  std::string finish();
+
+  /// Current archive size so far (without the trailer).
+  std::size_t size_so_far() const noexcept { return buffer_.size(); }
+
+ private:
+  void add_entry(Header header, std::string_view content);
+  void maybe_long_name(std::string_view path);
+
+  std::string buffer_;
+  std::size_t entries_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace dockmine::tar

@@ -1,0 +1,106 @@
+#include "dockmine/util/bytes.h"
+
+#include <array>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace dockmine::util {
+
+std::string format_bytes(std::uint64_t bytes) {
+  static constexpr std::array<std::string_view, 5> kUnits = {"B", "KB", "MB",
+                                                             "GB", "TB"};
+  double value = static_cast<double>(bytes);
+  std::size_t unit = 0;
+  while (value >= 1000.0 && unit + 1 < kUnits.size()) {
+    value /= 1000.0;
+    ++unit;
+  }
+  char buf[48];
+  if (unit == 0) {
+    std::snprintf(buf, sizeof buf, "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  } else if (value >= 100.0) {
+    std::snprintf(buf, sizeof buf, "%.0f %s", value, kUnits[unit].data());
+  } else if (value >= 10.0) {
+    std::snprintf(buf, sizeof buf, "%.1f %s", value, kUnits[unit].data());
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f %s", value, kUnits[unit].data());
+  }
+  return buf;
+}
+
+Result<std::uint64_t> parse_bytes(std::string_view text) {
+  std::size_t pos = 0;
+  while (pos < text.size() && std::isspace(static_cast<unsigned char>(text[pos]))) ++pos;
+  std::size_t start = pos;
+  bool seen_dot = false;
+  while (pos < text.size() &&
+         (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+          (text[pos] == '.' && !seen_dot))) {
+    seen_dot = seen_dot || text[pos] == '.';
+    ++pos;
+  }
+  if (pos == start) {
+    return invalid_argument("no number in byte quantity '" + std::string(text) + "'");
+  }
+  double value = 0.0;
+  try {
+    value = std::stod(std::string(text.substr(start, pos - start)));
+  } catch (...) {
+    return invalid_argument("bad number in '" + std::string(text) + "'");
+  }
+  while (pos < text.size() && std::isspace(static_cast<unsigned char>(text[pos]))) ++pos;
+  std::string suffix;
+  for (; pos < text.size(); ++pos) {
+    if (std::isspace(static_cast<unsigned char>(text[pos]))) break;
+    suffix += static_cast<char>(std::tolower(static_cast<unsigned char>(text[pos])));
+  }
+  double multiplier = 1.0;
+  if (suffix.empty() || suffix == "b") {
+    multiplier = 1.0;
+  } else if (suffix == "k" || suffix == "kb") {
+    multiplier = 1e3;
+  } else if (suffix == "m" || suffix == "mb") {
+    multiplier = 1e6;
+  } else if (suffix == "g" || suffix == "gb") {
+    multiplier = 1e9;
+  } else if (suffix == "t" || suffix == "tb") {
+    multiplier = 1e12;
+  } else if (suffix == "kib") {
+    multiplier = static_cast<double>(kKiB);
+  } else if (suffix == "mib") {
+    multiplier = static_cast<double>(kMiB);
+  } else if (suffix == "gib") {
+    multiplier = static_cast<double>(kGiB);
+  } else if (suffix == "tib") {
+    multiplier = static_cast<double>(kTiB);
+  } else {
+    return invalid_argument("unknown byte suffix '" + suffix + "'");
+  }
+  const double bytes = value * multiplier;
+  if (bytes < 0.0 || bytes > 1.8e19) {
+    return out_of_range("byte quantity out of range: " + std::string(text));
+  }
+  return static_cast<std::uint64_t>(std::llround(bytes));
+}
+
+std::string format_percent(double fraction, int decimals) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.*f%%", decimals, fraction * 100.0);
+  return buf;
+}
+
+std::string format_count(std::uint64_t value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  const std::size_t lead = digits.size() % 3 == 0 ? 3 : digits.size() % 3;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i - lead) % 3 == 0 && i >= lead) out += ',';
+    out += digits[i];
+  }
+  return out;
+}
+
+}  // namespace dockmine::util

@@ -1,0 +1,39 @@
+// Byte-quantity helpers: literal-style constants, humanized formatting, and
+// parsing. The analysis layer reports sizes exactly the way the paper does
+// (MB/GB/TB figures such as "90% of layers are smaller than 177 MB").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "dockmine/util/error.h"
+
+namespace dockmine::util {
+
+inline constexpr std::uint64_t kKiB = 1024ULL;
+inline constexpr std::uint64_t kMiB = 1024ULL * kKiB;
+inline constexpr std::uint64_t kGiB = 1024ULL * kMiB;
+inline constexpr std::uint64_t kTiB = 1024ULL * kGiB;
+
+// The paper uses decimal-looking units (MB, GB); we follow its convention in
+// reports while keeping binary constants for internal bucketing.
+inline constexpr std::uint64_t kKB = 1000ULL;
+inline constexpr std::uint64_t kMB = 1000ULL * kKB;
+inline constexpr std::uint64_t kGB = 1000ULL * kMB;
+inline constexpr std::uint64_t kTB = 1000ULL * kGB;
+
+/// "17.3 MB", "498 GB", "211 B". Decimal units, 3 significant digits.
+std::string format_bytes(std::uint64_t bytes);
+
+/// Parse "4MB", "1.5 GiB", "128k", "0" → bytes. Case-insensitive,
+/// optional space, decimal ("MB") and binary ("MiB") suffixes.
+Result<std::uint64_t> parse_bytes(std::string_view text);
+
+/// Fixed-point percent: "3.2%".
+std::string format_percent(double fraction, int decimals = 1);
+
+/// Group thousands: 5278465130 → "5,278,465,130".
+std::string format_count(std::uint64_t value);
+
+}  // namespace dockmine::util

@@ -1,0 +1,28 @@
+#include "dockmine/util/error.h"
+
+namespace dockmine::util {
+
+std::string_view to_string(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kOk: return "ok";
+    case ErrorCode::kInvalidArgument: return "invalid_argument";
+    case ErrorCode::kNotFound: return "not_found";
+    case ErrorCode::kUnauthorized: return "unauthorized";
+    case ErrorCode::kCorrupt: return "corrupt";
+    case ErrorCode::kOutOfRange: return "out_of_range";
+    case ErrorCode::kExhausted: return "exhausted";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+std::string Error::to_string() const {
+  std::string out{util::to_string(code_)};
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace dockmine::util

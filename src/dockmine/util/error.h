@@ -1,0 +1,120 @@
+// Error handling primitives for dockmine.
+//
+// The library avoids exceptions on hot paths (analysis loops touch millions
+// of entries); fallible operations return `Result<T>` which carries either a
+// value or an `Error{code, message}`. This mirrors the C++ Core Guidelines
+// advice (E.2/E.3) of using exceptions only for truly exceptional conditions
+// while keeping expected failures (corrupt tar member, missing manifest,
+// auth-denied pull) in the normal control flow.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace dockmine::util {
+
+/// Broad failure categories used across all subsystems.
+enum class ErrorCode : std::uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,        ///< manifest/blob/tag/repository missing
+  kUnauthorized,    ///< registry demanded a token we do not have
+  kCorrupt,         ///< malformed tar header, bad gzip CRC, bad JSON...
+  kOutOfRange,
+  kExhausted,       ///< resource/capacity limit hit
+  kInternal,
+};
+
+/// Human-readable name of an ErrorCode ("not_found", ...).
+std::string_view to_string(ErrorCode code) noexcept;
+
+/// A failure: category plus a context message built at the failure site.
+class Error {
+ public:
+  Error() = default;
+  Error(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  ErrorCode code() const noexcept { return code_; }
+  const std::string& message() const noexcept { return message_; }
+
+  /// "not_found: no manifest for tag 'latest'"
+  std::string to_string() const;
+
+  friend bool operator==(const Error& a, const Error& b) noexcept {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  ErrorCode code_ = ErrorCode::kInternal;
+  std::string message_;
+};
+
+/// Value-or-Error, a minimal `expected`. `T` must be movable.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : state_(std::move(value)) {}            // NOLINT implicit
+  Result(Error error) : state_(std::move(error)) {}        // NOLINT implicit
+
+  bool ok() const noexcept { return std::holds_alternative<T>(state_); }
+  explicit operator bool() const noexcept { return ok(); }
+
+  /// Precondition: ok().
+  T& value() & { return std::get<T>(state_); }
+  const T& value() const& { return std::get<T>(state_); }
+  T&& value() && { return std::get<T>(std::move(state_)); }
+
+  /// Precondition: !ok().
+  const Error& error() const& { return std::get<Error>(state_); }
+  Error&& error() && { return std::get<Error>(std::move(state_)); }
+
+  T value_or(T fallback) const& {
+    return ok() ? std::get<T>(state_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> state_;
+};
+
+/// Result<void> analogue.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;                                       // success
+  Status(Error error) : error_(std::move(error)), failed_(true) {}  // NOLINT
+
+  bool ok() const noexcept { return !failed_; }
+  explicit operator bool() const noexcept { return ok(); }
+  const Error& error() const noexcept { return error_; }
+
+  static Status success() { return {}; }
+
+ private:
+  Error error_;
+  bool failed_ = false;
+};
+
+/// Convenience factories keeping failure sites one-liners.
+inline Error invalid_argument(std::string msg) {
+  return {ErrorCode::kInvalidArgument, std::move(msg)};
+}
+inline Error not_found(std::string msg) {
+  return {ErrorCode::kNotFound, std::move(msg)};
+}
+inline Error unauthorized(std::string msg) {
+  return {ErrorCode::kUnauthorized, std::move(msg)};
+}
+inline Error corrupt(std::string msg) {
+  return {ErrorCode::kCorrupt, std::move(msg)};
+}
+inline Error out_of_range(std::string msg) {
+  return {ErrorCode::kOutOfRange, std::move(msg)};
+}
+inline Error internal(std::string msg) {
+  return {ErrorCode::kInternal, std::move(msg)};
+}
+
+}  // namespace dockmine::util

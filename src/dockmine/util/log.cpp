@@ -1,0 +1,36 @@
+#include "dockmine/util/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace dockmine::util {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_write_mutex;
+
+std::string_view level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept { g_level.store(level); }
+LogLevel log_level() noexcept { return g_level.load(); }
+
+void log_line(LogLevel level, std::string_view message) {
+  if (level < g_level.load()) return;
+  std::lock_guard lock(g_write_mutex);
+  std::fprintf(stderr, "[%.*s] %.*s\n", static_cast<int>(level_tag(level).size()),
+               level_tag(level).data(), static_cast<int>(message.size()),
+               message.data());
+}
+
+}  // namespace dockmine::util

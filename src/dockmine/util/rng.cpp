@@ -1,0 +1,11 @@
+// Rng is fully inline; this TU exists so dm_util has a stable archive member
+// for the header and to host the (intentionally tiny) non-inline pieces if
+// any grow later.
+#include "dockmine/util/rng.h"
+
+namespace dockmine::util {
+
+static_assert(Rng::min() == 0);
+static_assert(Rng::max() == ~0ULL);
+
+}  // namespace dockmine::util

@@ -1,0 +1,82 @@
+#include "dockmine/util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <latch>
+
+namespace dockmine::util {
+
+ThreadPool::ThreadPool(std::size_t threads, std::size_t queue_capacity)
+    : queue_(queue_capacity) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard lock(idle_mutex_);
+    if (shut_down_) return;
+    ++in_flight_;
+  }
+  if (!queue_.push(std::move(task))) {
+    // Queue closed between the check and the push: undo the accounting.
+    std::lock_guard lock(idle_mutex_);
+    --in_flight_;
+    idle_cv_.notify_all();
+  }
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(idle_mutex_);
+  idle_cv_.wait(lock, [&] { return in_flight_ == 0; });
+}
+
+void ThreadPool::shutdown() {
+  {
+    std::lock_guard lock(idle_mutex_);
+    if (shut_down_) return;
+    shut_down_ = true;
+  }
+  // Let queued tasks finish: workers keep draining until pop() returns
+  // nullopt, which only happens after close() AND empty.
+  queue_.close();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+void ThreadPool::worker_loop() {
+  while (auto task = queue_.pop()) {
+    (*task)();
+    std::lock_guard lock(idle_mutex_);
+    if (--in_flight_ == 0) idle_cv_.notify_all();
+  }
+}
+
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  std::size_t grain,
+                  const std::function<void(std::size_t)>& body) {
+  if (begin >= end) return;
+  grain = std::max<std::size_t>(1, grain);
+  const std::size_t n = end - begin;
+  const std::size_t chunks = (n + grain - 1) / grain;
+  std::latch done(static_cast<std::ptrdiff_t>(chunks));
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t lo = begin + c * grain;
+    const std::size_t hi = std::min(end, lo + grain);
+    pool.submit([&, lo, hi] {
+      for (std::size_t i = lo; i < hi; ++i) body(i);
+      done.count_down();
+    });
+  }
+  done.wait();
+}
+
+}  // namespace dockmine::util

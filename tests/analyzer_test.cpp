@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "dockmine/analyzer/image_analyzer.h"
+#include "dockmine/analyzer/layer_analyzer.h"
+#include "dockmine/analyzer/pipeline.h"
+#include "dockmine/compress/gzip.h"
+#include "dockmine/registry/service.h"
+#include "dockmine/synth/generator.h"
+#include "dockmine/synth/materialize.h"
+#include "dockmine/tar/writer.h"
+
+namespace dockmine::analyzer {
+namespace {
+
+TEST(LayerAnalyzerTest, ProfilesHandcraftedTar) {
+  tar::Writer writer;
+  writer.add_directory("usr");
+  writer.add_directory("usr/lib");
+  writer.add_directory("usr/lib/python");
+  writer.add_file("usr/lib/python/mod.py", "#!/usr/bin/env python\npass\n");
+  writer.add_file("usr/lib/libz.so",
+                  std::string("\x7f" "ELF\x02\x01\x01\x00"
+                              "\x00\x00\x00\x00\x00\x00\x00\x00\x03\x00", 18) +
+                      std::string(100, 'b'));
+  writer.add_file("README", "plain text here\n");
+  writer.add_symlink("usr/lib/alias", "libz.so");
+  writer.add_whiteout("usr", "deleted.bin");
+
+  std::map<std::string, filetype::Type> seen;
+  FileVisitor visitor = [&](std::string_view path, const FileRecord& record) {
+    seen[std::string(path)] = record.type;
+  };
+  const LayerAnalyzer analyzer;
+  auto profile = analyzer.analyze_tar(writer.finish(), &visitor);
+  ASSERT_TRUE(profile.ok());
+
+  // Whiteouts and symlinks are not regular files.
+  EXPECT_EQ(profile.value().file_count, 3u);
+  EXPECT_EQ(profile.value().dir_count, 3u);
+  EXPECT_EQ(profile.value().max_depth, 3u);
+  EXPECT_EQ(profile.value().fls, 27u + 118u + 16u);
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen.at("usr/lib/python/mod.py"), filetype::Type::kPythonScript);
+  EXPECT_EQ(seen.at("usr/lib/libz.so"), filetype::Type::kElfSharedObject);
+  EXPECT_EQ(seen.at("README"), filetype::Type::kAsciiText);
+}
+
+TEST(LayerAnalyzerTest, DirectoryMetadataMatchesPaperProfile) {
+  // Paper §III-C: "directory metadata (for every directory in the layer):
+  // directory name; directory depth; file count".
+  tar::Writer writer;
+  writer.add_directory("usr");
+  writer.add_directory("usr/lib");
+  writer.add_file("usr/lib/a.so", "xx");
+  writer.add_file("usr/lib/b.so", "yy");
+  writer.add_file("usr/top.txt", "top level text");
+  writer.add_file("rootfile", "at the root");
+
+  std::map<std::string, DirectoryRecord> dirs;
+  DirectoryVisitor dir_visitor = [&](const DirectoryRecord& record) {
+    dirs[record.path] = record;
+  };
+  const LayerAnalyzer analyzer;
+  auto profile = analyzer.analyze_tar(writer.finish(), nullptr, &dir_visitor);
+  ASSERT_TRUE(profile.ok());
+  ASSERT_EQ(dirs.size(), 3u);  // usr, usr/lib, and the implicit root
+  EXPECT_EQ(dirs.at("usr/lib").file_count, 2u);
+  EXPECT_EQ(dirs.at("usr/lib").depth, 2u);
+  EXPECT_EQ(dirs.at("usr").file_count, 1u);
+  EXPECT_EQ(dirs.at("usr").depth, 1u);
+  EXPECT_EQ(dirs.at(".").file_count, 1u);
+}
+
+TEST(LayerAnalyzerTest, EmptyTarHasImplicitRoot) {
+  tar::Writer writer;
+  const LayerAnalyzer analyzer;
+  auto profile = analyzer.analyze_tar(writer.finish(), nullptr);
+  ASSERT_TRUE(profile.ok());
+  EXPECT_EQ(profile.value().file_count, 0u);
+  EXPECT_EQ(profile.value().dir_count, 1u);
+  EXPECT_EQ(profile.value().max_depth, 1u);
+  EXPECT_DOUBLE_EQ(profile.value().compression_ratio(), 0.0);
+}
+
+TEST(LayerAnalyzerTest, BlobPathSetsClsAndDigest) {
+  tar::Writer writer;
+  writer.add_file("f", std::string(5000, 'x'));
+  auto blob = compress::gzip_compress(writer.finish());
+  ASSERT_TRUE(blob.ok());
+  const LayerAnalyzer analyzer;
+  auto profile = analyzer.analyze_blob(blob.value(), nullptr);
+  ASSERT_TRUE(profile.ok());
+  EXPECT_EQ(profile.value().cls, blob.value().size());
+  EXPECT_EQ(profile.value().digest, digest::Digest::of(blob.value()));
+  EXPECT_EQ(profile.value().fls, 5000u);
+  EXPECT_GT(profile.value().compression_ratio(), 3.0);
+}
+
+TEST(LayerAnalyzerTest, RejectsCorruptInputs) {
+  const LayerAnalyzer analyzer;
+  EXPECT_FALSE(analyzer.analyze_blob("not gzip at all", nullptr).ok());
+  std::string garbage_tar(512, 'Z');
+  auto blob = compress::gzip_compress(garbage_tar);
+  ASSERT_TRUE(blob.ok());
+  EXPECT_FALSE(analyzer.analyze_blob(blob.value(), nullptr).ok());
+}
+
+TEST(ImageProfileTest, AccumulateSumsLayers) {
+  LayerProfile a;
+  a.fls = 100;
+  a.cls = 40;
+  a.file_count = 3;
+  a.dir_count = 2;
+  LayerProfile b;
+  b.fls = 50;
+  b.cls = 30;
+  b.file_count = 1;
+  b.dir_count = 1;
+  ImageProfile image;
+  image.accumulate(a);
+  image.accumulate(b);
+  EXPECT_EQ(image.fis, 150u);
+  EXPECT_EQ(image.cis, 70u);
+  EXPECT_EQ(image.file_count, 4u);
+  EXPECT_EQ(image.dir_count, 3u);
+  EXPECT_EQ(image.layer_count, 2u);
+  EXPECT_NEAR(image.compression_ratio(), 150.0 / 70.0, 1e-12);
+}
+
+TEST(ProfileStoreTest, PutFindAndMissingLayer) {
+  ProfileStore store;
+  LayerProfile p;
+  p.digest = digest::Digest::of("layer");
+  p.fls = 9;
+  store.put(p);
+  EXPECT_TRUE(store.contains(p.digest));
+  EXPECT_EQ(store.find(p.digest)->fls, 9u);
+
+  registry::Manifest manifest;
+  manifest.repository = "a/b";
+  manifest.layers.push_back({digest::Digest::of("other"), 1});
+  auto image = build_image_profile(manifest, store);
+  ASSERT_FALSE(image.ok());
+  EXPECT_EQ(image.error().code(), util::ErrorCode::kNotFound);
+}
+
+// ---- The cornerstone equivalence property: bytes-mode analysis of a
+// materialized layer must reproduce the metadata-mode spec exactly. ----
+
+TEST(EquivalenceTest, MaterializedLayersMatchModelSpecs) {
+  const synth::HubModel hub(synth::Calibration::paper(), synth::Scale{120, 31});
+  const synth::Materializer materializer(hub, /*gzip_level=*/1);
+  const LayerAnalyzer analyzer;
+
+  int checked = 0;
+  for (synth::LayerId id : hub.unique_layers()) {
+    const synth::LayerSpec spec = hub.layer_spec(id);
+    if (spec.file_count > 4000) continue;  // keep runtime modest
+    // Model-side expectations.
+    std::vector<std::pair<std::uint64_t, filetype::Type>> model_files;
+    hub.layers().for_each_file(spec, [&](const synth::FileInstance& f) {
+      model_files.emplace_back(f.size, f.type);
+    });
+
+    // Bytes-side measurement.
+    std::vector<std::pair<std::uint64_t, filetype::Type>> measured_files;
+    FileVisitor visitor = [&](std::string_view, const FileRecord& record) {
+      measured_files.emplace_back(record.size, record.type);
+    };
+    auto profile = analyzer.analyze_tar(materializer.layer_tar(spec), &visitor);
+    ASSERT_TRUE(profile.ok());
+
+    EXPECT_EQ(profile.value().file_count, spec.file_count) << "layer " << id;
+    EXPECT_EQ(profile.value().dir_count, spec.dir_count) << "layer " << id;
+    EXPECT_EQ(profile.value().max_depth, spec.max_depth) << "layer " << id;
+    ASSERT_EQ(measured_files.size(), model_files.size());
+    for (std::size_t i = 0; i < model_files.size(); ++i) {
+      EXPECT_EQ(measured_files[i].first, model_files[i].first);
+      EXPECT_EQ(measured_files[i].second, model_files[i].second)
+          << "layer " << id << " file " << i << ": want "
+          << filetype::to_string(model_files[i].second) << " got "
+          << filetype::to_string(measured_files[i].second);
+    }
+    if (++checked >= 40) break;
+  }
+  EXPECT_GE(checked, 20);
+}
+
+TEST(PipelineTest, AnalyzesUniqueLayersOnceAndBuildsImages) {
+  const synth::HubModel hub(synth::Calibration::light(), synth::Scale{60, 17});
+  registry::Service service;
+  const synth::Materializer materializer(hub, 1);
+  ASSERT_TRUE(materializer.populate(service).ok());
+
+  // Collect the public manifests.
+  std::vector<registry::Manifest> manifests;
+  for (const synth::RepoSpec& repo : hub.repositories()) {
+    if (!repo.has_latest || repo.requires_auth) continue;
+    auto body = service.get_manifest(repo.name, "latest");
+    ASSERT_TRUE(body.ok());
+    manifests.push_back(registry::manifest_from_json(body.value()).value());
+  }
+
+  AnalysisPipeline::Options options;
+  options.workers = 3;
+  AnalysisPipeline pipeline(options);
+  std::size_t layer_events = 0, image_events = 0, file_events = 0;
+  AnalysisPipeline::Sink sink;
+  sink.on_layer = [&](const LayerProfile&) { ++layer_events; };
+  sink.on_file = [&](const digest::Digest&, const FileRecord&) {
+    ++file_events;
+  };
+  sink.on_image = [&](const ImageProfile& image) {
+    EXPECT_FALSE(image.repository.empty());
+    ++image_events;
+  };
+  auto store = pipeline.run(
+      manifests,
+      [&](const digest::Digest& d) { return service.get_blob(d); }, sink);
+  ASSERT_TRUE(store.ok());
+
+  std::set<std::string> unique_digests;
+  for (const auto& m : manifests) {
+    for (const auto& ref : m.layers) unique_digests.insert(ref.digest.to_string());
+  }
+  EXPECT_EQ(layer_events, unique_digests.size());
+  EXPECT_EQ(store.value().size(), unique_digests.size());
+  EXPECT_EQ(image_events, manifests.size());
+  EXPECT_GT(file_events, 0u);
+}
+
+TEST(PipelineTest, PropagatesFetchErrors) {
+  registry::Manifest manifest;
+  manifest.repository = "x/y";
+  manifest.layers.push_back({digest::Digest::of("gone"), 5});
+  AnalysisPipeline pipeline;
+  auto result = pipeline.run(
+      {manifest},
+      [&](const digest::Digest&) -> util::Result<blob::BlobPtr> {
+        return util::not_found("no such blob");
+      },
+      {});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code(), util::ErrorCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace dockmine::analyzer

@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include "dockmine/blob/store.h"
+#include "dockmine/registry/manifest.h"
+#include "dockmine/registry/search.h"
+#include "dockmine/registry/service.h"
+
+namespace dockmine {
+namespace {
+
+using registry::LayerRef;
+using registry::Manifest;
+using registry::Repository;
+using registry::Service;
+
+// ---------- blob store ----------
+
+TEST(BlobStoreTest, PutGetRoundTrip) {
+  blob::Store store;
+  const auto digest = store.put("layer bytes");
+  auto fetched = store.get(digest);
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_EQ(*fetched.value(), "layer bytes");
+  EXPECT_EQ(store.stat(digest).value(), 11u);
+  EXPECT_TRUE(store.contains(digest));
+}
+
+TEST(BlobStoreTest, DedupAccountsLogicalVsPhysical) {
+  blob::Store store;
+  store.put("shared content");
+  store.put("shared content");
+  store.put("unique");
+  const auto stats = store.stats();
+  EXPECT_EQ(stats.puts, 3u);
+  EXPECT_EQ(stats.dedup_hits, 1u);
+  EXPECT_EQ(stats.unique_blobs, 2u);
+  EXPECT_EQ(stats.logical_bytes, 14u + 14u + 6u);
+  EXPECT_EQ(stats.physical_bytes, 14u + 6u);
+  EXPECT_NEAR(stats.dedup_ratio(), 34.0 / 20.0, 1e-12);
+}
+
+TEST(BlobStoreTest, MissingBlobIsNotFound) {
+  blob::Store store;
+  auto missing = store.get(digest::Digest::of("nothing"));
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.error().code(), util::ErrorCode::kNotFound);
+}
+
+TEST(BlobStoreTest, SyntheticDigestInsertAndCollisionGuard) {
+  blob::Store store;
+  const auto d = digest::Digest::from_u64(7);
+  EXPECT_TRUE(store.put_with_digest(d, "aaaa").ok());
+  EXPECT_TRUE(store.put_with_digest(d, "aaaa").ok());   // same size: dedup
+  EXPECT_FALSE(store.put_with_digest(d, "aaaaa").ok()); // size mismatch
+}
+
+// ---------- repository names ----------
+
+TEST(RepoNameTest, OfficialVsUser) {
+  EXPECT_TRUE(registry::is_official_name("nginx"));
+  EXPECT_FALSE(registry::is_official_name("alice/app"));
+}
+
+TEST(RepoNameTest, Validation) {
+  EXPECT_TRUE(registry::is_valid_repository_name("nginx"));
+  EXPECT_TRUE(registry::is_valid_repository_name("alice/my-app_1.0"));
+  EXPECT_FALSE(registry::is_valid_repository_name(""));
+  EXPECT_FALSE(registry::is_valid_repository_name("/app"));
+  EXPECT_FALSE(registry::is_valid_repository_name("alice/"));
+  EXPECT_FALSE(registry::is_valid_repository_name("a//b"));
+  EXPECT_FALSE(registry::is_valid_repository_name("a/b/c"));
+  EXPECT_FALSE(registry::is_valid_repository_name("UPPER/case"));
+}
+
+// ---------- manifest codec ----------
+
+Manifest sample_manifest() {
+  Manifest m;
+  m.repository = "alice/app";
+  m.tag = "latest";
+  m.config_digest = digest::Digest::of("config");
+  m.config_size = 42;
+  m.layers.push_back(LayerRef{digest::Digest::of("l1"), 1000});
+  m.layers.push_back(LayerRef{digest::Digest::of("l2"), 2000});
+  return m;
+}
+
+TEST(ManifestTest, JsonRoundTrip) {
+  const Manifest in = sample_manifest();
+  auto out = registry::manifest_from_json(manifest_to_json(in));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value().repository, in.repository);
+  EXPECT_EQ(out.value().tag, "latest");
+  ASSERT_EQ(out.value().layers.size(), 2u);
+  EXPECT_EQ(out.value().layers[0].digest, in.layers[0].digest);
+  EXPECT_EQ(out.value().layers[1].compressed_size, 2000u);
+  EXPECT_EQ(out.value().config_digest, in.config_digest);
+  EXPECT_EQ(out.value().compressed_image_size(), 3000u);
+}
+
+TEST(ManifestTest, SerializationIsByteStable) {
+  // Manifests are content-addressed; serialization must be deterministic.
+  EXPECT_EQ(manifest_to_json(sample_manifest()),
+            manifest_to_json(sample_manifest()));
+}
+
+TEST(ManifestTest, RejectsBadSchema) {
+  EXPECT_FALSE(registry::manifest_from_json("not json").ok());
+  EXPECT_FALSE(registry::manifest_from_json("{}").ok());
+  EXPECT_FALSE(
+      registry::manifest_from_json(R"({"schemaVersion":1,"layers":[]})").ok());
+  std::string good = manifest_to_json(sample_manifest());
+  // Corrupt a digest in place.
+  const auto pos = good.find("sha256:");
+  std::string bad = good;
+  bad.replace(pos, 12, "sha256:zzzz!");
+  EXPECT_FALSE(registry::manifest_from_json(bad).ok());
+}
+
+// ---------- service ----------
+
+TEST(ServiceTest, PushThenPullManifestAndBlobs) {
+  Service service;
+  const auto blob_digest = service.push_blob("layer-1 data");
+  Manifest m;
+  m.repository = "alice/app";
+  m.layers.push_back(LayerRef{blob_digest, 12});
+  ASSERT_TRUE(service.push_manifest(m).ok());
+
+  auto body = service.get_manifest("alice/app", "latest");
+  ASSERT_TRUE(body.ok());
+  auto parsed = registry::manifest_from_json(body.value());
+  ASSERT_TRUE(parsed.ok());
+  auto blob = service.get_blob(parsed.value().layers[0].digest);
+  ASSERT_TRUE(blob.ok());
+  EXPECT_EQ(*blob.value(), "layer-1 data");
+}
+
+TEST(ServiceTest, UnknownRepoAndTagAre404) {
+  Service service;
+  Manifest m;
+  m.repository = "bob/tool";
+  m.tag = "v1";  // no latest!
+  ASSERT_TRUE(service.push_manifest(m).ok());
+
+  auto missing_repo = service.get_manifest("nobody/nothing", "latest");
+  EXPECT_EQ(missing_repo.error().code(), util::ErrorCode::kNotFound);
+  auto missing_tag = service.get_manifest("bob/tool", "latest");
+  EXPECT_EQ(missing_tag.error().code(), util::ErrorCode::kNotFound);
+  EXPECT_NE(missing_tag.error().message().find("has no tag"),
+            std::string::npos);
+  EXPECT_EQ(service.stats().not_found, 2u);
+}
+
+TEST(ServiceTest, AuthGateReturns401WithoutToken) {
+  Service service;
+  Manifest m;
+  m.repository = "corp/private";
+  ASSERT_TRUE(service.push_manifest(m).ok());
+  Repository repo = *service.find_repository("corp/private");
+  repo.requires_auth = true;
+  // put_repository must preserve tags set by push_manifest.
+  service.put_repository(repo);
+
+  auto denied = service.get_manifest("corp/private", "latest");
+  EXPECT_EQ(denied.error().code(), util::ErrorCode::kUnauthorized);
+  auto allowed = service.get_manifest("corp/private", "latest",
+                                      /*authenticated=*/true);
+  EXPECT_TRUE(allowed.ok());
+  EXPECT_EQ(service.stats().unauthorized, 1u);
+}
+
+TEST(ServiceTest, RejectsInvalidRepositoryName) {
+  Service service;
+  Manifest m;
+  m.repository = "Bad/Name!";
+  EXPECT_FALSE(service.push_manifest(m).ok());
+}
+
+TEST(ServiceTest, CostModelAccumulates) {
+  registry::CostModel cost;
+  cost.base_ms = 10;
+  cost.per_mb_ms = 5;
+  Service service(cost);
+  const auto d = service.push_blob(std::string(2'000'000, 'x'));
+  (void)service.get_blob(d);
+  EXPECT_NEAR(service.stats().simulated_ms, 10 + 5 * 2.0, 1e-9);
+  EXPECT_EQ(service.stats().bytes_served, 2'000'000u);
+}
+
+// ---------- search ----------
+
+TEST(SearchTest, PaginatesAndInjectsDuplicates) {
+  Service service;
+  for (int i = 0; i < 50; ++i) {
+    Manifest m;
+    m.repository = "user" + std::to_string(i) + "/app";
+    ASSERT_TRUE(service.push_manifest(m).ok());
+  }
+  Manifest official;
+  official.repository = "nginx";
+  ASSERT_TRUE(service.push_manifest(official).ok());
+
+  registry::SearchIndex index(service, /*duplicate_factor=*/1.4, /*seed=*/3);
+  EXPECT_EQ(index.raw_entry_count(), 51 + (51 * 4) / 10);
+
+  // Page through the "/" query: every hit is a user repo.
+  std::size_t hits = 0;
+  for (std::uint64_t page_no = 0;; ++page_no) {
+    const auto page = index.page("/", page_no, 10);
+    for (const auto& hit : page.hits) {
+      EXPECT_NE(hit.repository.find('/'), std::string::npos);
+      ++hits;
+    }
+    if (!page.has_next) break;
+  }
+  EXPECT_GE(hits, 50u);   // every user repo present (plus duplicates)
+  EXPECT_LT(hits, 75u);
+
+  // Empty query matches everything, including the official.
+  const auto all = index.page("", 0, 1000);
+  EXPECT_EQ(all.hits.size(), index.raw_entry_count());
+  // Substring query.
+  const auto sub = index.page("nginx", 0, 10);
+  ASSERT_FALSE(sub.hits.empty());
+  EXPECT_EQ(sub.hits[0].repository, "nginx");
+}
+
+TEST(SearchTest, OutOfRangePageIsEmpty) {
+  Service service;
+  Manifest m;
+  m.repository = "a/b";
+  ASSERT_TRUE(service.push_manifest(m).ok());
+  registry::SearchIndex index(service, 1.0, 1);
+  const auto page = index.page("/", 99, 10);
+  EXPECT_TRUE(page.hits.empty());
+  EXPECT_FALSE(page.has_next);
+}
+
+}  // namespace
+}  // namespace dockmine

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "dockmine/core/cache_sim.h"
+#include "dockmine/core/dataset.h"
+
+namespace dockmine::core {
+namespace {
+
+TEST(LruCacheTest, HitAfterAdmission) {
+  LruCache cache(100);
+  EXPECT_FALSE(cache.access(1, 10));
+  EXPECT_TRUE(cache.access(1, 10));
+  EXPECT_EQ(cache.used_bytes(), 10u);
+  EXPECT_EQ(cache.entries(), 1u);
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsedByBytes) {
+  LruCache cache(120);
+  cache.access(1, 60);
+  cache.access(2, 40);
+  cache.access(1, 60);   // touch 1; 2 becomes LRU
+  cache.access(3, 50);   // 150 > 120: must evict 2 (and only 2)
+  EXPECT_TRUE(cache.access(1, 60));
+  EXPECT_FALSE(cache.access(2, 40));
+  EXPECT_LE(cache.used_bytes(), 120u);
+}
+
+TEST(LruCacheTest, OversizedObjectNeverAdmitted) {
+  LruCache cache(50);
+  EXPECT_FALSE(cache.access(1, 100));
+  EXPECT_FALSE(cache.access(1, 100));
+  EXPECT_EQ(cache.entries(), 0u);
+}
+
+TEST(CacheSimTest, DeterministicAndAccountsBytes) {
+  std::vector<CachedImage> images(3);
+  for (int i = 0; i < 3; ++i) {
+    images[i].layer_keys = {static_cast<std::uint64_t>(i * 10 + 1),
+                            static_cast<std::uint64_t>(i * 10 + 2)};
+    images[i].layer_sizes = {100, 200};
+    images[i].popularity_weight = i + 1.0;
+  }
+  const auto a = simulate_layer_cache(images, 10'000, 5000, 42);
+  const auto b = simulate_layer_cache(images, 10'000, 5000, 42);
+  EXPECT_EQ(a.layer_hits, b.layer_hits);
+  EXPECT_EQ(a.pulls, 5000u);
+  EXPECT_EQ(a.layer_requests, 10000u);
+  EXPECT_EQ(a.bytes_requested, 5000u * 300u);
+  // Everything fits: after warmup, hit ratio ~1.
+  EXPECT_GT(a.hit_ratio(), 0.99);
+}
+
+TEST(CacheSimTest, HitRatioGrowsWithCapacity) {
+  // Popularity-skewed pulls against a synthetic snapshot.
+  const synth::HubModel hub(synth::Calibration::paper(), synth::Scale{150, 3});
+  DatasetOptions options;
+  options.file_dedup = false;
+  const DatasetStats stats = DatasetStats::compute(hub, options);
+
+  std::vector<CachedImage> images;
+  const auto& aggs = stats.layer_aggregates();
+  std::unordered_map<synth::LayerId, std::size_t> dense;
+  for (std::size_t i = 0; i < hub.unique_layers().size(); ++i) {
+    dense[hub.unique_layers()[i]] = i;
+  }
+  for (const synth::RepoSpec& repo : hub.repositories()) {
+    if (repo.image_index < 0 || repo.requires_auth) continue;
+    CachedImage entry;
+    for (synth::LayerId id : hub.images()[repo.image_index].layers) {
+      entry.layer_keys.push_back(id);
+      entry.layer_sizes.push_back(aggs[dense.at(id)].cls);
+    }
+    entry.popularity_weight = static_cast<double>(repo.pull_count) + 1.0;
+    images.push_back(std::move(entry));
+  }
+
+  double previous = -1.0;
+  for (std::uint64_t capacity : {64ULL << 20, 1ULL << 30, 64ULL << 30}) {
+    const auto result = simulate_layer_cache(images, capacity, 20000, 7);
+    EXPECT_GE(result.hit_ratio(), previous);
+    previous = result.hit_ratio();
+  }
+  // A big cache on Zipf-skewed pulls should serve most requests (the
+  // paper's caching motivation, Fig. 8).
+  EXPECT_GT(previous, 0.8);
+}
+
+TEST(CacheSimTest, EmptyInputsAreSafe) {
+  const auto result = simulate_layer_cache({}, 1000, 100, 1);
+  EXPECT_EQ(result.pulls, 0u);
+  EXPECT_EQ(result.hit_ratio(), 0.0);
+}
+
+}  // namespace
+}  // namespace dockmine::core

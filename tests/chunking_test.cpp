@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dockmine/compress/content_gen.h"
+#include "dockmine/dedup/chunking.h"
+#include "dockmine/digest/digest.h"
+#include "dockmine/util/rng.h"
+
+namespace dockmine::dedup {
+namespace {
+
+std::string random_bytes(std::size_t size, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::string out;
+  compress::append_random(out, size, rng);
+  return out;
+}
+
+std::uint64_t cover_and_check(const std::vector<Chunk>& chunks,
+                              std::size_t total) {
+  std::uint64_t offset = 0;
+  for (const Chunk& chunk : chunks) {
+    EXPECT_EQ(chunk.offset, offset);
+    EXPECT_GT(chunk.size, 0u);
+    offset += chunk.size;
+  }
+  EXPECT_EQ(offset, total);
+  return offset;
+}
+
+TEST(FixedChunkerTest, ExactCoverage) {
+  const std::string content = random_bytes(10000, 1);
+  const FixedChunker chunker(4096);
+  const auto chunks = chunker.chunk(content);
+  ASSERT_EQ(chunks.size(), 3u);
+  EXPECT_EQ(chunks[0].size, 4096u);
+  EXPECT_EQ(chunks[2].size, 10000u - 8192u);
+  cover_and_check(chunks, content.size());
+  EXPECT_TRUE(chunker.chunk("").empty());
+}
+
+TEST(GearChunkerTest, CoverageAndBounds) {
+  const std::string content = random_bytes(256 * 1024, 2);
+  const GearChunker chunker(4096);
+  const auto chunks = chunker.chunk(content);
+  cover_and_check(chunks, content.size());
+  for (std::size_t i = 0; i + 1 < chunks.size(); ++i) {  // last may be short
+    EXPECT_GE(chunks[i].size, chunker.min_size());
+    EXPECT_LE(chunks[i].size, chunker.max_size());
+  }
+  // Average chunk size within 2x of the target.
+  const double average =
+      static_cast<double>(content.size()) / static_cast<double>(chunks.size());
+  EXPECT_GT(average, 4096.0 / 2);
+  EXPECT_LT(average, 4096.0 * 2);
+}
+
+TEST(GearChunkerTest, Deterministic) {
+  const std::string content = random_bytes(64 * 1024, 3);
+  const GearChunker chunker(2048);
+  const auto a = chunker.chunk(content);
+  const auto b = chunker.chunk(content);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].offset, b[i].offset);
+    EXPECT_EQ(a[i].size, b[i].size);
+  }
+}
+
+TEST(GearChunkerTest, InsertionShiftsBoundariesOnlyLocally) {
+  // The CDC property that fixed chunking lacks: prepend bytes and most
+  // chunk CONTENT hashes survive.
+  const std::string base = random_bytes(512 * 1024, 4);
+  const std::string shifted = random_bytes(100, 5) + base;
+  const GearChunker chunker(4096);
+
+  auto digest_set = [&](const std::string& content) {
+    std::set<std::uint64_t> keys;
+    for (const Chunk& chunk : chunker.chunk(content)) {
+      keys.insert(digest::Digest::of(content.data() + chunk.offset,
+                                     chunk.size)
+                      .key64());
+    }
+    return keys;
+  };
+  const auto base_keys = digest_set(base);
+  const auto shifted_keys = digest_set(shifted);
+  std::size_t survived = 0;
+  for (std::uint64_t key : base_keys) survived += shifted_keys.count(key);
+  EXPECT_GT(static_cast<double>(survived) /
+                static_cast<double>(base_keys.size()),
+            0.9)
+      << "CDC should re-synchronize after an insertion";
+
+  // Fixed chunking does NOT survive the shift (control).
+  const FixedChunker fixed(4096);
+  auto fixed_set = [&](const std::string& content) {
+    std::set<std::uint64_t> keys;
+    for (const Chunk& chunk : fixed.chunk(content)) {
+      keys.insert(digest::Digest::of(content.data() + chunk.offset,
+                                     chunk.size)
+                      .key64());
+    }
+    return keys;
+  };
+  const auto fixed_base = fixed_set(base);
+  const auto fixed_shifted = fixed_set(shifted);
+  std::size_t fixed_survived = 0;
+  for (std::uint64_t key : fixed_base) {
+    fixed_survived += fixed_shifted.count(key);
+  }
+  EXPECT_LT(fixed_survived, fixed_base.size() / 10);
+}
+
+TEST(ChunkDedupIndexTest, ByteAccounting) {
+  ChunkDedupIndex index;
+  index.add(1, 100);
+  index.add(1, 100);
+  index.add(2, 50);
+  EXPECT_EQ(index.total_chunks(), 3u);
+  EXPECT_EQ(index.unique_chunks(), 2u);
+  EXPECT_EQ(index.total_bytes(), 250u);
+  EXPECT_EQ(index.unique_bytes(), 150u);
+  EXPECT_NEAR(index.capacity_ratio(), 250.0 / 150.0, 1e-12);
+  EXPECT_EQ(index.index_overhead_bytes(),
+            2u * ChunkDedupIndex::kIndexEntryBytes);
+}
+
+TEST(ChunkDedupIndexTest, ZeroRunsCollapse) {
+  // A sparse file's zero chunks all hash identically under fixed chunking.
+  const std::string zeros(64 * 1024, '\0');
+  const FixedChunker chunker(4096);
+  ChunkDedupIndex index;
+  for (const Chunk& chunk : chunker.chunk(zeros)) {
+    index.add(digest::Digest::of(zeros.data() + chunk.offset, chunk.size)
+                  .key64(),
+              chunk.size);
+  }
+  EXPECT_EQ(index.unique_chunks(), 1u);
+  EXPECT_EQ(index.unique_bytes(), 4096u);
+}
+
+}  // namespace
+}  // namespace dockmine::dedup

@@ -1,0 +1,224 @@
+// Calibration-band tests: DatasetStats on a small snapshot must land inside
+// loose bands around the paper's reported quantiles. These are the guard
+// rails that keep the synthetic model honest as the code evolves; the
+// benches print the precise paper-vs-measured tables.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "dockmine/core/dataset.h"
+#include "dockmine/dedup/by_type.h"
+
+namespace dockmine::core {
+namespace {
+
+class DatasetFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    hub = new synth::HubModel(synth::Calibration::paper(),
+                              synth::Scale{400, 20170530});
+    DatasetOptions options;
+    options.file_dedup = true;
+    options.cross_dup = true;
+    stats = new DatasetStats(DatasetStats::compute(*hub, options));
+  }
+  static void TearDownTestSuite() {
+    delete stats;
+    delete hub;
+    stats = nullptr;
+    hub = nullptr;
+  }
+  static synth::HubModel* hub;
+  static DatasetStats* stats;
+};
+
+synth::HubModel* DatasetFixture::hub = nullptr;
+DatasetStats* DatasetFixture::stats = nullptr;
+
+TEST_F(DatasetFixture, BookkeepingConsistent) {
+  EXPECT_EQ(stats->unique_layer_count, hub->unique_layers().size());
+  EXPECT_EQ(stats->image_count, hub->downloadable_images());
+  EXPECT_EQ(stats->layer_files.size(), stats->unique_layer_count);
+  EXPECT_EQ(stats->image_cis.size(), stats->image_count);
+  EXPECT_EQ(stats->repo_pulls.size(), hub->repositories().size());
+  EXPECT_GT(stats->total_files, 0u);
+  EXPECT_GT(stats->total_fls_bytes, stats->total_cls_bytes);
+}
+
+TEST_F(DatasetFixture, Fig5FileCountBands) {
+  // Paper: 7% empty, 27% single-file, median <30, p90 ~7410.
+  EXPECT_NEAR(stats->layer_files.fraction_equal(0), 0.07, 0.035);
+  EXPECT_NEAR(stats->layer_files.fraction_equal(1), 0.27, 0.06);
+  EXPECT_GT(stats->layer_files.median(), 10.0);
+  EXPECT_LT(stats->layer_files.median(), 80.0);
+  EXPECT_GT(stats->layer_files.p90(), 1500.0);
+  EXPECT_LE(stats->layer_files.max(),
+            static_cast<double>(hub->calibration().files_max));
+}
+
+TEST_F(DatasetFixture, Fig6Fig7DirAndDepthBands) {
+  // Paper: dirs median 11 / p90 826; depth mode 3, median <4, p90 <10.
+  EXPECT_GT(stats->layer_dirs.median(), 4.0);
+  EXPECT_LT(stats->layer_dirs.median(), 25.0);
+  EXPECT_GT(stats->layer_dirs.p90(), 200.0);
+  EXPECT_GE(stats->layer_dirs.min(), 1.0);
+  EXPECT_GE(stats->layer_depth.median(), 2.0);
+  EXPECT_LE(stats->layer_depth.median(), 5.0);
+  EXPECT_LT(stats->layer_depth.p90(), 10.0);
+}
+
+TEST_F(DatasetFixture, Fig3LayerSizeBands) {
+  // Paper: half of layers < 4 MB in both formats.
+  EXPECT_GT(stats->layer_cls.fraction_at_or_below(4e6), 0.5);
+  EXPECT_GT(stats->layer_fls.fraction_at_or_below(4e6), 0.4);
+  // p90 within 3x of the paper (63 MB / 177 MB).
+  EXPECT_GT(stats->layer_cls.p90(), 63e6 / 3);
+  EXPECT_LT(stats->layer_cls.p90(), 63e6 * 3);
+  EXPECT_GT(stats->layer_fls.p90(), 177e6 / 3);
+  EXPECT_LT(stats->layer_fls.p90(), 177e6 * 3);
+}
+
+TEST_F(DatasetFixture, Fig4CompressionBands) {
+  // Paper: median 2.6, p90 4, max ~1026, min >= 1.
+  EXPECT_GT(stats->layer_ratio.median(), 1.6);
+  EXPECT_LT(stats->layer_ratio.median(), 3.5);
+  EXPECT_LT(stats->layer_ratio.p90(), 6.0);
+  EXPECT_LE(stats->layer_ratio.max(), 1100.0);
+  // Layers holding a handful of tiny files genuinely "compress" below 1
+  // (tar/gzip framing exceeds the content); the paper's Fig. 4 axis starts
+  // at 1, truncating that corner.
+  EXPECT_GT(stats->layer_ratio.min(), 0.05);
+}
+
+TEST_F(DatasetFixture, Fig8PopularityBands) {
+  // Paper: median 40, p90 333, max 650M.
+  EXPECT_GT(stats->repo_pulls.median(), 15.0);
+  EXPECT_LT(stats->repo_pulls.median(), 90.0);
+  EXPECT_GT(stats->repo_pulls.p90(), 150.0);
+  EXPECT_LT(stats->repo_pulls.p90(), 700.0);
+  EXPECT_DOUBLE_EQ(stats->repo_pulls.max(), 6.5e8);  // pinned to nginx
+}
+
+TEST_F(DatasetFixture, Fig10LayerCountBands) {
+  // Paper: median 8, p90 18, max 120.
+  EXPECT_GE(stats->image_layers.median(), 6.0);
+  EXPECT_LE(stats->image_layers.median(), 10.0);
+  EXPECT_GE(stats->image_layers.p90(), 14.0);
+  EXPECT_LE(stats->image_layers.p90(), 22.0);
+  EXPECT_LE(stats->image_layers.max(), 120.0);
+  EXPECT_GE(stats->image_layers.min(), 1.0);
+}
+
+TEST_F(DatasetFixture, Fig9Fig11Fig12ImageBands) {
+  // Paper: FIS median 94 MB; files median 1,090; dirs median 296. Allow
+  // generous bands (small-sample medians wander).
+  EXPECT_GT(stats->image_fis.median(), 94e6 / 4);
+  EXPECT_LT(stats->image_fis.median(), 94e6 * 4);
+  EXPECT_GT(stats->image_files.median(), 1090 / 4.0);
+  EXPECT_LT(stats->image_files.median(), 1090 * 4.0);
+  EXPECT_GT(stats->image_dirs.median(), 296 / 4.0);
+  EXPECT_LT(stats->image_dirs.median(), 296 * 4.0);
+}
+
+TEST_F(DatasetFixture, Fig23SharingBands) {
+  // Paper: ~90% of layers referenced once, ~5% twice, sharing saves 1.8x.
+  const auto refs = stats->sharing.reference_count_cdf();
+  EXPECT_NEAR(refs.fraction_equal(1), 0.90, 0.05);
+  EXPECT_NEAR(refs.fraction_equal(2), 0.05, 0.04);
+  EXPECT_GT(stats->sharing.sharing_ratio(), 1.3);
+  EXPECT_LT(stats->sharing.sharing_ratio(), 2.3);
+  // The single most-referenced layer is THE empty layer, at ~52% of images.
+  const auto top = stats->sharing.top(1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_NEAR(static_cast<double>(top[0].references) /
+                  static_cast<double>(stats->image_count),
+              0.52, 0.08);
+}
+
+TEST_F(DatasetFixture, Fig24DedupBands) {
+  ASSERT_NE(stats->file_index, nullptr);
+  const auto totals = stats->file_index->totals();
+  // Scale-dependent; at a few hundred repos expect roughly 4-8x count.
+  EXPECT_GT(totals.count_ratio(), 2.5);
+  EXPECT_GT(totals.capacity_ratio(), 1.5);
+  EXPECT_LT(totals.capacity_ratio(), totals.count_ratio());
+  // Most-repeated content is the empty file.
+  const auto top = stats->file_index->max_repeat();
+  EXPECT_EQ(top.size, 0u);
+  EXPECT_EQ(top.type, filetype::Type::kEmpty);
+  // Copies-per-content mode near the paper's 4.
+  const auto repeats = stats->file_index->repeat_count_cdf();
+  EXPECT_GE(repeats.median(), 2.0);
+  EXPECT_LE(repeats.median(), 8.0);
+}
+
+TEST_F(DatasetFixture, Fig26CrossDupBands) {
+  // Paper: p10 of layers >= 97.6% dup, p10 of images >= 99.4%; scaled-down
+  // snapshots sit lower but must already be heavily duplicated.
+  ASSERT_FALSE(stats->cross_layer_dup.empty());
+  EXPECT_GT(stats->cross_layer_dup.quantile(0.1), 0.6);
+  EXPECT_GT(stats->cross_image_dup.quantile(0.1), 0.75);
+  EXPECT_LE(stats->cross_layer_dup.max(), 1.0);
+}
+
+TEST_F(DatasetFixture, Fig14TypeMixBands) {
+  const dedup::TypeBreakdown breakdown(*stats->file_index);
+  using filetype::Group;
+  // Paper Fig. 14(a): Doc 44%, SC 13%, EOL 11%, Scr 9%, Img 4%.
+  EXPECT_NEAR(breakdown.count_share(Group::kDocuments), 0.44, 0.07);
+  EXPECT_NEAR(breakdown.count_share(Group::kSourceCode), 0.13, 0.04);
+  EXPECT_NEAR(breakdown.count_share(Group::kEol), 0.11, 0.04);
+  EXPECT_NEAR(breakdown.count_share(Group::kScripts), 0.09, 0.03);
+  EXPECT_NEAR(breakdown.count_share(Group::kImages), 0.04, 0.02);
+  // Fig. 14(b): EOL holds the most capacity (paper 37%).
+  EXPECT_GT(breakdown.capacity_share(Group::kEol), 0.2);
+  // Fig. 15: DB files are by far the largest on average (paper 978.8 KB).
+  EXPECT_GT(breakdown.by_group(Group::kDatabases).avg_size(), 400e3);
+  for (std::size_t g = 0; g < filetype::kGroupCount; ++g) {
+    if (static_cast<Group>(g) == Group::kDatabases) continue;
+    EXPECT_LT(breakdown.by_group(static_cast<Group>(g)).avg_size(),
+              breakdown.by_group(Group::kDatabases).avg_size());
+  }
+}
+
+TEST_F(DatasetFixture, Fig27DedupOrderingByGroup) {
+  const dedup::TypeBreakdown breakdown(*stats->file_index);
+  using filetype::Group;
+  // Paper ordering: scripts (98%) and source (96.8%) dedup best,
+  // databases worst (76%).
+  const double scr = breakdown.by_group(Group::kScripts).capacity_removed();
+  const double sc = breakdown.by_group(Group::kSourceCode).capacity_removed();
+  const double doc = breakdown.by_group(Group::kDocuments).capacity_removed();
+  const double eol = breakdown.by_group(Group::kEol).capacity_removed();
+  const double db = breakdown.by_group(Group::kDatabases).capacity_removed();
+  EXPECT_GT(scr, doc);
+  EXPECT_GT(sc, doc);
+  EXPECT_GT(doc, eol);
+  EXPECT_GT(eol, db);
+}
+
+TEST_F(DatasetFixture, ComputeIsDeterministic) {
+  DatasetOptions options;
+  options.file_dedup = false;
+  const DatasetStats again = DatasetStats::compute(*hub, options);
+  EXPECT_DOUBLE_EQ(again.layer_files.median(), stats->layer_files.median());
+  EXPECT_DOUBLE_EQ(again.image_cis.quantile(0.75),
+                   stats->image_cis.quantile(0.75));
+  EXPECT_EQ(again.total_files, stats->total_files);
+}
+
+TEST(ScaleFromEnvTest, OverridesFromEnvironment) {
+  ::setenv("DOCKMINE_REPOS", "123", 1);
+  ::setenv("DOCKMINE_SEED", "9", 1);
+  const synth::Scale scale = scale_from_env(synth::Scale::test());
+  EXPECT_EQ(scale.repositories, 123u);
+  EXPECT_EQ(scale.seed, 9u);
+  ::unsetenv("DOCKMINE_REPOS");
+  ::unsetenv("DOCKMINE_SEED");
+  const synth::Scale fallback = scale_from_env(synth::Scale{77, 3});
+  EXPECT_EQ(fallback.repositories, 77u);
+  EXPECT_EQ(fallback.seed, 3u);
+}
+
+}  // namespace
+}  // namespace dockmine::core

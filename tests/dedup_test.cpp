@@ -1,0 +1,262 @@
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "dockmine/core/dataset.h"
+#include "dockmine/dedup/by_type.h"
+#include "dockmine/dedup/cross_dup.h"
+#include "dockmine/dedup/file_dedup.h"
+#include "dockmine/dedup/growth.h"
+#include "dockmine/dedup/layer_sharing.h"
+
+namespace dockmine::dedup {
+namespace {
+
+using filetype::Type;
+
+// ---------- FileDedupIndex ----------
+
+TEST(FileDedupTest, TotalsOnHandcraftedPopulation) {
+  FileDedupIndex index;
+  // Content A: 3 copies of 10 bytes across layers 0 and 1.
+  index.add(100, 10, Type::kAsciiText, 0);
+  index.add(100, 10, Type::kAsciiText, 1);
+  index.add(100, 10, Type::kAsciiText, 1);
+  // Content B: singleton, 100 bytes.
+  index.add(200, 100, Type::kElfExecutable, 0);
+
+  const DedupTotals totals = index.totals();
+  EXPECT_EQ(totals.total_files, 4u);
+  EXPECT_EQ(totals.unique_files, 2u);
+  EXPECT_EQ(totals.total_bytes, 130u);
+  EXPECT_EQ(totals.unique_bytes, 110u);
+  EXPECT_DOUBLE_EQ(totals.count_ratio(), 2.0);
+  EXPECT_NEAR(totals.capacity_ratio(), 130.0 / 110.0, 1e-12);
+  EXPECT_DOUBLE_EQ(totals.unique_file_fraction(), 0.5);
+  EXPECT_NEAR(totals.capacity_removed_fraction(), 20.0 / 130.0, 1e-12);
+}
+
+TEST(FileDedupTest, RepeatCdfAndMaxRepeat) {
+  FileDedupIndex index;
+  for (int i = 0; i < 7; ++i) index.add(1, 0, Type::kEmpty, 0);
+  index.add(2, 5, Type::kPng, 0);
+  index.add(2, 5, Type::kPng, 1);
+  index.add(3, 9, Type::kJpeg, 2);
+
+  const auto cdf = index.repeat_count_cdf();
+  EXPECT_EQ(cdf.size(), 3u);
+  EXPECT_DOUBLE_EQ(cdf.max(), 7.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_equal(1), 1.0 / 3);
+
+  const ContentEntry top = index.max_repeat();
+  EXPECT_EQ(top.count, 7u);
+  EXPECT_EQ(top.type, Type::kEmpty);
+  EXPECT_EQ(top.size, 0u);  // the paper's most-repeated file is empty
+}
+
+TEST(FileDedupTest, MultiLayerFlagTracksFirstLayer) {
+  FileDedupIndex index;
+  index.add(5, 1, Type::kAsciiText, 3);
+  index.add(5, 1, Type::kAsciiText, 3);  // same layer: not cross-layer
+  EXPECT_FALSE(index.find(std::uint64_t{5})->multi_layer);
+  index.add(5, 1, Type::kAsciiText, 4);
+  EXPECT_TRUE(index.find(std::uint64_t{5})->multi_layer);
+  EXPECT_EQ(index.find(std::uint64_t{5})->first_layer, 3u);
+}
+
+TEST(FileDedupTest, ZeroKeyIsRemapped) {
+  FileDedupIndex index;
+  index.add(std::uint64_t{0}, 7, Type::kGif, 0);
+  EXPECT_EQ(index.distinct_contents(), 1u);
+  EXPECT_EQ(index.totals().total_files, 1u);
+}
+
+// ---------- layer sharing ----------
+
+TEST(LayerSharingTest, ReferenceCountsAndSavings) {
+  LayerSharingAnalysis sharing;
+  using Use = LayerSharingAnalysis::LayerUse;
+  const std::array<Use, 2> image1 = {Use{10, 100}, Use{11, 50}};
+  const std::array<Use, 2> image2 = {Use{10, 100}, Use{12, 30}};
+  const std::array<Use, 1> image3 = {Use{10, 100}};
+  sharing.add_image(image1);
+  sharing.add_image(image2);
+  sharing.add_image(image3);
+
+  EXPECT_EQ(sharing.images_seen(), 3u);
+  EXPECT_EQ(sharing.distinct_layers(), 3u);
+  EXPECT_EQ(sharing.logical_bytes(), 300u + 50u + 30u);
+  EXPECT_EQ(sharing.physical_bytes(), 100u + 50u + 30u);
+  EXPECT_NEAR(sharing.sharing_ratio(), 380.0 / 180.0, 1e-12);
+
+  const auto cdf = sharing.reference_count_cdf();
+  EXPECT_DOUBLE_EQ(cdf.fraction_equal(1), 2.0 / 3);
+  EXPECT_DOUBLE_EQ(cdf.max(), 3.0);
+
+  const auto top = sharing.top(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].layer_key, 10u);
+  EXPECT_EQ(top[0].references, 3u);
+  EXPECT_EQ(top[0].cls, 100u);
+}
+
+// ---------- cross duplicates ----------
+
+TEST(CrossDupTest, HandcraftedScenario) {
+  // Layers: 0 {A, B}, 1 {A, C}, 2 {C}; images: I0={0,1}, I1={2}, I2={2}.
+  FileDedupIndex index;
+  index.add(std::uint64_t{1}, 10, Type::kAsciiText, 0);  // A
+  index.add(std::uint64_t{2}, 10, Type::kAsciiText, 0);  // B
+  index.add(std::uint64_t{1}, 10, Type::kAsciiText, 1);  // A again
+  index.add(std::uint64_t{3}, 10, Type::kAsciiText, 1);  // C
+  index.add(std::uint64_t{3}, 10, Type::kAsciiText, 2);  // C again
+
+  CrossDupAnalysis cross(index, /*layer_refcounts=*/{1, 1, 2});
+  cross.observe(0, 1);
+  cross.observe(0, 2);
+  cross.observe(1, 1);
+  cross.observe(1, 3);
+  cross.observe(2, 3);
+
+  // Layer 0: A cross-layer (also in layer 1), B not -> 1/2.
+  EXPECT_EQ(cross.layer_tally(0).cross_layer, 1u);
+  EXPECT_EQ(cross.layer_tally(0).files, 2u);
+  // Layer 1: both A and C cross-layer -> 2/2.
+  EXPECT_EQ(cross.layer_tally(1).cross_layer, 2u);
+  // Layer 2: C cross-layer.
+  EXPECT_EQ(cross.layer_tally(2).cross_layer, 1u);
+
+  const auto layer_cdf = cross.cross_layer_cdf();
+  EXPECT_EQ(layer_cdf.size(), 3u);
+  EXPECT_DOUBLE_EQ(layer_cdf.min(), 0.5);
+  EXPECT_DOUBLE_EQ(layer_cdf.max(), 1.0);
+
+  const std::vector<std::vector<std::uint32_t>> images = {{0, 1}, {2}, {2}};
+  const auto image_cdf = cross.cross_image_cdf(images);
+  EXPECT_EQ(image_cdf.size(), 3u);
+  // I1/I2 contain only C, which lives in a layer referenced twice -> 1.0.
+  EXPECT_DOUBLE_EQ(image_cdf.max(), 1.0);
+}
+
+// ---------- type breakdown ----------
+
+TEST(TypeBreakdownTest, SharesAndPerTypeDedup) {
+  FileDedupIndex index;
+  index.add(std::uint64_t{1}, 100, Type::kCSource, 0);
+  index.add(std::uint64_t{1}, 100, Type::kCSource, 1);
+  index.add(std::uint64_t{2}, 300, Type::kElfExecutable, 0);
+  index.add(std::uint64_t{3}, 50, Type::kPng, 0);
+
+  const TypeBreakdown breakdown(index);
+  EXPECT_EQ(breakdown.overall().count, 4u);
+  EXPECT_EQ(breakdown.overall().bytes, 550u);
+  EXPECT_EQ(breakdown.by_type(Type::kCSource).count, 2u);
+  EXPECT_EQ(breakdown.by_type(Type::kCSource).unique_count, 1u);
+  EXPECT_DOUBLE_EQ(breakdown.by_type(Type::kCSource).capacity_removed(), 0.5);
+  EXPECT_DOUBLE_EQ(breakdown.by_group(filetype::Group::kEol).capacity_removed(),
+                   0.0);
+  EXPECT_DOUBLE_EQ(breakdown.count_share(filetype::Group::kSourceCode), 0.5);
+  EXPECT_NEAR(breakdown.capacity_share(filetype::Group::kEol), 300.0 / 550.0,
+              1e-12);
+  // Within-group shares.
+  EXPECT_DOUBLE_EQ(breakdown.count_share(Type::kCSource), 1.0);
+  EXPECT_DOUBLE_EQ(breakdown.capacity_share(Type::kElfExecutable), 1.0);
+  EXPECT_NEAR(breakdown.by_group(filetype::Group::kImages).avg_size(), 50.0,
+              1e-12);
+}
+
+// ---------- growth ----------
+
+TEST(GrowthTest, RatioGrowsWithSampleSizeOnHubModel) {
+  const synth::HubModel hub(synth::Calibration::paper(), synth::Scale{150, 5});
+  const auto& layers = hub.unique_layers();
+  const std::vector<std::uint64_t> sizes = {layers.size() / 20,
+                                            layers.size() / 4, layers.size()};
+  const auto points = dedup_growth(
+      layers.size(), sizes,
+      [&](std::uint64_t ordinal, std::uint32_t dense, FileDedupIndex& index) {
+        const synth::LayerSpec spec = hub.layer_spec(layers[ordinal]);
+        hub.layers().for_each_file(spec, [&](const synth::FileInstance& f) {
+          index.add(f.content, f.size, f.type, dense);
+        });
+      },
+      /*seed=*/9);
+
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_EQ(points[2].sample_layers, layers.size());
+  // Monotone growth, the core claim of Fig. 25.
+  EXPECT_GT(points[1].totals.count_ratio(), points[0].totals.count_ratio());
+  EXPECT_GT(points[2].totals.count_ratio(), points[1].totals.count_ratio());
+  EXPECT_GT(points[2].totals.capacity_ratio(),
+            points[0].totals.capacity_ratio());
+  // Capacity dedup trails count dedup (paper: 6.9x vs 31.5x).
+  EXPECT_LT(points[2].totals.capacity_ratio(),
+            points[2].totals.count_ratio());
+}
+
+TEST(GrowthTest, SampleLargerThanPopulationClamps) {
+  const std::vector<std::uint64_t> sizes = {100};
+  const auto points = dedup_growth(
+      10, sizes,
+      [&](std::uint64_t, std::uint32_t dense, FileDedupIndex& index) {
+        index.add(dense + 1, 1, Type::kAsciiText, dense);
+      },
+      3);
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_EQ(points[0].sample_layers, 10u);
+  EXPECT_EQ(points[0].totals.total_files, 10u);
+}
+
+TEST(FileDedupTest, ShardMergeEqualsSerial) {
+  // Build one index serially and two shards over disjoint layer slices;
+  // after merge they must agree on every aggregate.
+  const synth::HubModel hub(synth::Calibration::paper(), synth::Scale{80, 21});
+  const auto& layers = hub.unique_layers();
+  FileDedupIndex serial(1 << 12), shard_a(1 << 12), shard_b(1 << 12);
+  const std::size_t half = layers.size() / 2;
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    const synth::LayerSpec spec = hub.layer_spec(layers[i]);
+    FileDedupIndex& shard = i < half ? shard_a : shard_b;
+    hub.layers().for_each_file(spec, [&](const synth::FileInstance& f) {
+      serial.add(f.content, f.size, f.type, static_cast<std::uint32_t>(i));
+      shard.add(f.content, f.size, f.type, static_cast<std::uint32_t>(i));
+    });
+  }
+  shard_a.merge(shard_b);
+  EXPECT_EQ(shard_a.distinct_contents(), serial.distinct_contents());
+  const auto merged = shard_a.totals();
+  const auto expected = serial.totals();
+  EXPECT_EQ(merged.total_files, expected.total_files);
+  EXPECT_EQ(merged.total_bytes, expected.total_bytes);
+  EXPECT_EQ(merged.unique_bytes, expected.unique_bytes);
+  // multi-layer flags agree everywhere.
+  std::size_t mismatches = 0;
+  serial.for_each([&](std::uint64_t key, const ContentEntry& entry) {
+    const ContentEntry* other = shard_a.find(key);
+    if (other == nullptr || other->multi_layer != entry.multi_layer ||
+        other->count != entry.count) {
+      ++mismatches;
+    }
+  });
+  EXPECT_EQ(mismatches, 0u);
+}
+
+TEST(DatasetParallelTest, WorkersMatchSerial) {
+  const synth::HubModel hub(synth::Calibration::paper(), synth::Scale{100, 13});
+  core::DatasetOptions serial_options;
+  core::DatasetOptions parallel_options;
+  parallel_options.workers = 4;
+  const auto serial = core::DatasetStats::compute(hub, serial_options);
+  const auto parallel = core::DatasetStats::compute(hub, parallel_options);
+  EXPECT_EQ(serial.total_files, parallel.total_files);
+  EXPECT_EQ(serial.total_fls_bytes, parallel.total_fls_bytes);
+  EXPECT_DOUBLE_EQ(serial.layer_files.median(), parallel.layer_files.median());
+  const auto a = serial.file_index->totals();
+  const auto b = parallel.file_index->totals();
+  EXPECT_EQ(a.unique_files, b.unique_files);
+  EXPECT_EQ(a.unique_bytes, b.unique_bytes);
+  EXPECT_EQ(a.total_files, b.total_files);
+}
+
+}  // namespace
+}  // namespace dockmine::dedup

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "dockmine/digest/digest.h"
+#include "dockmine/digest/sha256.h"
+#include "dockmine/util/rng.h"
+
+namespace dockmine::digest {
+namespace {
+
+// FIPS 180-4 / NIST test vectors.
+TEST(Sha256Test, NistVectors) {
+  EXPECT_EQ(to_hex(Sha256::hash("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(to_hex(Sha256::hash("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(to_hex(Sha256::hash(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  Sha256 hasher;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) hasher.update(chunk);
+  EXPECT_EQ(to_hex(hasher.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShotAtAllSplitPoints) {
+  const std::string message =
+      "The quick brown fox jumps over the lazy dog, repeatedly, to cross "
+      "block boundaries in interesting ways. 0123456789abcdef0123456789";
+  const auto expected = Sha256::hash(message);
+  for (std::size_t split = 0; split <= message.size(); split += 7) {
+    Sha256 hasher;
+    hasher.update(message.substr(0, split));
+    hasher.update(message.substr(split));
+    EXPECT_EQ(hasher.finish(), expected) << "split=" << split;
+  }
+}
+
+TEST(Sha256Test, BlockBoundaryLengths) {
+  // Lengths around the 64-byte block and 56-byte padding threshold.
+  for (std::size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+    const std::string message(len, 'x');
+    Sha256 incremental;
+    for (char c : message) incremental.update(&c, 1);
+    EXPECT_EQ(incremental.finish(), Sha256::hash(message)) << len;
+  }
+}
+
+TEST(Sha256Test, ResetAllowsReuse) {
+  Sha256 hasher;
+  hasher.update("garbage");
+  (void)hasher.finish();
+  hasher.reset();
+  hasher.update("abc");
+  EXPECT_EQ(to_hex(hasher.finish()),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(DigestTest, ToStringRoundTrips) {
+  const Digest d = Digest::of("layer content");
+  const auto parsed = Digest::parse(d.to_string());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), d);
+}
+
+TEST(DigestTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(Digest::parse("md5:abcd").ok());
+  EXPECT_FALSE(Digest::parse("sha256:123").ok());
+  EXPECT_FALSE(Digest::parse("sha256:" + std::string(64, 'z')).ok());
+  EXPECT_TRUE(Digest::parse("sha256:" + std::string(64, 'a')).ok());
+}
+
+TEST(DigestTest, ShortHexIsPrefix) {
+  const Digest d = Digest::of("abc");
+  EXPECT_EQ(d.short_hex(), d.to_string().substr(7, 12));
+}
+
+TEST(DigestTest, FromU64DeterministicAndSpread) {
+  EXPECT_EQ(Digest::from_u64(42), Digest::from_u64(42));
+  std::set<std::uint64_t> keys;
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    keys.insert(Digest::from_u64(i).key64());
+  }
+  EXPECT_EQ(keys.size(), 10000u);  // no key64 collisions on sequential ids
+}
+
+TEST(DigestTest, EqualContentEqualDigestDifferentContentDifferent) {
+  EXPECT_EQ(Digest::of("same"), Digest::of("same"));
+  EXPECT_NE(Digest::of("same"), Digest::of("Same"));
+  EXPECT_FALSE(Digest::of("x").is_zero());
+  EXPECT_TRUE(Digest().is_zero());
+}
+
+}  // namespace
+}  // namespace dockmine::digest

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <thread>
+
+#include "dockmine/blob/disk_store.h"
+
+namespace dockmine::blob {
+namespace {
+
+namespace fs = std::filesystem;
+
+class DiskStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::temp_directory_path() /
+            ("dockmine-test-" + std::to_string(::getpid()) + "-" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(root_);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+  fs::path root_;
+};
+
+TEST_F(DiskStoreTest, PutGetRoundTrip) {
+  auto store = DiskStore::open(root_);
+  ASSERT_TRUE(store.ok());
+  auto digest = store.value().put("layer bytes on disk");
+  ASSERT_TRUE(digest.ok());
+  EXPECT_TRUE(store.value().contains(digest.value()));
+  EXPECT_EQ(store.value().get(digest.value()).value(), "layer bytes on disk");
+  EXPECT_EQ(store.value().stat(digest.value()).value(), 19u);
+}
+
+TEST_F(DiskStoreTest, LayoutMatchesRegistryConvention) {
+  auto store = DiskStore::open(root_);
+  ASSERT_TRUE(store.ok());
+  const auto digest = store.value().put("abc").value();
+  const std::string hex = digest.to_string().substr(7);
+  EXPECT_TRUE(fs::exists(root_ / "blobs" / "sha256" / hex.substr(0, 2) / hex /
+                         "data"));
+}
+
+TEST_F(DiskStoreTest, IdempotentPutAndUsage) {
+  auto store = DiskStore::open(root_);
+  ASSERT_TRUE(store.ok());
+  (void)store.value().put("same");
+  (void)store.value().put("same");
+  (void)store.value().put("other");
+  auto usage = store.value().usage();
+  ASSERT_TRUE(usage.ok());
+  EXPECT_EQ(usage.value().blobs, 2u);
+  EXPECT_EQ(usage.value().bytes, 4u + 5u);
+}
+
+TEST_F(DiskStoreTest, MissingAndRemove) {
+  auto store = DiskStore::open(root_);
+  ASSERT_TRUE(store.ok());
+  const auto ghost = digest::Digest::of("never stored");
+  EXPECT_FALSE(store.value().contains(ghost));
+  EXPECT_FALSE(store.value().get(ghost).ok());
+  EXPECT_FALSE(store.value().remove(ghost).ok());
+
+  const auto digest = store.value().put("transient").value();
+  EXPECT_TRUE(store.value().remove(digest).ok());
+  EXPECT_FALSE(store.value().contains(digest));
+}
+
+TEST_F(DiskStoreTest, BinaryContentSurvives) {
+  auto store = DiskStore::open(root_);
+  ASSERT_TRUE(store.ok());
+  std::string binary;
+  for (int i = 0; i < 1024; ++i) binary += static_cast<char>(i * 31);
+  const auto digest = store.value().put(binary).value();
+  EXPECT_EQ(store.value().get(digest).value(), binary);
+  EXPECT_EQ(digest::Digest::of(store.value().get(digest).value()), digest);
+}
+
+TEST_F(DiskStoreTest, ConcurrentWritersAgree) {
+  auto opened = DiskStore::open(root_);
+  ASSERT_TRUE(opened.ok());
+  DiskStore& store = opened.value();
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&store, t] {
+      for (int i = 0; i < 50; ++i) {
+        // Half shared content across threads, half private.
+        const std::string content =
+            (i % 2 == 0) ? "shared-" + std::to_string(i)
+                         : "t" + std::to_string(t) + "-" + std::to_string(i);
+        auto digest = store.put(content);
+        ASSERT_TRUE(digest.ok());
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  auto usage = store.usage();
+  ASSERT_TRUE(usage.ok());
+  EXPECT_EQ(usage.value().blobs, 25u + 4u * 25u);
+}
+
+TEST_F(DiskStoreTest, WrongDigestStoresUnderGivenName) {
+  auto store = DiskStore::open(root_);
+  ASSERT_TRUE(store.ok());
+  const auto synthetic = digest::Digest::from_u64(99);
+  ASSERT_TRUE(store.value().put_with_digest(synthetic, "metadata blob").ok());
+  EXPECT_EQ(store.value().get(synthetic).value(), "metadata blob");
+}
+
+}  // namespace
+}  // namespace dockmine::blob

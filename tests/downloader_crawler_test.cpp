@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dockmine/crawler/crawler.h"
+#include "dockmine/downloader/downloader.h"
+#include "dockmine/synth/generator.h"
+#include "dockmine/synth/materialize.h"
+
+namespace dockmine {
+namespace {
+
+// One materialized registry shared by every test in this binary (built
+// with the light calibration: full logic, small layers).
+struct Fixture {
+  static Fixture& get() {
+    static Fixture instance;
+    return instance;
+  }
+  synth::HubModel hub;
+  registry::Service service;
+
+ private:
+  Fixture() : hub(synth::Calibration::light(), synth::Scale{150, 77}) {
+    synth::Materializer materializer(hub, /*gzip_level=*/1);
+    auto pushed = materializer.populate(service);
+    EXPECT_TRUE(pushed.ok());
+  }
+};
+
+// ---------- crawler ----------
+
+TEST(CrawlerTest, FindsEveryRepositoryExactlyOnce) {
+  Fixture& fx = Fixture::get();
+  registry::SearchIndex index(fx.service,
+                              synth::Calibration::kSearchDuplicateFactor, 5);
+  crawler::Crawler crawler(index, /*page_size=*/37);
+  const auto result = crawler.crawl_all();
+
+  EXPECT_EQ(result.repositories.size(), fx.hub.repositories().size());
+  std::set<std::string> found(result.repositories.begin(),
+                              result.repositories.end());
+  for (const auto& repo : fx.hub.repositories()) {
+    EXPECT_TRUE(found.count(repo.name)) << repo.name;
+  }
+  // Raw hits exceed distinct (the paper's 634,412 vs 457,627).
+  EXPECT_GT(result.raw_hits, result.repositories.size());
+  EXPECT_EQ(result.raw_hits - result.duplicates_removed,
+            result.repositories.size());
+  EXPECT_NEAR(static_cast<double>(result.raw_hits) /
+                  static_cast<double>(result.repositories.size()),
+              synth::Calibration::kSearchDuplicateFactor, 0.15);
+  EXPECT_GT(result.pages_fetched, 2u);
+}
+
+TEST(CrawlerTest, QueryCrawlFiltersBySubstring) {
+  Fixture& fx = Fixture::get();
+  registry::SearchIndex index(fx.service, 1.0, 5);
+  crawler::Crawler crawler(index);
+  const auto slash = crawler.crawl("/");
+  for (const auto& name : slash.repositories) {
+    EXPECT_NE(name.find('/'), std::string::npos);
+  }
+  const auto nginx = crawler.crawl("nginx");
+  ASSERT_FALSE(nginx.repositories.empty());
+}
+
+// ---------- downloader ----------
+
+TEST(DownloaderTest, StatsAccountForEveryAttempt) {
+  Fixture& fx = Fixture::get();
+  std::vector<std::string> repos;
+  for (const auto& repo : fx.hub.repositories()) repos.push_back(repo.name);
+
+  downloader::Options options;
+  options.workers = 4;
+  downloader::Downloader downloader(fx.service, options);
+  std::vector<downloader::DownloadedImage> images;
+  const auto stats = downloader.run(
+      repos, [&](downloader::DownloadedImage&& image) {
+        images.push_back(std::move(image));
+      });
+
+  EXPECT_EQ(stats.attempted, repos.size());
+  EXPECT_EQ(stats.succeeded + stats.failed_auth + stats.failed_no_tag +
+                stats.failed_missing + stats.failed_other,
+            stats.attempted);
+  EXPECT_EQ(stats.succeeded, fx.hub.downloadable_images());
+  EXPECT_EQ(images.size(), stats.succeeded);
+  EXPECT_EQ(stats.failed_missing, 0u);
+  EXPECT_EQ(stats.failed_other, 0u);
+  EXPECT_GT(stats.failed_no_tag, stats.failed_auth);  // 87% vs 13%
+  EXPECT_GT(stats.bytes_downloaded, 0u);
+
+  // Unique-layer economy: fetched layers == distinct layers across images.
+  std::set<std::string> distinct;
+  for (const auto& image : images) {
+    for (const auto& ref : image.manifest.layers) {
+      distinct.insert(ref.digest.to_string());
+    }
+  }
+  EXPECT_EQ(stats.layers_fetched, distinct.size());
+  EXPECT_GT(stats.layers_deduped, 0u);  // the empty layer alone guarantees this
+}
+
+TEST(DownloaderTest, BlobsMatchManifestSizes) {
+  Fixture& fx = Fixture::get();
+  std::string target;
+  for (const auto& repo : fx.hub.repositories()) {
+    if (repo.has_latest && !repo.requires_auth) {
+      target = repo.name;
+      break;
+    }
+  }
+  ASSERT_FALSE(target.empty());
+  downloader::Downloader downloader(fx.service);
+  auto image = downloader.download_one(target);
+  ASSERT_TRUE(image.ok());
+  ASSERT_EQ(image.value().layer_blobs.size(), image.value().manifest.layers.size());
+  for (std::size_t i = 0; i < image.value().layer_blobs.size(); ++i) {
+    EXPECT_EQ(image.value().layer_blobs[i]->size(),
+              image.value().manifest.layers[i].compressed_size);
+  }
+}
+
+TEST(DownloaderTest, AuthenticationUnlocksGatedRepos) {
+  Fixture& fx = Fixture::get();
+  std::string gated;
+  for (const auto& repo : fx.hub.repositories()) {
+    if (repo.requires_auth && repo.has_latest) {
+      gated = repo.name;
+      break;
+    }
+  }
+  if (gated.empty()) GTEST_SKIP() << "no auth-gated repo at this seed";
+
+  downloader::Downloader anonymous(fx.service);
+  auto denied = anonymous.download_one(gated);
+  ASSERT_FALSE(denied.ok());
+  EXPECT_EQ(denied.error().code(), util::ErrorCode::kUnauthorized);
+
+  downloader::Options options;
+  options.authenticated = true;
+  downloader::Downloader tokened(fx.service, options);
+  EXPECT_TRUE(tokened.download_one(gated).ok());
+}
+
+TEST(DownloaderTest, DedupOffRefetchesSharedLayers) {
+  Fixture& fx = Fixture::get();
+  std::vector<std::string> repos;
+  for (const auto& repo : fx.hub.repositories()) {
+    if (repo.has_latest && !repo.requires_auth) repos.push_back(repo.name);
+  }
+
+  downloader::Options with;
+  with.dedup_unique_layers = true;
+  downloader::Downloader dedup_on(fx.service, with);
+  const auto on = dedup_on.run(repos, nullptr);
+
+  registry::Service fresh;  // separate service for clean transfer stats
+  synth::Materializer materializer(fx.hub, 1);
+  ASSERT_TRUE(materializer.populate(fresh).ok());
+  downloader::Options without;
+  without.dedup_unique_layers = false;
+  downloader::Downloader dedup_off(fresh, without);
+  const auto off = dedup_off.run(repos, nullptr);
+
+  EXPECT_EQ(on.succeeded, off.succeeded);
+  EXPECT_GT(off.bytes_downloaded, on.bytes_downloaded);
+  EXPECT_EQ(off.layers_deduped, 0u);
+}
+
+TEST(DownloaderTest, MissingRepositoryCountsAsMissing) {
+  Fixture& fx = Fixture::get();
+  downloader::Downloader downloader(fx.service);
+  const auto stats = downloader.run({"ghost/none"}, nullptr);
+  EXPECT_EQ(stats.failed_missing, 1u);
+  EXPECT_EQ(stats.succeeded, 0u);
+}
+
+}  // namespace
+}  // namespace dockmine

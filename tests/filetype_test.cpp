@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "dockmine/filetype/classifier.h"
+#include "dockmine/filetype/taxonomy.h"
+#include "dockmine/util/rng.h"
+
+namespace dockmine::filetype {
+namespace {
+
+// ---------- taxonomy ----------
+
+TEST(TaxonomyTest, EveryTypeHasGroupAndName) {
+  for (std::size_t t = 0; t < kTypeCount; ++t) {
+    const Type type = static_cast<Type>(t);
+    EXPECT_NE(to_string(type), "?");
+    const Group group = group_of(type);
+    EXPECT_LT(static_cast<std::size_t>(group), kGroupCount);
+    EXPECT_NE(to_string(group), "?");
+  }
+}
+
+TEST(TaxonomyTest, PaperGroupAssignments) {
+  EXPECT_EQ(group_of(Type::kElfExecutable), Group::kEol);
+  EXPECT_EQ(group_of(Type::kPythonBytecode), Group::kEol);
+  EXPECT_EQ(group_of(Type::kCSource), Group::kSourceCode);
+  EXPECT_EQ(group_of(Type::kPythonScript), Group::kScripts);
+  EXPECT_EQ(group_of(Type::kAsciiText), Group::kDocuments);
+  EXPECT_EQ(group_of(Type::kZipGzip), Group::kArchival);
+  EXPECT_EQ(group_of(Type::kPng), Group::kImages);
+  EXPECT_EQ(group_of(Type::kSqlite), Group::kDatabases);
+  EXPECT_EQ(group_of(Type::kEmpty), Group::kOther);
+}
+
+TEST(TaxonomyTest, SuperTypePredicates) {
+  EXPECT_TRUE(is_elf(Type::kElfSharedObject));
+  EXPECT_FALSE(is_elf(Type::kCoff));
+  EXPECT_TRUE(is_intermediate_representation(Type::kPythonBytecode));
+  EXPECT_TRUE(is_intermediate_representation(Type::kJavaClass));
+  EXPECT_TRUE(is_intermediate_representation(Type::kTerminfo));
+  EXPECT_FALSE(is_intermediate_representation(Type::kElfExecutable));
+}
+
+// ---------- classifier: the generator/classifier round-trip property ----------
+// For every type in the taxonomy, content stamped with magic_for(type) and
+// named representative_path(type) must classify back to exactly that type.
+// This property is what makes the Figs. 14-22 benches real measurements.
+
+class RoundTripTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RoundTripTest, MagicAndPathClassifyBack) {
+  const Type type = static_cast<Type>(GetParam());
+  util::Rng rng(GetParam());
+  const std::string path = representative_path(type, 123);
+  std::string content(magic_for(type));
+  if (type == Type::kEmpty) {
+    content.clear();
+  } else {
+    // ASCII filler, as the materializer produces for text-ish types.
+    content += "config value package install return static module\n";
+  }
+  EXPECT_EQ(classify(path, content), type)
+      << "path=" << path << " got=" << to_string(classify(path, content));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTypes, RoundTripTest,
+                         ::testing::Range<std::size_t>(0, kTypeCount));
+
+// ---------- classifier: specific signatures ----------
+
+TEST(ClassifierTest, ElfSubtypesByEType) {
+  std::string elf("\x7f" "ELF\x02\x01\x01\x00\x00\x00\x00\x00\x00\x00\x00\x00", 16);
+  std::string rel = elf + std::string("\x01\x00", 2);
+  std::string exec = elf + std::string("\x02\x00", 2);
+  std::string dyn = elf + std::string("\x03\x00", 2);
+  EXPECT_EQ(classify("x", rel), Type::kElfRelocatable);
+  EXPECT_EQ(classify("x", exec), Type::kElfExecutable);
+  EXPECT_EQ(classify("x", dyn), Type::kElfSharedObject);
+}
+
+TEST(ClassifierTest, ShebangsBeatExtensions) {
+  EXPECT_EQ(classify("tool", "#!/usr/bin/env python\nprint(1)\n"),
+            Type::kPythonScript);
+  EXPECT_EQ(classify("tool", "#!/bin/sh\necho hi\n"), Type::kShellScript);
+  EXPECT_EQ(classify("tool", "#!/usr/bin/perl -w\n"), Type::kPerlScript);
+  EXPECT_EQ(classify("tool", "#!/usr/bin/awk -f\n{print}"), Type::kAwkScript);
+  EXPECT_EQ(classify("tool", "#!/usr/bin/env node\n"), Type::kNodeScript);
+  EXPECT_EQ(classify("tool", "#!/usr/bin/ruby\n"), Type::kRubyScript);
+  EXPECT_EQ(classify("tool", "#!/usr/bin/mystery\n"), Type::kOtherScript);
+}
+
+TEST(ClassifierTest, ExtensionsForSourceFiles) {
+  EXPECT_EQ(classify("main.c", "int main() { return 0; }\n"), Type::kCSource);
+  EXPECT_EQ(classify("lib.CPP", "class X {};\n"), Type::kCSource);
+  EXPECT_EQ(classify("Mod.pm", "package Mod;\n"), Type::kPerlModule);
+  EXPECT_EQ(classify("gem.rb", "module Gem\nend\n"), Type::kRubyModule);
+  EXPECT_EQ(classify("unit.pas", "program x;\n"), Type::kPascalSource);
+  EXPECT_EQ(classify("sim.f90", "program sim\n"), Type::kFortranSource);
+  EXPECT_EQ(classify("x.lisp", "(defun f ())\n"), Type::kLispSource);
+  EXPECT_EQ(classify("Makefile", "all:\n\tcc main.c\n"), Type::kMakefile);
+}
+
+TEST(ClassifierTest, UnsuffixedCSourceByContent) {
+  EXPECT_EQ(classify("README", "#include <stdio.h>\nint main(){}\n"),
+            Type::kCSource);
+}
+
+TEST(ClassifierTest, ArchiveMagics) {
+  EXPECT_EQ(classify("a", std::string("\x1f\x8b\x08", 3)), Type::kZipGzip);
+  EXPECT_EQ(classify("a", "PK\x03\x04...."), Type::kZipGzip);
+  EXPECT_EQ(classify("a", "BZh91AY"), Type::kBzip2);
+  EXPECT_EQ(classify("a", std::string("\xfd" "7zXZ\x00", 6)), Type::kXz);
+}
+
+TEST(ClassifierTest, TarByUstarAtOffset257) {
+  std::string content(300, 'x');
+  content.replace(257, 5, "ustar");
+  EXPECT_EQ(classify("blob.bin", content), Type::kTarArchive);
+  // A short buffer falls back to the extension.
+  EXPECT_EQ(classify("dump.tar", "short"), Type::kTarArchive);
+}
+
+TEST(ClassifierTest, DatabaseMagics) {
+  EXPECT_EQ(classify("a", std::string_view("SQLite format 3\x00more", 20)),
+            Type::kSqlite);
+  std::string bdb(20, '\0');
+  bdb.replace(12, 4, "\x62\x31\x05\x00");
+  EXPECT_EQ(classify("a", bdb), Type::kBerkeleyDb);
+  EXPECT_EQ(classify("t.frm", std::string("\xfe\x01\x09\x09", 4)), Type::kMysql);
+}
+
+TEST(ClassifierTest, MediaMagics) {
+  EXPECT_EQ(classify("a", "\x89PNG\r\n\x1a\n...."), Type::kPng);
+  EXPECT_EQ(classify("a", "\xff\xd8\xff\xe0"), Type::kJpeg);
+  EXPECT_EQ(classify("a", "GIF89a...."), Type::kGif);
+  EXPECT_EQ(classify("a", "<svg xmlns='x'>"), Type::kSvg);
+  EXPECT_EQ(classify("a", "<?xml version='1'?><svg>"), Type::kSvg);
+  EXPECT_EQ(classify("a", "<?xml version='1'?><root>"), Type::kXmlHtml);
+  std::string avi = "RIFF";
+  avi += std::string(4, '\x10');
+  avi += "AVI ";
+  EXPECT_EQ(classify("a", avi), Type::kVideo);
+}
+
+TEST(ClassifierTest, DocumentsAndText) {
+  EXPECT_EQ(classify("doc", "%PDF-1.4 ..."), Type::kPdfPs);
+  EXPECT_EQ(classify("doc", "%!PS-Adobe"), Type::kPdfPs);
+  EXPECT_EQ(classify("paper.tex", "\\documentclass{article}"), Type::kLatex);
+  EXPECT_EQ(classify("index.html", "<html><body>"), Type::kXmlHtml);
+  EXPECT_EQ(classify("page", "<!DOCTYPE html><p>"), Type::kXmlHtml);
+  EXPECT_EQ(classify("notes", "plain readable ascii text\n"), Type::kAsciiText);
+  EXPECT_EQ(classify("msg", "caf\xc3\xa9 UTF-8 text"), Type::kUtf8Text);
+  EXPECT_EQ(classify("latin", "caf\xe9 latin-1 text"), Type::kIso8859Text);
+}
+
+TEST(ClassifierTest, EmptyAndBinaryFallback) {
+  EXPECT_EQ(classify("anything.xyz", ""), Type::kEmpty);
+  std::string junk;
+  for (int i = 0; i < 64; ++i) junk += static_cast<char>(i * 7 + 1);
+  junk[3] = '\x01';
+  junk[10] = '\x02';
+  EXPECT_EQ(classify("mystery", junk), Type::kOtherBinary);
+}
+
+TEST(ClassifierTest, PackagesAndLibraries) {
+  EXPECT_EQ(classify("a", "!<arch>\ndebian-binary   "), Type::kDebRpmPackage);
+  EXPECT_EQ(classify("a", std::string("\xed\xab\xee\xdb", 4)), Type::kDebRpmPackage);
+  EXPECT_EQ(classify("a", "!<arch>\n/       "), Type::kStaticLibrary);
+  EXPECT_EQ(classify("a", std::string("\xca\xfe\xba\xbe\x00", 5)), Type::kJavaClass);
+  EXPECT_EQ(classify("a", "MZ\x90\x00"), Type::kMsExecutable);
+  EXPECT_EQ(classify("a", std::string("\xcf\xfa\xed\xfe", 4)), Type::kMachO);
+}
+
+TEST(ClassifierTest, PhpByTag) {
+  EXPECT_EQ(classify("page", "<?php echo 1; ?>"), Type::kPhpScript);
+}
+
+TEST(ClassifierTest, RepresentativePathsVaryWithSalt) {
+  EXPECT_NE(representative_path(Type::kPng, 1),
+            representative_path(Type::kPng, 999));
+}
+
+TEST(ClassifierTest, LooksAsciiHeuristic) {
+  EXPECT_TRUE(looks_ascii("hello\nworld\t!"));
+  EXPECT_FALSE(looks_ascii(""));
+  EXPECT_FALSE(looks_ascii("caf\xc3\xa9"));
+  EXPECT_FALSE(looks_ascii(std::string("ab\x01\x02\x03\x04", 6)));
+}
+
+}  // namespace
+}  // namespace dockmine::filetype

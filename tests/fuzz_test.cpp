@@ -1,0 +1,106 @@
+// Robustness fuzzing: the parsers and the classifier must never crash or
+// loop on arbitrary input — they sit on the pipeline's untrusted side
+// (the paper's analyzer ingested whatever Docker Hub served).
+#include <gtest/gtest.h>
+
+#include "dockmine/compress/gzip.h"
+#include "dockmine/filetype/classifier.h"
+#include "dockmine/http/message.h"
+#include "dockmine/json/json.h"
+#include "dockmine/registry/http_gateway.h"
+#include "dockmine/tar/reader.h"
+#include "dockmine/util/rng.h"
+
+namespace dockmine {
+namespace {
+
+std::string random_blob(util::Rng& rng, std::size_t max_size) {
+  std::string out;
+  const std::size_t size = rng.uniform(max_size);
+  out.reserve(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    // Mix of printable and arbitrary bytes.
+    out += rng.chance(0.5) ? static_cast<char>(32 + rng.uniform(95))
+                           : static_cast<char>(rng.uniform(256));
+  }
+  return out;
+}
+
+class FuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzTest, ClassifierTotalOnArbitraryBytes) {
+  util::Rng rng(GetParam() * 2654435761ULL);
+  for (int i = 0; i < 200; ++i) {
+    const std::string content = random_blob(rng, 600);
+    const std::string path = random_blob(rng, 80);
+    const auto type = filetype::classify(path, content);
+    EXPECT_LT(static_cast<std::size_t>(type), filetype::kTypeCount);
+    // And deterministic.
+    EXPECT_EQ(filetype::classify(path, content), type);
+  }
+}
+
+TEST_P(FuzzTest, JsonParserNeverCrashes) {
+  util::Rng rng(GetParam() * 40503);
+  for (int i = 0; i < 200; ++i) {
+    const std::string text = random_blob(rng, 300);
+    auto doc = json::parse(text);
+    if (doc.ok()) {
+      // Whatever parsed must re-serialize and re-parse.
+      EXPECT_TRUE(json::parse(doc.value().dump()).ok());
+    }
+  }
+}
+
+TEST_P(FuzzTest, TarReaderTerminatesOnGarbage) {
+  util::Rng rng(GetParam() * 97);
+  for (int i = 0; i < 50; ++i) {
+    const std::string archive = random_blob(rng, 4096);
+    tar::Reader reader(archive);
+    int entries = 0;
+    auto status = reader.for_each([&](const tar::Entry&) { ++entries; });
+    (void)status;           // error or success both fine
+    EXPECT_LT(entries, 10);  // garbage can't produce a long valid archive
+  }
+}
+
+TEST_P(FuzzTest, GzipDecompressorRejectsGarbage) {
+  util::Rng rng(GetParam() * 131);
+  for (int i = 0; i < 50; ++i) {
+    const std::string member = random_blob(rng, 2048);
+    auto result = compress::gzip_decompress(member);
+    // Random bytes essentially never form a valid member (magic + CRC).
+    EXPECT_FALSE(result.ok());
+  }
+}
+
+TEST_P(FuzzTest, HttpParserErrorsOrWaitsNeverCrashes) {
+  util::Rng rng(GetParam() * 1009);
+  for (int i = 0; i < 100; ++i) {
+    http::MessageReader reader;
+    reader.feed(random_blob(rng, 512));
+    http::Request request;
+    auto result = reader.next_request(request);
+    (void)result;  // kCorrupt or "need more" are both acceptable
+  }
+}
+
+TEST_P(FuzzTest, GatewayRepliesToArbitraryRequests) {
+  registry::Service service;
+  registry::HttpGateway gateway(service);
+  util::Rng rng(GetParam() * 8191);
+  for (int i = 0; i < 100; ++i) {
+    http::Request request;
+    request.method = rng.chance(0.5) ? "GET" : random_blob(rng, 6);
+    request.target = "/" + random_blob(rng, 60);
+    const http::Response response = gateway.handle(request);
+    EXPECT_GE(response.status, 200);
+    EXPECT_LT(response.status, 600);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace dockmine

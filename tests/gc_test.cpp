@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "dockmine/registry/gc.h"
+
+namespace dockmine::registry {
+namespace {
+
+namespace fs = std::filesystem;
+
+class GcTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::temp_directory_path() /
+            ("dockmine-gc-" + std::to_string(::getpid()));
+    fs::remove_all(root_);
+    auto opened = blob::DiskStore::open(root_);
+    ASSERT_TRUE(opened.ok());
+    store_ = std::make_unique<blob::DiskStore>(std::move(opened).value());
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  /// Store an image: layer blobs + config + manifest blob; returns the
+  /// manifest JSON.
+  std::string push_image(const std::string& repo,
+                         std::initializer_list<std::string> layers) {
+    Manifest manifest;
+    manifest.repository = repo;
+    for (const std::string& content : layers) {
+      const auto digest = store_->put(content).value();
+      manifest.layers.push_back(
+          {digest, static_cast<std::uint64_t>(content.size())});
+    }
+    const std::string config = "config-of-" + repo;
+    manifest.config_digest = store_->put(config).value();
+    manifest.config_size = config.size();
+    const std::string body = manifest_to_json(manifest);
+    EXPECT_TRUE(store_->put(body).ok());
+    return body;
+  }
+
+  fs::path root_;
+  std::unique_ptr<blob::DiskStore> store_;
+};
+
+TEST_F(GcTest, SweepsOnlyUnreachableBlobs) {
+  // Two images sharing a base layer; image B also has a private layer.
+  const std::string a = push_image("team/a", {"shared-base-layer", "a-top"});
+  const std::string b = push_image("team/b", {"shared-base-layer", "b-top"});
+  const auto before = store_->usage().value();
+  ASSERT_EQ(before.blobs, 2u /*manifests*/ + 2u /*configs*/ + 3u /*layers*/);
+
+  // Delete image B: GC with only A live.
+  const std::vector<std::string> live = {a};
+  auto report = collect_garbage(live, *store_);
+  ASSERT_TRUE(report.ok());
+  // Swept: B's manifest, B's config, b-top. Kept: A's three + shared base.
+  EXPECT_EQ(report.value().swept_blobs, 3u);
+  EXPECT_EQ(report.value().live_blobs, 4u);
+
+  // The shared base layer survived (the Fig. 23 hazard).
+  EXPECT_TRUE(store_->contains(digest::Digest::of("shared-base-layer")));
+  EXPECT_FALSE(store_->contains(digest::Digest::of("b-top")));
+  // A is still fully pullable.
+  auto manifest = manifest_from_json(a).value();
+  for (const auto& layer : manifest.layers) {
+    EXPECT_TRUE(store_->contains(layer.digest));
+  }
+  EXPECT_TRUE(store_->contains(manifest.config_digest));
+}
+
+TEST_F(GcTest, NoLiveManifestsSweepsEverything) {
+  push_image("gone/one", {"l1", "l2"});
+  auto report = collect_garbage({}, *store_);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().live_blobs, 0u);
+  EXPECT_EQ(store_->usage().value().blobs, 0u);
+  EXPECT_GT(report.value().swept_bytes, 0u);
+}
+
+TEST_F(GcTest, IdempotentAndSafeOnAllLive) {
+  const std::string a = push_image("keep/me", {"layer"});
+  const std::vector<std::string> live = {a};
+  auto first = collect_garbage(live, *store_);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first.value().swept_blobs, 0u);
+  auto second = collect_garbage(live, *store_);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.value().swept_blobs, 0u);
+  EXPECT_EQ(second.value().live_blobs, 3u);
+}
+
+TEST_F(GcTest, MalformedLiveManifestAborts) {
+  push_image("x/y", {"layer"});
+  const std::vector<std::string> live = {"{not a manifest"};
+  auto report = collect_garbage(live, *store_);
+  ASSERT_FALSE(report.ok());
+  // Nothing was swept on failure.
+  EXPECT_GT(store_->usage().value().blobs, 0u);
+}
+
+}  // namespace
+}  // namespace dockmine::registry

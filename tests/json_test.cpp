@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "dockmine/json/json.h"
+
+namespace dockmine::json {
+namespace {
+
+TEST(JsonParseTest, Scalars) {
+  EXPECT_TRUE(parse("null").value().is_null());
+  EXPECT_EQ(parse("true").value().as_bool(), true);
+  EXPECT_EQ(parse("false").value().as_bool(), false);
+  EXPECT_EQ(parse("42").value().as_int(), 42);
+  EXPECT_EQ(parse("-7").value().as_int(), -7);
+  EXPECT_DOUBLE_EQ(parse("3.5").value().as_double(), 3.5);
+  EXPECT_DOUBLE_EQ(parse("1e3").value().as_double(), 1000.0);
+  EXPECT_EQ(parse("\"hi\"").value().as_string(), "hi");
+}
+
+TEST(JsonParseTest, IntegerVsDoubleDistinction) {
+  EXPECT_TRUE(parse("5278465130").value().is_int());
+  EXPECT_EQ(parse("5278465130").value().as_uint(), 5278465130ULL);
+  EXPECT_FALSE(parse("5.0").value().is_int());
+  // Overflowing integers degrade to double instead of failing.
+  EXPECT_TRUE(parse("99999999999999999999999").value().is_number());
+}
+
+TEST(JsonParseTest, NestedStructure) {
+  auto doc = parse(R"({"a": [1, 2, {"b": "c"}], "d": {"e": null}})");
+  ASSERT_TRUE(doc.ok());
+  const Value& root = doc.value();
+  EXPECT_EQ(root["a"].size(), 3u);
+  EXPECT_EQ(root["a"].at(2)["b"].as_string(), "c");
+  EXPECT_TRUE(root["d"]["e"].is_null());
+  EXPECT_TRUE(root["missing"].is_null());
+  EXPECT_TRUE(root["missing"]["deeper"].is_null());
+  EXPECT_TRUE(root.contains("a"));
+  EXPECT_FALSE(root.contains("z"));
+}
+
+TEST(JsonParseTest, StringEscapes) {
+  auto doc = parse(R"("a\"b\\c\/d\n\tAé")");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc.value().as_string(), "a\"b\\c/d\n\tA\xc3\xa9");
+}
+
+TEST(JsonParseTest, RejectsMalformed) {
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\":}", "tru", "01x", "\"unterminated",
+        "{\"a\":1}extra", "[1 2]", "{\"a\" 1}", "\"bad\\q\"", "nan",
+        "\"raw\ncontrol\""}) {
+    EXPECT_FALSE(parse(bad).ok()) << bad;
+  }
+}
+
+TEST(JsonParseTest, DeepNestingIsBounded) {
+  std::string deep(500, '[');
+  deep += std::string(500, ']');
+  EXPECT_FALSE(parse(deep).ok());
+}
+
+TEST(JsonDumpTest, CompactStableOrder) {
+  Value obj = Value::object();
+  obj.set("z", 1);
+  obj.set("a", Value::array());
+  obj.set("z", 2);  // replace, keeps position
+  EXPECT_EQ(obj.dump(), R"({"z":2,"a":[]})");
+}
+
+TEST(JsonDumpTest, RoundTripsThroughParse) {
+  const std::string text =
+      R"({"schemaVersion":2,"layers":[{"size":123,"digest":"sha256:ab"},)"
+      R"({"size":0,"digest":""}],"flag":true,"ratio":2.6,"none":null})";
+  auto doc = parse(text);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc.value().dump(), text);
+}
+
+TEST(JsonDumpTest, EscapesControlCharacters) {
+  Value v(std::string("a\x01""b\n"));
+  EXPECT_EQ(v.dump(), "\"a\\u0001b\\n\"");
+}
+
+TEST(JsonDumpTest, PrettyPrintsIndented) {
+  Value obj = Value::object();
+  obj.set("a", 1);
+  const std::string pretty = obj.dump_pretty();
+  EXPECT_NE(pretty.find("{\n  \"a\": 1\n}"), std::string::npos);
+}
+
+TEST(JsonDumpTest, NonFiniteBecomesNull) {
+  Value v(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(v.dump(), "null");
+}
+
+TEST(JsonValueTest, PushBackBuildsArray) {
+  Value arr = Value::array();
+  arr.push_back(1);
+  arr.push_back("two");
+  EXPECT_EQ(arr.size(), 2u);
+  EXPECT_EQ(arr.at(1).as_string(), "two");
+}
+
+}  // namespace
+}  // namespace dockmine::json

@@ -1,0 +1,214 @@
+// Randomized property tests across the substrate formats: whatever the
+// writer produces, the reader must reproduce, for arbitrary content.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <unordered_map>
+
+#include "dockmine/compress/content_gen.h"
+#include "dockmine/compress/gzip.h"
+#include "dockmine/json/json.h"
+#include "dockmine/tar/reader.h"
+#include "dockmine/tar/writer.h"
+#include "dockmine/util/flat_map.h"
+#include "dockmine/util/rng.h"
+
+namespace dockmine {
+namespace {
+
+// ---------- tar round-trip under random archives ----------
+
+class TarPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TarPropertyTest, RandomArchiveRoundTrips) {
+  util::Rng rng(GetParam());
+  tar::Writer writer;
+  std::map<std::string, std::string> files;
+  std::size_t dirs = 0, symlinks = 0;
+  const std::size_t entries = 1 + rng.uniform(40);
+  for (std::size_t i = 0; i < entries; ++i) {
+    const std::uint64_t kind = rng.uniform(10);
+    // Name length sweeps across the 100-byte ustar limit.
+    std::string name = "p" + std::to_string(i);
+    const std::size_t pad = rng.uniform(160);
+    for (std::size_t k = 0; k < pad; ++k) {
+      name += (k % 23 == 22) ? '/' : 'x';
+    }
+    if (kind < 2) {
+      writer.add_directory(name);
+      ++dirs;
+    } else if (kind < 3) {
+      writer.add_symlink(name, "target" + std::to_string(i));
+      ++symlinks;
+    } else {
+      std::string content;
+      const std::size_t size = rng.uniform(3000);
+      compress::append_random(content, size, rng);
+      files[name] = content;
+      writer.add_file(name, content);
+    }
+  }
+
+  // Through gzip and back, like a layer blob.
+  auto blob = compress::gzip_compress(writer.finish(), 1);
+  ASSERT_TRUE(blob.ok());
+  auto tar_bytes = compress::gzip_decompress(blob.value());
+  ASSERT_TRUE(tar_bytes.ok());
+
+  std::size_t seen_files = 0, seen_dirs = 0, seen_symlinks = 0;
+  tar::Reader reader(tar_bytes.value());
+  auto status = reader.for_each([&](const tar::Entry& entry) {
+    if (entry.is_file()) {
+      ASSERT_EQ(files.at(entry.header.name), entry.content)
+          << entry.header.name;
+      ++seen_files;
+    } else if (entry.is_directory()) {
+      ++seen_dirs;
+    } else if (entry.is_symlink()) {
+      ++seen_symlinks;
+    }
+  });
+  ASSERT_TRUE(status.ok()) << status.error().to_string();
+  EXPECT_EQ(seen_files, files.size());
+  EXPECT_EQ(seen_dirs, dirs);
+  EXPECT_EQ(seen_symlinks, symlinks);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TarPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 17));
+
+// ---------- gzip round-trip under random content mixes ----------
+
+class GzipPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GzipPropertyTest, ArbitraryBytesRoundTrip) {
+  util::Rng rng(GetParam() * 7919);
+  std::string raw;
+  const std::size_t blocks = rng.uniform(8);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const std::size_t size = rng.uniform(50000);
+    switch (rng.uniform(3)) {
+      case 0: compress::append_random(raw, size, rng); break;
+      case 1: compress::append_text(raw, size, rng); break;
+      default: compress::append_zeros(raw, size); break;
+    }
+  }
+  const int level = 1 + static_cast<int>(rng.uniform(9));
+  auto member = compress::gzip_compress(raw, level);
+  ASSERT_TRUE(member.ok());
+  auto back = compress::gzip_decompress(member.value());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), raw);
+}
+
+TEST_P(GzipPropertyTest, SingleBitFlipsAreDetected) {
+  util::Rng rng(GetParam() * 104729);
+  std::string raw;
+  compress::append_text(raw, 2000 + rng.uniform(2000), rng);
+  auto member = compress::gzip_compress(raw);
+  ASSERT_TRUE(member.ok());
+  std::string corrupted = member.value();
+  const std::size_t bit = rng.uniform(corrupted.size() * 8);
+  corrupted[bit / 8] ^= static_cast<char>(1u << (bit % 8));
+  auto back = compress::gzip_decompress(corrupted);
+  // Either an error, or (if the flip hit a gzip header filler byte that
+  // does not affect decoding, e.g. MTIME/XFL/OS) the same bytes back.
+  if (back.ok()) {
+    EXPECT_EQ(back.value(), raw);
+  } else {
+    SUCCEED();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GzipPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+// ---------- JSON dump/parse fixed point ----------
+
+json::Value random_json(util::Rng& rng, int depth) {
+  const std::uint64_t kind = rng.uniform(depth > 3 ? 5 : 7);
+  switch (kind) {
+    case 0: return json::Value(nullptr);
+    case 1: return json::Value(rng.chance(0.5));
+    case 2: return json::Value(static_cast<std::int64_t>(rng()) / 2);
+    case 3: return json::Value(rng.uniform01() * 1e6);
+    case 4: {
+      std::string text;
+      const std::size_t size = rng.uniform(20);
+      for (std::size_t i = 0; i < size; ++i) {
+        text += static_cast<char>(rng.uniform(95) + 32);
+      }
+      return json::Value(std::move(text));
+    }
+    case 5: {
+      json::Value array = json::Value::array();
+      const std::size_t size = rng.uniform(5);
+      for (std::size_t i = 0; i < size; ++i) {
+        array.push_back(random_json(rng, depth + 1));
+      }
+      return array;
+    }
+    default: {
+      json::Value object = json::Value::object();
+      const std::size_t size = rng.uniform(5);
+      for (std::size_t i = 0; i < size; ++i) {
+        object.set("k" + std::to_string(i), random_json(rng, depth + 1));
+      }
+      return object;
+    }
+  }
+}
+
+class JsonPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(JsonPropertyTest, DumpParseDumpIsFixedPoint) {
+  util::Rng rng(GetParam() * 31337);
+  const json::Value value = random_json(rng, 0);
+  const std::string once = value.dump();
+  auto parsed = json::parse(once);
+  ASSERT_TRUE(parsed.ok()) << once;
+  EXPECT_EQ(parsed.value().dump(), once);
+  // Pretty form parses back to the same compact form.
+  auto pretty = json::parse(value.dump_pretty());
+  ASSERT_TRUE(pretty.ok());
+  EXPECT_EQ(pretty.value().dump(), once);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JsonPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+// ---------- FlatMap64 vs std::unordered_map fuzz ----------
+
+class FlatMapPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FlatMapPropertyTest, AgreesWithReferenceMap) {
+  util::Rng rng(GetParam() * 65537);
+  util::FlatMap64<std::uint64_t> flat(1 + rng.uniform(64));
+  std::unordered_map<std::uint64_t, std::uint64_t> reference;
+  const std::size_t ops = 5000;
+  for (std::size_t i = 0; i < ops; ++i) {
+    const std::uint64_t key = 1 + rng.uniform(1 + rng.uniform(10000));
+    if (rng.chance(0.7)) {
+      const std::uint64_t delta = rng.uniform(100);
+      flat[key] += delta;
+      reference[key] += delta;
+    } else {
+      const auto* found = flat.find(key);
+      const auto it = reference.find(key);
+      if (it == reference.end()) {
+        EXPECT_EQ(found, nullptr);
+      } else {
+        ASSERT_NE(found, nullptr);
+        EXPECT_EQ(*found, it->second);
+      }
+    }
+  }
+  EXPECT_EQ(flat.size(), reference.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlatMapPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace dockmine

@@ -1,0 +1,294 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "dockmine/stats/cdf.h"
+#include "dockmine/stats/distributions.h"
+#include "dockmine/stats/histogram.h"
+#include "dockmine/stats/sampling.h"
+#include "dockmine/stats/summary.h"
+
+namespace dockmine::stats {
+namespace {
+
+// ---------- Summary ----------
+
+TEST(SummaryTest, BasicMoments) {
+  Summary s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(SummaryTest, MergeMatchesSequential) {
+  util::Rng rng(1);
+  Summary whole, a, b;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.normal() * 3 + 10;
+    whole.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(SummaryTest, MergeWithEmpty) {
+  Summary a, b;
+  a.add(1.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.0);
+}
+
+// ---------- Ecdf ----------
+
+TEST(EcdfTest, QuantilesOfKnownSample) {
+  Ecdf cdf({5, 1, 3, 2, 4});
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.25), 2.0);
+  EXPECT_DOUBLE_EQ(cdf.median(), 3.0);
+  EXPECT_DOUBLE_EQ(cdf.min(), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.max(), 5.0);
+  EXPECT_DOUBLE_EQ(cdf.mean(), 3.0);
+}
+
+TEST(EcdfTest, FractionAtOrBelowAndEqual) {
+  Ecdf cdf({1, 1, 2, 3, 3, 3, 10});
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(0), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(1), 2.0 / 7);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(3), 6.0 / 7);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(100), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_equal(3), 3.0 / 7);
+  EXPECT_DOUBLE_EQ(cdf.fraction_equal(5), 0.0);
+}
+
+TEST(EcdfTest, AddKeepsSorting) {
+  Ecdf cdf;
+  cdf.add(3);
+  cdf.add(1);
+  EXPECT_DOUBLE_EQ(cdf.median(), 2.0);
+  cdf.add(2);
+  EXPECT_DOUBLE_EQ(cdf.median(), 2.0);
+}
+
+TEST(EcdfTest, CurveIsMonotone) {
+  util::Rng rng(2);
+  Ecdf cdf;
+  for (int i = 0; i < 1000; ++i) cdf.add(rng.uniform01());
+  auto curve = cdf.curve(50);
+  ASSERT_EQ(curve.size(), 50u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i - 1].second, curve[i].second);
+  }
+}
+
+// ---------- Histograms ----------
+
+TEST(LinearHistogramTest, BucketsAndClamping) {
+  LinearHistogram hist(0, 100, 10);
+  hist.add(5);        // bucket 0
+  hist.add(15);       // bucket 1
+  hist.add(-3);       // clamped to bucket 0
+  hist.add(1000);     // clamped to last bucket
+  EXPECT_EQ(hist.bucket(0), 2u);
+  EXPECT_EQ(hist.bucket(1), 1u);
+  EXPECT_EQ(hist.bucket(9), 1u);
+  EXPECT_EQ(hist.total(), 4u);
+  EXPECT_DOUBLE_EQ(hist.bucket_lo(1), 10.0);
+  EXPECT_DOUBLE_EQ(hist.bucket_hi(1), 20.0);
+}
+
+TEST(LinearHistogramTest, ModeBucket) {
+  LinearHistogram hist(0, 10, 10);
+  hist.add(3.5);
+  hist.add(3.2, 5);
+  hist.add(7.0);
+  EXPECT_EQ(hist.mode_bucket(), 3u);
+}
+
+TEST(LinearHistogramTest, MergeAddsCounts) {
+  LinearHistogram a(0, 10, 5), b(0, 10, 5);
+  a.add(1);
+  b.add(1);
+  b.add(9);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 3u);
+  EXPECT_EQ(a.bucket(0), 2u);
+  EXPECT_THROW(a.merge(LinearHistogram(0, 20, 5)), std::invalid_argument);
+}
+
+TEST(Log2HistogramTest, QuantileApproximatesWithin2x) {
+  util::Rng rng(3);
+  const LogNormal model(std::log(5000.0), 1.5);
+  Log2Histogram hist;
+  Ecdf exact;
+  for (int i = 0; i < 40000; ++i) {
+    const double x = model.sample(rng);
+    hist.add(x);
+    exact.add(x);
+  }
+  for (double q : {0.1, 0.5, 0.9, 0.99}) {
+    const double approx = hist.quantile(q);
+    const double truth = exact.quantile(q);
+    EXPECT_LT(approx / truth, 2.01) << "q=" << q;
+    EXPECT_GT(approx / truth, 0.49) << "q=" << q;
+  }
+}
+
+TEST(Log2HistogramTest, ZeroBucketAndFraction) {
+  Log2Histogram hist;
+  hist.add(0);
+  hist.add(0.5);
+  hist.add(100);
+  EXPECT_EQ(hist.zero_count(), 2u);
+  EXPECT_NEAR(hist.fraction_at_or_below(0.9), 2.0 / 3, 1e-9);
+  EXPECT_NEAR(hist.fraction_at_or_below(1e9), 1.0, 1e-9);
+}
+
+// ---------- Distributions ----------
+
+TEST(LogNormalTest, MedianAndP90MatchConstruction) {
+  const LogNormal model = LogNormal::from_median_p90(4e6, 63e6);
+  util::Rng rng(4);
+  Ecdf cdf;
+  for (int i = 0; i < 60000; ++i) cdf.add(model.sample(rng));
+  EXPECT_NEAR(cdf.median() / 4e6, 1.0, 0.08);
+  EXPECT_NEAR(cdf.quantile(0.9) / 63e6, 1.0, 0.10);
+}
+
+TEST(LogNormalTest, AnalyticQuantileMatchesEmpirical) {
+  const LogNormal model(std::log(100.0), 0.8);
+  util::Rng rng(5);
+  Ecdf cdf;
+  for (int i = 0; i < 60000; ++i) cdf.add(model.sample(rng));
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    EXPECT_NEAR(model.quantile(q) / cdf.quantile(q), 1.0, 0.07) << q;
+  }
+}
+
+TEST(ParetoTest, QuantileInvertsSampling) {
+  const Pareto model(10.0, 1.5);
+  util::Rng rng(6);
+  Ecdf cdf;
+  for (int i = 0; i < 60000; ++i) cdf.add(model.sample(rng));
+  EXPECT_GE(cdf.min(), 10.0);
+  EXPECT_NEAR(model.quantile(0.5) / cdf.median(), 1.0, 0.05);
+  EXPECT_NEAR(model.quantile(0.9) / cdf.quantile(0.9), 1.0, 0.08);
+}
+
+TEST(ZipfTest, RanksWithinBoundsAndHeadHeavy) {
+  const Zipf zipf(1000, 1.0);
+  util::Rng rng(7);
+  std::vector<int> counts(1001, 0);
+  for (int i = 0; i < 100000; ++i) {
+    const std::uint64_t rank = zipf.sample(rng);
+    ASSERT_GE(rank, 1u);
+    ASSERT_LE(rank, 1000u);
+    ++counts[rank];
+  }
+  // P(1)/P(2) should be ~2 for s=1.
+  EXPECT_NEAR(static_cast<double>(counts[1]) / counts[2], 2.0, 0.35);
+  // Head (top 1%) carries far more than 1% of mass.
+  int head = 0;
+  for (int r = 1; r <= 10; ++r) head += counts[r];
+  EXPECT_GT(head, 25000);
+}
+
+TEST(ZipfTest, SingleElementAlwaysRankOne) {
+  const Zipf zipf(1, 1.2);
+  util::Rng rng(8);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.sample(rng), 1u);
+}
+
+TEST(AliasTableTest, MatchesWeights) {
+  const AliasTable table({1.0, 2.0, 3.0, 4.0});
+  util::Rng rng(9);
+  int counts[4] = {};
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++counts[table.sample(rng)];
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NEAR(counts[i], kDraws * (i + 1) / 10.0, kDraws * 0.01);
+  }
+}
+
+TEST(AliasTableTest, ZeroWeightNeverDrawn) {
+  const AliasTable table({0.0, 1.0, 0.0});
+  util::Rng rng(10);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(table.sample(rng), 1u);
+}
+
+TEST(AliasTableTest, RejectsInvalidWeights) {
+  EXPECT_THROW(AliasTable(std::vector<double>{}), std::invalid_argument);
+  EXPECT_THROW(AliasTable({-1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(AliasTable({0.0, 0.0}), std::invalid_argument);
+}
+
+TEST(BodyTailTest, TailFractionRoughlyHonored) {
+  const BodyTail model(LogNormal(std::log(10.0), 0.1), Pareto(1e6, 1.0), 0.1);
+  util::Rng rng(11);
+  int tail = 0;
+  for (int i = 0; i < 20000; ++i) {
+    if (model.sample(rng) > 1000.0) ++tail;
+  }
+  EXPECT_NEAR(tail / 20000.0, 0.1, 0.01);
+}
+
+// ---------- sampling ----------
+
+TEST(SamplingTest, SampleIndicesDistinctAndInRange) {
+  util::Rng rng(12);
+  const auto sample = sample_indices(1000, 100, rng);
+  EXPECT_EQ(sample.size(), 100u);
+  std::set<std::uint64_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 100u);
+  for (auto v : sample) EXPECT_LT(v, 1000u);
+}
+
+TEST(SamplingTest, SampleAllWhenKGeN) {
+  util::Rng rng(13);
+  const auto sample = sample_indices(10, 20, rng);
+  EXPECT_EQ(sample.size(), 10u);
+}
+
+TEST(SamplingTest, ReservoirKeepsCapacityAndIsRoughlyUniform) {
+  constexpr int kRuns = 2000;
+  int first_half = 0;
+  for (int run = 0; run < kRuns; ++run) {
+    Reservoir<int> reservoir(10, util::Rng(run));
+    for (int i = 0; i < 100; ++i) reservoir.add(i);
+    EXPECT_EQ(reservoir.items().size(), 10u);
+    for (int v : reservoir.items()) first_half += (v < 50);
+  }
+  // Expect ~half the kept items from the first half of the stream.
+  EXPECT_NEAR(first_half / (kRuns * 10.0), 0.5, 0.03);
+}
+
+TEST(SamplingTest, ShufflePermutes) {
+  std::vector<int> items(100);
+  std::iota(items.begin(), items.end(), 0);
+  util::Rng rng(14);
+  shuffle(items, rng);
+  std::vector<int> sorted = items;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sorted[i], i);
+  EXPECT_FALSE(std::is_sorted(items.begin(), items.end()));
+}
+
+}  // namespace
+}  // namespace dockmine::stats

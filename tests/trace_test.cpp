@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dockmine/core/trace.h"
+
+namespace dockmine::core {
+namespace {
+
+std::vector<CachedImage> toy_images(std::size_t n) {
+  std::vector<CachedImage> images(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    images[i].layer_keys = {i * 2 + 1, i * 2 + 2};
+    images[i].layer_sizes = {1'000'000, 500'000};
+    images[i].popularity_weight = 1.0;
+  }
+  return images;
+}
+
+TEST(TraceGeneratorTest, ArrivalRateAndOrdering) {
+  PullTraceGenerator::Options options;
+  options.rate_per_s = 50.0;
+  options.seed = 7;
+  PullTraceGenerator generator(std::vector<double>(20, 1.0), options);
+  const auto trace = generator.generate(100.0);
+  EXPECT_NEAR(static_cast<double>(trace.size()), 5000.0, 300.0);
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_GE(trace[i].time_s, trace[i - 1].time_s);
+    EXPECT_LT(trace[i].image, 20u);
+  }
+}
+
+TEST(TraceGeneratorTest, DeterministicForSeed) {
+  PullTraceGenerator::Options options;
+  options.seed = 9;
+  PullTraceGenerator a(std::vector<double>(10, 1.0), options);
+  PullTraceGenerator b(std::vector<double>(10, 1.0), options);
+  const auto ta = a.generate(20.0);
+  const auto tb = b.generate(20.0);
+  ASSERT_EQ(ta.size(), tb.size());
+  for (std::size_t i = 0; i < ta.size(); ++i) {
+    EXPECT_EQ(ta[i].image, tb[i].image);
+    EXPECT_DOUBLE_EQ(ta[i].time_s, tb[i].time_s);
+  }
+}
+
+TEST(TraceGeneratorTest, WeightsSkewChoices) {
+  std::vector<double> weights(10, 1.0);
+  weights[3] = 1000.0;
+  PullTraceGenerator::Options options;
+  options.rate_per_s = 100.0;
+  PullTraceGenerator generator(weights, options);
+  std::size_t hot = 0, total = 0;
+  generator.generate(100.0, [&](const PullEvent& event) {
+    ++total;
+    hot += event.image == 3;
+  });
+  EXPECT_GT(static_cast<double>(hot) / static_cast<double>(total), 0.9);
+}
+
+TEST(TraceGeneratorTest, DriftMovesMassToTrendingSet) {
+  PullTraceGenerator::Options options;
+  options.rate_per_s = 100.0;
+  options.drift_fraction = 0.5;
+  options.drift_period_s = 10.0;
+  // Uniform base weights over many images: without drift, no image gets
+  // a large share; with 50% drift to a small hot set, some must.
+  PullTraceGenerator generator(std::vector<double>(500, 1.0), options);
+  std::vector<std::size_t> counts(500, 0);
+  std::size_t total = 0;
+  generator.generate(50.0, [&](const PullEvent& event) {
+    ++counts[event.image];
+    ++total;
+  });
+  const std::size_t max_count = *std::max_element(counts.begin(), counts.end());
+  EXPECT_GT(static_cast<double>(max_count) / static_cast<double>(total),
+            0.01);  // >> 1/500 = 0.002
+}
+
+TEST(ReplayTest, PerfectCacheBeatsNoCache) {
+  const auto images = toy_images(50);
+  PullTraceGenerator::Options options;
+  options.rate_per_s = 100.0;
+  PullTraceGenerator generator(std::vector<double>(50, 1.0), options);
+  const auto trace = generator.generate(60.0);
+  const registry::CostModel cost;
+
+  const auto cold = replay_trace(trace, images, /*capacity=*/0, cost);
+  const auto warm =
+      replay_trace(trace, images, /*capacity=*/1ULL << 40, cost);
+  EXPECT_EQ(cold.layer_hits, 0u);
+  EXPECT_GT(warm.hit_ratio(), 0.9);
+  EXPECT_LT(warm.pull_latency_ms.median(), cold.pull_latency_ms.median());
+  EXPECT_GT(warm.origin_offload(), 0.9);
+  EXPECT_EQ(cold.origin_offload(), 0.0);
+  EXPECT_EQ(warm.pulls, trace.size());
+  EXPECT_EQ(warm.served_bytes, cold.served_bytes);
+}
+
+TEST(ReplayTest, LatencyAccountsTransferCosts) {
+  std::vector<CachedImage> images(1);
+  images[0].layer_keys = {42};
+  images[0].layer_sizes = {10'000'000};  // 10 MB
+  images[0].popularity_weight = 1.0;
+  std::vector<PullEvent> trace = {{0.0, 0}, {1.0, 0}};
+  registry::CostModel cost;
+  cost.base_ms = 40;
+  cost.per_mb_ms = 10;
+  const auto result = replay_trace(trace, images, 1ULL << 30, cost,
+                                   /*cache_per_mb_ms=*/1.0);
+  // First pull: 40 + 40 + 100 ms (base + origin base + 10 MB); second:
+  // 40 + 10 (cache transfer).
+  EXPECT_DOUBLE_EQ(result.pull_latency_ms.max(), 40 + cost.transfer_ms(10'000'000));
+  EXPECT_DOUBLE_EQ(result.pull_latency_ms.min(), 40 + 10.0);
+}
+
+}  // namespace
+}  // namespace dockmine::core

@@ -1,0 +1,273 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <thread>
+#include <unordered_map>
+
+#include "dockmine/util/bytes.h"
+#include "dockmine/util/error.h"
+#include "dockmine/util/flat_map.h"
+#include "dockmine/util/rng.h"
+#include "dockmine/util/thread_pool.h"
+
+namespace dockmine::util {
+namespace {
+
+// ---------- Result / Error ----------
+
+Result<int> parse_positive(int x) {
+  if (x <= 0) return invalid_argument("not positive");
+  return x;
+}
+
+TEST(ErrorTest, ResultHoldsValueOrError) {
+  auto ok = parse_positive(7);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 7);
+
+  auto bad = parse_positive(-1);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(bad.error().to_string(), "invalid_argument: not positive");
+}
+
+TEST(ErrorTest, ValueOrFallsBack) {
+  EXPECT_EQ(parse_positive(3).value_or(9), 3);
+  EXPECT_EQ(parse_positive(-3).value_or(9), 9);
+}
+
+TEST(ErrorTest, StatusDefaultsToSuccess) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  Status failed = not_found("x");
+  EXPECT_FALSE(failed.ok());
+  EXPECT_EQ(failed.error().code(), ErrorCode::kNotFound);
+}
+
+TEST(ErrorTest, EveryCodeHasAName) {
+  for (int c = 0; c <= static_cast<int>(ErrorCode::kInternal); ++c) {
+    EXPECT_NE(to_string(static_cast<ErrorCode>(c)), "unknown");
+  }
+}
+
+// ---------- Rng ----------
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a() == b());
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformRespectsBound) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.uniform(bound), bound);
+  }
+}
+
+TEST(RngTest, UniformCoversSmallRangeEvenly) {
+  Rng rng(11);
+  int counts[8] = {};
+  constexpr int kDraws = 80000;
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.uniform(8)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / 8, kDraws / 8 * 0.1);
+  }
+}
+
+TEST(RngTest, Uniform01InRange) {
+  Rng rng(5);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, NormalMomentsMatch) {
+  Rng rng(13);
+  double sum = 0, sq = 0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    const double z = rng.normal();
+    sum += z;
+    sq += z * z;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.02);
+  EXPECT_NEAR(sq / kN, 1.0, 0.05);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(99);
+  Rng child = parent.fork(1);
+  Rng parent2(99);
+  Rng child2 = parent2.fork(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(child(), child2());
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_range(-2, 2);
+    ASSERT_GE(v, -2);
+    ASSERT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+// ---------- bytes ----------
+
+TEST(BytesTest, FormatsHumanUnits) {
+  EXPECT_EQ(format_bytes(0), "0 B");
+  EXPECT_EQ(format_bytes(999), "999 B");
+  EXPECT_EQ(format_bytes(4000000), "4.00 MB");
+  EXPECT_EQ(format_bytes(47'000'000'000'000ULL), "47.0 TB");
+}
+
+TEST(BytesTest, ParsesSuffixes) {
+  EXPECT_EQ(parse_bytes("0").value(), 0u);
+  EXPECT_EQ(parse_bytes("4MB").value(), 4'000'000u);
+  EXPECT_EQ(parse_bytes("1.5 GB").value(), 1'500'000'000u);
+  EXPECT_EQ(parse_bytes("1 KiB").value(), 1024u);
+  EXPECT_EQ(parse_bytes("2MiB").value(), 2097152u);
+  EXPECT_FALSE(parse_bytes("abc").ok());
+  EXPECT_FALSE(parse_bytes("1 XB").ok());
+}
+
+TEST(BytesTest, FormatCountGroupsThousands) {
+  EXPECT_EQ(format_count(5), "5");
+  EXPECT_EQ(format_count(1241), "1,241");
+  EXPECT_EQ(format_count(5278465130ULL), "5,278,465,130");
+}
+
+TEST(BytesTest, FormatPercent) {
+  EXPECT_EQ(format_percent(0.032), "3.2%");
+  EXPECT_EQ(format_percent(0.8569, 2), "85.69%");
+}
+
+// ---------- FlatMap64 ----------
+
+TEST(FlatMapTest, InsertFindGrow) {
+  FlatMap64<int> map(4);
+  for (std::uint64_t k = 1; k <= 1000; ++k) map[k] = static_cast<int>(k * 3);
+  EXPECT_EQ(map.size(), 1000u);
+  for (std::uint64_t k = 1; k <= 1000; ++k) {
+    const int* v = map.find(k);
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(*v, static_cast<int>(k * 3));
+  }
+  EXPECT_EQ(map.find(5000), nullptr);
+}
+
+TEST(FlatMapTest, MatchesUnorderedMapUnderRandomWorkload) {
+  FlatMap64<std::uint64_t> flat;
+  std::unordered_map<std::uint64_t, std::uint64_t> reference;
+  Rng rng(77);
+  for (int i = 0; i < 20000; ++i) {
+    // Small key space forces plenty of updates to existing keys.
+    const std::uint64_t key = 1 + rng.uniform(4096);
+    flat[key] += 1;
+    reference[key] += 1;
+  }
+  EXPECT_EQ(flat.size(), reference.size());
+  std::uint64_t checked = 0;
+  flat.for_each([&](std::uint64_t key, const std::uint64_t& value) {
+    ASSERT_EQ(reference.at(key), value);
+    ++checked;
+  });
+  EXPECT_EQ(checked, reference.size());
+}
+
+TEST(FlatMapTest, ClearResets) {
+  FlatMap64<int> map;
+  map[1] = 5;
+  map.clear();
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_EQ(map.find(1), nullptr);
+}
+
+// ---------- BoundedQueue / ThreadPool ----------
+
+TEST(BoundedQueueTest, FifoOrder) {
+  BoundedQueue<int> queue(16);
+  for (int i = 0; i < 10; ++i) queue.push(i);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(queue.pop().value(), i);
+}
+
+TEST(BoundedQueueTest, CloseDrainsThenEmpty) {
+  BoundedQueue<int> queue(16);
+  queue.push(1);
+  queue.push(2);
+  queue.close();
+  EXPECT_FALSE(queue.push(3));
+  EXPECT_EQ(queue.pop().value(), 1);
+  EXPECT_EQ(queue.pop().value(), 2);
+  EXPECT_FALSE(queue.pop().has_value());
+}
+
+TEST(BoundedQueueTest, BlocksProducerWhenFull) {
+  BoundedQueue<int> queue(2);
+  queue.push(1);
+  queue.push(2);
+  std::atomic<bool> third_pushed{false};
+  std::thread producer([&] {
+    queue.push(3);
+    third_pushed = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(third_pushed.load());
+  queue.pop();
+  producer.join();
+  EXPECT_TRUE(third_pushed.load());
+}
+
+TEST(ThreadPoolTest, ExecutesAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 500; ++i) {
+    pool.submit([&] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 500);
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsQueuedWork) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 100; ++i) {
+      pool.submit([&] { counter.fetch_add(1); });
+    }
+    pool.shutdown();
+  }
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(pool, 0, hits.size(), 7,
+               [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  parallel_for(pool, 5, 5, 1, [](std::size_t) { FAIL(); });
+}
+
+}  // namespace
+}  // namespace dockmine::util

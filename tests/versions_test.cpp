@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "dockmine/registry/manifest.h"
+#include "dockmine/synth/materialize.h"
+#include "dockmine/synth/versions.h"
+
+namespace dockmine::synth {
+namespace {
+
+class VersionsFixture : public ::testing::Test {
+ protected:
+  HubModel hub{Calibration::paper(), Scale{200, 99}};
+};
+
+TEST_F(VersionsFixture, ChainsEndWithLatestAndShareBase) {
+  VersionModel::Options options;
+  options.extra_tags_mean = 3.0;
+  const VersionModel model(hub, options);
+  int checked = 0;
+  for (std::size_t repo = 0; repo < hub.repositories().size(); ++repo) {
+    const auto chain = model.versions_for(repo);
+    if (hub.repositories()[repo].image_index < 0) {
+      EXPECT_TRUE(chain.empty());
+      continue;
+    }
+    ASSERT_FALSE(chain.empty());
+    EXPECT_EQ(chain.back().tag, "latest");
+    const auto& latest = chain.back().image.layers;
+    for (std::size_t v = 0; v + 1 < chain.size(); ++v) {
+      const auto& layers = chain[v].image.layers;
+      EXPECT_EQ(layers.size(), latest.size());
+      // Shares everything below the churn window.
+      const std::size_t churn = std::min<std::size_t>(2, latest.size());
+      for (std::size_t k = 0; k < latest.size() - churn; ++k) {
+        EXPECT_EQ(layers[k], latest[k]);
+      }
+      // Churned layers are version-specific (never in latest).
+      std::set<LayerId> latest_set(latest.begin(), latest.end());
+      for (std::size_t k = latest.size() - churn; k < layers.size(); ++k) {
+        EXPECT_FALSE(latest_set.count(layers[k]));
+      }
+    }
+    if (++checked > 50) break;
+  }
+  EXPECT_GT(checked, 20);
+}
+
+TEST_F(VersionsFixture, DeterministicChains) {
+  const VersionModel model(hub);
+  for (std::size_t repo = 0; repo < 30; ++repo) {
+    const auto a = model.versions_for(repo);
+    const auto b = model.versions_for(repo);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].tag, b[i].tag);
+      EXPECT_EQ(a[i].image.layers, b[i].image.layers);
+    }
+  }
+}
+
+TEST_F(VersionsFixture, MoreTagsMoreSharing) {
+  VersionModel::Options few;
+  few.extra_tags_mean = 1.0;
+  VersionModel::Options many;
+  many.extra_tags_mean = 6.0;
+  const auto few_stats = VersionModel(hub, few).analyze();
+  const auto many_stats = VersionModel(hub, many).analyze();
+  EXPECT_GT(many_stats.tags, few_stats.tags);
+  EXPECT_GT(many_stats.sharing_ratio(), few_stats.sharing_ratio());
+  EXPECT_GE(few_stats.sharing_ratio(), 1.0);
+  EXPECT_EQ(few_stats.repositories,
+            static_cast<std::uint64_t>(
+                std::count_if(hub.repositories().begin(),
+                              hub.repositories().end(),
+                              [](const RepoSpec& r) { return r.image_index >= 0; })));
+}
+
+TEST_F(VersionsFixture, ZeroMeanYieldsOnlyLatest) {
+  VersionModel::Options options;
+  options.extra_tags_mean = 0.0;
+  const VersionModel model(hub, options);
+  const auto stats = model.analyze();
+  EXPECT_EQ(stats.tags, stats.repositories);
+  EXPECT_NEAR(stats.sharing_ratio(),
+              1.0 + 0.0,  // only latest's intra-hub sharing remains
+              1.0);
+}
+
+TEST(VersionPublishTest, TagChainsArePullable) {
+  const HubModel hub(Calibration::light(), Scale{40, 3});
+  VersionModel::Options options;
+  options.extra_tags_mean = 2.0;
+  const VersionModel versions(hub, options);
+  registry::Service service;
+  const Materializer materializer(hub, 1);
+  // put_repository entries first (populate does both; here versions only).
+  auto base = materializer.populate(service);
+  ASSERT_TRUE(base.ok());
+  auto pushed = materializer.populate_versions(service, versions);
+  ASSERT_TRUE(pushed.ok());
+  EXPECT_GT(pushed.value(), base.value());  // history adds tags
+
+  // Every generated tag resolves and its layers are fetchable.
+  int checked = 0;
+  for (std::size_t repo = 0; repo < hub.repositories().size(); ++repo) {
+    const auto& spec = hub.repositories()[repo];
+    for (const TaggedImage& tagged : versions.versions_for(repo)) {
+      auto body = service.get_manifest(spec.name, tagged.tag,
+                                       /*authenticated=*/true);
+      ASSERT_TRUE(body.ok()) << spec.name << ":" << tagged.tag;
+      auto manifest = registry::manifest_from_json(body.value());
+      ASSERT_TRUE(manifest.ok());
+      EXPECT_EQ(manifest.value().layers.size(), tagged.image.layers.size());
+      for (const auto& ref : manifest.value().layers) {
+        EXPECT_TRUE(service.stat_blob(ref.digest).ok());
+      }
+      ++checked;
+    }
+    if (checked > 60) break;
+  }
+  EXPECT_GT(checked, 30);
+
+  // Cross-version sharing is visible in the blob store: logical pushes
+  // exceed physical bytes.
+  const auto blob_stats = service.blob_stats();
+  EXPECT_GT(blob_stats.dedup_ratio(), 1.2);
+}
+
+}  // namespace
+}  // namespace dockmine::synth

@@ -1,0 +1,356 @@
+// dockmine — command-line front end.
+//
+//   dockmine analyze  [--repos N] [--seed S] [--cross]   dataset statistics
+//   dockmine dedup    [--repos N] [--seed S]             §V dedup report
+//   dockmine serve    [--repos N] [--port P] [--light]   HTTP registry
+//   dockmine crawl    --port P                           crawl a registry
+//   dockmine pull     --port P [--workers W] [--token T] mirror a registry
+//   dockmine export   [--repos N] --out DIR [--light]    blobs to disk store
+#include <csignal>
+#include <fstream>
+#include <iostream>
+#include <unordered_map>
+
+#include "dockmine/blob/disk_store.h"
+#include "dockmine/core/dataset.h"
+#include "dockmine/core/report.h"
+#include "dockmine/crawler/crawler.h"
+#include "dockmine/dedup/by_type.h"
+#include "dockmine/downloader/downloader.h"
+#include "dockmine/registry/gc.h"
+#include "dockmine/registry/http_gateway.h"
+#include "dockmine/synth/materialize.h"
+#include "dockmine/util/bytes.h"
+#include "dockmine/util/stopwatch.h"
+#include "flags.h"
+
+namespace dockmine::tools {
+namespace {
+
+synth::Scale scale_from(const Flags& flags) {
+  synth::Scale scale;
+  scale.repositories = flags.u64("repos", 1000);
+  scale.seed = flags.u64("seed", 20170530);
+  return scale;
+}
+
+synth::Calibration calibration_from(const Flags& flags) {
+  return flags.flag("light") ? synth::Calibration::light()
+                             : synth::Calibration::paper();
+}
+
+int cmd_analyze(const Flags& flags) {
+  synth::HubModel hub(calibration_from(flags), scale_from(flags));
+  core::DatasetOptions options;
+  options.cross_dup = flags.flag("cross");
+  options.workers = flags.u64("workers", 0);
+  const auto stats = core::DatasetStats::compute(hub, options);
+
+  std::cout << "snapshot: " << hub.repositories().size() << " repos, "
+            << stats.image_count << " images, " << stats.unique_layer_count
+            << " unique layers, " << util::format_count(stats.total_files)
+            << " files (" << util::format_bytes(stats.total_fls_bytes)
+            << " uncompressed, " << util::format_bytes(stats.total_cls_bytes)
+            << " compressed) in " << stats.compute_seconds << "s\n\n";
+  core::print_cdf(std::cout, "compressed layer size", stats.layer_cls,
+                  core::fmt_bytes);
+  core::print_cdf(std::cout, "files per layer", stats.layer_files,
+                  core::fmt_count);
+  core::print_cdf(std::cout, "layers per image", stats.image_layers,
+                  core::fmt_count);
+  core::print_cdf(std::cout, "pulls per repository", stats.repo_pulls,
+                  core::fmt_count);
+  if (options.cross_dup) {
+    core::print_cdf(std::cout, "cross-layer duplicate fraction",
+                    stats.cross_layer_dup,
+                    [](double v) { return core::fmt_pct(v); });
+  }
+  return 0;
+}
+
+int cmd_dedup(const Flags& flags) {
+  synth::HubModel hub(calibration_from(flags), scale_from(flags));
+  const auto stats = core::DatasetStats::compute(hub, {});
+  const auto totals = stats.file_index->totals();
+  const dedup::TypeBreakdown breakdown(*stats.file_index);
+
+  std::cout << "files: " << util::format_count(totals.total_files) << " ("
+            << util::format_bytes(totals.total_bytes) << ")\n"
+            << "unique: " << util::format_count(totals.unique_files) << " ("
+            << util::format_bytes(totals.unique_bytes) << ", "
+            << util::format_percent(totals.unique_file_fraction()) << ")\n"
+            << "dedup: " << core::fmt_ratio(totals.count_ratio()) << " count, "
+            << core::fmt_ratio(totals.capacity_ratio()) << " capacity\n"
+            << "layer sharing: " << core::fmt_ratio(stats.sharing.sharing_ratio())
+            << "\n\nby group (count% / capacity% / dedup%):\n";
+  for (std::size_t g = 0; g < filetype::kGroupCount; ++g) {
+    const auto group = static_cast<filetype::Group>(g);
+    std::printf("  %-5s %6s  %6s  %6s\n",
+                std::string(filetype::to_string(group)).c_str(),
+                core::fmt_pct(breakdown.count_share(group)).c_str(),
+                core::fmt_pct(breakdown.capacity_share(group)).c_str(),
+                core::fmt_pct(breakdown.by_group(group).capacity_removed()).c_str());
+  }
+  return 0;
+}
+
+std::atomic<bool> g_interrupted{false};
+
+int cmd_serve(const Flags& flags) {
+  synth::Scale scale = scale_from(flags);
+  if (flags.str("repos").empty()) scale.repositories = 200;
+  synth::HubModel hub(calibration_from(flags), scale);
+  registry::Service service;
+  synth::Materializer materializer(hub, static_cast<int>(flags.u64("gzip", 1)));
+  auto pushed = materializer.populate(service);
+  if (!pushed.ok()) {
+    std::cerr << pushed.error().to_string() << "\n";
+    return 1;
+  }
+  registry::SearchIndex search(service);
+  registry::HttpGateway gateway(service, &search);
+  auto server = gateway.serve(static_cast<std::uint16_t>(flags.u64("port", 0)),
+                              flags.u64("workers", 4));
+  if (!server.ok()) {
+    std::cerr << server.error().to_string() << "\n";
+    return 1;
+  }
+  std::cout << "serving " << scale.repositories
+            << " repositories on 127.0.0.1:" << server.value()->port()
+            << " — Ctrl-C to stop\n";
+  std::signal(SIGINT, [](int) { g_interrupted.store(true); });
+  std::signal(SIGTERM, [](int) { g_interrupted.store(true); });
+  const std::uint64_t max_requests = flags.u64("max-requests", 0);
+  while (!g_interrupted.load()) {
+    if (max_requests != 0 &&
+        server.value()->requests_served() >= max_requests) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::cout << "served " << server.value()->requests_served()
+            << " requests\n";
+  server.value()->stop();
+  return 0;
+}
+
+int cmd_crawl(const Flags& flags) {
+  const auto port = static_cast<std::uint16_t>(flags.u64("port", 0));
+  if (port == 0) {
+    std::cerr << "crawl requires --port\n";
+    return 2;
+  }
+  registry::RemoteRegistry remote(port, flags.str("token"));
+  crawler::Crawler crawler(remote, flags.u64("page-size", 100));
+  const auto result = crawler.crawl_all();
+  std::cout << result.repositories.size() << " repositories ("
+            << result.raw_hits << " raw hits, " << result.duplicates_removed
+            << " duplicates, " << result.pages_fetched << " pages)\n";
+  if (flags.flag("list")) {
+    for (const auto& name : result.repositories) std::cout << name << "\n";
+  }
+  return 0;
+}
+
+int cmd_pull(const Flags& flags) {
+  const auto port = static_cast<std::uint16_t>(flags.u64("port", 0));
+  if (port == 0) {
+    std::cerr << "pull requires --port\n";
+    return 2;
+  }
+  registry::RemoteRegistry remote(port, flags.str("token"));
+  crawler::Crawler crawler(remote);
+  const auto crawl = crawler.crawl_all();
+
+  downloader::Options options;
+  options.workers = flags.u64("workers", 4);
+  options.authenticated = !flags.str("token").empty();
+  downloader::Downloader downloader(remote, options);
+  util::Stopwatch clock;
+  const auto stats = downloader.run(crawl.repositories, nullptr);
+  std::cout << stats.succeeded << "/" << stats.attempted << " images, "
+            << util::format_bytes(stats.bytes_downloaded) << " in "
+            << clock.seconds() << "s (" << stats.layers_fetched
+            << " layer transfers, " << stats.layers_deduped
+            << " deduped; " << stats.failed_auth << " auth, "
+            << stats.failed_no_tag << " no-latest)\n";
+  return 0;
+}
+
+int cmd_export(const Flags& flags) {
+  const std::string out = flags.str("out");
+  if (out.empty()) {
+    std::cerr << "export requires --out DIR\n";
+    return 2;
+  }
+  synth::Scale scale = scale_from(flags);
+  if (flags.str("repos").empty()) scale.repositories = 100;
+  synth::HubModel hub(calibration_from(flags), scale);
+  auto store = blob::DiskStore::open(out);
+  if (!store.ok()) {
+    std::cerr << store.error().to_string() << "\n";
+    return 1;
+  }
+  const synth::Materializer materializer(
+      hub, static_cast<int>(flags.u64("gzip", 1)));
+  std::uint64_t layers = 0;
+  for (synth::LayerId id : hub.unique_layers()) {
+    auto blob_bytes = materializer.layer_blob(hub.layer_spec(id));
+    if (!blob_bytes.ok()) {
+      std::cerr << blob_bytes.error().to_string() << "\n";
+      return 1;
+    }
+    if (auto put = store.value().put(blob_bytes.value()); !put.ok()) {
+      std::cerr << put.error().to_string() << "\n";
+      return 1;
+    }
+    ++layers;
+  }
+  auto usage = store.value().usage();
+  std::cout << "exported " << layers << " layer blobs ("
+            << util::format_bytes(usage.ok() ? usage.value().bytes : 0)
+            << ") to " << out << "\n";
+  return 0;
+}
+
+int cmd_report(const Flags& flags) {
+  synth::HubModel hub(calibration_from(flags), scale_from(flags));
+  core::DatasetOptions options;
+  options.file_dedup = true;
+  options.cross_dup = flags.flag("cross");
+  const auto stats = core::DatasetStats::compute(hub, options);
+  const auto totals = stats.file_index->totals();
+  const dedup::TypeBreakdown breakdown(*stats.file_index);
+  const auto refs = stats.sharing.reference_count_cdf();
+
+  std::cout << "snapshot: " << hub.repositories().size() << " repos, "
+            << stats.image_count << " images, " << stats.unique_layer_count
+            << " layers, " << util::format_count(stats.total_files)
+            << " files\n";
+
+  core::FigureTable layers("Layers", "paper Figs. 3-7");
+  layers
+      .row("CLS median / p90", "<4 MB / 63 MB",
+           core::fmt_bytes(stats.layer_cls.median()) + " / " +
+               core::fmt_bytes(stats.layer_cls.p90()))
+      .row("FLS median / p90", "<4 MB / 177 MB",
+           core::fmt_bytes(stats.layer_fls.median()) + " / " +
+               core::fmt_bytes(stats.layer_fls.p90()))
+      .row("compression ratio p50 / p90", "2.6 / 4",
+           core::fmt_ratio(stats.layer_ratio.median()) + " / " +
+               core::fmt_ratio(stats.layer_ratio.p90()))
+      .row("files p50 / p90 / empty / single", "30 / 7,410 / 7% / 27%",
+           core::fmt_count(stats.layer_files.median()) + " / " +
+               core::fmt_count(stats.layer_files.p90()) + " / " +
+               core::fmt_pct(stats.layer_files.fraction_equal(0)) + " / " +
+               core::fmt_pct(stats.layer_files.fraction_equal(1)))
+      .row("dirs p50 / p90", "11 / 826",
+           core::fmt_count(stats.layer_dirs.median()) + " / " +
+               core::fmt_count(stats.layer_dirs.p90()))
+      .row("depth p50 / p90", "<4 / <10",
+           core::fmt_count(stats.layer_depth.median()) + " / " +
+               core::fmt_count(stats.layer_depth.p90()));
+  layers.print(std::cout);
+
+  core::FigureTable images("Images", "paper Figs. 8-12");
+  images
+      .row("pulls p50 / p90", "40 / 333",
+           core::fmt_count(stats.repo_pulls.median()) + " / " +
+               core::fmt_count(stats.repo_pulls.p90()))
+      .row("CIS / FIS median", "17 MB / 94 MB",
+           core::fmt_bytes(stats.image_cis.median()) + " / " +
+               core::fmt_bytes(stats.image_fis.median()))
+      .row("layers p50 / p90", "8 / 18",
+           core::fmt_count(stats.image_layers.median()) + " / " +
+               core::fmt_count(stats.image_layers.p90()))
+      .row("files / dirs median", "1,090 / 296",
+           core::fmt_count(stats.image_files.median()) + " / " +
+               core::fmt_count(stats.image_dirs.median()));
+  images.print(std::cout);
+
+  core::FigureTable dedup_table("Dedup", "paper Figs. 23-27 (scale-dep.)");
+  dedup_table
+      .row("layer refcount =1 / =2", "90% / 5%",
+           core::fmt_pct(refs.fraction_equal(1)) + " / " +
+               core::fmt_pct(refs.fraction_equal(2)))
+      .row("layer sharing", "1.8x",
+           core::fmt_ratio(stats.sharing.sharing_ratio()))
+      .row("unique files", "3.2% @5.28G files",
+           core::fmt_pct(totals.unique_file_fraction()))
+      .row("dedup count / capacity", "31.5x / 6.9x @5.28G",
+           core::fmt_ratio(totals.count_ratio(), 1) + " / " +
+               core::fmt_ratio(totals.capacity_ratio(), 1))
+      .row("overall capacity removed", "85.69% @5.28G",
+           core::fmt_pct(breakdown.overall().capacity_removed()));
+  dedup_table.print(std::cout);
+  std::cout << "\n(run the bench binaries for the per-figure tables and"
+               " histograms)\n";
+  return 0;
+}
+
+int cmd_gc(const Flags& flags) {
+  const std::string dir = flags.str("dir");
+  if (dir.empty()) {
+    std::cerr << "gc requires --dir STORE (and --live manifest.json ...)\n";
+    return 2;
+  }
+  auto store = blob::DiskStore::open(dir);
+  if (!store.ok()) {
+    std::cerr << store.error().to_string() << "\n";
+    return 1;
+  }
+  std::vector<std::string> live;
+  for (const std::string& path : flags.positional()) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::cerr << "cannot read live manifest " << path << "\n";
+      return 1;
+    }
+    live.emplace_back((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  }
+  auto report = registry::collect_garbage(live, store.value());
+  if (!report.ok()) {
+    std::cerr << report.error().to_string() << "\n";
+    return 1;
+  }
+  std::cout << "kept " << report.value().live_blobs << " blobs ("
+            << util::format_bytes(report.value().live_bytes) << "), swept "
+            << report.value().swept_blobs << " ("
+            << util::format_bytes(report.value().swept_bytes) << ")\n";
+  return 0;
+}
+
+int usage() {
+  std::cerr <<
+      "usage: dockmine <command> [flags]\n"
+      "  analyze  [--repos N] [--seed S] [--cross] [--workers W] [--light]\n"
+      "  report   [--repos N] [--seed S]   paper-vs-measured summary\n"
+      "  dedup    [--repos N] [--seed S] [--light]\n"
+      "  serve    [--repos N] [--port P] [--workers W] [--light]\n"
+      "           [--max-requests N]\n"
+      "  crawl    --port P [--token T] [--page-size K] [--list]\n"
+      "  pull     --port P [--token T] [--workers W]\n"
+      "  export   --out DIR [--repos N] [--light] [--gzip L]\n"
+      "  gc       --dir STORE [live-manifest.json ...]\n";
+  return 2;
+}
+
+}  // namespace
+}  // namespace dockmine::tools
+
+int main(int argc, char** argv) {
+  using namespace dockmine::tools;
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const Flags flags = Flags::parse(argc, argv, 2);
+  if (command == "analyze") return cmd_analyze(flags);
+  if (command == "report") return cmd_report(flags);
+  if (command == "dedup") return cmd_dedup(flags);
+  if (command == "serve") return cmd_serve(flags);
+  if (command == "crawl") return cmd_crawl(flags);
+  if (command == "pull") return cmd_pull(flags);
+  if (command == "export") return cmd_export(flags);
+  if (command == "gc") return cmd_gc(flags);
+  return usage();
+}
