@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_dedup_index.dir/bench_abl_dedup_index.cpp.o"
+  "CMakeFiles/bench_abl_dedup_index.dir/bench_abl_dedup_index.cpp.o.d"
+  "bench_abl_dedup_index"
+  "bench_abl_dedup_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_dedup_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_downloader.dir/bench_abl_downloader.cpp.o"
+  "CMakeFiles/bench_abl_downloader.dir/bench_abl_downloader.cpp.o.d"
+  "bench_abl_downloader"
+  "bench_abl_downloader.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_downloader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

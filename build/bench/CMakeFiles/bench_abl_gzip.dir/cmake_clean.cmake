@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_gzip.dir/bench_abl_gzip.cpp.o"
+  "CMakeFiles/bench_abl_gzip.dir/bench_abl_gzip.cpp.o.d"
+  "bench_abl_gzip"
+  "bench_abl_gzip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_gzip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_http.dir/bench_abl_http.cpp.o"
+  "CMakeFiles/bench_abl_http.dir/bench_abl_http.cpp.o.d"
+  "bench_abl_http"
+  "bench_abl_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_store_uncompressed.dir/bench_abl_store_uncompressed.cpp.o"
+  "CMakeFiles/bench_abl_store_uncompressed.dir/bench_abl_store_uncompressed.cpp.o.d"
+  "bench_abl_store_uncompressed"
+  "bench_abl_store_uncompressed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_store_uncompressed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

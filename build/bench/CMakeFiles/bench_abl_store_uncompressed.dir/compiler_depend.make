@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_abl_store_uncompressed.
+# This may be replaced when dependencies are built.

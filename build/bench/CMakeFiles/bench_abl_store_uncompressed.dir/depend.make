@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_abl_store_uncompressed.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_chunking.dir/bench_ext_chunking.cpp.o"
+  "CMakeFiles/bench_ext_chunking.dir/bench_ext_chunking.cpp.o.d"
+  "bench_ext_chunking"
+  "bench_ext_chunking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_chunking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_multitag.dir/bench_ext_multitag.cpp.o"
+  "CMakeFiles/bench_ext_multitag.dir/bench_ext_multitag.cpp.o.d"
+  "bench_ext_multitag"
+  "bench_ext_multitag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_multitag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

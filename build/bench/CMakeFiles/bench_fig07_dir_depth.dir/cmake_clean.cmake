@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_dir_depth.dir/bench_fig07_dir_depth.cpp.o"
+  "CMakeFiles/bench_fig07_dir_depth.dir/bench_fig07_dir_depth.cpp.o.d"
+  "bench_fig07_dir_depth"
+  "bench_fig07_dir_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_dir_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_image_dirs.dir/bench_fig11_image_dirs.cpp.o"
+  "CMakeFiles/bench_fig11_image_dirs.dir/bench_fig11_image_dirs.cpp.o.d"
+  "bench_fig11_image_dirs"
+  "bench_fig11_image_dirs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_image_dirs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_eol.dir/bench_fig16_eol.cpp.o"
+  "CMakeFiles/bench_fig16_eol.dir/bench_fig16_eol.cpp.o.d"
+  "bench_fig16_eol"
+  "bench_fig16_eol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_eol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

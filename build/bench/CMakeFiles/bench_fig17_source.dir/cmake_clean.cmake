@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_source.dir/bench_fig17_source.cpp.o"
+  "CMakeFiles/bench_fig17_source.dir/bench_fig17_source.cpp.o.d"
+  "bench_fig17_source"
+  "bench_fig17_source.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_source.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

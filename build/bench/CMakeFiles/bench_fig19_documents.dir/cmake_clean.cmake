@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_documents.dir/bench_fig19_documents.cpp.o"
+  "CMakeFiles/bench_fig19_documents.dir/bench_fig19_documents.cpp.o.d"
+  "bench_fig19_documents"
+  "bench_fig19_documents.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_documents.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

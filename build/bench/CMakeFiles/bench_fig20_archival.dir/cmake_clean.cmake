@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig20_archival.dir/bench_fig20_archival.cpp.o"
+  "CMakeFiles/bench_fig20_archival.dir/bench_fig20_archival.cpp.o.d"
+  "bench_fig20_archival"
+  "bench_fig20_archival.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig20_archival.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

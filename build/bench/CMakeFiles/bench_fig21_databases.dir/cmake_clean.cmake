@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig21_databases.dir/bench_fig21_databases.cpp.o"
+  "CMakeFiles/bench_fig21_databases.dir/bench_fig21_databases.cpp.o.d"
+  "bench_fig21_databases"
+  "bench_fig21_databases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig21_databases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

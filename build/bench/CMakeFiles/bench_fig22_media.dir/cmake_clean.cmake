@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig22_media.dir/bench_fig22_media.cpp.o"
+  "CMakeFiles/bench_fig22_media.dir/bench_fig22_media.cpp.o.d"
+  "bench_fig22_media"
+  "bench_fig22_media.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig22_media.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

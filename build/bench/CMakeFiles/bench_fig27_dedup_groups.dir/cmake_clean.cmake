@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig27_dedup_groups.dir/bench_fig27_dedup_groups.cpp.o"
+  "CMakeFiles/bench_fig27_dedup_groups.dir/bench_fig27_dedup_groups.cpp.o.d"
+  "bench_fig27_dedup_groups"
+  "bench_fig27_dedup_groups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig27_dedup_groups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig28_dedup_eol.dir/bench_fig28_dedup_eol.cpp.o"
+  "CMakeFiles/bench_fig28_dedup_eol.dir/bench_fig28_dedup_eol.cpp.o.d"
+  "bench_fig28_dedup_eol"
+  "bench_fig28_dedup_eol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig28_dedup_eol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

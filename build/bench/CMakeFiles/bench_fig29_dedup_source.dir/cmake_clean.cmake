@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig29_dedup_source.dir/bench_fig29_dedup_source.cpp.o"
+  "CMakeFiles/bench_fig29_dedup_source.dir/bench_fig29_dedup_source.cpp.o.d"
+  "bench_fig29_dedup_source"
+  "bench_fig29_dedup_source.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig29_dedup_source.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dedup_advisor.dir/dedup_advisor.cpp.o"
+  "CMakeFiles/dedup_advisor.dir/dedup_advisor.cpp.o.d"
+  "dedup_advisor"
+  "dedup_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dedup_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/http_registry.dir/http_registry.cpp.o"
+  "CMakeFiles/http_registry.dir/http_registry.cpp.o.d"
+  "http_registry"
+  "http_registry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/http_registry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

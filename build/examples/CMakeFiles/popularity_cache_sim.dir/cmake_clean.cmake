@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/popularity_cache_sim.dir/popularity_cache_sim.cpp.o"
+  "CMakeFiles/popularity_cache_sim.dir/popularity_cache_sim.cpp.o.d"
+  "popularity_cache_sim"
+  "popularity_cache_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/popularity_cache_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

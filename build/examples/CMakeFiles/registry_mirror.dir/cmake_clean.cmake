@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/registry_mirror.dir/registry_mirror.cpp.o"
+  "CMakeFiles/registry_mirror.dir/registry_mirror.cpp.o.d"
+  "registry_mirror"
+  "registry_mirror.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/registry_mirror.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

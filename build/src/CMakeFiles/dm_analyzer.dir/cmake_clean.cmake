@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dm_analyzer.dir/dockmine/analyzer/image_analyzer.cpp.o"
+  "CMakeFiles/dm_analyzer.dir/dockmine/analyzer/image_analyzer.cpp.o.d"
+  "CMakeFiles/dm_analyzer.dir/dockmine/analyzer/layer_analyzer.cpp.o"
+  "CMakeFiles/dm_analyzer.dir/dockmine/analyzer/layer_analyzer.cpp.o.d"
+  "CMakeFiles/dm_analyzer.dir/dockmine/analyzer/pipeline.cpp.o"
+  "CMakeFiles/dm_analyzer.dir/dockmine/analyzer/pipeline.cpp.o.d"
+  "CMakeFiles/dm_analyzer.dir/dockmine/analyzer/profile.cpp.o"
+  "CMakeFiles/dm_analyzer.dir/dockmine/analyzer/profile.cpp.o.d"
+  "libdm_analyzer.a"
+  "libdm_analyzer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dm_analyzer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

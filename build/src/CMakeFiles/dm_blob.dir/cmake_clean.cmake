@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dm_blob.dir/dockmine/blob/disk_store.cpp.o"
+  "CMakeFiles/dm_blob.dir/dockmine/blob/disk_store.cpp.o.d"
+  "CMakeFiles/dm_blob.dir/dockmine/blob/store.cpp.o"
+  "CMakeFiles/dm_blob.dir/dockmine/blob/store.cpp.o.d"
+  "libdm_blob.a"
+  "libdm_blob.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dm_blob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

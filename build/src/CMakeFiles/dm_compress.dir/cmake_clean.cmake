@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dm_compress.dir/dockmine/compress/content_gen.cpp.o"
+  "CMakeFiles/dm_compress.dir/dockmine/compress/content_gen.cpp.o.d"
+  "CMakeFiles/dm_compress.dir/dockmine/compress/crc32.cpp.o"
+  "CMakeFiles/dm_compress.dir/dockmine/compress/crc32.cpp.o.d"
+  "CMakeFiles/dm_compress.dir/dockmine/compress/gzip.cpp.o"
+  "CMakeFiles/dm_compress.dir/dockmine/compress/gzip.cpp.o.d"
+  "libdm_compress.a"
+  "libdm_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dm_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dm_core.dir/dockmine/core/cache_sim.cpp.o"
+  "CMakeFiles/dm_core.dir/dockmine/core/cache_sim.cpp.o.d"
+  "CMakeFiles/dm_core.dir/dockmine/core/dataset.cpp.o"
+  "CMakeFiles/dm_core.dir/dockmine/core/dataset.cpp.o.d"
+  "CMakeFiles/dm_core.dir/dockmine/core/pipeline.cpp.o"
+  "CMakeFiles/dm_core.dir/dockmine/core/pipeline.cpp.o.d"
+  "CMakeFiles/dm_core.dir/dockmine/core/report.cpp.o"
+  "CMakeFiles/dm_core.dir/dockmine/core/report.cpp.o.d"
+  "CMakeFiles/dm_core.dir/dockmine/core/trace.cpp.o"
+  "CMakeFiles/dm_core.dir/dockmine/core/trace.cpp.o.d"
+  "libdm_core.a"
+  "libdm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dm_crawler.dir/dockmine/crawler/crawler.cpp.o"
+  "CMakeFiles/dm_crawler.dir/dockmine/crawler/crawler.cpp.o.d"
+  "libdm_crawler.a"
+  "libdm_crawler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dm_crawler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dockmine/dedup/by_type.cpp" "src/CMakeFiles/dm_dedup.dir/dockmine/dedup/by_type.cpp.o" "gcc" "src/CMakeFiles/dm_dedup.dir/dockmine/dedup/by_type.cpp.o.d"
+  "/root/repo/src/dockmine/dedup/chunking.cpp" "src/CMakeFiles/dm_dedup.dir/dockmine/dedup/chunking.cpp.o" "gcc" "src/CMakeFiles/dm_dedup.dir/dockmine/dedup/chunking.cpp.o.d"
+  "/root/repo/src/dockmine/dedup/cross_dup.cpp" "src/CMakeFiles/dm_dedup.dir/dockmine/dedup/cross_dup.cpp.o" "gcc" "src/CMakeFiles/dm_dedup.dir/dockmine/dedup/cross_dup.cpp.o.d"
+  "/root/repo/src/dockmine/dedup/file_dedup.cpp" "src/CMakeFiles/dm_dedup.dir/dockmine/dedup/file_dedup.cpp.o" "gcc" "src/CMakeFiles/dm_dedup.dir/dockmine/dedup/file_dedup.cpp.o.d"
+  "/root/repo/src/dockmine/dedup/growth.cpp" "src/CMakeFiles/dm_dedup.dir/dockmine/dedup/growth.cpp.o" "gcc" "src/CMakeFiles/dm_dedup.dir/dockmine/dedup/growth.cpp.o.d"
+  "/root/repo/src/dockmine/dedup/layer_sharing.cpp" "src/CMakeFiles/dm_dedup.dir/dockmine/dedup/layer_sharing.cpp.o" "gcc" "src/CMakeFiles/dm_dedup.dir/dockmine/dedup/layer_sharing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dm_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dm_analyzer.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dm_tar.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dm_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dm_filetype.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dm_registry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dm_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dm_blob.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dm_digest.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dm_http.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dm_dedup.dir/dockmine/dedup/by_type.cpp.o"
+  "CMakeFiles/dm_dedup.dir/dockmine/dedup/by_type.cpp.o.d"
+  "CMakeFiles/dm_dedup.dir/dockmine/dedup/chunking.cpp.o"
+  "CMakeFiles/dm_dedup.dir/dockmine/dedup/chunking.cpp.o.d"
+  "CMakeFiles/dm_dedup.dir/dockmine/dedup/cross_dup.cpp.o"
+  "CMakeFiles/dm_dedup.dir/dockmine/dedup/cross_dup.cpp.o.d"
+  "CMakeFiles/dm_dedup.dir/dockmine/dedup/file_dedup.cpp.o"
+  "CMakeFiles/dm_dedup.dir/dockmine/dedup/file_dedup.cpp.o.d"
+  "CMakeFiles/dm_dedup.dir/dockmine/dedup/growth.cpp.o"
+  "CMakeFiles/dm_dedup.dir/dockmine/dedup/growth.cpp.o.d"
+  "CMakeFiles/dm_dedup.dir/dockmine/dedup/layer_sharing.cpp.o"
+  "CMakeFiles/dm_dedup.dir/dockmine/dedup/layer_sharing.cpp.o.d"
+  "libdm_dedup.a"
+  "libdm_dedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dm_dedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

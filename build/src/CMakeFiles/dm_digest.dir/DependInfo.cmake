@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dockmine/digest/digest.cpp" "src/CMakeFiles/dm_digest.dir/dockmine/digest/digest.cpp.o" "gcc" "src/CMakeFiles/dm_digest.dir/dockmine/digest/digest.cpp.o.d"
+  "/root/repo/src/dockmine/digest/sha256.cpp" "src/CMakeFiles/dm_digest.dir/dockmine/digest/sha256.cpp.o" "gcc" "src/CMakeFiles/dm_digest.dir/dockmine/digest/sha256.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

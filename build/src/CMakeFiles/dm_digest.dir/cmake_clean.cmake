@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dm_digest.dir/dockmine/digest/digest.cpp.o"
+  "CMakeFiles/dm_digest.dir/dockmine/digest/digest.cpp.o.d"
+  "CMakeFiles/dm_digest.dir/dockmine/digest/sha256.cpp.o"
+  "CMakeFiles/dm_digest.dir/dockmine/digest/sha256.cpp.o.d"
+  "libdm_digest.a"
+  "libdm_digest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dm_digest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dockmine/downloader/downloader.cpp" "src/CMakeFiles/dm_downloader.dir/dockmine/downloader/downloader.cpp.o" "gcc" "src/CMakeFiles/dm_downloader.dir/dockmine/downloader/downloader.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dm_registry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dm_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dm_blob.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dm_digest.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dm_http.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dm_downloader.dir/dockmine/downloader/downloader.cpp.o"
+  "CMakeFiles/dm_downloader.dir/dockmine/downloader/downloader.cpp.o.d"
+  "libdm_downloader.a"
+  "libdm_downloader.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dm_downloader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

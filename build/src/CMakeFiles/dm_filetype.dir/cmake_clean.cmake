@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dm_filetype.dir/dockmine/filetype/classifier.cpp.o"
+  "CMakeFiles/dm_filetype.dir/dockmine/filetype/classifier.cpp.o.d"
+  "CMakeFiles/dm_filetype.dir/dockmine/filetype/taxonomy.cpp.o"
+  "CMakeFiles/dm_filetype.dir/dockmine/filetype/taxonomy.cpp.o.d"
+  "libdm_filetype.a"
+  "libdm_filetype.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dm_filetype.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

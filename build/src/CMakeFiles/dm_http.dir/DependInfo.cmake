@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dockmine/http/client.cpp" "src/CMakeFiles/dm_http.dir/dockmine/http/client.cpp.o" "gcc" "src/CMakeFiles/dm_http.dir/dockmine/http/client.cpp.o.d"
+  "/root/repo/src/dockmine/http/message.cpp" "src/CMakeFiles/dm_http.dir/dockmine/http/message.cpp.o" "gcc" "src/CMakeFiles/dm_http.dir/dockmine/http/message.cpp.o.d"
+  "/root/repo/src/dockmine/http/server.cpp" "src/CMakeFiles/dm_http.dir/dockmine/http/server.cpp.o" "gcc" "src/CMakeFiles/dm_http.dir/dockmine/http/server.cpp.o.d"
+  "/root/repo/src/dockmine/http/socket.cpp" "src/CMakeFiles/dm_http.dir/dockmine/http/socket.cpp.o" "gcc" "src/CMakeFiles/dm_http.dir/dockmine/http/socket.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

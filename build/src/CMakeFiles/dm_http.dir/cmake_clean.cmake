@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dm_http.dir/dockmine/http/client.cpp.o"
+  "CMakeFiles/dm_http.dir/dockmine/http/client.cpp.o.d"
+  "CMakeFiles/dm_http.dir/dockmine/http/message.cpp.o"
+  "CMakeFiles/dm_http.dir/dockmine/http/message.cpp.o.d"
+  "CMakeFiles/dm_http.dir/dockmine/http/server.cpp.o"
+  "CMakeFiles/dm_http.dir/dockmine/http/server.cpp.o.d"
+  "CMakeFiles/dm_http.dir/dockmine/http/socket.cpp.o"
+  "CMakeFiles/dm_http.dir/dockmine/http/socket.cpp.o.d"
+  "libdm_http.a"
+  "libdm_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dm_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dm_json.dir/dockmine/json/json.cpp.o"
+  "CMakeFiles/dm_json.dir/dockmine/json/json.cpp.o.d"
+  "libdm_json.a"
+  "libdm_json.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dm_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

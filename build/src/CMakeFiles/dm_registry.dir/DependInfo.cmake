@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dockmine/registry/gc.cpp" "src/CMakeFiles/dm_registry.dir/dockmine/registry/gc.cpp.o" "gcc" "src/CMakeFiles/dm_registry.dir/dockmine/registry/gc.cpp.o.d"
+  "/root/repo/src/dockmine/registry/http_gateway.cpp" "src/CMakeFiles/dm_registry.dir/dockmine/registry/http_gateway.cpp.o" "gcc" "src/CMakeFiles/dm_registry.dir/dockmine/registry/http_gateway.cpp.o.d"
+  "/root/repo/src/dockmine/registry/manifest.cpp" "src/CMakeFiles/dm_registry.dir/dockmine/registry/manifest.cpp.o" "gcc" "src/CMakeFiles/dm_registry.dir/dockmine/registry/manifest.cpp.o.d"
+  "/root/repo/src/dockmine/registry/model.cpp" "src/CMakeFiles/dm_registry.dir/dockmine/registry/model.cpp.o" "gcc" "src/CMakeFiles/dm_registry.dir/dockmine/registry/model.cpp.o.d"
+  "/root/repo/src/dockmine/registry/search.cpp" "src/CMakeFiles/dm_registry.dir/dockmine/registry/search.cpp.o" "gcc" "src/CMakeFiles/dm_registry.dir/dockmine/registry/search.cpp.o.d"
+  "/root/repo/src/dockmine/registry/service.cpp" "src/CMakeFiles/dm_registry.dir/dockmine/registry/service.cpp.o" "gcc" "src/CMakeFiles/dm_registry.dir/dockmine/registry/service.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dm_digest.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dm_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dm_blob.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dm_http.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dm_registry.dir/dockmine/registry/gc.cpp.o"
+  "CMakeFiles/dm_registry.dir/dockmine/registry/gc.cpp.o.d"
+  "CMakeFiles/dm_registry.dir/dockmine/registry/http_gateway.cpp.o"
+  "CMakeFiles/dm_registry.dir/dockmine/registry/http_gateway.cpp.o.d"
+  "CMakeFiles/dm_registry.dir/dockmine/registry/manifest.cpp.o"
+  "CMakeFiles/dm_registry.dir/dockmine/registry/manifest.cpp.o.d"
+  "CMakeFiles/dm_registry.dir/dockmine/registry/model.cpp.o"
+  "CMakeFiles/dm_registry.dir/dockmine/registry/model.cpp.o.d"
+  "CMakeFiles/dm_registry.dir/dockmine/registry/search.cpp.o"
+  "CMakeFiles/dm_registry.dir/dockmine/registry/search.cpp.o.d"
+  "CMakeFiles/dm_registry.dir/dockmine/registry/service.cpp.o"
+  "CMakeFiles/dm_registry.dir/dockmine/registry/service.cpp.o.d"
+  "libdm_registry.a"
+  "libdm_registry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dm_registry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

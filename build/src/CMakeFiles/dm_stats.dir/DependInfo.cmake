@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dockmine/stats/cdf.cpp" "src/CMakeFiles/dm_stats.dir/dockmine/stats/cdf.cpp.o" "gcc" "src/CMakeFiles/dm_stats.dir/dockmine/stats/cdf.cpp.o.d"
+  "/root/repo/src/dockmine/stats/distributions.cpp" "src/CMakeFiles/dm_stats.dir/dockmine/stats/distributions.cpp.o" "gcc" "src/CMakeFiles/dm_stats.dir/dockmine/stats/distributions.cpp.o.d"
+  "/root/repo/src/dockmine/stats/histogram.cpp" "src/CMakeFiles/dm_stats.dir/dockmine/stats/histogram.cpp.o" "gcc" "src/CMakeFiles/dm_stats.dir/dockmine/stats/histogram.cpp.o.d"
+  "/root/repo/src/dockmine/stats/sampling.cpp" "src/CMakeFiles/dm_stats.dir/dockmine/stats/sampling.cpp.o" "gcc" "src/CMakeFiles/dm_stats.dir/dockmine/stats/sampling.cpp.o.d"
+  "/root/repo/src/dockmine/stats/summary.cpp" "src/CMakeFiles/dm_stats.dir/dockmine/stats/summary.cpp.o" "gcc" "src/CMakeFiles/dm_stats.dir/dockmine/stats/summary.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

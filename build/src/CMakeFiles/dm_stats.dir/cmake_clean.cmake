@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dm_stats.dir/dockmine/stats/cdf.cpp.o"
+  "CMakeFiles/dm_stats.dir/dockmine/stats/cdf.cpp.o.d"
+  "CMakeFiles/dm_stats.dir/dockmine/stats/distributions.cpp.o"
+  "CMakeFiles/dm_stats.dir/dockmine/stats/distributions.cpp.o.d"
+  "CMakeFiles/dm_stats.dir/dockmine/stats/histogram.cpp.o"
+  "CMakeFiles/dm_stats.dir/dockmine/stats/histogram.cpp.o.d"
+  "CMakeFiles/dm_stats.dir/dockmine/stats/sampling.cpp.o"
+  "CMakeFiles/dm_stats.dir/dockmine/stats/sampling.cpp.o.d"
+  "CMakeFiles/dm_stats.dir/dockmine/stats/summary.cpp.o"
+  "CMakeFiles/dm_stats.dir/dockmine/stats/summary.cpp.o.d"
+  "libdm_stats.a"
+  "libdm_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dm_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

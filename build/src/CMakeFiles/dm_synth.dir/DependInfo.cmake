@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dockmine/synth/calibration.cpp" "src/CMakeFiles/dm_synth.dir/dockmine/synth/calibration.cpp.o" "gcc" "src/CMakeFiles/dm_synth.dir/dockmine/synth/calibration.cpp.o.d"
+  "/root/repo/src/dockmine/synth/file_model.cpp" "src/CMakeFiles/dm_synth.dir/dockmine/synth/file_model.cpp.o" "gcc" "src/CMakeFiles/dm_synth.dir/dockmine/synth/file_model.cpp.o.d"
+  "/root/repo/src/dockmine/synth/generator.cpp" "src/CMakeFiles/dm_synth.dir/dockmine/synth/generator.cpp.o" "gcc" "src/CMakeFiles/dm_synth.dir/dockmine/synth/generator.cpp.o.d"
+  "/root/repo/src/dockmine/synth/layer_model.cpp" "src/CMakeFiles/dm_synth.dir/dockmine/synth/layer_model.cpp.o" "gcc" "src/CMakeFiles/dm_synth.dir/dockmine/synth/layer_model.cpp.o.d"
+  "/root/repo/src/dockmine/synth/lineage.cpp" "src/CMakeFiles/dm_synth.dir/dockmine/synth/lineage.cpp.o" "gcc" "src/CMakeFiles/dm_synth.dir/dockmine/synth/lineage.cpp.o.d"
+  "/root/repo/src/dockmine/synth/materialize.cpp" "src/CMakeFiles/dm_synth.dir/dockmine/synth/materialize.cpp.o" "gcc" "src/CMakeFiles/dm_synth.dir/dockmine/synth/materialize.cpp.o.d"
+  "/root/repo/src/dockmine/synth/popularity.cpp" "src/CMakeFiles/dm_synth.dir/dockmine/synth/popularity.cpp.o" "gcc" "src/CMakeFiles/dm_synth.dir/dockmine/synth/popularity.cpp.o.d"
+  "/root/repo/src/dockmine/synth/versions.cpp" "src/CMakeFiles/dm_synth.dir/dockmine/synth/versions.cpp.o" "gcc" "src/CMakeFiles/dm_synth.dir/dockmine/synth/versions.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dm_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dm_digest.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dm_tar.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dm_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dm_filetype.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dm_registry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dm_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dm_blob.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dm_http.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

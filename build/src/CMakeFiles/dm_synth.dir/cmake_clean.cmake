@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dm_synth.dir/dockmine/synth/calibration.cpp.o"
+  "CMakeFiles/dm_synth.dir/dockmine/synth/calibration.cpp.o.d"
+  "CMakeFiles/dm_synth.dir/dockmine/synth/file_model.cpp.o"
+  "CMakeFiles/dm_synth.dir/dockmine/synth/file_model.cpp.o.d"
+  "CMakeFiles/dm_synth.dir/dockmine/synth/generator.cpp.o"
+  "CMakeFiles/dm_synth.dir/dockmine/synth/generator.cpp.o.d"
+  "CMakeFiles/dm_synth.dir/dockmine/synth/layer_model.cpp.o"
+  "CMakeFiles/dm_synth.dir/dockmine/synth/layer_model.cpp.o.d"
+  "CMakeFiles/dm_synth.dir/dockmine/synth/lineage.cpp.o"
+  "CMakeFiles/dm_synth.dir/dockmine/synth/lineage.cpp.o.d"
+  "CMakeFiles/dm_synth.dir/dockmine/synth/materialize.cpp.o"
+  "CMakeFiles/dm_synth.dir/dockmine/synth/materialize.cpp.o.d"
+  "CMakeFiles/dm_synth.dir/dockmine/synth/popularity.cpp.o"
+  "CMakeFiles/dm_synth.dir/dockmine/synth/popularity.cpp.o.d"
+  "CMakeFiles/dm_synth.dir/dockmine/synth/versions.cpp.o"
+  "CMakeFiles/dm_synth.dir/dockmine/synth/versions.cpp.o.d"
+  "libdm_synth.a"
+  "libdm_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dm_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

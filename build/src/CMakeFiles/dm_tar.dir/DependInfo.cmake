@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dockmine/tar/header.cpp" "src/CMakeFiles/dm_tar.dir/dockmine/tar/header.cpp.o" "gcc" "src/CMakeFiles/dm_tar.dir/dockmine/tar/header.cpp.o.d"
+  "/root/repo/src/dockmine/tar/reader.cpp" "src/CMakeFiles/dm_tar.dir/dockmine/tar/reader.cpp.o" "gcc" "src/CMakeFiles/dm_tar.dir/dockmine/tar/reader.cpp.o.d"
+  "/root/repo/src/dockmine/tar/writer.cpp" "src/CMakeFiles/dm_tar.dir/dockmine/tar/writer.cpp.o" "gcc" "src/CMakeFiles/dm_tar.dir/dockmine/tar/writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

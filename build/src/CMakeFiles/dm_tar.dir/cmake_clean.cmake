@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dm_tar.dir/dockmine/tar/header.cpp.o"
+  "CMakeFiles/dm_tar.dir/dockmine/tar/header.cpp.o.d"
+  "CMakeFiles/dm_tar.dir/dockmine/tar/reader.cpp.o"
+  "CMakeFiles/dm_tar.dir/dockmine/tar/reader.cpp.o.d"
+  "CMakeFiles/dm_tar.dir/dockmine/tar/writer.cpp.o"
+  "CMakeFiles/dm_tar.dir/dockmine/tar/writer.cpp.o.d"
+  "libdm_tar.a"
+  "libdm_tar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dm_tar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dockmine/util/bytes.cpp" "src/CMakeFiles/dm_util.dir/dockmine/util/bytes.cpp.o" "gcc" "src/CMakeFiles/dm_util.dir/dockmine/util/bytes.cpp.o.d"
+  "/root/repo/src/dockmine/util/error.cpp" "src/CMakeFiles/dm_util.dir/dockmine/util/error.cpp.o" "gcc" "src/CMakeFiles/dm_util.dir/dockmine/util/error.cpp.o.d"
+  "/root/repo/src/dockmine/util/log.cpp" "src/CMakeFiles/dm_util.dir/dockmine/util/log.cpp.o" "gcc" "src/CMakeFiles/dm_util.dir/dockmine/util/log.cpp.o.d"
+  "/root/repo/src/dockmine/util/rng.cpp" "src/CMakeFiles/dm_util.dir/dockmine/util/rng.cpp.o" "gcc" "src/CMakeFiles/dm_util.dir/dockmine/util/rng.cpp.o.d"
+  "/root/repo/src/dockmine/util/thread_pool.cpp" "src/CMakeFiles/dm_util.dir/dockmine/util/thread_pool.cpp.o" "gcc" "src/CMakeFiles/dm_util.dir/dockmine/util/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

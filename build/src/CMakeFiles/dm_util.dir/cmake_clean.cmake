@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dm_util.dir/dockmine/util/bytes.cpp.o"
+  "CMakeFiles/dm_util.dir/dockmine/util/bytes.cpp.o.d"
+  "CMakeFiles/dm_util.dir/dockmine/util/error.cpp.o"
+  "CMakeFiles/dm_util.dir/dockmine/util/error.cpp.o.d"
+  "CMakeFiles/dm_util.dir/dockmine/util/log.cpp.o"
+  "CMakeFiles/dm_util.dir/dockmine/util/log.cpp.o.d"
+  "CMakeFiles/dm_util.dir/dockmine/util/rng.cpp.o"
+  "CMakeFiles/dm_util.dir/dockmine/util/rng.cpp.o.d"
+  "CMakeFiles/dm_util.dir/dockmine/util/thread_pool.cpp.o"
+  "CMakeFiles/dm_util.dir/dockmine/util/thread_pool.cpp.o.d"
+  "libdm_util.a"
+  "libdm_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dm_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

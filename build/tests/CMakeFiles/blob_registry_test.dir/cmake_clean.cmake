@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blob_registry_test.dir/blob_registry_test.cpp.o"
+  "CMakeFiles/blob_registry_test.dir/blob_registry_test.cpp.o.d"
+  "blob_registry_test"
+  "blob_registry_test.pdb"
+  "blob_registry_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blob_registry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataset_stats_test.dir/dataset_stats_test.cpp.o"
+  "CMakeFiles/dataset_stats_test.dir/dataset_stats_test.cpp.o.d"
+  "dataset_stats_test"
+  "dataset_stats_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataset_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/downloader_crawler_test.dir/downloader_crawler_test.cpp.o"
+  "CMakeFiles/downloader_crawler_test.dir/downloader_crawler_test.cpp.o.d"
+  "downloader_crawler_test"
+  "downloader_crawler_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/downloader_crawler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

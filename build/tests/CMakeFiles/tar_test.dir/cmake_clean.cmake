@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tar_test.dir/tar_test.cpp.o"
+  "CMakeFiles/tar_test.dir/tar_test.cpp.o.d"
+  "tar_test"
+  "tar_test.pdb"
+  "tar_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/dockmine_cli.cpp" "tools/CMakeFiles/dockmine.dir/dockmine_cli.cpp.o" "gcc" "tools/CMakeFiles/dockmine.dir/dockmine_cli.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dm_blob.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dm_crawler.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dm_downloader.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dm_dedup.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dm_analyzer.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dm_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dm_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dm_registry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dm_digest.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dm_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dm_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dm_tar.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dm_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dm_filetype.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dockmine.dir/dockmine_cli.cpp.o"
+  "CMakeFiles/dockmine.dir/dockmine_cli.cpp.o.d"
+  "dockmine"
+  "dockmine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dockmine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
