@@ -1,0 +1,95 @@
+// Ablation: what resilience costs and what it buys — the same pull
+// workload under increasing seeded fault rates, with and without the
+// ResilientSource decorator. Shows (a) the bare downloader losing images as
+// faults rise, (b) the resilient stack converging to the fault-free outcome,
+// and (c) the retry/backoff overhead it pays to get there. Backoff sleeps
+// run on a virtual clock so the table reports modeled backoff time without
+// slowing the bench.
+#include <atomic>
+#include <cstdio>
+#include <memory>
+
+#include "common.h"
+#include "dockmine/downloader/downloader.h"
+#include "dockmine/registry/faults.h"
+#include "dockmine/registry/resilient.h"
+#include "dockmine/synth/materialize.h"
+#include "dockmine/util/stopwatch.h"
+
+int main() {
+  using namespace dockmine;
+  const synth::Scale scale = core::scale_from_env(synth::Scale{250, 20170530});
+  std::cout << "snapshot: " << scale.repositories
+            << " repositories (light calibration, bytes mode)\n";
+  synth::HubModel hub(synth::Calibration::light(), scale);
+  registry::Service service;
+  synth::Materializer materializer(hub, 1);
+  if (auto pushed = materializer.populate(service); !pushed.ok()) {
+    std::fprintf(stderr, "%s\n", pushed.error().to_string().c_str());
+    return 1;
+  }
+  std::vector<std::string> repositories;
+  for (const auto& repo : hub.repositories()) repositories.push_back(repo.name);
+  const std::uint64_t downloadable = hub.downloadable_images();
+
+  auto clock = std::make_shared<std::atomic<double>>(0.0);
+  const registry::TimeSource virtual_time{
+      [clock] { return clock->load(); },
+      [clock](double ms) { clock->fetch_add(ms); }};
+
+  struct Row {
+    double transient;  ///< per-attempt transient fault probability
+    double corrupt;    ///< per-blob corruption probability
+  };
+  const Row rows[] = {{0.0, 0.0}, {0.05, 0.005}, {0.15, 0.01},
+                      {0.30, 0.02}, {0.50, 0.05}};
+
+  std::cout << "\n=== Ablation: fault rate vs pull completeness ===\n\n"
+            << "  faults  corrupt  stack      images        retries  "
+            << "backoff(s)  wall(s)\n";
+  for (const Row& row : rows) {
+    for (const bool resilient : {false, true}) {
+      registry::FaultSpec spec;
+      spec.seed = 20170530;
+      spec.p_unavailable = row.transient * 0.6;
+      spec.p_reset = row.transient * 0.4;
+      spec.p_truncate = row.corrupt * 0.5;
+      spec.p_bitflip = row.corrupt * 0.5;
+      registry::FaultySource faulty(service, spec);
+
+      registry::RetryPolicy retry;
+      retry.max_attempts = 8;
+      retry.base_delay_ms = 25.0;
+      retry.max_delay_ms = 2000.0;
+      registry::ResilientSource shield(faulty, retry, {}, spec.seed,
+                                       virtual_time);
+      registry::Source& source =
+          resilient ? static_cast<registry::Source&>(shield) : faulty;
+
+      downloader::Options options;
+      options.workers = 8;
+      downloader::Downloader downloader(source, options);
+      util::Stopwatch stopwatch;
+      const double backoff_before = clock->load();
+      const auto stats = downloader.run(repositories, nullptr);
+      const double wall = stopwatch.seconds();
+      const auto shield_stats = shield.stats();
+      std::printf("  %5.0f%%  %6.1f%%  %-9s  %5llu/%-6llu  %-7llu  %-10.1f  %.2f\n",
+                  row.transient * 100.0, row.corrupt * 100.0,
+                  resilient ? "resilient" : "bare",
+                  static_cast<unsigned long long>(stats.succeeded),
+                  static_cast<unsigned long long>(downloadable),
+                  static_cast<unsigned long long>(
+                      resilient ? shield_stats.retries : stats.retries),
+                  resilient ? (clock->load() - backoff_before) / 1000.0 : 0.0,
+                  wall);
+    }
+  }
+  std::cout << "\n  (images = repositories pulled completely / downloadable;\n"
+               "  backoff is modeled virtual-clock time, not wall time. Rows\n"
+               "  where requests exhaust their attempts — the 50% storm — can\n"
+               "  vary by a few retries across runs: a permanently failed\n"
+               "  shared layer makes the surviving image, and therefore the\n"
+               "  downstream fetch set, scheduling-dependent.)\n";
+  return 0;
+}

@@ -87,6 +87,42 @@ void print_cdf(std::ostream& os, const std::string& caption,
   os << "max=" << fmt(cdf.max()) << '\n';
 }
 
+void print_download_stats(std::ostream& os,
+                          const downloader::DownloadStats& stats) {
+  os << "  Download outcome (attempted=" << util::format_count(stats.attempted)
+     << ")\n"
+     << "    succeeded=" << util::format_count(stats.succeeded)
+     << "  resumed=" << util::format_count(stats.repos_resumed)
+     << "  failed: auth=" << util::format_count(stats.failed_auth)
+     << " no_tag=" << util::format_count(stats.failed_no_tag)
+     << " missing=" << util::format_count(stats.failed_missing)
+     << " digest=" << util::format_count(stats.failed_digest)
+     << " other=" << util::format_count(stats.failed_other) << '\n'
+     << "    layers: fetched=" << util::format_count(stats.layers_fetched)
+     << " deduped=" << util::format_count(stats.layers_deduped)
+     << " resumed=" << util::format_count(stats.layers_resumed)
+     << " digest_refetches=" << util::format_count(stats.retries) << '\n'
+     << "    bytes: downloaded=" << util::format_bytes(stats.bytes_downloaded)
+     << " discarded=" << util::format_bytes(stats.bytes_discarded) << "  wall="
+     << stats.wall_seconds << "s\n";
+}
+
+void print_resilience(std::ostream& os, const registry::ResilienceStats& stats) {
+  os << "  Resilience (requests=" << util::format_count(stats.requests)
+     << ")\n"
+     << "    attempts=" << util::format_count(stats.attempts)
+     << "  retries=" << util::format_count(stats.retries)
+     << "  successes=" << util::format_count(stats.successes)
+     << "  permanent_failures=" << util::format_count(stats.permanent_failures)
+     << '\n'
+     << "    gave_up: attempts=" << util::format_count(stats.attempts_exhausted)
+     << " budget=" << util::format_count(stats.budget_exhausted) << '\n'
+     << "    breaker: opens=" << util::format_count(stats.breaker_opens)
+     << " closes=" << util::format_count(stats.breaker_closes)
+     << " rejections=" << util::format_count(stats.breaker_rejections) << '\n'
+     << "    backoff_total=" << stats.backoff_ms << "ms\n";
+}
+
 void print_histogram(std::ostream& os, const std::string& caption,
                      const stats::LinearHistogram& hist,
                      const ValueFormatter& fmt) {

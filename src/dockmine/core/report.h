@@ -8,6 +8,8 @@
 #include <string>
 #include <vector>
 
+#include "dockmine/downloader/downloader.h"
+#include "dockmine/registry/resilient.h"
 #include "dockmine/stats/cdf.h"
 #include "dockmine/stats/histogram.h"
 
@@ -51,5 +53,16 @@ void print_cdf(std::ostream& os, const std::string& caption,
 void print_histogram(std::ostream& os, const std::string& caption,
                      const stats::LinearHistogram& hist,
                      const ValueFormatter& fmt);
+
+/// Download-stage outcome panel: per-bucket repository accounting (the
+/// paper's §III-B failure taxonomy plus the hardened classes) and transfer
+/// economy, including digest re-fetches and checkpoint resumes.
+void print_download_stats(std::ostream& os,
+                          const downloader::DownloadStats& stats);
+
+/// Resilience panel for a run behind registry::ResilientSource: retry,
+/// backoff, budget, and circuit-breaker counters.
+void print_resilience(std::ostream& os,
+                      const registry::ResilienceStats& stats);
 
 }  // namespace dockmine::core

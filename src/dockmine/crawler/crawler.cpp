@@ -9,8 +9,27 @@ void Crawler::crawl_into(const std::string& query, bool officials_only,
   std::unordered_set<std::string> seen(result.repositories.begin(),
                                        result.repositories.end());
   for (std::uint64_t page_no = 0;; ++page_no) {
-    const registry::SearchPage page =
-        index_.page(query, page_no, page_size_);
+    registry::SearchPage page;
+    bool fetched = false;
+    for (int attempt = 1; attempt <= max_page_attempts_; ++attempt) {
+      auto fetched_page = index_.try_page(query, page_no, page_size_);
+      if (fetched_page.ok()) {
+        page = std::move(fetched_page).value();
+        fetched = true;
+        break;
+      }
+      if (!fetched_page.error().retryable() ||
+          attempt == max_page_attempts_) {
+        break;
+      }
+      ++result.pages_retried;
+    }
+    if (!fetched) {
+      // Without this page we cannot trust has_next; abort the query so the
+      // truncation is explicit instead of an undetectably shorter crawl.
+      ++result.pages_failed;
+      return;
+    }
     ++result.pages_fetched;
     for (const registry::SearchHit& hit : page.hits) {
       if (officials_only && hit.repository.find('/') != std::string::npos) {

@@ -6,6 +6,12 @@
 // names. Raw hits contain duplicates (Docker Hub indexing artifacts); the
 // crawler deduplicates — the paper went from 634,412 raw hits to 457,627
 // distinct repositories.
+//
+// Pages that fail with a *transient* error (503, timeout, reset — the
+// staple diet of a weeks-long crawl against a public service) are retried
+// up to a bounded number of attempts; permanent errors and exhausted
+// retries abort the query and are counted, so a truncated crawl is visible
+// in the result rather than silently shorter.
 #pragma once
 
 #include <cstdint>
@@ -21,13 +27,18 @@ struct CrawlResult {
   std::uint64_t raw_hits = 0;
   std::uint64_t duplicates_removed = 0;
   std::uint64_t pages_fetched = 0;
+  std::uint64_t pages_retried = 0;   ///< extra attempts after transient errors
+  std::uint64_t pages_failed = 0;    ///< pages abandoned (aborts the query)
 };
 
 class Crawler {
  public:
   explicit Crawler(const registry::SearchBackend& index,
-                   std::size_t page_size = 100)
-      : index_(index), page_size_(page_size) {}
+                   std::size_t page_size = 100,
+                   int max_page_attempts = 4)
+      : index_(index),
+        page_size_(page_size),
+        max_page_attempts_(max_page_attempts) {}
 
   /// Enumerate repositories matching `query` (see SearchIndex::page).
   CrawlResult crawl(const std::string& query) const;
@@ -42,6 +53,7 @@ class Crawler {
 
   const registry::SearchBackend& index_;
   std::size_t page_size_;
+  int max_page_attempts_;
 };
 
 }  // namespace dockmine::crawler

@@ -6,14 +6,49 @@
 
 namespace dockmine::downloader {
 
+util::Result<blob::BlobPtr> Downloader::acquire_layer(
+    const digest::Digest& digest) {
+  // Checkpointed layers were verified before being admitted; reloading them
+  // costs disk I/O, not registry traffic.
+  if (options_.checkpoint != nullptr && options_.checkpoint->has_layer(digest)) {
+    auto restored = options_.checkpoint->layer(digest);
+    if (restored.ok()) {
+      layers_resumed_.fetch_add(1, std::memory_order_relaxed);
+      return restored;
+    }
+    // Checkpoint store unreadable: fall through to a normal transfer.
+  }
+
+  for (int transfer = 1;; ++transfer) {
+    auto blob = service_.fetch_blob(digest);
+    if (!blob.ok()) return blob;
+    if (options_.verify_digests &&
+        digest::Digest::of(*blob.value()) != digest) {
+      // Truncated or bit-flipped in flight. One silent re-fetch, as the
+      // paper's downloader did; a second mismatch means the upstream copy
+      // itself is bad and retrying cannot help.
+      bytes_discarded_.fetch_add(blob.value()->size(),
+                                 std::memory_order_relaxed);
+      if (transfer >= 2) {
+        return util::corrupt("digest mismatch for layer " + digest.short_hex());
+      }
+      digest_retries_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    bytes_fetched_.fetch_add(blob.value()->size(), std::memory_order_relaxed);
+    blobs_fetched_.fetch_add(1, std::memory_order_relaxed);
+    if (options_.checkpoint != nullptr) {
+      // Best effort: a failed checkpoint write only costs a future re-fetch.
+      (void)options_.checkpoint->put_layer(digest, *blob.value());
+    }
+    return blob;
+  }
+}
+
 util::Result<blob::BlobPtr> Downloader::fetch_layer(
     const digest::Digest& digest) {
   if (!options_.dedup_unique_layers) {
-    auto blob = service_.fetch_blob(digest);
-    if (!blob.ok()) return blob;
-    bytes_fetched_.fetch_add(blob.value()->size(), std::memory_order_relaxed);
-    blobs_fetched_.fetch_add(1, std::memory_order_relaxed);
-    return blob;
+    return acquire_layer(digest);
   }
 
   {
@@ -30,15 +65,14 @@ util::Result<blob::BlobPtr> Downloader::fetch_layer(
     }
   }
 
-  auto blob = service_.fetch_blob(digest);
+  auto blob = acquire_layer(digest);
   {
     std::lock_guard lock(cache_mutex_);
     in_flight_.erase(digest);
     if (blob.ok()) {
+      // Only verified blobs enter the cache, so a corrupt transfer can
+      // never be replayed to other images sharing the layer.
       layer_cache_.emplace(digest, blob.value());
-      bytes_fetched_.fetch_add(blob.value()->size(),
-                               std::memory_order_relaxed);
-      blobs_fetched_.fetch_add(1, std::memory_order_relaxed);
     }
   }
   cache_cv_.notify_all();
@@ -78,26 +112,49 @@ DownloadStats Downloader::run(
   const std::uint64_t cache_hits_before = cache_hits_.load();
   const std::uint64_t bytes_before = bytes_fetched_.load();
   const std::uint64_t blobs_before = blobs_fetched_.load();
+  const std::uint64_t discarded_before = bytes_discarded_.load();
+  const std::uint64_t digest_retries_before = digest_retries_.load();
+  const std::uint64_t resumed_before = layers_resumed_.load();
 
   std::mutex stats_mutex;  // also serializes sink
   util::Stopwatch clock;
   util::ThreadPool pool(options_.workers);
   util::parallel_for(pool, 0, repositories.size(), /*grain=*/1,
                      [&](std::size_t i) {
+    if (options_.checkpoint != nullptr &&
+        options_.checkpoint->repo_done(repositories[i])) {
+      std::lock_guard lock(stats_mutex);
+      ++stats.repos_resumed;
+      return;
+    }
     auto image = fetch_image(repositories[i]);
+    if (image.ok() && options_.checkpoint != nullptr) {
+      (void)options_.checkpoint->mark_repo_done(repositories[i]);
+    }
     std::lock_guard lock(stats_mutex);
     if (!image.ok()) {
-      switch (image.error().code()) {
+      // Each attempted repository lands in exactly one failure bucket —
+      // transient errors retried (below us) into success never show here.
+      const util::Error& error = image.error();
+      switch (error.code()) {
         case util::ErrorCode::kUnauthorized:
           ++stats.failed_auth;
           break;
         case util::ErrorCode::kNotFound: {
           // Distinguish unknown repo from missing tag by the message the
           // service produced.
-          if (image.error().message().find("has no tag") != std::string::npos) {
+          if (error.message().find("has no tag") != std::string::npos) {
             ++stats.failed_no_tag;
           } else {
             ++stats.failed_missing;
+          }
+          break;
+        }
+        case util::ErrorCode::kCorrupt: {
+          if (error.message().find("digest mismatch") != std::string::npos) {
+            ++stats.failed_digest;
+          } else {
+            ++stats.failed_other;
           }
           break;
         }
@@ -114,6 +171,9 @@ DownloadStats Downloader::run(
   stats.layers_deduped = cache_hits_.load() - cache_hits_before;
   stats.bytes_downloaded = bytes_fetched_.load() - bytes_before;
   stats.layers_fetched = blobs_fetched_.load() - blobs_before;
+  stats.bytes_discarded = bytes_discarded_.load() - discarded_before;
+  stats.retries = digest_retries_.load() - digest_retries_before;
+  stats.layers_resumed = layers_resumed_.load() - resumed_before;
   stats.wall_seconds = clock.seconds();
   return stats;
 }

@@ -5,8 +5,19 @@
 // Like the paper's downloader it (a) downloads multiple images
 // simultaneously, (b) fetches the layers of an image in parallel, and
 // (c) downloads each unique layer only once across the whole run. Failure
-// accounting reproduces the paper's two classes: authentication required
-// (13% of failures) and missing `latest` tag (87%).
+// accounting reproduces the paper's two permanent classes: authentication
+// required (13% of failures) and missing `latest` tag (87%).
+//
+// Hardening (the properties that kept the paper's weeks-long crawl alive):
+//   * every fetched blob is verified against its manifest digest before it
+//     is cached, checkpointed, or delivered — a mismatched transfer is
+//     re-fetched once, then reported as a digest failure;
+//   * with a Checkpoint attached, completed repositories are skipped on
+//     restart and verified layers are reloaded from disk instead of
+//     re-transferred;
+//   * wrap the source in registry::ResilientSource to add retry/backoff
+//     and circuit breaking below this layer (decorators compose:
+//     Downloader -> ResilientSource -> FaultySource -> Service).
 #pragma once
 
 #include <atomic>
@@ -20,6 +31,7 @@
 #include <vector>
 
 #include "dockmine/blob/store.h"
+#include "dockmine/downloader/checkpoint.h"
 #include "dockmine/registry/service.h"
 #include "dockmine/util/error.h"
 
@@ -30,6 +42,12 @@ struct Options {
   std::string tag = "latest";
   bool authenticated = false;       ///< present a token (disables 401s)
   bool dedup_unique_layers = true;  ///< skip layers fetched earlier
+  /// Verify each fetched blob hashes to its manifest digest; one silent
+  /// re-fetch on mismatch. Registry blobs are content-addressed, so this is
+  /// on by default; turn off only for sources serving synthetic digests.
+  bool verify_digests = true;
+  /// Optional crash/resume record; not owned, must outlive the run.
+  Checkpoint* checkpoint = nullptr;
 };
 
 /// A fully fetched image: parsed manifest plus one blob per manifest layer
@@ -45,18 +63,31 @@ struct DownloadStats {
   std::uint64_t failed_auth = 0;      ///< 401
   std::uint64_t failed_no_tag = 0;    ///< 404 (repo exists, tag missing)
   std::uint64_t failed_missing = 0;   ///< 404 (repo unknown)
+  std::uint64_t failed_digest = 0;    ///< blob never hashed to its digest
   std::uint64_t failed_other = 0;
-  std::uint64_t layers_fetched = 0;   ///< actual blob transfers
-  std::uint64_t layers_deduped = 0;   ///< skipped: already fetched
-  std::uint64_t bytes_downloaded = 0;  ///< actual transfer (dedup'd layers
-                                       ///< are not re-counted)
+  std::uint64_t repos_resumed = 0;    ///< skipped: checkpoint says complete
+  std::uint64_t layers_fetched = 0;   ///< verified blob transfers
+  std::uint64_t layers_deduped = 0;   ///< skipped: already fetched this run
+  std::uint64_t layers_resumed = 0;   ///< loaded from the checkpoint store
+  std::uint64_t retries = 0;          ///< re-fetches after a digest mismatch
+  std::uint64_t bytes_downloaded = 0;  ///< verified transfer bytes (dedup'd
+                                       ///< and resumed layers not counted)
+  std::uint64_t bytes_discarded = 0;  ///< transfer bytes thrown away because
+                                      ///< the blob failed verification
   double wall_seconds = 0.0;
+
+  /// Every attempted repository lands in exactly one bucket.
+  std::uint64_t accounted() const noexcept {
+    return succeeded + failed_auth + failed_no_tag + failed_missing +
+           failed_digest + failed_other + repos_resumed;
+  }
 };
 
 class Downloader {
  public:
-  /// Works against any registry source: the in-process Service or a
-  /// RemoteRegistry speaking HTTP.
+  /// Works against any registry source: the in-process Service, a
+  /// RemoteRegistry speaking HTTP, or either behind ResilientSource /
+  /// FaultySource decorators.
   Downloader(registry::Source& source, Options options = {})
       : service_(source), options_(options) {}
 
@@ -76,6 +107,10 @@ class Downloader {
   /// semantics: concurrent requests for one digest produce one transfer.
   util::Result<blob::BlobPtr> fetch_layer(const digest::Digest& digest);
 
+  /// One verified acquisition from checkpoint or network: transfer, check
+  /// the hash, re-fetch once on mismatch, persist to the checkpoint.
+  util::Result<blob::BlobPtr> acquire_layer(const digest::Digest& digest);
+
   registry::Source& service_;
   Options options_;
   std::mutex cache_mutex_;
@@ -86,6 +121,9 @@ class Downloader {
   std::atomic<std::uint64_t> cache_hits_{0};
   std::atomic<std::uint64_t> bytes_fetched_{0};
   std::atomic<std::uint64_t> blobs_fetched_{0};
+  std::atomic<std::uint64_t> bytes_discarded_{0};
+  std::atomic<std::uint64_t> digest_retries_{0};
+  std::atomic<std::uint64_t> layers_resumed_{0};
 };
 
 }  // namespace dockmine::downloader

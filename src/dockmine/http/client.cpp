@@ -15,10 +15,22 @@ util::Result<Response> Client::round_trip(Socket& connection,
     auto bytes = connection.read_some();
     if (!bytes.ok()) return std::move(bytes).error();
     if (bytes.value().empty()) {
-      return util::corrupt("connection closed mid-response");
+      // Peer closed with a response outstanding: a torn connection, not a
+      // malformed message — retryable, unlike a parse failure.
+      return util::reset("connection closed mid-response");
     }
     reader.feed(bytes.value());
   }
+}
+
+util::Result<Socket> Client::dial() {
+  auto dialed = Socket::connect_loopback(port_);
+  if (!dialed.ok()) return dialed;
+  if (options_.timeout_ms != 0) {
+    auto deadline = dialed.value().set_timeout_ms(options_.timeout_ms);
+    if (!deadline.ok()) return deadline.error();
+  }
+  return dialed;
 }
 
 util::Result<Response> Client::request(const Request& request) {
@@ -31,20 +43,27 @@ util::Result<Response> Client::request(const Request& request) {
       idle_.pop_back();
     }
   }
-  bool fresh = false;
-  if (!connection.valid()) {
-    auto dialed = Socket::connect_loopback(port_);
+  bool pooled = connection.valid();
+  if (!pooled) {
+    auto dialed = dial();
     if (!dialed.ok()) return std::move(dialed).error();
     connection = std::move(dialed).value();
-    fresh = true;
   }
 
   auto response = round_trip(connection, request);
-  if (!response.ok() && !fresh) {
-    // Stale keep-alive connection: dial once and retry.
-    auto dialed = Socket::connect_loopback(port_);
+  // A pooled connection may have gone stale (server-side keep-alive close);
+  // on failure, dial fresh connections up to the configured bound. A timeout
+  // is not retried here — the deadline already elapsed once, and the caller's
+  // retry policy owns how much longer to wait.
+  std::uint32_t redials = 0;
+  while (!response.ok() && pooled &&
+         response.error().code() != util::ErrorCode::kTimeout &&
+         redials < options_.max_redials) {
+    ++redials;
+    auto dialed = dial();
     if (!dialed.ok()) return std::move(dialed).error();
     connection = std::move(dialed).value();
+    pooled = false;  // fresh connection: a second failure is genuine
     response = round_trip(connection, request);
   }
   if (response.ok()) {

@@ -1,6 +1,7 @@
 // Blocking HTTP/1.1 client with a keep-alive connection pool, safe for
 // concurrent callers (each request checks out a connection; broken
-// connections are re-dialed once).
+// connections are re-dialed a bounded number of times, each attempt under
+// an optional per-request deadline).
 #pragma once
 
 #include <cstdint>
@@ -12,19 +13,34 @@
 
 namespace dockmine::http {
 
+struct ClientOptions {
+  /// Socket send/recv deadline per request attempt; 0 disables. An elapsed
+  /// deadline returns ErrorCode::kTimeout (a retryable category), so a
+  /// resilient caller above this client composes cleanly.
+  std::uint32_t timeout_ms = 0;
+  /// How many fresh connections to dial after a failed attempt on a
+  /// (possibly stale) pooled connection. 1 reproduces the historical
+  /// "re-dial exactly once" behaviour.
+  std::uint32_t max_redials = 1;
+};
+
 class Client {
  public:
-  explicit Client(std::uint16_t port) : port_(port) {}
+  explicit Client(std::uint16_t port, ClientOptions options = {})
+      : port_(port), options_(options) {}
 
   /// Issue one request; thread-safe.
   util::Result<Response> request(const Request& request);
 
   std::uint16_t port() const noexcept { return port_; }
+  const ClientOptions& options() const noexcept { return options_; }
 
  private:
   util::Result<Response> round_trip(Socket& connection, const Request& request);
+  util::Result<Socket> dial();
 
   std::uint16_t port_;
+  ClientOptions options_;
   std::mutex pool_mutex_;
   std::vector<Socket> idle_;
 };

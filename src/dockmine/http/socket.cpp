@@ -4,6 +4,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -13,7 +14,17 @@ namespace dockmine::http {
 
 namespace {
 util::Error errno_error(const char* what) {
-  return util::internal(std::string(what) + ": " + std::strerror(errno));
+  const std::string detail = std::string(what) + ": " + std::strerror(errno);
+  // Classify into retry categories: deadline and torn-connection errors are
+  // transient (a later attempt may succeed), everything else is internal.
+  if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ETIMEDOUT) {
+    return util::timeout(detail);
+  }
+  if (errno == ECONNRESET || errno == EPIPE || errno == ECONNABORTED ||
+      errno == ECONNREFUSED) {
+    return util::reset(detail);
+  }
+  return util::internal(detail);
 }
 }  // namespace
 
@@ -24,6 +35,17 @@ Socket& Socket::operator=(Socket&& other) noexcept {
     other.fd_ = -1;
   }
   return *this;
+}
+
+util::Status Socket::set_timeout_ms(std::uint32_t timeout_ms) {
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = static_cast<suseconds_t>((timeout_ms % 1000) * 1000);
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv) != 0 ||
+      ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv) != 0) {
+    return errno_error("setsockopt(SO_*TIMEO)");
+  }
+  return util::Status::success();
 }
 
 util::Status Socket::write_all(std::string_view data) {
@@ -75,20 +97,21 @@ util::Result<Socket> Socket::connect_loopback(std::uint16_t port) {
 }
 
 util::Status Listener::bind_loopback(std::uint16_t port) {
-  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd_ < 0) return errno_error("socket");
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return errno_error("socket");
+  fd_.store(fd, std::memory_order_release);
   const int one = 1;
-  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(port);
-  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
     return errno_error("bind");
   }
-  if (::listen(fd_, 64) != 0) return errno_error("listen");
+  if (::listen(fd, 64) != 0) return errno_error("listen");
   socklen_t len = sizeof addr;
-  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
     return errno_error("getsockname");
   }
   port_ = ntohs(addr.sin_port);
@@ -97,7 +120,8 @@ util::Status Listener::bind_loopback(std::uint16_t port) {
 
 util::Result<Socket> Listener::accept_one() {
   for (;;) {
-    const int fd = ::accept(fd_, nullptr, nullptr);
+    const int fd = ::accept(fd_.load(std::memory_order_acquire), nullptr,
+                            nullptr);
     if (fd < 0) {
       if (errno == EINTR) continue;
       return errno_error("accept");
@@ -109,10 +133,10 @@ util::Result<Socket> Listener::accept_one() {
 }
 
 void Listener::close() noexcept {
-  if (fd_ >= 0) {
-    ::shutdown(fd_, SHUT_RDWR);
-    ::close(fd_);
-    fd_ = -1;
+  const int fd = fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
   }
 }
 

@@ -1,6 +1,7 @@
 // Thin RAII layer over POSIX TCP sockets (loopback-oriented).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -23,6 +24,12 @@ class Socket {
   bool valid() const noexcept { return fd_ >= 0; }
   int fd() const noexcept { return fd_; }
 
+  /// Deadline for each subsequent send/recv on this socket (SO_SNDTIMEO /
+  /// SO_RCVTIMEO). 0 disables. An elapsed deadline surfaces as
+  /// ErrorCode::kTimeout; a peer-dropped connection as kReset — both
+  /// retryable categories, so resilient callers can compose with this layer.
+  util::Status set_timeout_ms(std::uint32_t timeout_ms);
+
   /// Write the whole buffer (loops over partial writes).
   util::Status write_all(std::string_view data);
 
@@ -39,17 +46,19 @@ class Socket {
 };
 
 /// Listening socket bound to 127.0.0.1 on an ephemeral (or given) port.
+/// close() may be called from another thread to unblock accept_one() (the
+/// server's stop path), so the descriptor is atomic.
 class Listener {
  public:
   util::Status bind_loopback(std::uint16_t port = 0);
   util::Result<Socket> accept_one();
   std::uint16_t port() const noexcept { return port_; }
   void close() noexcept;
-  bool valid() const noexcept { return fd_ >= 0; }
+  bool valid() const noexcept { return fd_.load(std::memory_order_acquire) >= 0; }
   ~Listener() { close(); }
 
  private:
-  int fd_ = -1;
+  std::atomic<int> fd_{-1};
   std::uint16_t port_ = 0;
 };
 

@@ -1,0 +1,126 @@
+#include "dockmine/registry/faults.h"
+
+namespace dockmine::registry {
+
+void FaultInjector::fail_next(const std::string& key, int attempts,
+                              util::ErrorCode code) {
+  std::lock_guard lock(mutex_);
+  scripts_[key] = Script{attempts, code};
+}
+
+FaultInjector::Decision FaultInjector::next(const std::string& key,
+                                            bool corruptible) {
+  Decision decision;
+  std::uint64_t attempt = 0;
+  {
+    std::lock_guard lock(mutex_);
+    attempt = ++attempts_[key];
+    ++stats_.requests;
+    const auto it = scripts_.find(key);
+    if (it != scripts_.end() && it->second.remaining > 0) {
+      --it->second.remaining;
+      ++stats_.injected_scripted;
+      decision.fail = true;
+      decision.error =
+          util::Error(it->second.code, "scripted fault for '" + key + "'");
+      return decision;
+    }
+  }
+
+  // One independent stream per (seed, key, attempt): the fault sequence a
+  // key sees is a pure function of the seed, immune to thread interleaving.
+  std::uint64_t sm = spec_.seed;
+  sm ^= util::fnv1a64(key.data(), key.size());
+  sm ^= attempt * 0x9e3779b97f4a7c15ULL;
+  util::Rng rng(util::splitmix64(sm));
+
+  if (rng.chance(spec_.p_unavailable)) {
+    decision.fail = true;
+    decision.error = util::unavailable("injected 503 for '" + key + "'");
+  } else if (rng.chance(spec_.p_reset)) {
+    decision.fail = true;
+    decision.error = util::reset("injected connection reset for '" + key + "'");
+  } else {
+    if (rng.chance(spec_.p_slow)) decision.slow_ms = spec_.slow_ms;
+    if (corruptible) {
+      if (rng.chance(spec_.p_truncate)) {
+        decision.truncate = true;
+        decision.corrupt_at = rng();
+      } else if (rng.chance(spec_.p_bitflip)) {
+        decision.bitflip = true;
+        decision.corrupt_at = rng();
+      }
+    }
+  }
+
+  std::lock_guard lock(mutex_);
+  if (decision.fail) {
+    if (decision.error.code() == util::ErrorCode::kUnavailable) {
+      ++stats_.injected_unavailable;
+    } else {
+      ++stats_.injected_reset;
+    }
+  }
+  if (decision.slow_ms > 0.0) {
+    ++stats_.injected_slow;
+    stats_.slow_ms_total += decision.slow_ms;
+  }
+  if (decision.truncate) ++stats_.injected_truncate;
+  if (decision.bitflip) ++stats_.injected_bitflip;
+  return decision;
+}
+
+FaultStats FaultInjector::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+std::uint64_t FaultInjector::attempts(const std::string& key) const {
+  std::lock_guard lock(mutex_);
+  const auto it = attempts_.find(key);
+  return it == attempts_.end() ? 0 : it->second;
+}
+
+util::Result<std::string> FaultySource::fetch_manifest(
+    const std::string& repository, const std::string& tag,
+    bool authenticated) {
+  auto decision = injector_.next(repository + ":" + tag, /*corruptible=*/false);
+  if (decision.fail) return decision.error;
+  if (decision.slow_ms > 0.0 && slow_hook_) slow_hook_(decision.slow_ms);
+  return upstream_.fetch_manifest(repository, tag, authenticated);
+}
+
+util::Result<blob::BlobPtr> FaultySource::fetch_blob(
+    const digest::Digest& digest) {
+  auto decision = injector_.next(digest.to_string(), /*corruptible=*/true);
+  if (decision.fail) return decision.error;
+  if (decision.slow_ms > 0.0 && slow_hook_) slow_hook_(decision.slow_ms);
+  auto blob = upstream_.fetch_blob(digest);
+  if (!blob.ok() || blob.value()->empty()) return blob;
+
+  // Corruption is applied to a private copy: other holders of the upstream
+  // blob (the service's store, the downloader's cache) must not see it.
+  if (decision.truncate) {
+    const std::size_t keep = decision.corrupt_at % blob.value()->size();
+    return std::make_shared<const std::string>(blob.value()->substr(0, keep));
+  }
+  if (decision.bitflip) {
+    std::string copy(*blob.value());
+    const std::uint64_t bit = decision.corrupt_at % (copy.size() * 8);
+    copy[bit / 8] = static_cast<char>(copy[bit / 8] ^ (1u << (bit % 8)));
+    return std::make_shared<const std::string>(std::move(copy));
+  }
+  return blob;
+}
+
+util::Result<SearchPage> FaultySearchBackend::try_page(
+    const std::string& query, std::uint64_t page_number,
+    std::size_t page_size) const {
+  auto decision =
+      injector_.next("page:" + query + ":" + std::to_string(page_number),
+                     /*corruptible=*/false);
+  if (decision.fail) return decision.error;
+  return upstream_.try_page(query, page_number, page_size);
+}
+
+}  // namespace dockmine::registry

@@ -1,0 +1,170 @@
+// Fault injection for the registry pull path.
+//
+// The paper's crawl ran for weeks against a flaky public service; what made
+// the pipeline work was surviving the faults, not avoiding them. This file
+// supplies the faults on demand: `FaultySource` decorates any
+// `registry::Source` and injects seeded, fully deterministic transient
+// errors and data corruption, so chaos tests can assert exact convergence
+// ("same seed, same faults, same stats") instead of hoping a flaky network
+// shows up. Five fault classes are modeled:
+//
+//   unavailable  HTTP 500/503-style "try again later"   -> ErrorCode::kUnavailable
+//   reset        connection torn mid-exchange           -> ErrorCode::kReset
+//   slow         request served, but late (counted;     -> no error
+//                an optional hook can really stall)
+//   truncate     blob delivered with its tail missing   -> no error (digest catches)
+//   bitflip      blob delivered with one bit flipped    -> no error (digest catches)
+//
+// The last two corrupt *successfully delivered* content — the failure mode
+// "Docker Does Not Guarantee Reproducibility" (Malka et al.) warns about —
+// which is precisely why the downloader must verify every blob against its
+// manifest digest rather than trust the transport.
+//
+// Determinism: each (request key, attempt number) pair maps to an
+// independent RNG stream derived from the injector seed, so the fault
+// sequence for a key does not depend on thread interleaving or on requests
+// for other keys. Request keys are "<repository>:<tag>" for manifests and
+// the digest string for blobs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "dockmine/registry/search.h"
+#include "dockmine/registry/service.h"
+#include "dockmine/util/error.h"
+#include "dockmine/util/rng.h"
+
+namespace dockmine::registry {
+
+/// Per-fault-class injection probabilities, evaluated independently per
+/// attempt in the order: scripted, unavailable, reset, slow, truncate,
+/// bitflip. Corruption classes apply to blob fetches only (manifest bytes
+/// are parsed, not digest-verified, so corrupting them would model a
+/// failure class the real protocol detects differently).
+struct FaultSpec {
+  std::uint64_t seed = 1;
+  double p_unavailable = 0.0;  ///< 500/503-style transient refusal
+  double p_reset = 0.0;        ///< connection-reset-style transport error
+  double p_slow = 0.0;         ///< delivered, but slowly
+  double slow_ms = 250.0;      ///< modeled delay of one slow request
+  double p_truncate = 0.0;     ///< blob tail cut off (blob fetches only)
+  double p_bitflip = 0.0;      ///< one bit flipped (blob fetches only)
+};
+
+struct FaultStats {
+  std::uint64_t requests = 0;
+  std::uint64_t injected_unavailable = 0;
+  std::uint64_t injected_reset = 0;
+  std::uint64_t injected_slow = 0;
+  std::uint64_t injected_truncate = 0;
+  std::uint64_t injected_bitflip = 0;
+  std::uint64_t injected_scripted = 0;
+  double slow_ms_total = 0.0;
+
+  std::uint64_t total_injected() const noexcept {
+    return injected_unavailable + injected_reset + injected_truncate +
+           injected_bitflip + injected_scripted;
+  }
+};
+
+/// The decision engine: seeded probabilistic faults plus an exact script
+/// mode ("fail the first N attempts for key K") for tests that need precise
+/// failure placement. Thread-safe; shared by FaultySource and
+/// FaultySearchBackend.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultSpec spec = {}) : spec_(spec) {}
+
+  /// Script mode: the next `attempts` requests for `key` fail with `code`
+  /// (which should be a transient code unless the test wants a permanent
+  /// failure). Scripted faults take precedence over probabilistic ones.
+  void fail_next(const std::string& key, int attempts, util::ErrorCode code);
+
+  /// The outcome of one attempt for `key`.
+  struct Decision {
+    bool fail = false;
+    util::Error error;        ///< set when fail
+    bool truncate = false;    ///< deliver corrupted content (blobs only)
+    bool bitflip = false;
+    std::uint64_t corrupt_at = 0;  ///< byte/bit position selector
+    double slow_ms = 0.0;     ///< > 0: this request was slowed
+  };
+
+  /// Decide the fault for the next attempt of `key`. `corruptible` is true
+  /// for blob fetches. Deterministic per (seed, key, attempt index).
+  Decision next(const std::string& key, bool corruptible);
+
+  FaultStats stats() const;
+
+  /// Attempts observed for `key` so far (exposed for tests).
+  std::uint64_t attempts(const std::string& key) const;
+
+ private:
+  struct Script {
+    int remaining = 0;
+    util::ErrorCode code = util::ErrorCode::kUnavailable;
+  };
+
+  FaultSpec spec_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::uint64_t> attempts_;
+  std::unordered_map<std::string, Script> scripts_;
+  FaultStats stats_;
+};
+
+/// Source decorator injecting faults between a consumer (downloader,
+/// ResilientSource) and any upstream Source.
+class FaultySource : public Source {
+ public:
+  FaultySource(Source& upstream, FaultSpec spec = {})
+      : upstream_(upstream), injector_(spec) {}
+
+  util::Result<std::string> fetch_manifest(const std::string& repository,
+                                           const std::string& tag,
+                                           bool authenticated) override;
+  util::Result<blob::BlobPtr> fetch_blob(const digest::Digest& digest) override;
+
+  FaultInjector& injector() noexcept { return injector_; }
+  FaultStats stats() const { return injector_.stats(); }
+
+  /// Optional hook invoked for slow requests with the modeled delay; by
+  /// default slow requests are only counted, keeping tests fast.
+  void set_slow_hook(std::function<void(double)> hook) {
+    slow_hook_ = std::move(hook);
+  }
+
+ private:
+  Source& upstream_;
+  FaultInjector injector_;
+  std::function<void(double)> slow_hook_;
+};
+
+/// SearchBackend decorator for crawler chaos tests: injects transient
+/// errors into the fallible page path. Keys are "page:<query>:<number>".
+class FaultySearchBackend : public SearchBackend {
+ public:
+  FaultySearchBackend(const SearchBackend& upstream, FaultSpec spec = {})
+      : upstream_(upstream), injector_(spec) {}
+
+  SearchPage page(const std::string& query, std::uint64_t page_number,
+                  std::size_t page_size) const override {
+    return upstream_.page(query, page_number, page_size);
+  }
+
+  util::Result<SearchPage> try_page(const std::string& query,
+                                    std::uint64_t page_number,
+                                    std::size_t page_size) const override;
+
+  FaultInjector& injector() noexcept { return injector_; }
+  FaultStats stats() const { return injector_.stats(); }
+
+ private:
+  const SearchBackend& upstream_;
+  mutable FaultInjector injector_;
+};
+
+}  // namespace dockmine::registry

@@ -223,6 +223,10 @@ util::Result<std::string> RemoteRegistry::fetch_manifest(
     case 401: return util::unauthorized(error_message(response.value()));
     case 404: return util::not_found(error_message(response.value()));
     default:
+      if (response.value().status >= 500) {
+        return util::unavailable("manifest fetch: " +
+                                 error_message(response.value()));
+      }
       return util::internal("manifest fetch failed: " +
                             error_message(response.value()));
   }
@@ -232,6 +236,9 @@ util::Result<blob::BlobPtr> RemoteRegistry::fetch_blob(
     const digest::Digest& digest) {
   auto response = get("/v2/any/blobs/" + digest.to_string(), false);
   if (!response.ok()) return std::move(response).error();
+  if (response.value().status >= 500) {
+    return util::unavailable("blob fetch: " + error_message(response.value()));
+  }
   if (response.value().status != 200) {
     return util::not_found(error_message(response.value()));
   }
@@ -242,15 +249,33 @@ util::Result<blob::BlobPtr> RemoteRegistry::fetch_blob(
 SearchPage RemoteRegistry::page(const std::string& query,
                                 std::uint64_t page_number,
                                 std::size_t page_size) const {
+  auto result = try_page(query, page_number, page_size);
+  if (result.ok()) return std::move(result).value();
+  SearchPage out;
+  out.page_number = page_number;
+  return out;
+}
+
+util::Result<SearchPage> RemoteRegistry::try_page(const std::string& query,
+                                                  std::uint64_t page_number,
+                                                  std::size_t page_size) const {
   SearchPage out;
   out.page_number = page_number;
   auto response = get("/v1/search?q=" + query +
                           "&page=" + std::to_string(page_number) +
                           "&page_size=" + std::to_string(page_size),
                       false);
-  if (!response.ok() || response.value().status != 200) return out;
+  if (!response.ok()) return std::move(response).error();
+  if (response.value().status >= 500) {
+    return util::unavailable("search: http status " +
+                             std::to_string(response.value().status));
+  }
+  if (response.value().status != 200) {
+    return util::not_found("search: http status " +
+                           std::to_string(response.value().status));
+  }
   auto doc = json::parse(response.value().body);
-  if (!doc.ok()) return out;
+  if (!doc.ok()) return std::move(doc).error();
   out.has_next = doc.value()["has_next"].as_bool();
   for (const json::Value& entry : doc.value()["results"].items()) {
     out.hits.push_back(SearchHit{entry["name"].as_string(),

@@ -61,8 +61,9 @@ class HttpGateway {
 /// protocol over a keep-alive connection pool. Thread-safe.
 class RemoteRegistry : public Source, public SearchBackend {
  public:
-  explicit RemoteRegistry(std::uint16_t port, std::string bearer_token = "")
-      : client_(port), token_(std::move(bearer_token)) {}
+  explicit RemoteRegistry(std::uint16_t port, std::string bearer_token = "",
+                          http::ClientOptions client_options = {})
+      : client_(port, client_options), token_(std::move(bearer_token)) {}
 
   util::Result<std::string> fetch_manifest(const std::string& repository,
                                            const std::string& tag,
@@ -78,6 +79,13 @@ class RemoteRegistry : public Source, public SearchBackend {
 
   SearchPage page(const std::string& query, std::uint64_t page_number,
                   std::size_t page_size) const override;
+
+  /// Fallible page fetch: surfaces transport errors (timeout, reset) and
+  /// maps 5xx to kUnavailable so the crawler's retry loop composes with
+  /// real HTTP.
+  util::Result<SearchPage> try_page(const std::string& query,
+                                    std::uint64_t page_number,
+                                    std::size_t page_size) const override;
 
   /// GET /v2/ liveness check.
   util::Status ping();

@@ -1,0 +1,189 @@
+#include "dockmine/registry/resilient.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+namespace dockmine::registry {
+
+double decorrelated_jitter(double base_ms, double cap_ms, double prev_ms,
+                           util::Rng& rng) noexcept {
+  const double anchor = prev_ms > 0.0 ? prev_ms : base_ms;
+  const double hi = std::max(base_ms, 3.0 * anchor);
+  const double drawn = base_ms + (hi - base_ms) * rng.uniform01();
+  return std::min(cap_ms, drawn);
+}
+
+TimeSource TimeSource::real() {
+  return TimeSource{
+      [] {
+        return std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now().time_since_epoch())
+            .count();
+      },
+      [](double ms) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(ms));
+      }};
+}
+
+bool CircuitBreaker::allow(double now_ms) {
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (now_ms >= open_until_ms_) {
+        state_ = State::kHalfOpen;
+        half_open_successes_ = 0;
+        return true;
+      }
+      return false;
+    case State::kHalfOpen:
+      return true;
+  }
+  return true;
+}
+
+bool CircuitBreaker::on_success() {
+  consecutive_failures_ = 0;
+  if (state_ == State::kHalfOpen &&
+      ++half_open_successes_ >= policy_.close_threshold) {
+    state_ = State::kClosed;
+    return true;
+  }
+  return false;
+}
+
+bool CircuitBreaker::on_failure(double now_ms) {
+  ++consecutive_failures_;
+  if (state_ == State::kHalfOpen ||
+      (state_ == State::kClosed &&
+       consecutive_failures_ >= policy_.failure_threshold)) {
+    state_ = State::kOpen;
+    open_until_ms_ = now_ms + policy_.cooldown_ms;
+    return true;
+  }
+  return false;
+}
+
+CircuitBreaker& ResilientSource::breaker_locked(const std::string& scope) {
+  auto& slot = breakers_[scope];
+  if (!slot) slot = std::make_unique<CircuitBreaker>(breaker_policy_);
+  return *slot;
+}
+
+template <typename T>
+util::Result<T> ResilientSource::execute(
+    const std::string& key, const std::string& scope,
+    const std::function<util::Result<T>()>& attempt_fn) {
+  std::uint64_t call_no = 0;
+  {
+    std::lock_guard lock(mutex_);
+    ++stats_.requests;
+    call_no = ++calls_[key];
+  }
+  // Private backoff stream for this request chain.
+  std::uint64_t sm = seed_;
+  sm ^= util::fnv1a64(key.data(), key.size());
+  sm ^= call_no * 0x9e3779b97f4a7c15ULL;
+  util::Rng rng(util::splitmix64(sm));
+
+  util::Error last_error = util::internal("no attempt made");
+  double prev_delay_ms = 0.0;
+  for (int attempt = 1;; ++attempt) {
+    bool rejected = false;
+    {
+      std::lock_guard lock(mutex_);
+      if (!breaker_locked(scope).allow(time_.now_ms())) {
+        ++stats_.breaker_rejections;
+        rejected = true;
+      }
+    }
+    if (rejected) {
+      last_error = util::unavailable("circuit open for scope '" + scope + "'");
+    } else {
+      {
+        std::lock_guard lock(mutex_);
+        ++stats_.attempts;
+        if (attempt > 1) ++stats_.retries;
+      }
+      auto result = attempt_fn();
+      if (result.ok()) {
+        std::lock_guard lock(mutex_);
+        ++stats_.successes;
+        if (breaker_locked(scope).on_success()) ++stats_.breaker_closes;
+        return result;
+      }
+      last_error = std::move(result).error();
+      if (!last_error.retryable()) {
+        // A well-formed negative answer (401/404/...): the upstream is
+        // healthy, so the breaker is untouched and retrying is pointless.
+        std::lock_guard lock(mutex_);
+        ++stats_.permanent_failures;
+        return last_error;
+      }
+      std::lock_guard lock(mutex_);
+      if (breaker_locked(scope).on_failure(time_.now_ms())) {
+        ++stats_.breaker_opens;
+      }
+    }
+
+    if (attempt >= retry_.max_attempts) {
+      std::lock_guard lock(mutex_);
+      ++stats_.attempts_exhausted;
+      return last_error;
+    }
+    double delay_ms = 0.0;
+    {
+      std::lock_guard lock(mutex_);
+      if (!rejected) {
+        // Breaker rejections are free (no upstream traffic); real retries
+        // draw down the shared budget.
+        if (budget_spent_ >= retry_.retry_budget) {
+          ++stats_.budget_exhausted;
+          return last_error;
+        }
+        ++budget_spent_;
+      }
+      delay_ms = decorrelated_jitter(retry_.base_delay_ms, retry_.max_delay_ms,
+                                     prev_delay_ms, rng);
+      // Quantize to 1/1024 ms: dyadic values sum exactly, so the accumulated
+      // backoff_ms is independent of the order worker threads land here and
+      // same-seed runs report bit-identical stats.
+      delay_ms = std::round(delay_ms * 1024.0) / 1024.0;
+      stats_.backoff_ms += delay_ms;
+    }
+    prev_delay_ms = delay_ms;
+    time_.sleep_ms(delay_ms);
+  }
+}
+
+util::Result<std::string> ResilientSource::fetch_manifest(
+    const std::string& repository, const std::string& tag,
+    bool authenticated) {
+  return execute<std::string>(
+      "m:" + repository + ":" + tag, "repo/" + repository,
+      [&]() { return upstream_.fetch_manifest(repository, tag, authenticated); });
+}
+
+util::Result<blob::BlobPtr> ResilientSource::fetch_blob(
+    const digest::Digest& digest) {
+  return execute<blob::BlobPtr>("b:" + digest.to_string(), "blobs",
+                                [&]() { return upstream_.fetch_blob(digest); });
+}
+
+ResilienceStats ResilientSource::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+CircuitBreaker::State ResilientSource::breaker_state(
+    const std::string& scope) const {
+  std::lock_guard lock(mutex_);
+  const auto it = breakers_.find(scope);
+  return it == breakers_.end() ? CircuitBreaker::State::kClosed
+                               : it->second->state();
+}
+
+}  // namespace dockmine::registry

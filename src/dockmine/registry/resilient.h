@@ -1,0 +1,178 @@
+// Resilient registry client: the decorator that let the paper's crawl
+// survive weeks of a flaky public service.
+//
+// `ResilientSource` wraps any `registry::Source` and adds three layers of
+// defense, composed bottom-up:
+//
+//   1. Retry with capped exponential backoff + decorrelated jitter
+//      (next = min(cap, uniform(base, 3*prev)) — the AWS "decorrelated
+//      jitter" recipe, which avoids both thundering herds and the lock-step
+//      sleeps of plain exponential backoff). Only *transient* error
+//      categories (util::is_retryable) are retried; 401/404 are facts about
+//      the repository and returned immediately.
+//   2. Attempt limits: a per-request cap (`max_attempts`) and a global
+//      retry budget shared across all requests, so a systemically sick
+//      upstream cannot multiply the run's request volume unboundedly.
+//   3. A circuit breaker per scope (one per repository for manifest
+//      requests; one shared scope for blob fetches, whose V2 endpoint is
+//      repository-agnostic). After `failure_threshold` consecutive
+//      transient failures the breaker opens and requests fail fast with
+//      kUnavailable for `cooldown_ms`, then a half-open probe decides
+//      between closing and re-opening. A dead upstream thus degrades to
+//      cheap rejections instead of stalling every worker in backoff sleeps.
+//
+// Time is injectable (`TimeSource`) so tests and the chaos harness run the
+// whole machinery — backoff sleeps, breaker cooldowns — on a virtual clock
+// in microseconds of real time. All decisions draw from per-key RNG streams
+// derived from one seed, making two runs with the same seed produce
+// identical `ResilienceStats`.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "dockmine/registry/service.h"
+#include "dockmine/util/error.h"
+#include "dockmine/util/rng.h"
+
+namespace dockmine::registry {
+
+struct RetryPolicy {
+  int max_attempts = 5;           ///< per request, including the first
+  double base_delay_ms = 25.0;    ///< backoff lower bound
+  double max_delay_ms = 2000.0;   ///< backoff cap
+  /// Global retry allowance across the decorator's lifetime. When spent,
+  /// further failures return immediately (kExhausted). Sized for
+  /// crawl-scale runs by default.
+  std::uint64_t retry_budget = 1'000'000;
+};
+
+struct BreakerPolicy {
+  int failure_threshold = 8;      ///< consecutive transient failures to open
+  double cooldown_ms = 1000.0;    ///< open duration before half-open probe
+  int close_threshold = 1;        ///< half-open successes needed to close
+};
+
+struct ResilienceStats {
+  std::uint64_t requests = 0;           ///< calls into the decorator
+  std::uint64_t attempts = 0;           ///< upstream calls actually made
+  std::uint64_t retries = 0;            ///< attempts beyond the first
+  std::uint64_t successes = 0;
+  std::uint64_t permanent_failures = 0; ///< 401/404/...: returned untried
+  std::uint64_t attempts_exhausted = 0; ///< gave up: per-request cap
+  std::uint64_t budget_exhausted = 0;   ///< gave up: global budget
+  std::uint64_t breaker_rejections = 0; ///< failed fast while open
+  std::uint64_t breaker_opens = 0;
+  std::uint64_t breaker_closes = 0;
+  double backoff_ms = 0.0;              ///< total time spent backing off
+
+  friend bool operator==(const ResilienceStats& a,
+                         const ResilienceStats& b) noexcept {
+    return a.requests == b.requests && a.attempts == b.attempts &&
+           a.retries == b.retries && a.successes == b.successes &&
+           a.permanent_failures == b.permanent_failures &&
+           a.attempts_exhausted == b.attempts_exhausted &&
+           a.budget_exhausted == b.budget_exhausted &&
+           a.breaker_rejections == b.breaker_rejections &&
+           a.breaker_opens == b.breaker_opens &&
+           a.breaker_closes == b.breaker_closes &&
+           a.backoff_ms == b.backoff_ms;
+  }
+};
+
+/// Decorrelated-jitter backoff step: uniform in [base, 3*prev], capped.
+/// `prev_ms == 0` (first retry) yields uniform in [base, 3*base].
+double decorrelated_jitter(double base_ms, double cap_ms, double prev_ms,
+                           util::Rng& rng) noexcept;
+
+/// Injectable clock + sleep. The default wires the steady clock and a real
+/// thread sleep; tests substitute a virtual clock whose sleep() just
+/// advances now().
+struct TimeSource {
+  std::function<double()> now_ms;
+  std::function<void(double)> sleep_ms;
+  static TimeSource real();
+};
+
+/// Consecutive-failure circuit breaker (closed -> open -> half-open),
+/// exposed as its own class so state transitions are unit-testable without
+/// a Source underneath. Not internally synchronized; ResilientSource guards
+/// each instance with its state mutex.
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  explicit CircuitBreaker(BreakerPolicy policy = {}) : policy_(policy) {}
+
+  /// May this request proceed? Transitions open -> half-open once the
+  /// cooldown has elapsed.
+  bool allow(double now_ms);
+
+  /// Returns true when this success closed a half-open breaker.
+  bool on_success();
+
+  /// Returns true when this failure opened (or re-opened) the breaker.
+  bool on_failure(double now_ms);
+
+  State state() const noexcept { return state_; }
+
+ private:
+  BreakerPolicy policy_;
+  State state_ = State::kClosed;
+  int consecutive_failures_ = 0;
+  int half_open_successes_ = 0;
+  double open_until_ms_ = 0.0;
+};
+
+/// The resilient decorator. Thread-safe; a single instance serves the whole
+/// downloader worker pool.
+class ResilientSource : public Source {
+ public:
+  ResilientSource(Source& upstream, RetryPolicy retry = {},
+                  BreakerPolicy breaker = {}, std::uint64_t seed = 1,
+                  TimeSource time = TimeSource::real())
+      : upstream_(upstream),
+        retry_(retry),
+        breaker_policy_(breaker),
+        seed_(seed),
+        time_(std::move(time)) {}
+
+  util::Result<std::string> fetch_manifest(const std::string& repository,
+                                           const std::string& tag,
+                                           bool authenticated) override;
+  util::Result<blob::BlobPtr> fetch_blob(const digest::Digest& digest) override;
+
+  ResilienceStats stats() const;
+
+  /// Breaker state for a scope ("repo/<name>" or "blobs"); for tests and
+  /// operational introspection.
+  CircuitBreaker::State breaker_state(const std::string& scope) const;
+
+ private:
+  /// One request chain: retries + backoff for a single fetch_* call.
+  /// Backoff randomness is keyed by (seed, request key, per-key call
+  /// number), never by shared stream order, so ResilienceStats stay
+  /// bit-identical across thread interleavings.
+  template <typename T>
+  util::Result<T> execute(const std::string& key, const std::string& scope,
+                          const std::function<util::Result<T>()>& attempt_fn);
+
+  CircuitBreaker& breaker_locked(const std::string& scope);
+
+  Source& upstream_;
+  RetryPolicy retry_;
+  BreakerPolicy breaker_policy_;
+  std::uint64_t seed_;
+  TimeSource time_;
+  mutable std::mutex mutex_;  // guards maps, stats_, budget accounting
+  std::unordered_map<std::string, std::unique_ptr<CircuitBreaker>> breakers_;
+  std::unordered_map<std::string, std::uint64_t> calls_;  ///< per-key counter
+  ResilienceStats stats_;
+  std::uint64_t budget_spent_ = 0;
+};
+
+}  // namespace dockmine::registry

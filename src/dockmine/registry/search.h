@@ -36,6 +36,16 @@ class SearchBackend {
   virtual ~SearchBackend() = default;
   virtual SearchPage page(const std::string& query, std::uint64_t page_number,
                           std::size_t page_size) const = 0;
+
+  /// Fallible variant: backends with a transport underneath (RemoteRegistry,
+  /// FaultySearchBackend) surface transient errors here so the crawler can
+  /// retry a page instead of silently treating it as empty. The default
+  /// wraps the infallible in-process path.
+  virtual util::Result<SearchPage> try_page(const std::string& query,
+                                            std::uint64_t page_number,
+                                            std::size_t page_size) const {
+    return page(query, page_number, page_size);
+  }
 };
 
 class SearchIndex : public SearchBackend {

@@ -12,6 +12,9 @@ std::string_view to_string(ErrorCode code) noexcept {
     case ErrorCode::kOutOfRange: return "out_of_range";
     case ErrorCode::kExhausted: return "exhausted";
     case ErrorCode::kInternal: return "internal";
+    case ErrorCode::kUnavailable: return "unavailable";
+    case ErrorCode::kTimeout: return "timeout";
+    case ErrorCode::kReset: return "reset";
   }
   return "unknown";
 }

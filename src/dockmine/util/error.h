@@ -26,10 +26,37 @@ enum class ErrorCode : std::uint8_t {
   kOutOfRange,
   kExhausted,       ///< resource/capacity limit hit
   kInternal,
+  kUnavailable,     ///< upstream said "try later" (HTTP 500/503, breaker open)
+  kTimeout,         ///< request deadline elapsed
+  kReset,           ///< connection dropped mid-exchange (ECONNRESET-style)
 };
 
 /// Human-readable name of an ErrorCode ("not_found", ...).
 std::string_view to_string(ErrorCode code) noexcept;
+
+/// Whether a failure class is worth retrying. The split mirrors the paper's
+/// crawl reality: 401/404 are *facts about the repository* (permanent — the
+/// paper's two failure buckets), while 5xx/timeouts/resets are *facts about
+/// the moment* and went away on retry during the weeks-long run.
+enum class ErrorCategory : std::uint8_t {
+  kPermanent,  ///< retrying cannot change the outcome
+  kTransient,  ///< a later attempt may succeed
+};
+
+constexpr ErrorCategory category(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kUnavailable:
+    case ErrorCode::kTimeout:
+    case ErrorCode::kReset:
+      return ErrorCategory::kTransient;
+    default:
+      return ErrorCategory::kPermanent;
+  }
+}
+
+constexpr bool is_retryable(ErrorCode code) noexcept {
+  return category(code) == ErrorCategory::kTransient;
+}
 
 /// A failure: category plus a context message built at the failure site.
 class Error {
@@ -39,6 +66,8 @@ class Error {
       : code_(code), message_(std::move(message)) {}
 
   ErrorCode code() const noexcept { return code_; }
+  ErrorCategory category() const noexcept { return util::category(code_); }
+  bool retryable() const noexcept { return is_retryable(code_); }
   const std::string& message() const noexcept { return message_; }
 
   /// "not_found: no manifest for tag 'latest'"
@@ -115,6 +144,18 @@ inline Error out_of_range(std::string msg) {
 }
 inline Error internal(std::string msg) {
   return {ErrorCode::kInternal, std::move(msg)};
+}
+inline Error exhausted(std::string msg) {
+  return {ErrorCode::kExhausted, std::move(msg)};
+}
+inline Error unavailable(std::string msg) {
+  return {ErrorCode::kUnavailable, std::move(msg)};
+}
+inline Error timeout(std::string msg) {
+  return {ErrorCode::kTimeout, std::move(msg)};
+}
+inline Error reset(std::string msg) {
+  return {ErrorCode::kReset, std::move(msg)};
 }
 
 }  // namespace dockmine::util

@@ -82,9 +82,7 @@ TEST(DownloaderTest, StatsAccountForEveryAttempt) {
       });
 
   EXPECT_EQ(stats.attempted, repos.size());
-  EXPECT_EQ(stats.succeeded + stats.failed_auth + stats.failed_no_tag +
-                stats.failed_missing + stats.failed_other,
-            stats.attempted);
+  EXPECT_EQ(stats.accounted(), stats.attempted);
   EXPECT_EQ(stats.succeeded, fx.hub.downloadable_images());
   EXPECT_EQ(images.size(), stats.succeeded);
   EXPECT_EQ(stats.failed_missing, 0u);

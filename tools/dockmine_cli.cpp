@@ -145,9 +145,18 @@ int cmd_crawl(const Flags& flags) {
   const auto result = crawler.crawl_all();
   std::cout << result.repositories.size() << " repositories ("
             << result.raw_hits << " raw hits, " << result.duplicates_removed
-            << " duplicates, " << result.pages_fetched << " pages)\n";
+            << " duplicates, " << result.pages_fetched << " pages";
+  if (result.pages_retried != 0) {
+    std::cout << ", " << result.pages_retried << " retried";
+  }
+  std::cout << ")\n";
   if (flags.flag("list")) {
     for (const auto& name : result.repositories) std::cout << name << "\n";
+  }
+  if (result.pages_failed != 0) {
+    std::cerr << "crawl truncated: " << result.pages_failed
+              << " page(s) unreachable\n";
+    return 1;
   }
   return 0;
 }
@@ -173,7 +182,11 @@ int cmd_pull(const Flags& flags) {
             << clock.seconds() << "s (" << stats.layers_fetched
             << " layer transfers, " << stats.layers_deduped
             << " deduped; " << stats.failed_auth << " auth, "
-            << stats.failed_no_tag << " no-latest)\n";
+            << stats.failed_no_tag << " no-latest";
+  if (stats.failed_digest != 0) std::cout << ", " << stats.failed_digest << " digest";
+  const std::uint64_t other = stats.failed_missing + stats.failed_other;
+  if (other != 0) std::cout << ", " << other << " other";
+  std::cout << ")\n";
   return 0;
 }
 
