@@ -16,8 +16,9 @@
 #include "dockmine/synth/materialize.h"
 #include "dockmine/util/stopwatch.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dockmine;
+  const bench::MetricsScope metrics(argc, argv);
   const synth::Scale scale = core::scale_from_env(synth::Scale{250, 20170530});
   std::cout << "snapshot: " << scale.repositories
             << " repositories (light calibration, bytes mode)\n";

@@ -8,8 +8,9 @@
 #include "dockmine/core/pipeline.h"
 #include "dockmine/util/stopwatch.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dockmine;
+  const bench::MetricsScope metrics(argc, argv);
   core::PipelineOptions options;
   // Bytes mode materializes real tars: run at a reduced scale with the
   // light calibration (full pipeline logic, small layers) so the bench

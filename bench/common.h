@@ -9,15 +9,53 @@
 // tables say so in their notes.
 #pragma once
 
+#include <cstdlib>
 #include <iostream>
 #include <string>
+#include <string_view>
 
 #include "dockmine/core/dataset.h"
+#include "dockmine/obs/export.h"
 #include "dockmine/util/bytes.h"
 #include "dockmine/core/report.h"
 #include "dockmine/synth/generator.h"
 
 namespace dockmine::bench {
+
+/// `--metrics` on a bench command line (or env DOCKMINE_METRICS=1) enables
+/// obs for the run and dumps the collected report on exit.
+inline bool metrics_requested(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--metrics") return true;
+  }
+  const char* env = std::getenv("DOCKMINE_METRICS");
+  return env != nullptr && std::string_view(env) != "0";
+}
+
+/// RAII: enables obs on construction (when requested), prints the metrics
+/// dump and disables obs again on destruction.
+class MetricsScope {
+ public:
+  explicit MetricsScope(bool active) : active_(active) {
+    if (active_) {
+      obs::reset_all();
+      obs::set_enabled(true);
+    }
+  }
+  MetricsScope(int argc, char** argv)
+      : MetricsScope(metrics_requested(argc, argv)) {}
+  MetricsScope(const MetricsScope&) = delete;
+  MetricsScope& operator=(const MetricsScope&) = delete;
+  ~MetricsScope() {
+    if (!active_) return;
+    obs::set_enabled(false);
+    std::cout << "\n=== metrics (--metrics) ===\n";
+    core::print_metrics(std::cout, obs::collect());
+  }
+
+ private:
+  bool active_;
+};
 
 inline synth::Scale bench_scale() {
   return core::scale_from_env(synth::Scale::bench());

@@ -6,6 +6,7 @@
 #include "dockmine/compress/gzip.h"
 #include "dockmine/digest/sha256.h"
 #include "dockmine/filetype/classifier.h"
+#include "dockmine/obs/obs.h"
 #include "dockmine/tar/reader.h"
 
 namespace dockmine::analyzer {
@@ -27,7 +28,7 @@ std::uint32_t path_depth(std::string_view path) noexcept {
 
 util::Result<LayerProfile> LayerAnalyzer::analyze_tar(
     std::string_view tar_bytes, const FileVisitor* visitor,
-    const DirectoryVisitor* dir_visitor) const {
+    const DirectoryVisitor* dir_visitor, Timing* timing) const {
   LayerProfile profile;
   profile.cls = tar_bytes.size();  // caller overwrites for gzip blobs
 
@@ -61,6 +62,8 @@ util::Result<LayerProfile> LayerAnalyzer::analyze_tar(
       ++dir_files[std::string(parent)];  // implicit parents count too
     }
     if (visitor != nullptr) {
+      const double classify_start =
+          timing != nullptr ? obs::now_ms() : 0.0;
       FileRecord record;
       record.size = entry.content.size();
       record.digest = digest::Digest::of(entry.content);
@@ -69,6 +72,9 @@ util::Result<LayerProfile> LayerAnalyzer::analyze_tar(
           entry.content.substr(
               0, std::max(options_.classify_prefix,
                           static_cast<std::size_t>(262))));
+      if (timing != nullptr) {
+        timing->classify_ms += obs::now_ms() - classify_start;
+      }
       (*visitor)(entry.header.name, record);
     }
   });
@@ -88,11 +94,13 @@ util::Result<LayerProfile> LayerAnalyzer::analyze_tar(
 
 util::Result<LayerProfile> LayerAnalyzer::analyze_blob(
     std::string_view gzip_blob, const FileVisitor* visitor,
-    const DirectoryVisitor* dir_visitor) const {
+    const DirectoryVisitor* dir_visitor, Timing* timing) const {
+  const double gunzip_start = timing != nullptr ? obs::now_ms() : 0.0;
   auto tar_bytes =
       compress::gzip_decompress(gzip_blob, options_.max_uncompressed);
+  if (timing != nullptr) timing->gunzip_ms += obs::now_ms() - gunzip_start;
   if (!tar_bytes.ok()) return std::move(tar_bytes).error();
-  auto profile = analyze_tar(tar_bytes.value(), visitor, dir_visitor);
+  auto profile = analyze_tar(tar_bytes.value(), visitor, dir_visitor, timing);
   if (!profile.ok()) return profile;
   profile.value().cls = gzip_blob.size();
   profile.value().digest = digest::Digest::of(gzip_blob);

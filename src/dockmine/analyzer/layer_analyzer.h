@@ -34,6 +34,13 @@ class LayerAnalyzer {
     std::size_t classify_prefix = 512;
   };
 
+  /// Optional stage-timing breakdown, filled only when a non-null pointer
+  /// is passed (the null path performs no clock reads at all).
+  struct Timing {
+    double gunzip_ms = 0.0;    ///< decompressing the blob
+    double classify_ms = 0.0;  ///< per-file digest + type classification
+  };
+
   LayerAnalyzer() = default;
   explicit LayerAnalyzer(Options options) : options_(options) {}
 
@@ -42,14 +49,16 @@ class LayerAnalyzer {
   /// blob and `cls` its size.
   util::Result<LayerProfile> analyze_blob(
       std::string_view gzip_blob, const FileVisitor* visitor = nullptr,
-      const DirectoryVisitor* dir_visitor = nullptr) const;
+      const DirectoryVisitor* dir_visitor = nullptr,
+      Timing* timing = nullptr) const;
 
   /// Analyze an already-uncompressed tar archive (cls/digest filled by the
   /// caller if known). `dir_visitor`, when given, receives every explicit
   /// directory with its direct-child file count after the walk.
   util::Result<LayerProfile> analyze_tar(
       std::string_view tar_bytes, const FileVisitor* visitor = nullptr,
-      const DirectoryVisitor* dir_visitor = nullptr) const;
+      const DirectoryVisitor* dir_visitor = nullptr,
+      Timing* timing = nullptr) const;
 
  private:
   Options options_{};

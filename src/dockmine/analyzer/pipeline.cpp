@@ -3,9 +3,32 @@
 #include <mutex>
 #include <unordered_set>
 
+#include "dockmine/obs/obs.h"
+#include "dockmine/obs/span.h"
 #include "dockmine/util/thread_pool.h"
 
 namespace dockmine::analyzer {
+
+namespace {
+
+struct AnalyzerMetrics {
+  obs::Counter& layers;
+  obs::Counter& files;
+  obs::Counter& failures;
+  obs::Histogram& layer_ms;
+
+  static AnalyzerMetrics& get() {
+    auto& reg = obs::Registry::global();
+    static AnalyzerMetrics m{
+        reg.counter("dockmine_analyzer_layers_total"),
+        reg.counter("dockmine_analyzer_files_total"),
+        reg.counter("dockmine_analyzer_failures_total"),
+        reg.histogram("dockmine_analyzer_layer_ms")};
+    return m;
+  }
+};
+
+}  // namespace
 
 util::Result<ProfileStore> AnalysisPipeline::run(
     const std::vector<registry::Manifest>& manifests, const BlobFetch& fetch,
@@ -26,6 +49,16 @@ util::Result<ProfileStore> AnalysisPipeline::run(
   util::Status first_error;
   const LayerAnalyzer analyzer(options_.analyzer);
 
+  AnalyzerMetrics& metrics = AnalyzerMetrics::get();
+  // Worker threads carry no span stack; their per-stage totals fold into
+  // the orchestrator's hierarchy under the path open right now.
+  const bool timed = obs::enabled();
+  const std::string span_base =
+      timed ? obs::Tracer::global().current_path() : std::string{};
+  auto child_path = [&](const char* name) {
+    return span_base.empty() ? std::string(name) : span_base + "/" + name;
+  };
+
   util::ThreadPool pool(options_.workers);
   util::parallel_for(pool, 0, unique.size(), /*grain=*/1, [&](std::size_t i) {
     {
@@ -44,8 +77,28 @@ util::Result<ProfileStore> AnalysisPipeline::run(
     FileVisitor visitor = [&](std::string_view, const FileRecord& record) {
       batch.push_back(record);
     };
+    LayerAnalyzer::Timing timing;
+    const double start_ms = timed ? obs::now_ms() : 0.0;
     auto profile = analyzer.analyze_blob(
-        *blob.value(), sink.on_file ? &visitor : nullptr);
+        *blob.value(), sink.on_file ? &visitor : nullptr,
+        /*dir_visitor=*/nullptr, timed ? &timing : nullptr);
+    if (timed) {
+      const double total_ms = obs::now_ms() - start_ms;
+      metrics.layer_ms.observe(total_ms);
+      auto& tracer = obs::Tracer::global();
+      tracer.record_at(child_path("gunzip"), timing.gunzip_ms);
+      tracer.record_at(child_path("classify"), timing.classify_ms);
+      // Whatever analyze_blob spent outside gunzip/classify is the tar walk.
+      tracer.record_at(
+          child_path("untar"),
+          std::max(0.0, total_ms - timing.gunzip_ms - timing.classify_ms));
+    }
+    if (profile.ok()) {
+      metrics.layers.add();
+      metrics.files.add(profile.value().file_count);
+    } else {
+      metrics.failures.add();
+    }
 
     std::lock_guard lock(sink_mutex);
     if (!profile.ok()) {

@@ -3,37 +3,49 @@
 #include <unordered_map>
 
 #include "dockmine/analyzer/pipeline.h"
+#include "dockmine/obs/span.h"
 #include "dockmine/registry/manifest.h"
 
 namespace dockmine::core {
 
 util::Result<PipelineResult> run_end_to_end(const PipelineOptions& options) {
   PipelineResult result;
+  auto& tracer = obs::Tracer::global();
+  const auto pipeline_span = tracer.span("pipeline");
 
   // --- build & publish the snapshot ---
   synth::HubModel hub(options.calibration, options.scale);
   registry::Service service;
   synth::Materializer materializer(hub, options.gzip_level);
-  auto pushed = materializer.populate(service);
-  if (!pushed.ok()) return std::move(pushed).error();
-  result.manifests_pushed = pushed.value();
+  {
+    const auto span = tracer.span("materialize");
+    auto pushed = materializer.populate(service);
+    if (!pushed.ok()) return std::move(pushed).error();
+    result.manifests_pushed = pushed.value();
+  }
 
   // --- crawl ---
   registry::SearchIndex index(service,
                               synth::Calibration::kSearchDuplicateFactor,
                               options.scale.seed);
   crawler::Crawler crawler(index);
-  result.crawl = crawler.crawl_all();
+  {
+    const auto span = tracer.span("crawl");
+    result.crawl = crawler.crawl_all();
+  }
 
   // --- download (manifests kept, layer blobs cached by the downloader) ---
   downloader::Options dl_options;
   dl_options.workers = options.download_workers;
   downloader::Downloader downloader(service, dl_options);
   std::vector<registry::Manifest> manifests;
-  result.download = downloader.run(
-      result.crawl.repositories, [&](downloader::DownloadedImage&& image) {
-        manifests.push_back(std::move(image.manifest));
-      });
+  {
+    const auto span = tracer.span("download");
+    result.download = downloader.run(
+        result.crawl.repositories, [&](downloader::DownloadedImage&& image) {
+          manifests.push_back(std::move(image.manifest));
+        });
+  }
 
   // --- analyze + dedup ---
   if (options.run_file_dedup) {
@@ -60,21 +72,29 @@ util::Result<PipelineResult> run_end_to_end(const PipelineOptions& options) {
     result.images.push_back(profile);
   };
 
-  auto store = analysis.run(
-      manifests,
-      [&](const digest::Digest& digest) { return service.get_blob(digest); },
-      sink);
-  if (!store.ok()) return std::move(store).error();
-  result.layer_profiles = std::move(store).value();
+  {
+    // Worker-side untar/classify totals land under "pipeline/analyze/..."
+    // via the analysis pipeline's record_at (it reads our open path).
+    const auto span = tracer.span("analyze");
+    auto store = analysis.run(
+        manifests,
+        [&](const digest::Digest& digest) { return service.get_blob(digest); },
+        sink);
+    if (!store.ok()) return std::move(store).error();
+    result.layer_profiles = std::move(store).value();
+  }
 
   // --- layer sharing over the downloaded manifests ---
-  std::vector<dedup::LayerSharingAnalysis::LayerUse> uses;
-  for (const auto& manifest : manifests) {
-    uses.clear();
-    for (const auto& ref : manifest.layers) {
-      uses.push_back({ref.digest.key64(), ref.compressed_size});
+  {
+    const auto span = tracer.span("dedup");
+    std::vector<dedup::LayerSharingAnalysis::LayerUse> uses;
+    for (const auto& manifest : manifests) {
+      uses.clear();
+      for (const auto& ref : manifest.layers) {
+        uses.push_back({ref.digest.key64(), ref.compressed_size});
+      }
+      result.sharing.add_image(uses);
     }
-    result.sharing.add_image(uses);
   }
 
   result.service = service.stats();

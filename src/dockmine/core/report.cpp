@@ -123,6 +123,54 @@ void print_resilience(std::ostream& os, const registry::ResilienceStats& stats) 
      << "    backoff_total=" << stats.backoff_ms << "ms\n";
 }
 
+void print_metrics(std::ostream& os, const obs::MetricsReport& report) {
+  if (!report.metrics.counters.empty()) {
+    os << "  Counters\n";
+    for (const auto& [name, value] : report.metrics.counters) {
+      os << "    " << std::left << std::setw(48) << name << std::right << ' '
+         << value << '\n';
+    }
+  }
+  if (!report.metrics.gauges.empty()) {
+    os << "  Gauges\n";
+    for (const auto& [name, value] : report.metrics.gauges) {
+      os << "    " << std::left << std::setw(48) << name << std::right << ' '
+         << value << '\n';
+    }
+  }
+  if (!report.metrics.histograms.empty()) {
+    os << "  Histograms (count / sum / p50 / p99)\n";
+    for (const auto& hist : report.metrics.histograms) {
+      os << "    " << std::left << std::setw(48) << hist.name << std::right
+         << ' ' << hist.count << " / " << hist.sum;
+      if (hist.count > 0) {
+        os << " / " << hist.values.quantile(0.50) << " / "
+           << hist.values.quantile(0.99);
+      }
+      os << '\n';
+    }
+  }
+  if (!report.spans.empty()) {
+    os << "  Spans (count / wall ms / cpu ms)\n";
+    for (const auto& row : report.spans) {
+      // Indent by hierarchy depth; print only the leaf name.
+      std::size_t depth = 0;
+      for (char c : row.path) {
+        if (c == '/') ++depth;
+      }
+      const std::size_t slash = row.path.rfind('/');
+      const std::string leaf =
+          slash == std::string::npos ? row.path : row.path.substr(slash + 1);
+      os << "    ";
+      for (std::size_t i = 0; i < depth; ++i) os << "  ";
+      os << std::left
+         << std::setw(static_cast<int>(48 - 2 * std::min<std::size_t>(depth, 8)))
+         << leaf << std::right << ' ' << row.count << " / " << row.wall_ms
+         << " / " << row.cpu_ms << '\n';
+    }
+  }
+}
+
 void print_histogram(std::ostream& os, const std::string& caption,
                      const stats::LinearHistogram& hist,
                      const ValueFormatter& fmt) {

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "dockmine/downloader/downloader.h"
+#include "dockmine/obs/export.h"
 #include "dockmine/registry/resilient.h"
 #include "dockmine/stats/cdf.h"
 #include "dockmine/stats/histogram.h"
@@ -64,5 +65,10 @@ void print_download_stats(std::ostream& os,
 /// backoff, budget, and circuit-breaker counters.
 void print_resilience(std::ostream& os,
                       const registry::ResilienceStats& stats);
+
+/// Human-readable dump of an obs::MetricsReport: counters/gauges as a
+/// name-value table, histograms as count/sum/quantiles, spans indented by
+/// hierarchy depth. (Machine formats live in obs: to_json / to_prometheus.)
+void print_metrics(std::ostream& os, const obs::MetricsReport& report);
 
 }  // namespace dockmine::core

@@ -2,10 +2,36 @@
 
 #include <unordered_set>
 
+#include "dockmine/obs/obs.h"
+
 namespace dockmine::crawler {
+
+namespace {
+
+struct CrawlerMetrics {
+  obs::Counter& pages;
+  obs::Counter& page_retries;
+  obs::Counter& page_failures;
+  obs::Counter& hits;
+  obs::Counter& duplicates;
+
+  static CrawlerMetrics& get() {
+    auto& reg = obs::Registry::global();
+    static CrawlerMetrics m{
+        reg.counter("dockmine_crawler_pages_total"),
+        reg.counter("dockmine_crawler_page_retries_total"),
+        reg.counter("dockmine_crawler_page_failures_total"),
+        reg.counter("dockmine_crawler_hits_total"),
+        reg.counter("dockmine_crawler_duplicates_total")};
+    return m;
+  }
+};
+
+}  // namespace
 
 void Crawler::crawl_into(const std::string& query, bool officials_only,
                          CrawlResult& result) const {
+  CrawlerMetrics& metrics = CrawlerMetrics::get();
   std::unordered_set<std::string> seen(result.repositories.begin(),
                                        result.repositories.end());
   for (std::uint64_t page_no = 0;; ++page_no) {
@@ -23,23 +49,28 @@ void Crawler::crawl_into(const std::string& query, bool officials_only,
         break;
       }
       ++result.pages_retried;
+      metrics.page_retries.add();
     }
     if (!fetched) {
       // Without this page we cannot trust has_next; abort the query so the
       // truncation is explicit instead of an undetectably shorter crawl.
       ++result.pages_failed;
+      metrics.page_failures.add();
       return;
     }
     ++result.pages_fetched;
+    metrics.pages.add();
     for (const registry::SearchHit& hit : page.hits) {
       if (officials_only && hit.repository.find('/') != std::string::npos) {
         continue;
       }
       ++result.raw_hits;
+      metrics.hits.add();
       if (seen.insert(hit.repository).second) {
         result.repositories.push_back(hit.repository);
       } else {
         ++result.duplicates_removed;
+        metrics.duplicates.add();
       }
     }
     if (!page.has_next) break;

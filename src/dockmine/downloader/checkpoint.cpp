@@ -1,10 +1,26 @@
 #include "dockmine/downloader/checkpoint.h"
 
+#include "dockmine/obs/obs.h"
+
 namespace dockmine::downloader {
 
 namespace {
 constexpr char kRepoPrefix[] = "repo ";
 constexpr char kLayerPrefix[] = "layer ";
+
+struct CheckpointMetrics {
+  obs::Counter& journal_writes;
+  obs::Counter& layer_bytes;
+
+  static CheckpointMetrics& get() {
+    auto& reg = obs::Registry::global();
+    static CheckpointMetrics m{
+        reg.counter("dockmine_checkpoint_journal_writes_total"),
+        reg.counter("dockmine_checkpoint_layer_bytes_total")};
+    return m;
+  }
+};
+
 }  // namespace
 
 util::Result<Checkpoint> Checkpoint::open(const std::filesystem::path& dir) {
@@ -22,10 +38,18 @@ util::Result<Checkpoint> Checkpoint::open(const std::filesystem::path& dir) {
   {
     std::ifstream in(journal_path);
     std::string line;
+    std::uintmax_t complete_bytes = 0;
+    bool torn = false;
     while (std::getline(in, line)) {
       // getline() hands back a final unterminated fragment too; that is
-      // exactly the torn tail a mid-append kill leaves, so drop it.
-      if (in.eof() && !line.empty()) break;
+      // exactly the torn tail a mid-append kill leaves, so drop it — and
+      // truncate it from the file below, or the next append would fuse
+      // onto the fragment and corrupt an unrelated record.
+      if (in.eof() && !line.empty()) {
+        torn = true;
+        break;
+      }
+      complete_bytes += line.size() + 1;
       if (line.rfind(kRepoPrefix, 0) == 0) {
         checkpoint.repos_.insert(line.substr(sizeof kRepoPrefix - 1));
       } else if (line.rfind(kLayerPrefix, 0) == 0) {
@@ -37,6 +61,16 @@ util::Result<Checkpoint> Checkpoint::open(const std::filesystem::path& dir) {
         if (digest.ok() && checkpoint.store_.contains(digest.value())) {
           checkpoint.layers_.insert(digest.value());
         }
+      }
+    }
+    if (torn) {
+      in.close();
+      std::error_code trunc_ec;
+      std::filesystem::resize_file(journal_path, complete_bytes, trunc_ec);
+      if (trunc_ec) {
+        return util::internal("checkpoint journal '" + journal_path.string() +
+                              "' has a torn tail that could not be "
+                              "truncated: " + trunc_ec.message());
       }
     }
   }
@@ -52,6 +86,7 @@ util::Status Checkpoint::append_line(const std::string& line) {
   journal_ << line << '\n';
   journal_.flush();
   if (!journal_) return util::internal("checkpoint journal write failed");
+  CheckpointMetrics::get().journal_writes.add();
   return util::Status::success();
 }
 
@@ -88,6 +123,7 @@ util::Status Checkpoint::put_layer(const digest::Digest& digest,
   // a kill between the two leaves an orphan blob, never a dangling record.
   auto stored = store_.put_with_digest(digest, content);
   if (!stored.ok()) return stored;
+  CheckpointMetrics::get().layer_bytes.add(content.size());
   std::lock_guard lock(*mutex_);
   if (!layers_.insert(digest).second) return util::Status::success();
   return append_line(kLayerPrefix + digest.to_string());

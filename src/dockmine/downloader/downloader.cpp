@@ -1,24 +1,65 @@
 #include "dockmine/downloader/downloader.h"
 
+#include "dockmine/obs/obs.h"
 #include "dockmine/registry/manifest.h"
 #include "dockmine/util/stopwatch.h"
 #include "dockmine/util/thread_pool.h"
 
 namespace dockmine::downloader {
 
+namespace {
+
+struct DownloaderMetrics {
+  obs::Counter& layers;
+  obs::Counter& bytes;
+  obs::Counter& cache_hits;
+  obs::Counter& digest_failures;
+  obs::Counter& bytes_discarded;
+  obs::Counter& layers_resumed;
+  obs::Counter& repos_succeeded;
+  obs::Counter& repos_failed;
+  obs::Counter& repos_resumed;
+  obs::Gauge& inflight_repos;
+  obs::Histogram& layer_bytes;
+  obs::Histogram& layer_ms;
+
+  static DownloaderMetrics& get() {
+    auto& reg = obs::Registry::global();
+    static DownloaderMetrics m{
+        reg.counter("dockmine_download_layers_total"),
+        reg.counter("dockmine_download_bytes_total"),
+        reg.counter("dockmine_download_cache_hits_total"),
+        reg.counter("dockmine_download_digest_failures_total"),
+        reg.counter("dockmine_download_bytes_discarded_total"),
+        reg.counter("dockmine_download_layers_resumed_total"),
+        reg.counter("dockmine_download_repos_succeeded_total"),
+        reg.counter("dockmine_download_repos_failed_total"),
+        reg.counter("dockmine_download_repos_resumed_total"),
+        reg.gauge("dockmine_download_inflight_repos"),
+        reg.histogram("dockmine_download_layer_bytes"),
+        reg.histogram("dockmine_download_layer_ms")};
+    return m;
+  }
+};
+
+}  // namespace
+
 util::Result<blob::BlobPtr> Downloader::acquire_layer(
     const digest::Digest& digest) {
+  DownloaderMetrics& metrics = DownloaderMetrics::get();
   // Checkpointed layers were verified before being admitted; reloading them
   // costs disk I/O, not registry traffic.
   if (options_.checkpoint != nullptr && options_.checkpoint->has_layer(digest)) {
     auto restored = options_.checkpoint->layer(digest);
     if (restored.ok()) {
       layers_resumed_.fetch_add(1, std::memory_order_relaxed);
+      metrics.layers_resumed.add();
       return restored;
     }
     // Checkpoint store unreadable: fall through to a normal transfer.
   }
 
+  const obs::Timer timer;
   for (int transfer = 1;; ++transfer) {
     auto blob = service_.fetch_blob(digest);
     if (!blob.ok()) return blob;
@@ -29,14 +70,21 @@ util::Result<blob::BlobPtr> Downloader::acquire_layer(
       // itself is bad and retrying cannot help.
       bytes_discarded_.fetch_add(blob.value()->size(),
                                  std::memory_order_relaxed);
+      metrics.bytes_discarded.add(blob.value()->size());
       if (transfer >= 2) {
+        metrics.digest_failures.add();
         return util::corrupt("digest mismatch for layer " + digest.short_hex());
       }
       digest_retries_.fetch_add(1, std::memory_order_relaxed);
+      metrics.digest_failures.add();
       continue;
     }
     bytes_fetched_.fetch_add(blob.value()->size(), std::memory_order_relaxed);
     blobs_fetched_.fetch_add(1, std::memory_order_relaxed);
+    metrics.layers.add();
+    metrics.bytes.add(blob.value()->size());
+    metrics.layer_bytes.observe(static_cast<double>(blob.value()->size()));
+    metrics.layer_ms.observe(timer.ms());
     if (options_.checkpoint != nullptr) {
       // Best effort: a failed checkpoint write only costs a future re-fetch.
       (void)options_.checkpoint->put_layer(digest, *blob.value());
@@ -57,6 +105,7 @@ util::Result<blob::BlobPtr> Downloader::fetch_layer(
       const auto it = layer_cache_.find(digest);
       if (it != layer_cache_.end()) {
         cache_hits_.fetch_add(1, std::memory_order_relaxed);
+        DownloaderMetrics::get().cache_hits.add();
         return it->second;
       }
       if (in_flight_.insert(digest).second) break;  // we fetch
@@ -119,17 +168,26 @@ DownloadStats Downloader::run(
   std::mutex stats_mutex;  // also serializes sink
   util::Stopwatch clock;
   util::ThreadPool pool(options_.workers);
+  DownloaderMetrics& metrics = DownloaderMetrics::get();
   util::parallel_for(pool, 0, repositories.size(), /*grain=*/1,
                      [&](std::size_t i) {
     if (options_.checkpoint != nullptr &&
         options_.checkpoint->repo_done(repositories[i])) {
+      metrics.repos_resumed.add();
       std::lock_guard lock(stats_mutex);
       ++stats.repos_resumed;
       return;
     }
+    metrics.inflight_repos.add(1);
     auto image = fetch_image(repositories[i]);
+    metrics.inflight_repos.sub(1);
     if (image.ok() && options_.checkpoint != nullptr) {
       (void)options_.checkpoint->mark_repo_done(repositories[i]);
+    }
+    if (image.ok()) {
+      metrics.repos_succeeded.add();
+    } else {
+      metrics.repos_failed.add();
     }
     std::lock_guard lock(stats_mutex);
     if (!image.ok()) {

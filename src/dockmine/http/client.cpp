@@ -1,10 +1,42 @@
 #include "dockmine/http/client.h"
 
+#include "dockmine/obs/obs.h"
+
 namespace dockmine::http {
+
+namespace {
+
+/// Instrument handles resolved once; the per-request path touches only the
+/// instruments themselves (see obs.h for the cost contract).
+struct ClientMetrics {
+  obs::Counter& requests;
+  obs::Counter& failures;
+  obs::Counter& timeouts;
+  obs::Counter& redials;
+  obs::Counter& bytes_out;
+  obs::Counter& bytes_in;
+  obs::Histogram& request_ms;
+
+  static ClientMetrics& get() {
+    static ClientMetrics m{
+        obs::Registry::global().counter("dockmine_http_requests_total"),
+        obs::Registry::global().counter("dockmine_http_request_failures_total"),
+        obs::Registry::global().counter("dockmine_http_timeouts_total"),
+        obs::Registry::global().counter("dockmine_http_redials_total"),
+        obs::Registry::global().counter("dockmine_http_bytes_out_total"),
+        obs::Registry::global().counter("dockmine_http_bytes_in_total"),
+        obs::Registry::global().histogram("dockmine_http_request_ms")};
+    return m;
+  }
+};
+
+}  // namespace
 
 util::Result<Response> Client::round_trip(Socket& connection,
                                           const Request& request) {
-  auto sent = connection.write_all(request.serialize());
+  const std::string wire = request.serialize();
+  ClientMetrics::get().bytes_out.add(wire.size());
+  auto sent = connection.write_all(wire);
   if (!sent.ok()) return sent.error();
   MessageReader reader;
   Response response;
@@ -34,6 +66,10 @@ util::Result<Socket> Client::dial() {
 }
 
 util::Result<Response> Client::request(const Request& request) {
+  ClientMetrics& metrics = ClientMetrics::get();
+  metrics.requests.add();
+  const obs::Timer timer;
+
   // Check out an idle connection, or dial.
   Socket connection;
   {
@@ -46,7 +82,10 @@ util::Result<Response> Client::request(const Request& request) {
   bool pooled = connection.valid();
   if (!pooled) {
     auto dialed = dial();
-    if (!dialed.ok()) return std::move(dialed).error();
+    if (!dialed.ok()) {
+      metrics.failures.add();
+      return std::move(dialed).error();
+    }
     connection = std::move(dialed).value();
   }
 
@@ -60,15 +99,26 @@ util::Result<Response> Client::request(const Request& request) {
          response.error().code() != util::ErrorCode::kTimeout &&
          redials < options_.max_redials) {
     ++redials;
+    metrics.redials.add();
     auto dialed = dial();
-    if (!dialed.ok()) return std::move(dialed).error();
+    if (!dialed.ok()) {
+      metrics.failures.add();
+      return std::move(dialed).error();
+    }
     connection = std::move(dialed).value();
     pooled = false;  // fresh connection: a second failure is genuine
     response = round_trip(connection, request);
   }
+  metrics.request_ms.observe(timer.ms());
   if (response.ok()) {
+    metrics.bytes_in.add(response.value().body.size());
     std::lock_guard lock(pool_mutex_);
     idle_.push_back(std::move(connection));
+  } else {
+    metrics.failures.add();
+    if (response.error().code() == util::ErrorCode::kTimeout) {
+      metrics.timeouts.add();
+    }
   }
   return response;
 }

@@ -1,0 +1,167 @@
+#include "dockmine/obs/export.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace dockmine::obs {
+
+namespace {
+
+/// Shortest decimal form that round-trips (same policy as the JSON
+/// serializer): deterministic, human-sized, exact.
+std::string fmt_double(double v) {
+  char buf[32];
+  for (int precision = 6; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof buf, "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+/// "name{label=...}" -> "name" (for Prometheus # TYPE lines).
+std::string_view base_name(std::string_view name) {
+  const std::size_t brace = name.find('{');
+  return brace == std::string_view::npos ? name : name.substr(0, brace);
+}
+
+void type_line(std::string& out, std::string_view name, const char* type,
+               std::string& last_base) {
+  const std::string_view base = base_name(name);
+  if (base == last_base) return;  // one TYPE line per metric family
+  last_base = std::string(base);
+  out += "# TYPE ";
+  out += base;
+  out += ' ';
+  out += type;
+  out += '\n';
+}
+
+}  // namespace
+
+MetricsReport collect() {
+  MetricsReport report;
+  report.metrics = Registry::global().snapshot();
+  report.spans = Tracer::global().snapshot();
+  return report;
+}
+
+void reset_all() {
+  Registry::global().reset();
+  Tracer::global().reset();
+}
+
+json::Value to_json(const MetricsReport& report) {
+  json::Value counters = json::Value::object();
+  for (const auto& [name, value] : report.metrics.counters) {
+    counters.set(name, value);
+  }
+  json::Value gauges = json::Value::object();
+  for (const auto& [name, value] : report.metrics.gauges) {
+    gauges.set(name, std::int64_t{value});
+  }
+
+  json::Value histograms = json::Value::object();
+  for (const HistogramSnapshot& hist : report.metrics.histograms) {
+    json::Value entry = json::Value::object();
+    entry.set("count", hist.count);
+    entry.set("sum", hist.sum);
+    if (hist.count > 0) {
+      entry.set("p50", hist.values.quantile(0.50));
+      entry.set("p90", hist.values.quantile(0.90));
+      entry.set("p99", hist.values.quantile(0.99));
+    }
+    json::Value buckets = json::Value::array();
+    for (const auto& row : hist.values.rows()) {
+      json::Value bucket = json::Value::object();
+      bucket.set("lo", row.lo);
+      bucket.set("hi", row.hi);
+      bucket.set("count", row.count);
+      buckets.push_back(std::move(bucket));
+    }
+    entry.set("buckets", std::move(buckets));
+    histograms.set(hist.name, std::move(entry));
+  }
+
+  json::Value spans = json::Value::array();
+  for (const SpanRow& row : report.spans) {
+    json::Value span = json::Value::object();
+    span.set("path", row.path);
+    span.set("count", row.count);
+    span.set("wall_ms", row.wall_ms);
+    span.set("cpu_ms", row.cpu_ms);
+    spans.push_back(std::move(span));
+  }
+
+  json::Value root = json::Value::object();
+  root.set("counters", std::move(counters));
+  root.set("gauges", std::move(gauges));
+  root.set("histograms", std::move(histograms));
+  root.set("spans", std::move(spans));
+  return root;
+}
+
+std::string to_prometheus(const MetricsReport& report) {
+  std::string out;
+  std::string last_base;
+
+  for (const auto& [name, value] : report.metrics.counters) {
+    type_line(out, name, "counter", last_base);
+    out += name;
+    out += ' ';
+    out += std::to_string(value);
+    out += '\n';
+  }
+
+  last_base.clear();
+  for (const auto& [name, value] : report.metrics.gauges) {
+    type_line(out, name, "gauge", last_base);
+    out += name;
+    out += ' ';
+    out += std::to_string(value);
+    out += '\n';
+  }
+
+  for (const HistogramSnapshot& hist : report.metrics.histograms) {
+    out += "# TYPE ";
+    out += hist.name;
+    out += " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (const auto& row : hist.values.rows()) {
+      cumulative += row.count;
+      out += hist.name;
+      out += "_bucket{le=\"";
+      out += fmt_double(row.hi);
+      out += "\"} ";
+      out += std::to_string(cumulative);
+      out += '\n';
+    }
+    out += hist.name;
+    out += "_bucket{le=\"+Inf\"} ";
+    out += std::to_string(hist.count);
+    out += '\n';
+    out += hist.name;
+    out += "_sum ";
+    out += fmt_double(hist.sum);
+    out += '\n';
+    out += hist.name;
+    out += "_count ";
+    out += std::to_string(hist.count);
+    out += '\n';
+  }
+
+  if (!report.spans.empty()) {
+    out += "# TYPE dockmine_span_count counter\n";
+    out += "# TYPE dockmine_span_wall_ms counter\n";
+    out += "# TYPE dockmine_span_cpu_ms counter\n";
+    for (const SpanRow& row : report.spans) {
+      const std::string label = "{path=\"" + row.path + "\"} ";
+      out += "dockmine_span_count" + label + std::to_string(row.count) + '\n';
+      out += "dockmine_span_wall_ms" + label + fmt_double(row.wall_ms) + '\n';
+      out += "dockmine_span_cpu_ms" + label + fmt_double(row.cpu_ms) + '\n';
+    }
+  }
+  return out;
+}
+
+}  // namespace dockmine::obs

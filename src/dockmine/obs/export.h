@@ -1,0 +1,38 @@
+// Metric/trace export: one `MetricsReport` snapshot of the process-wide
+// registry + tracer, serializable as JSON (dm_json document — machine
+// consumers, bench artifacts) or Prometheus text exposition format
+// (scrape/grep consumers). Both serializations are deterministic: entries
+// sorted by name, doubles printed shortest-round-trip, so identical runs
+// (on the injectable clock) export byte-identical documents.
+#pragma once
+
+#include <string>
+
+#include "dockmine/json/json.h"
+#include "dockmine/obs/obs.h"
+#include "dockmine/obs/span.h"
+
+namespace dockmine::obs {
+
+struct MetricsReport {
+  Registry::Snapshot metrics;
+  std::vector<SpanRow> spans;
+};
+
+/// Snapshot the global registry and tracer.
+MetricsReport collect();
+
+/// Zero the global registry (keeping registrations) and clear the global
+/// tracer. For tests and back-to-back CLI runs.
+void reset_all();
+
+/// {"counters":{...},"gauges":{...},"histograms":{...},"spans":[...]}
+json::Value to_json(const MetricsReport& report);
+
+/// Prometheus text exposition format. Counter/gauge names pass through
+/// (label suffixes baked into the name are preserved); histograms expand to
+/// cumulative `_bucket{le="..."}` lines plus `_sum`/`_count`; span rows
+/// become `dockmine_span_{count,wall_ms,cpu_ms}{path="..."}`.
+std::string to_prometheus(const MetricsReport& report);
+
+}  // namespace dockmine::obs

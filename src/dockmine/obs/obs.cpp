@@ -1,0 +1,209 @@
+#include "dockmine/obs/obs.h"
+
+#include <chrono>
+#include <cmath>
+#include <ctime>
+
+namespace dockmine::obs {
+
+namespace detail {
+
+std::size_t assign_shard() noexcept {
+  static std::atomic<std::size_t> next{0};
+  return next.fetch_add(1, std::memory_order_relaxed) % Histogram::kShards;
+}
+
+namespace {
+
+struct ClockFns {
+  std::function<double()> wall_ms;
+  std::function<double()> cpu_ms;  // may be empty: reads 0
+};
+
+// Injected clock, read with acquire loads on hot-ish paths. Replaced
+// pointers are parked in a graveyard instead of freed so a concurrent
+// reader can never touch dead memory (set_clock itself is documented as
+// not-concurrent-with-instrumentation; this just makes the failure mode of
+// a violation benign).
+std::atomic<ClockFns*> g_clock{nullptr};
+
+std::mutex& graveyard_mutex() {
+  static std::mutex m;
+  return m;
+}
+std::vector<std::unique_ptr<ClockFns>>& graveyard() {
+  static std::vector<std::unique_ptr<ClockFns>> g;
+  return g;
+}
+
+double steady_now_ms() noexcept {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double thread_cpu_now_ms() noexcept {
+  std::timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0.0;
+  return static_cast<double>(ts.tv_sec) * 1e3 +
+         static_cast<double>(ts.tv_nsec) * 1e-6;
+}
+
+}  // namespace
+}  // namespace detail
+
+void set_enabled(bool on) noexcept {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void set_clock(std::function<double()> wall_ms,
+               std::function<double()> cpu_ms) {
+  auto fns = std::make_unique<detail::ClockFns>();
+  fns->wall_ms = std::move(wall_ms);
+  fns->cpu_ms = std::move(cpu_ms);
+  std::lock_guard lock(detail::graveyard_mutex());
+  detail::ClockFns* raw = fns.get();
+  detail::graveyard().push_back(std::move(fns));
+  detail::g_clock.store(raw, std::memory_order_release);
+}
+
+void reset_clock() noexcept {
+  detail::g_clock.store(nullptr, std::memory_order_release);
+}
+
+double now_ms() noexcept {
+  const detail::ClockFns* fns =
+      detail::g_clock.load(std::memory_order_acquire);
+  if (fns == nullptr || !fns->wall_ms) return detail::steady_now_ms();
+  return fns->wall_ms();
+}
+
+double cpu_now_ms() noexcept {
+  const detail::ClockFns* fns =
+      detail::g_clock.load(std::memory_order_acquire);
+  if (fns == nullptr) return detail::thread_cpu_now_ms();
+  // A custom wall clock without a cpu clock reads 0: deterministic, and
+  // plainly "not measured" rather than mixing virtual wall with real cpu.
+  return fns->cpu_ms ? fns->cpu_ms() : 0.0;
+}
+
+// ---- Histogram ----
+
+int Histogram::bucket_of(double x) noexcept {
+  int k = static_cast<int>(std::log2(x));
+  if (k < 0) k = 0;
+  if (k > kBuckets - 1) k = kBuckets - 1;
+  return k;
+}
+
+std::uint64_t Histogram::count() const noexcept {
+  std::uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::sum() const noexcept {
+  double total = 0.0;
+  for (const Shard& shard : shards_) {
+    total += shard.sum.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+stats::Log2Histogram Histogram::merged() const {
+  stats::Log2Histogram merged;
+  for (const Shard& shard : shards_) {
+    const std::uint64_t zero = shard.zero.load(std::memory_order_relaxed);
+    if (zero != 0) merged.add(0.0, zero);
+    for (int k = 0; k < kBuckets; ++k) {
+      const std::uint64_t n =
+          shard.buckets[static_cast<std::size_t>(k)].load(
+              std::memory_order_relaxed);
+      // exp2(k) lands exactly in bucket k of the stats sketch, so the
+      // rebuilt histogram has identical bucket counts.
+      if (n != 0) merged.add(std::exp2(k), n);
+    }
+  }
+  return merged;
+}
+
+void Histogram::reset() noexcept {
+  for (Shard& shard : shards_) {
+    shard.count.store(0, std::memory_order_relaxed);
+    shard.sum.store(0.0, std::memory_order_relaxed);
+    shard.zero.store(0, std::memory_order_relaxed);
+    for (auto& bucket : shard.buckets) {
+      bucket.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+// ---- Registry ----
+
+Registry& Registry::global() {
+  static Registry instance;
+  return instance;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+Registry::Snapshot Registry::snapshot() const {
+  std::lock_guard lock(mutex_);
+  Snapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace_back(name, counter->value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace_back(name, gauge->value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramSnapshot h;
+    h.name = name;
+    h.count = histogram->count();
+    h.sum = histogram->sum();
+    h.values = histogram->merged();
+    snap.histograms.push_back(std::move(h));
+  }
+  return snap;  // std::map iteration: already sorted by name
+}
+
+void Registry::reset() {
+  std::lock_guard lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->reset();
+  for (auto& [name, gauge] : gauges_) gauge->reset();
+  for (auto& [name, histogram] : histograms_) histogram->reset();
+}
+
+}  // namespace dockmine::obs

@@ -1,0 +1,241 @@
+// Process-wide observability substrate (metrics half; tracing lives in
+// span.h, export in export.h).
+//
+// The paper's crawl+download ran for weeks against a public service; what
+// made that operable was knowing, live, where time, bytes, retries, and
+// failures were going. This module is that substrate for dockmine: a
+// process-wide `Registry` of named instruments —
+//
+//   * `Counter`  — monotonically increasing u64, one relaxed fetch_add per
+//                  event, safe from any thread;
+//   * `Gauge`    — instantaneous i64 level (queue depth, active workers);
+//   * `Histogram`— log2-bucketed latency/size sketch, sharded across cache
+//                  lines so N hammering threads do not serialize on one
+//                  bucket word. Snapshots merge shards into the same
+//                  `stats::Log2Histogram` bucketing the figure pipeline
+//                  uses, so quantiles come for free.
+//
+// Cost discipline (the reason this can be wired through every hot path):
+//
+//   * Runtime toggle, off by default: every record path first does one
+//     relaxed atomic<bool> load and returns. No locks, no allocation, no
+//     RMW on the disabled path.
+//   * Compile-time toggle: configuring with -DDOCKMINE_OBS=OFF defines
+//     DOCKMINE_OBS_DISABLED and every record body compiles to nothing
+//     (`kCompiledIn == false`); the API stays source-compatible so call
+//     sites never #ifdef.
+//   * Instrument lookup (`Registry::counter("name")`) interns by name under
+//     a mutex and returns a stable reference; call sites resolve once
+//     (static local / member) and the hot loop touches only the instrument.
+//
+// Time is injectable (`set_clock`) so latency metrics and spans are exactly
+// reproducible on a virtual clock — the same trick registry::TimeSource
+// plays for backoff schedules.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "dockmine/stats/histogram.h"
+
+namespace dockmine::obs {
+
+/// False when the tree was configured with -DDOCKMINE_OBS=OFF: every
+/// record operation is an empty inline body the optimizer deletes.
+inline constexpr bool kCompiledIn =
+#if defined(DOCKMINE_OBS_DISABLED)
+    false;
+#else
+    true;
+#endif
+
+namespace detail {
+inline std::atomic<bool> g_enabled{false};
+/// Stable shard slot for the calling thread (round-robin at first use).
+std::size_t assign_shard() noexcept;
+inline std::size_t shard_index() noexcept {
+  thread_local const std::size_t index = assign_shard();
+  return index;
+}
+}  // namespace detail
+
+/// Runtime master switch; off by default so un-instrumented workloads pay
+/// one relaxed load per event and nothing else.
+inline bool enabled() noexcept {
+#if defined(DOCKMINE_OBS_DISABLED)
+  return false;
+#else
+  return detail::g_enabled.load(std::memory_order_relaxed);
+#endif
+}
+void set_enabled(bool on) noexcept;
+
+/// Wall/CPU clocks used by every timed instrument and by spans. Injecting a
+/// virtual wall clock makes latency metrics bit-reproducible; with no cpu
+/// function the CPU clock reads a constant 0 (still deterministic). Must
+/// not be swapped while instrumented code is running in other threads.
+void set_clock(std::function<double()> wall_ms,
+               std::function<double()> cpu_ms = nullptr);
+void reset_clock() noexcept;  ///< back to steady_clock + thread CPU time
+double now_ms() noexcept;
+double cpu_now_ms() noexcept;
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+#if !defined(DOCKMINE_OBS_DISABLED)
+    if (enabled()) value_.fetch_add(n, std::memory_order_relaxed);
+#else
+    (void)n;
+#endif
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+#if !defined(DOCKMINE_OBS_DISABLED)
+    if (enabled()) value_.store(v, std::memory_order_relaxed);
+#else
+    (void)v;
+#endif
+  }
+  void add(std::int64_t n = 1) noexcept {
+#if !defined(DOCKMINE_OBS_DISABLED)
+    if (enabled()) value_.fetch_add(n, std::memory_order_relaxed);
+#else
+    (void)n;
+#endif
+  }
+  void sub(std::int64_t n = 1) noexcept { add(-n); }
+  std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Merged, point-in-time view of one histogram (see Registry::snapshot).
+/// `values` reuses the stats log2 bucketing, so quantile()/rows() behave
+/// exactly like the figure pipeline's sketches.
+struct HistogramSnapshot {
+  std::string name;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  stats::Log2Histogram values;
+};
+
+/// Sharded log2 histogram. Writers touch one cache-line-aligned shard
+/// (chosen per thread); readers merge shards on snapshot. Bucket k covers
+/// [2^k, 2^(k+1)); values < 1 land in a zero bucket — identical semantics
+/// to stats::Log2Histogram, which snapshots reconstruct.
+class Histogram {
+ public:
+  static constexpr std::size_t kShards = 8;
+  static constexpr int kBuckets = 64;  // mirrors stats::Log2Histogram
+
+  void observe(double x, std::uint64_t weight = 1) noexcept {
+#if !defined(DOCKMINE_OBS_DISABLED)
+    if (!enabled()) return;
+    Shard& shard = shards_[detail::shard_index() % kShards];
+    shard.count.fetch_add(weight, std::memory_order_relaxed);
+    shard.sum.fetch_add(x * static_cast<double>(weight),
+                        std::memory_order_relaxed);
+    if (!(x >= 1.0)) {  // also catches NaN, like stats::Log2Histogram
+      shard.zero.fetch_add(weight, std::memory_order_relaxed);
+      return;
+    }
+    const int k = bucket_of(x);
+    shard.buckets[static_cast<std::size_t>(k)].fetch_add(
+        weight, std::memory_order_relaxed);
+#else
+    (void)x;
+    (void)weight;
+#endif
+  }
+
+  std::uint64_t count() const noexcept;
+  double sum() const noexcept;
+  /// Merge all shards into a stats sketch (quantiles, rows, ...).
+  stats::Log2Histogram merged() const;
+  void reset() noexcept;
+
+ private:
+  static int bucket_of(double x) noexcept;
+
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<double> sum{0.0};
+    std::atomic<std::uint64_t> zero{0};
+    std::array<std::atomic<std::uint64_t>, kBuckets> buckets{};
+  };
+  std::array<Shard, kShards> shards_{};
+};
+
+/// Name-interning instrument registry. Lookup is mutex-guarded (cold:
+/// resolve once, keep the reference — addresses are stable for the
+/// registry's lifetime); recording never touches the registry. reset()
+/// zeroes values but keeps registrations, so cached references survive.
+///
+/// Naming convention (mirrored in DESIGN.md §Observability):
+/// `dockmine_<subsystem>_<what>[_total|_bytes|_ms]`, with an optional
+/// Prometheus-style label suffix baked into the name, e.g.
+/// `dockmine_resilient_errors_total{code="reset"}`.
+class Registry {
+ public:
+  /// The process-wide registry every built-in instrument lives in.
+  static Registry& global();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  struct Snapshot {
+    /// All vectors sorted by name, zero-valued instruments included, so two
+    /// snapshots of identical activity serialize identically.
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<std::pair<std::string, std::int64_t>> gauges;
+    std::vector<HistogramSnapshot> histograms;
+  };
+  Snapshot snapshot() const;
+
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// A stopwatch against the obs clock: `Timer t; ...; hist.observe(t.ms())`.
+/// Reads the clock only when obs is enabled, so the disabled path never
+/// pays a clock call.
+class Timer {
+ public:
+  Timer() noexcept : start_ms_(enabled() ? now_ms() : 0.0) {}
+  double ms() const noexcept { return enabled() ? now_ms() - start_ms_ : 0.0; }
+
+ private:
+  double start_ms_;
+};
+
+}  // namespace dockmine::obs

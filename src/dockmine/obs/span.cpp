@@ -1,0 +1,109 @@
+#include "dockmine/obs/span.h"
+
+namespace dockmine::obs {
+
+namespace {
+
+/// The calling thread's open-span path. Spans append "<sep>name" on open
+/// and truncate back to the parent's length on finish, so nesting costs no
+/// allocation beyond the string's high-water mark.
+std::string& thread_path() {
+  thread_local std::string path;
+  return path;
+}
+
+}  // namespace
+
+Tracer& Tracer::global() {
+  static Tracer instance;
+  return instance;
+}
+
+Tracer::Span Tracer::span(std::string_view name) {
+#if defined(DOCKMINE_OBS_DISABLED)
+  (void)name;
+  return {};
+#else
+  if (!enabled()) return {};
+  std::string& path = thread_path();
+  const std::size_t parent_len = path.size();
+  if (!path.empty()) path += '/';
+  path += name;
+  return Span(this, parent_len, now_ms(), cpu_now_ms());
+#endif
+}
+
+void Tracer::Span::finish() noexcept {
+  if (tracer_ == nullptr) return;
+  tracer_->finish_span(parent_len_, start_wall_, start_cpu_);
+  tracer_ = nullptr;
+}
+
+void Tracer::finish_span(std::size_t parent_len, double start_wall,
+                         double start_cpu) noexcept {
+  const double wall = now_ms() - start_wall;
+  const double cpu = cpu_now_ms() - start_cpu;
+  std::string& path = thread_path();
+  record_at(path, wall, cpu, 1);
+  path.resize(parent_len);
+}
+
+void Tracer::record(std::string_view name, double wall_ms, double cpu_ms,
+                    std::uint64_t count) {
+#if defined(DOCKMINE_OBS_DISABLED)
+  (void)name;
+  (void)wall_ms;
+  (void)cpu_ms;
+  (void)count;
+#else
+  if (!enabled()) return;
+  const std::string& parent = thread_path();
+  if (parent.empty()) {
+    record_at(name, wall_ms, cpu_ms, count);
+  } else {
+    std::string path = parent;
+    path += '/';
+    path += name;
+    record_at(path, wall_ms, cpu_ms, count);
+  }
+#endif
+}
+
+void Tracer::record_at(std::string_view path, double wall_ms, double cpu_ms,
+                       std::uint64_t count) {
+#if defined(DOCKMINE_OBS_DISABLED)
+  (void)path;
+  (void)wall_ms;
+  (void)cpu_ms;
+  (void)count;
+#else
+  if (!enabled()) return;
+  std::lock_guard lock(mutex_);
+  auto it = rows_.find(path);
+  if (it == rows_.end()) {
+    SpanRow row;
+    row.path = std::string(path);
+    it = rows_.emplace(row.path, std::move(row)).first;
+  }
+  it->second.count += count;
+  it->second.wall_ms += wall_ms;
+  it->second.cpu_ms += cpu_ms;
+#endif
+}
+
+std::string Tracer::current_path() const { return thread_path(); }
+
+std::vector<SpanRow> Tracer::snapshot() const {
+  std::lock_guard lock(mutex_);
+  std::vector<SpanRow> rows;
+  rows.reserve(rows_.size());
+  for (const auto& [path, row] : rows_) rows.push_back(row);
+  return rows;  // map order: sorted by path
+}
+
+void Tracer::reset() {
+  std::lock_guard lock(mutex_);
+  rows_.clear();
+}
+
+}  // namespace dockmine::obs

@@ -1,0 +1,114 @@
+// Hierarchical tracing spans (the tracing half of dockmine::obs).
+//
+// A `Span` is an RAII scope timed against the injectable obs clock (wall +
+// CPU). Spans nest through a thread-local path: opening "download" inside
+// "pipeline" aggregates under "pipeline/download". On finish, the span's
+// wall/CPU deltas accumulate into the owning `Tracer`'s per-path table —
+// the exported view is the aggregation (count, total wall, total CPU per
+// path), not an event log, so weeks-long runs stay O(#distinct paths).
+//
+// Worker-side stage costs that happen on pool threads (untar/classify per
+// layer) are folded in with `record_at`: the orchestrating thread reads its
+// `current_path()` while the stage span is open and attributes the
+// aggregated worker time to a child path.
+//
+// Like every obs instrument, spans opened while obs is disabled are inert
+// (one flag load, no clock read, no allocation), and under
+// -DDOCKMINE_OBS=OFF the bodies compile away entirely.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <map>
+#include <vector>
+
+#include "dockmine/obs/obs.h"
+
+namespace dockmine::obs {
+
+/// Aggregated view of one span path.
+struct SpanRow {
+  std::string path;      ///< "pipeline/analyze/untar"
+  std::uint64_t count = 0;
+  double wall_ms = 0.0;
+  double cpu_ms = 0.0;
+};
+
+class Tracer {
+ public:
+  static Tracer& global();
+
+  /// RAII handle. Must finish on the thread that opened it (the path stack
+  /// is thread-local). Movable; moved-from spans are inert.
+  class Span {
+   public:
+    Span() = default;
+    Span(Span&& other) noexcept { *this = std::move(other); }
+    Span& operator=(Span&& other) noexcept {
+      if (this != &other) {
+        finish();
+        tracer_ = other.tracer_;
+        parent_len_ = other.parent_len_;
+        start_wall_ = other.start_wall_;
+        start_cpu_ = other.start_cpu_;
+        other.tracer_ = nullptr;
+      }
+      return *this;
+    }
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+    ~Span() { finish(); }
+
+    /// Close early (idempotent); the destructor calls this.
+    void finish() noexcept;
+
+   private:
+    friend class Tracer;
+    Span(Tracer* tracer, std::size_t parent_len, double start_wall,
+         double start_cpu)
+        : tracer_(tracer),
+          parent_len_(parent_len),
+          start_wall_(start_wall),
+          start_cpu_(start_cpu) {}
+
+    Tracer* tracer_ = nullptr;
+    std::size_t parent_len_ = 0;
+    double start_wall_ = 0.0;
+    double start_cpu_ = 0.0;
+  };
+
+  /// Open a span named `name` under the calling thread's current path.
+  /// Inert (and free apart from one flag load) while obs is disabled.
+  [[nodiscard]] Span span(std::string_view name);
+
+  /// Accumulate externally measured time under `<current_path>/<name>`
+  /// (or `<name>` at top level). For folding worker-side totals into the
+  /// orchestrator's hierarchy.
+  void record(std::string_view name, double wall_ms, double cpu_ms = 0.0,
+              std::uint64_t count = 1);
+
+  /// Accumulate under an absolute path, ignoring the calling thread's
+  /// stack. Pair with current_path() captured on the orchestrating thread.
+  void record_at(std::string_view path, double wall_ms, double cpu_ms = 0.0,
+                 std::uint64_t count = 1);
+
+  /// The calling thread's open-span path ("" at top level).
+  std::string current_path() const;
+
+  /// All rows, sorted by path. Zero rows are never created, so two
+  /// identical runs snapshot identically.
+  std::vector<SpanRow> snapshot() const;
+
+  void reset();
+
+ private:
+  void finish_span(std::size_t parent_len, double start_wall,
+                   double start_cpu) noexcept;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, SpanRow, std::less<>> rows_;
+};
+
+}  // namespace dockmine::obs

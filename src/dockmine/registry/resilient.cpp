@@ -5,7 +5,54 @@
 #include <cmath>
 #include <thread>
 
+#include "dockmine/obs/obs.h"
+
 namespace dockmine::registry {
+
+namespace {
+
+struct ResilientMetrics {
+  obs::Counter& requests;
+  obs::Counter& attempts;
+  obs::Counter& retries;
+  obs::Counter& successes;
+  obs::Counter& permanent_failures;
+  obs::Counter& attempts_exhausted;
+  obs::Counter& budget_exhausted;
+  obs::Counter& breaker_opens;
+  obs::Counter& breaker_closes;
+  obs::Counter& breaker_rejections;
+  obs::Histogram& backoff_ms;
+
+  static ResilientMetrics& get() {
+    auto& reg = obs::Registry::global();
+    static ResilientMetrics m{
+        reg.counter("dockmine_resilient_requests_total"),
+        reg.counter("dockmine_resilient_attempts_total"),
+        reg.counter("dockmine_resilient_retries_total"),
+        reg.counter("dockmine_resilient_successes_total"),
+        reg.counter("dockmine_resilient_permanent_failures_total"),
+        reg.counter("dockmine_resilient_attempts_exhausted_total"),
+        reg.counter("dockmine_resilient_budget_exhausted_total"),
+        reg.counter("dockmine_resilient_breaker_opens_total"),
+        reg.counter("dockmine_resilient_breaker_closes_total"),
+        reg.counter("dockmine_resilient_breaker_rejections_total"),
+        reg.histogram("dockmine_resilient_backoff_ms")};
+    return m;
+  }
+};
+
+/// Per-fault-class tally, labeled by the transient/permanent taxonomy's
+/// code name. Lazily interned (error paths are cold by definition).
+void count_error_class(util::ErrorCode code) {
+  if (!obs::enabled()) return;
+  obs::Registry::global()
+      .counter("dockmine_resilient_errors_total{code=\"" +
+               std::string(util::to_string(code)) + "\"}")
+      .add();
+}
+
+}  // namespace
 
 double decorrelated_jitter(double base_ms, double cap_ms, double prev_ms,
                            util::Rng& rng) noexcept {
@@ -77,6 +124,8 @@ template <typename T>
 util::Result<T> ResilientSource::execute(
     const std::string& key, const std::string& scope,
     const std::function<util::Result<T>()>& attempt_fn) {
+  ResilientMetrics& metrics = ResilientMetrics::get();
+  metrics.requests.add();
   std::uint64_t call_no = 0;
   {
     std::lock_guard lock(mutex_);
@@ -97,12 +146,15 @@ util::Result<T> ResilientSource::execute(
       std::lock_guard lock(mutex_);
       if (!breaker_locked(scope).allow(time_.now_ms())) {
         ++stats_.breaker_rejections;
+        metrics.breaker_rejections.add();
         rejected = true;
       }
     }
     if (rejected) {
       last_error = util::unavailable("circuit open for scope '" + scope + "'");
     } else {
+      metrics.attempts.add();
+      if (attempt > 1) metrics.retries.add();
       {
         std::lock_guard lock(mutex_);
         ++stats_.attempts;
@@ -110,15 +162,21 @@ util::Result<T> ResilientSource::execute(
       }
       auto result = attempt_fn();
       if (result.ok()) {
+        metrics.successes.add();
         std::lock_guard lock(mutex_);
         ++stats_.successes;
-        if (breaker_locked(scope).on_success()) ++stats_.breaker_closes;
+        if (breaker_locked(scope).on_success()) {
+          ++stats_.breaker_closes;
+          metrics.breaker_closes.add();
+        }
         return result;
       }
       last_error = std::move(result).error();
+      count_error_class(last_error.code());
       if (!last_error.retryable()) {
         // A well-formed negative answer (401/404/...): the upstream is
         // healthy, so the breaker is untouched and retrying is pointless.
+        metrics.permanent_failures.add();
         std::lock_guard lock(mutex_);
         ++stats_.permanent_failures;
         return last_error;
@@ -126,10 +184,12 @@ util::Result<T> ResilientSource::execute(
       std::lock_guard lock(mutex_);
       if (breaker_locked(scope).on_failure(time_.now_ms())) {
         ++stats_.breaker_opens;
+        metrics.breaker_opens.add();
       }
     }
 
     if (attempt >= retry_.max_attempts) {
+      metrics.attempts_exhausted.add();
       std::lock_guard lock(mutex_);
       ++stats_.attempts_exhausted;
       return last_error;
@@ -142,6 +202,7 @@ util::Result<T> ResilientSource::execute(
         // draw down the shared budget.
         if (budget_spent_ >= retry_.retry_budget) {
           ++stats_.budget_exhausted;
+          metrics.budget_exhausted.add();
           return last_error;
         }
         ++budget_spent_;
@@ -154,6 +215,7 @@ util::Result<T> ResilientSource::execute(
       delay_ms = std::round(delay_ms * 1024.0) / 1024.0;
       stats_.backoff_ms += delay_ms;
     }
+    metrics.backoff_ms.observe(delay_ms);
     prev_delay_ms = delay_ms;
     time_.sleep_ms(delay_ms);
   }

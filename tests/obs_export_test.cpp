@@ -1,0 +1,167 @@
+// Golden-export suite for dockmine::obs: the JSON export parses back with
+// dm_json and carries the recorded values; the Prometheus text export is
+// line-parseable with monotone cumulative buckets; and both formats are
+// byte-stable — across repeated snapshots and across a reset-and-replay of
+// the same workload on the same virtual clock.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dockmine/json/json.h"
+#include "dockmine/obs/export.h"
+#include "dockmine/obs/obs.h"
+#include "dockmine/obs/span.h"
+
+namespace dockmine {
+namespace {
+
+/// The reference workload every test replays: a few counters (one with a
+/// baked-in label), a gauge, a histogram spanning zero/low/high buckets,
+/// and a small span tree on the injected clock.
+void replay_workload() {
+  obs::reset_all();
+  auto tick = std::make_shared<std::atomic<double>>(0.0);
+  obs::set_clock([tick] { return tick->fetch_add(1.0); });
+  obs::set_enabled(true);
+
+  auto& reg = obs::Registry::global();
+  reg.counter("test_export_requests_total").add(42);
+  reg.counter("test_export_errors_total{code=\"reset\"}").add(3);
+  reg.counter("test_export_errors_total{code=\"timeout\"}").add(1);
+  reg.gauge("test_export_inflight").set(-7);
+  auto& hist = reg.histogram("test_export_latency_ms");
+  hist.observe(0.25);  // zero bucket
+  hist.observe(1.0);
+  hist.observe(3.0);
+  hist.observe(1024.0);
+  hist.observe(1500.0, /*weight=*/2);
+
+  auto& tracer = obs::Tracer::global();
+  {
+    auto pipeline = tracer.span("pipeline");
+    auto download = tracer.span("download");
+    tracer.record("untar", 5.0, 2.0, 3);
+  }
+
+  obs::set_enabled(false);
+  obs::reset_clock();
+}
+
+TEST(ObsExportTest, JsonRoundTripsThroughParser) {
+  replay_workload();
+  const std::string dumped = obs::to_json(obs::collect()).dump();
+
+  auto parsed = json::parse(dumped);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  const json::Value& root = parsed.value();
+  ASSERT_TRUE(root.contains("counters"));
+  ASSERT_TRUE(root.contains("gauges"));
+  ASSERT_TRUE(root.contains("histograms"));
+  ASSERT_TRUE(root.contains("spans"));
+  ASSERT_TRUE(root["spans"].is_array());
+
+  if constexpr (obs::kCompiledIn) {
+    EXPECT_EQ(root["counters"]["test_export_requests_total"].as_int(), 42);
+    EXPECT_EQ(
+        root["counters"]["test_export_errors_total{code=\"reset\"}"].as_int(),
+        3);
+    EXPECT_EQ(root["gauges"]["test_export_inflight"].as_int(), -7);
+
+    const json::Value& latency = root["histograms"]["test_export_latency_ms"];
+    ASSERT_TRUE(latency.is_object());
+    EXPECT_EQ(latency["count"].as_int(), 6);
+    EXPECT_DOUBLE_EQ(latency["sum"].as_double(),
+                     0.25 + 1.0 + 3.0 + 1024.0 + 2 * 1500.0);
+    EXPECT_GT(latency["buckets"].size(), 0u);
+
+    const json::Value& spans = root["spans"];
+    ASSERT_EQ(spans.size(), 3u);  // pipeline, download, download/untar
+    const json::Value& untar = spans.at(2);
+    EXPECT_EQ(untar["path"].as_string(), "pipeline/download/untar");
+    EXPECT_EQ(untar["count"].as_int(), 3);
+    EXPECT_DOUBLE_EQ(untar["wall_ms"].as_double(), 5.0);
+  }
+}
+
+TEST(ObsExportTest, PrometheusTextParsesWithMonotoneBuckets) {
+  replay_workload();
+  const std::string text = obs::to_prometheus(obs::collect());
+  ASSERT_FALSE(text.empty());
+
+  // Every line is either "# TYPE <name> <kind>" or "<name>[{labels}] <num>".
+  std::istringstream in(text);
+  std::string line;
+  bool saw_counter_type = false;
+  bool saw_histogram_type = false;
+  std::uint64_t previous_bucket = 0;
+  std::uint64_t inf_bucket = 0, count_row = 0;
+  while (std::getline(in, line)) {
+    ASSERT_FALSE(line.empty());
+    if (line.rfind("# TYPE ", 0) == 0) {
+      const std::string rest = line.substr(7);
+      const auto space = rest.find(' ');
+      ASSERT_NE(space, std::string::npos) << line;
+      const std::string kind = rest.substr(space + 1);
+      EXPECT_TRUE(kind == "counter" || kind == "gauge" || kind == "histogram")
+          << line;
+      // TYPE names never carry a label suffix.
+      EXPECT_EQ(rest.find('{'), std::string::npos) << line;
+      if (kind == "counter") saw_counter_type = true;
+      if (kind == "histogram") saw_histogram_type = true;
+      continue;
+    }
+    const auto space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    const std::string name = line.substr(0, space);
+    const std::string value = line.substr(space + 1);
+    std::size_t consumed = 0;
+    EXPECT_NO_THROW({
+      (void)std::stod(value, &consumed);
+    }) << line;
+    EXPECT_EQ(consumed, value.size()) << line;
+
+    if (name.rfind("test_export_latency_ms_bucket", 0) == 0) {
+      const std::uint64_t cumulative = std::stoull(value);
+      EXPECT_GE(cumulative, previous_bucket) << line;  // monotone
+      previous_bucket = cumulative;
+      if (name.find("le=\"+Inf\"") != std::string::npos) {
+        inf_bucket = cumulative;
+      }
+    }
+    if (name == "test_export_latency_ms_count") count_row = std::stoull(value);
+  }
+
+  if constexpr (obs::kCompiledIn) {
+    EXPECT_TRUE(saw_counter_type);
+    EXPECT_TRUE(saw_histogram_type);
+    EXPECT_EQ(inf_bucket, 6u);   // +Inf covers everything, zero bucket too
+    EXPECT_EQ(count_row, 6u);    // _count == +Inf bucket
+    EXPECT_NE(text.find("test_export_errors_total{code=\"reset\"} 3"),
+              std::string::npos);
+    EXPECT_NE(text.find("dockmine_span_wall_ms{path=\"pipeline/download/"
+                        "untar\"} 5"),
+              std::string::npos);
+  }
+}
+
+TEST(ObsExportTest, ExportsAreStableAcrossSnapshotAndReplay) {
+  replay_workload();
+  const std::string json_a = obs::to_json(obs::collect()).dump();
+  const std::string prom_a = obs::to_prometheus(obs::collect());
+  // Snapshot again without touching anything: identical bytes.
+  EXPECT_EQ(obs::to_json(obs::collect()).dump(), json_a);
+  EXPECT_EQ(obs::to_prometheus(obs::collect()), prom_a);
+
+  // Reset and replay the same workload on a fresh virtual clock: the
+  // exports must reproduce byte-for-byte.
+  replay_workload();
+  EXPECT_EQ(obs::to_json(obs::collect()).dump(), json_a);
+  EXPECT_EQ(obs::to_prometheus(obs::collect()), prom_a);
+}
+
+}  // namespace
+}  // namespace dockmine

@@ -13,6 +13,7 @@
 #include <sstream>
 #include <thread>
 
+#include "dockmine/blob/disk_store.h"
 #include "dockmine/core/report.h"
 #include "dockmine/crawler/crawler.h"
 #include "dockmine/downloader/downloader.h"
@@ -493,6 +494,134 @@ TEST(CheckpointTest, TornTrailingJournalLineIsDropped) {
   EXPECT_EQ(checkpoint.value().repos_completed(), 1u);
   EXPECT_EQ(checkpoint.value().layers_recorded(), 1u);
   EXPECT_FALSE(checkpoint.value().repo_done("torn/entr"));
+}
+
+TEST(CheckpointTest, EmptyJournalIsACleanSlate) {
+  TempDir dir("dockmine_resilience_empty");
+  std::filesystem::create_directories(dir.path);
+  { std::ofstream journal(dir.path / "completed.log"); }  // zero bytes
+
+  auto checkpoint = downloader::Checkpoint::open(dir.path);
+  ASSERT_TRUE(checkpoint.ok());
+  EXPECT_EQ(checkpoint.value().repos_completed(), 0u);
+  EXPECT_EQ(checkpoint.value().layers_recorded(), 0u);
+  // The journal is still appendable after the empty open.
+  ASSERT_TRUE(checkpoint.value().mark_repo_done("fresh/start").ok());
+  auto reopened = downloader::Checkpoint::open(dir.path);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_TRUE(reopened.value().repo_done("fresh/start"));
+}
+
+TEST(CheckpointTest, JournalWithOnlyATornLineIsDiscardedAndSealed) {
+  TempDir dir("dockmine_resilience_torn_only");
+  std::filesystem::create_directories(dir.path);
+  {
+    std::ofstream journal(dir.path / "completed.log");
+    journal << "repo torn/entr";  // no newline: the kill landed mid-append
+  }
+
+  auto checkpoint = downloader::Checkpoint::open(dir.path);
+  ASSERT_TRUE(checkpoint.ok());
+  EXPECT_EQ(checkpoint.value().repos_completed(), 0u);
+  EXPECT_FALSE(checkpoint.value().repo_done("torn/entr"));
+
+  // The torn fragment was truncated away, so the next append starts a clean
+  // line instead of fusing onto the fragment ("repo torn/entrrepo x").
+  ASSERT_TRUE(checkpoint.value().mark_repo_done("alice/app").ok());
+  auto reopened = downloader::Checkpoint::open(dir.path);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_TRUE(reopened.value().repo_done("alice/app"));
+  EXPECT_FALSE(reopened.value().repo_done("torn/entr"));
+  EXPECT_EQ(reopened.value().repos_completed(), 1u);
+}
+
+TEST(CheckpointTest, OrphanBlobWithoutJournalRecordIsInvisible) {
+  TempDir dir("dockmine_resilience_orphan");
+  const std::string content = "orphaned layer bytes";
+  const digest::Digest digest = digest::Digest::of(content);
+  {
+    // A kill between DiskStore write and journal append leaves exactly
+    // this: a blob on disk, no journal record.
+    auto store = blob::DiskStore::open(dir.path / "blobs");
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE(store.value().put_with_digest(digest, content).ok());
+  }
+
+  auto checkpoint = downloader::Checkpoint::open(dir.path);
+  ASSERT_TRUE(checkpoint.ok());
+  EXPECT_FALSE(checkpoint.value().has_layer(digest));
+  EXPECT_EQ(checkpoint.value().layers_recorded(), 0u);
+
+  // Re-admitting the layer through the front door records it properly.
+  ASSERT_TRUE(checkpoint.value().put_layer(digest, content).ok());
+  EXPECT_TRUE(checkpoint.value().has_layer(digest));
+  auto restored = checkpoint.value().layer(digest);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(*restored.value(), content);
+  auto reopened = downloader::Checkpoint::open(dir.path);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_TRUE(reopened.value().has_layer(digest));
+}
+
+TEST(CheckpointTest, DoubleResumeAfterTwoCrashesAccountsEveryRepo) {
+  Fixture& fx = Fixture::get();
+  TempDir dir("dockmine_resilience_double");
+
+  std::vector<std::string> downloadable;
+  for (const auto& spec : fx.hub.repositories()) {
+    if (spec.has_latest && !spec.requires_auth) downloadable.push_back(spec.name);
+  }
+  ASSERT_GT(downloadable.size(), 6u);
+  const std::size_t third = downloadable.size() / 3;
+  const std::vector<std::string> first_third(downloadable.begin(),
+                                             downloadable.begin() + third);
+  const std::vector<std::string> two_thirds(
+      downloadable.begin(), downloadable.begin() + 2 * third);
+
+  auto run_phase = [&](const std::vector<std::string>& repos) {
+    auto checkpoint = downloader::Checkpoint::open(dir.path);
+    EXPECT_TRUE(checkpoint.ok());
+    downloader::Options options;
+    options.workers = 4;
+    options.checkpoint = &checkpoint.value();
+    downloader::Downloader phase(fx.service, options);
+    return phase.run(repos, nullptr);
+  };  // each return is a "crash": handles dropped mid-flight state
+
+  // Crash 1 happened after the first third...
+  const auto phase1 = run_phase(first_third);
+  EXPECT_EQ(phase1.succeeded, first_third.size());
+  {
+    // ...tearing the journal mid-append.
+    std::ofstream journal(dir.path / "completed.log", std::ios::app);
+    journal << "repo torn/mid-cras";  // no newline
+  }
+
+  // Crash 2 happened after two thirds...
+  const auto phase2 = run_phase(two_thirds);
+  EXPECT_EQ(phase2.repos_resumed, phase1.succeeded);
+  EXPECT_EQ(phase2.succeeded, two_thirds.size() - first_third.size());
+  {
+    // ...stranding an orphan blob with no journal record.
+    auto store = blob::DiskStore::open(dir.path / "blobs");
+    ASSERT_TRUE(store.ok());
+    const std::string orphan = "stranded by the second crash";
+    ASSERT_TRUE(
+        store.value().put_with_digest(digest::Digest::of(orphan), orphan).ok());
+  }
+
+  // The third resume completes the workload with exact accounting.
+  const std::uint64_t blob_requests_before = fx.service.stats().blob_requests;
+  const auto phase3 = run_phase(downloadable);
+  EXPECT_EQ(phase3.repos_resumed, phase1.succeeded + phase2.succeeded);
+  EXPECT_EQ(phase3.succeeded, downloadable.size() - 2 * third);
+  EXPECT_EQ(phase3.accounted(), phase3.attempted);
+  // Only genuinely new layers hit the registry; resumed layers came from
+  // the checkpoint store despite the two crashes in between.
+  const std::uint64_t blob_requests_made =
+      fx.service.stats().blob_requests - blob_requests_before;
+  EXPECT_EQ(blob_requests_made, phase3.layers_fetched);
+  EXPECT_GT(phase3.layers_resumed, 0u);
 }
 
 // ---------- crawler retries ----------

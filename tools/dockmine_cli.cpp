@@ -6,6 +6,7 @@
 //   dockmine crawl    --port P                           crawl a registry
 //   dockmine pull     --port P [--workers W] [--token T] mirror a registry
 //   dockmine export   [--repos N] --out DIR [--light]    blobs to disk store
+//   dockmine metrics  [--repos N] [--format F]           instrumented run
 #include <csignal>
 #include <fstream>
 #include <iostream>
@@ -13,8 +14,10 @@
 
 #include "dockmine/blob/disk_store.h"
 #include "dockmine/core/dataset.h"
+#include "dockmine/core/pipeline.h"
 #include "dockmine/core/report.h"
 #include "dockmine/crawler/crawler.h"
+#include "dockmine/obs/export.h"
 #include "dockmine/dedup/by_type.h"
 #include "dockmine/downloader/downloader.h"
 #include "dockmine/registry/gc.h"
@@ -301,6 +304,45 @@ int cmd_report(const Flags& flags) {
   return 0;
 }
 
+int cmd_metrics(const Flags& flags) {
+  const std::string format = flags.str("format").empty()
+                                 ? std::string("table")
+                                 : flags.str("format");
+  if (format != "table" && format != "json" && format != "prom") {
+    std::cerr << "metrics: --format must be table, json, or prom\n";
+    return 2;
+  }
+
+  core::PipelineOptions options;
+  options.scale = scale_from(flags);
+  if (flags.str("repos").empty()) options.scale.repositories = 100;
+  // An instrumented demo run wants to finish quickly; `--paper` opts into
+  // the full calibration.
+  options.calibration = flags.flag("paper") ? synth::Calibration::paper()
+                                            : synth::Calibration::light();
+  options.download_workers = flags.u64("workers", 4);
+  options.analyze_workers = flags.u64("workers", 4);
+
+  obs::set_enabled(true);
+  auto result = core::run_end_to_end(options);
+  obs::set_enabled(false);
+  if (!result.ok()) {
+    std::cerr << result.error().to_string() << "\n";
+    return 1;
+  }
+  const obs::MetricsReport report = obs::collect();
+  if (format == "json") {
+    std::cout << obs::to_json(report).dump() << "\n";
+  } else if (format == "prom") {
+    std::cout << obs::to_prometheus(report);
+  } else {
+    std::cout << "metrics for an end-to-end run over "
+              << options.scale.repositories << " repositories\n";
+    core::print_metrics(std::cout, report);
+  }
+  return 0;
+}
+
 int cmd_gc(const Flags& flags) {
   const std::string dir = flags.str("dir");
   if (dir.empty()) {
@@ -345,6 +387,8 @@ int usage() {
       "  crawl    --port P [--token T] [--page-size K] [--list]\n"
       "  pull     --port P [--token T] [--workers W]\n"
       "  export   --out DIR [--repos N] [--light] [--gzip L]\n"
+      "  metrics  [--repos N] [--seed S] [--workers W] [--paper]\n"
+      "           [--format table|json|prom]   instrumented pipeline run\n"
       "  gc       --dir STORE [live-manifest.json ...]\n";
   return 2;
 }
@@ -364,6 +408,7 @@ int main(int argc, char** argv) {
   if (command == "crawl") return cmd_crawl(flags);
   if (command == "pull") return cmd_pull(flags);
   if (command == "export") return cmd_export(flags);
+  if (command == "metrics") return cmd_metrics(flags);
   if (command == "gc") return cmd_gc(flags);
   return usage();
 }
