@@ -2,7 +2,12 @@
 // dedup) in bytes mode, reproducing the paper's methodology numbers:
 // 634,412 raw hits -> 457,627 repos; 355,319 downloaded / 111,384 failed
 // (13% auth, 87% no latest); 1,792,609 layers; 47 TB compressed.
+//
+// Part two compares staged-barrier against streamed execution under a
+// throttled registry (CostModel service times become real sleeps), showing
+// the overlap win and the bounded blob residency of the streaming hand-off.
 #include <cstdio>
+#include <cstdlib>
 
 #include "common.h"
 #include "dockmine/core/pipeline.h"
@@ -75,5 +80,57 @@ int main(int argc, char** argv) {
           ? core::fmt_pct(r.file_index->totals().unique_file_fraction()).c_str()
           : "n/a",
       r.service.simulated_ms / 1000.0);
+
+  // --- staged vs streamed under a throttled registry -----------------------
+  // The in-process service answers in microseconds, which would hide the
+  // overlap the streaming pipeline exists for; network_scale turns the
+  // CostModel's modeled service time into real sleeps.
+  const char* scale_env = std::getenv("DOCKMINE_NET_SCALE");
+  core::PipelineOptions cmp = options;
+  cmp.scale.repositories = std::min<std::uint64_t>(
+      cmp.scale.repositories, 200);
+  cmp.network_scale = scale_env ? std::atof(scale_env) : 0.3;
+  cmp.queue_depth = 16;
+  // Both modes get the same worker budget; with download and analysis time
+  // roughly balanced, the staged barrier pays D + A while the streamed
+  // pipeline pays ~max(D, A).
+  cmp.download_workers = 4;
+  cmp.analyze_workers = 4;
+
+  cmp.mode = core::ExecutionMode::kStaged;
+  auto staged = core::run_end_to_end(cmp);
+
+  cmp.mode = core::ExecutionMode::kStreamed;
+  auto streamed = core::run_end_to_end(cmp);
+
+  if (!staged.ok() || !streamed.ok()) {
+    std::fprintf(stderr, "mode comparison failed\n");
+    return 1;
+  }
+  // Compare the pipeline proper (crawl -> download -> analyze -> dedup);
+  // both runs also pay an identical registry-materialization setup cost
+  // that a real crawl would not, which is excluded here.
+  const double staged_wall = staged.value().pipeline_seconds;
+  const double streamed_wall = streamed.value().pipeline_seconds;
+  const auto& stream = streamed.value().stream;
+  const bool identical = core::pipeline_report_json(staged.value()).dump() ==
+                         core::pipeline_report_json(streamed.value()).dump();
+
+  std::printf(
+      "\n  staged vs streamed (%llu repos, network_scale=%.3g, "
+      "DOCKMINE_NET_SCALE overrides):\n"
+      "    staged    %.2fs wall  (download barrier, then analyze)\n"
+      "    streamed  %.2fs wall  (bounded queue, depth %llu)\n"
+      "    speedup   %.2fx  (target >= 1.3x)\n"
+      "    queue peak residency %llu / %llu blobs; producer stalls %llu\n"
+      "    injected network stall %.1fs; reports byte-identical: %s\n",
+      static_cast<unsigned long long>(cmp.scale.repositories),
+      cmp.network_scale, staged_wall, streamed_wall,
+      static_cast<unsigned long long>(stream.queue_capacity),
+      staged_wall / streamed_wall,
+      static_cast<unsigned long long>(stream.queue_peak),
+      static_cast<unsigned long long>(stream.queue_capacity),
+      static_cast<unsigned long long>(stream.producer_stalls),
+      streamed.value().throttled_ms / 1000.0, identical ? "yes" : "NO");
   return 0;
 }

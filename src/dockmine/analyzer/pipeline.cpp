@@ -1,6 +1,5 @@
 #include "dockmine/analyzer/pipeline.h"
 
-#include <mutex>
 #include <unordered_set>
 
 #include "dockmine/obs/obs.h"
@@ -28,7 +27,106 @@ struct AnalyzerMetrics {
   }
 };
 
+std::string capture_span_base(bool timed) {
+  // Worker threads carry no span stack; their per-stage totals fold into
+  // the orchestrator's hierarchy under the path open right now.
+  return timed ? obs::Tracer::global().current_path() : std::string{};
+}
+
 }  // namespace
+
+AnalysisPipeline::Session::Session(const AnalysisPipeline& pipeline,
+                                   const Sink& sink)
+    : analyzer_(pipeline.options().analyzer),
+      sink_(sink),
+      timed_(obs::enabled()),
+      span_base_(capture_span_base(timed_)) {}
+
+void AnalysisPipeline::Session::analyze(const digest::Digest& digest,
+                                        const std::string& gzip_blob) {
+  {
+    std::lock_guard lock(mutex_);
+    if (!first_error_.ok()) return;          // fail fast
+    if (store_.contains(digest)) return;     // idempotent re-delivery
+  }
+
+  AnalyzerMetrics& metrics = AnalyzerMetrics::get();
+  auto child_path = [&](const char* name) {
+    return span_base_.empty() ? std::string(name) : span_base_ + "/" + name;
+  };
+
+  // Buffer file records locally; flush in batches to bound lock traffic.
+  std::vector<FileRecord> batch;
+  FileVisitor visitor = [&](std::string_view, const FileRecord& record) {
+    batch.push_back(record);
+  };
+  LayerAnalyzer::Timing timing;
+  const double start_ms = timed_ ? obs::now_ms() : 0.0;
+  auto profile = analyzer_.analyze_blob(
+      gzip_blob, sink_.on_file ? &visitor : nullptr,
+      /*dir_visitor=*/nullptr, timed_ ? &timing : nullptr);
+  if (timed_) {
+    const double total_ms = obs::now_ms() - start_ms;
+    metrics.layer_ms.observe(total_ms);
+    auto& tracer = obs::Tracer::global();
+    tracer.record_at(child_path("gunzip"), timing.gunzip_ms);
+    tracer.record_at(child_path("classify"), timing.classify_ms);
+    // Whatever analyze_blob spent outside gunzip/classify is the tar walk.
+    tracer.record_at(
+        child_path("untar"),
+        std::max(0.0, total_ms - timing.gunzip_ms - timing.classify_ms));
+  }
+  if (profile.ok()) {
+    metrics.layers.add();
+    metrics.files.add(profile.value().file_count);
+  } else {
+    metrics.failures.add();
+  }
+
+  std::lock_guard lock(mutex_);
+  if (!profile.ok()) {
+    if (first_error_.ok()) first_error_ = std::move(profile).error();
+    return;
+  }
+  // Two workers racing the same digest both analyze, but only the first
+  // one's results are delivered — duplicate sink calls would skew dedup.
+  if (store_.contains(profile.value().digest)) return;
+  store_.put(profile.value());
+  analyzed_.fetch_add(1, std::memory_order_relaxed);
+  if (sink_.on_layer) sink_.on_layer(profile.value());
+  if (sink_.on_file) {
+    for (const FileRecord& record : batch) {
+      sink_.on_file(profile.value().digest, record);
+    }
+  }
+}
+
+void AnalysisPipeline::Session::fail(util::Error error) {
+  std::lock_guard lock(mutex_);
+  if (first_error_.ok()) first_error_ = std::move(error);
+}
+
+util::Status AnalysisPipeline::Session::finish(
+    const std::vector<registry::Manifest>& manifests) {
+  std::lock_guard lock(mutex_);
+  if (!first_error_.ok()) return first_error_;
+  for (const auto& manifest : manifests) {
+    auto image = build_image_profile(manifest, store_);
+    if (!image.ok()) return std::move(image).error();
+    if (sink_.on_image) sink_.on_image(image.value());
+  }
+  return util::Status::success();
+}
+
+util::Status AnalysisPipeline::Session::status() const {
+  std::lock_guard lock(mutex_);
+  return first_error_;
+}
+
+ProfileStore AnalysisPipeline::Session::take_store() {
+  std::lock_guard lock(mutex_);
+  return std::move(store_);
+}
 
 util::Result<ProfileStore> AnalysisPipeline::run(
     const std::vector<registry::Manifest>& manifests, const BlobFetch& fetch,
@@ -44,84 +142,24 @@ util::Result<ProfileStore> AnalysisPipeline::run(
     }
   }
 
-  ProfileStore store;
-  std::mutex sink_mutex;   // serializes sink callbacks and the store
-  util::Status first_error;
-  const LayerAnalyzer analyzer(options_.analyzer);
-
-  AnalyzerMetrics& metrics = AnalyzerMetrics::get();
-  // Worker threads carry no span stack; their per-stage totals fold into
-  // the orchestrator's hierarchy under the path open right now.
-  const bool timed = obs::enabled();
-  const std::string span_base =
-      timed ? obs::Tracer::global().current_path() : std::string{};
-  auto child_path = [&](const char* name) {
-    return span_base.empty() ? std::string(name) : span_base + "/" + name;
-  };
-
+  Session session(*this, sink);
   util::ThreadPool pool(options_.workers);
   util::parallel_for(pool, 0, unique.size(), /*grain=*/1, [&](std::size_t i) {
-    {
-      std::lock_guard lock(sink_mutex);
-      if (!first_error.ok()) return;  // fail fast
-    }
+    if (!session.status().ok()) return;  // fail fast
     auto blob = fetch(unique[i]);
     if (!blob.ok()) {
-      std::lock_guard lock(sink_mutex);
-      if (first_error.ok()) first_error = std::move(blob).error();
+      // Latch the fetch error through a poison analyze: simplest is to
+      // record it directly.
+      session.fail(std::move(blob).error());
       return;
     }
-
-    // Buffer file records locally; flush in batches to bound lock traffic.
-    std::vector<FileRecord> batch;
-    FileVisitor visitor = [&](std::string_view, const FileRecord& record) {
-      batch.push_back(record);
-    };
-    LayerAnalyzer::Timing timing;
-    const double start_ms = timed ? obs::now_ms() : 0.0;
-    auto profile = analyzer.analyze_blob(
-        *blob.value(), sink.on_file ? &visitor : nullptr,
-        /*dir_visitor=*/nullptr, timed ? &timing : nullptr);
-    if (timed) {
-      const double total_ms = obs::now_ms() - start_ms;
-      metrics.layer_ms.observe(total_ms);
-      auto& tracer = obs::Tracer::global();
-      tracer.record_at(child_path("gunzip"), timing.gunzip_ms);
-      tracer.record_at(child_path("classify"), timing.classify_ms);
-      // Whatever analyze_blob spent outside gunzip/classify is the tar walk.
-      tracer.record_at(
-          child_path("untar"),
-          std::max(0.0, total_ms - timing.gunzip_ms - timing.classify_ms));
-    }
-    if (profile.ok()) {
-      metrics.layers.add();
-      metrics.files.add(profile.value().file_count);
-    } else {
-      metrics.failures.add();
-    }
-
-    std::lock_guard lock(sink_mutex);
-    if (!profile.ok()) {
-      if (first_error.ok()) first_error = std::move(profile).error();
-      return;
-    }
-    store.put(profile.value());
-    if (sink.on_layer) sink.on_layer(profile.value());
-    if (sink.on_file) {
-      for (const FileRecord& record : batch) {
-        sink.on_file(profile.value().digest, record);
-      }
-    }
+    session.analyze(unique[i], *blob.value());
   });
   pool.shutdown();
-  if (!first_error.ok()) return first_error.error();
-
-  for (const auto& manifest : manifests) {
-    auto image = build_image_profile(manifest, store);
-    if (!image.ok()) return std::move(image).error();
-    if (sink.on_image) sink.on_image(image.value());
+  if (auto status = session.finish(manifests); !status.ok()) {
+    return status.error();
   }
-  return store;
+  return session.take_store();
 }
 
 }  // namespace dockmine::analyzer

@@ -6,11 +6,30 @@
 //   -> analyze (gunzip + untar + classify, parallel)
 //   -> dedup (file index + layer sharing)
 //
+// Three execution modes share the stages:
+//
+//   * kSerial  — one worker per stage, staged barriers. The reference
+//     ordering; slowest, simplest to reason about.
+//   * kStaged  — parallel download, barrier, parallel analyze. The
+//     pre-streaming behavior: every unique layer blob is resident between
+//     the two stages.
+//   * kStreamed — downloader workers push each verified layer blob into a
+//     bounded queue; analyzer workers consume concurrently. Download
+//     latency overlaps analysis CPU, and peak blob residency in the
+//     hand-off is bounded by `queue_depth` (the downloader runs with
+//     retain_blobs off, so no run-wide blob cache builds up either).
+//
+// All three produce byte-identical canonical reports
+// (pipeline_report_json) under a fixed seed: the report is built from
+// order-independent aggregates only, never from completion order.
+//
 // Used by the integration tests, the quickstart example, and
 // bench_pipeline_end2end.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -19,12 +38,21 @@
 #include "dockmine/dedup/file_dedup.h"
 #include "dockmine/dedup/layer_sharing.h"
 #include "dockmine/downloader/downloader.h"
+#include "dockmine/json/json.h"
+#include "dockmine/registry/faults.h"
+#include "dockmine/registry/resilient.h"
 #include "dockmine/registry/service.h"
 #include "dockmine/synth/generator.h"
 #include "dockmine/synth/materialize.h"
 #include "dockmine/util/error.h"
 
 namespace dockmine::core {
+
+enum class ExecutionMode {
+  kSerial,    ///< staged with one worker per stage
+  kStaged,    ///< parallel stages separated by barriers
+  kStreamed,  ///< download and analysis overlapped through a bounded queue
+};
 
 struct PipelineOptions {
   synth::Scale scale = synth::Scale::test();
@@ -33,6 +61,50 @@ struct PipelineOptions {
   std::size_t analyze_workers = 2;
   int gzip_level = 6;
   bool run_file_dedup = true;
+  ExecutionMode mode = ExecutionMode::kStaged;
+
+  /// Streamed mode: capacity of the download->analyze blob queue. Peak
+  /// blob residency in the hand-off is bounded by this depth (plus one
+  /// in-flight blob per worker on either side).
+  std::size_t queue_depth = 16;
+
+  /// Optional crash/resume record; not owned, must outlive the run. With a
+  /// checkpoint attached, completed repositories are replayed from disk on
+  /// restart (manifest re-fetched, layer bytes from the checkpoint store)
+  /// so a resumed run still produces the full report.
+  downloader::Checkpoint* checkpoint = nullptr;
+
+  /// Cooperative cancellation: once set, repositories not yet started are
+  /// skipped. Chaos tests use this to kill a run mid-stream.
+  const std::atomic<bool>* cancel = nullptr;
+
+  /// Invoked after each analyzed layer with the running count (streamed
+  /// mode only; called outside all pipeline locks). Chaos tests use it to
+  /// trigger cancellation after N layers.
+  std::function<void(std::uint64_t analyzed)> on_layer_analyzed;
+
+  /// Chaos: inject seeded faults between the registry and the downloader,
+  /// with retry/backoff/circuit-breaking layered on top (Downloader ->
+  /// ResilientSource -> FaultySource -> Service). Not owned; null runs
+  /// against the clean service.
+  const registry::FaultSpec* faults = nullptr;
+  registry::RetryPolicy retry;      ///< used when faults != nullptr
+  registry::BreakerPolicy breaker;  ///< used when faults != nullptr
+
+  /// > 0: sleep each registry request for its CostModel-modeled service
+  /// time scaled by this factor (ThrottledSource). The in-process registry
+  /// answers in microseconds; throttling makes the staged-vs-streamed
+  /// comparison measure real download/analysis overlap.
+  double network_scale = 0.0;
+};
+
+/// Streamed-mode hand-off accounting; all zeros for the other modes.
+struct StreamStats {
+  std::uint64_t layers_enqueued = 0;   ///< blobs pushed by the downloader
+  std::uint64_t layers_analyzed = 0;   ///< profiles produced by consumers
+  std::uint64_t queue_capacity = 0;    ///< configured depth
+  std::uint64_t queue_peak = 0;        ///< max blobs resident at once
+  std::uint64_t producer_stalls = 0;   ///< pushes that blocked (backpressure)
 };
 
 struct PipelineResult {
@@ -44,8 +116,35 @@ struct PipelineResult {
   std::unique_ptr<dedup::FileDedupIndex> file_index;
   dedup::LayerSharingAnalysis sharing;
   std::uint64_t manifests_pushed = 0;
+  /// Manifests of every successfully delivered image (completion order).
+  std::vector<registry::Manifest> manifests;
+  StreamStats stream;
+  registry::ResilienceStats resilience;  ///< zeros without faults
+  registry::FaultStats fault_stats;      ///< zeros without faults
+  double throttled_ms = 0.0;             ///< total injected network stall
+  /// Wall time of the pipeline proper — crawl through dedup — excluding
+  /// the synthetic registry's materialization (which a real crawl does not
+  /// pay). This is the number mode comparisons should use.
+  double pipeline_seconds = 0.0;
 };
 
 util::Result<PipelineResult> run_end_to_end(const PipelineOptions& options);
+
+/// Canonical analysis report: images / layers / sharing / dedup aggregates.
+/// Built only from order-independent quantities (totals, quantiles over
+/// multisets, name-sorted listings), so any two runs that analyzed the same
+/// image set serialize byte-identically — regardless of execution mode,
+/// worker counts, queue depth, thread interleaving, or whether the run was
+/// resumed from a checkpoint. Layer aggregates are derived from the layers
+/// referenced by delivered manifests (not the raw profile store, which may
+/// hold extra layers from images that failed mid-download under faults).
+json::Value analysis_report_json(const PipelineResult& result);
+
+/// Canonical full report: the analysis report plus download accounting.
+/// Adds the per-repository outcome buckets and verified-transfer totals;
+/// excludes wall-clock and race-dependent counters (wall_seconds, retries,
+/// bytes_discarded). Byte-identical across execution modes for a fixed
+/// seed on a fault-free source.
+json::Value pipeline_report_json(const PipelineResult& result);
 
 }  // namespace dockmine::core

@@ -96,7 +96,11 @@ util::Result<blob::BlobPtr> Downloader::acquire_layer(
 util::Result<blob::BlobPtr> Downloader::fetch_layer(
     const digest::Digest& digest) {
   if (!options_.dedup_unique_layers) {
-    return acquire_layer(digest);
+    auto blob = acquire_layer(digest);
+    if (blob.ok() && options_.layer_sink) {
+      options_.layer_sink(digest, blob.value());
+    }
+    return blob;
   }
 
   {
@@ -120,11 +124,20 @@ util::Result<blob::BlobPtr> Downloader::fetch_layer(
     in_flight_.erase(digest);
     if (blob.ok()) {
       // Only verified blobs enter the cache, so a corrupt transfer can
-      // never be replayed to other images sharing the layer.
-      layer_cache_.emplace(digest, blob.value());
+      // never be replayed to other images sharing the layer. Without
+      // retain_blobs the entry is a null completion marker: later
+      // references learn the layer is done without pinning its bytes.
+      layer_cache_.emplace(digest,
+                           options_.retain_blobs ? blob.value() : nullptr);
     }
   }
   cache_cv_.notify_all();
+  // The sink runs after the cache insert so a blocking downstream (bounded
+  // queue backpressure) stalls only this worker — same-digest waiters were
+  // already released by the notify above.
+  if (blob.ok() && options_.layer_sink) {
+    options_.layer_sink(digest, blob.value());
+  }
   return blob;
 }
 
@@ -138,12 +151,14 @@ util::Result<DownloadedImage> Downloader::fetch_image(
 
   DownloadedImage image;
   image.manifest = std::move(manifest).value();
-  image.layer_blobs.resize(image.manifest.layers.size());
+  if (options_.retain_blobs) {
+    image.layer_blobs.resize(image.manifest.layers.size());
+  }
 
   for (std::size_t i = 0; i < image.manifest.layers.size(); ++i) {
     auto blob = fetch_layer(image.manifest.layers[i].digest);
     if (!blob.ok()) return std::move(blob).error();
-    image.layer_blobs[i] = std::move(blob).value();
+    if (options_.retain_blobs) image.layer_blobs[i] = std::move(blob).value();
   }
   return image;
 }
@@ -171,21 +186,35 @@ DownloadStats Downloader::run(
   DownloaderMetrics& metrics = DownloaderMetrics::get();
   util::parallel_for(pool, 0, repositories.size(), /*grain=*/1,
                      [&](std::size_t i) {
-    if (options_.checkpoint != nullptr &&
-        options_.checkpoint->repo_done(repositories[i])) {
+    if (options_.cancel != nullptr &&
+        options_.cancel->load(std::memory_order_relaxed)) {
+      std::lock_guard lock(stats_mutex);
+      ++stats.repos_canceled;
+      return;
+    }
+    const bool resumed = options_.checkpoint != nullptr &&
+                         options_.checkpoint->repo_done(repositories[i]);
+    if (resumed && !options_.deliver_resumed) {
       metrics.repos_resumed.add();
       std::lock_guard lock(stats_mutex);
       ++stats.repos_resumed;
       return;
     }
     metrics.inflight_repos.add(1);
+    // A resumed repository re-runs fetch_image, but its layers resolve from
+    // the checkpoint store (no registry blob traffic) — only the small
+    // manifest is re-fetched so the sinks can see the complete image set.
     auto image = fetch_image(repositories[i]);
     metrics.inflight_repos.sub(1);
-    if (image.ok() && options_.checkpoint != nullptr) {
+    if (image.ok() && !resumed && options_.checkpoint != nullptr) {
       (void)options_.checkpoint->mark_repo_done(repositories[i]);
     }
     if (image.ok()) {
-      metrics.repos_succeeded.add();
+      if (resumed) {
+        metrics.repos_resumed.add();
+      } else {
+        metrics.repos_succeeded.add();
+      }
     } else {
       metrics.repos_failed.add();
     }
@@ -221,7 +250,11 @@ DownloadStats Downloader::run(
       }
       return;
     }
-    ++stats.succeeded;
+    if (resumed) {
+      ++stats.repos_resumed;
+    } else {
+      ++stats.succeeded;
+    }
     if (sink) sink(std::move(image).value());
   });
   pool.shutdown();

@@ -48,6 +48,28 @@ struct Options {
   bool verify_digests = true;
   /// Optional crash/resume record; not owned, must outlive the run.
   Checkpoint* checkpoint = nullptr;
+  /// Keep each unique layer's bytes in the run-wide cache and deliver them
+  /// in DownloadedImage::layer_blobs. Turning this off caps blob residency:
+  /// the cache records only completion markers, images are delivered
+  /// without bytes, and a `layer_sink` is the sole consumer of blob
+  /// contents — the streaming pipeline's memory model.
+  bool retain_blobs = true;
+  /// Invoked exactly once per unique verified layer (checkpoint resumes
+  /// included) from the worker that acquired it, outside all internal
+  /// locks. May block: a bounded downstream queue blocks the pushing
+  /// worker, which is precisely the backpressure a streaming pipeline
+  /// wants. With dedup_unique_layers off it fires once per acquisition.
+  std::function<void(const digest::Digest&, const blob::BlobPtr&)> layer_sink;
+  /// Cooperative cancellation: once set, repositories not yet started are
+  /// skipped (counted in DownloadStats::repos_canceled). In-flight
+  /// repositories finish normally, so a checkpointed run can be "killed"
+  /// mid-stream and later resumed without torn per-repo state.
+  const std::atomic<bool>* cancel = nullptr;
+  /// Re-deliver checkpoint-completed repositories through the sinks (the
+  /// manifest is re-fetched; layer bytes come from the checkpoint store,
+  /// not the network). A resumed streaming run needs the full image set to
+  /// rebuild its report; a mirror-style run does not — hence opt-in.
+  bool deliver_resumed = false;
 };
 
 /// A fully fetched image: parsed manifest plus one blob per manifest layer
@@ -66,6 +88,7 @@ struct DownloadStats {
   std::uint64_t failed_digest = 0;    ///< blob never hashed to its digest
   std::uint64_t failed_other = 0;
   std::uint64_t repos_resumed = 0;    ///< skipped: checkpoint says complete
+  std::uint64_t repos_canceled = 0;   ///< never started: run was canceled
   std::uint64_t layers_fetched = 0;   ///< verified blob transfers
   std::uint64_t layers_deduped = 0;   ///< skipped: already fetched this run
   std::uint64_t layers_resumed = 0;   ///< loaded from the checkpoint store
@@ -79,7 +102,7 @@ struct DownloadStats {
   /// Every attempted repository lands in exactly one bucket.
   std::uint64_t accounted() const noexcept {
     return succeeded + failed_auth + failed_no_tag + failed_missing +
-           failed_digest + failed_other + repos_resumed;
+           failed_digest + failed_other + repos_resumed + repos_canceled;
   }
 };
 

@@ -1,0 +1,33 @@
+#include "dockmine/registry/throttle.h"
+
+#include <chrono>
+#include <thread>
+
+namespace dockmine::registry {
+
+void ThrottledSource::stall(double modeled_ms) {
+  if (scale_ <= 0.0) return;
+  const double ms = modeled_ms * scale_;
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+  double prev = throttled_ms_.load(std::memory_order_relaxed);
+  while (!throttled_ms_.compare_exchange_weak(prev, prev + ms,
+                                              std::memory_order_relaxed)) {
+  }
+}
+
+util::Result<std::string> ThrottledSource::fetch_manifest(
+    const std::string& repository, const std::string& tag,
+    bool authenticated) {
+  stall(cost_.base_ms);
+  return upstream_.fetch_manifest(repository, tag, authenticated);
+}
+
+util::Result<blob::BlobPtr> ThrottledSource::fetch_blob(
+    const digest::Digest& digest) {
+  auto blob = upstream_.fetch_blob(digest);
+  // Transfer time depends on the byte count actually served.
+  stall(cost_.transfer_ms(blob.ok() ? blob.value()->size() : 0));
+  return blob;
+}
+
+}  // namespace dockmine::registry

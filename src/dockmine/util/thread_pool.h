@@ -9,6 +9,7 @@
 // dataset, and shutdown drains remaining work.
 #pragma once
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -35,6 +36,19 @@ class BoundedQueue {
     not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
     if (closed_) return false;
     items_.push_back(std::move(item));
+    peak_ = std::max(peak_, items_.size());
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push. False if full or closed (item left untouched so the
+  /// caller can fall back to the blocking push and count the stall).
+  bool try_push(T& item) {
+    std::unique_lock lock(mutex_);
+    if (closed_ || items_.size() >= capacity_) return false;
+    items_.push_back(std::move(item));
+    peak_ = std::max(peak_, items_.size());
     lock.unlock();
     not_empty_.notify_one();
     return true;
@@ -77,6 +91,15 @@ class BoundedQueue {
     return items_.size();
   }
 
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  /// High-water mark of items resident at once — the measured peak blob
+  /// residency of a streaming run (never exceeds capacity()).
+  std::size_t peak() const {
+    std::lock_guard lock(mutex_);
+    return peak_;
+  }
+
   bool closed() const {
     std::lock_guard lock(mutex_);
     return closed_;
@@ -88,6 +111,7 @@ class BoundedQueue {
   std::condition_variable not_full_;
   std::deque<T> items_;
   std::size_t capacity_;
+  std::size_t peak_ = 0;
   bool closed_ = false;
 };
 

@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Deterministic generator for the fuzz regression corpus.
+
+Each file is a malformed (or edge-case) input that once tripped — or is
+designed to trip — the untrusted-side parsers: the gzip decompressor, the
+tar reader, and the layer analyzer's whiteout handling. The corpus is
+committed; fuzz_test replays every file on each run so the failure modes
+stay covered forever. Re-running this script must reproduce the files
+byte-for-byte (no timestamps, no randomness).
+
+Usage: python3 make_corpus.py [output_dir]
+"""
+
+import gzip
+import io
+import os
+import struct
+import sys
+import tarfile
+
+
+def tar_bytes(build):
+    """Serialize a tar archive built by `build(tarfile.TarFile)`."""
+    buf = io.BytesIO()
+    # GNU format matches what docker layer tars in the wild mostly use.
+    with tarfile.open(fileobj=buf, mode="w", format=tarfile.GNU_FORMAT) as tf:
+        build(tf)
+    return buf.getvalue()
+
+
+def add_file(tf, name, data=b"", mode=0o644):
+    info = tarfile.TarInfo(name)
+    info.size = len(data)
+    info.mode = mode
+    info.mtime = 0
+    tf.addfile(info, io.BytesIO(data))
+
+
+def gzip_bytes(data):
+    buf = io.BytesIO()
+    with gzip.GzipFile(fileobj=buf, mode="wb", mtime=0) as gz:
+        gz.write(data)
+    return buf.getvalue()
+
+
+def truncated_gzip_member():
+    """A valid member with the tail (part of payload + CRC/ISIZE) cut off."""
+    whole = gzip_bytes(b"x" * 4096)
+    return whole[: len(whole) // 2]
+
+
+def bad_crc_gzip_member():
+    """Valid deflate stream, corrupted CRC32 trailer."""
+    whole = bytearray(gzip_bytes(b"docker layer bytes " * 64))
+    whole[-5] ^= 0xFF  # flip a CRC byte, leave ISIZE alone
+    return bytes(whole)
+
+
+def torn_longname_tar():
+    """A GNU long-name ('L') header whose payload is cut mid-name.
+
+    The reader sees typeflag L promising 300 bytes of name, but the
+    archive ends inside the name payload — no data blocks, no terminator.
+    """
+    long_name = ("deeply/" * 42 + "leaf").encode()
+    whole = tar_bytes(lambda tf: add_file(tf, long_name.decode(), b"payload"))
+    # The GNU long-name member is the first 512-byte header + name blocks;
+    # cut inside the name payload block.
+    return whole[: 512 + 100]
+
+
+def zero_length_ustar_entry():
+    """A ustar header block whose name field is entirely NUL.
+
+    Structurally a 'present' header (checksum valid) describing a nameless,
+    zero-size regular file — degenerate but seen from sloppy writers. The
+    reader must neither crash nor loop.
+    """
+    header = bytearray(512)
+    # mode/uid/gid/size/mtime as zero octal fields.
+    header[100:108] = b"0000644\x00"
+    header[108:116] = b"0000000\x00"
+    header[116:124] = b"0000000\x00"
+    header[124:136] = b"00000000000\x00"
+    header[136:148] = b"00000000000\x00"
+    header[156] = ord("0")  # typeflag: regular file
+    header[257:263] = b"ustar\x00"
+    header[263:265] = b"00"
+    # Checksum over the header with the checksum field spaced out.
+    header[148:156] = b" " * 8
+    checksum = sum(header)
+    header[148:156] = ("%06o" % checksum).encode() + b"\x00 "
+    return bytes(header) + b"\x00" * 1024  # end-of-archive marker
+
+
+def whiteout_edges_tar():
+    """Every `.wh.` whiteout spelling the analyzer must take a stance on:
+    a plain whiteout, an opaque-directory marker, a bare `.wh.` name, a
+    whiteout of a whiteout, and a normal file that merely contains `.wh.`
+    mid-name (NOT a whiteout)."""
+
+    def build(tf):
+        add_file(tf, "etc/config", b"kept")
+        add_file(tf, "etc/.wh.removed", b"")
+        add_file(tf, "opt/.wh..wh..opq", b"")
+        add_file(tf, ".wh.", b"")
+        add_file(tf, "tmp/.wh..wh.double", b"")
+        add_file(tf, "srv/file.wh.inside", b"not a whiteout")
+
+    return tar_bytes(build)
+
+
+CORPUS = {
+    "gzip_truncated_member.bin": truncated_gzip_member,
+    "gzip_bad_crc.bin": bad_crc_gzip_member,
+    "tar_torn_longname.bin": torn_longname_tar,
+    "tar_zero_length_ustar.bin": zero_length_ustar_entry,
+    "tar_whiteout_edges.bin": whiteout_edges_tar,
+    # The whiteout tar again, as a gzip'd layer blob for the full
+    # gunzip -> untar -> classify path.
+    "layer_whiteout_edges.bin": lambda: gzip_bytes(whiteout_edges_tar()),
+}
+
+
+def main():
+    out_dir = sys.argv[1] if len(sys.argv) > 1 else os.path.dirname(__file__)
+    for name, gen in sorted(CORPUS.items()):
+        data = gen()
+        path = os.path.join(out_dir, name)
+        with open(path, "wb") as f:
+            f.write(data)
+        print(f"{name}: {len(data)} bytes")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,8 +1,13 @@
 // Robustness fuzzing: the parsers and the classifier must never crash or
 // loop on arbitrary input — they sit on the pipeline's untrusted side
 // (the paper's analyzer ingested whatever Docker Hub served).
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
 #include <gtest/gtest.h>
 
+#include "dockmine/analyzer/layer_analyzer.h"
 #include "dockmine/compress/gzip.h"
 #include "dockmine/filetype/classifier.h"
 #include "dockmine/http/message.h"
@@ -101,6 +106,109 @@ TEST_P(FuzzTest, GatewayRepliesToArbitraryRequests) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest,
                          ::testing::Range<std::uint64_t>(1, 9));
+
+// ---------------------------------------------------------------------------
+// Regression corpus replay. tests/corpus/ holds committed inputs (generated
+// by make_corpus.py, byte-reproducible) that exercise the parser edge cases
+// random fuzzing rarely hits: truncated gzip members, torn GNU long-name
+// headers, degenerate ustar blocks, and every `.wh.` whiteout spelling.
+// Each file is replayed twice so flaky (input-order- or state-dependent)
+// parsing shows up as a diff, not a shrug.
+// ---------------------------------------------------------------------------
+
+std::string read_corpus(const std::string& name) {
+  const std::filesystem::path path =
+      std::filesystem::path(DOCKMINE_CORPUS_DIR) / name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing corpus file " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return std::move(buffer).str();
+}
+
+struct TarReplay {
+  bool ok = false;
+  int entries = 0;
+  int whiteouts = 0;
+};
+
+TarReplay replay_tar(const std::string& archive) {
+  TarReplay replay;
+  tar::Reader reader(archive);
+  replay.ok = reader
+                  .for_each([&](const tar::Entry& entry) {
+                    ++replay.entries;
+                    if (entry.is_whiteout()) ++replay.whiteouts;
+                  })
+                  .ok();
+  return replay;
+}
+
+TEST(CorpusTest, TruncatedGzipMemberIsRejected) {
+  const std::string blob = read_corpus("gzip_truncated_member.bin");
+  ASSERT_FALSE(blob.empty());
+  EXPECT_FALSE(compress::gzip_decompress(blob).ok());
+  EXPECT_FALSE(compress::gzip_decompress(blob).ok());  // deterministic
+}
+
+TEST(CorpusTest, BadCrcGzipMemberIsRejected) {
+  const std::string blob = read_corpus("gzip_bad_crc.bin");
+  ASSERT_FALSE(blob.empty());
+  EXPECT_FALSE(compress::gzip_decompress(blob).ok());
+}
+
+TEST(CorpusTest, TornGnuLongNameHeaderTerminates) {
+  const std::string archive = read_corpus("tar_torn_longname.bin");
+  ASSERT_FALSE(archive.empty());
+  const TarReplay first = replay_tar(archive);
+  // The archive ends inside the long-name payload: no entry can complete.
+  EXPECT_EQ(first.entries, 0);
+  const TarReplay again = replay_tar(archive);
+  EXPECT_EQ(first.ok, again.ok);
+  EXPECT_EQ(first.entries, again.entries);
+}
+
+TEST(CorpusTest, ZeroLengthUstarEntryTerminates) {
+  const std::string archive = read_corpus("tar_zero_length_ustar.bin");
+  ASSERT_EQ(archive.size(), 1536u);  // one header + end-of-archive marker
+  const TarReplay first = replay_tar(archive);
+  EXPECT_LE(first.entries, 1);  // nameless zero-size file or rejection
+  const TarReplay again = replay_tar(archive);
+  EXPECT_EQ(first.ok, again.ok);
+  EXPECT_EQ(first.entries, again.entries);
+}
+
+TEST(CorpusTest, WhiteoutSpellingsClassifyConsistently) {
+  const std::string archive = read_corpus("tar_whiteout_edges.bin");
+  const TarReplay replay = replay_tar(archive);
+  EXPECT_TRUE(replay.ok);
+  EXPECT_EQ(replay.entries, 6);
+  // `.wh.removed`, `.wh..wh..opq`, bare `.wh.`, `.wh..wh.double` are
+  // whiteouts; `file.wh.inside` (mid-name) and `etc/config` are not.
+  EXPECT_EQ(replay.whiteouts, 4);
+}
+
+TEST(CorpusTest, WhiteoutLayerBlobAnalyzesDeterministically) {
+  const std::string blob = read_corpus("layer_whiteout_edges.bin");
+  const analyzer::LayerAnalyzer layer_analyzer;
+
+  std::vector<std::string> paths;
+  analyzer::FileVisitor visitor =
+      [&](std::string_view path, const analyzer::FileRecord&) {
+        paths.emplace_back(path);
+      };
+  auto profile = layer_analyzer.analyze_blob(blob, &visitor);
+  ASSERT_TRUE(profile.ok()) << profile.error().message();
+  // Whiteout markers are metadata, not content: only the two real files
+  // survive into the profile.
+  EXPECT_EQ(profile.value().file_count, 2u);
+  EXPECT_EQ(paths, (std::vector<std::string>{"etc/config", "srv/file.wh.inside"}));
+
+  auto again = layer_analyzer.analyze_blob(blob);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(profile.value().digest, again.value().digest);
+  EXPECT_EQ(profile.value().fls, again.value().fls);
+}
 
 }  // namespace
 }  // namespace dockmine

@@ -1,0 +1,92 @@
+// Golden-figure regression suite: pins the paper's headline numbers as
+// computed at the default seed, so calibration or analyzer drift fails
+// loudly instead of silently skewing every downstream figure.
+//
+//   Fig 3  — layer sizes: median compressed layer < 4 MB
+//   Fig 10 — layers per image: median 8
+//   Fig 23 — layer sharing: logical/physical ~= 1.8x
+//   Fig 25 — file dedup: 31.5x count / 6.9x capacity *shape* (both ratios
+//            well above 1, count >> capacity, and growing with scale
+//            toward the paper's full-crawl values)
+//
+// Everything here is a deterministic function of (calibration, scale,
+// seed), so the pins use tight tolerances: a failure means the dataset
+// changed, not that the test got unlucky.
+#include <gtest/gtest.h>
+
+#include "dockmine/core/dataset.h"
+
+namespace dockmine::core {
+namespace {
+
+class GoldenFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    // Half the paper-calibrated bench scale: large enough that the
+    // scale-dependent headline numbers (median layers, sharing ratio)
+    // match the paper, small enough for the tier-1 budget.
+    synth::HubModel hub(synth::Calibration::paper(),
+                        synth::Scale{1000, 20170530});
+    DatasetOptions options;
+    options.workers = 8;
+    stats = new DatasetStats(DatasetStats::compute(hub, options));
+
+    synth::HubModel small_hub(synth::Calibration::paper(),
+                              synth::Scale::test());
+    small_stats = new DatasetStats(DatasetStats::compute(small_hub, options));
+  }
+  static void TearDownTestSuite() {
+    delete stats;
+    stats = nullptr;
+    delete small_stats;
+    small_stats = nullptr;
+  }
+
+  static DatasetStats* stats;        // scale 1000, default seed
+  static DatasetStats* small_stats;  // scale 300, default seed
+};
+
+DatasetStats* GoldenFixture::stats = nullptr;
+DatasetStats* GoldenFixture::small_stats = nullptr;
+
+TEST_F(GoldenFixture, Fig3MedianCompressedLayerUnder4MB) {
+  // Paper: "the median layer size is smaller than 4MB".
+  EXPECT_LT(stats->layer_cls.median(), 4e6);
+  // Golden pin at the default seed.
+  EXPECT_NEAR(stats->layer_cls.median(), 1037449.0, 1.0);
+  EXPECT_NEAR(stats->layer_cls.fraction_at_or_below(4e6), 0.7399, 0.005);
+}
+
+TEST_F(GoldenFixture, Fig10MedianLayersPerImageIsEight) {
+  // Paper: "the median number of layers per image is 8".
+  EXPECT_DOUBLE_EQ(stats->image_layers.median(), 8.0);
+  EXPECT_GE(stats->image_layers.min(), 1.0);
+}
+
+TEST_F(GoldenFixture, Fig23LayerSharingNearOnePointEight) {
+  // Paper Fig. 23 / §V-A: layers are shared ~1.8x across images.
+  const double ratio = stats->sharing.sharing_ratio();
+  EXPECT_GT(ratio, 1.7);
+  EXPECT_LT(ratio, 1.9);
+  EXPECT_NEAR(ratio, 1.7811, 0.005);
+}
+
+TEST_F(GoldenFixture, Fig25DedupRatioShape) {
+  // Paper full crawl: 31.5x file-count dedup, 6.9x capacity dedup. Both
+  // ratios grow with crawl size; at reduced scale the *shape* must hold:
+  // count dedup well above capacity dedup, both well above 1.
+  const dedup::DedupTotals totals = stats->file_index->totals();
+  EXPECT_GT(totals.count_ratio(), totals.capacity_ratio());
+  EXPECT_GT(totals.capacity_ratio(), 2.0);
+  EXPECT_NEAR(totals.count_ratio(), 6.158, 0.02);
+  EXPECT_NEAR(totals.capacity_ratio(), 2.7214, 0.02);
+
+  // ...and the ratios strictly grow toward the paper's numbers as the
+  // crawl widens (300 -> 1000 repositories).
+  const dedup::DedupTotals small = small_stats->file_index->totals();
+  EXPECT_GT(totals.count_ratio(), small.count_ratio());
+  EXPECT_GT(totals.capacity_ratio(), small.capacity_ratio());
+}
+
+}  // namespace
+}  // namespace dockmine::core

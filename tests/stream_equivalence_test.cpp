@@ -1,0 +1,77 @@
+// Equivalence property: serial, staged-parallel, and streamed execution of
+// the end-to-end pipeline produce byte-identical canonical reports for a
+// fixed seed, across queue depths. This is the determinism contract the
+// streaming refactor must honor — overlap changes *when* work happens,
+// never *what* the dataset looks like.
+#include <cstdint>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "dockmine/core/pipeline.h"
+
+namespace dockmine::core {
+namespace {
+
+PipelineOptions small_options(std::uint64_t seed) {
+  PipelineOptions options;
+  // Light calibration: bytes-mode runs materialize every file for real, so
+  // the paper-scale file populations would swamp a unit test.
+  options.calibration = synth::Calibration::light();
+  options.scale = synth::Scale{60, seed};
+  options.gzip_level = 1;
+  return options;
+}
+
+PipelineResult run_mode(std::uint64_t seed, ExecutionMode mode,
+                        std::size_t queue_depth) {
+  PipelineOptions options = small_options(seed);
+  options.mode = mode;
+  options.queue_depth = queue_depth;
+  auto result = run_end_to_end(options);
+  EXPECT_TRUE(result.ok()) << result.error().message();
+  return std::move(result).value();
+}
+
+TEST(StreamEquivalenceTest, AllModesAndDepthsProduceByteIdenticalReports) {
+  const std::uint64_t seeds[] = {20170530, 7, 99991};
+  for (std::uint64_t seed : seeds) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+
+    PipelineResult serial = run_mode(seed, ExecutionMode::kSerial, 16);
+    const std::string golden = pipeline_report_json(serial).dump();
+    ASSERT_FALSE(golden.empty());
+    ASSERT_GT(serial.images.size(), 0u);
+    ASSERT_GT(serial.layer_profiles.size(), 0u);
+
+    PipelineResult staged = run_mode(seed, ExecutionMode::kStaged, 16);
+    EXPECT_EQ(golden, pipeline_report_json(staged).dump());
+
+    const std::size_t depths[] = {1, 4, 64};
+    for (std::size_t depth : depths) {
+      SCOPED_TRACE("queue depth " + std::to_string(depth));
+      PipelineResult streamed = run_mode(seed, ExecutionMode::kStreamed, depth);
+      EXPECT_EQ(golden, pipeline_report_json(streamed).dump());
+
+      // The hand-off honored its bound: never more blobs resident in the
+      // queue than the configured capacity.
+      EXPECT_EQ(streamed.stream.queue_capacity, depth);
+      EXPECT_LE(streamed.stream.queue_peak, depth);
+      EXPECT_GT(streamed.stream.layers_enqueued, 0u);
+      // Every enqueued blob was consumed (dedup'd digests analyze once).
+      EXPECT_EQ(streamed.stream.layers_analyzed,
+                static_cast<std::uint64_t>(streamed.layer_profiles.size()));
+    }
+  }
+}
+
+TEST(StreamEquivalenceTest, StreamedModeSkipsTheRunWideBlobCache) {
+  PipelineResult streamed = run_mode(20170530, ExecutionMode::kStreamed, 4);
+  // With retain_blobs off the downloader delivers images without bytes;
+  // the analyzer saw every layer through the queue instead.
+  EXPECT_EQ(streamed.stream.layers_enqueued, streamed.download.layers_fetched);
+  EXPECT_GT(streamed.layer_profiles.size(), 0u);
+}
+
+}  // namespace
+}  // namespace dockmine::core

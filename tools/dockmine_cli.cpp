@@ -323,6 +323,20 @@ int cmd_metrics(const Flags& flags) {
   options.download_workers = flags.u64("workers", 4);
   options.analyze_workers = flags.u64("workers", 4);
 
+  const std::string mode = flags.str("mode").empty() ? std::string("staged")
+                                                     : flags.str("mode");
+  if (mode == "serial") {
+    options.mode = core::ExecutionMode::kSerial;
+  } else if (mode == "staged") {
+    options.mode = core::ExecutionMode::kStaged;
+  } else if (mode == "streamed") {
+    options.mode = core::ExecutionMode::kStreamed;
+  } else {
+    std::cerr << "metrics: --mode must be serial, staged, or streamed\n";
+    return 2;
+  }
+  options.queue_depth = flags.u64("depth", 16);
+
   obs::set_enabled(true);
   auto result = core::run_end_to_end(options);
   obs::set_enabled(false);
@@ -336,9 +350,16 @@ int cmd_metrics(const Flags& flags) {
   } else if (format == "prom") {
     std::cout << obs::to_prometheus(report);
   } else {
-    std::cout << "metrics for an end-to-end run over "
+    std::cout << "metrics for an end-to-end " << mode << " run over "
               << options.scale.repositories << " repositories\n";
     core::print_metrics(std::cout, report);
+    if (options.mode == core::ExecutionMode::kStreamed) {
+      const auto& stream = result.value().stream;
+      std::cout << "stream: " << stream.layers_analyzed << " layers through a "
+                << stream.queue_capacity << "-deep queue (peak "
+                << stream.queue_peak << ", " << stream.producer_stalls
+                << " producer stalls)\n";
+    }
   }
   return 0;
 }
@@ -388,6 +409,7 @@ int usage() {
       "  pull     --port P [--token T] [--workers W]\n"
       "  export   --out DIR [--repos N] [--light] [--gzip L]\n"
       "  metrics  [--repos N] [--seed S] [--workers W] [--paper]\n"
+      "           [--mode serial|staged|streamed] [--depth N]\n"
       "           [--format table|json|prom]   instrumented pipeline run\n"
       "  gc       --dir STORE [live-manifest.json ...]\n";
   return 2;
