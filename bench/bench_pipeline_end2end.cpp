@@ -8,9 +8,11 @@
 // the overlap win and the bounded blob residency of the streaming hand-off.
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 
 #include "common.h"
 #include "dockmine/core/pipeline.h"
+#include "dockmine/json/json.h"
 #include "dockmine/util/stopwatch.h"
 
 int main(int argc, char** argv) {
@@ -132,5 +134,51 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(stream.queue_capacity),
       static_cast<unsigned long long>(stream.producer_stalls),
       streamed.value().throttled_ms / 1000.0, identical ? "yes" : "NO");
+
+  // Machine-readable summary for CI trend tracking and tooling
+  // (DOCKMINE_BENCH_JSON overrides the output path).
+  {
+    auto doc = json::Value::object();
+    doc.set("bench", "pipeline_end2end");
+    doc.set("repositories",
+            static_cast<std::uint64_t>(options.scale.repositories));
+    doc.set("seed", options.scale.seed);
+
+    auto full = json::Value::object();
+    full.set("wall_seconds", wall);
+    full.set("pipeline_seconds", r.pipeline_seconds);
+    full.set("images_downloaded", r.download.succeeded);
+    full.set("bytes_downloaded", r.download.bytes_downloaded);
+    full.set("unique_layers", static_cast<std::uint64_t>(
+                                  r.layer_profiles.size()));
+    full.set("unique_file_fraction",
+             r.file_index ? r.file_index->totals().unique_file_fraction()
+                          : 0.0);
+    doc.set("full_run", std::move(full));
+
+    auto modes = json::Value::object();
+    modes.set("repositories",
+              static_cast<std::uint64_t>(cmp.scale.repositories));
+    modes.set("network_scale", cmp.network_scale);
+    modes.set("staged_seconds", staged_wall);
+    modes.set("streamed_seconds", streamed_wall);
+    modes.set("speedup", staged_wall / streamed_wall);
+    modes.set("queue_capacity", stream.queue_capacity);
+    modes.set("queue_peak", stream.queue_peak);
+    modes.set("producer_stalls", stream.producer_stalls);
+    modes.set("reports_identical", identical);
+    doc.set("mode_comparison", std::move(modes));
+
+    const char* json_path = std::getenv("DOCKMINE_BENCH_JSON");
+    const std::string out_path =
+        json_path != nullptr ? json_path : "BENCH_pipeline.json";
+    std::ofstream out(out_path, std::ios::trunc);
+    if (out) {
+      out << doc.dump_pretty() << "\n";
+      std::printf("\n  wrote %s\n", out_path.c_str());
+    } else {
+      std::fprintf(stderr, "could not write %s\n", out_path.c_str());
+    }
+  }
   return 0;
 }

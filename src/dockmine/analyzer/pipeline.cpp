@@ -62,8 +62,9 @@ void AnalysisPipeline::Session::analyze(const digest::Digest& digest,
   };
   LayerAnalyzer::Timing timing;
   const double start_ms = timed_ ? obs::now_ms() : 0.0;
+  const bool want_files = sink_.on_file || sink_.on_file_concurrent;
   auto profile = analyzer_.analyze_blob(
-      gzip_blob, sink_.on_file ? &visitor : nullptr,
+      gzip_blob, want_files ? &visitor : nullptr,
       /*dir_visitor=*/nullptr, timed_ ? &timing : nullptr);
   if (timed_) {
     const double total_ms = obs::now_ms() - start_ms;
@@ -83,20 +84,29 @@ void AnalysisPipeline::Session::analyze(const digest::Digest& digest,
     metrics.failures.add();
   }
 
-  std::lock_guard lock(mutex_);
-  if (!profile.ok()) {
-    if (first_error_.ok()) first_error_ = std::move(profile).error();
-    return;
+  {
+    std::lock_guard lock(mutex_);
+    if (!profile.ok()) {
+      if (first_error_.ok()) first_error_ = std::move(profile).error();
+      return;
+    }
+    // Two workers racing the same digest both analyze, but only the first
+    // one's results are delivered — duplicate sink calls would skew dedup.
+    if (store_.contains(profile.value().digest)) return;
+    store_.put(profile.value());
+    analyzed_.fetch_add(1, std::memory_order_relaxed);
+    if (sink_.on_layer) sink_.on_layer(profile.value());
+    if (sink_.on_file) {
+      for (const FileRecord& record : batch) {
+        sink_.on_file(profile.value().digest, record);
+      }
+    }
   }
-  // Two workers racing the same digest both analyze, but only the first
-  // one's results are delivered — duplicate sink calls would skew dedup.
-  if (store_.contains(profile.value().digest)) return;
-  store_.put(profile.value());
-  analyzed_.fetch_add(1, std::memory_order_relaxed);
-  if (sink_.on_layer) sink_.on_layer(profile.value());
-  if (sink_.on_file) {
+  // The delivery race is settled (this thread won it), so concurrent file
+  // delivery outside the mutex is still exactly-once per unique layer.
+  if (sink_.on_file_concurrent) {
     for (const FileRecord& record : batch) {
-      sink_.on_file(profile.value().digest, record);
+      sink_.on_file_concurrent(profile.value().digest, record);
     }
   }
 }

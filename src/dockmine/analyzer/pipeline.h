@@ -34,13 +34,22 @@ class AnalysisPipeline {
     LayerAnalyzer::Options analyzer;
   };
 
-  /// Consumer callbacks. All are invoked under an internal mutex (thread
-  /// safe to use plain accumulators); any may be null.
+  /// Consumer callbacks. Except for on_file_concurrent, all are invoked
+  /// under an internal mutex (thread safe to use plain accumulators); any
+  /// may be null.
   struct Sink {
     std::function<void(const LayerProfile&)> on_layer;  ///< per unique layer
     std::function<void(const digest::Digest& layer_digest,
                        const FileRecord& record)>
         on_file;                                        ///< per file
+    /// Per file, like on_file, but invoked OUTSIDE the session mutex — from
+    /// whichever worker thread won the layer's delivery race, after the
+    /// race is decided (still exactly once per unique layer). The callback
+    /// must be safe to run from many threads at once; sharded dedup routing
+    /// uses this to keep the streamed hot path lock-free.
+    std::function<void(const digest::Digest& layer_digest,
+                       const FileRecord& record)>
+        on_file_concurrent;
     std::function<void(const ImageProfile&)> on_image;
   };
 

@@ -1,0 +1,99 @@
+#include "dockmine/core/multi_node.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <utility>
+
+#include "dockmine/shard/merger.h"
+
+namespace dockmine::core {
+
+util::Result<MultiNodeResult> run_multi_node(const MultiNodeOptions& options) {
+  if (options.nodes == 0)
+    return util::invalid_argument("multi-node: need at least one node");
+  if (!options.base.shard.enabled())
+    return util::invalid_argument(
+        "multi-node: the sharded dedup backend must be enabled");
+  if (options.export_root.empty())
+    return util::invalid_argument("multi-node: export_root is required");
+
+  MultiNodeResult out;
+  out.node_results.reserve(options.nodes);
+  out.shard_set_dirs.reserve(options.nodes);
+
+  for (std::uint32_t node = 0; node < options.nodes; ++node) {
+    const std::string node_dir =
+        (std::filesystem::path(options.export_root) /
+         ("node-" + std::to_string(node)))
+            .string();
+    PipelineOptions node_options = options.base;
+    node_options.node_count = options.nodes;
+    node_options.node_index = node;
+    node_options.shard_export_dir = node_dir;
+    // Spills land next to the exported runs so the whole set ships as one
+    // directory.
+    node_options.shard.spill_dir = node_dir;
+    std::error_code ec;
+    std::filesystem::create_directories(node_dir, ec);
+    if (ec)
+      return util::internal("multi-node: cannot create " + node_dir);
+
+    auto result = run_end_to_end(node_options);
+    if (!result.ok()) return std::move(result).error();
+    out.node_results.push_back(std::move(result).value());
+    out.shard_set_dirs.push_back(node_dir);
+  }
+
+  // --- recombine: union the nodes' delivered work ---
+  PipelineResult& combined = out.combined;
+  for (PipelineResult& node : out.node_results) {
+    for (auto& image : node.images) combined.images.push_back(image);
+    for (auto& manifest : node.manifests) combined.manifests.push_back(manifest);
+    combined.manifests_pushed = node.manifests_pushed;  // same snapshot
+    node.layer_profiles.for_each(
+        [&](const analyzer::LayerProfile& profile) {
+          combined.layer_profiles.put(profile);
+        });
+  }
+  // Layer sharing is recomputed over the union of delivered manifests —
+  // the same fold run_end_to_end applies, so totals match a single run.
+  {
+    std::vector<dedup::LayerSharingAnalysis::LayerUse> uses;
+    for (const auto& manifest : combined.manifests) {
+      uses.clear();
+      for (const auto& ref : manifest.layers) {
+        uses.push_back({ref.digest.key64(), ref.compressed_size});
+      }
+      combined.sharing.add_image(uses);
+    }
+  }
+
+  // --- fold the K exported shard sets into one exact dedup section ---
+  shard::ShardMerger merger;
+  for (const std::string& dir : out.shard_set_dirs) {
+    if (auto s = merger.add_shard_set(dir); !s.ok()) return s.error();
+  }
+  auto aggregates = merger.merge_aggregates();
+  if (!aggregates.ok()) return std::move(aggregates).error();
+  combined.shard_summary.runs_merged = merger.stats().runs;
+  combined.shard_dedup = std::move(aggregates).value();
+  combined.shard_summary.enabled = true;
+  combined.shard_summary.shards = out.node_results.empty()
+                                      ? 0
+                                      : out.node_results[0].shard_summary.shards;
+  combined.shard_summary.distinct_contents =
+      combined.shard_dedup->distinct_contents;
+  combined.shard_summary.metadata_conflicts =
+      combined.shard_dedup->metadata_conflicts;
+  for (const PipelineResult& node : out.node_results) {
+    combined.shard_summary.observations += node.shard_summary.observations;
+    combined.shard_summary.spills += node.shard_summary.spills;
+    combined.shard_summary.spilled_bytes += node.shard_summary.spilled_bytes;
+    combined.shard_summary.peak_resident_bytes =
+        std::max(combined.shard_summary.peak_resident_bytes,
+                 node.shard_summary.peak_resident_bytes);
+  }
+  return out;
+}
+
+}  // namespace dockmine::core

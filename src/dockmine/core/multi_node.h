@@ -1,0 +1,49 @@
+// Multi-node simulation: split one analysis run across K pipeline
+// instances ("nodes"), each crawling the shared snapshot, downloading and
+// analyzing only its repository partition, and indexing only the layers it
+// owns under the deterministic ownership pass (DESIGN.md §10). Each node
+// freezes its sharded dedup index as an exported shard set; the combiner
+// folds the K sets — plus the nodes' image/layer results — into one result
+// whose analysis_report_json is byte-identical to a single-node run over
+// the full snapshot.
+//
+// This is an in-process simulation of the scale-out story (K processes on
+// K machines would exchange only the shard-set directories), and the same
+// exported directories feed the `dockmine merge-shards` CLI verb.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dockmine/core/pipeline.h"
+#include "dockmine/util/error.h"
+
+namespace dockmine::core {
+
+struct MultiNodeOptions {
+  /// Per-node pipeline settings. `shard` must be enabled (shards >= 1);
+  /// node_count/node_index/shard_export_dir are overwritten per node, and
+  /// each node spills into its own export directory.
+  PipelineOptions base;
+  std::uint32_t nodes = 2;
+  /// Root for the per-node shard sets: node i exports to
+  /// `<export_root>/node-<i>/shardset.json`.
+  std::string export_root;
+};
+
+struct MultiNodeResult {
+  /// Per-node pipeline outcomes, in node order.
+  std::vector<PipelineResult> node_results;
+  /// The recombined run: images/manifests/layer profiles concatenated,
+  /// layer sharing recomputed over the union, and the dedup section rebuilt
+  /// by merging every node's exported shard set. Download/crawl/service
+  /// accounting is left per node (see node_results); the canonical
+  /// analysis_report_json of this result equals the single-node report.
+  PipelineResult combined;
+  std::vector<std::string> shard_set_dirs;  ///< one per node
+};
+
+util::Result<MultiNodeResult> run_multi_node(const MultiNodeOptions& options);
+
+}  // namespace dockmine::core

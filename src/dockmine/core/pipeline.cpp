@@ -226,8 +226,44 @@ util::Result<PipelineResult> run_end_to_end(const PipelineOptions& options) {
     result.crawl = crawler.crawl_all();
   }
 
+  // --- multi-node: ownership pass over the GLOBAL crawl order ---
+  // Every node computes the same assignment locally against the
+  // deterministic registry: the first repository whose unauthenticated
+  // manifest fetch succeeds claims each of its not-yet-owned layers for
+  // node (crawl index % node_count). A node indexes only the layers it
+  // owns, so the union of all nodes' shard sets covers each unique layer
+  // of the deliverable set exactly once — no coordination, no double
+  // counting, and the merged report matches a single-node run bit for bit.
+  const std::uint32_t node_count = std::max<std::uint32_t>(1, options.node_count);
+  std::unordered_map<std::uint64_t, std::uint32_t> layer_owner;
+  if (node_count > 1) {
+    const auto span = tracer.span("ownership");
+    for (std::size_t r = 0; r < result.crawl.repositories.size(); ++r) {
+      auto manifest_json = service.get_manifest(result.crawl.repositories[r],
+                                                "latest", /*authenticated=*/false);
+      if (!manifest_json.ok()) continue;
+      auto manifest = registry::manifest_from_json(manifest_json.value());
+      if (!manifest.ok()) continue;
+      for (const auto& ref : manifest.value().layers) {
+        layer_owner.emplace(ref.digest.key64(),
+                            static_cast<std::uint32_t>(r % node_count));
+      }
+    }
+    // This node downloads only its repository partition.
+    std::vector<std::string> mine;
+    for (std::size_t r = 0; r < result.crawl.repositories.size(); ++r) {
+      if (r % node_count == options.node_index) {
+        mine.push_back(std::move(result.crawl.repositories[r]));
+      }
+    }
+    result.crawl.repositories = std::move(mine);
+  }
+
   // --- download + analyze, per execution mode ---
-  if (options.run_file_dedup) {
+  std::optional<shard::ShardedDedupIndex> sharded;
+  if (options.run_file_dedup && options.shard.enabled()) {
+    sharded.emplace(options.shard);
+  } else if (options.run_file_dedup) {
     result.file_index = std::make_unique<dedup::FileDedupIndex>(1 << 16);
   }
   std::unordered_map<std::uint64_t, std::uint32_t> layer_dense;
@@ -241,6 +277,24 @@ util::Result<PipelineResult> run_end_to_end(const PipelineOptions& options) {
           static_cast<std::uint32_t>(layer_dense.size()));
       result.file_index->add(record.digest, record.size, record.type,
                              it->second);
+    };
+  } else if (sharded) {
+    // Lock-free routing: delivered outside the session mutex, each worker
+    // thread appends to its own per-shard maps. The layer id is derived
+    // from the layer digest (not a shared dense-id map, which would need a
+    // lock); it only feeds first_layer/multi_layer, which the canonical
+    // report deliberately excludes.
+    const bool filter_by_owner = node_count > 1;
+    sink.on_file_concurrent = [&, filter_by_owner](
+                                  const digest::Digest& layer_digest,
+                                  const analyzer::FileRecord& record) {
+      if (filter_by_owner) {
+        auto it = layer_owner.find(layer_digest.key64());
+        if (it == layer_owner.end() || it->second != options.node_index) return;
+      }
+      sharded->local_writer().add(
+          record.digest, record.size, record.type,
+          static_cast<std::uint32_t>(layer_digest.key64() >> 32));
     };
   }
   sink.on_image = [&](const analyzer::ImageProfile& profile) {
@@ -269,6 +323,34 @@ util::Result<PipelineResult> run_end_to_end(const PipelineOptions& options) {
       }
       result.sharing.add_image(uses);
     }
+  }
+
+  // --- fold the sharded index back into exact aggregates ---
+  if (sharded) {
+    const auto span = tracer.span("shard_merge");
+    if (!options.shard_export_dir.empty()) {
+      auto manifest = sharded->export_shard_set(options.shard_export_dir);
+      if (!manifest.ok()) return std::move(manifest).error();
+      result.shard_summary.export_manifest = std::move(manifest).value();
+    }
+    shard::ShardMerger merger;
+    if (auto s = sharded->seal_into(merger); !s.ok()) return s.error();
+    auto aggregates = merger.merge_aggregates();
+    if (!aggregates.ok()) return std::move(aggregates).error();
+    result.shard_summary.runs_merged = merger.stats().runs;
+    result.shard_dedup = std::move(aggregates).value();
+
+    const shard::SpillStats spill = sharded->stats();
+    result.shard_summary.enabled = true;
+    result.shard_summary.shards = sharded->shards();
+    result.shard_summary.observations = sharded->observations();
+    result.shard_summary.distinct_contents =
+        result.shard_dedup->distinct_contents;
+    result.shard_summary.metadata_conflicts =
+        sharded->metadata_conflicts() + result.shard_dedup->metadata_conflicts;
+    result.shard_summary.spills = spill.spills;
+    result.shard_summary.spilled_bytes = spill.spilled_bytes;
+    result.shard_summary.peak_resident_bytes = spill.peak_resident_bytes;
   }
 
   result.pipeline_seconds =
@@ -375,6 +457,9 @@ json::Value analysis_report_json(const PipelineResult& result) {
 
   // --- file dedup (totals and per-content counts are order independent;
   // first_layer ids are not and are deliberately excluded) ---
+  // The monolithic index and the sharded backend emit the same fields in
+  // the same order from the same order-independent quantities, so the two
+  // backends are byte-interchangeable here.
   if (result.file_index) {
     const dedup::DedupTotals totals = result.file_index->totals();
     auto dedup = json::Value::object();
@@ -385,6 +470,17 @@ json::Value analysis_report_json(const PipelineResult& result) {
     dedup.set("count_ratio", totals.count_ratio());
     dedup.set("capacity_ratio", totals.capacity_ratio());
     dedup.set("repeat_counts", ecdf_json(result.file_index->repeat_count_cdf()));
+    report.set("dedup", std::move(dedup));
+  } else if (result.shard_dedup) {
+    const dedup::DedupTotals& totals = result.shard_dedup->totals;
+    auto dedup = json::Value::object();
+    dedup.set("total_files", totals.total_files);
+    dedup.set("unique_files", totals.unique_files);
+    dedup.set("total_bytes", totals.total_bytes);
+    dedup.set("unique_bytes", totals.unique_bytes);
+    dedup.set("count_ratio", totals.count_ratio());
+    dedup.set("capacity_ratio", totals.capacity_ratio());
+    dedup.set("repeat_counts", ecdf_json(result.shard_dedup->repeat_counts));
     report.set("dedup", std::move(dedup));
   }
 

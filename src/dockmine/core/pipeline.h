@@ -31,6 +31,8 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "dockmine/analyzer/image_analyzer.h"
@@ -42,6 +44,8 @@
 #include "dockmine/registry/faults.h"
 #include "dockmine/registry/resilient.h"
 #include "dockmine/registry/service.h"
+#include "dockmine/shard/merger.h"
+#include "dockmine/shard/sharded_index.h"
 #include "dockmine/synth/generator.h"
 #include "dockmine/synth/materialize.h"
 #include "dockmine/util/error.h"
@@ -96,6 +100,29 @@ struct PipelineOptions {
   /// answers in microseconds; throttling makes the staged-vs-streamed
   /// comparison measure real download/analysis overlap.
   double network_scale = 0.0;
+
+  /// Sharded dedup backend (dockmine::shard). shard.shards == 0 (the
+  /// default) keeps the monolithic FileDedupIndex; any other value routes
+  /// file observations to a hash-partitioned, optionally disk-spilling
+  /// index instead, and the report's dedup section is computed by merging
+  /// the shard runs. The emitted report bytes are identical either way, for
+  /// every execution mode, shard count, and spill threshold.
+  shard::Config shard;
+
+  /// When non-empty (requires shard.enabled()), additionally freeze the
+  /// sharded index into this directory as an exported shard set
+  /// (run files + shardset.json) that another process can fold with
+  /// ShardMerger::add_shard_set — the multi-node hand-off.
+  std::string shard_export_dir;
+
+  /// Multi-node simulation (requires shard.enabled() when > 1): this run
+  /// acts as node `node_index` of `node_count`. The node crawls the full
+  /// snapshot, then downloads/analyzes only its repository partition
+  /// (crawl order index % node_count) and indexes only the layers it owns
+  /// per the deterministic ownership pass (DESIGN.md §10), so the union of
+  /// all nodes' shard sets folds to exactly the single-node index.
+  std::uint32_t node_count = 1;
+  std::uint32_t node_index = 0;
 };
 
 /// Streamed-mode hand-off accounting; all zeros for the other modes.
@@ -107,6 +134,22 @@ struct StreamStats {
   std::uint64_t producer_stalls = 0;   ///< pushes that blocked (backpressure)
 };
 
+/// Accounting for the sharded dedup backend; all zeros when it is off.
+/// None of these fields feed the canonical reports (they are run-shape
+/// facts — spill pressure, resident peaks — not analysis results).
+struct ShardedDedupSummary {
+  bool enabled = false;
+  std::uint32_t shards = 0;
+  std::uint64_t observations = 0;       ///< file instances routed
+  std::uint64_t distinct_contents = 0;
+  std::uint64_t metadata_conflicts = 0;
+  std::uint64_t spills = 0;             ///< run files frozen to disk
+  std::uint64_t spilled_bytes = 0;
+  std::uint64_t peak_resident_bytes = 0;
+  std::uint64_t runs_merged = 0;        ///< memory + file runs folded
+  std::string export_manifest;          ///< shardset.json path when exported
+};
+
 struct PipelineResult {
   crawler::CrawlResult crawl;
   downloader::DownloadStats download;
@@ -114,6 +157,10 @@ struct PipelineResult {
   std::vector<analyzer::ImageProfile> images;
   analyzer::ProfileStore layer_profiles;
   std::unique_ptr<dedup::FileDedupIndex> file_index;
+  /// Dedup aggregates from the sharded backend (set instead of file_index
+  /// when PipelineOptions::shard is enabled).
+  std::optional<shard::MergedAggregates> shard_dedup;
+  ShardedDedupSummary shard_summary;
   dedup::LayerSharingAnalysis sharing;
   std::uint64_t manifests_pushed = 0;
   /// Manifests of every successfully delivered image (completion order).

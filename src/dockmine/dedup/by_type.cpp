@@ -3,13 +3,22 @@
 namespace dockmine::dedup {
 
 TypeBreakdown::TypeBreakdown(const FileDedupIndex& index) {
-  index.for_each([&](std::uint64_t, const ContentEntry& entry) {
-    TypeStats& type_stats = types_[static_cast<std::size_t>(entry.type)];
-    type_stats.count += entry.count;
-    type_stats.bytes += entry.count * entry.size;
-    type_stats.unique_count += 1;
-    type_stats.unique_bytes += entry.size;
-  });
+  index.for_each(
+      [&](std::uint64_t, const ContentEntry& entry) { observe(entry); });
+  finalize();
+}
+
+void TypeBreakdown::observe(const ContentEntry& entry) {
+  TypeStats& type_stats = types_[static_cast<std::size_t>(entry.type)];
+  type_stats.count += entry.count;
+  type_stats.bytes += entry.count * entry.size;
+  type_stats.unique_count += 1;
+  type_stats.unique_bytes += entry.size;
+}
+
+void TypeBreakdown::finalize() {
+  groups_.fill(TypeStats{});
+  overall_ = TypeStats{};
   for (std::size_t t = 0; t < types_.size(); ++t) {
     const auto group = filetype::group_of(static_cast<filetype::Type>(t));
     groups_[static_cast<std::size_t>(group)].merge(types_[t]);

@@ -43,9 +43,24 @@ struct TypeStats {
 };
 
 /// Aggregate the dedup index by level-3 type and level-2 group.
+///
+/// Two construction styles: from a resident FileDedupIndex (one shot), or
+/// streaming — default-construct, observe() each distinct-content entry
+/// exactly once (e.g. while a ShardMerger folds spilled runs), then
+/// finalize(). The sharded out-of-core path uses the streaming form so the
+/// breakdown never needs the full index resident.
 class TypeBreakdown {
  public:
+  TypeBreakdown() = default;
   explicit TypeBreakdown(const FileDedupIndex& index);
+
+  /// Streaming construction: fold one distinct content's entry.
+  void observe(const ContentEntry& entry);
+
+  /// Derive group and overall rollups from the observed types. Idempotent;
+  /// required before any by_group/overall/share query on the streaming
+  /// form.
+  void finalize();
 
   const TypeStats& by_type(filetype::Type type) const {
     return types_[static_cast<std::size_t>(type)];

@@ -7,27 +7,18 @@ namespace dockmine::dedup {
 void FileDedupIndex::add(std::uint64_t content_key, std::uint64_t size,
                          filetype::Type type, std::uint32_t layer_index) {
   ContentEntry& entry = entries_[remap_key(content_key)];
-  if (entry.count == 0) {
-    entry.size = size;
-    entry.type = type;
-    entry.first_layer = layer_index;
-  } else if (!entry.multi_layer && entry.first_layer != layer_index) {
-    entry.multi_layer = true;
-  }
-  ++entry.count;
+  ContentEntry observation;
+  observation.count = 1;
+  observation.size = size;
+  observation.type = type;
+  observation.first_layer = layer_index;
+  if (merge_content_entries(entry, observation)) ++conflicts_;
 }
 
 void FileDedupIndex::merge(const FileDedupIndex& other) {
+  conflicts_ += other.conflicts_;
   other.entries_.for_each([&](std::uint64_t key, const ContentEntry& in) {
-    ContentEntry& entry = entries_[key];
-    if (entry.count == 0) {
-      entry = in;
-      return;
-    }
-    entry.count += in.count;
-    entry.multi_layer = entry.multi_layer || in.multi_layer ||
-                        entry.first_layer != in.first_layer;
-    entry.first_layer = std::min(entry.first_layer, in.first_layer);
+    if (merge_content_entries(entries_[key], in)) ++conflicts_;
   });
 }
 

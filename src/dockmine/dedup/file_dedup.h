@@ -8,6 +8,7 @@
 // cross-layer duplication (Fig. 26) is answerable from the same index.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -21,10 +22,43 @@ namespace dockmine::dedup {
 struct ContentEntry {
   std::uint64_t count = 0;        ///< observed instances
   std::uint64_t size = 0;         ///< bytes of one instance
-  std::uint32_t first_layer = 0;
+  std::uint32_t first_layer = 0;  ///< lowest layer id among observations
   filetype::Type type = filetype::Type::kEmpty;
   bool multi_layer = false;       ///< seen in >= 2 distinct layers
 };
+
+/// Fold a partial observation `in` of the same content into `into`.
+/// Deterministic and order-independent (commutative + associative), so any
+/// sharded/spilled partition of the observation stream folds back to the
+/// exact entry the monolithic index would hold:
+///   * counts add;
+///   * the multi-layer bit ORs, and differing first-layers imply
+///     multi-layer (exact: each side's first_layer is the minimum of a set
+///     whose size-\>=2 case already set its bit);
+///   * first_layer takes the minimum;
+///   * conflicting size/type metadata (possible only under 64-bit key
+///     collisions or corrupted slices) resolves to the lexicographically
+///     smallest (size, type) pair instead of trusting whichever side merged
+///     last.
+/// Returns true when size/type conflicted, so callers can count mismatches.
+inline bool merge_content_entries(ContentEntry& into,
+                                  const ContentEntry& in) noexcept {
+  if (into.count == 0) {
+    into = in;
+    return false;
+  }
+  const bool conflict = into.size != in.size || into.type != in.type;
+  if (conflict && (in.size < into.size ||
+                   (in.size == into.size && in.type < into.type))) {
+    into.size = in.size;
+    into.type = in.type;
+  }
+  into.count += in.count;
+  into.multi_layer = into.multi_layer || in.multi_layer ||
+                     into.first_layer != in.first_layer;
+  into.first_layer = std::min(into.first_layer, in.first_layer);
+  return conflict;
+}
 
 struct DedupTotals {
   std::uint64_t total_files = 0;
@@ -77,10 +111,25 @@ class FileDedupIndex {
     return key == 0 ? 0x9e3779b97f4a7c15ULL : key;
   }
 
+  /// Splice a pre-folded entry (e.g. the outcome of a shard-run merge)
+  /// under an already-remapped, nonzero key. Folds with
+  /// merge_content_entries so repeated splices of partial entries behave
+  /// exactly like the underlying add() calls would have.
+  void insert_entry(std::uint64_t key, const ContentEntry& entry) {
+    if (merge_content_entries(entries_[key], entry)) ++conflicts_;
+  }
+
   /// Merge another index built over a DISJOINT slice of the layer
-  /// population (parallel sharding). Counts add; the multi-layer bit ORs,
-  /// and differing first-layers imply multi-layer.
+  /// population (parallel sharding). Entry folding follows
+  /// merge_content_entries: order-independent, with conflicting size/type
+  /// resolved deterministically and counted instead of trusted blindly.
   void merge(const FileDedupIndex& other);
+
+  /// Observations (add or merge) whose size/type metadata disagreed with
+  /// the entry already held for the same content key. Nonzero means 64-bit
+  /// key collisions or inconsistent input slices; the resolution is
+  /// deterministic either way.
+  std::uint64_t metadata_conflicts() const noexcept { return conflicts_; }
 
   DedupTotals totals() const;
 
@@ -110,6 +159,7 @@ class FileDedupIndex {
 
  private:
   util::FlatMap64<ContentEntry> entries_;
+  std::uint64_t conflicts_ = 0;
 };
 
 }  // namespace dockmine::dedup

@@ -1,0 +1,194 @@
+#include "dockmine/shard/merger.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "dockmine/json/json.h"
+#include "dockmine/obs/obs.h"
+
+namespace dockmine::shard {
+namespace {
+
+struct MergerMetrics {
+  obs::Counter& runs = obs::Registry::global().counter(
+      "dockmine_shard_merge_runs_total");
+  obs::Counter& entries = obs::Registry::global().counter(
+      "dockmine_shard_merge_entries_total");
+  obs::Counter& corrupt = obs::Registry::global().counter(
+      "dockmine_shard_merge_corrupt_runs_total");
+  obs::Histogram& wait_ms = obs::Registry::global().histogram(
+      "dockmine_shard_merge_wait_ms");
+};
+
+MergerMetrics& metrics() {
+  static MergerMetrics m;
+  return m;
+}
+
+}  // namespace
+
+bool ShardMerger::Source::advance() {
+  if (reader) return reader->next(head);
+  if (cursor >= memory.size()) return false;
+  head = memory[cursor++];
+  return true;
+}
+
+ShardMerger::ShardMerger() = default;
+
+void ShardMerger::add_memory_run(std::vector<RunEntry> entries) {
+  if (entries.empty()) return;
+  Source source;
+  source.memory = std::move(entries);
+  sources_.push_back(std::move(source));
+  ++stats_.runs;
+  metrics().runs.add();
+}
+
+util::Status ShardMerger::add_run_file(const std::string& path) {
+  auto reader = RunReader::open(path);
+  if (!reader.ok()) {
+    metrics().corrupt.add();
+    return reader.error();
+  }
+  Source source;
+  source.reader =
+      std::make_unique<RunReader>(std::move(reader).value());
+  sources_.push_back(std::move(source));
+  ++stats_.runs;
+  ++stats_.file_runs;
+  metrics().runs.add();
+  return util::Status::success();
+}
+
+util::Status ShardMerger::add_shard_set(const std::string& dir) {
+  const std::filesystem::path root(dir);
+  const std::filesystem::path manifest_path = root / kShardSetManifest;
+  std::ifstream in(manifest_path, std::ios::binary);
+  if (!in)
+    return util::not_found("shard set: no manifest at " +
+                           manifest_path.string());
+  std::ostringstream text;
+  text << in.rdbuf();
+  auto doc = json::parse(text.str());
+  if (!doc.ok())
+    return util::corrupt("shard set: bad manifest JSON at " +
+                         manifest_path.string() + ": " +
+                         doc.error().message());
+  const json::Value& manifest = doc.value();
+  if (manifest["format"].as_string() != "dockmine-shardset")
+    return util::corrupt("shard set: unrecognized manifest format");
+  if (manifest["version"].as_int() != 1)
+    return util::corrupt("shard set: unsupported manifest version");
+  if (!manifest["runs"].is_array())
+    return util::corrupt("shard set: manifest has no runs array");
+  for (const json::Value& run : manifest["runs"].items()) {
+    const std::string& file = run["file"].as_string();
+    std::filesystem::path path(file);
+    if (path.is_relative()) path = root / path;
+    const std::size_t before = sources_.size();
+    if (auto s = add_run_file(path.string()); !s.ok()) return s;
+    // Cross-check the manifest's own claim against the validated header.
+    if (run.contains("entries") &&
+        sources_[before].reader->entry_count() != run["entries"].as_uint())
+      return util::corrupt("shard set: manifest entry count mismatch for " +
+                           path.string());
+  }
+  return util::Status::success();
+}
+
+util::Status ShardMerger::merge(
+    const std::function<void(std::uint64_t, const dedup::ContentEntry&)>&
+        visit) {
+  if (consumed_)
+    return util::internal("shard merger: merge() may only run once");
+  consumed_ = true;
+  obs::Timer timer;
+
+  // Min-heap of source indices keyed by each source's current head key.
+  const auto later = [this](std::size_t a, std::size_t b) {
+    return sources_[a].head.key > sources_[b].head.key;
+  };
+  std::vector<std::size_t> heap;
+  heap.reserve(sources_.size());
+  for (std::size_t i = 0; i < sources_.size(); ++i) {
+    if (sources_[i].advance()) {
+      heap.push_back(i);
+    } else if (sources_[i].reader && !sources_[i].reader->exhausted()) {
+      return util::corrupt("shard merge: read failed in " +
+                           sources_[i].reader->path());
+    }
+  }
+  std::make_heap(heap.begin(), heap.end(), later);
+
+  const auto pop_min = [&]() {
+    std::pop_heap(heap.begin(), heap.end(), later);
+    const std::size_t index = heap.back();
+    heap.pop_back();
+    return index;
+  };
+  const auto reinsert = [&](std::size_t index) -> util::Status {
+    Source& source = sources_[index];
+    if (source.advance()) {
+      heap.push_back(index);
+      std::push_heap(heap.begin(), heap.end(), later);
+    } else if (source.reader && !source.reader->exhausted()) {
+      return util::corrupt("shard merge: read failed in " +
+                           source.reader->path());
+    }
+    return util::Status::success();
+  };
+
+  while (!heap.empty()) {
+    std::size_t index = pop_min();
+    const std::uint64_t key = sources_[index].head.key;
+    dedup::ContentEntry folded = sources_[index].head.entry;
+    ++stats_.entries_read;
+    if (auto s = reinsert(index); !s.ok()) return s;
+    while (!heap.empty() && sources_[heap.front()].head.key == key) {
+      index = pop_min();
+      if (dedup::merge_content_entries(folded, sources_[index].head.entry))
+        ++stats_.metadata_conflicts;
+      ++stats_.entries_read;
+      if (auto s = reinsert(index); !s.ok()) return s;
+    }
+    ++stats_.distinct_contents;
+    visit(key, folded);
+  }
+
+  metrics().entries.add(stats_.entries_read);
+  metrics().wait_ms.observe(timer.ms());
+  return util::Status::success();
+}
+
+util::Result<MergedAggregates> ShardMerger::merge_aggregates() {
+  MergedAggregates out;
+  auto status = merge([&](std::uint64_t, const dedup::ContentEntry& entry) {
+    out.totals.total_files += entry.count;
+    out.totals.total_bytes += entry.count * entry.size;
+    out.totals.unique_files += 1;
+    out.totals.unique_bytes += entry.size;
+    out.repeat_counts.add(static_cast<double>(entry.count));
+    out.by_type.observe(entry);
+    if (entry.count > out.max_repeat.count) out.max_repeat = entry;
+  });
+  if (!status.ok()) return status.error();
+  out.by_type.finalize();
+  out.distinct_contents = stats_.distinct_contents;
+  out.metadata_conflicts = stats_.metadata_conflicts;
+  return out;
+}
+
+util::Result<dedup::FileDedupIndex> ShardMerger::merge_to_index(
+    std::size_t expected_contents) {
+  dedup::FileDedupIndex index(expected_contents);
+  auto status = merge([&](std::uint64_t key, const dedup::ContentEntry& entry) {
+    index.insert_entry(key, entry);
+  });
+  if (!status.ok()) return status.error();
+  return index;
+}
+
+}  // namespace dockmine::shard

@@ -1,0 +1,98 @@
+// K-way merger folding shard runs — resident memory runs, spilled run
+// files, or whole exported shard sets from other nodes — back into the
+// exact aggregates the monolithic FileDedupIndex would produce.
+//
+// Every run is individually sorted by content key, so a single global heap
+// merge visits each distinct content once, in ascending key order,
+// regardless of how many shards, spills, nodes, or merge orderings produced
+// the runs. Per-key folding uses dedup::merge_content_entries, which is
+// commutative and associative; together these make the merged totals,
+// repeat-count multiset, and by-type breakdown byte-identical to the
+// monolithic index under ANY partitioning of the observation stream.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dockmine/dedup/by_type.h"
+#include "dockmine/dedup/file_dedup.h"
+#include "dockmine/shard/run_format.h"
+#include "dockmine/stats/cdf.h"
+#include "dockmine/util/error.h"
+
+namespace dockmine::shard {
+
+/// Name of the manifest written next to exported run files.
+inline constexpr std::string_view kShardSetManifest = "shardset.json";
+
+/// Everything the analysis report needs from the dedup index, computed in
+/// one streaming pass — the full index is never resident.
+struct MergedAggregates {
+  dedup::DedupTotals totals;
+  stats::Ecdf repeat_counts;       ///< one sample per distinct content
+  dedup::TypeBreakdown by_type;    ///< finalized
+  dedup::ContentEntry max_repeat;
+  std::uint64_t distinct_contents = 0;
+  std::uint64_t metadata_conflicts = 0;  ///< conflicts seen during the fold
+};
+
+class ShardMerger {
+ public:
+  ShardMerger();
+
+  /// Add a resident run (entries sorted strictly ascending by key).
+  void add_memory_run(std::vector<RunEntry> entries);
+
+  /// Add a spilled/exported run file. The file is fully validated here
+  /// (header, size, checksum, ordering, ranges) before it can contribute a
+  /// single entry; a corrupt file fails the add and taints the merger.
+  util::Status add_run_file(const std::string& path);
+
+  /// Add every run listed in `dir`/shardset.json (an exported shard set,
+  /// e.g. from another node).
+  util::Status add_shard_set(const std::string& dir);
+
+  struct Stats {
+    std::uint64_t runs = 0;            ///< memory + file runs
+    std::uint64_t file_runs = 0;
+    std::uint64_t entries_read = 0;    ///< pre-fold run entries
+    std::uint64_t distinct_contents = 0;
+    std::uint64_t metadata_conflicts = 0;
+  };
+
+  /// One-shot k-way merge: visit(key, folded_entry) per distinct content in
+  /// ascending key order. Consumes the sources.
+  util::Status merge(
+      const std::function<void(std::uint64_t, const dedup::ContentEntry&)>&
+          visit);
+
+  /// merge() + the standard report aggregations in one pass.
+  util::Result<MergedAggregates> merge_aggregates();
+
+  /// merge() into a resident FileDedupIndex — for callers that need point
+  /// lookups afterwards (cross-duplicate analysis, equivalence tests).
+  util::Result<dedup::FileDedupIndex> merge_to_index(
+      std::size_t expected_contents = 1 << 16);
+
+  const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Source {
+    std::vector<RunEntry> memory;
+    std::size_t cursor = 0;
+    std::unique_ptr<RunReader> reader;
+    RunEntry head;
+
+    /// Load the next entry into `head`; false when drained.
+    bool advance();
+  };
+
+  std::vector<Source> sources_;
+  Stats stats_;
+  bool consumed_ = false;
+};
+
+}  // namespace dockmine::shard

@@ -1,0 +1,284 @@
+#include "dockmine/shard/run_format.h"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "dockmine/compress/crc32.h"
+#include "dockmine/filetype/taxonomy.h"
+
+namespace dockmine::shard {
+namespace {
+
+void put_u32(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+  out.push_back(static_cast<char>((v >> 16) & 0xff));
+  out.push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v & 0xffffffffu));
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint32_t get_u32(const char* p) {
+  const auto* b = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<std::uint32_t>(b[0]) |
+         (static_cast<std::uint32_t>(b[1]) << 8) |
+         (static_cast<std::uint32_t>(b[2]) << 16) |
+         (static_cast<std::uint32_t>(b[3]) << 24);
+}
+
+std::uint64_t get_u64(const char* p) {
+  return static_cast<std::uint64_t>(get_u32(p)) |
+         (static_cast<std::uint64_t>(get_u32(p + 4)) << 32);
+}
+
+bool is_power_of_two(std::uint32_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+std::uint32_t log2_of(std::uint32_t v) {
+  std::uint32_t bits = 0;
+  while ((1u << bits) < v) ++bits;
+  return bits;
+}
+
+/// Top log2(shard_count) bits of the key select the shard.
+std::uint32_t partition_of(std::uint64_t key, std::uint32_t shard_count) {
+  if (shard_count == 1) return 0;
+  return static_cast<std::uint32_t>(key >> (64 - log2_of(shard_count)));
+}
+
+void encode_entry(std::string& out, const RunEntry& e) {
+  put_u64(out, e.key);
+  put_u64(out, e.entry.count);
+  put_u64(out, e.entry.size);
+  put_u32(out, e.entry.first_layer);
+  out.push_back(static_cast<char>(static_cast<std::uint8_t>(e.entry.type)));
+  out.push_back(static_cast<char>(e.entry.multi_layer ? 1 : 0));
+  out.push_back('\0');
+  out.push_back('\0');
+}
+
+/// Decode + validate one entry slot. `prev_key` is the previous key (0 before
+/// the first entry — valid keys are nonzero, so 0 doubles as "none").
+util::Status decode_entry(const char* p, std::uint64_t index,
+                          std::uint64_t prev_key, std::uint32_t shard_count,
+                          std::uint32_t shard_index, RunEntry& out) {
+  out.key = get_u64(p);
+  out.entry.count = get_u64(p + 8);
+  out.entry.size = get_u64(p + 16);
+  out.entry.first_layer = get_u32(p + 24);
+  const auto type = static_cast<std::uint8_t>(p[28]);
+  const auto flags = static_cast<std::uint8_t>(p[29]);
+  const auto pad = static_cast<std::uint8_t>(p[30]) |
+                   static_cast<std::uint8_t>(p[31]);
+  const std::string at = " at entry " + std::to_string(index);
+  if (out.key == 0) return util::corrupt("shard run: zero content key" + at);
+  if (out.key <= prev_key)
+    return util::corrupt("shard run: keys not strictly ascending" + at);
+  if (partition_of(out.key, shard_count) != shard_index)
+    return util::corrupt("shard run: key outside shard partition" + at);
+  if (out.entry.count == 0)
+    return util::corrupt("shard run: zero observation count" + at);
+  if (type >= filetype::kTypeCount)
+    return util::corrupt("shard run: file type out of range" + at);
+  if ((flags & ~1u) != 0 || pad != 0)
+    return util::corrupt("shard run: reserved flag/pad bits set" + at);
+  out.entry.type = static_cast<filetype::Type>(type);
+  out.entry.multi_layer = (flags & 1u) != 0;
+  return util::Status::success();
+}
+
+/// Validate a 32-byte header against `file_size`; on success fill the outs.
+util::Status decode_header(const char* h, std::uint64_t file_size,
+                           std::uint32_t& shard_count,
+                           std::uint32_t& shard_index, std::uint32_t& crc,
+                           std::uint64_t& entry_count) {
+  if (std::memcmp(h, kRunMagic.data(), kRunMagic.size()) != 0)
+    return util::corrupt("shard run: bad magic");
+  const std::uint32_t version = get_u32(h + 8);
+  if (version != kRunVersion)
+    return util::corrupt("shard run: unsupported version " +
+                         std::to_string(version));
+  shard_count = get_u32(h + 12);
+  shard_index = get_u32(h + 16);
+  crc = get_u32(h + 20);
+  entry_count = get_u64(h + 24);
+  if (!is_power_of_two(shard_count))
+    return util::corrupt("shard run: shard_count not a power of two");
+  if (shard_index >= shard_count)
+    return util::corrupt("shard run: shard_index out of range");
+  const std::uint64_t expect =
+      kRunHeaderBytes + entry_count * kRunEntryBytes;
+  if (entry_count > (file_size - kRunHeaderBytes) / kRunEntryBytes ||
+      file_size != expect)
+    return util::corrupt("shard run: size mismatch (truncated or padded)");
+  return util::Status::success();
+}
+
+}  // namespace
+
+std::string encode_run(std::uint32_t shard_count, std::uint32_t shard_index,
+                       const std::vector<RunEntry>& entries) {
+  std::string payload;
+  payload.reserve(entries.size() * kRunEntryBytes);
+  for (const RunEntry& e : entries) encode_entry(payload, e);
+
+  std::string out;
+  out.reserve(kRunHeaderBytes + payload.size());
+  out.append(kRunMagic);
+  put_u32(out, kRunVersion);
+  put_u32(out, shard_count);
+  put_u32(out, shard_index);
+  put_u32(out, compress::Crc32::of(payload));
+  put_u64(out, entries.size());
+  out.append(payload);
+  return out;
+}
+
+util::Result<std::vector<RunEntry>> decode_run(std::string_view bytes,
+                                               std::uint32_t* shard_count_out,
+                                               std::uint32_t* shard_index_out) {
+  if (bytes.size() < kRunHeaderBytes)
+    return util::corrupt("shard run: shorter than header");
+  std::uint32_t shard_count = 0, shard_index = 0, crc = 0;
+  std::uint64_t entry_count = 0;
+  if (auto s = decode_header(bytes.data(), bytes.size(), shard_count,
+                             shard_index, crc, entry_count);
+      !s.ok())
+    return s.error();
+  const std::string_view payload = bytes.substr(kRunHeaderBytes);
+  if (compress::Crc32::of(payload) != crc)
+    return util::corrupt("shard run: payload checksum mismatch");
+
+  std::vector<RunEntry> entries;
+  entries.reserve(static_cast<std::size_t>(entry_count));
+  std::uint64_t prev_key = 0;
+  for (std::uint64_t i = 0; i < entry_count; ++i) {
+    RunEntry e;
+    if (auto s = decode_entry(payload.data() + i * kRunEntryBytes, i, prev_key,
+                              shard_count, shard_index, e);
+        !s.ok())
+      return s.error();
+    prev_key = e.key;
+    entries.push_back(e);
+  }
+  if (shard_count_out != nullptr) *shard_count_out = shard_count;
+  if (shard_index_out != nullptr) *shard_index_out = shard_index;
+  return entries;
+}
+
+util::Status write_run_file(const std::string& path,
+                            std::uint32_t shard_count,
+                            std::uint32_t shard_index,
+                            const std::vector<RunEntry>& entries) {
+  const std::string bytes = encode_run(shard_count, shard_index, entries);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return util::internal("shard run: cannot open " + tmp);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) return util::internal("shard run: short write to " + tmp);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return util::internal("shard run: cannot rename into " + path);
+  }
+  return util::Status::success();
+}
+
+util::Result<RunReader> RunReader::open(const std::string& path) {
+  RunReader reader;
+  reader.path_ = path;
+  reader.in_.open(path, std::ios::binary);
+  if (!reader.in_) return util::not_found("shard run: cannot open " + path);
+
+  reader.in_.seekg(0, std::ios::end);
+  const auto file_size = static_cast<std::uint64_t>(reader.in_.tellg());
+  reader.in_.seekg(0, std::ios::beg);
+  if (file_size < kRunHeaderBytes)
+    return util::corrupt("shard run: shorter than header: " + path);
+
+  char header[kRunHeaderBytes];
+  reader.in_.read(header, kRunHeaderBytes);
+  if (!reader.in_) return util::corrupt("shard run: header read failed: " + path);
+  std::uint32_t crc = 0;
+  if (auto s = decode_header(header, file_size, reader.shard_count_,
+                             reader.shard_index_, crc, reader.entry_count_);
+      !s.ok())
+    return s.error();
+
+  // Validation prescan: checksum + per-entry checks over the whole payload
+  // before a single entry is surfaced, so corruption can never reach an
+  // aggregate. One buffered pass; entries are not retained.
+  reader.buffer_.resize(256 * kRunEntryBytes);
+  compress::Crc32 crc_check;
+  std::uint64_t prev_key = 0;
+  std::uint64_t index = 0;
+  std::uint64_t remaining = reader.entry_count_ * kRunEntryBytes;
+  while (remaining > 0) {
+    const std::size_t chunk = static_cast<std::size_t>(
+        std::min<std::uint64_t>(remaining, reader.buffer_.size()));
+    reader.in_.read(reader.buffer_.data(),
+                    static_cast<std::streamsize>(chunk));
+    if (static_cast<std::size_t>(reader.in_.gcount()) != chunk)
+      return util::corrupt("shard run: payload read failed: " + path);
+    crc_check.update(reader.buffer_.data(), chunk);
+    for (std::size_t off = 0; off < chunk; off += kRunEntryBytes, ++index) {
+      RunEntry e;
+      if (auto s =
+              decode_entry(reader.buffer_.data() + off, index, prev_key,
+                           reader.shard_count_, reader.shard_index_, e);
+          !s.ok())
+        return s.error();
+      prev_key = e.key;
+    }
+    remaining -= chunk;
+  }
+  if (crc_check.value() != crc)
+    return util::corrupt("shard run: payload checksum mismatch: " + path);
+
+  // Rewind past the header for the streaming pass.
+  reader.in_.clear();
+  reader.in_.seekg(static_cast<std::streamoff>(kRunHeaderBytes),
+                   std::ios::beg);
+  reader.consumed_ = 0;
+  reader.buffer_pos_ = 0;
+  reader.buffer_len_ = 0;
+  return reader;
+}
+
+bool RunReader::refill() {
+  const std::uint64_t remaining =
+      (entry_count_ - consumed_) * kRunEntryBytes;
+  if (remaining == 0) return false;
+  const std::size_t chunk = static_cast<std::size_t>(
+      std::min<std::uint64_t>(remaining, buffer_.size()));
+  in_.read(buffer_.data(), static_cast<std::streamsize>(chunk));
+  if (static_cast<std::size_t>(in_.gcount()) != chunk) return false;
+  buffer_pos_ = 0;
+  buffer_len_ = chunk;
+  return true;
+}
+
+bool RunReader::next(RunEntry& out) {
+  if (consumed_ >= entry_count_) return false;
+  if (buffer_pos_ >= buffer_len_ && !refill()) return false;
+  const char* p = buffer_.data() + buffer_pos_;
+  // Prescan already validated every slot; decode without re-checking.
+  out.key = get_u64(p);
+  out.entry.count = get_u64(p + 8);
+  out.entry.size = get_u64(p + 16);
+  out.entry.first_layer = get_u32(p + 24);
+  out.entry.type = static_cast<filetype::Type>(static_cast<std::uint8_t>(p[28]));
+  out.entry.multi_layer = (static_cast<std::uint8_t>(p[29]) & 1u) != 0;
+  buffer_pos_ += kRunEntryBytes;
+  ++consumed_;
+  return true;
+}
+
+}  // namespace dockmine::shard

@@ -1,0 +1,115 @@
+// On-disk spill run format for the sharded dedup index (dockmine::shard).
+//
+// A *run* is one shard's partially aggregated content entries, sorted
+// strictly ascending by content key, frozen to disk when the shard's
+// resident map hits its spill threshold (or when a shard set is exported
+// for another node to merge). Runs are immutable once written; the k-way
+// ShardMerger folds any number of runs — from this process or from other
+// nodes — back into exact aggregates.
+//
+// Layout (all integers little-endian):
+//
+//   header, 32 bytes
+//     [ 0..8)   magic  "DMSHRUN1" (version baked into the last byte)
+//     [ 8..12)  format version, u32 (== kRunVersion)
+//     [12..16)  shard_count, u32 (power of two, >= 1)
+//     [16..20)  shard_index, u32 (< shard_count)
+//     [20..24)  CRC-32 (IEEE) over the entry section, u32
+//     [24..32)  entry_count, u64
+//   entries, 32 bytes each
+//     [ 0..8)   content key, u64 (nonzero; strictly ascending; top
+//               log2(shard_count) bits must equal shard_index)
+//     [ 8..16)  count, u64 (nonzero)
+//     [16..24)  size, u64
+//     [24..28)  first_layer, u32
+//     [28]      type, u8 (< filetype::kTypeCount)
+//     [29]      flags, u8 (bit 0 = multi_layer; other bits must be zero)
+//     [30..32)  zero padding
+//
+// Validation is strict and total: a reader accepts a run only when the
+// magic, version, exact file size, CRC, key ordering, partition bounds, and
+// every per-entry range check pass. Anything else — truncation, bit flips,
+// nonzero padding, stale versions — is rejected with kCorrupt before a
+// single entry reaches an aggregate, so a damaged run can fail a merge but
+// never skew one.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dockmine/dedup/file_dedup.h"
+#include "dockmine/util/error.h"
+
+namespace dockmine::shard {
+
+inline constexpr std::string_view kRunMagic = "DMSHRUN1";
+inline constexpr std::uint32_t kRunVersion = 1;
+inline constexpr std::size_t kRunHeaderBytes = 32;
+inline constexpr std::size_t kRunEntryBytes = 32;
+
+/// One distinct content's partially aggregated observation, as carried by a
+/// run. `entry` has the exact FileDedupIndex semantics; folding run entries
+/// for the same key with dedup::merge_content_entries reconstructs the
+/// monolithic entry.
+struct RunEntry {
+  std::uint64_t key = 0;
+  dedup::ContentEntry entry;
+};
+
+/// Serialize a run to its byte representation. Precondition: `entries` is
+/// sorted strictly ascending by key and every key belongs to the
+/// (shard_count, shard_index) partition.
+std::string encode_run(std::uint32_t shard_count, std::uint32_t shard_index,
+                       const std::vector<RunEntry>& entries);
+
+/// Full in-memory decode with complete validation (fuzz/replay surface; the
+/// merger streams through RunReader instead).
+util::Result<std::vector<RunEntry>> decode_run(std::string_view bytes,
+                                               std::uint32_t* shard_count = nullptr,
+                                               std::uint32_t* shard_index = nullptr);
+
+/// Write a run file atomically (temp file + rename).
+util::Status write_run_file(const std::string& path,
+                            std::uint32_t shard_count,
+                            std::uint32_t shard_index,
+                            const std::vector<RunEntry>& entries);
+
+/// Streaming run reader. open() makes a full validation pass (header, size,
+/// CRC, ordering, partition and range checks) without retaining entries,
+/// then rewinds; next() streams entries in key order with O(1) memory. A
+/// file that opens cleanly cannot fail validation mid-merge.
+class RunReader {
+ public:
+  static util::Result<RunReader> open(const std::string& path);
+
+  /// Pop the next entry; false at end of run.
+  bool next(RunEntry& out);
+
+  std::uint32_t shard_count() const noexcept { return shard_count_; }
+  std::uint32_t shard_index() const noexcept { return shard_index_; }
+  std::uint64_t entry_count() const noexcept { return entry_count_; }
+  /// True once every entry has been streamed. next() returning false while
+  /// !exhausted() means the file changed or failed under us after the
+  /// validation pass — the merger must abort, not under-aggregate.
+  bool exhausted() const noexcept { return consumed_ == entry_count_; }
+  const std::string& path() const noexcept { return path_; }
+
+ private:
+  RunReader() = default;
+  bool refill();
+
+  std::string path_;
+  std::ifstream in_;
+  std::uint32_t shard_count_ = 1;
+  std::uint32_t shard_index_ = 0;
+  std::uint64_t entry_count_ = 0;
+  std::uint64_t consumed_ = 0;
+  std::vector<char> buffer_;
+  std::size_t buffer_pos_ = 0;
+  std::size_t buffer_len_ = 0;
+};
+
+}  // namespace dockmine::shard

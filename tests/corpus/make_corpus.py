@@ -17,6 +17,7 @@ import os
 import struct
 import sys
 import tarfile
+import zlib
 
 
 def tar_bytes(build):
@@ -110,6 +111,53 @@ def whiteout_edges_tar():
     return tar_bytes(build)
 
 
+def shard_run_bytes(shard_count, shard_index, entries):
+    """Encode a dockmine::shard spill run (run_format.h, DMSHRUN1 v1).
+
+    entries: list of (key, count, size, first_layer, type, multi_layer),
+    sorted strictly ascending by key, keys in the declared partition.
+    """
+    payload = b"".join(
+        struct.pack("<QQQIBBH", key, count, size, first_layer, ftype,
+                    1 if multi else 0, 0)
+        for key, count, size, first_layer, ftype, multi in entries
+    )
+    header = struct.pack(
+        "<8sIIIIQ", b"DMSHRUN1", 1, shard_count, shard_index,
+        zlib.crc32(payload) & 0xFFFFFFFF, len(entries)
+    )
+    return header + payload
+
+
+def valid_shard_run():
+    """A well-formed 3-entry run for shard 2 of 4 (keys' top bits = 0b10).
+
+    fuzz_test asserts the exact fold of this run: 16 file instances over 3
+    distinct contents, 3*10 + 1*0 + 12*4096 = 49182 total bytes.
+    """
+    base = 0x8000000000000000
+    return shard_run_bytes(4, 2, [
+        (base + 0x01, 3, 10, 0, 1, True),
+        (base + 0x07, 1, 0, 2, 0, False),
+        (base + 0x100, 12, 4096, 1, 2, True),
+    ])
+
+
+def truncated_shard_run():
+    """The valid run cut mid-entry: the size/count check must reject it
+    before the checksum is even consulted."""
+    return valid_shard_run()[:-9]
+
+
+def bitflipped_shard_run():
+    """The valid run with one payload bit flipped (a count byte): structure
+    still parses, the CRC must catch it — a damaged run can fail a merge but
+    never skew one."""
+    whole = bytearray(valid_shard_run())
+    whole[32 + 8] ^= 0x04  # entry 0's count field
+    return bytes(whole)
+
+
 CORPUS = {
     "gzip_truncated_member.bin": truncated_gzip_member,
     "gzip_bad_crc.bin": bad_crc_gzip_member,
@@ -119,6 +167,10 @@ CORPUS = {
     # The whiteout tar again, as a gzip'd layer blob for the full
     # gunzip -> untar -> classify path.
     "layer_whiteout_edges.bin": lambda: gzip_bytes(whiteout_edges_tar()),
+    # Shard spill runs (dockmine::shard run_format): one good, two damaged.
+    "shard_run_valid.bin": valid_shard_run,
+    "shard_run_truncated.bin": truncated_shard_run,
+    "shard_run_bitflip.bin": bitflipped_shard_run,
 }
 
 

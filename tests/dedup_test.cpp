@@ -241,6 +241,162 @@ TEST(FileDedupTest, ShardMergeEqualsSerial) {
   EXPECT_EQ(mismatches, 0u);
 }
 
+TEST(FileDedupTest, MergeConflictingMetadataIsDeterministicAndCounted) {
+  // Two slices disagree about content 9's size/type (a 64-bit key collision
+  // or a corrupted slice). The fold must pick the same winner regardless of
+  // merge order — the lexicographically smallest (size, type) — and count
+  // the disagreement instead of silently trusting the last writer.
+  for (bool swap : {false, true}) {
+    SCOPED_TRACE(swap ? "large merged into small" : "small merged into large");
+    FileDedupIndex small_side, large_side;
+    small_side.add(std::uint64_t{9}, 10, Type::kAsciiText, 2);
+    large_side.add(std::uint64_t{9}, 99, Type::kPng, 5);
+    FileDedupIndex& into = swap ? small_side : large_side;
+    const FileDedupIndex& from = swap ? large_side : small_side;
+    into.merge(from);
+
+    const ContentEntry* entry = into.find(std::uint64_t{9});
+    ASSERT_NE(entry, nullptr);
+    EXPECT_EQ(entry->count, 2u);
+    EXPECT_EQ(entry->size, 10u);
+    EXPECT_EQ(entry->type, Type::kAsciiText);
+    EXPECT_EQ(entry->first_layer, 2u);
+    EXPECT_TRUE(entry->multi_layer);
+    EXPECT_EQ(into.metadata_conflicts(), 1u);
+    EXPECT_EQ(into.totals().unique_bytes, 10u);
+  }
+}
+
+TEST(FileDedupTest, MergeEmptyAndSingleEntryEdges) {
+  FileDedupIndex empty_a, empty_b;
+  empty_a.merge(empty_b);  // empty into empty
+  EXPECT_EQ(empty_a.distinct_contents(), 0u);
+  EXPECT_EQ(empty_a.totals().total_files, 0u);
+  EXPECT_EQ(empty_a.metadata_conflicts(), 0u);
+
+  FileDedupIndex single;
+  single.add(std::uint64_t{42}, 7, Type::kJpeg, 3);
+  single.merge(empty_a);  // empty into single: unchanged
+  EXPECT_EQ(single.distinct_contents(), 1u);
+  EXPECT_EQ(single.totals().total_files, 1u);
+
+  FileDedupIndex target;
+  target.merge(single);  // single into empty: exact copy
+  const ContentEntry* entry = target.find(std::uint64_t{42});
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->count, 1u);
+  EXPECT_EQ(entry->size, 7u);
+  EXPECT_EQ(entry->type, Type::kJpeg);
+  EXPECT_EQ(entry->first_layer, 3u);
+  EXPECT_FALSE(entry->multi_layer);
+  EXPECT_EQ(target.metadata_conflicts(), 0u);
+}
+
+TEST(TypeBreakdownTest, MergedShardsMatchMonolithicBreakdown) {
+  // §V-E per-type dedup through the merge path: the breakdown over a merged
+  // index equals the breakdown over the serially built one.
+  const synth::HubModel hub(synth::Calibration::paper(), synth::Scale{60, 31});
+  const auto& layers = hub.unique_layers();
+  FileDedupIndex serial(1 << 12), shard_a(1 << 12), shard_b(1 << 12);
+  const std::size_t half = layers.size() / 2;
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    const synth::LayerSpec spec = hub.layer_spec(layers[i]);
+    FileDedupIndex& shard = i < half ? shard_a : shard_b;
+    hub.layers().for_each_file(spec, [&](const synth::FileInstance& f) {
+      serial.add(f.content, f.size, f.type, static_cast<std::uint32_t>(i));
+      shard.add(f.content, f.size, f.type, static_cast<std::uint32_t>(i));
+    });
+  }
+  shard_a.merge(shard_b);
+  const TypeBreakdown merged(shard_a);
+  const TypeBreakdown expected(serial);
+  EXPECT_EQ(merged.overall().count, expected.overall().count);
+  EXPECT_EQ(merged.overall().bytes, expected.overall().bytes);
+  EXPECT_EQ(merged.overall().unique_count, expected.overall().unique_count);
+  EXPECT_EQ(merged.overall().unique_bytes, expected.overall().unique_bytes);
+  for (std::size_t t = 0; t < filetype::kTypeCount; ++t) {
+    const Type type = static_cast<Type>(t);
+    EXPECT_EQ(merged.by_type(type).count, expected.by_type(type).count);
+    EXPECT_EQ(merged.by_type(type).unique_bytes,
+              expected.by_type(type).unique_bytes);
+  }
+  for (std::size_t g = 0; g < filetype::kGroupCount; ++g) {
+    const auto group = static_cast<filetype::Group>(g);
+    EXPECT_EQ(merged.by_group(group).count, expected.by_group(group).count);
+    EXPECT_DOUBLE_EQ(merged.capacity_share(group),
+                     expected.capacity_share(group));
+  }
+}
+
+TEST(TypeBreakdownTest, StreamingObserveMatchesIndexConstructor) {
+  FileDedupIndex index;
+  index.add(std::uint64_t{1}, 100, Type::kCSource, 0);
+  index.add(std::uint64_t{1}, 100, Type::kCSource, 1);
+  index.add(std::uint64_t{2}, 300, Type::kElfExecutable, 0);
+  index.add(std::uint64_t{3}, 50, Type::kPng, 0);
+
+  TypeBreakdown streamed;
+  index.for_each([&](std::uint64_t, const ContentEntry& entry) {
+    streamed.observe(entry);
+  });
+  streamed.finalize();
+  streamed.finalize();  // idempotent
+
+  const TypeBreakdown direct(index);
+  EXPECT_EQ(streamed.overall().count, direct.overall().count);
+  EXPECT_EQ(streamed.overall().unique_bytes, direct.overall().unique_bytes);
+  EXPECT_EQ(streamed.by_type(Type::kCSource).count,
+            direct.by_type(Type::kCSource).count);
+  EXPECT_DOUBLE_EQ(streamed.capacity_share(filetype::Group::kEol),
+                   direct.capacity_share(filetype::Group::kEol));
+
+  TypeBreakdown empty;
+  empty.finalize();
+  EXPECT_EQ(empty.overall().count, 0u);
+  EXPECT_DOUBLE_EQ(empty.count_share(filetype::Group::kImages), 0.0);
+}
+
+TEST(CrossDupTest, MergedIndexAnswersSameAsMonolithic) {
+  // Cross-layer duplication (Fig. 26) reads multi_layer off the index; a
+  // merged index must answer identically to the serially built one.
+  FileDedupIndex serial, part_a, part_b;
+  const auto feed = [](FileDedupIndex& index, std::uint32_t only_layer,
+                       bool all) {
+    // Layers: 0 {A, B}, 1 {A, C}, 2 {C} (as in HandcraftedScenario).
+    struct Obs { std::uint64_t key; std::uint32_t layer; };
+    const Obs observations[] = {{1, 0}, {2, 0}, {1, 1}, {3, 1}, {3, 2}};
+    for (const Obs& o : observations) {
+      if (all || o.layer == only_layer)
+        index.add(o.key, 10, Type::kAsciiText, o.layer);
+    }
+  };
+  feed(serial, 0, true);
+  feed(part_a, 0, false);
+  feed(part_a, 1, false);
+  feed(part_b, 2, false);
+  part_a.merge(part_b);
+
+  const std::vector<std::uint32_t> refcounts = {1, 1, 2};
+  CrossDupAnalysis from_serial(serial, refcounts);
+  CrossDupAnalysis from_merged(part_a, refcounts);
+  const std::pair<std::uint32_t, std::uint64_t> observations[] = {
+      {0, 1}, {0, 2}, {1, 1}, {1, 3}, {2, 3}};
+  for (const auto& [layer, key] : observations) {
+    from_serial.observe(layer, key);
+    from_merged.observe(layer, key);
+  }
+  for (std::uint32_t layer = 0; layer < 3; ++layer) {
+    EXPECT_EQ(from_merged.layer_tally(layer).cross_layer,
+              from_serial.layer_tally(layer).cross_layer);
+    EXPECT_EQ(from_merged.layer_tally(layer).files,
+              from_serial.layer_tally(layer).files);
+  }
+  EXPECT_EQ(from_merged.cross_layer_cdf().size(),
+            from_serial.cross_layer_cdf().size());
+  EXPECT_DOUBLE_EQ(from_merged.cross_layer_cdf().max(),
+                   from_serial.cross_layer_cdf().max());
+}
+
 TEST(DatasetParallelTest, WorkersMatchSerial) {
   const synth::HubModel hub(synth::Calibration::paper(), synth::Scale{100, 13});
   core::DatasetOptions serial_options;

@@ -13,6 +13,8 @@
 #include "dockmine/http/message.h"
 #include "dockmine/json/json.h"
 #include "dockmine/registry/http_gateway.h"
+#include "dockmine/shard/merger.h"
+#include "dockmine/shard/run_format.h"
 #include "dockmine/tar/reader.h"
 #include "dockmine/util/rng.h"
 
@@ -186,6 +188,120 @@ TEST(CorpusTest, WhiteoutSpellingsClassifyConsistently) {
   // `.wh.removed`, `.wh..wh..opq`, bare `.wh.`, `.wh..wh.double` are
   // whiteouts; `file.wh.inside` (mid-name) and `etc/config` are not.
   EXPECT_EQ(replay.whiteouts, 4);
+}
+
+TEST_P(FuzzTest, ShardRunDecoderRejectsGarbage) {
+  util::Rng rng(GetParam() * 523);
+  for (int i = 0; i < 100; ++i) {
+    const std::string bytes = random_blob(rng, 512);
+    auto decoded = shard::decode_run(bytes);
+    // A random blob essentially never carries the magic, the exact size,
+    // and a matching CRC at once.
+    EXPECT_FALSE(decoded.ok());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Shard-run corpus: a valid spill run plus truncated and bit-flipped copies.
+// The decoder and the merger must reject damage with a clean error — a
+// corrupt run may fail a merge, but it must never crash the process or
+// contribute a single entry to an aggregate.
+// ---------------------------------------------------------------------------
+
+// Write a corpus blob to a temp file so the streaming RunReader/merger path
+// sees exactly the committed bytes.
+std::string corpus_as_file(const std::string& name, const std::string& blob) {
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() / ("dockmine_fuzz_" + name);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << blob;
+  out.close();
+  return path.string();
+}
+
+TEST(CorpusTest, ValidShardRunDecodesAndMergesExactly) {
+  const std::string blob = read_corpus("shard_run_valid.bin");
+  ASSERT_EQ(blob.size(), 128u);  // 32-byte header + 3 * 32-byte entries
+
+  std::uint32_t shard_count = 0, shard_index = 0;
+  auto decoded = shard::decode_run(blob, &shard_count, &shard_index);
+  ASSERT_TRUE(decoded.ok()) << decoded.error().message();
+  EXPECT_EQ(shard_count, 4u);
+  EXPECT_EQ(shard_index, 2u);
+  ASSERT_EQ(decoded.value().size(), 3u);
+
+  // Both ingestion paths (in-memory decode, streaming file reader) must
+  // fold to the numbers make_corpus.py encodes: 16 instances, 3 contents.
+  for (bool via_file : {false, true}) {
+    SCOPED_TRACE(via_file ? "file run" : "memory run");
+    shard::ShardMerger merger;
+    if (via_file) {
+      const std::string path = corpus_as_file("valid.dmrun", blob);
+      ASSERT_TRUE(merger.add_run_file(path).ok());
+      std::filesystem::remove(path);
+    } else {
+      merger.add_memory_run(decoded.value());
+    }
+    auto aggregates = merger.merge_aggregates();
+    ASSERT_TRUE(aggregates.ok()) << aggregates.error().message();
+    EXPECT_EQ(aggregates.value().totals.total_files, 16u);
+    EXPECT_EQ(aggregates.value().totals.unique_files, 3u);
+    EXPECT_EQ(aggregates.value().totals.total_bytes, 49182u);
+    EXPECT_EQ(aggregates.value().totals.unique_bytes, 4106u);
+    EXPECT_EQ(aggregates.value().max_repeat.count, 12u);
+  }
+}
+
+TEST(CorpusTest, TruncatedShardRunIsRejectedWithoutSkewingAggregates) {
+  const std::string good = read_corpus("shard_run_valid.bin");
+  const std::string bad = read_corpus("shard_run_truncated.bin");
+  ASSERT_LT(bad.size(), good.size());
+  EXPECT_FALSE(shard::decode_run(bad).ok());
+  EXPECT_FALSE(shard::decode_run(bad).ok());  // deterministic
+
+  // A merger that already holds the good run refuses the damaged file at
+  // add time; what it then merges is exactly the good run — nothing more.
+  shard::ShardMerger merger;
+  const std::string good_path = corpus_as_file("good.dmrun", good);
+  const std::string bad_path = corpus_as_file("trunc.dmrun", bad);
+  ASSERT_TRUE(merger.add_run_file(good_path).ok());
+  EXPECT_FALSE(merger.add_run_file(bad_path).ok());
+  auto aggregates = merger.merge_aggregates();
+  ASSERT_TRUE(aggregates.ok());
+  EXPECT_EQ(aggregates.value().totals.total_files, 16u);
+  EXPECT_EQ(aggregates.value().totals.unique_files, 3u);
+  std::filesystem::remove(good_path);
+  std::filesystem::remove(bad_path);
+}
+
+TEST(CorpusTest, BitflippedShardRunIsRejectedByChecksum) {
+  const std::string good = read_corpus("shard_run_valid.bin");
+  const std::string bad = read_corpus("shard_run_bitflip.bin");
+  ASSERT_EQ(bad.size(), good.size());
+  ASSERT_NE(bad, good);
+  EXPECT_FALSE(shard::decode_run(bad).ok());
+
+  const std::string path = corpus_as_file("flip.dmrun", bad);
+  EXPECT_FALSE(shard::RunReader::open(path).ok());
+  shard::ShardMerger merger;
+  EXPECT_FALSE(merger.add_run_file(path).ok());
+  std::filesystem::remove(path);
+}
+
+TEST(CorpusTest, EveryPossibleSingleBitFlipOfAValidRunIsRejected) {
+  // The format has no slack: the CRC covers the whole entry section and
+  // every header field is range-checked, so no single-bit flip anywhere in
+  // the file can survive validation.
+  const std::string good = read_corpus("shard_run_valid.bin");
+  ASSERT_TRUE(shard::decode_run(good).ok());
+  for (std::size_t byte = 0; byte < good.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string flipped = good;
+      flipped[byte] = static_cast<char>(flipped[byte] ^ (1 << bit));
+      EXPECT_FALSE(shard::decode_run(flipped).ok())
+          << "byte " << byte << " bit " << bit;
+    }
+  }
 }
 
 TEST(CorpusTest, WhiteoutLayerBlobAnalyzesDeterministically) {

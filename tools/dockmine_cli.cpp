@@ -7,6 +7,9 @@
 //   dockmine pull     --port P [--workers W] [--token T] mirror a registry
 //   dockmine export   [--repos N] --out DIR [--light]    blobs to disk store
 //   dockmine metrics  [--repos N] [--format F]           instrumented run
+//                     [--shards N] [--spill-mb M] [--spill-dir PATH]
+//                     [--export-shards DIR] [--nodes K] [--node I]
+//   dockmine merge-shards DIR [DIR ...]                  fold shard sets
 #include <csignal>
 #include <fstream>
 #include <iostream>
@@ -22,6 +25,7 @@
 #include "dockmine/downloader/downloader.h"
 #include "dockmine/registry/gc.h"
 #include "dockmine/registry/http_gateway.h"
+#include "dockmine/shard/merger.h"
 #include "dockmine/synth/materialize.h"
 #include "dockmine/util/bytes.h"
 #include "dockmine/util/stopwatch.h"
@@ -337,6 +341,24 @@ int cmd_metrics(const Flags& flags) {
   }
   options.queue_depth = flags.u64("depth", 16);
 
+  options.shard.shards = static_cast<std::uint32_t>(flags.u64("shards", 0));
+  options.shard.spill_threshold_bytes = flags.u64("spill-mb", 64) << 20;
+  options.shard.spill_dir = flags.str("spill-dir");
+  options.shard_export_dir = flags.str("export-shards");
+  options.node_count = static_cast<std::uint32_t>(flags.u64("nodes", 1));
+  options.node_index = static_cast<std::uint32_t>(flags.u64("node", 0));
+  if (options.shard.shards == 0 &&
+      (options.node_count > 1 || !options.shard.spill_dir.empty() ||
+       !options.shard_export_dir.empty())) {
+    std::cerr << "metrics: --spill-dir/--export-shards/--nodes require"
+                 " --shards N\n";
+    return 2;
+  }
+  if (options.node_index >= options.node_count) {
+    std::cerr << "metrics: --node must be < --nodes\n";
+    return 2;
+  }
+
   obs::set_enabled(true);
   auto result = core::run_end_to_end(options);
   obs::set_enabled(false);
@@ -360,6 +382,77 @@ int cmd_metrics(const Flags& flags) {
                 << stream.queue_peak << ", " << stream.producer_stalls
                 << " producer stalls)\n";
     }
+    const auto& sharded = result.value().shard_summary;
+    if (sharded.enabled) {
+      std::cout << "shards: " << sharded.shards << " shards, "
+                << util::format_count(sharded.observations)
+                << " observations -> "
+                << util::format_count(sharded.distinct_contents)
+                << " distinct contents, " << sharded.spills << " spills ("
+                << util::format_bytes(sharded.spilled_bytes)
+                << "), peak resident "
+                << util::format_bytes(sharded.peak_resident_bytes) << ", "
+                << sharded.runs_merged << " runs merged";
+      if (sharded.metadata_conflicts != 0) {
+        std::cout << ", " << sharded.metadata_conflicts << " conflicts";
+      }
+      if (!sharded.export_manifest.empty()) {
+        std::cout << "\nexported shard set: " << sharded.export_manifest;
+      }
+      std::cout << "\n";
+    }
+  }
+  return 0;
+}
+
+int cmd_merge_shards(const Flags& flags) {
+  if (flags.positional().empty()) {
+    std::cerr << "merge-shards requires one or more shard-set directories\n";
+    return 2;
+  }
+  shard::ShardMerger merger;
+  for (const std::string& dir : flags.positional()) {
+    if (auto added = merger.add_shard_set(dir); !added.ok()) {
+      std::cerr << added.error().to_string() << "\n";
+      return 1;
+    }
+  }
+  auto merged = merger.merge_aggregates();
+  if (!merged.ok()) {
+    std::cerr << merged.error().to_string() << "\n";
+    return 1;
+  }
+  const auto& aggregates = merged.value();
+  const auto& totals = aggregates.totals;
+  std::cout << "merged " << merger.stats().runs << " runs from "
+            << flags.positional().size() << " shard set(s), "
+            << util::format_count(merger.stats().entries_read)
+            << " run entries\n"
+            << "files: " << util::format_count(totals.total_files) << " ("
+            << util::format_bytes(totals.total_bytes) << ")\n"
+            << "unique: " << util::format_count(totals.unique_files) << " ("
+            << util::format_bytes(totals.unique_bytes) << ", "
+            << util::format_percent(totals.unique_file_fraction()) << ")\n"
+            << "dedup: " << core::fmt_ratio(totals.count_ratio())
+            << " count, " << core::fmt_ratio(totals.capacity_ratio())
+            << " capacity\n"
+            << "max repeat: " << util::format_count(aggregates.max_repeat.count)
+            << " copies of a " << util::format_bytes(aggregates.max_repeat.size)
+            << " file\n";
+  if (aggregates.metadata_conflicts != 0) {
+    std::cout << "metadata conflicts: " << aggregates.metadata_conflicts
+              << "\n";
+  }
+  std::cout << "\nby group (count% / capacity% / dedup%):\n";
+  for (std::size_t g = 0; g < filetype::kGroupCount; ++g) {
+    const auto group = static_cast<filetype::Group>(g);
+    std::printf("  %-5s %6s  %6s  %6s\n",
+                std::string(filetype::to_string(group)).c_str(),
+                core::fmt_pct(aggregates.by_type.count_share(group)).c_str(),
+                core::fmt_pct(aggregates.by_type.capacity_share(group)).c_str(),
+                core::fmt_pct(
+                    aggregates.by_type.by_group(group).capacity_removed())
+                    .c_str());
   }
   return 0;
 }
@@ -410,7 +503,11 @@ int usage() {
       "  export   --out DIR [--repos N] [--light] [--gzip L]\n"
       "  metrics  [--repos N] [--seed S] [--workers W] [--paper]\n"
       "           [--mode serial|staged|streamed] [--depth N]\n"
+      "           [--shards N] [--spill-mb M] [--spill-dir PATH]\n"
+      "           [--export-shards DIR] [--nodes K] [--node I]\n"
       "           [--format table|json|prom]   instrumented pipeline run\n"
+      "  merge-shards DIR [DIR ...]   fold exported shard sets into the\n"
+      "           dedup report (see metrics --export-shards)\n"
       "  gc       --dir STORE [live-manifest.json ...]\n";
   return 2;
 }
@@ -431,6 +528,7 @@ int main(int argc, char** argv) {
   if (command == "pull") return cmd_pull(flags);
   if (command == "export") return cmd_export(flags);
   if (command == "metrics") return cmd_metrics(flags);
+  if (command == "merge-shards") return cmd_merge_shards(flags);
   if (command == "gc") return cmd_gc(flags);
   return usage();
 }

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # One-command gate: tier-1 suite, then the concurrency-sensitive suites
-# under ThreadSanitizer, then the observability suites with the obs layer
-# compiled out (-DDOCKMINE_OBS=OFF) to prove the disabled path builds and
-# records nothing.
+# under ThreadSanitizer (including the sharded-dedup suites with a
+# pathological spill threshold, driving every run through the spill/merge
+# path), then the observability suites with the obs layer compiled out
+# (-DDOCKMINE_OBS=OFF) to prove the disabled path builds and records
+# nothing.
 #
 # Usage: tools/run_checks.sh [build-root]     (default: ./build-checks)
 set -euo pipefail
@@ -29,6 +31,8 @@ configure_and_build "${build_root}/tsan" -DDOCKMINE_SANITIZE=thread
 "${build_root}/tsan/tests/resilience_test"
 "${build_root}/tsan/tests/obs_test"
 "${build_root}/tsan/tests/obs_export_test"
+DOCKMINE_SHARD_SPILL_BYTES=1 "${build_root}/tsan/tests/shard_test"
+DOCKMINE_SHARD_SPILL_BYTES=1 "${build_root}/tsan/tests/shard_pipeline_test"
 
 echo "== [3/3] obs compiled out (-DDOCKMINE_OBS=OFF) =="
 configure_and_build "${build_root}/obs-off" -DDOCKMINE_OBS=OFF
