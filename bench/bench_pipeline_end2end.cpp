@@ -13,6 +13,9 @@
 #include "common.h"
 #include "dockmine/core/pipeline.h"
 #include "dockmine/json/json.h"
+#include "dockmine/obs/critical_path.h"
+#include "dockmine/obs/journal.h"
+#include "dockmine/obs/trace_export.h"
 #include "dockmine/util/stopwatch.h"
 
 int main(int argc, char** argv) {
@@ -135,6 +138,87 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(stream.producer_stalls),
       streamed.value().throttled_ms / 1000.0, identical ? "yes" : "NO");
 
+  // --- event-level tracing: overhead guard + trace.json ---------------------
+  // Re-run the streamed comparison with the trace journal recording every
+  // download/analyze/queue-wait event. Two things come out of it: the
+  // journal-on overhead ratio against the journal-off streamed run above
+  // (guarded against the stated bound), and a Chrome/Perfetto trace.json of
+  // the run plus its critical-path decomposition.
+  constexpr double kTraceOverheadBound = 1.25;
+  double traced_wall = 0.0;
+  bool traced_identical = false;
+  std::uint64_t trace_recorded = 0;
+  std::uint64_t trace_dropped = 0;
+  obs::CriticalPathReport crit;
+  json::Value trace_doc;
+  {
+    // Journal recording needs obs on; restore the caller's choice after
+    // (and do NOT reset_all — that would wipe a --metrics accumulation).
+    const bool was_enabled = obs::enabled();
+    obs::set_enabled(true);
+    obs::TraceJournal::global().reset();
+    obs::set_journal_enabled(true);
+    auto traced = core::run_end_to_end(cmp);
+    obs::set_journal_enabled(false);
+    obs::set_enabled(was_enabled);
+    if (!traced.ok()) {
+      std::fprintf(stderr, "traced run failed: %s\n",
+                   traced.error().to_string().c_str());
+      return 1;
+    }
+    traced_wall = traced.value().pipeline_seconds;
+    traced_identical =
+        core::pipeline_report_json(traced.value()).dump() ==
+        core::pipeline_report_json(streamed.value()).dump();
+    const auto events = obs::TraceJournal::global().snapshot();
+    trace_recorded = obs::TraceJournal::global().recorded();
+    trace_dropped = obs::TraceJournal::global().dropped();
+    crit = obs::critical_path(events);
+    trace_doc = obs::trace_to_json(events, trace_recorded, trace_dropped);
+  }
+  const double overhead = streamed_wall > 0.0 ? traced_wall / streamed_wall
+                                              : 1.0;
+  std::printf(
+      "\n  event-level tracing (streamed re-run, journal on):\n"
+      "    traced    %.2fs wall  (%.2fx of untraced; bound %.2fx %s)\n"
+      "    journal   %llu events recorded, %llu dropped;"
+      " report byte-identical to untraced: %s\n",
+      traced_wall, overhead, kTraceOverheadBound,
+      overhead <= kTraceOverheadBound ? "OK" : "EXCEEDED",
+      static_cast<unsigned long long>(trace_recorded),
+      static_cast<unsigned long long>(trace_dropped),
+      traced_identical ? "yes" : "NO");
+  if (crit.root_wall_ms > 0.0) {
+    std::printf("    critical path of 'pipeline' (%.2f ms wall, %.1f%% "
+                "attributed):\n",
+                crit.root_wall_ms,
+                100.0 * crit.attributed_ms / crit.root_wall_ms);
+    std::size_t shown = 0;
+    for (const auto& entry : crit.entries) {
+      if (++shown > 5) break;
+      std::printf("      %-20s %10.3f ms  (%5.1f%%, %llu segments)\n",
+                  entry.name.c_str(), entry.total_ms,
+                  100.0 * entry.total_ms / crit.root_wall_ms,
+                  static_cast<unsigned long long>(entry.segments));
+    }
+    std::printf("      %-20s %10.3f ms  (%5.1f%%)\n", "(root self)",
+                crit.root_self_ms,
+                100.0 * crit.root_self_ms / crit.root_wall_ms);
+  }
+  {
+    const char* trace_path_env = std::getenv("DOCKMINE_TRACE_JSON");
+    const std::string trace_path =
+        trace_path_env != nullptr ? trace_path_env : "trace.json";
+    std::ofstream out(trace_path, std::ios::trunc);
+    if (out) {
+      out << trace_doc.dump() << "\n";
+      std::printf("    wrote %s (chrome://tracing, ui.perfetto.dev)\n",
+                  trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "could not write %s\n", trace_path.c_str());
+    }
+  }
+
   // Machine-readable summary for CI trend tracking and tooling
   // (DOCKMINE_BENCH_JSON overrides the output path).
   {
@@ -168,6 +252,18 @@ int main(int argc, char** argv) {
     modes.set("producer_stalls", stream.producer_stalls);
     modes.set("reports_identical", identical);
     doc.set("mode_comparison", std::move(modes));
+
+    auto trace = json::Value::object();
+    trace.set("traced_seconds", traced_wall);
+    trace.set("untraced_seconds", streamed_wall);
+    trace.set("overhead_ratio", overhead);
+    trace.set("overhead_bound", kTraceOverheadBound);
+    trace.set("within_bound", overhead <= kTraceOverheadBound);
+    trace.set("events_recorded", trace_recorded);
+    trace.set("events_dropped", trace_dropped);
+    trace.set("report_identical", traced_identical);
+    trace.set("critical_path", obs::to_json(crit));
+    doc.set("trace", std::move(trace));
 
     const char* json_path = std::getenv("DOCKMINE_BENCH_JSON");
     const std::string out_path =

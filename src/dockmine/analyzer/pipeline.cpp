@@ -2,6 +2,7 @@
 
 #include <unordered_set>
 
+#include "dockmine/obs/journal.h"
 #include "dockmine/obs/obs.h"
 #include "dockmine/obs/span.h"
 #include "dockmine/util/thread_pool.h"
@@ -49,6 +50,11 @@ void AnalysisPipeline::Session::analyze(const digest::Digest& digest,
     if (!first_error_.ok()) return;          // fail fast
     if (store_.contains(digest)) return;     // idempotent re-delivery
   }
+
+  // One journal event per analyzed layer (duplicates returned above). In
+  // the streamed pipeline the caller adopted the producer's context, so
+  // this parents to the layer's download_layer event.
+  const obs::EventSpan event_span("analyze_layer");
 
   AnalyzerMetrics& metrics = AnalyzerMetrics::get();
   auto child_path = [&](const char* name) {
@@ -154,7 +160,10 @@ util::Result<ProfileStore> AnalysisPipeline::run(
 
   Session session(*this, sink);
   util::ThreadPool pool(options_.workers);
+  // Parent pool-thread events into the caller's open span ("analyze").
+  const obs::TraceContext run_ctx = obs::current_trace_context();
   util::parallel_for(pool, 0, unique.size(), /*grain=*/1, [&](std::size_t i) {
+    const obs::ContextGuard adopt(run_ctx);
     if (!session.status().ok()) return;  // fail fast
     auto blob = fetch(unique[i]);
     if (!blob.ok()) {

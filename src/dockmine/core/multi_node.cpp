@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <fstream>
 #include <utility>
 
+#include "dockmine/obs/export.h"
+#include "dockmine/obs/journal.h"
 #include "dockmine/shard/merger.h"
 
 namespace dockmine::core {
@@ -38,7 +41,30 @@ util::Result<MultiNodeResult> run_multi_node(const MultiNodeOptions& options) {
     if (ec)
       return util::internal("multi-node: cannot create " + node_dir);
 
+    // Per-node observability: each simulated node starts from a clean
+    // registry/tracer/journal with its node id baked into every metric
+    // snapshot and trace event, exactly as K separate processes would.
+    const bool export_obs = !options.obs_export_dir.empty() && obs::enabled();
+    if (export_obs) {
+      obs::reset_all();
+      obs::set_node_id(node);
+    }
+
     auto result = run_end_to_end(node_options);
+    if (export_obs) {
+      const std::string obs_file =
+          (std::filesystem::path(options.obs_export_dir) /
+           ("obs-node-" + std::to_string(node) + ".json"))
+              .string();
+      std::filesystem::create_directories(options.obs_export_dir, ec);
+      std::ofstream file(obs_file, std::ios::binary | std::ios::trunc);
+      if (!file.is_open() || !(file << obs::to_json(obs::collect()).dump())) {
+        obs::reset_all();
+        return util::internal("multi-node: cannot write " + obs_file);
+      }
+      out.obs_export_files.push_back(obs_file);
+      obs::reset_all();  // node id back to 0; next node starts clean
+    }
     if (!result.ok()) return std::move(result).error();
     out.node_results.push_back(std::move(result).value());
     out.shard_set_dirs.push_back(node_dir);

@@ -30,6 +30,13 @@ struct MultiNodeOptions {
   /// Root for the per-node shard sets: node i exports to
   /// `<export_root>/node-<i>/shardset.json`.
   std::string export_root;
+  /// When non-empty (and obs is enabled), each node's run is bracketed by
+  /// obs::reset_all() + set_node_id(i) and its metrics/span snapshot is
+  /// written to `<obs_export_dir>/obs-node-<i>.json` — the input format of
+  /// `merge_obs_exports` / the `merge-obs` CLI verb. Because each node run
+  /// resets the process-wide registry, leave this empty when the caller is
+  /// accumulating its own metrics around the multi-node run.
+  std::string obs_export_dir;
 };
 
 struct MultiNodeResult {
@@ -42,6 +49,8 @@ struct MultiNodeResult {
   /// analysis_report_json of this result equals the single-node report.
   PipelineResult combined;
   std::vector<std::string> shard_set_dirs;  ///< one per node
+  /// Per-node obs export files (empty unless obs_export_dir was set).
+  std::vector<std::string> obs_export_files;
 };
 
 util::Result<MultiNodeResult> run_multi_node(const MultiNodeOptions& options);

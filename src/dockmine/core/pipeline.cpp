@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "dockmine/analyzer/pipeline.h"
+#include "dockmine/obs/journal.h"
 #include "dockmine/obs/obs.h"
 #include "dockmine/obs/span.h"
 #include "dockmine/registry/manifest.h"
@@ -25,13 +26,15 @@ struct PipelineMetrics {
   obs::Gauge& queue_depth;
   obs::Histogram& push_wait_ms;
   obs::Histogram& pop_wait_ms;
+  obs::Histogram& queue_wait_ms;
 
   static PipelineMetrics& get() {
     auto& reg = obs::Registry::global();
     static PipelineMetrics m{
         reg.gauge("dockmine_pipeline_queue_depth"),
         reg.histogram("dockmine_pipeline_queue_push_wait_ms"),
-        reg.histogram("dockmine_pipeline_queue_pop_wait_ms")};
+        reg.histogram("dockmine_pipeline_queue_pop_wait_ms"),
+        reg.histogram("dockmine_pipeline_queue_wait_ms")};
     return m;
   }
 };
@@ -111,6 +114,12 @@ util::Status execute_streamed(const PipelineOptions& options,
   struct Item {
     digest::Digest digest;
     blob::BlobPtr blob;
+    // Hand-off instrumentation: when the producer stamped it (obs clock)
+    // and which span was open there (the layer's download event), so the
+    // consumer can measure queue wait and parent its analyze event across
+    // the thread hop.
+    double enqueue_ms = 0.0;
+    obs::TraceContext ctx{};
   };
   util::BoundedQueue<Item> queue(std::max<std::size_t>(1, options.queue_depth));
   std::atomic<std::uint64_t> enqueued{0};
@@ -125,12 +134,25 @@ util::Status execute_streamed(const PipelineOptions& options,
       for (;;) {
         const double wait_start = timed ? obs::now_ms() : 0.0;
         auto item = queue.pop();
+        const double popped = timed ? obs::now_ms() : 0.0;
         if (timed) {
-          metrics.pop_wait_ms.observe(obs::now_ms() - wait_start);
+          metrics.pop_wait_ms.observe(popped - wait_start);
           metrics.queue_depth.set(static_cast<std::int64_t>(queue.size()));
         }
         if (!item) return;  // closed and drained
-        session.analyze(item->digest, *item->blob);
+        if (timed) {
+          // Hand-off latency: producer stamp -> consumer pop (covers time
+          // in the queue plus any producer backpressure stall).
+          metrics.queue_wait_ms.observe(popped - item->enqueue_ms);
+          obs::record_event("queue_wait", obs::EventKind::kQueueWait,
+                            item->enqueue_ms, popped, item->ctx);
+        }
+        {
+          // Adopt the producer's context so the analyze event parents to
+          // this layer's download event, not to this consumer thread.
+          obs::ContextGuard adopt(item->ctx);
+          session.analyze(item->digest, *item->blob);
+        }
         if (options.on_layer_analyzed) {
           options.on_layer_analyzed(session.layers_analyzed());
         }
@@ -147,13 +169,23 @@ util::Status execute_streamed(const PipelineOptions& options,
   dl_options.layer_sink = [&](const digest::Digest& digest,
                               const blob::BlobPtr& blob) {
     Item item{digest, blob};
+    if (timed) {
+      item.enqueue_ms = obs::now_ms();
+      item.ctx = obs::current_trace_context();
+    }
     enqueued.fetch_add(1, std::memory_order_relaxed);
     if (!queue.try_push(item)) {
       // Full: this is backpressure working. Count the stall, then block.
       stalls.fetch_add(1, std::memory_order_relaxed);
       const double wait_start = timed ? obs::now_ms() : 0.0;
+      const obs::TraceContext push_ctx = item.ctx;
       queue.push(std::move(item));
-      if (timed) metrics.push_wait_ms.observe(obs::now_ms() - wait_start);
+      if (timed) {
+        const double pushed = obs::now_ms();
+        metrics.push_wait_ms.observe(pushed - wait_start);
+        obs::record_event("queue_push_wait", obs::EventKind::kQueueWait,
+                          wait_start, pushed, push_ctx);
+      }
     }
     if (timed) metrics.queue_depth.set(static_cast<std::int64_t>(queue.size()));
   };

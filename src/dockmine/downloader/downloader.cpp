@@ -1,5 +1,6 @@
 #include "dockmine/downloader/downloader.h"
 
+#include "dockmine/obs/journal.h"
 #include "dockmine/obs/obs.h"
 #include "dockmine/registry/manifest.h"
 #include "dockmine/util/stopwatch.h"
@@ -96,6 +97,7 @@ util::Result<blob::BlobPtr> Downloader::acquire_layer(
 util::Result<blob::BlobPtr> Downloader::fetch_layer(
     const digest::Digest& digest) {
   if (!options_.dedup_unique_layers) {
+    const obs::EventSpan layer_span("download_layer");
     auto blob = acquire_layer(digest);
     if (blob.ok() && options_.layer_sink) {
       options_.layer_sink(digest, blob.value());
@@ -118,6 +120,10 @@ util::Result<blob::BlobPtr> Downloader::fetch_layer(
     }
   }
 
+  // One journal event per unique transferred layer (cache hits return
+  // above without one). The sink below fires while this span is open, so
+  // downstream consumers can parent their work to this layer's download.
+  const obs::EventSpan layer_span("download_layer");
   auto blob = acquire_layer(digest);
   {
     std::lock_guard lock(cache_mutex_);
@@ -184,8 +190,13 @@ DownloadStats Downloader::run(
   util::Stopwatch clock;
   util::ThreadPool pool(options_.workers);
   DownloaderMetrics& metrics = DownloaderMetrics::get();
+  // Pool threads have no span context of their own; adopt the calling
+  // thread's (the pipeline's "download"/"stream" span) so per-layer events
+  // parent into the run's trace instead of floating as roots.
+  const obs::TraceContext run_ctx = obs::current_trace_context();
   util::parallel_for(pool, 0, repositories.size(), /*grain=*/1,
                      [&](std::size_t i) {
+    const obs::ContextGuard adopt(run_ctx);
     if (options_.cancel != nullptr &&
         options_.cancel->load(std::memory_order_relaxed)) {
       std::lock_guard lock(stats_mutex);

@@ -1,8 +1,15 @@
 #include "dockmine/obs/export.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "dockmine/obs/heartbeat.h"
+#include "dockmine/obs/journal.h"
 
 namespace dockmine::obs {
 
@@ -37,18 +44,46 @@ void type_line(std::string& out, std::string_view name, const char* type,
   out += '\n';
 }
 
+/// Prometheus exposition-format label value escaping: backslash, double
+/// quote, and newline must be escaped or a hostile value breaks the line
+/// grammar (and can forge other series).
+std::string escape_label_value(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 MetricsReport collect() {
   MetricsReport report;
   report.metrics = Registry::global().snapshot();
   report.spans = Tracer::global().snapshot();
+  report.node = node_id();
   return report;
 }
 
 void reset_all() {
+  stop_heartbeat();
   Registry::global().reset();
   Tracer::global().reset();
+  TraceJournal::global().reset();
+  set_node_id(0);
 }
 
 json::Value to_json(const MetricsReport& report) {
@@ -98,7 +133,212 @@ json::Value to_json(const MetricsReport& report) {
   root.set("gauges", std::move(gauges));
   root.set("histograms", std::move(histograms));
   root.set("spans", std::move(spans));
+  root.set("node", std::uint64_t{report.node});
   return root;
+}
+
+util::Result<MetricsReport> report_from_json(const json::Value& doc) {
+  if (!doc.is_object()) {
+    return util::corrupt("metrics report: not a JSON object");
+  }
+  MetricsReport report;
+
+  const json::Value& counters = doc["counters"];
+  if (!counters.is_object()) {
+    return util::corrupt("metrics report: 'counters' missing or not object");
+  }
+  for (const auto& [name, value] : counters.members()) {
+    if (!value.is_number()) {
+      return util::corrupt("metrics report: counter '" + name +
+                           "' not numeric");
+    }
+    report.metrics.counters.emplace_back(name, value.as_uint());
+  }
+
+  const json::Value& gauges = doc["gauges"];
+  if (!gauges.is_object()) {
+    return util::corrupt("metrics report: 'gauges' missing or not object");
+  }
+  for (const auto& [name, value] : gauges.members()) {
+    if (!value.is_number()) {
+      return util::corrupt("metrics report: gauge '" + name + "' not numeric");
+    }
+    report.metrics.gauges.emplace_back(name, value.as_int());
+  }
+
+  const json::Value& histograms = doc["histograms"];
+  if (!histograms.is_object()) {
+    return util::corrupt("metrics report: 'histograms' missing or not object");
+  }
+  for (const auto& [name, entry] : histograms.members()) {
+    if (!entry.is_object() || !entry["count"].is_number() ||
+        !entry["sum"].is_number() || !entry["buckets"].is_array()) {
+      return util::corrupt("metrics report: histogram '" + name +
+                           "' malformed");
+    }
+    HistogramSnapshot hist;
+    hist.name = name;
+    hist.count = entry["count"].as_uint();
+    hist.sum = entry["sum"].as_double();
+    for (const json::Value& bucket : entry["buckets"].items()) {
+      if (!bucket.is_object() || !bucket["lo"].is_number() ||
+          !bucket["count"].is_number()) {
+        return util::corrupt("metrics report: histogram '" + name +
+                             "' has a malformed bucket");
+      }
+      // Log2 buckets reconstruct exactly from their lower bound: lo < 1 is
+      // the zero bucket, otherwise lo == 2^k lands back in bucket k.
+      const double lo = bucket["lo"].as_double();
+      hist.values.add(lo < 1.0 ? 0.0 : lo, bucket["count"].as_uint());
+    }
+    report.metrics.histograms.push_back(std::move(hist));
+  }
+
+  const json::Value& spans = doc["spans"];
+  if (!spans.is_array()) {
+    return util::corrupt("metrics report: 'spans' missing or not array");
+  }
+  for (const json::Value& span : spans.items()) {
+    if (!span.is_object() || !span["path"].is_string() ||
+        !span["count"].is_number() || !span["wall_ms"].is_number() ||
+        !span["cpu_ms"].is_number()) {
+      return util::corrupt("metrics report: malformed span row");
+    }
+    SpanRow row;
+    row.path = span["path"].as_string();
+    row.count = span["count"].as_uint();
+    row.wall_ms = span["wall_ms"].as_double();
+    row.cpu_ms = span["cpu_ms"].as_double();
+    report.spans.push_back(std::move(row));
+  }
+
+  if (doc.contains("node")) {
+    if (!doc["node"].is_number()) {
+      return util::corrupt("metrics report: 'node' not numeric");
+    }
+    report.node = static_cast<std::uint32_t>(doc["node"].as_uint());
+  }
+
+  // Snapshots are sorted by name; restore the invariant for foreign
+  // documents so serialization stays canonical.
+  std::sort(report.metrics.counters.begin(), report.metrics.counters.end());
+  std::sort(report.metrics.gauges.begin(), report.metrics.gauges.end());
+  std::sort(report.metrics.histograms.begin(), report.metrics.histograms.end(),
+            [](const HistogramSnapshot& a, const HistogramSnapshot& b) {
+              return a.name < b.name;
+            });
+  std::sort(report.spans.begin(), report.spans.end(),
+            [](const SpanRow& a, const SpanRow& b) { return a.path < b.path; });
+  return report;
+}
+
+void merge_reports(MetricsReport& into, const MetricsReport& from) {
+  for (const auto& [name, value] : from.metrics.counters) {
+    auto it = std::lower_bound(
+        into.metrics.counters.begin(), into.metrics.counters.end(), name,
+        [](const auto& entry, const std::string& key) {
+          return entry.first < key;
+        });
+    if (it != into.metrics.counters.end() && it->first == name) {
+      it->second += value;
+    } else {
+      into.metrics.counters.insert(it, {name, value});
+    }
+  }
+  for (const auto& [name, value] : from.metrics.gauges) {
+    auto it = std::lower_bound(
+        into.metrics.gauges.begin(), into.metrics.gauges.end(), name,
+        [](const auto& entry, const std::string& key) {
+          return entry.first < key;
+        });
+    if (it != into.metrics.gauges.end() && it->first == name) {
+      it->second += value;
+    } else {
+      into.metrics.gauges.insert(it, {name, value});
+    }
+  }
+  for (const HistogramSnapshot& hist : from.metrics.histograms) {
+    auto it = std::lower_bound(
+        into.metrics.histograms.begin(), into.metrics.histograms.end(),
+        hist.name, [](const HistogramSnapshot& entry, const std::string& key) {
+          return entry.name < key;
+        });
+    if (it != into.metrics.histograms.end() && it->name == hist.name) {
+      it->count += hist.count;
+      it->sum += hist.sum;
+      it->values.merge(hist.values);
+    } else {
+      into.metrics.histograms.insert(it, hist);
+    }
+  }
+  for (const SpanRow& row : from.spans) {
+    auto it = std::lower_bound(into.spans.begin(), into.spans.end(), row.path,
+                               [](const SpanRow& entry, const std::string& key) {
+                                 return entry.path < key;
+                               });
+    if (it != into.spans.end() && it->path == row.path) {
+      it->count += row.count;
+      it->wall_ms += row.wall_ms;
+      it->cpu_ms += row.cpu_ms;
+    } else {
+      into.spans.insert(it, row);
+    }
+  }
+}
+
+util::Result<ObsMergeResult> merge_obs_exports(
+    const std::vector<std::string>& paths) {
+  if (paths.empty()) {
+    return util::invalid_argument("merge_obs_exports: no input files");
+  }
+  ObsMergeResult result;
+  bool first = true;
+  for (const std::string& path : paths) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in.is_open()) {
+      return util::not_found("merge_obs_exports: cannot open '" + path + "'");
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    auto parsed = json::parse(buffer.str());
+    if (!parsed.ok()) {
+      return util::corrupt("merge_obs_exports: '" + path +
+                           "': " + parsed.error().to_string());
+    }
+    auto report = report_from_json(parsed.value());
+    if (!report.ok()) {
+      return util::corrupt("merge_obs_exports: '" + path +
+                           "': " + report.error().to_string());
+    }
+
+    ObsNodeSummary summary;
+    summary.source = path;
+    summary.node = report.value().node;
+    for (const SpanRow& row : report.value().spans) {
+      if (row.path == "pipeline") {
+        summary.pipeline_wall_ms = row.wall_ms;
+        break;
+      }
+    }
+    result.nodes.push_back(std::move(summary));
+
+    if (first) {
+      result.merged = std::move(report).value();
+      result.merged.node = 0;  // the merged view spans all nodes
+      first = false;
+    } else {
+      merge_reports(result.merged, report.value());
+    }
+  }
+
+  double fastest = result.nodes.front().pipeline_wall_ms;
+  for (const ObsNodeSummary& node : result.nodes) {
+    fastest = std::min(fastest, node.pipeline_wall_ms);
+  }
+  for (ObsNodeSummary& node : result.nodes) {
+    node.straggler_delta_ms = node.pipeline_wall_ms - fastest;
+  }
+  return result;
 }
 
 std::string to_prometheus(const MetricsReport& report) {
@@ -155,7 +395,8 @@ std::string to_prometheus(const MetricsReport& report) {
     out += "# TYPE dockmine_span_wall_ms counter\n";
     out += "# TYPE dockmine_span_cpu_ms counter\n";
     for (const SpanRow& row : report.spans) {
-      const std::string label = "{path=\"" + row.path + "\"} ";
+      const std::string label =
+          "{path=\"" + escape_label_value(row.path) + "\"} ";
       out += "dockmine_span_count" + label + std::to_string(row.count) + '\n';
       out += "dockmine_span_wall_ms" + label + fmt_double(row.wall_ms) + '\n';
       out += "dockmine_span_cpu_ms" + label + fmt_double(row.cpu_ms) + '\n';

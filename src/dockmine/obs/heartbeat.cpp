@@ -1,0 +1,120 @@
+#include "dockmine/obs/heartbeat.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "dockmine/json/json.h"
+#include "dockmine/obs/journal.h"
+#include "dockmine/obs/obs.h"
+
+namespace dockmine::obs {
+namespace {
+
+struct HeartbeatState {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::thread worker;
+  bool stop_requested = false;
+  bool running = false;
+};
+
+HeartbeatState& state() {
+  static HeartbeatState instance;
+  return instance;
+}
+
+}  // namespace
+
+std::string heartbeat_line() {
+  const Registry::Snapshot metrics = Registry::global().snapshot();
+  json::Value counters = json::Value::object();
+  for (const auto& [name, value] : metrics.counters) {
+    counters.set(name, value);
+  }
+  json::Value gauges = json::Value::object();
+  for (const auto& [name, value] : metrics.gauges) {
+    gauges.set(name, std::int64_t{value});
+  }
+  json::Value journal = json::Value::object();
+  journal.set("recorded", TraceJournal::global().recorded());
+  journal.set("dropped", TraceJournal::global().dropped());
+
+  json::Value root = json::Value::object();
+  root.set("ts_ms", now_ms());
+  root.set("node", std::uint64_t{node_id()});
+  root.set("counters", std::move(counters));
+  root.set("gauges", std::move(gauges));
+  root.set("journal", std::move(journal));
+  return root.dump();
+}
+
+bool start_heartbeat(const HeartbeatOptions& options) {
+#if defined(DOCKMINE_OBS_DISABLED)
+  (void)options;
+  return false;
+#else
+  HeartbeatState& hb = state();
+  std::lock_guard<std::mutex> lock(hb.mutex);
+  if (hb.running) return false;
+  auto out = std::make_shared<std::ofstream>(options.path, std::ios::app);
+  if (!out->is_open()) return false;
+  hb.stop_requested = false;
+  hb.running = true;
+  const auto interval = std::chrono::milliseconds(
+      options.interval_ms == 0 ? 1 : options.interval_ms);
+  hb.worker = std::thread([out = std::move(out), interval] {
+    HeartbeatState& st = state();
+    std::unique_lock<std::mutex> wait_lock(st.mutex);
+    while (true) {
+      // Snapshot outside the state lock so a slow registry never delays
+      // stop_heartbeat(); the lock only guards the stop flag and cv.
+      wait_lock.unlock();
+      (*out) << heartbeat_line() << '\n';
+      out->flush();
+      wait_lock.lock();
+      if (st.cv.wait_for(wait_lock, interval,
+                         [&st] { return st.stop_requested; })) {
+        return;
+      }
+    }
+  });
+  return true;
+#endif
+}
+
+void stop_heartbeat() {
+#if !defined(DOCKMINE_OBS_DISABLED)
+  HeartbeatState& hb = state();
+  std::thread worker;
+  {
+    std::lock_guard<std::mutex> lock(hb.mutex);
+    if (!hb.running) return;
+    hb.stop_requested = true;
+    worker = std::move(hb.worker);
+  }
+  hb.cv.notify_all();
+  worker.join();
+  {
+    std::lock_guard<std::mutex> lock(hb.mutex);
+    hb.running = false;
+    hb.stop_requested = false;
+  }
+#endif
+}
+
+bool heartbeat_running() noexcept {
+#if defined(DOCKMINE_OBS_DISABLED)
+  return false;
+#else
+  HeartbeatState& hb = state();
+  std::lock_guard<std::mutex> lock(hb.mutex);
+  return hb.running;
+#endif
+}
+
+}  // namespace dockmine::obs

@@ -1,0 +1,38 @@
+// Low-rate heartbeat emitter for long (hours/weeks) runs: a background
+// thread appends one JSON line per interval — obs-clock timestamp, node
+// id, every counter and gauge, and the journal's recorded/dropped totals —
+// to a JSONL file. `tail -f` of that file answers "is the crawl still
+// making progress, and how fast" without attaching a scraper.
+//
+// Off by default; one emitter per process. Snapshot cost is bounded by the
+// registry size (no histograms, no span rows), and the thread sleeps on a
+// condition variable between beats, so an idle heartbeat costs nothing
+// measurable. Under -DDOCKMINE_OBS=OFF `start_heartbeat` refuses to start.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dockmine::obs {
+
+struct HeartbeatOptions {
+  std::uint64_t interval_ms = 1000;  ///< real (steady-clock) ms between beats
+  std::string path;                  ///< JSONL file, appended to
+};
+
+/// One heartbeat snapshot as a single-line JSON document (no newline):
+/// {"ts_ms":...,"node":...,"counters":{...},"gauges":{...},
+///  "journal":{"recorded":...,"dropped":...}}
+std::string heartbeat_line();
+
+/// Start the emitter (emits one line immediately, then every interval).
+/// Returns false if one is already running, the file cannot be opened, or
+/// obs is compiled out.
+bool start_heartbeat(const HeartbeatOptions& options);
+
+/// Stop and join the emitter. Safe to call when none is running.
+void stop_heartbeat();
+
+bool heartbeat_running() noexcept;
+
+}  // namespace dockmine::obs

@@ -1,0 +1,220 @@
+#include "dockmine/obs/journal.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+namespace dockmine::obs {
+namespace {
+
+// Trace ids are allocated when a context is pushed onto a thread with no
+// enclosing trace; reset alongside span ids so seeded runs reproduce.
+std::atomic<std::uint64_t> g_next_trace_id{1};
+
+// Stable per-thread lane index: assigned once per thread on first record,
+// never reused. Lanes are renumbered densely at snapshot time, so the raw
+// values only need to be distinct, not small or deterministic.
+std::uint32_t thread_lane() noexcept {
+  static std::atomic<std::uint32_t> next_lane{0};
+  thread_local std::uint32_t lane = next_lane.fetch_add(
+      1, std::memory_order_relaxed);
+  return lane;
+}
+
+TraceContext& thread_context() noexcept {
+  thread_local TraceContext ctx{};
+  return ctx;
+}
+
+}  // namespace
+
+void set_journal_enabled(bool on) noexcept {
+  detail::g_journal_enabled.store(on, std::memory_order_relaxed);
+}
+
+void set_node_id(std::uint32_t node) noexcept {
+  detail::g_node_id.store(node, std::memory_order_relaxed);
+}
+
+std::string_view to_string(EventKind kind) noexcept {
+  switch (kind) {
+    case EventKind::kSpan:
+      return "span";
+    case EventKind::kQueueWait:
+      return "queue_wait";
+  }
+  return "unknown";
+}
+
+TraceContext current_trace_context() noexcept {
+  if (!journal_enabled()) return {};
+  return thread_context();
+}
+
+namespace detail {
+
+TraceContext push_context(std::uint64_t* trace_id, std::uint64_t* span_id,
+                          std::uint64_t* parent_id) noexcept {
+  TraceContext& ctx = thread_context();
+  const TraceContext previous = ctx;
+  *trace_id = previous.trace_id != 0
+                  ? previous.trace_id
+                  : g_next_trace_id.fetch_add(1, std::memory_order_relaxed);
+  *span_id = TraceJournal::global().next_span_id();
+  *parent_id = previous.span_id;
+  ctx = TraceContext{*trace_id, *span_id};
+  return previous;
+}
+
+void pop_context(TraceContext previous) noexcept {
+  thread_context() = previous;
+}
+
+}  // namespace detail
+
+void ContextGuard::adopt(TraceContext ctx) noexcept {
+  TraceContext& current = thread_context();
+  previous_ = current;
+  current = ctx;
+  active_ = true;
+}
+
+EventSpan::EventSpan(std::string_view name) {
+  if (!journal_enabled()) return;
+  name_.assign(name);
+  previous_ = detail::push_context(&trace_id_, &span_id_, &parent_id_);
+  start_wall_ = now_ms();
+  start_cpu_ = cpu_now_ms();
+}
+
+EventSpan& EventSpan::operator=(EventSpan&& other) noexcept {
+  if (this == &other) return *this;
+  finish();
+  name_ = std::move(other.name_);
+  previous_ = other.previous_;
+  trace_id_ = other.trace_id_;
+  span_id_ = other.span_id_;
+  parent_id_ = other.parent_id_;
+  start_wall_ = other.start_wall_;
+  start_cpu_ = other.start_cpu_;
+  other.span_id_ = 0;
+  return *this;
+}
+
+void EventSpan::finish() noexcept {
+  if (span_id_ == 0) return;
+  TraceEvent event;
+  event.trace_id = trace_id_;
+  event.span_id = span_id_;
+  event.parent_id = parent_id_;
+  event.kind = EventKind::kSpan;
+  event.start_ms = start_wall_;
+  event.end_ms = now_ms();
+  event.cpu_ms = cpu_now_ms() - start_cpu_;
+  event.name = std::move(name_);
+  detail::pop_context(previous_);
+  span_id_ = 0;
+  TraceJournal::global().record(std::move(event));
+}
+
+void record_event(std::string_view name, EventKind kind, double start_ms,
+                  double end_ms, TraceContext parent) {
+  if (!journal_enabled()) return;
+  TraceEvent event;
+  event.trace_id = parent.trace_id;
+  event.span_id = TraceJournal::global().next_span_id();
+  event.parent_id = parent.span_id;
+  event.kind = kind;
+  event.start_ms = start_ms;
+  event.end_ms = end_ms;
+  event.name.assign(name);
+  TraceJournal::global().record(std::move(event));
+}
+
+TraceJournal& TraceJournal::global() {
+  static TraceJournal journal;
+  return journal;
+}
+
+void TraceJournal::record(TraceEvent event) {
+  if (!journal_enabled()) return;
+  const std::size_t cap = capacity();
+  if (cap == 0) return;
+  event.node = node_id();
+  event.lane = thread_lane();
+  Shard& shard = shards_[event.lane % kShards];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  ++shard.written;
+  if (shard.ring.size() < cap) {
+    shard.ring.push_back(std::move(event));
+  } else {
+    shard.ring[shard.next] = std::move(event);
+    shard.next = (shard.next + 1) % cap;
+  }
+}
+
+std::vector<TraceEvent> TraceJournal::snapshot() const {
+  std::vector<TraceEvent> events;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    events.insert(events.end(), shard.ring.begin(), shard.ring.end());
+  }
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.start_ms != b.start_ms) return a.start_ms < b.start_ms;
+              if (a.end_ms != b.end_ms) return a.end_ms < b.end_ms;
+              if (a.name != b.name) return a.name < b.name;
+              return a.span_id < b.span_id;
+            });
+  // Renumber lanes densely in first-appearance order so snapshots do not
+  // depend on how many threads the process created before this run.
+  std::unordered_map<std::uint32_t, std::uint32_t> dense;
+  for (TraceEvent& event : events) {
+    auto [it, inserted] = dense.emplace(
+        event.lane, static_cast<std::uint32_t>(dense.size()));
+    event.lane = it->second;
+  }
+  return events;
+}
+
+std::uint64_t TraceJournal::recorded() const noexcept {
+  std::uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    total += shard.written;
+  }
+  return total;
+}
+
+std::uint64_t TraceJournal::dropped() const noexcept {
+  std::uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    total += shard.written - shard.ring.size();
+  }
+  return total;
+}
+
+void TraceJournal::set_capacity(std::size_t events_per_shard) {
+  capacity_.store(events_per_shard, std::memory_order_relaxed);
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.ring.clear();
+    shard.ring.shrink_to_fit();
+    shard.next = 0;
+    shard.written = 0;
+  }
+}
+
+void TraceJournal::reset() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.ring.clear();
+    shard.next = 0;
+    shard.written = 0;
+  }
+  next_id_.store(1, std::memory_order_relaxed);
+  g_next_trace_id.store(1, std::memory_order_relaxed);
+}
+
+}  // namespace dockmine::obs

@@ -29,23 +29,42 @@ Tracer::Span Tracer::span(std::string_view name) {
   const std::size_t parent_len = path.size();
   if (!path.empty()) path += '/';
   path += name;
-  return Span(this, parent_len, now_ms(), cpu_now_ms());
+  Span span(this, parent_len, now_ms(), cpu_now_ms());
+  if (journal_enabled()) {
+    span.prev_ctx_ = detail::push_context(&span.trace_id_, &span.span_id_,
+                                          &span.parent_id_);
+  }
+  return span;
 #endif
 }
 
 void Tracer::Span::finish() noexcept {
   if (tracer_ == nullptr) return;
-  tracer_->finish_span(parent_len_, start_wall_, start_cpu_);
+  tracer_->finish_span(*this);
   tracer_ = nullptr;
 }
 
-void Tracer::finish_span(std::size_t parent_len, double start_wall,
-                         double start_cpu) noexcept {
-  const double wall = now_ms() - start_wall;
-  const double cpu = cpu_now_ms() - start_cpu;
+void Tracer::finish_span(Span& span) noexcept {
+  const double end_wall = now_ms();
+  const double cpu = cpu_now_ms() - span.start_cpu_;
   std::string& path = thread_path();
-  record_at(path, wall, cpu, 1);
-  path.resize(parent_len);
+  record_at(path, end_wall - span.start_wall_, cpu, 1);
+  if (span.span_id_ != 0) {
+    TraceEvent event;
+    event.trace_id = span.trace_id_;
+    event.span_id = span.span_id_;
+    event.parent_id = span.parent_id_;
+    event.kind = EventKind::kSpan;
+    event.start_ms = span.start_wall_;
+    event.end_ms = end_wall;
+    event.cpu_ms = cpu;
+    // Event names are the span's own segment; ancestry lives in parent_id.
+    event.name = path.substr(span.parent_len_ == 0 ? 0 : span.parent_len_ + 1);
+    detail::pop_context(span.prev_ctx_);
+    span.span_id_ = 0;
+    TraceJournal::global().record(std::move(event));
+  }
+  path.resize(span.parent_len_);
 }
 
 void Tracer::record(std::string_view name, double wall_ms, double cpu_ms,

@@ -12,6 +12,11 @@
 // `current_path()` while the stage span is open and attributes the
 // aggregated worker time to a child path.
 //
+// When the trace journal is also enabled (journal.h), every span doubles
+// as an event: it opens a trace context on its thread and records one
+// timed TraceEvent on finish, so the same instrumentation feeds both the
+// aggregate table and the event-level timeline.
+//
 // Like every obs instrument, spans opened while obs is disabled are inert
 // (one flag load, no clock read, no allocation), and under
 // -DDOCKMINE_OBS=OFF the bodies compile away entirely.
@@ -24,6 +29,7 @@
 #include <map>
 #include <vector>
 
+#include "dockmine/obs/journal.h"
 #include "dockmine/obs/obs.h"
 
 namespace dockmine::obs {
@@ -53,7 +59,12 @@ class Tracer {
         parent_len_ = other.parent_len_;
         start_wall_ = other.start_wall_;
         start_cpu_ = other.start_cpu_;
+        trace_id_ = other.trace_id_;
+        span_id_ = other.span_id_;
+        parent_id_ = other.parent_id_;
+        prev_ctx_ = other.prev_ctx_;
         other.tracer_ = nullptr;
+        other.span_id_ = 0;
       }
       return *this;
     }
@@ -63,6 +74,10 @@ class Tracer {
 
     /// Close early (idempotent); the destructor calls this.
     void finish() noexcept;
+
+    /// This span's journal identity, for cross-thread parenting via
+    /// ContextGuard ({} when the journal was off at open time).
+    TraceContext context() const noexcept { return {trace_id_, span_id_}; }
 
    private:
     friend class Tracer;
@@ -77,6 +92,11 @@ class Tracer {
     std::size_t parent_len_ = 0;
     double start_wall_ = 0.0;
     double start_cpu_ = 0.0;
+    // Journal identity, populated only while the journal is enabled.
+    std::uint64_t trace_id_ = 0;
+    std::uint64_t span_id_ = 0;
+    std::uint64_t parent_id_ = 0;
+    TraceContext prev_ctx_{};
   };
 
   /// Open a span named `name` under the calling thread's current path.
@@ -104,8 +124,7 @@ class Tracer {
   void reset();
 
  private:
-  void finish_span(std::size_t parent_len, double start_wall,
-                   double start_cpu) noexcept;
+  void finish_span(Span& span) noexcept;
 
   mutable std::mutex mutex_;
   std::map<std::string, SpanRow, std::less<>> rows_;

@@ -1,0 +1,47 @@
+#include "dockmine/obs/trace_export.h"
+
+#include <string>
+#include <utility>
+
+namespace dockmine::obs {
+
+json::Value trace_to_json(const std::vector<TraceEvent>& events,
+                          std::uint64_t recorded, std::uint64_t dropped) {
+  json::Value trace_events = json::Value::array();
+  for (const TraceEvent& event : events) {
+    json::Value slice = json::Value::object();
+    slice.set("name", event.name);
+    slice.set("cat", std::string(to_string(event.kind)));
+    slice.set("ph", "X");
+    // Chrome trace timestamps are microseconds; the obs clock is ms.
+    slice.set("ts", event.start_ms * 1000.0);
+    slice.set("dur", (event.end_ms - event.start_ms) * 1000.0);
+    slice.set("pid", std::uint64_t{event.node});
+    slice.set("tid", std::uint64_t{event.lane});
+    json::Value args = json::Value::object();
+    args.set("trace_id", event.trace_id);
+    args.set("span_id", event.span_id);
+    args.set("parent_id", event.parent_id);
+    args.set("cpu_ms", event.cpu_ms);
+    slice.set("args", std::move(args));
+    trace_events.push_back(std::move(slice));
+  }
+
+  json::Value other = json::Value::object();
+  other.set("recorded", recorded);
+  other.set("dropped", dropped);
+
+  json::Value root = json::Value::object();
+  root.set("displayTimeUnit", "ms");
+  root.set("otherData", std::move(other));
+  root.set("traceEvents", std::move(trace_events));
+  return root;
+}
+
+json::Value trace_to_json() {
+  const TraceJournal& journal = TraceJournal::global();
+  return trace_to_json(journal.snapshot(), journal.recorded(),
+                       journal.dropped());
+}
+
+}  // namespace dockmine::obs

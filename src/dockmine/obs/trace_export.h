@@ -1,0 +1,32 @@
+// Chrome/Perfetto trace export: serializes a TraceJournal snapshot as a
+// JSON Object Format trace document (load it at https://ui.perfetto.dev or
+// chrome://tracing). Every event becomes one complete ("ph":"X") slice;
+// the multi-node id maps to the Perfetto process (pid) and the journal
+// lane to the thread (tid), so a merged multi-node journal renders as one
+// timeline per node.
+//
+// Determinism contract: the document is built from TraceJournal::snapshot()
+// (sorted events, dense lanes) and serialized with the dm_json writer
+// (insertion-ordered keys, shortest-round-trip doubles), so two identical
+// seeded runs on the injectable clock export byte-identical trace.json
+// files.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dockmine/json/json.h"
+#include "dockmine/obs/journal.h"
+
+namespace dockmine::obs {
+
+/// Build the trace document from an explicit event list plus journal
+/// counters (reported under "otherData" so consumers can tell whether the
+/// ring dropped anything).
+json::Value trace_to_json(const std::vector<TraceEvent>& events,
+                          std::uint64_t recorded, std::uint64_t dropped);
+
+/// Snapshot the global journal and export it.
+json::Value trace_to_json();
+
+}  // namespace dockmine::obs

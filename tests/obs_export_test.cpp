@@ -148,6 +148,40 @@ TEST(ObsExportTest, PrometheusTextParsesWithMonotoneBuckets) {
   }
 }
 
+TEST(ObsExportTest, PrometheusEscapesHostileSpanPaths) {
+  // Span paths are emitted as a label value; a path carrying the three
+  // characters Prometheus label syntax reserves (backslash, double quote,
+  // newline) must come out escaped, not as broken exposition-format lines.
+  obs::reset_all();
+  obs::set_enabled(true);
+  obs::Tracer::global().record_at("evil\"quote\\slash\nline", 1.0, 0.5, 1);
+  obs::set_enabled(false);
+  const std::string text = obs::to_prometheus(obs::collect());
+
+  if constexpr (obs::kCompiledIn) {
+    EXPECT_NE(text.find("path=\"evil\\\"quote\\\\slash\\nline\""),
+              std::string::npos)
+        << text;
+    // No raw newline survives inside a label value: every emitted line is
+    // still "name{labels} value" with a parseable numeric tail.
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) {
+      ASSERT_FALSE(line.empty());
+      if (line.rfind("# TYPE ", 0) == 0) continue;
+      const auto space = line.rfind(' ');
+      ASSERT_NE(space, std::string::npos) << line;
+      std::size_t consumed = 0;
+      EXPECT_NO_THROW({ (void)std::stod(line.substr(space + 1), &consumed); })
+          << line;
+      EXPECT_EQ(consumed, line.size() - space - 1) << line;
+    }
+  } else {
+    EXPECT_EQ(text.find("evil"), std::string::npos);
+  }
+  obs::reset_all();
+}
+
 TEST(ObsExportTest, ExportsAreStableAcrossSnapshotAndReplay) {
   replay_workload();
   const std::string json_a = obs::to_json(obs::collect()).dump();

@@ -16,6 +16,8 @@
 
 #include "dockmine/core/pipeline.h"
 #include "dockmine/obs/export.h"
+#include "dockmine/obs/heartbeat.h"
+#include "dockmine/obs/journal.h"
 #include "dockmine/obs/obs.h"
 #include "dockmine/obs/span.h"
 
@@ -264,6 +266,7 @@ TEST(ObsOverheadTest, DisabledPathAllocatesAndRecordsNothing) {
   hist.reset();
   obs::set_enabled(false);
   const std::size_t tracer_rows_before = tracer.snapshot().size();
+  const std::uint64_t journal_before = obs::TraceJournal::global().recorded();
 
   g_alloc_count.store(0);
   g_alloc_tracking.store(true);
@@ -275,6 +278,11 @@ TEST(ObsOverheadTest, DisabledPathAllocatesAndRecordsNothing) {
     hist.observe(timer.ms());
     auto span = tracer.span("overhead");  // inert handle
     tracer.record("overhead_leaf", 1.0);
+    // Journal half: every record site is one relaxed flag load while off.
+    const obs::EventSpan event("overhead_event");
+    obs::record_event("overhead_wait", obs::EventKind::kQueueWait, 0.0, 1.0,
+                      obs::current_trace_context());
+    const obs::ContextGuard adopt(obs::TraceContext{1, 1});
   }
   g_alloc_tracking.store(false);
 
@@ -283,6 +291,7 @@ TEST(ObsOverheadTest, DisabledPathAllocatesAndRecordsNothing) {
   EXPECT_EQ(gauge.value(), 0);
   EXPECT_EQ(hist.count(), 0u);
   EXPECT_EQ(tracer.snapshot().size(), tracer_rows_before);
+  EXPECT_EQ(obs::TraceJournal::global().recorded(), journal_before);
 
   if constexpr (!obs::kCompiledIn) {
     // Compiled out: even the enabled path records nothing.
@@ -294,6 +303,56 @@ TEST(ObsOverheadTest, DisabledPathAllocatesAndRecordsNothing) {
     EXPECT_EQ(hist.count(), 0u);
     obs::set_enabled(false);
   }
+}
+
+// ---------- reset_all fresh-start invariant ----------
+
+TEST(ObsResetTest, ResetAllRestoresFreshStart) {
+  obs::set_enabled(true);
+  obs::set_journal_enabled(true);
+  obs::set_node_id(7);
+  auto& counter = obs::Registry::global().counter("test_reset_counter");
+  auto& hist = obs::Registry::global().histogram("test_reset_hist");
+  counter.add(3);
+  hist.observe(42.0);
+  obs::Tracer::global().record("reset_leaf", 1.0);
+  { const obs::EventSpan span("reset_event"); }
+  if constexpr (obs::kCompiledIn) {
+    EXPECT_GT(obs::TraceJournal::global().recorded(), 0u);
+    EXPECT_EQ(obs::node_id(), 7u);
+  }
+
+  obs::reset_all();
+
+  // Everything observable starts over: registry values zeroed, tracer and
+  // journal emptied, heartbeat stopped, node id back to 0. The enable
+  // switches are configuration, not state, and stay as the caller set them.
+  EXPECT_EQ(obs::node_id(), 0u);
+  EXPECT_FALSE(obs::heartbeat_running());
+  EXPECT_EQ(counter.value(), 0u);
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_EQ(obs::Tracer::global().snapshot().size(), 0u);
+  EXPECT_EQ(obs::TraceJournal::global().recorded(), 0u);
+  EXPECT_EQ(obs::TraceJournal::global().dropped(), 0u);
+  EXPECT_TRUE(obs::TraceJournal::global().snapshot().empty());
+  const auto report = obs::collect();
+  for (const auto& [name, value] : report.metrics.counters) {
+    EXPECT_EQ(value, 0u) << name;
+  }
+  EXPECT_TRUE(report.spans.empty());
+  EXPECT_EQ(report.node, 0u);
+
+  if constexpr (obs::kCompiledIn) {
+    EXPECT_TRUE(obs::journal_enabled());  // switch untouched by reset_all
+    // Id allocators restart, so the next seeded run reproduces: the first
+    // span after reset gets trace 1 / span 1.
+    obs::EventSpan probe("reset_probe");
+    EXPECT_EQ(probe.context().trace_id, 1u);
+    EXPECT_EQ(probe.context().span_id, 1u);
+  }
+  obs::set_journal_enabled(false);
+  obs::set_enabled(false);
+  obs::reset_all();
 }
 
 }  // namespace

@@ -9,7 +9,10 @@
 //   dockmine metrics  [--repos N] [--format F]           instrumented run
 //                     [--shards N] [--spill-mb M] [--spill-dir PATH]
 //                     [--export-shards DIR] [--nodes K] [--node I]
+//                     [--trace-out F] [--trace-cap N]
+//                     [--heartbeat-out F] [--heartbeat-ms N]
 //   dockmine merge-shards DIR [DIR ...]                  fold shard sets
+//   dockmine merge-obs FILE [FILE ...]                   fold node metrics
 #include <csignal>
 #include <fstream>
 #include <iostream>
@@ -20,7 +23,11 @@
 #include "dockmine/core/pipeline.h"
 #include "dockmine/core/report.h"
 #include "dockmine/crawler/crawler.h"
+#include "dockmine/obs/critical_path.h"
 #include "dockmine/obs/export.h"
+#include "dockmine/obs/heartbeat.h"
+#include "dockmine/obs/journal.h"
+#include "dockmine/obs/trace_export.h"
 #include "dockmine/dedup/by_type.h"
 #include "dockmine/downloader/downloader.h"
 #include "dockmine/registry/gc.h"
@@ -359,13 +366,49 @@ int cmd_metrics(const Flags& flags) {
     return 2;
   }
 
+  const std::string trace_out = flags.str("trace-out");
+  const std::string heartbeat_out = flags.str("heartbeat-out");
+
   obs::set_enabled(true);
+  // A node split (--nodes K --node I) is one node of a simulated cluster:
+  // stamp the node id so the export folds cleanly under `merge-obs`.
+  if (options.node_count > 1) obs::set_node_id(options.node_index);
+  if (!trace_out.empty()) {
+    const std::uint64_t cap = flags.u64("trace-cap", 0);
+    if (cap != 0) obs::TraceJournal::global().set_capacity(cap);
+    obs::set_journal_enabled(true);
+  }
+  if (!heartbeat_out.empty()) {
+    obs::HeartbeatOptions hb;
+    hb.interval_ms = flags.u64("heartbeat-ms", 1000);
+    hb.path = heartbeat_out;
+    if (!obs::start_heartbeat(hb)) {
+      std::cerr << "metrics: cannot start heartbeat at " << heartbeat_out
+                << "\n";
+      return 1;
+    }
+  }
   auto result = core::run_end_to_end(options);
+  obs::stop_heartbeat();
   obs::set_enabled(false);
   if (!result.ok()) {
+    obs::set_journal_enabled(false);
     std::cerr << result.error().to_string() << "\n";
     return 1;
   }
+
+  obs::CriticalPathReport crit;
+  if (!trace_out.empty()) {
+    const json::Value trace = obs::trace_to_json();
+    crit = obs::critical_path(obs::TraceJournal::global().snapshot());
+    obs::set_journal_enabled(false);
+    std::ofstream file(trace_out, std::ios::binary | std::ios::trunc);
+    if (!file.is_open() || !(file << trace.dump())) {
+      std::cerr << "metrics: cannot write " << trace_out << "\n";
+      return 1;
+    }
+  }
+
   const obs::MetricsReport report = obs::collect();
   if (format == "json") {
     std::cout << obs::to_json(report).dump() << "\n";
@@ -375,6 +418,22 @@ int cmd_metrics(const Flags& flags) {
     std::cout << "metrics for an end-to-end " << mode << " run over "
               << options.scale.repositories << " repositories\n";
     core::print_metrics(std::cout, report);
+    if (!trace_out.empty() && crit.root_wall_ms > 0.0) {
+      std::cout << "critical path of '" << crit.root_name << "' ("
+                << crit.root_wall_ms << " ms wall):\n";
+      std::size_t shown = 0;
+      for (const auto& entry : crit.entries) {
+        if (++shown > 10) break;  // top-k
+        std::printf("  %-24s %10.3f ms  (%5.1f%%, %llu segments)\n",
+                    entry.name.c_str(), entry.total_ms,
+                    100.0 * entry.total_ms / crit.root_wall_ms,
+                    static_cast<unsigned long long>(entry.segments));
+      }
+      std::printf("  %-24s %10.3f ms  (%5.1f%%)\n", "(root self)",
+                  crit.root_self_ms,
+                  100.0 * crit.root_self_ms / crit.root_wall_ms);
+      std::cout << "trace written to " << trace_out << "\n";
+    }
     if (options.mode == core::ExecutionMode::kStreamed) {
       const auto& stream = result.value().stream;
       std::cout << "stream: " << stream.layers_analyzed << " layers through a "
@@ -457,6 +516,54 @@ int cmd_merge_shards(const Flags& flags) {
   return 0;
 }
 
+int cmd_merge_obs(const Flags& flags) {
+  if (flags.positional().empty()) {
+    std::cerr << "merge-obs requires one or more obs-node-*.json exports\n";
+    return 2;
+  }
+  const std::string format = flags.str("format").empty()
+                                 ? std::string("table")
+                                 : flags.str("format");
+  if (format != "table" && format != "json" && format != "prom") {
+    std::cerr << "merge-obs: --format must be table, json, or prom\n";
+    return 2;
+  }
+  auto merged = obs::merge_obs_exports(flags.positional());
+  if (!merged.ok()) {
+    std::cerr << merged.error().to_string() << "\n";
+    return 1;
+  }
+  const obs::ObsMergeResult& result = merged.value();
+  if (format == "json") {
+    json::Value nodes = json::Value::array();
+    for (const obs::ObsNodeSummary& node : result.nodes) {
+      json::Value row = json::Value::object();
+      row.set("source", node.source);
+      row.set("node", std::uint64_t{node.node});
+      row.set("pipeline_wall_ms", node.pipeline_wall_ms);
+      row.set("straggler_delta_ms", node.straggler_delta_ms);
+      nodes.push_back(std::move(row));
+    }
+    json::Value doc = json::Value::object();
+    doc.set("merged", obs::to_json(result.merged));
+    doc.set("nodes", std::move(nodes));
+    std::cout << doc.dump() << "\n";
+  } else if (format == "prom") {
+    std::cout << obs::to_prometheus(result.merged);
+  } else {
+    std::cout << "merged metrics from " << result.nodes.size()
+              << " node export(s)\n";
+    core::print_metrics(std::cout, result.merged);
+    std::cout << "per-node pipeline wall (straggler delta vs fastest):\n";
+    for (const obs::ObsNodeSummary& node : result.nodes) {
+      std::printf("  node %-3u %12.3f ms  (+%.3f ms)  %s\n", node.node,
+                  node.pipeline_wall_ms, node.straggler_delta_ms,
+                  node.source.c_str());
+    }
+  }
+  return 0;
+}
+
 int cmd_gc(const Flags& flags) {
   const std::string dir = flags.str("dir");
   if (dir.empty()) {
@@ -505,9 +612,13 @@ int usage() {
       "           [--mode serial|staged|streamed] [--depth N]\n"
       "           [--shards N] [--spill-mb M] [--spill-dir PATH]\n"
       "           [--export-shards DIR] [--nodes K] [--node I]\n"
+      "           [--trace-out trace.json] [--trace-cap N]\n"
+      "           [--heartbeat-out hb.jsonl] [--heartbeat-ms N]\n"
       "           [--format table|json|prom]   instrumented pipeline run\n"
       "  merge-shards DIR [DIR ...]   fold exported shard sets into the\n"
       "           dedup report (see metrics --export-shards)\n"
+      "  merge-obs FILE [FILE ...]   fold per-node obs exports into one\n"
+      "           report with straggler deltas [--format table|json|prom]\n"
       "  gc       --dir STORE [live-manifest.json ...]\n";
   return 2;
 }
@@ -529,6 +640,7 @@ int main(int argc, char** argv) {
   if (command == "export") return cmd_export(flags);
   if (command == "metrics") return cmd_metrics(flags);
   if (command == "merge-shards") return cmd_merge_shards(flags);
+  if (command == "merge-obs") return cmd_merge_obs(flags);
   if (command == "gc") return cmd_gc(flags);
   return usage();
 }

@@ -31,6 +31,7 @@ configure_and_build "${build_root}/tsan" -DDOCKMINE_SANITIZE=thread
 "${build_root}/tsan/tests/resilience_test"
 "${build_root}/tsan/tests/obs_test"
 "${build_root}/tsan/tests/obs_export_test"
+"${build_root}/tsan/tests/trace_journal_test"
 DOCKMINE_SHARD_SPILL_BYTES=1 "${build_root}/tsan/tests/shard_test"
 DOCKMINE_SHARD_SPILL_BYTES=1 "${build_root}/tsan/tests/shard_pipeline_test"
 
@@ -38,5 +39,6 @@ echo "== [3/3] obs compiled out (-DDOCKMINE_OBS=OFF) =="
 configure_and_build "${build_root}/obs-off" -DDOCKMINE_OBS=OFF
 "${build_root}/obs-off/tests/obs_test"
 "${build_root}/obs-off/tests/obs_export_test"
+"${build_root}/obs-off/tests/trace_journal_test"
 
 echo "All checks passed."
