@@ -71,15 +71,38 @@ util::Result<MultiNodeResult> run_multi_node(const MultiNodeOptions& options) {
   }
 
   // --- recombine: union the nodes' delivered work ---
-  PipelineResult& combined = out.combined;
-  for (PipelineResult& node : out.node_results) {
-    for (auto& image : node.images) combined.images.push_back(image);
-    for (auto& manifest : node.manifests) combined.manifests.push_back(manifest);
-    combined.manifests_pushed = node.manifests_pushed;  // same snapshot
-    node.layer_profiles.for_each(
+  std::vector<NodeContribution> contributions;
+  contributions.reserve(out.node_results.size());
+  for (std::size_t node = 0; node < out.node_results.size(); ++node) {
+    PipelineResult& result = out.node_results[node];
+    NodeContribution contribution;
+    contribution.images = result.images;
+    contribution.manifests = result.manifests;
+    result.layer_profiles.for_each(
         [&](const analyzer::LayerProfile& profile) {
-          combined.layer_profiles.put(profile);
+          contribution.layer_profiles.push_back(profile);
         });
+    contribution.manifests_pushed = result.manifests_pushed;
+    contribution.shard_set_dir = out.shard_set_dirs[node];
+    contribution.shard_summary = result.shard_summary;
+    contributions.push_back(std::move(contribution));
+  }
+  auto combined = fold_contributions(contributions);
+  if (!combined.ok()) return std::move(combined).error();
+  out.combined = std::move(combined).value();
+  return out;
+}
+
+util::Result<PipelineResult> fold_contributions(
+    const std::vector<NodeContribution>& contributions) {
+  PipelineResult combined;
+  for (const NodeContribution& node : contributions) {
+    for (const auto& image : node.images) combined.images.push_back(image);
+    for (const auto& manifest : node.manifests)
+      combined.manifests.push_back(manifest);
+    combined.manifests_pushed = node.manifests_pushed;  // same snapshot
+    for (const auto& profile : node.layer_profiles)
+      combined.layer_profiles.put(profile);
   }
   // Layer sharing is recomputed over the union of delivered manifests —
   // the same fold run_end_to_end applies, so totals match a single run.
@@ -96,22 +119,22 @@ util::Result<MultiNodeResult> run_multi_node(const MultiNodeOptions& options) {
 
   // --- fold the K exported shard sets into one exact dedup section ---
   shard::ShardMerger merger;
-  for (const std::string& dir : out.shard_set_dirs) {
-    if (auto s = merger.add_shard_set(dir); !s.ok()) return s.error();
+  for (const NodeContribution& node : contributions) {
+    if (auto s = merger.add_shard_set(node.shard_set_dir); !s.ok())
+      return s.error();
   }
   auto aggregates = merger.merge_aggregates();
   if (!aggregates.ok()) return std::move(aggregates).error();
   combined.shard_summary.runs_merged = merger.stats().runs;
   combined.shard_dedup = std::move(aggregates).value();
   combined.shard_summary.enabled = true;
-  combined.shard_summary.shards = out.node_results.empty()
-                                      ? 0
-                                      : out.node_results[0].shard_summary.shards;
+  combined.shard_summary.shards =
+      contributions.empty() ? 0 : contributions[0].shard_summary.shards;
   combined.shard_summary.distinct_contents =
       combined.shard_dedup->distinct_contents;
   combined.shard_summary.metadata_conflicts =
       combined.shard_dedup->metadata_conflicts;
-  for (const PipelineResult& node : out.node_results) {
+  for (const NodeContribution& node : contributions) {
     combined.shard_summary.observations += node.shard_summary.observations;
     combined.shard_summary.spills += node.shard_summary.spills;
     combined.shard_summary.spilled_bytes += node.shard_summary.spilled_bytes;
@@ -119,7 +142,7 @@ util::Result<MultiNodeResult> run_multi_node(const MultiNodeOptions& options) {
         std::max(combined.shard_summary.peak_resident_bytes,
                  node.shard_summary.peak_resident_bytes);
   }
-  return out;
+  return combined;
 }
 
 }  // namespace dockmine::core

@@ -55,4 +55,27 @@ struct MultiNodeResult {
 
 util::Result<MultiNodeResult> run_multi_node(const MultiNodeOptions& options);
 
+/// One node's (or one lease's) delivered work, stripped to exactly what the
+/// recombination needs. The in-process simulation builds these from
+/// PipelineResults; the distributed coordinator builds them from wire
+/// messages plus shard-set files received over sockets — both feed the same
+/// fold below.
+struct NodeContribution {
+  std::vector<analyzer::ImageProfile> images;
+  std::vector<registry::Manifest> manifests;
+  std::vector<analyzer::LayerProfile> layer_profiles;
+  std::uint64_t manifests_pushed = 0;
+  std::string shard_set_dir;  ///< exported shard set to fold
+  ShardedDedupSummary shard_summary;  ///< per-node accounting (summed)
+};
+
+/// Fold K contributions into one PipelineResult whose analysis_report_json
+/// is byte-identical to a single-node run over the union: concatenate the
+/// delivered work in input order, recompute layer sharing over the union of
+/// manifests, and k-way-merge every exported shard set into the exact dedup
+/// section (commutative merge_content_entries makes the result independent
+/// of how the work was partitioned — or re-executed).
+util::Result<PipelineResult> fold_contributions(
+    const std::vector<NodeContribution>& contributions);
+
 }  // namespace dockmine::core

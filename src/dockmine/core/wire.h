@@ -1,0 +1,127 @@
+// Coordinator <-> worker wire protocol (DESIGN.md §12).
+//
+// Everything crosses the socket as length-prefixed, CRC-protected frames:
+//
+//   header, 16 bytes (integers little-endian)
+//     [ 0.. 4)  magic "DMWF"
+//     [ 4]      kind: 1 = JSON control message, 2 = binary file chunk
+//     [ 5]      flags (must be zero)
+//     [ 6.. 8)  reserved (must be zero)
+//     [ 8..12)  payload length, u32 (<= kMaxFramePayload)
+//     [12..16)  CRC-32 (IEEE) over the payload, u32
+//   payload
+//
+// Validation is strict and total, mirroring the shard run format: a frame
+// is delivered only when magic, kind, zero bits, length bound, and CRC all
+// check out. Anything else — truncation mid-header, truncation mid-payload
+// followed by a stray magic, a single flipped bit — poisons the stream with
+// kCorrupt, and the peer's only recourse is to drop the connection. A
+// malformed frame can therefore cost a lease (it is reassigned) but can
+// never smuggle bytes into a merged report.
+//
+// JSON control messages carry a "type" discriminator:
+//   hello        worker -> coordinator   {worker, pid}
+//   lease        coordinator -> worker   {lease, node_index, node_count,
+//                                         attempt, spec:{...JobSpec...}}
+//   heartbeat    worker -> coordinator   {worker, lease, obs:{...}} — the
+//                                        obs member is one heartbeat_line()
+//                                        snapshot (counters, journal depth)
+//   result       worker -> coordinator   lease outcome header: profiles,
+//                                        manifests, accounting, obs export,
+//                                        and the names/sizes of the shard
+//                                        set files that follow as binary
+//                                        frames (in header order)
+//   lease-failed worker -> coordinator   {worker, lease, error}
+//   shutdown     coordinator -> worker   end of run
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dockmine/analyzer/profile.h"
+#include "dockmine/core/lease.h"
+#include "dockmine/json/json.h"
+#include "dockmine/registry/model.h"
+#include "dockmine/util/error.h"
+
+namespace dockmine::core::wire {
+
+inline constexpr std::string_view kFrameMagic = "DMWF";
+inline constexpr std::size_t kFrameHeaderBytes = 16;
+inline constexpr std::size_t kMaxFramePayload = 256ull << 20;
+
+enum class FrameKind : std::uint8_t { kJson = 1, kBinary = 2 };
+
+struct Frame {
+  FrameKind kind = FrameKind::kJson;
+  std::string payload;
+};
+
+/// Serialize one frame (header + payload).
+std::string encode_frame(FrameKind kind, std::string_view payload);
+
+/// Incremental stream reassembler. Feed raw socket bytes in; poll complete
+/// frames out. The first malformed byte sequence poisons the buffer: every
+/// subsequent poll() returns kCorrupt and the connection must be dropped —
+/// there is no resynchronization inside a TCP stream.
+class FrameBuffer {
+ public:
+  void feed(std::string_view bytes) { buffer_.append(bytes); }
+
+  /// True + `out` filled when a complete valid frame was consumed; false
+  /// when more bytes are needed; kCorrupt once the stream is poisoned.
+  util::Result<bool> poll(Frame& out);
+
+  bool corrupt() const noexcept { return corrupt_; }
+  std::size_t buffered() const noexcept { return buffer_.size(); }
+
+ private:
+  std::string buffer_;
+  std::size_t cursor_ = 0;  ///< consumed prefix, compacted lazily
+  bool corrupt_ = false;
+};
+
+// ---- message payload codecs -------------------------------------------
+// All *_from_json parsers are total: they validate types and ranges and
+// fail with kCorrupt instead of crashing, because their input crossed a
+// process boundary.
+
+json::Value layer_profile_to_json(const analyzer::LayerProfile& profile);
+util::Result<analyzer::LayerProfile> layer_profile_from_json(
+    const json::Value& doc);
+
+json::Value image_profile_to_json(const analyzer::ImageProfile& profile);
+util::Result<analyzer::ImageProfile> image_profile_from_json(
+    const json::Value& doc);
+
+json::Value job_spec_to_json(const JobSpec& spec);
+util::Result<JobSpec> job_spec_from_json(const json::Value& doc);
+
+/// One shipped shard-set file: name relative to the lease export directory
+/// plus its size (the binary frame that carries the content is CRC-checked
+/// by the framing layer).
+struct FileEntry {
+  std::string name;
+  std::uint64_t size = 0;
+};
+
+/// Everything a completed lease returns besides the raw shard-set bytes.
+struct LeaseResult {
+  std::uint64_t worker = 0;
+  std::uint32_t lease = 0;
+  std::uint32_t attempt = 0;
+  std::vector<analyzer::ImageProfile> images;
+  std::vector<registry::Manifest> manifests;
+  std::vector<analyzer::LayerProfile> layer_profiles;
+  std::uint64_t manifests_pushed = 0;
+  ShardedDedupSummary shard_summary;
+  json::Value obs_export;  ///< obs::to_json(collect()) for this lease's run
+  std::vector<FileEntry> files;  ///< binary frames follow in this order
+};
+
+json::Value lease_result_to_json(const LeaseResult& result);
+util::Result<LeaseResult> lease_result_from_json(const json::Value& doc);
+
+}  // namespace dockmine::core::wire

@@ -1,0 +1,64 @@
+// Distributed worker process (DESIGN.md §12): connects to a coordinator on
+// loopback, announces itself, and executes work leases until told to shut
+// down. Each lease runs the full pipeline as one deterministic partition
+// (node `node_index` of `node_count`), heartbeats liveness frames while it
+// runs (the PR 5 emitter with a socket sink), and ships the delivered work
+// back — profiles and manifests as JSON, the exported shard set as
+// CRC-framed binary file chunks.
+//
+// The chaos hooks make worker-death testing deterministic: a worker can be
+// told to SIGKILL itself mid-lease (real kernel-delivered death, exactly
+// what `kill -9` produces) or to hang (keep the connection open but stop
+// heartbeating — the failure mode a wedged disk or a livelocked process
+// presents to the coordinator).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "dockmine/util/error.h"
+
+namespace dockmine::core {
+
+struct WorkerChaos {
+  /// Send one heartbeat after receiving the first lease, then raise
+  /// SIGKILL. The process dies mid-lease, connection reset and all.
+  bool die_on_first_lease = false;
+  /// On the first lease: stop heartbeating and sleep `hang_ms` without
+  /// producing a result, then exit. Simulates a wedged-but-alive worker.
+  bool hang_on_first_lease = false;
+  std::uint64_t hang_ms = 30'000;
+};
+
+struct WorkerOptions {
+  std::uint16_t port = 0;        ///< coordinator's loopback port
+  std::uint64_t worker_id = 0;   ///< 0: use the pid
+  /// Where lease shard sets are staged before shipping; a per-lease
+  /// subdirectory is created (and removed after a successful ship).
+  std::string scratch_dir;
+  std::uint64_t heartbeat_interval_ms = 100;
+  /// Per-socket-op deadline. Reads while idle loop on kTimeout, so this
+  /// bounds shutdown latency, not lease duration.
+  std::uint32_t io_timeout_ms = 500;
+  /// Give up when the coordinator has been silent this long while the
+  /// worker is idle (coordinator crash safety net).
+  std::uint64_t idle_timeout_ms = 60'000;
+  WorkerChaos chaos;
+};
+
+struct WorkerStats {
+  std::uint64_t leases_completed = 0;
+  std::uint64_t leases_failed = 0;
+  std::uint64_t heartbeats_sent = 0;
+  std::uint64_t files_shipped = 0;
+  std::uint64_t bytes_shipped = 0;
+  bool shutdown_received = false;  ///< clean end-of-run from coordinator
+};
+
+/// Run the worker loop to completion (shutdown frame, coordinator
+/// disconnect, or idle timeout). Errors are connection-fatal conditions;
+/// per-lease pipeline failures are reported to the coordinator and counted
+/// in stats instead.
+util::Result<WorkerStats> run_worker(const WorkerOptions& options);
+
+}  // namespace dockmine::core

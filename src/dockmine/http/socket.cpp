@@ -73,6 +73,10 @@ util::Result<std::string> Socket::read_some(std::size_t max) {
   }
 }
 
+void Socket::shutdown_both() noexcept {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
 void Socket::close() noexcept {
   if (fd_ >= 0) {
     ::close(fd_);

@@ -36,6 +36,12 @@ class Socket {
   /// Read up to `max` bytes; 0 bytes => peer closed.
   util::Result<std::string> read_some(std::size_t max = 64 * 1024);
 
+  /// ::shutdown(SHUT_RDWR): unblocks a reader thread parked in read_some()
+  /// (it sees 0 bytes / kReset) without racing fd reuse the way a
+  /// cross-thread close() would. The descriptor stays owned; close() still
+  /// runs on destruction.
+  void shutdown_both() noexcept;
+
   void close() noexcept;
 
   /// Connect to 127.0.0.1:port.

@@ -1,9 +1,10 @@
 #include "dockmine/obs/heartbeat.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <chrono>
 #include <condition_variable>
-#include <fstream>
-#include <memory>
 #include <mutex>
 #include <thread>
 #include <utility>
@@ -15,17 +16,40 @@
 namespace dockmine::obs {
 namespace {
 
+// The file is written through a raw descriptor (not an ofstream) so the
+// shutdown path can fsync: the contract is that a clean process exit leaves
+// the final line durably on disk, and only fsync makes that true across a
+// crash of the *machine* right after the crawl process exits.
 struct HeartbeatState {
   std::mutex mutex;
   std::condition_variable cv;
   std::thread worker;
   bool stop_requested = false;
   bool running = false;
+  int fd = -1;  ///< -1 when the emitter is sink-only
+  std::function<void(const std::string&)> sink;
 };
 
 HeartbeatState& state() {
   static HeartbeatState instance;
   return instance;
+}
+
+void emit_line(int fd, const std::function<void(const std::string&)>& sink) {
+  const std::string line = heartbeat_line();
+  if (fd >= 0) {
+    std::string with_newline = line;
+    with_newline.push_back('\n');
+    const char* data = with_newline.data();
+    std::size_t left = with_newline.size();
+    while (left > 0) {
+      const ssize_t n = ::write(fd, data, left);
+      if (n <= 0) break;  // full disk / closed fd: drop the beat, not the run
+      data += n;
+      left -= static_cast<std::size_t>(n);
+    }
+  }
+  if (sink) sink(line);
 }
 
 }  // namespace
@@ -58,24 +82,32 @@ bool start_heartbeat(const HeartbeatOptions& options) {
   (void)options;
   return false;
 #else
+  if (options.path.empty() && !options.sink) return false;
   HeartbeatState& hb = state();
   std::lock_guard<std::mutex> lock(hb.mutex);
   if (hb.running) return false;
-  auto out = std::make_shared<std::ofstream>(options.path, std::ios::app);
-  if (!out->is_open()) return false;
+  int fd = -1;
+  if (!options.path.empty()) {
+    fd = ::open(options.path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (fd < 0) return false;
+  }
+  hb.fd = fd;
+  hb.sink = options.sink;
   hb.stop_requested = false;
   hb.running = true;
   const auto interval = std::chrono::milliseconds(
       options.interval_ms == 0 ? 1 : options.interval_ms);
-  hb.worker = std::thread([out = std::move(out), interval] {
+  hb.worker = std::thread([interval] {
     HeartbeatState& st = state();
     std::unique_lock<std::mutex> wait_lock(st.mutex);
     while (true) {
       // Snapshot outside the state lock so a slow registry never delays
-      // stop_heartbeat(); the lock only guards the stop flag and cv.
+      // stop_heartbeat(); the lock only guards the stop flag and cv. fd and
+      // sink are stable until the thread has been joined.
+      const int beat_fd = st.fd;
+      const auto& sink = st.sink;
       wait_lock.unlock();
-      (*out) << heartbeat_line() << '\n';
-      out->flush();
+      emit_line(beat_fd, sink);
       wait_lock.lock();
       if (st.cv.wait_for(wait_lock, interval,
                          [&st] { return st.stop_requested; })) {
@@ -99,8 +131,18 @@ void stop_heartbeat() {
   }
   hb.cv.notify_all();
   worker.join();
+  // Final beat: the run's last counter values always reach the file (and
+  // sink) before this returns — a consumer must never misread a clean exit
+  // as a missed deadline because the closing line was lost in a buffer.
+  emit_line(hb.fd, hb.sink);
+  if (hb.fd >= 0) {
+    ::fsync(hb.fd);
+    ::close(hb.fd);
+  }
   {
     std::lock_guard<std::mutex> lock(hb.mutex);
+    hb.fd = -1;
+    hb.sink = nullptr;
     hb.running = false;
     hb.stop_requested = false;
   }

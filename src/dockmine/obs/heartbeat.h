@@ -1,23 +1,37 @@
 // Low-rate heartbeat emitter for long (hours/weeks) runs: a background
 // thread appends one JSON line per interval — obs-clock timestamp, node
 // id, every counter and gauge, and the journal's recorded/dropped totals —
-// to a JSONL file. `tail -f` of that file answers "is the crawl still
-// making progress, and how fast" without attaching a scraper.
+// to a JSONL file and/or a caller-supplied sink. `tail -f` of the file
+// answers "is the crawl still making progress, and how fast" without
+// attaching a scraper; the sink is how distributed workers turn the same
+// beats into liveness frames on the coordinator socket.
 //
 // Off by default; one emitter per process. Snapshot cost is bounded by the
 // registry size (no histograms, no span rows), and the thread sleeps on a
 // condition variable between beats, so an idle heartbeat costs nothing
 // measurable. Under -DDOCKMINE_OBS=OFF `start_heartbeat` refuses to start.
+//
+// Shutdown is flush-exact: stop_heartbeat() emits one final line after the
+// worker thread has joined, then flushes and fsyncs the file before
+// returning. A consumer that sees the process exit cleanly always finds a
+// final beat on disk — a clean exit is never mistaken for a missed
+// deadline.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 namespace dockmine::obs {
 
 struct HeartbeatOptions {
   std::uint64_t interval_ms = 1000;  ///< real (steady-clock) ms between beats
-  std::string path;                  ///< JSONL file, appended to
+  std::string path;                  ///< JSONL file, appended to (optional
+                                     ///< when a sink is given)
+  /// Invoked with each emitted line (no trailing newline), from the emitter
+  /// thread — and once more from stop_heartbeat()'s caller for the final
+  /// beat. Must not call start/stop_heartbeat.
+  std::function<void(const std::string&)> sink;
 };
 
 /// One heartbeat snapshot as a single-line JSON document (no newline):

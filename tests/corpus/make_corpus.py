@@ -158,6 +158,34 @@ def bitflipped_shard_run():
     return bytes(whole)
 
 
+def wire_frame(kind, payload):
+    """Encode a coordinator<->worker wire frame (core/wire.h, "DMWF"):
+    magic, kind, zero flags/reserved, payload length, payload CRC32."""
+    return (b"DMWF" + struct.pack("<BBHII", kind, 0, 0, len(payload),
+                                  zlib.crc32(payload) & 0xFFFFFFFF)
+            + payload)
+
+
+def valid_wire_frame():
+    """A well-formed JSON control frame (a worker heartbeat)."""
+    return wire_frame(1, b'{"type":"heartbeat","worker":3,"lease":1,"obs":{}}')
+
+
+def truncated_wire_frame():
+    """The valid frame cut mid-payload: the reassembler must keep waiting
+    for bytes (a TCP read boundary), never deliver or poison."""
+    return valid_wire_frame()[:24]
+
+
+def bitflipped_wire_frame():
+    """The valid frame with one payload bit flipped: header parses, the
+    CRC must reject it and poison the stream — a flipped frame may cost
+    the connection (and its lease) but can never smuggle altered bytes."""
+    whole = bytearray(valid_wire_frame())
+    whole[16 + 9] ^= 0x10
+    return bytes(whole)
+
+
 CORPUS = {
     "gzip_truncated_member.bin": truncated_gzip_member,
     "gzip_bad_crc.bin": bad_crc_gzip_member,
@@ -171,6 +199,10 @@ CORPUS = {
     "shard_run_valid.bin": valid_shard_run,
     "shard_run_truncated.bin": truncated_shard_run,
     "shard_run_bitflip.bin": bitflipped_shard_run,
+    # Coordinator<->worker wire frames (core/wire): good, torn, damaged.
+    "wire_frame_valid.bin": valid_wire_frame,
+    "wire_frame_truncated.bin": truncated_wire_frame,
+    "wire_frame_bitflip.bin": bitflipped_wire_frame,
 }
 
 

@@ -9,6 +9,7 @@
 
 #include "dockmine/analyzer/layer_analyzer.h"
 #include "dockmine/compress/gzip.h"
+#include "dockmine/core/wire.h"
 #include "dockmine/filetype/classifier.h"
 #include "dockmine/http/message.h"
 #include "dockmine/json/json.h"
@@ -302,6 +303,124 @@ TEST(CorpusTest, EveryPossibleSingleBitFlipOfAValidRunIsRejected) {
           << "byte " << byte << " bit " << bit;
     }
   }
+}
+
+TEST_P(FuzzTest, WireFrameBufferTotalOnArbitraryBytes) {
+  util::Rng rng(GetParam() * 6151);
+  for (int i = 0; i < 100; ++i) {
+    core::wire::FrameBuffer buffer;
+    buffer.feed(random_blob(rng, 512));
+    core::wire::Frame frame;
+    auto polled = buffer.poll(frame);
+    // Random bytes essentially never form the magic + a matching CRC:
+    // the only outcomes are "need more" (a short buffer) or a poisoned
+    // stream — and a poisoned stream must stay poisoned.
+    if (!polled.ok()) {
+      EXPECT_TRUE(buffer.corrupt());
+      buffer.feed(core::wire::encode_frame(core::wire::FrameKind::kJson, "{}"));
+      EXPECT_FALSE(buffer.poll(frame).ok());
+    } else {
+      EXPECT_FALSE(polled.value());
+    }
+  }
+}
+
+TEST_P(FuzzTest, WireFrameSurvivesRandomTearAndFlip) {
+  util::Rng rng(GetParam() * 26227);
+  for (int i = 0; i < 50; ++i) {
+    const std::string payload = random_blob(rng, 256);
+    const auto kind = rng.chance(0.5) ? core::wire::FrameKind::kJson
+                                      : core::wire::FrameKind::kBinary;
+    const std::string encoded = core::wire::encode_frame(kind, payload);
+
+    // Tear at a random point: must read as incomplete, then complete
+    // exactly once the remainder arrives.
+    core::wire::FrameBuffer torn;
+    const std::size_t cut = rng.uniform(encoded.size());
+    torn.feed(std::string_view(encoded).substr(0, cut));
+    core::wire::Frame frame;
+    auto first = torn.poll(frame);
+    ASSERT_TRUE(first.ok());
+    EXPECT_FALSE(first.value());
+    torn.feed(std::string_view(encoded).substr(cut));
+    auto second = torn.poll(frame);
+    ASSERT_TRUE(second.ok());
+    ASSERT_TRUE(second.value());
+    EXPECT_EQ(frame.payload, payload);
+    EXPECT_EQ(frame.kind, kind);
+
+    // Flip a random bit: the altered frame must never be delivered.
+    std::string flipped = encoded;
+    const std::size_t byte = rng.uniform(flipped.size());
+    flipped[byte] =
+        static_cast<char>(flipped[byte] ^ (1 << rng.uniform(8)));
+    core::wire::FrameBuffer damaged;
+    damaged.feed(flipped);
+    auto polled = damaged.poll(frame);
+    EXPECT_FALSE(polled.ok() && polled.value())
+        << "delivered a frame with byte " << byte << " flipped";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Wire-frame corpus: a committed coordinator<->worker control frame plus
+// torn and bit-flipped copies (make_corpus.py). A malformed frame may cost
+// the connection — and with it a lease — but must never crash the process
+// or deliver altered bytes into a merged report.
+// ---------------------------------------------------------------------------
+
+TEST(CorpusTest, ValidWireFrameDecodesExactly) {
+  const std::string blob = read_corpus("wire_frame_valid.bin");
+  ASSERT_EQ(blob.size(), core::wire::kFrameHeaderBytes + 50);
+  for (int replay = 0; replay < 2; ++replay) {
+    core::wire::FrameBuffer buffer;
+    buffer.feed(blob);
+    core::wire::Frame frame;
+    auto polled = buffer.poll(frame);
+    ASSERT_TRUE(polled.ok()) << polled.error().message();
+    ASSERT_TRUE(polled.value());
+    EXPECT_EQ(frame.kind, core::wire::FrameKind::kJson);
+    EXPECT_EQ(frame.payload,
+              "{\"type\":\"heartbeat\",\"worker\":3,\"lease\":1,\"obs\":{}}");
+    EXPECT_EQ(buffer.buffered(), blob.size());  // consumed, compacted lazily
+  }
+}
+
+TEST(CorpusTest, TruncatedWireFrameWaitsWithoutPoisoning) {
+  const std::string good = read_corpus("wire_frame_valid.bin");
+  const std::string torn = read_corpus("wire_frame_truncated.bin");
+  ASSERT_LT(torn.size(), good.size());
+  ASSERT_EQ(torn, good.substr(0, torn.size()));
+
+  core::wire::FrameBuffer buffer;
+  buffer.feed(torn);
+  core::wire::Frame frame;
+  auto polled = buffer.poll(frame);
+  ASSERT_TRUE(polled.ok());
+  EXPECT_FALSE(polled.value());  // a read boundary, not corruption
+  EXPECT_FALSE(buffer.corrupt());
+
+  buffer.feed(good.substr(torn.size()));
+  auto completed = buffer.poll(frame);
+  ASSERT_TRUE(completed.ok());
+  EXPECT_TRUE(completed.value());
+}
+
+TEST(CorpusTest, BitflippedWireFramePoisonsTheStream) {
+  const std::string good = read_corpus("wire_frame_valid.bin");
+  const std::string bad = read_corpus("wire_frame_bitflip.bin");
+  ASSERT_EQ(bad.size(), good.size());
+  ASSERT_NE(bad, good);
+
+  core::wire::FrameBuffer buffer;
+  buffer.feed(bad);
+  core::wire::Frame frame;
+  auto polled = buffer.poll(frame);
+  ASSERT_FALSE(polled.ok());  // CRC mismatch
+  EXPECT_TRUE(buffer.corrupt());
+  // No resynchronization: a subsequent pristine frame stays undelivered.
+  buffer.feed(good);
+  EXPECT_FALSE(buffer.poll(frame).ok());
 }
 
 TEST(CorpusTest, WhiteoutLayerBlobAnalyzesDeterministically) {

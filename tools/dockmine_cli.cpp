@@ -13,15 +13,23 @@
 //                     [--heartbeat-out F] [--heartbeat-ms N]
 //   dockmine merge-shards DIR [DIR ...]                  fold shard sets
 //   dockmine merge-obs FILE [FILE ...]                   fold node metrics
+//   dockmine coordinate --leases K --spawn-workers W ... distributed run
+//   dockmine worker --connect PORT --scratch DIR ...     one worker process
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <csignal>
 #include <fstream>
 #include <iostream>
 #include <unordered_map>
 
 #include "dockmine/blob/disk_store.h"
+#include "dockmine/core/coordinator.h"
 #include "dockmine/core/dataset.h"
+#include "dockmine/core/lease.h"
 #include "dockmine/core/pipeline.h"
 #include "dockmine/core/report.h"
+#include "dockmine/core/worker.h"
 #include "dockmine/crawler/crawler.h"
 #include "dockmine/obs/critical_path.h"
 #include "dockmine/obs/export.h"
@@ -597,6 +605,183 @@ int cmd_gc(const Flags& flags) {
   return 0;
 }
 
+core::JobSpec job_spec_from(const Flags& flags) {
+  core::JobSpec spec;
+  spec.repositories = flags.u64("repos", 120);
+  spec.seed = flags.u64("seed", 20170530);
+  spec.light_calibration = !flags.flag("paper");
+  spec.gzip_level = static_cast<int>(flags.u64("gzip", 1));
+  spec.download_workers = flags.u64("workers", 4);
+  spec.analyze_workers = flags.u64("workers", 2);
+  spec.shards = static_cast<std::uint32_t>(flags.u64("shards", 4));
+  const std::string mode = flags.str("mode", "staged");
+  spec.mode = mode == "serial"     ? core::ExecutionMode::kSerial
+              : mode == "streamed" ? core::ExecutionMode::kStreamed
+                                   : core::ExecutionMode::kStaged;
+  return spec;
+}
+
+int cmd_worker(const Flags& flags) {
+  core::WorkerOptions options;
+  options.port = static_cast<std::uint16_t>(flags.u64("connect", 0));
+  options.worker_id = flags.u64("id", 0);
+  options.scratch_dir = flags.str("scratch", "dockmine-worker-scratch");
+  options.heartbeat_interval_ms = flags.u64("heartbeat-ms", 100);
+  options.io_timeout_ms =
+      static_cast<std::uint32_t>(flags.u64("io-timeout-ms", 500));
+  options.idle_timeout_ms = flags.u64("idle-timeout-ms", 60000);
+  options.chaos.die_on_first_lease = flags.flag("chaos-die-after-one");
+  options.chaos.hang_on_first_lease = flags.flag("chaos-hang-after-one");
+  options.chaos.hang_ms = flags.u64("chaos-hang-ms", 30000);
+  if (options.port == 0) {
+    std::cerr << "worker requires --connect PORT\n";
+    return 2;
+  }
+  // Heartbeats carry the metric snapshot and each lease ships an obs
+  // export; the coordinator's merge-obs view depends on workers observing.
+  obs::set_enabled(true);
+  auto result = core::run_worker(options);
+  if (!result.ok()) {
+    std::cerr << "worker: " << result.error().to_string() << "\n";
+    return 1;
+  }
+  const core::WorkerStats& stats = result.value();
+  std::cerr << "worker done: " << stats.leases_completed << " lease(s), "
+            << stats.leases_failed << " failed, " << stats.heartbeats_sent
+            << " heartbeats, " << stats.files_shipped << " files ("
+            << util::format_bytes(stats.bytes_shipped) << ")"
+            << (stats.shutdown_received ? "" : " [no shutdown frame]")
+            << "\n";
+  return 0;
+}
+
+int cmd_coordinate(const Flags& flags) {
+  core::CoordinatorOptions options;
+  options.spec = job_spec_from(flags);
+  options.leases = static_cast<std::uint32_t>(flags.u64("leases", 3));
+  options.work_dir = flags.str("work-dir", "dockmine-coordinate");
+  options.port = static_cast<std::uint16_t>(flags.u64("port", 0));
+  options.heartbeat_deadline_ms = flags.u64("heartbeat-deadline-ms", 2000);
+  options.straggler_factor = flags.flag("no-stragglers") ? 0.0 : 3.0;
+  options.duplicate_every_lease = flags.flag("duplicate-every-lease");
+  options.max_wall_ms = flags.u64("max-wall-ms", 10 * 60 * 1000);
+  options.retry.max_attempts =
+      static_cast<int>(flags.u64("max-attempts", 5));
+  options.retry.retry_budget = flags.u64("retry-budget", 64);
+  options.seed = options.spec.seed;
+
+  obs::set_enabled(true);
+  core::Coordinator coordinator(options);
+  if (auto bound = coordinator.bind(); !bound.ok()) {
+    std::cerr << "coordinate: " << bound.error().to_string() << "\n";
+    return 1;
+  }
+  std::cerr << "coordinate: listening on 127.0.0.1:" << coordinator.port()
+            << ", " << options.leases << " lease(s)\n";
+
+  // Spawn local workers: fork + exec this binary's `worker` verb. Forking
+  // happens before run() starts any coordinator thread.
+  const std::uint64_t spawn = flags.u64("spawn-workers", 0);
+  const std::uint64_t kill_index = flags.u64("chaos-kill-worker", spawn);
+  const std::uint64_t hang_index = flags.u64("chaos-hang-worker", spawn);
+  std::vector<pid_t> children;
+  for (std::uint64_t i = 0; i < spawn; ++i) {
+    std::vector<std::string> args = {
+        "/proc/self/exe",
+        "worker",
+        "--connect=" + std::to_string(coordinator.port()),
+        "--id=" + std::to_string(i + 1),
+        "--scratch=" + options.work_dir + "/worker-" + std::to_string(i),
+        "--heartbeat-ms=" + flags.str("heartbeat-ms", "100"),
+    };
+    if (i == kill_index) args.push_back("--chaos-die-after-one");
+    if (i == hang_index) args.push_back("--chaos-hang-after-one");
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+      std::vector<char*> argv;
+      argv.reserve(args.size() + 1);
+      for (std::string& arg : args) argv.push_back(arg.data());
+      argv.push_back(nullptr);
+      ::execv("/proc/self/exe", argv.data());
+      _exit(127);
+    }
+    if (pid < 0) {
+      std::cerr << "coordinate: fork failed\n";
+      return 1;
+    }
+    children.push_back(pid);
+  }
+  // A killed or hung worker leaves the pool one short; over-provision so
+  // the survivors can still absorb every reassignment.
+  auto report = coordinator.run();
+  for (const pid_t pid : children) {
+    ::kill(pid, SIGKILL);
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+  }
+  if (!report.ok()) {
+    std::cerr << "coordinate: " << report.error().to_string() << "\n";
+    return 1;
+  }
+  const core::DistStats& stats = report.value().stats;
+  std::cerr << "coordinate: " << stats.leases << " lease(s) done across "
+            << stats.workers_connected << " worker(s) in "
+            << stats.elapsed_ms / 1000.0 << " s\n"
+            << "  heartbeats " << stats.heartbeats_received
+            << ", missed deadlines " << stats.missed_deadlines
+            << ", disconnects " << stats.worker_disconnects
+            << ", reassignments " << stats.reassignments << "\n"
+            << "  straggler redispatches " << stats.straggler_redispatches
+            << ", duplicate completions " << stats.duplicate_completions
+            << " (mismatches " << stats.duplicate_mismatches << ")"
+            << ", malformed frames " << stats.malformed_frames << "\n"
+            << "  lease failures " << stats.lease_failures << ", received "
+            << stats.files_received << " files ("
+            << util::format_bytes(stats.bytes_received) << ")\n";
+  for (const obs::ObsNodeSummary& node : report.value().node_obs) {
+    std::printf("  lease %-3u pipeline %10.3f ms (+%.3f ms straggler)\n",
+                node.node, node.pipeline_wall_ms, node.straggler_delta_ms);
+  }
+  const json::Value merged =
+      core::analysis_report_json(report.value().combined);
+  if (flags.flag("verify-serial")) {
+    // Re-run the identical job as one serial in-process pipeline and demand
+    // byte equality with the distributed fold — the CI smoke's oracle.
+    const std::string serial_dir = options.work_dir + "/serial";
+    auto serial = core::run_end_to_end(
+        core::lease_pipeline_options(options.spec, 0, 1, serial_dir));
+    if (!serial.ok()) {
+      std::cerr << "coordinate: serial verify run failed: "
+                << serial.error().to_string() << "\n";
+      return 1;
+    }
+    const json::Value serial_report =
+        core::analysis_report_json(serial.value());
+    if (serial_report.dump() != merged.dump()) {
+      std::cerr << "coordinate: VERIFY FAILED — distributed report differs"
+                   " from the serial report\n";
+      return 1;
+    }
+    if (stats.duplicate_mismatches != 0) {
+      std::cerr << "coordinate: VERIFY FAILED — duplicate completions did"
+                   " not match (idempotency violation)\n";
+      return 1;
+    }
+    std::cerr << "coordinate: verified — distributed report is"
+                 " byte-identical to the serial run\n";
+  }
+  const std::string out = flags.str("out");
+  if (!out.empty()) {
+    std::ofstream file(out, std::ios::binary | std::ios::trunc);
+    if (!file.is_open() || !(file << merged.dump())) {
+      std::cerr << "coordinate: cannot write " << out << "\n";
+      return 1;
+    }
+    std::cerr << "coordinate: report written to " << out << "\n";
+  }
+  return 0;
+}
+
 int usage() {
   std::cerr <<
       "usage: dockmine <command> [flags]\n"
@@ -619,7 +804,17 @@ int usage() {
       "           dedup report (see metrics --export-shards)\n"
       "  merge-obs FILE [FILE ...]   fold per-node obs exports into one\n"
       "           report with straggler deltas [--format table|json|prom]\n"
-      "  gc       --dir STORE [live-manifest.json ...]\n";
+      "  gc       --dir STORE [live-manifest.json ...]\n"
+      "  coordinate [--leases K] [--spawn-workers W] [--work-dir DIR]\n"
+      "           [--repos N] [--seed S] [--paper] [--shards N]\n"
+      "           [--mode serial|staged|streamed] [--port P]\n"
+      "           [--heartbeat-deadline-ms N] [--max-attempts N]\n"
+      "           [--chaos-kill-worker I] [--chaos-hang-worker I]\n"
+      "           [--duplicate-every-lease] [--verify-serial] [--out F]\n"
+      "           distributed run: coordinator + worker processes\n"
+      "  worker   --connect PORT [--id N] [--scratch DIR]\n"
+      "           [--heartbeat-ms N] [--chaos-die-after-one]\n"
+      "           [--chaos-hang-after-one]   one distributed worker\n";
   return 2;
 }
 
@@ -642,5 +837,7 @@ int main(int argc, char** argv) {
   if (command == "merge-shards") return cmd_merge_shards(flags);
   if (command == "merge-obs") return cmd_merge_obs(flags);
   if (command == "gc") return cmd_gc(flags);
+  if (command == "coordinate") return cmd_coordinate(flags);
+  if (command == "worker") return cmd_worker(flags);
   return usage();
 }
