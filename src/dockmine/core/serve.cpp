@@ -1,0 +1,918 @@
+#include "dockmine/core/serve.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+#include "dockmine/filetype/taxonomy.h"
+#include "dockmine/obs/export.h"
+#include "dockmine/obs/obs.h"
+
+namespace dockmine::core::serve {
+namespace {
+
+double mono_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// The report's fixed quantile grid (pipeline.cpp ecdf_json); quantile
+/// queries must land on it exactly so their answers are slices of the
+/// batch report, never interpolations of it.
+constexpr double kQuantileGrid[] = {0.0,  0.01, 0.05, 0.1,  0.25, 0.5,
+                                    0.75, 0.9,  0.95, 0.99, 1.0};
+
+/// Grid index for `q`, or -1 when q is off-grid.
+int grid_index(double q) {
+  for (std::size_t i = 0; i < std::size(kQuantileGrid); ++i) {
+    if (std::fabs(q - kQuantileGrid[i]) < 1e-9) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+bool known_query(const std::string& q) {
+  return q == "report" || q == "image" || q == "layer" || q == "content" ||
+         q == "types" || q == "ecdf" || q == "status" || q == "stats";
+}
+
+/// Report location of one queryable ECDF: {section, field} under
+/// report["analysis"], or nullopt for an unknown name.
+std::optional<std::pair<std::string, std::string>> ecdf_location(
+    const std::string& name) {
+  const std::size_t dot = name.find('.');
+  if (dot == std::string::npos) return std::nullopt;
+  const std::string section = name.substr(0, dot);
+  const std::string field = name.substr(dot + 1);
+  const bool ok =
+      (section == "images" &&
+       (field == "cis" || field == "fis" || field == "layers_per_image" ||
+        field == "files_per_image")) ||
+      (section == "layers" &&
+       (field == "cls" || field == "fls" || field == "files_per_layer")) ||
+      (section == "dedup" && field == "repeat_counts");
+  if (!ok) return std::nullopt;
+  return std::make_pair(section, field);
+}
+
+obs::Counter& serve_counter(const std::string& name) {
+  return obs::Registry::global().counter(name);
+}
+
+}  // namespace
+
+// ---- request / response codecs ----------------------------------------
+
+json::Value request_to_json(const Request& request) {
+  auto doc = json::Value::object();
+  switch (request.kind) {
+    case RequestKind::kQuery:
+      doc.set("type", "query");
+      doc.set("id", request.id);
+      doc.set("q", request.q);
+      if (request.q == "report" && !request.path.empty()) {
+        doc.set("path", request.path);
+      }
+      if (request.q == "image") doc.set("repository", request.repository);
+      if (request.q == "layer" || request.q == "content") {
+        doc.set("key", request.key);
+      }
+      if (request.q == "ecdf") {
+        doc.set("name", request.name);
+        if (request.quantile >= 0.0) doc.set("quantile", request.quantile);
+      }
+      break;
+    case RequestKind::kIngest:
+      doc.set("type", "ingest");
+      doc.set("id", request.id);
+      doc.set("repositories", request.repositories);
+      doc.set("seed", request.seed);
+      break;
+    case RequestKind::kShutdown:
+      doc.set("type", "shutdown");
+      doc.set("id", request.id);
+      break;
+  }
+  return doc;
+}
+
+util::Result<Request> request_from_json(const json::Value& doc) {
+  if (!doc.is_object() || !doc["type"].is_string() || !doc["id"].is_int() ||
+      doc["id"].as_int() < 0) {
+    return util::corrupt("serve: malformed request envelope");
+  }
+  Request request;
+  request.id = doc["id"].as_uint();
+  const std::string& type = doc["type"].as_string();
+  if (type == "shutdown") {
+    request.kind = RequestKind::kShutdown;
+    return request;
+  }
+  if (type == "ingest") {
+    request.kind = RequestKind::kIngest;
+    if (!doc["repositories"].is_int() || !doc["seed"].is_int() ||
+        doc["repositories"].as_int() <= 0 || doc["seed"].as_int() < 0) {
+      return util::corrupt("serve: malformed ingest request");
+    }
+    request.repositories = doc["repositories"].as_uint();
+    request.seed = doc["seed"].as_uint();
+    return request;
+  }
+  if (type != "query") {
+    return util::corrupt("serve: unknown request type: " + type);
+  }
+  request.kind = RequestKind::kQuery;
+  if (!doc["q"].is_string() || !known_query(doc["q"].as_string())) {
+    return util::corrupt("serve: unknown query selector");
+  }
+  request.q = doc["q"].as_string();
+  if (request.q == "report") {
+    if (doc.contains("path")) {
+      if (!doc["path"].is_string()) {
+        return util::corrupt("serve: report path must be a string");
+      }
+      request.path = doc["path"].as_string();
+    }
+  } else if (request.q == "image") {
+    if (!doc["repository"].is_string() ||
+        doc["repository"].as_string().empty()) {
+      return util::corrupt("serve: image query requires a repository");
+    }
+    request.repository = doc["repository"].as_string();
+  } else if (request.q == "layer" || request.q == "content") {
+    if (!doc["key"].is_int() || doc["key"].as_int() == 0) {
+      return util::corrupt("serve: " + request.q +
+                           " query requires a nonzero key");
+    }
+    request.key = doc["key"].as_uint();
+  } else if (request.q == "ecdf") {
+    if (!doc["name"].is_string() || doc["name"].as_string().empty()) {
+      return util::corrupt("serve: ecdf query requires a name");
+    }
+    request.name = doc["name"].as_string();
+    if (doc.contains("quantile")) {
+      if (!doc["quantile"].is_number()) {
+        return util::corrupt("serve: ecdf quantile must be a number");
+      }
+      request.quantile = doc["quantile"].as_double();
+      if (!(request.quantile >= 0.0 && request.quantile <= 1.0)) {
+        return util::corrupt("serve: ecdf quantile out of [0,1]");
+      }
+    }
+  }
+  return request;
+}
+
+json::Value response_to_json(const Response& response) {
+  auto doc = json::Value::object();
+  doc.set("type", response.ok ? "result" : "error");
+  doc.set("id", response.id);
+  doc.set("epoch", response.epoch);
+  if (response.ok) {
+    doc.set("body", response.body);
+  } else {
+    doc.set("error", response.error);
+  }
+  return doc;
+}
+
+util::Result<Response> response_from_json(const json::Value& doc) {
+  if (!doc.is_object() || !doc["type"].is_string() || !doc["id"].is_int() ||
+      doc["id"].as_int() < 0 || !doc["epoch"].is_int() ||
+      doc["epoch"].as_int() < 0) {
+    return util::corrupt("serve: malformed response envelope");
+  }
+  Response response;
+  response.id = doc["id"].as_uint();
+  response.epoch = doc["epoch"].as_uint();
+  const std::string& type = doc["type"].as_string();
+  if (type == "result") {
+    if (!doc.contains("body")) {
+      return util::corrupt("serve: result response without body");
+    }
+    response.ok = true;
+    response.body = doc["body"];
+    return response;
+  }
+  if (type == "error") {
+    if (!doc["error"].is_string()) {
+      return util::corrupt("serve: error response without message");
+    }
+    response.ok = false;
+    response.error = doc["error"].as_string();
+    return response;
+  }
+  return util::corrupt("serve: unknown response type: " + type);
+}
+
+json::Value batch_spec_to_json(const BatchSpec& spec) {
+  auto doc = json::Value::object();
+  doc.set("repositories", spec.repositories);
+  doc.set("seed", spec.seed);
+  return doc;
+}
+
+util::Result<BatchSpec> batch_spec_from_json(const json::Value& doc) {
+  if (!doc.is_object() || !doc["repositories"].is_int() ||
+      !doc["seed"].is_int() || doc["repositories"].as_int() <= 0 ||
+      doc["seed"].as_int() < 0) {
+    return util::corrupt("serve: malformed batch spec");
+  }
+  BatchSpec spec;
+  spec.repositories = doc["repositories"].as_uint();
+  spec.seed = doc["seed"].as_uint();
+  return spec;
+}
+
+// ---- shared serializers ------------------------------------------------
+
+json::Value image_report_json(const analyzer::ImageProfile& profile,
+                              const registry::Manifest& manifest,
+                              const dedup::LayerSharingAnalysis& sharing) {
+  std::uint64_t cls_total = 0;
+  double cls_amortized = 0.0;
+  std::uint64_t shared_layers = 0;
+  for (const auto& ref : manifest.layers) {
+    const auto info = sharing.lookup(ref.digest.key64());
+    const std::uint64_t references = info ? info->references : 1;
+    cls_total += ref.compressed_size;
+    cls_amortized += static_cast<double>(ref.compressed_size) /
+                     static_cast<double>(references);
+    if (references > 1) ++shared_layers;
+  }
+  auto doc = json::Value::object();
+  doc.set("repository", profile.repository);
+  doc.set("cis", profile.cis);
+  doc.set("fis", profile.fis);
+  doc.set("files", profile.file_count);
+  doc.set("dirs", profile.dir_count);
+  doc.set("layers", std::uint64_t{profile.layer_count});
+  doc.set("compression_ratio", profile.compression_ratio());
+  doc.set("cls_total", cls_total);
+  doc.set("cls_amortized", cls_amortized);
+  doc.set("layer_dedup_ratio",
+          cls_amortized == 0.0
+              ? 1.0
+              : static_cast<double>(cls_total) / cls_amortized);
+  doc.set("shared_layers", shared_layers);
+  return doc;
+}
+
+json::Value type_breakdown_json(const dedup::TypeBreakdown& breakdown) {
+  const auto stats_json = [](const dedup::TypeStats& stats) {
+    auto doc = json::Value::object();
+    doc.set("count", stats.count);
+    doc.set("bytes", stats.bytes);
+    doc.set("unique_count", stats.unique_count);
+    doc.set("unique_bytes", stats.unique_bytes);
+    doc.set("count_removed", stats.count_removed());
+    doc.set("capacity_removed", stats.capacity_removed());
+    return doc;
+  };
+  auto doc = json::Value::object();
+  doc.set("overall", stats_json(breakdown.overall()));
+  auto groups = json::Value::array();
+  for (std::size_t g = 0; g < filetype::kGroupCount; ++g) {
+    const auto group = static_cast<filetype::Group>(g);
+    auto row = json::Value::object();
+    row.set("group", std::string(filetype::to_string(group)));
+    row.set("count_share", breakdown.count_share(group));
+    row.set("capacity_share", breakdown.capacity_share(group));
+    row.set("stats", stats_json(breakdown.by_group(group)));
+    groups.push_back(std::move(row));
+  }
+  doc.set("groups", std::move(groups));
+  return doc;
+}
+
+// ---- daemon ------------------------------------------------------------
+
+ServeDaemon::ServeDaemon(ServeOptions options)
+    : options_(std::move(options)) {}
+
+ServeDaemon::~ServeDaemon() { stop(); }
+
+std::shared_ptr<const Snapshot> ServeDaemon::snapshot() const {
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  return snapshot_;
+}
+
+std::string ServeDaemon::batch_dir(std::size_t index) const {
+  return (std::filesystem::path(options_.state_dir) /
+          ("batch-" + std::to_string(index)))
+      .string();
+}
+
+util::Status ServeDaemon::run_batch(const BatchSpec& spec) {
+  const std::size_t index = batches_.size();
+  const std::string dir = batch_dir(index);
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return util::internal("serve: cannot create batch dir " + dir);
+
+  JobSpec job = options_.job;
+  job.repositories = spec.repositories;
+  job.seed = spec.seed;
+  PipelineOptions pipeline = lease_pipeline_options(job, 0, 1, dir);
+  pipeline.cancel = &cancel_ingest_;
+  auto run = run_end_to_end(pipeline);
+  if (!run.ok()) {
+    std::filesystem::remove_all(dir, ec);
+    return run.error();
+  }
+  if (cancel_ingest_.load(std::memory_order_acquire) ||
+      run.value().download.repos_canceled != 0) {
+    // A canceled pipeline returns a partial result; committing it would
+    // serve a corpus no batch run can reproduce. Abort the whole batch.
+    std::filesystem::remove_all(dir, ec);
+    return util::unavailable("serve: batch canceled by shutdown");
+  }
+  PipelineResult& result = run.value();
+  BatchState state;
+  state.spec = spec;
+  state.download = result.download;
+  state.contribution.images = std::move(result.images);
+  state.contribution.manifests = std::move(result.manifests);
+  result.layer_profiles.for_each(
+      [&state](const analyzer::LayerProfile& profile) {
+        state.contribution.layer_profiles.push_back(profile);
+      });
+  state.contribution.manifests_pushed = result.manifests_pushed;
+  state.contribution.shard_set_dir = dir;
+  state.contribution.shard_summary = result.shard_summary;
+  batches_.push_back(std::move(state));
+  return util::Status::success();
+}
+
+util::Result<std::shared_ptr<Snapshot>> ServeDaemon::build_snapshot() {
+  std::vector<NodeContribution> contributions;
+  contributions.reserve(batches_.size());
+  for (const BatchState& batch : batches_) {
+    contributions.push_back(batch.contribution);
+  }
+  auto folded = fold_contributions(contributions);
+  if (!folded.ok()) return folded.error();
+  PipelineResult& result = folded.value();
+
+  // fold_contributions leaves download accounting to the caller: the union
+  // corpus was downloaded batch by batch, so the union's accounting is the
+  // field-wise sum (for a single batch, exactly that batch's stats — which
+  // keeps the served pipeline_report_json byte-equal to the batch run's).
+  downloader::DownloadStats total{};
+  for (const BatchState& batch : batches_) {
+    const downloader::DownloadStats& d = batch.download;
+    total.attempted += d.attempted;
+    total.succeeded += d.succeeded;
+    total.failed_auth += d.failed_auth;
+    total.failed_no_tag += d.failed_no_tag;
+    total.failed_missing += d.failed_missing;
+    total.failed_digest += d.failed_digest;
+    total.failed_other += d.failed_other;
+    total.repos_resumed += d.repos_resumed;
+    total.repos_canceled += d.repos_canceled;
+    total.layers_fetched += d.layers_fetched;
+    total.layers_deduped += d.layers_deduped;
+    total.layers_resumed += d.layers_resumed;
+    total.bytes_downloaded += d.bytes_downloaded;
+  }
+  result.download = total;
+
+  auto snapshot = std::make_shared<Snapshot>();
+  snapshot->epoch = batches_.size();
+  for (const BatchState& batch : batches_) {
+    snapshot->batches.push_back(batch.spec);
+  }
+  snapshot->report = pipeline_report_json(result);
+  if (result.shard_dedup) {
+    snapshot->types = type_breakdown_json(result.shard_dedup->by_type);
+  }
+
+  std::map<std::string, const registry::Manifest*> manifests_by_repo;
+  for (const registry::Manifest& manifest : result.manifests) {
+    manifests_by_repo[manifest.repository] = &manifest;
+  }
+  for (const analyzer::ImageProfile& profile : result.images) {
+    const auto it = manifests_by_repo.find(profile.repository);
+    if (it == manifests_by_repo.end()) continue;  // delivered images always match
+    snapshot->images.emplace(
+        profile.repository,
+        image_report_json(profile, *it->second, result.sharing));
+  }
+  snapshot->sharing = std::move(result.sharing);
+
+  std::vector<std::string> dirs;
+  for (const BatchState& batch : batches_) {
+    dirs.push_back(batch.contribution.shard_set_dir);
+  }
+  auto contents = shard::ShardSetIndex::open(dirs);
+  if (!contents.ok()) return contents.error();
+  snapshot->contents = std::move(contents).value();
+  return snapshot;
+}
+
+util::Status ServeDaemon::persist_state() {
+  auto doc = json::Value::object();
+  doc.set("version", std::uint64_t{1});
+  auto specs = json::Value::array();
+  for (const BatchState& batch : batches_) {
+    specs.push_back(batch_spec_to_json(batch.spec));
+  }
+  doc.set("batches", std::move(specs));
+
+  const std::filesystem::path path =
+      std::filesystem::path(options_.state_dir) / "state.json";
+  const std::filesystem::path temp = path.string() + ".tmp";
+  {
+    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+    if (!out.is_open() || !(out << doc.dump()) || !out.flush()) {
+      return util::internal("serve: cannot write " + temp.string());
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(temp, path, ec);
+  if (ec) return util::internal("serve: cannot commit " + path.string());
+  return util::Status::success();
+}
+
+util::Status ServeDaemon::start() {
+  if (options_.state_dir.empty()) {
+    return util::invalid_argument("serve: state_dir is required");
+  }
+  if (options_.job.shards == 0) {
+    return util::invalid_argument("serve: job.shards must be >= 1");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(options_.state_dir, ec);
+  if (ec) {
+    return util::internal("serve: cannot create state_dir " +
+                          options_.state_dir);
+  }
+
+  std::lock_guard<std::mutex> lock(ingest_mutex_);
+  const std::filesystem::path state_path =
+      std::filesystem::path(options_.state_dir) / "state.json";
+  std::vector<BatchSpec> replay;
+  if (std::filesystem::exists(state_path, ec)) {
+    std::ifstream in(state_path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    if (!in.good() && !in.eof()) {
+      return util::internal("serve: cannot read " + state_path.string());
+    }
+    auto parsed = json::parse(bytes);
+    if (!parsed.ok() || !parsed.value().is_object() ||
+        !parsed.value()["version"].is_int() ||
+        parsed.value()["version"].as_uint() != 1 ||
+        !parsed.value()["batches"].is_array()) {
+      return util::corrupt("serve: malformed state file " +
+                           state_path.string());
+    }
+    for (const json::Value& entry : parsed.value()["batches"].items()) {
+      auto spec = batch_spec_from_json(entry);
+      if (!spec.ok()) return spec.error();
+      replay.push_back(spec.value());
+    }
+    if (replay.empty()) {
+      return util::corrupt("serve: state file lists no batches");
+    }
+  } else {
+    replay.push_back(BatchSpec{options_.job.repositories, options_.job.seed});
+  }
+
+  for (const BatchSpec& spec : replay) {
+    if (auto ran = run_batch(spec); !ran.ok()) return ran;
+  }
+  if (auto persisted = persist_state(); !persisted.ok()) return persisted;
+  auto built = build_snapshot();
+  if (!built.ok()) return built.error();
+  {
+    std::lock_guard<std::mutex> snap_lock(snapshot_mutex_);
+    snapshot_ = std::move(built).value();
+  }
+  obs::Registry::global()
+      .gauge("dockmine_serve_epoch")
+      .set(static_cast<std::int64_t>(batches_.size()));
+
+  if (auto bound = listener_.bind_loopback(options_.port); !bound.ok()) {
+    return bound;
+  }
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  return util::Status::success();
+}
+
+void ServeDaemon::stop() {
+  stopping_.store(true, std::memory_order_release);
+  cancel_ingest_.store(true, std::memory_order_release);
+  listener_.close();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::unique_ptr<Session>> sessions;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    sessions.swap(sessions_);
+  }
+  for (auto& session : sessions) {
+    session->socket.shutdown_both();
+  }
+  for (auto& session : sessions) {
+    if (session->thread.joinable()) session->thread.join();
+  }
+}
+
+void ServeDaemon::accept_loop() {
+  const std::uint64_t initial_backoff =
+      std::max<std::uint64_t>(1, options_.accept_backoff_ms);
+  std::uint64_t backoff = initial_backoff;
+  while (!stopping_.load(std::memory_order_acquire)) {
+    auto accepted = [&]() -> util::Result<http::Socket> {
+      if (options_.accept_error_injector) {
+        if (auto injected = options_.accept_error_injector()) {
+          return *injected;
+        }
+      }
+      return listener_.accept_one();
+    }();
+    if (!accepted.ok()) {
+      if (stopping_.load(std::memory_order_acquire)) break;
+      if (accepted.error().retryable()) {
+        // EMFILE/ENFILE/timeouts: degrade, don't die — connections drain,
+        // descriptors come back. Exponential backoff keeps a busy-loop off
+        // the CPU while the table is full.
+        serve_counter("dockmine_serve_accept_retries_total").add();
+        std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+        backoff = std::min<std::uint64_t>(backoff * 2, 1000);
+        continue;
+      }
+      break;  // listener closed or unrecoverable
+    }
+    backoff = initial_backoff;
+
+    {
+      // Reap finished sessions so a long-lived daemon doesn't accumulate
+      // one joinable thread per past connection.
+      std::lock_guard<std::mutex> lock(sessions_mutex_);
+      for (auto it = sessions_.begin(); it != sessions_.end();) {
+        if ((*it)->done.load(std::memory_order_acquire)) {
+          if ((*it)->thread.joinable()) (*it)->thread.join();
+          it = sessions_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+
+    auto session = std::make_unique<Session>();
+    session->socket = std::move(accepted).value();
+    Session* raw = session.get();
+    {
+      std::lock_guard<std::mutex> lock(sessions_mutex_);
+      sessions_.push_back(std::move(session));
+    }
+    raw->thread = std::thread([this, raw] { session_loop(raw); });
+  }
+}
+
+void ServeDaemon::session_loop(Session* session) {
+  serve_counter("dockmine_serve_connections_total").add();
+  auto& active = obs::Registry::global().gauge("dockmine_serve_active_sessions");
+  active.add(1);
+  (void)session->socket.set_timeout_ms(options_.io_timeout_ms);
+
+  wire::FrameBuffer frames;
+  double partial_since = -1.0;
+  bool drop = false;
+  while (!drop && !stopping_.load(std::memory_order_acquire)) {
+    auto chunk = session->socket.read_some();
+    if (!chunk.ok()) {
+      if (chunk.error().code() == util::ErrorCode::kTimeout) {
+        if (frames.pending() != 0 && partial_since >= 0.0 &&
+            mono_ms() - partial_since >
+                static_cast<double>(options_.slowloris_ms)) {
+          // Slowloris: a frame has been dribbling in for longer than any
+          // honest client takes; cut it loose.
+          serve_counter("dockmine_serve_slowloris_drops_total").add();
+          break;
+        }
+        continue;
+      }
+      break;  // reset or closed
+    }
+    if (chunk.value().empty()) break;  // peer closed
+    frames.feed(chunk.value());
+
+    wire::Frame frame;
+    while (!drop) {
+      auto polled = frames.poll(frame);
+      if (!polled.ok()) {
+        // Poisoned stream: there is no resync inside TCP, so this
+        // connection is done — but only this connection.
+        serve_counter("dockmine_serve_malformed_frames_total").add();
+        drop = true;
+        break;
+      }
+      if (!polled.value()) break;
+      if (frame.kind != wire::FrameKind::kJson) {
+        serve_counter("dockmine_serve_malformed_frames_total").add();
+        drop = true;
+        break;
+      }
+      // A well-framed but invalid request gets an error response and the
+      // session lives on: framing integrity and request validity fail at
+      // different blast radii.
+      Response response;
+      auto parsed = json::parse(frame.payload);
+      if (!parsed.ok()) {
+        serve_counter("dockmine_serve_bad_requests_total").add();
+        response.error = "unparseable request: " + parsed.error().to_string();
+      } else {
+        auto request = request_from_json(parsed.value());
+        if (!request.ok()) {
+          serve_counter("dockmine_serve_bad_requests_total").add();
+          if (parsed.value().is_object() && parsed.value()["id"].is_int() &&
+              parsed.value()["id"].as_int() >= 0) {
+            response.id = parsed.value()["id"].as_uint();
+          }
+          response.error = request.error().to_string();
+        } else {
+          response = handle_request(request.value());
+        }
+      }
+      if (!session->socket
+               .write_all(wire::encode_frame(wire::FrameKind::kJson,
+                                             response_to_json(response).dump()))
+               .ok()) {
+        drop = true;
+      }
+    }
+    if (frames.pending() != 0) {
+      if (partial_since < 0.0) partial_since = mono_ms();
+    } else {
+      partial_since = -1.0;
+    }
+  }
+  // Shut down now, not at reap time: a dropped client must observe EOF
+  // promptly, and reaping only happens on the next accept. shutdown (not
+  // close) because stop() may call shutdown_both concurrently — both only
+  // read the descriptor; the close happens after the join.
+  session->socket.shutdown_both();
+  active.sub(1);
+  session->done.store(true, std::memory_order_release);
+}
+
+Response ServeDaemon::handle_request(const Request& request) {
+  const std::string label = request.kind == RequestKind::kQuery ? request.q
+                            : request.kind == RequestKind::kIngest
+                                ? std::string("ingest")
+                                : std::string("shutdown");
+  const double start = mono_ms();
+  Response response;
+  response.id = request.id;
+  switch (request.kind) {
+    case RequestKind::kQuery:
+      response = handle_query(request);
+      break;
+    case RequestKind::kIngest: {
+      auto body = do_ingest(request);
+      response.epoch = snapshot()->epoch;
+      if (body.ok()) {
+        response.ok = true;
+        response.body = std::move(body).value();
+      } else {
+        response.error = body.error().to_string();
+      }
+      break;
+    }
+    case RequestKind::kShutdown: {
+      response.ok = true;
+      response.epoch = snapshot()->epoch;
+      auto body = json::Value::object();
+      body.set("stopping", true);
+      response.body = std::move(body);
+      shutdown_requested_.store(true, std::memory_order_release);
+      break;
+    }
+  }
+  // `label` is a member of a closed, parser-validated set — safe inside a
+  // metric name.
+  serve_counter("dockmine_serve_requests_total{q=\"" + label + "\"}").add();
+  obs::Registry::global()
+      .histogram("dockmine_serve_request_ms{q=\"" + label + "\"}")
+      .observe(mono_ms() - start);
+  return response;
+}
+
+Response ServeDaemon::handle_query(const Request& request) {
+  Response response;
+  response.id = request.id;
+  const std::shared_ptr<const Snapshot> snap = snapshot();
+  response.epoch = snap->epoch;
+
+  const auto fail = [&response](const std::string& message) {
+    response.ok = false;
+    response.error = message;
+    return response;
+  };
+
+  if (request.q == "report") {
+    const json::Value* node = &snap->report;
+    std::size_t begin = 0;
+    while (begin <= request.path.size() && !request.path.empty()) {
+      const std::size_t end = request.path.find('.', begin);
+      const std::string segment =
+          request.path.substr(begin, end == std::string::npos
+                                         ? std::string::npos
+                                         : end - begin);
+      if (segment.empty() || !node->is_object() || !node->contains(segment)) {
+        return fail("serve: no such report path: " + request.path);
+      }
+      node = &(*node)[segment];
+      if (end == std::string::npos) break;
+      begin = end + 1;
+    }
+    response.ok = true;
+    response.body = *node;
+    return response;
+  }
+  if (request.q == "image") {
+    const auto it = snap->images.find(request.repository);
+    if (it == snap->images.end()) {
+      return fail("serve: unknown repository: " + request.repository);
+    }
+    response.ok = true;
+    response.body = it->second;
+    return response;
+  }
+  if (request.q == "layer") {
+    const auto info = snap->sharing.lookup(request.key);
+    if (!info) return fail("serve: unknown layer key");
+    auto body = json::Value::object();
+    body.set("key", request.key);
+    body.set("references", info->references);
+    body.set("cls", info->cls);
+    body.set("shared", info->references > 1);
+    response.ok = true;
+    response.body = std::move(body);
+    return response;
+  }
+  if (request.q == "content") {
+    const dedup::ContentEntry* entry = snap->contents.find(request.key);
+    if (entry == nullptr) return fail("serve: unknown content key");
+    auto body = json::Value::object();
+    body.set("key", request.key);
+    body.set("count", entry->count);
+    body.set("size", entry->size);
+    body.set("multi_layer", entry->multi_layer);
+    body.set("type", std::string(filetype::to_string(entry->type)));
+    response.ok = true;
+    response.body = std::move(body);
+    return response;
+  }
+  if (request.q == "types") {
+    response.ok = true;
+    response.body = snap->types;
+    return response;
+  }
+  if (request.q == "ecdf") {
+    const auto location = ecdf_location(request.name);
+    if (!location) return fail("serve: unknown ecdf: " + request.name);
+    const json::Value& slice =
+        snap->report["analysis"][location->first][location->second];
+    if (request.quantile < 0.0) {
+      response.ok = true;
+      response.body = slice;
+      return response;
+    }
+    const int index = grid_index(request.quantile);
+    if (index < 0) {
+      return fail("serve: quantile is not on the report grid");
+    }
+    if (slice["samples"].as_uint() == 0) {
+      return fail("serve: ecdf has no samples: " + request.name);
+    }
+    auto body = json::Value::object();
+    body.set("name", request.name);
+    body.set("quantile", kQuantileGrid[index]);
+    body.set("samples", slice["samples"].as_uint());
+    body.set("value", slice["quantiles"].at(static_cast<std::size_t>(index)));
+    response.ok = true;
+    response.body = std::move(body);
+    return response;
+  }
+  if (request.q == "status") {
+    auto body = json::Value::object();
+    body.set("epoch", snap->epoch);
+    auto specs = json::Value::array();
+    for (const BatchSpec& spec : snap->batches) {
+      specs.push_back(batch_spec_to_json(spec));
+    }
+    body.set("batches", std::move(specs));
+    body.set("images", static_cast<std::uint64_t>(snap->images.size()));
+    body.set("distinct_layers", snap->sharing.distinct_layers());
+    body.set("distinct_contents", snap->contents.distinct_contents());
+    response.ok = true;
+    response.body = std::move(body);
+    return response;
+  }
+  if (request.q == "stats") {
+    response.ok = true;
+    response.body = obs::to_json(obs::collect());
+    return response;
+  }
+  return fail("serve: unknown query: " + request.q);  // unreachable (parser)
+}
+
+util::Result<json::Value> ServeDaemon::do_ingest(const Request& request) {
+  if (stopping_.load(std::memory_order_acquire)) {
+    return util::unavailable("serve: shutting down");
+  }
+  std::lock_guard<std::mutex> lock(ingest_mutex_);
+  if (options_.on_ingest_begin) options_.on_ingest_begin();
+  if (stopping_.load(std::memory_order_acquire)) {
+    return util::unavailable("serve: shutting down");
+  }
+
+  const BatchSpec spec{request.repositories, request.seed};
+  if (auto ran = run_batch(spec); !ran.ok()) {
+    serve_counter("dockmine_serve_ingest_aborts_total").add();
+    return ran.error();
+  }
+  const auto rollback = [this] {
+    std::error_code ec;
+    std::filesystem::remove_all(batch_dir(batches_.size() - 1), ec);
+    batches_.pop_back();
+    serve_counter("dockmine_serve_ingest_aborts_total").add();
+  };
+  auto built = build_snapshot();
+  if (!built.ok()) {
+    rollback();
+    return built.error();
+  }
+  // Commit point: the durable batch list first (temp + rename), then the
+  // in-memory publish. A crash between the two re-serves this epoch after
+  // replay; a crash before the rename never serves it at all.
+  if (auto persisted = persist_state(); !persisted.ok()) {
+    rollback();
+    return persisted.error();
+  }
+  std::shared_ptr<Snapshot> snapshot = std::move(built).value();
+  {
+    std::lock_guard<std::mutex> snap_lock(snapshot_mutex_);
+    snapshot_ = snapshot;
+  }
+  serve_counter("dockmine_serve_ingest_commits_total").add();
+  obs::Registry::global()
+      .gauge("dockmine_serve_epoch")
+      .set(static_cast<std::int64_t>(snapshot->epoch));
+
+  auto body = json::Value::object();
+  body.set("epoch", snapshot->epoch);
+  body.set("batches", static_cast<std::uint64_t>(snapshot->batches.size()));
+  body.set("images", static_cast<std::uint64_t>(snapshot->images.size()));
+  return body;
+}
+
+// ---- client ------------------------------------------------------------
+
+util::Result<Client> Client::connect(std::uint16_t port,
+                                     std::uint32_t timeout_ms) {
+  auto connected = http::Socket::connect_loopback(port);
+  if (!connected.ok()) return connected.error();
+  Client client;
+  client.socket_ = std::move(connected).value();
+  if (auto set = client.socket_.set_timeout_ms(timeout_ms); !set.ok()) {
+    return set.error();
+  }
+  return client;
+}
+
+util::Result<Response> Client::call(const Request& request) {
+  if (auto sent = socket_.write_all(wire::encode_frame(
+          wire::FrameKind::kJson, request_to_json(request).dump()));
+      !sent.ok()) {
+    return sent.error();
+  }
+  wire::Frame frame;
+  for (;;) {
+    auto polled = frames_.poll(frame);
+    if (!polled.ok()) return polled.error();
+    if (polled.value()) {
+      if (frame.kind != wire::FrameKind::kJson) {
+        return util::corrupt("serve client: unexpected binary frame");
+      }
+      auto parsed = json::parse(frame.payload);
+      if (!parsed.ok()) return parsed.error();
+      return response_from_json(parsed.value());
+    }
+    auto chunk = socket_.read_some();
+    if (!chunk.ok()) return chunk.error();
+    if (chunk.value().empty()) {
+      return util::reset("serve client: connection closed");
+    }
+    frames_.feed(chunk.value());
+  }
+}
+
+}  // namespace dockmine::core::serve

@@ -1,0 +1,269 @@
+// dockmine serve — the long-lived query/ingest daemon (DESIGN.md §13).
+//
+// The batch pipeline runs, emits one report, and exits; the daemon keeps
+// the folded analysis state resident and answers queries over the same
+// CRC-framed wire protocol the distributed runtime speaks (core/wire.*,
+// JSON payloads). One accept thread, one session thread per connection,
+// snapshot-isolated reads:
+//
+//   * Every committed state is an immutable `Snapshot` published through a
+//     shared_ptr swap. A query pins the snapshot it started on; an ingest
+//     commit publishes a new one. Readers never block writers, writers
+//     never tear readers, and every response is stamped with the epoch it
+//     answered from.
+//   * Ingest = run the pipeline over a new batch (repositories, seed),
+//     keep its NodeContribution (images, manifests, layer profiles,
+//     exported shard set), and fold ALL batches with fold_contributions —
+//     the exact multi-node recombination — so the served report is
+//     byte-identical to a fresh batch run over the union corpus.
+//   * Commit order is: run batch -> rebuild snapshot -> persist the batch
+//     list (state.json, temp+rename) -> publish. A crash before the rename
+//     loses the in-flight batch cleanly; a restart replays the committed
+//     batch specs (deterministic seeds make replay exact) and serves the
+//     same epoch it would have served before the crash.
+//
+// Protocol (JSON frames; every *_from_json parser is total):
+//
+//   request   {"type":"query","id":N,"q":"report","path":"analysis.dedup"}
+//             {"type":"query","id":N,"q":"image","repository":"..."}
+//             {"type":"query","id":N,"q":"layer","key":K}
+//             {"type":"query","id":N,"q":"content","key":K}
+//             {"type":"query","id":N,"q":"types"}
+//             {"type":"query","id":N,"q":"ecdf","name":"layers.cls"
+//                                             [,"quantile":0.5]}
+//             {"type":"query","id":N,"q":"status"}
+//             {"type":"query","id":N,"q":"stats"}
+//             {"type":"ingest","id":N,"repositories":R,"seed":S}
+//             {"type":"shutdown","id":N}
+//   response  {"type":"result","id":N,"epoch":E,"body":...}
+//             {"type":"error","id":N,"epoch":E,"error":"..."}
+//
+// Failure containment mirrors the rest of the system: a malformed frame
+// poisons only its connection (the stream cannot resync, so the session is
+// dropped — the daemon keeps serving); a well-framed but invalid request
+// gets an error response and the session continues; a slow-dribbling
+// partial frame is dropped after `slowloris_ms`; transient accept errors
+// (EMFILE & friends) back off with a counter instead of killing the accept
+// thread.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dockmine/core/lease.h"
+#include "dockmine/core/multi_node.h"
+#include "dockmine/core/pipeline.h"
+#include "dockmine/core/wire.h"
+#include "dockmine/http/socket.h"
+#include "dockmine/json/json.h"
+#include "dockmine/shard/lookup.h"
+#include "dockmine/util/error.h"
+
+namespace dockmine::core::serve {
+
+// ---- requests / responses ---------------------------------------------
+
+enum class RequestKind : std::uint8_t { kQuery = 1, kIngest = 2, kShutdown = 3 };
+
+struct Request {
+  RequestKind kind = RequestKind::kQuery;
+  std::uint64_t id = 0;
+  std::string q;           ///< query selector: report|image|layer|content|
+                           ///< types|ecdf|status|stats
+  std::string path;        ///< report: dot path into pipeline_report_json
+  std::string repository;  ///< image
+  std::uint64_t key = 0;   ///< layer / content
+  std::string name;        ///< ecdf: images.cis, layers.cls, ...
+  double quantile = -1.0;  ///< ecdf: grid quantile; < 0 = whole slice
+  std::uint64_t repositories = 0;  ///< ingest batch size
+  std::uint64_t seed = 0;          ///< ingest batch seed
+};
+
+json::Value request_to_json(const Request& request);
+/// Total: validates type/q discriminators, field types, and ranges; fails
+/// with kCorrupt instead of crashing, because the input crossed a socket.
+util::Result<Request> request_from_json(const json::Value& doc);
+
+struct Response {
+  std::uint64_t id = 0;
+  bool ok = false;
+  std::uint64_t epoch = 0;  ///< snapshot epoch the answer was read from
+  std::string error;        ///< set when !ok
+  json::Value body;         ///< set when ok
+};
+
+json::Value response_to_json(const Response& response);
+util::Result<Response> response_from_json(const json::Value& doc);
+
+// ---- snapshots ---------------------------------------------------------
+
+/// One committed crawl batch; replayed deterministically on restart.
+struct BatchSpec {
+  std::uint64_t repositories = 0;
+  std::uint64_t seed = 0;
+};
+
+json::Value batch_spec_to_json(const BatchSpec& spec);
+util::Result<BatchSpec> batch_spec_from_json(const json::Value& doc);
+
+/// Immutable queryable state for one epoch. Built once per commit, shared
+/// read-only by every in-flight query via shared_ptr.
+struct Snapshot {
+  std::uint64_t epoch = 0;  ///< == number of committed batches
+  std::vector<BatchSpec> batches;
+  json::Value report;  ///< pipeline_report_json of the folded union
+  /// Per-image reports keyed by repository (image_report_json).
+  std::map<std::string, json::Value> images;
+  /// Union layer-sharing analysis for point lookups.
+  dedup::LayerSharingAnalysis sharing;
+  json::Value types;  ///< type_breakdown_json of the folded breakdown
+  /// Read-path index over every batch's exported shard set.
+  shard::ShardSetIndex contents;
+};
+
+// ---- shared serializers (the oracle surface) ---------------------------
+// serve_test compares served answers against these serializers applied to
+// an independently executed batch run: the serializer is shared, the data
+// path (resident fold vs fresh pipeline) is what the byte-equality pins.
+
+/// Per-image report: profile fields plus the sharing-derived dedup view —
+/// cls_total (the image's bytes with private layer copies), cls_amortized
+/// (its bytes when each layer's cost is split across all referencing
+/// images), and their ratio.
+json::Value image_report_json(const analyzer::ImageProfile& profile,
+                              const registry::Manifest& manifest,
+                              const dedup::LayerSharingAnalysis& sharing);
+
+/// Count/capacity shares and dedup ratios per level-2 group plus overall.
+json::Value type_breakdown_json(const dedup::TypeBreakdown& breakdown);
+
+// ---- daemon ------------------------------------------------------------
+
+struct ServeOptions {
+  /// Base pipeline configuration; `job.repositories`/`job.seed` define the
+  /// initial batch. Ingested batches inherit everything but size and seed.
+  JobSpec job;
+  /// Required: batch spool (batch-<n>/ shard sets) + state.json.
+  std::string state_dir;
+  std::uint16_t port = 0;  ///< 0 = ephemeral
+  std::uint32_t io_timeout_ms = 200;   ///< per-socket read deadline
+  std::uint64_t slowloris_ms = 10000;  ///< partial frame older than this is dropped
+  std::uint64_t accept_backoff_ms = 10;  ///< initial transient-accept backoff
+
+  /// Test hook: invoked (under the ingest lock) just before an ingest batch
+  /// runs — the kill-mid-ingest chaos test uses it to time its stop().
+  std::function<void()> on_ingest_begin;
+  /// Test hook: when set, consulted before each accept; a returned error is
+  /// handled exactly like a Listener::accept_one failure (this is how the
+  /// EMFILE backoff path is exercised without exhausting real descriptors).
+  std::function<std::optional<util::Error>()> accept_error_injector;
+};
+
+class ServeDaemon {
+ public:
+  explicit ServeDaemon(ServeOptions options);
+  ~ServeDaemon();
+
+  ServeDaemon(const ServeDaemon&) = delete;
+  ServeDaemon& operator=(const ServeDaemon&) = delete;
+
+  /// Load state: replay committed batches from state.json when present,
+  /// else run the initial batch from `job` and commit it. Then bind the
+  /// listener and start accepting.
+  util::Status start();
+
+  std::uint16_t port() const noexcept { return listener_.port(); }
+
+  /// Idempotent: cancels any in-flight ingest, closes the listener, drops
+  /// every session, joins all threads.
+  void stop();
+
+  /// True once a client sent a shutdown request; the owner (CLI/test)
+  /// polls this and calls stop().
+  bool shutdown_requested() const noexcept {
+    return shutdown_requested_.load(std::memory_order_acquire);
+  }
+
+  /// Current published snapshot (never null after a successful start()).
+  std::shared_ptr<const Snapshot> snapshot() const;
+
+ private:
+  struct BatchState {
+    BatchSpec spec;
+    downloader::DownloadStats download;
+    NodeContribution contribution;
+  };
+
+  struct Session {
+    http::Socket socket;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  /// Run one batch pipeline into `state_dir/batch-<index>` and append its
+  /// state. Caller holds `ingest_mutex_`.
+  util::Status run_batch(const BatchSpec& spec);
+  /// Fold every committed batch into a fresh snapshot. Caller holds
+  /// `ingest_mutex_`.
+  util::Result<std::shared_ptr<Snapshot>> build_snapshot();
+  /// Write state.json (temp + rename). Caller holds `ingest_mutex_`.
+  util::Status persist_state();
+
+  void accept_loop();
+  void session_loop(Session* session);
+  Response handle_request(const Request& request);
+  Response handle_query(const Request& request);
+  util::Result<json::Value> do_ingest(const Request& request);
+
+  std::string batch_dir(std::size_t index) const;
+
+  ServeOptions options_;
+  http::Listener listener_;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> shutdown_requested_{false};
+  std::atomic<bool> cancel_ingest_{false};
+
+  std::mutex sessions_mutex_;
+  std::vector<std::unique_ptr<Session>> sessions_;
+
+  std::mutex ingest_mutex_;  ///< serializes batch runs + commits
+  std::vector<BatchState> batches_;
+
+  mutable std::mutex snapshot_mutex_;
+  std::shared_ptr<const Snapshot> snapshot_;
+};
+
+// ---- client ------------------------------------------------------------
+
+/// Blocking request/response client over one connection. Not thread-safe;
+/// the bench and tests run one per thread.
+class Client {
+ public:
+  static util::Result<Client> connect(std::uint16_t port,
+                                      std::uint32_t timeout_ms = 5000);
+
+  /// Send one request, read frames until its response arrives.
+  util::Result<Response> call(const Request& request);
+
+  /// Adjust the per-read deadline (ingest calls run whole pipelines).
+  util::Status set_timeout_ms(std::uint32_t timeout_ms) {
+    return socket_.set_timeout_ms(timeout_ms);
+  }
+
+  http::Socket& socket() { return socket_; }  ///< chaos tests poke the raw stream
+
+ private:
+  http::Socket socket_;
+  wire::FrameBuffer frames_;
+};
+
+}  // namespace dockmine::core::serve

@@ -76,6 +76,11 @@ class FrameBuffer {
 
   bool corrupt() const noexcept { return corrupt_; }
   std::size_t buffered() const noexcept { return buffer_.size(); }
+  /// Bytes fed but not yet consumed by a completed frame — nonzero exactly
+  /// when a partial frame is outstanding (buffered() also counts the
+  /// consumed-but-not-yet-compacted prefix, so it cannot tell idle from
+  /// mid-frame; the serve daemon's slowloris cutoff needs the distinction).
+  std::size_t pending() const noexcept { return buffer_.size() - cursor_; }
 
  private:
   std::string buffer_;

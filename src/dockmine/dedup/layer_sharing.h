@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -49,6 +50,18 @@ class LayerSharingAnalysis {
 
   std::uint64_t distinct_layers() const noexcept { return refs_.size(); }
   std::uint64_t images_seen() const noexcept { return images_; }
+
+  /// Point lookup for one layer key (the serve daemon's layer-sharing
+  /// query); nullopt for a layer no delivered manifest references.
+  struct RefInfo {
+    std::uint64_t references = 0;
+    std::uint64_t cls = 0;
+  };
+  std::optional<RefInfo> lookup(std::uint64_t layer_key) const {
+    const Entry* entry = refs_.find(layer_key);
+    if (entry == nullptr) return std::nullopt;
+    return RefInfo{entry->references, entry->cls};
+  }
 
  private:
   struct Entry {

@@ -12,19 +12,29 @@
 
 namespace dockmine::http {
 
-namespace {
-util::Error errno_error(const char* what) {
-  const std::string detail = std::string(what) + ": " + std::strerror(errno);
+util::Error classify_errno(int err, const char* what) {
+  const std::string detail = std::string(what) + ": " + std::strerror(err);
   // Classify into retry categories: deadline and torn-connection errors are
-  // transient (a later attempt may succeed), everything else is internal.
-  if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ETIMEDOUT) {
+  // transient (a later attempt may succeed), and so is descriptor/buffer
+  // exhaustion — an accept loop seeing EMFILE must back off until
+  // connections drain, not treat the listener as broken. Everything else is
+  // internal.
+  if (err == EAGAIN || err == EWOULDBLOCK || err == ETIMEDOUT) {
     return util::timeout(detail);
   }
-  if (errno == ECONNRESET || errno == EPIPE || errno == ECONNABORTED ||
-      errno == ECONNREFUSED) {
+  if (err == ECONNRESET || err == EPIPE || err == ECONNABORTED ||
+      err == ECONNREFUSED) {
     return util::reset(detail);
   }
+  if (err == EMFILE || err == ENFILE || err == ENOBUFS || err == ENOMEM) {
+    return util::unavailable(detail);
+  }
   return util::internal(detail);
+}
+
+namespace {
+util::Error errno_error(const char* what) {
+  return classify_errno(errno, what);
 }
 }  // namespace
 

@@ -9,6 +9,17 @@
 
 namespace dockmine::http {
 
+/// Classify a socket-layer errno into the retry taxonomy (exposed so the
+/// serve accept-loop tests can pin the mapping without provoking real
+/// descriptor exhaustion):
+///   * deadline errors (EAGAIN/EWOULDBLOCK/ETIMEDOUT)        -> kTimeout
+///   * torn connections (ECONNRESET/EPIPE/ECONNABORTED/...)  -> kReset
+///   * resource exhaustion (EMFILE/ENFILE/ENOBUFS/ENOMEM)    -> kUnavailable
+///   * everything else                                       -> kInternal
+/// The first three are retryable: an accept loop that sees EMFILE must back
+/// off and try again once connections drain, not abort the accept thread.
+util::Error classify_errno(int err, const char* what);
+
 /// Connected stream socket. Move-only.
 class Socket {
  public:

@@ -1,0 +1,38 @@
+#include "dockmine/shard/lookup.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "dockmine/shard/merger.h"
+
+namespace dockmine::shard {
+
+util::Result<ShardSetIndex> ShardSetIndex::open(
+    const std::vector<std::string>& dirs) {
+  ShardMerger merger;
+  for (const std::string& dir : dirs) {
+    if (auto added = merger.add_shard_set(dir); !added.ok()) {
+      return added.error();
+    }
+  }
+  ShardSetIndex index;
+  if (auto merged = merger.merge(
+          [&index](std::uint64_t key, const dedup::ContentEntry& entry) {
+            index.entries_.push_back({key, entry});
+          });
+      !merged.ok()) {
+    return merged.error();
+  }
+  index.runs_ = merger.stats().runs;
+  return index;
+}
+
+const dedup::ContentEntry* ShardSetIndex::find(std::uint64_t key) const {
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), key,
+      [](const RunEntry& entry, std::uint64_t k) { return entry.key < k; });
+  if (it == entries_.end() || it->key != key) return nullptr;
+  return &it->entry;
+}
+
+}  // namespace dockmine::shard

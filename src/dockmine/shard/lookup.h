@@ -1,0 +1,51 @@
+// Read-path point lookups over exported shard sets.
+//
+// The ShardMerger streams runs into aggregates and throws the entries away;
+// merge_to_index rebuilds a FileDedupIndex but re-hashes every entry. A
+// query daemon sitting on top of exported shard sets wants something in
+// between: fold the runs once at load time into a single key-sorted vector
+// (runs are already sorted, so the fold is a k-way merge, and the global
+// order is just the concatenation of the shard partitions) and answer point
+// lookups by binary search. Entries stay contiguous — no per-node
+// allocation, cache-friendly scans for free via for_each.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dockmine/shard/run_format.h"
+#include "dockmine/util/error.h"
+
+namespace dockmine::shard {
+
+class ShardSetIndex {
+ public:
+  ShardSetIndex() = default;
+
+  /// Fold every run of every exported shard set in `dirs` (each holding a
+  /// shardset.json) into one key-sorted entry vector. Duplicate keys across
+  /// runs/sets fold with dedup::merge_content_entries, so the resulting
+  /// entries are exactly the monolithic index's. Validation is the run
+  /// format's: a corrupt run fails the open, it never skews a lookup.
+  static util::Result<ShardSetIndex> open(const std::vector<std::string>& dirs);
+
+  /// Point lookup by content key; nullptr when the content was never
+  /// observed.
+  const dedup::ContentEntry* find(std::uint64_t key) const;
+
+  std::uint64_t distinct_contents() const noexcept { return entries_.size(); }
+  std::uint64_t runs_folded() const noexcept { return runs_; }
+
+  /// Iterate entries in ascending key order: fn(key, entry).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const RunEntry& entry : entries_) fn(entry.key, entry.entry);
+  }
+
+ private:
+  std::vector<RunEntry> entries_;  ///< sorted strictly ascending by key
+  std::uint64_t runs_ = 0;
+};
+
+}  // namespace dockmine::shard

@@ -186,6 +186,38 @@ def bitflipped_wire_frame():
     return bytes(whole)
 
 
+SERVE_REQUEST = (b'{"type":"query","id":7,"q":"ecdf","name":"layers.cls",'
+                 b'"quantile":0.5}')
+
+
+def valid_serve_request():
+    """A well-formed serve-daemon query frame (core/serve protocol): the
+    richest request shape (ecdf + quantile), canonical field order so the
+    round-trip dump comparison in fuzz_test is byte-exact."""
+    return wire_frame(1, SERVE_REQUEST)
+
+
+def truncated_serve_request():
+    """The valid request cut mid-payload: the daemon's session loop must
+    treat it as a read boundary and keep waiting (until slowloris)."""
+    return valid_serve_request()[:30]
+
+
+def bitflipped_serve_request():
+    """The valid request with one payload bit flipped: CRC rejection must
+    poison only that connection, never crash the daemon."""
+    whole = bytearray(valid_serve_request())
+    whole[16 + 20] ^= 0x08
+    return bytes(whole)
+
+
+def bad_document_serve_request():
+    """A perfectly framed request whose JSON is valid but whose content is
+    not a request (unknown selector): frame layer accepts, the total
+    request parser must reject with kCorrupt — the error-response path."""
+    return wire_frame(1, b'{"type":"query","id":3,"q":"drop-tables"}')
+
+
 CORPUS = {
     "gzip_truncated_member.bin": truncated_gzip_member,
     "gzip_bad_crc.bin": bad_crc_gzip_member,
@@ -203,6 +235,12 @@ CORPUS = {
     "wire_frame_valid.bin": valid_wire_frame,
     "wire_frame_truncated.bin": truncated_wire_frame,
     "wire_frame_bitflip.bin": bitflipped_wire_frame,
+    # Serve-daemon request frames (core/serve): good, torn, damaged, and a
+    # well-framed non-request.
+    "serve_request_valid.bin": valid_serve_request,
+    "serve_request_truncated.bin": truncated_serve_request,
+    "serve_request_bitflip.bin": bitflipped_serve_request,
+    "serve_request_bad_doc.bin": bad_document_serve_request,
 }
 
 

@@ -9,6 +9,7 @@
 
 #include "dockmine/analyzer/layer_analyzer.h"
 #include "dockmine/compress/gzip.h"
+#include "dockmine/core/serve.h"
 #include "dockmine/core/wire.h"
 #include "dockmine/filetype/classifier.h"
 #include "dockmine/http/message.h"
@@ -421,6 +422,127 @@ TEST(CorpusTest, BitflippedWireFramePoisonsTheStream) {
   // No resynchronization: a subsequent pristine frame stays undelivered.
   buffer.feed(good);
   EXPECT_FALSE(buffer.poll(frame).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Serve-request corpus: the daemon's query protocol rides the same DMWF
+// framing, so the replay mirrors the wire-frame trio (valid/torn/flipped)
+// plus the serve-specific layer: a perfectly framed document that is not a
+// request, which the total parser must reject — the daemon turns that
+// rejection into an error response while the connection lives on.
+// ---------------------------------------------------------------------------
+
+TEST(CorpusTest, ValidServeRequestDecodesParsesAndRoundtrips) {
+  namespace serve = core::serve;
+  const std::string blob = read_corpus("serve_request_valid.bin");
+  for (int replay = 0; replay < 2; ++replay) {
+    core::wire::FrameBuffer buffer;
+    buffer.feed(blob);
+    core::wire::Frame frame;
+    auto polled = buffer.poll(frame);
+    ASSERT_TRUE(polled.ok()) << polled.error().message();
+    ASSERT_TRUE(polled.value());
+    ASSERT_EQ(frame.kind, core::wire::FrameKind::kJson);
+
+    auto doc = json::parse(frame.payload);
+    ASSERT_TRUE(doc.ok());
+    auto request = serve::request_from_json(doc.value());
+    ASSERT_TRUE(request.ok()) << request.error().to_string();
+    EXPECT_EQ(request.value().kind, serve::RequestKind::kQuery);
+    EXPECT_EQ(request.value().q, "ecdf");
+    EXPECT_EQ(request.value().name, "layers.cls");
+    EXPECT_EQ(request.value().quantile, 0.5);
+    // The committed payload is in canonical field order: re-encoding the
+    // parsed request reproduces it byte for byte.
+    EXPECT_EQ(serve::request_to_json(request.value()).dump(), frame.payload);
+  }
+}
+
+TEST(CorpusTest, TruncatedServeRequestIsAReadBoundary) {
+  const std::string good = read_corpus("serve_request_valid.bin");
+  const std::string torn = read_corpus("serve_request_truncated.bin");
+  ASSERT_EQ(torn, good.substr(0, torn.size()));
+
+  core::wire::FrameBuffer buffer;
+  buffer.feed(torn);
+  core::wire::Frame frame;
+  auto polled = buffer.poll(frame);
+  ASSERT_TRUE(polled.ok());
+  EXPECT_FALSE(polled.value());
+  EXPECT_FALSE(buffer.corrupt());
+  buffer.feed(good.substr(torn.size()));
+  auto completed = buffer.poll(frame);
+  ASSERT_TRUE(completed.ok());
+  EXPECT_TRUE(completed.value());
+}
+
+TEST(CorpusTest, BitflippedServeRequestPoisonsOnlyItsStream) {
+  const std::string good = read_corpus("serve_request_valid.bin");
+  const std::string bad = read_corpus("serve_request_bitflip.bin");
+  ASSERT_EQ(bad.size(), good.size());
+  ASSERT_NE(bad, good);
+
+  core::wire::FrameBuffer buffer;
+  buffer.feed(bad);
+  core::wire::Frame frame;
+  EXPECT_FALSE(buffer.poll(frame).ok());
+  EXPECT_TRUE(buffer.corrupt());
+  // A fresh stream (a new connection) is unaffected.
+  core::wire::FrameBuffer fresh;
+  fresh.feed(good);
+  auto polled = fresh.poll(frame);
+  ASSERT_TRUE(polled.ok());
+  EXPECT_TRUE(polled.value());
+}
+
+TEST(CorpusTest, WellFramedNonRequestIsRejectedByTheTotalParser) {
+  const std::string blob = read_corpus("serve_request_bad_doc.bin");
+  core::wire::FrameBuffer buffer;
+  buffer.feed(blob);
+  core::wire::Frame frame;
+  auto polled = buffer.poll(frame);
+  ASSERT_TRUE(polled.ok());  // framing layer accepts it
+  ASSERT_TRUE(polled.value());
+  auto doc = json::parse(frame.payload);
+  ASSERT_TRUE(doc.ok());  // JSON layer accepts it
+  auto request = core::serve::request_from_json(doc.value());
+  ASSERT_FALSE(request.ok());  // request layer rejects it
+  EXPECT_EQ(request.error().code(), util::ErrorCode::kCorrupt);
+}
+
+// Mutate a valid serve request document at random: the parser must accept
+// or reject with kCorrupt — never crash — and everything it accepts must
+// survive a re-encode/re-parse round trip.
+TEST_P(FuzzTest, ServeRequestParserTotalUnderRandomMutation) {
+  namespace serve = core::serve;
+  util::Rng rng(GetParam() * 48611);
+  const std::string seed_doc =
+      R"({"type":"query","id":7,"q":"ecdf","name":"layers.cls","quantile":0.5})";
+  for (int i = 0; i < 200; ++i) {
+    std::string text = seed_doc;
+    const int mutations = 1 + static_cast<int>(rng.uniform(4));
+    for (int m = 0; m < mutations; ++m) {
+      const std::size_t at = rng.uniform(text.size());
+      if (rng.chance(0.5)) {
+        text[at] = static_cast<char>(rng.uniform(256));
+      } else {
+        text.erase(at, 1);
+      }
+    }
+    auto doc = json::parse(text);
+    if (!doc.ok()) continue;  // the JSON layer already rejected it
+    auto request = serve::request_from_json(doc.value());
+    if (!request.ok()) {
+      EXPECT_EQ(request.error().code(), util::ErrorCode::kCorrupt);
+      continue;
+    }
+    // Accepted: the codec must round-trip it losslessly.
+    auto again =
+        serve::request_from_json(serve::request_to_json(request.value()));
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(serve::request_to_json(again.value()).dump(),
+              serve::request_to_json(request.value()).dump());
+  }
 }
 
 TEST(CorpusTest, WhiteoutLayerBlobAnalyzesDeterministically) {

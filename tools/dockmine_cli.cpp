@@ -2,7 +2,10 @@
 //
 //   dockmine analyze  [--repos N] [--seed S] [--cross]   dataset statistics
 //   dockmine dedup    [--repos N] [--seed S]             §V dedup report
-//   dockmine serve    [--repos N] [--port P] [--light]   HTTP registry
+//   dockmine serve    [--repos N] [--port P] [--state-dir D]
+//                     long-lived query/ingest daemon (DESIGN.md §13)
+//   dockmine query    SELECTOR --port P                  ask a serve daemon
+//   dockmine serve-registry [--repos N] [--port P]       HTTP registry
 //   dockmine crawl    --port P                           crawl a registry
 //   dockmine pull     --port P [--workers W] [--token T] mirror a registry
 //   dockmine export   [--repos N] --out DIR [--light]    blobs to disk store
@@ -29,6 +32,7 @@
 #include "dockmine/core/lease.h"
 #include "dockmine/core/pipeline.h"
 #include "dockmine/core/report.h"
+#include "dockmine/core/serve.h"
 #include "dockmine/core/worker.h"
 #include "dockmine/crawler/crawler.h"
 #include "dockmine/obs/critical_path.h"
@@ -118,7 +122,7 @@ int cmd_dedup(const Flags& flags) {
 
 std::atomic<bool> g_interrupted{false};
 
-int cmd_serve(const Flags& flags) {
+int cmd_serve_registry(const Flags& flags) {
   synth::Scale scale = scale_from(flags);
   if (flags.str("repos").empty()) scale.repositories = 200;
   synth::HubModel hub(calibration_from(flags), scale);
@@ -621,6 +625,101 @@ core::JobSpec job_spec_from(const Flags& flags) {
   return spec;
 }
 
+int cmd_serve(const Flags& flags) {
+  core::serve::ServeOptions options;
+  options.job = job_spec_from(flags);
+  if (flags.str("repos").empty()) options.job.repositories = 40;
+  options.state_dir = flags.str("state-dir", "dockmine-serve-state");
+  options.port = static_cast<std::uint16_t>(flags.u64("port", 0));
+  options.io_timeout_ms =
+      static_cast<std::uint32_t>(flags.u64("io-timeout-ms", 200));
+  options.slowloris_ms = flags.u64("slowloris-ms", 10000);
+
+  core::serve::ServeDaemon daemon(std::move(options));
+  if (auto started = daemon.start(); !started.ok()) {
+    std::cerr << "serve: " << started.error().to_string() << "\n";
+    return 1;
+  }
+  const auto snapshot = daemon.snapshot();
+  const std::string report_out = flags.str("report-out");
+  if (!report_out.empty()) {
+    std::ofstream file(report_out, std::ios::binary | std::ios::trunc);
+    // Trailing newline so the file is byte-identical to `dockmine query
+    // report` output — the serve-smoke CI job cmp's the two.
+    if (!file.is_open() || !(file << snapshot->report.dump() << "\n")) {
+      std::cerr << "serve: cannot write " << report_out << "\n";
+      return 1;
+    }
+  }
+  std::cout << "serving 127.0.0.1:" << daemon.port() << " epoch "
+            << snapshot->epoch << " (" << snapshot->images.size()
+            << " images) — Ctrl-C or a shutdown request to stop" << std::endl;
+  std::signal(SIGINT, [](int) { g_interrupted.store(true); });
+  std::signal(SIGTERM, [](int) { g_interrupted.store(true); });
+  while (!g_interrupted.load() && !daemon.shutdown_requested()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  daemon.stop();
+  std::cout << "serve: stopped at epoch " << daemon.snapshot()->epoch << "\n";
+  return 0;
+}
+
+int cmd_query(const Flags& flags) {
+  const auto port = static_cast<std::uint16_t>(flags.u64("port", 0));
+  if (port == 0) {
+    std::cerr << "query requires --port\n";
+    return 2;
+  }
+  const std::string selector = flags.positional().empty()
+                                   ? flags.str("q", "report")
+                                   : flags.positional().front();
+  core::serve::Request request;
+  request.id = flags.u64("id", 1);
+  if (selector == "ingest") {
+    request.kind = core::serve::RequestKind::kIngest;
+    request.repositories = flags.u64("repos", 0);
+    request.seed = flags.u64("seed", 20170530);
+    if (request.repositories == 0) {
+      std::cerr << "query ingest requires --repos N\n";
+      return 2;
+    }
+  } else if (selector == "shutdown") {
+    request.kind = core::serve::RequestKind::kShutdown;
+  } else {
+    request.kind = core::serve::RequestKind::kQuery;
+    request.q = selector;
+    request.path = flags.str("path");
+    request.repository = flags.str("repo");
+    request.key = flags.u64("key", 0);
+    request.name = flags.str("name");
+    const std::string quantile = flags.str("quantile");
+    if (!quantile.empty()) {
+      request.quantile = std::strtod(quantile.c_str(), nullptr);
+    }
+  }
+  // Ingest runs a whole pipeline batch before answering; give it room.
+  const std::uint64_t default_timeout =
+      selector == "ingest" ? 600000 : 10000;
+  auto client = core::serve::Client::connect(
+      port, static_cast<std::uint32_t>(flags.u64("timeout-ms", default_timeout)));
+  if (!client.ok()) {
+    std::cerr << "query: " << client.error().to_string() << "\n";
+    return 1;
+  }
+  auto response = client.value().call(request);
+  if (!response.ok()) {
+    std::cerr << "query: " << response.error().to_string() << "\n";
+    return 1;
+  }
+  if (!response.value().ok) {
+    std::cerr << "query: server error (epoch " << response.value().epoch
+              << "): " << response.value().error << "\n";
+    return 1;
+  }
+  std::cout << response.value().body.dump() << "\n";
+  return 0;
+}
+
 int cmd_worker(const Flags& flags) {
   core::WorkerOptions options;
   options.port = static_cast<std::uint16_t>(flags.u64("connect", 0));
@@ -788,8 +887,16 @@ int usage() {
       "  analyze  [--repos N] [--seed S] [--cross] [--workers W] [--light]\n"
       "  report   [--repos N] [--seed S]   paper-vs-measured summary\n"
       "  dedup    [--repos N] [--seed S] [--light]\n"
-      "  serve    [--repos N] [--port P] [--workers W] [--light]\n"
-      "           [--max-requests N]\n"
+      "  serve    [--repos N] [--seed S] [--port P] [--state-dir DIR]\n"
+      "           [--paper] [--shards N] [--mode serial|staged|streamed]\n"
+      "           [--io-timeout-ms N] [--slowloris-ms N] [--report-out F]\n"
+      "           long-lived query/ingest daemon over the wire protocol\n"
+      "  query    report|image|layer|content|types|ecdf|status|stats|\n"
+      "           ingest|shutdown  --port P  [--path A.B] [--repo NAME]\n"
+      "           [--key K] [--name images.cis] [--quantile Q] [--repos N]\n"
+      "           [--seed S] [--timeout-ms N]   ask a running serve daemon\n"
+      "  serve-registry [--repos N] [--port P] [--workers W] [--light]\n"
+      "           [--max-requests N]   HTTP registry for crawl/pull\n"
       "  crawl    --port P [--token T] [--page-size K] [--list]\n"
       "  pull     --port P [--token T] [--workers W]\n"
       "  export   --out DIR [--repos N] [--light] [--gzip L]\n"
@@ -830,6 +937,8 @@ int main(int argc, char** argv) {
   if (command == "report") return cmd_report(flags);
   if (command == "dedup") return cmd_dedup(flags);
   if (command == "serve") return cmd_serve(flags);
+  if (command == "query") return cmd_query(flags);
+  if (command == "serve-registry") return cmd_serve_registry(flags);
   if (command == "crawl") return cmd_crawl(flags);
   if (command == "pull") return cmd_pull(flags);
   if (command == "export") return cmd_export(flags);

@@ -34,6 +34,8 @@ configure_and_build "${build_root}/tsan" -DDOCKMINE_SANITIZE=thread
 "${build_root}/tsan/tests/trace_journal_test"
 "${build_root}/tsan/tests/dist_wire_test"
 "${build_root}/tsan/tests/dist_chaos_test"
+"${build_root}/tsan/tests/serve_test"
+"${build_root}/tsan/tests/serve_chaos_test"
 DOCKMINE_SHARD_SPILL_BYTES=1 "${build_root}/tsan/tests/shard_test"
 DOCKMINE_SHARD_SPILL_BYTES=1 "${build_root}/tsan/tests/shard_pipeline_test"
 
