@@ -9,14 +9,127 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <map>
 
 #include "common.h"
 #include "dockmine/core/pipeline.h"
 #include "dockmine/json/json.h"
+#include "dockmine/mem/arena.h"
 #include "dockmine/obs/critical_path.h"
 #include "dockmine/obs/journal.h"
 #include "dockmine/obs/trace_export.h"
+#include "dockmine/shard/store.h"
+#include "dockmine/tar/reader.h"
+#include "dockmine/tar/writer.h"
+#include "dockmine/util/rng.h"
 #include "dockmine/util/stopwatch.h"
+
+namespace {
+
+using namespace dockmine;
+
+/// A synthetic layer tar shaped like a package install: nested directories,
+/// dozens of files each, paths long enough to be heap-allocated strings.
+std::string make_walk_layer(std::uint64_t seed, std::size_t dirs,
+                            std::size_t files_per_dir) {
+  util::Rng rng(seed);
+  tar::Writer writer;
+  for (std::size_t d = 0; d < dirs; ++d) {
+    const std::string dir = "usr/lib/packages/vendor-" +
+                            std::to_string(rng.uniform(64)) + "/component-" +
+                            std::to_string(d);
+    writer.add_directory(dir + "/");
+    for (std::size_t f = 0; f < files_per_dir; ++f) {
+      writer.add_file(dir + "/module-" + std::to_string(f) + ".so",
+                      "\x7f" "ELFstub-content-bytes");
+    }
+  }
+  return writer.finish();
+}
+
+/// The pre-PR analyzer walk, verbatim idiom: a fresh Entry per next() call
+/// (every header decode allocates its strings) and a heap std::map keyed by
+/// owned std::string copies for the directory profile.
+std::uint64_t legacy_walk(std::string_view tar_bytes, std::uint64_t& dirs_out) {
+  tar::Reader reader(tar_bytes);
+  std::map<std::string, std::uint64_t, std::less<>> dir_files;
+  std::uint64_t files = 0;
+  for (;;) {
+    auto got = reader.next();
+    if (!got.ok() || !got.value().has_value()) break;
+    const tar::Entry& entry = *got.value();
+    std::string_view path = entry.header.name;
+    if (entry.is_directory()) {
+      while (!path.empty() && path.back() == '/') path.remove_suffix(1);
+      if (auto it = dir_files.find(path); it == dir_files.end()) {
+        dir_files.emplace(std::string(path), 0);
+      }
+      continue;
+    }
+    if (!entry.is_file()) continue;
+    ++files;
+    const std::size_t slash = path.rfind('/');
+    const std::string_view parent =
+        slash == std::string_view::npos ? std::string_view(".")
+                                        : path.substr(0, slash);
+    if (auto it = dir_files.find(parent); it != dir_files.end()) {
+      ++it->second;
+    } else {
+      dir_files.emplace(std::string(parent), 1);
+    }
+  }
+  dirs_out = dir_files.size();
+  return files;
+}
+
+/// The post-PR walk, mirroring `LayerAnalyzer`'s arena path: one reused
+/// Entry (header strings keep their capacity), an arena-backed map whose
+/// keys are interned into per-layer scratch, and the last-parent memo that
+/// exploits tars listing a directory's files consecutively.
+std::uint64_t arena_walk(std::string_view tar_bytes, mem::Arena& scratch,
+                         std::uint64_t& dirs_out) {
+  using Alloc =
+      mem::ArenaAllocator<std::pair<const std::string_view, std::uint64_t>>;
+  std::map<std::string_view, std::uint64_t, std::less<>, Alloc> dir_files{
+      std::less<>{}, Alloc(scratch)};
+  std::uint64_t files = 0;
+  std::string_view last_parent;
+  std::uint64_t* last_count = nullptr;
+  tar::Reader reader(tar_bytes);
+  const auto status = reader.for_each([&](const tar::Entry& entry) {
+    std::string_view path = entry.header.name;
+    if (entry.is_directory()) {
+      while (!path.empty() && path.back() == '/') path.remove_suffix(1);
+      if (auto it = dir_files.find(path); it == dir_files.end()) {
+        dir_files.emplace(scratch.intern(path), 0);
+      }
+      return;
+    }
+    if (!entry.is_file()) return;
+    ++files;
+    const std::size_t slash = path.rfind('/');
+    const std::string_view parent =
+        slash == std::string_view::npos ? std::string_view(".")
+                                        : path.substr(0, slash);
+    if (last_count != nullptr && parent == last_parent) {
+      ++*last_count;
+    } else {
+      auto it = dir_files.find(parent);
+      if (it != dir_files.end()) {
+        ++it->second;
+      } else {
+        it = dir_files.emplace(scratch.intern(parent), 1).first;
+      }
+      last_parent = it->first;
+      last_count = &it->second;
+    }
+  });
+  (void)status;
+  dirs_out = dir_files.size();
+  return files;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace dockmine;
@@ -35,6 +148,157 @@ int main(int argc, char** argv) {
 
   std::cout << "end-to-end pipeline at " << options.scale.repositories
             << " repositories (DOCKMINE_REPOS overrides)\n";
+  // --- hot-path memory: arena tar walk + ART content index -----------------
+  // Two microbenches over the structures this pipeline hammers per layer:
+  // the analyzer's tar walk / directory profile (legacy heap idiom vs the
+  // per-layer arena path) and the sharded dedup store (sorted-map freeze vs
+  // the ART whose in-order walk needs no sort).
+  constexpr double kWalkSpeedupTarget = 1.5;
+  double legacy_fps = 0.0, arena_fps = 0.0;
+  std::uint64_t walk_files = 0, walk_dirs = 0, arena_high_water = 0;
+  {
+    constexpr std::size_t kLayers = 8;
+    constexpr std::size_t kDirs = 120;
+    constexpr std::size_t kFilesPerDir = 16;
+    constexpr int kWarmup = 2;
+    constexpr int kReps = 12;
+    std::vector<std::string> layers;
+    layers.reserve(kLayers);
+    for (std::size_t i = 0; i < kLayers; ++i) {
+      layers.push_back(make_walk_layer(0xA11E5 + i, kDirs, kFilesPerDir));
+    }
+
+    std::uint64_t dirs = 0;
+    for (int w = 0; w < kWarmup; ++w) {
+      for (const auto& layer : layers) legacy_walk(layer, dirs);
+    }
+    // Best-of-reps: each rep is timed on its own and the fastest wins, so a
+    // scheduler hiccup in one rep cannot sink the gate — both paths get the
+    // same treatment, and the ratio is what the gate cares about.
+    double legacy_best = 0.0;
+    std::uint64_t legacy_files = 0;
+    for (int rep = 0; rep < kReps; ++rep) {
+      util::Stopwatch clock;
+      for (const auto& layer : layers) {
+        legacy_files += legacy_walk(layer, dirs);
+        walk_dirs = dirs;
+      }
+      const double s = clock.seconds();
+      if (legacy_best == 0.0 || s < legacy_best) legacy_best = s;
+    }
+
+    mem::Arena scratch;
+    for (int w = 0; w < kWarmup; ++w) {
+      for (const auto& layer : layers) {
+        arena_walk(layer, scratch, dirs);
+        scratch.reset();
+      }
+    }
+    double arena_best = 0.0;
+    std::uint64_t arena_files = 0;
+    for (int rep = 0; rep < kReps; ++rep) {
+      util::Stopwatch clock;
+      for (const auto& layer : layers) {
+        arena_files += arena_walk(layer, scratch, dirs);
+        scratch.reset();
+      }
+      const double s = clock.seconds();
+      if (arena_best == 0.0 || s < arena_best) arena_best = s;
+    }
+    arena_high_water = scratch.high_water();
+
+    walk_files = legacy_files / (kReps * kLayers);
+    const double rep_files = static_cast<double>(legacy_files) / kReps;
+    legacy_fps = rep_files / legacy_best;
+    arena_fps = rep_files / arena_best;
+    if (legacy_files != arena_files) {
+      std::fprintf(stderr, "walk mismatch: legacy %llu vs arena %llu files\n",
+                   static_cast<unsigned long long>(legacy_files),
+                   static_cast<unsigned long long>(arena_files));
+      return 1;
+    }
+  }
+  const double walk_speedup = legacy_fps > 0.0 ? arena_fps / legacy_fps : 0.0;
+  std::printf(
+      "\n  analyzer hot path (tar walk + dir profile, %llu files / %llu dirs"
+      " per layer):\n"
+      "    legacy    %11.0f files/s  (fresh-Entry reader, heap string map)\n"
+      "    arena     %11.0f files/s  (reused Entry, per-layer arena map)\n"
+      "    speedup   %.2fx  (target >= %.1fx %s)\n"
+      "    arena high water %llu bytes/layer (steady state: zero heap"
+      " traffic)\n",
+      static_cast<unsigned long long>(walk_files),
+      static_cast<unsigned long long>(walk_dirs), legacy_fps, arena_fps,
+      walk_speedup, kWalkSpeedupTarget,
+      walk_speedup >= kWalkSpeedupTarget ? "OK" : "MISSED",
+      static_cast<unsigned long long>(arena_high_water));
+
+  // Sorted-map vs ART shard store: same observation stream, measure the
+  // upsert phase and the freeze (collect_sorted) phase. The ART drain is a
+  // linear in-order walk — no sort — which is the design point that deleted
+  // std::sort from the spill path.
+  constexpr std::size_t kIndexKeys = 300000;
+  double map_insert_ms = 0.0, map_drain_ms = 0.0;
+  double art_insert_ms = 0.0, art_drain_ms = 0.0;
+  art::Stats art_census;
+  double art_bytes_per_key = 0.0;
+  {
+    util::Rng rng(0xC0FFEE);
+    std::vector<std::uint64_t> keys(kIndexKeys);
+    // ~25% repeated keys exercise the merge path like real dedup traffic.
+    for (auto& key : keys) {
+      key = (rng.uniform01() < 0.25 && &key != keys.data())
+                ? keys[rng.uniform(static_cast<std::uint64_t>(
+                      &key - keys.data()))]
+                : rng() | 1;
+    }
+    dedup::ContentEntry observation;
+    observation.count = 1;
+    observation.size = 4096;
+    observation.type = filetype::Type::kAsciiText;
+
+    auto drive = [&](shard::IndexBackend backend, double& insert_ms,
+                     double& drain_ms) {
+      shard::ShardStore store(backend, 1 << 12);
+      util::Stopwatch insert_clock;
+      for (std::uint64_t key : keys) store.merge(key, observation);
+      insert_ms = insert_clock.seconds() * 1000.0;
+      std::vector<shard::RunEntry> entries;
+      util::Stopwatch drain_clock;
+      store.collect_sorted(entries);
+      drain_ms = drain_clock.seconds() * 1000.0;
+      if (backend == shard::IndexBackend::kArt) {
+        art_census = store.art_stats();
+        art_bytes_per_key =
+            static_cast<double>(store.memory_bytes()) /
+            static_cast<double>(store.size());
+      }
+      return entries.size();
+    };
+    const std::size_t map_entries =
+        drive(shard::IndexBackend::kMap, map_insert_ms, map_drain_ms);
+    const std::size_t art_entries =
+        drive(shard::IndexBackend::kArt, art_insert_ms, art_drain_ms);
+    if (map_entries != art_entries) {
+      std::fprintf(stderr, "index mismatch: map %zu vs art %zu entries\n",
+                   map_entries, art_entries);
+      return 1;
+    }
+    std::printf(
+        "\n  shard content index (%zu observations, %zu distinct):\n"
+        "    map   insert %8.1f ms   freeze %8.1f ms  (collect + std::sort)\n"
+        "    art   insert %8.1f ms   freeze %8.1f ms  (in-order walk, no"
+        " sort)\n"
+        "    art census: %llu n4 / %llu n16 / %llu n48 / %llu n256 nodes,"
+        " %.0f bytes/key\n",
+        keys.size(), map_entries, map_insert_ms, map_drain_ms, art_insert_ms,
+        art_drain_ms, static_cast<unsigned long long>(art_census.node4),
+        static_cast<unsigned long long>(art_census.node16),
+        static_cast<unsigned long long>(art_census.node48),
+        static_cast<unsigned long long>(art_census.node256),
+        art_bytes_per_key);
+  }
+
   util::Stopwatch clock;
   auto run = core::run_end_to_end(options);
   if (!run.ok()) {
@@ -264,6 +528,34 @@ int main(int argc, char** argv) {
     trace.set("report_identical", traced_identical);
     trace.set("critical_path", obs::to_json(crit));
     doc.set("trace", std::move(trace));
+
+    auto hotpath = json::Value::object();
+    auto walk = json::Value::object();
+    walk.set("files_per_layer", walk_files);
+    walk.set("dirs_per_layer", walk_dirs);
+    walk.set("legacy_files_per_sec", legacy_fps);
+    walk.set("arena_files_per_sec", arena_fps);
+    walk.set("speedup", walk_speedup);
+    walk.set("speedup_target", kWalkSpeedupTarget);
+    walk.set("within_target", walk_speedup >= kWalkSpeedupTarget);
+    walk.set("arena_high_water_bytes", arena_high_water);
+    hotpath.set("walk", std::move(walk));
+    auto index = json::Value::object();
+    index.set("observations", static_cast<std::uint64_t>(kIndexKeys));
+    index.set("map_insert_ms", map_insert_ms);
+    index.set("map_freeze_ms", map_drain_ms);
+    index.set("art_insert_ms", art_insert_ms);
+    index.set("art_freeze_ms", art_drain_ms);
+    auto census = json::Value::object();
+    census.set("node4", art_census.node4);
+    census.set("node16", art_census.node16);
+    census.set("node48", art_census.node48);
+    census.set("node256", art_census.node256);
+    census.set("keys", art_census.values);
+    index.set("art_census", std::move(census));
+    index.set("art_bytes_per_key", art_bytes_per_key);
+    hotpath.set("index", std::move(index));
+    doc.set("hotpath", std::move(hotpath));
 
     const char* json_path = std::getenv("DOCKMINE_BENCH_JSON");
     const std::string out_path =

@@ -20,6 +20,12 @@ class ProfileStore {
   /// Insert (no-op if the digest is already profiled).
   void put(const LayerProfile& profile);
 
+  /// Pre-size the table for `layers` unique layers. Without this the map
+  /// rehashes repeatedly as layers trickle in one image at a time; callers
+  /// that know the manifest set's layer count up front (the pipeline does)
+  /// pay for the table once and reuse it across every image in a session.
+  void reserve(std::size_t layers) { profiles_.reserve(layers); }
+
   std::optional<LayerProfile> find(const digest::Digest& digest) const;
   bool contains(const digest::Digest& digest) const;
   std::size_t size() const noexcept { return profiles_.size(); }

@@ -10,6 +10,10 @@
 #include "dockmine/analyzer/profile.h"
 #include "dockmine/util/error.h"
 
+namespace dockmine::mem {
+class Arena;
+}
+
 namespace dockmine::analyzer {
 
 using FileVisitor = std::function<void(std::string_view path,
@@ -46,11 +50,14 @@ class LayerAnalyzer {
 
   /// Analyze a compressed layer blob. `visitor` (optional) receives every
   /// regular file. The returned profile's `digest` is the SHA-256 of the
-  /// blob and `cls` its size.
+  /// blob and `cls` its size. `scratch`, when given, backs the per-layer
+  /// directory map (keys interned, nodes bump-allocated) — the caller owns
+  /// the arena and must reset() it between layers (DESIGN.md §14); results
+  /// are identical with or without it.
   util::Result<LayerProfile> analyze_blob(
       std::string_view gzip_blob, const FileVisitor* visitor = nullptr,
       const DirectoryVisitor* dir_visitor = nullptr,
-      Timing* timing = nullptr) const;
+      Timing* timing = nullptr, mem::Arena* scratch = nullptr) const;
 
   /// Analyze an already-uncompressed tar archive (cls/digest filled by the
   /// caller if known). `dir_visitor`, when given, receives every explicit
@@ -58,7 +65,7 @@ class LayerAnalyzer {
   util::Result<LayerProfile> analyze_tar(
       std::string_view tar_bytes, const FileVisitor* visitor = nullptr,
       const DirectoryVisitor* dir_visitor = nullptr,
-      Timing* timing = nullptr) const;
+      Timing* timing = nullptr, mem::Arena* scratch = nullptr) const;
 
  private:
   Options options_{};

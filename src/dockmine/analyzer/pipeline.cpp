@@ -2,6 +2,7 @@
 
 #include <unordered_set>
 
+#include "dockmine/mem/arena.h"
 #include "dockmine/obs/journal.h"
 #include "dockmine/obs/obs.h"
 #include "dockmine/obs/span.h"
@@ -61,8 +62,18 @@ void AnalysisPipeline::Session::analyze(const digest::Digest& digest,
     return span_base_.empty() ? std::string(name) : span_base_ + "/" + name;
   };
 
+  // Per-layer scratch: each pool thread owns one arena, reset at the end
+  // of every layer (DESIGN.md §14). Nothing allocated below may escape
+  // this call.
+  static thread_local mem::Arena scratch;
+  struct ResetGuard {
+    mem::Arena& arena;
+    ~ResetGuard() { arena.reset(); }
+  } reset_guard{scratch};
+
   // Buffer file records locally; flush in batches to bound lock traffic.
-  std::vector<FileRecord> batch;
+  std::vector<FileRecord, mem::ArenaAllocator<FileRecord>> batch{
+      mem::ArenaAllocator<FileRecord>(scratch)};
   FileVisitor visitor = [&](std::string_view, const FileRecord& record) {
     batch.push_back(record);
   };
@@ -71,7 +82,7 @@ void AnalysisPipeline::Session::analyze(const digest::Digest& digest,
   const bool want_files = sink_.on_file || sink_.on_file_concurrent;
   auto profile = analyzer_.analyze_blob(
       gzip_blob, want_files ? &visitor : nullptr,
-      /*dir_visitor=*/nullptr, timed_ ? &timing : nullptr);
+      /*dir_visitor=*/nullptr, timed_ ? &timing : nullptr, &scratch);
   if (timed_) {
     const double total_ms = obs::now_ms() - start_ms;
     metrics.layer_ms.observe(total_ms);
@@ -117,6 +128,11 @@ void AnalysisPipeline::Session::analyze(const digest::Digest& digest,
   }
 }
 
+void AnalysisPipeline::Session::reserve_layers(std::size_t layers) {
+  std::lock_guard lock(mutex_);
+  store_.reserve(layers);
+}
+
 void AnalysisPipeline::Session::fail(util::Error error) {
   std::lock_guard lock(mutex_);
   if (first_error_.ok()) first_error_ = std::move(error);
@@ -159,6 +175,7 @@ util::Result<ProfileStore> AnalysisPipeline::run(
   }
 
   Session session(*this, sink);
+  session.reserve_layers(unique.size());
   util::ThreadPool pool(options_.workers);
   // Parent pool-thread events into the caller's open span ("analyze").
   const obs::TraceContext run_ctx = obs::current_trace_context();

@@ -74,6 +74,10 @@ class AnalysisPipeline {
     /// (checkpoint replays, retries) cannot double-count.
     void analyze(const digest::Digest& digest, const std::string& gzip_blob);
 
+    /// Pre-size the profile store for an expected number of unique layers
+    /// (see ProfileStore::reserve). Call before the analyze() storm.
+    void reserve_layers(std::size_t layers);
+
     /// Latch an external failure (e.g. a blob fetch error) so the session
     /// fails fast exactly as if analysis itself had failed.
     void fail(util::Error error);

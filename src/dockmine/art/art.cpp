@@ -1,0 +1,15 @@
+#include "dockmine/art/art.h"
+
+namespace dockmine::art {
+
+Stats& Stats::operator+=(const Stats& other) noexcept {
+  node4 += other.node4;
+  node16 += other.node16;
+  node48 += other.node48;
+  node256 += other.node256;
+  values += other.values;
+  prefix_bytes += other.prefix_bytes;
+  return *this;
+}
+
+}  // namespace dockmine::art

@@ -1,0 +1,609 @@
+// Adaptive radix tree (ART) over binary-safe, variable-length keys.
+//
+// The classic Leis/Kemper/Neumann design: radix nodes adapt their fanout
+// representation to their population (Node4 -> Node16 -> Node48 -> Node256,
+// shrinking back on erase), and single-descendant chains collapse into a
+// per-node path-compression prefix. Keys are byte strings compared
+// lexicographically; a key may be a prefix of another (the value for a key
+// terminating mid-tree lives on the node it terminates at), and embedded
+// zero bytes are ordinary bytes.
+//
+// Why the shard layer wants one: the dedup spill path must write run files
+// in strictly ascending content-key order. A hash map pays an O(n log n)
+// sort at every spill; the ART's in-order walk IS the sorted order, so
+// freezing a run is a single linear pass (encode u64 keys big-endian —
+// art::encode_key64 — and lexicographic order equals numeric order).
+//
+// Complexity: lookup/insert/erase are O(key length) with at most one node
+// resize per operation; for_each is a linear in-order walk. Node sizes:
+//   Node4/16  sorted byte array + parallel children (linear scan)
+//   Node48    256-entry byte->slot index + dense 48-slot children
+//   Node256   direct children[byte]
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace dockmine::art {
+
+/// Node-type census + footprint, for obs gauges and bench output.
+struct Stats {
+  std::uint64_t node4 = 0;
+  std::uint64_t node16 = 0;
+  std::uint64_t node48 = 0;
+  std::uint64_t node256 = 0;
+  std::uint64_t values = 0;       ///< keys stored
+  std::uint64_t prefix_bytes = 0; ///< total path-compression bytes
+
+  Stats& operator+=(const Stats& other) noexcept;
+  std::uint64_t nodes() const noexcept {
+    return node4 + node16 + node48 + node256;
+  }
+};
+
+/// Big-endian u64 key codec: lexicographic byte order == numeric order, so
+/// an in-order ART walk yields ascending u64 keys.
+inline std::array<char, 8> encode_key64(std::uint64_t key) noexcept {
+  std::array<char, 8> out;
+  for (int i = 7; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = static_cast<char>(key & 0xff);
+    key >>= 8;
+  }
+  return out;
+}
+
+inline std::uint64_t decode_key64(std::string_view bytes) noexcept {
+  std::uint64_t key = 0;
+  for (char c : bytes.substr(0, 8)) {
+    key = (key << 8) | static_cast<unsigned char>(c);
+  }
+  return key;
+}
+
+template <typename Value>
+class Art {
+ public:
+  Art() = default;
+  Art(const Art&) = delete;
+  Art& operator=(const Art&) = delete;
+  Art(Art&&) = default;
+  Art& operator=(Art&&) = default;
+
+  /// Find-or-default-insert. The reference is valid until the next
+  /// insert/erase/clear.
+  Value& operator[](std::string_view key) {
+    ++version_;
+    return insert_slot(root_, key);
+  }
+
+  Value* find(std::string_view key) noexcept {
+    return const_cast<Value*>(std::as_const(*this).find(key));
+  }
+
+  const Value* find(std::string_view key) const noexcept {
+    const Node* node = root_.get();
+    while (node != nullptr) {
+      const std::string_view prefix = node->prefix;
+      if (key.size() < prefix.size() ||
+          key.substr(0, prefix.size()) != prefix) {
+        return nullptr;
+      }
+      key.remove_prefix(prefix.size());
+      if (key.empty()) return node->has_value ? &node->value : nullptr;
+      node = node->child(static_cast<std::uint8_t>(key.front()));
+      key.remove_prefix(1);
+    }
+    return nullptr;
+  }
+
+  bool contains(std::string_view key) const noexcept {
+    return find(key) != nullptr;
+  }
+
+  /// Remove `key`; true when it was present. Nodes shrink back through
+  /// 256 -> 48 -> 16 -> 4 and single-descendant chains re-compress.
+  bool erase(std::string_view key) {
+    ++version_;
+    return erase_rec(root_, key);
+  }
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  void clear() {
+    root_.reset();
+    size_ = 0;
+    bytes_ = 0;
+    ++version_;
+  }
+
+  /// In-order (lexicographic key) walk: fn(std::string_view key, const
+  /// Value&). The key view is only valid during the callback.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    std::string key;
+    key.reserve(64);
+    walk(root_.get(), key, fn);
+  }
+
+  /// Approximate heap bytes owned by the tree, maintained incrementally
+  /// (node headers, children capacity, prefix bytes). Deterministic for a
+  /// given insert/erase history, which is what spill accounting needs.
+  std::uint64_t memory_bytes() const noexcept { return bytes_; }
+
+  /// Rough steady-state resident cost of one key under random-key load: a
+  /// leaf node plus the amortized share of interior nodes (fan-out keeps
+  /// interior count at roughly a third of leaf count). Used by spill
+  /// sizing, which needs an estimate before any key exists.
+  static constexpr std::size_t approx_bytes_per_key() noexcept {
+    return sizeof(Node) + sizeof(Node) / 3;
+  }
+
+  Stats stats() const {
+    Stats stats;
+    census(root_.get(), stats);
+    return stats;
+  }
+
+ private:
+  enum class Kind : std::uint8_t { k4, k16, k48, k256 };
+
+  struct Node;
+  using NodePtr = std::unique_ptr<Node>;
+
+  struct Node {
+    Kind kind = Kind::k4;
+    std::uint16_t count = 0;  ///< children in use
+    bool has_value = false;
+    Value value{};            ///< key terminating at the end of `prefix`
+    std::string prefix;       ///< path-compression bytes
+    std::array<std::uint8_t, 16> keys{};  ///< k4/k16: sorted branch bytes
+    std::unique_ptr<std::array<std::int16_t, 256>> index;  ///< k48 only
+    std::vector<NodePtr> children;
+
+    static constexpr std::size_t capacity_of(Kind kind) noexcept {
+      switch (kind) {
+        case Kind::k4: return 4;
+        case Kind::k16: return 16;
+        case Kind::k48: return 48;
+        case Kind::k256: return 256;
+      }
+      return 0;
+    }
+
+    const Node* child(std::uint8_t byte) const noexcept {
+      switch (kind) {
+        case Kind::k4:
+        case Kind::k16:
+          for (std::uint16_t i = 0; i < count; ++i) {
+            if (keys[i] == byte) return children[i].get();
+          }
+          return nullptr;
+        case Kind::k48: {
+          const std::int16_t slot = (*index)[byte];
+          return slot < 0 ? nullptr : children[static_cast<std::size_t>(slot)].get();
+        }
+        case Kind::k256:
+          return children[byte].get();
+      }
+      return nullptr;
+    }
+
+    NodePtr* child_slot(std::uint8_t byte) noexcept {
+      switch (kind) {
+        case Kind::k4:
+        case Kind::k16:
+          for (std::uint16_t i = 0; i < count; ++i) {
+            if (keys[i] == byte) return &children[i];
+          }
+          return nullptr;
+        case Kind::k48: {
+          const std::int16_t slot = (*index)[byte];
+          return slot < 0 ? nullptr : &children[static_cast<std::size_t>(slot)];
+        }
+        case Kind::k256:
+          return children[byte] ? &children[byte] : nullptr;
+      }
+      return nullptr;
+    }
+  };
+
+  static std::uint64_t node_bytes(const Node& node) noexcept {
+    return sizeof(Node) + node.prefix.size() +
+           node.children.capacity() * sizeof(NodePtr) +
+           (node.index ? sizeof(*node.index) : 0);
+  }
+
+  NodePtr make_node(Kind kind) {
+    auto node = std::make_unique<Node>();
+    node->kind = kind;
+    node->children.reserve(Node::capacity_of(kind));
+    if (kind == Kind::k48) {
+      node->index = std::make_unique<std::array<std::int16_t, 256>>();
+      node->index->fill(-1);
+    }
+    if (kind == Kind::k256) node->children.resize(256);
+    bytes_ += node_bytes(*node);
+    return node;
+  }
+
+  void drop_node_bytes(const Node& node) noexcept {
+    bytes_ -= node_bytes(node);
+  }
+
+  void set_prefix(Node& node, std::string_view prefix) {
+    bytes_ -= node.prefix.size();
+    node.prefix.assign(prefix.data(), prefix.size());
+    bytes_ += node.prefix.size();
+  }
+
+  /// Grow `node` to the next representation; preserves child order.
+  void grow(NodePtr& slot) {
+    Node& old = *slot;
+    const Kind next = old.kind == Kind::k4
+                          ? Kind::k16
+                          : old.kind == Kind::k16 ? Kind::k48 : Kind::k256;
+    NodePtr grown = make_node(next);
+    adopt_scalar_fields(*grown, old);
+    if (next == Kind::k16) {
+      for (std::uint16_t i = 0; i < old.count; ++i) {
+        grown->keys[i] = old.keys[i];
+        grown->children.push_back(std::move(old.children[i]));
+      }
+    } else if (next == Kind::k48) {
+      for (std::uint16_t i = 0; i < old.count; ++i) {
+        (*grown->index)[old.keys[i]] = static_cast<std::int16_t>(i);
+        grown->children.push_back(std::move(old.children[i]));
+      }
+    } else {  // k256 from k48
+      for (int byte = 0; byte < 256; ++byte) {
+        const std::int16_t from = (*old.index)[byte];
+        if (from >= 0) {
+          grown->children[static_cast<std::size_t>(byte)] =
+              std::move(old.children[static_cast<std::size_t>(from)]);
+        }
+      }
+    }
+    grown->count = old.count;
+    drop_node_bytes(old);
+    slot = std::move(grown);
+  }
+
+  /// Shrink `node` one representation down (hysteresis thresholds live in
+  /// the caller); preserves child order.
+  void shrink(NodePtr& slot) {
+    Node& old = *slot;
+    const Kind next = old.kind == Kind::k256
+                          ? Kind::k48
+                          : old.kind == Kind::k48 ? Kind::k16 : Kind::k4;
+    NodePtr shrunk = make_node(next);
+    adopt_scalar_fields(*shrunk, old);
+    std::uint16_t out = 0;
+    for (int byte = 0; byte < 256; ++byte) {
+      NodePtr* from = old.child_slot(static_cast<std::uint8_t>(byte));
+      if (from == nullptr) continue;
+      if (next == Kind::k48) {
+        (*shrunk->index)[byte] = static_cast<std::int16_t>(out);
+        shrunk->children.push_back(std::move(*from));
+      } else {
+        shrunk->keys[out] = static_cast<std::uint8_t>(byte);
+        shrunk->children.push_back(std::move(*from));
+      }
+      ++out;
+    }
+    shrunk->count = out;
+    drop_node_bytes(old);
+    slot = std::move(shrunk);
+  }
+
+  void adopt_scalar_fields(Node& to, Node& from) {
+    to.has_value = from.has_value;
+    to.value = std::move(from.value);
+    set_prefix(to, from.prefix);
+  }
+
+  /// Insert a child under `byte`, growing the node if its representation
+  /// is full. `node` must not already have a child for `byte`.
+  void add_child(NodePtr& slot, std::uint8_t byte, NodePtr child) {
+    if (slot->count == Node::capacity_of(slot->kind) &&
+        slot->kind != Kind::k256) {
+      grow(slot);
+    }
+    Node& node = *slot;
+    switch (node.kind) {
+      case Kind::k4:
+      case Kind::k16: {
+        std::uint16_t pos = 0;
+        while (pos < node.count && node.keys[pos] < byte) ++pos;
+        node.children.insert(node.children.begin() + pos, std::move(child));
+        for (std::uint16_t i = node.count; i > pos; --i) {
+          node.keys[i] = node.keys[i - 1];
+        }
+        node.keys[pos] = byte;
+        ++node.count;
+        break;
+      }
+      case Kind::k48:
+        (*node.index)[byte] = static_cast<std::int16_t>(node.count);
+        node.children.push_back(std::move(child));
+        ++node.count;
+        break;
+      case Kind::k256:
+        node.children[byte] = std::move(child);
+        ++node.count;
+        break;
+    }
+  }
+
+  /// Remove the child under `byte` (which must exist), keeping the dense
+  /// representations dense and shrinking with hysteresis.
+  void remove_child(NodePtr& slot, std::uint8_t byte) {
+    Node& node = *slot;
+    switch (node.kind) {
+      case Kind::k4:
+      case Kind::k16: {
+        std::uint16_t pos = 0;
+        while (node.keys[pos] != byte) ++pos;
+        node.children.erase(node.children.begin() + pos);
+        for (std::uint16_t i = pos; i + 1 < node.count; ++i) {
+          node.keys[i] = node.keys[i + 1];
+        }
+        --node.count;
+        break;
+      }
+      case Kind::k48: {
+        const std::int16_t hole = (*node.index)[byte];
+        const std::int16_t last = static_cast<std::int16_t>(node.count - 1);
+        if (hole != last) {
+          node.children[static_cast<std::size_t>(hole)] =
+              std::move(node.children[static_cast<std::size_t>(last)]);
+          for (int b = 0; b < 256; ++b) {
+            if ((*node.index)[b] == last) {
+              (*node.index)[b] = hole;
+              break;
+            }
+          }
+        }
+        node.children.pop_back();
+        (*node.index)[byte] = -1;
+        --node.count;
+        break;
+      }
+      case Kind::k256:
+        node.children[byte].reset();
+        --node.count;
+        break;
+    }
+    // Hysteresis: shrink well below the smaller kind's capacity so a
+    // plateau of insert/erase at the boundary doesn't thrash resizes.
+    if ((node.kind == Kind::k256 && node.count <= 40) ||
+        (node.kind == Kind::k48 && node.count <= 12) ||
+        (node.kind == Kind::k16 && node.count <= 3)) {
+      shrink(slot);
+    }
+  }
+
+  static std::size_t common_prefix(std::string_view a,
+                                   std::string_view b) noexcept {
+    const std::size_t limit = std::min(a.size(), b.size());
+    std::size_t i = 0;
+    while (i < limit && a[i] == b[i]) ++i;
+    return i;
+  }
+
+  Value& insert_slot(NodePtr& slot, std::string_view key) {
+    if (!slot) {
+      // Lazy expansion: the whole remaining key becomes one leaf node.
+      slot = make_node(Kind::k4);
+      set_prefix(*slot, key);
+      slot->has_value = true;
+      ++size_;
+      return slot->value;
+    }
+    Node& node = *slot;
+    const std::size_t shared = common_prefix(node.prefix, key);
+    if (shared < node.prefix.size()) {
+      // Prefix-compression split: a new parent owns the shared bytes; the
+      // current node keeps its tail (minus the branch byte).
+      NodePtr parent = make_node(Kind::k4);
+      set_prefix(*parent, key.substr(0, shared));
+      const std::uint8_t old_branch =
+          static_cast<std::uint8_t>(node.prefix[shared]);
+      std::string old_tail = node.prefix.substr(shared + 1);
+      set_prefix(node, old_tail);
+      NodePtr old_child = std::move(slot);
+      slot = std::move(parent);
+      add_child(slot, old_branch, std::move(old_child));
+      if (shared == key.size()) {
+        // Split path A: the new key terminates exactly at the split point.
+        slot->has_value = true;
+        ++size_;
+        return slot->value;
+      }
+      // Split path B: the new key diverges — it becomes a sibling leaf.
+      const std::uint8_t new_branch = static_cast<std::uint8_t>(key[shared]);
+      NodePtr leaf = make_node(Kind::k4);
+      set_prefix(*leaf, key.substr(shared + 1));
+      leaf->has_value = true;
+      ++size_;
+      NodePtr* sibling = nullptr;
+      add_child(slot, new_branch, std::move(leaf));
+      sibling = slot->child_slot(new_branch);
+      return (*sibling)->value;
+    }
+    key.remove_prefix(shared);
+    if (key.empty()) {
+      if (!node.has_value) {
+        node.has_value = true;
+        node.value = Value{};
+        ++size_;
+      }
+      return node.value;
+    }
+    const std::uint8_t byte = static_cast<std::uint8_t>(key.front());
+    key.remove_prefix(1);
+    NodePtr* child = slot->child_slot(byte);
+    if (child != nullptr) return insert_slot(*child, key);
+    NodePtr leaf = make_node(Kind::k4);
+    set_prefix(*leaf, key);
+    leaf->has_value = true;
+    ++size_;
+    add_child(slot, byte, std::move(leaf));
+    return (*slot->child_slot(byte))->value;
+  }
+
+  /// Collapse a node left with one child and no value into that child
+  /// (prefix re-compression, the inverse of the insert split).
+  void merge_single_child(NodePtr& slot) {
+    Node& node = *slot;
+    std::uint8_t byte = 0;
+    NodePtr* only = nullptr;
+    for (int b = 0; b < 256 && only == nullptr; ++b) {
+      only = node.child_slot(static_cast<std::uint8_t>(b));
+      byte = static_cast<std::uint8_t>(b);
+    }
+    NodePtr child = std::move(*only);
+    std::string merged;
+    merged.reserve(node.prefix.size() + 1 + child->prefix.size());
+    merged.append(node.prefix);
+    merged.push_back(static_cast<char>(byte));
+    merged.append(child->prefix);
+    set_prefix(*child, merged);
+    drop_node_bytes(node);
+    slot = std::move(child);
+  }
+
+  bool erase_rec(NodePtr& slot, std::string_view key) {
+    if (!slot) return false;
+    Node& node = *slot;
+    if (key.size() < node.prefix.size() ||
+        key.substr(0, node.prefix.size()) != node.prefix) {
+      return false;
+    }
+    key.remove_prefix(node.prefix.size());
+    if (key.empty()) {
+      if (!node.has_value) return false;
+      node.has_value = false;
+      node.value = Value{};
+      --size_;
+    } else {
+      const std::uint8_t byte = static_cast<std::uint8_t>(key.front());
+      NodePtr* child = slot->child_slot(byte);
+      if (child == nullptr || !erase_rec(*child, key.substr(1))) return false;
+      if (!*child) remove_child(slot, byte);
+    }
+    // Structural fixups after the removal below this node.
+    if (slot->count == 0 && !slot->has_value) {
+      drop_node_bytes(*slot);
+      slot.reset();  // parent unlinks us
+    } else if (slot->count == 1 && !slot->has_value) {
+      merge_single_child(slot);
+    }
+    return true;
+  }
+
+  template <typename Fn>
+  void walk(const Node* node, std::string& key, Fn&& fn) const {
+    if (node == nullptr) return;
+    const std::size_t mark = key.size();
+    key.append(node->prefix);
+    if (node->has_value) fn(std::string_view(key), node->value);
+    auto visit = [&](std::uint8_t byte, const Node* child) {
+      key.push_back(static_cast<char>(byte));
+      walk(child, key, fn);
+      key.pop_back();
+    };
+    switch (node->kind) {
+      case Kind::k4:
+      case Kind::k16:
+        for (std::uint16_t i = 0; i < node->count; ++i) {
+          visit(node->keys[i], node->children[i].get());
+        }
+        break;
+      case Kind::k48:
+        for (int byte = 0; byte < 256; ++byte) {
+          const std::int16_t slot = (*node->index)[byte];
+          if (slot >= 0) {
+            visit(static_cast<std::uint8_t>(byte),
+                  node->children[static_cast<std::size_t>(slot)].get());
+          }
+        }
+        break;
+      case Kind::k256:
+        for (int byte = 0; byte < 256; ++byte) {
+          if (node->children[static_cast<std::size_t>(byte)]) {
+            visit(static_cast<std::uint8_t>(byte),
+                  node->children[static_cast<std::size_t>(byte)].get());
+          }
+        }
+        break;
+    }
+    key.resize(mark);
+  }
+
+  void census(const Node* node, Stats& stats) const {
+    if (node == nullptr) return;
+    switch (node->kind) {
+      case Kind::k4: ++stats.node4; break;
+      case Kind::k16: ++stats.node16; break;
+      case Kind::k48: ++stats.node48; break;
+      case Kind::k256: ++stats.node256; break;
+    }
+    if (node->has_value) ++stats.values;
+    stats.prefix_bytes += node->prefix.size();
+    for (const NodePtr& child : node->children) {
+      census(child.get(), stats);
+    }
+  }
+
+  NodePtr root_;
+  std::size_t size_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t version_ = 0;  ///< mutation count (debug/assert hooks)
+};
+
+/// Convenience adapter for u64-keyed use (the shard content index): wraps
+/// encode_key64 so callers keep thinking in numeric keys.
+template <typename Value>
+class Art64 {
+ public:
+  Value& operator[](std::uint64_t key) {
+    const auto bytes = encode_key64(key);
+    return tree_[std::string_view(bytes.data(), bytes.size())];
+  }
+  const Value* find(std::uint64_t key) const noexcept {
+    const auto bytes = encode_key64(key);
+    return tree_.find(std::string_view(bytes.data(), bytes.size()));
+  }
+  bool erase(std::uint64_t key) {
+    const auto bytes = encode_key64(key);
+    return tree_.erase(std::string_view(bytes.data(), bytes.size()));
+  }
+  std::size_t size() const noexcept { return tree_.size(); }
+  bool empty() const noexcept { return tree_.empty(); }
+  void clear() { tree_.clear(); }
+  std::uint64_t memory_bytes() const noexcept { return tree_.memory_bytes(); }
+  static constexpr std::size_t approx_bytes_per_key() noexcept {
+    return Art<Value>::approx_bytes_per_key();
+  }
+  Stats stats() const { return tree_.stats(); }
+
+  /// fn(std::uint64_t key, const Value&) in ascending numeric key order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    tree_.for_each([&](std::string_view key, const Value& value) {
+      fn(decode_key64(key), value);
+    });
+  }
+
+ private:
+  Art<Value> tree_;
+};
+
+}  // namespace dockmine::art

@@ -1,0 +1,161 @@
+#include "dockmine/mem/arena.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+#include "dockmine/obs/obs.h"
+
+// ASan integration: a reset arena poisons its retained capacity so any
+// pointer that escaped the unit of work faults loudly on next use instead
+// of reading recycled scratch. Plain builds compile the hooks away.
+#if defined(__SANITIZE_ADDRESS__)
+#define DOCKMINE_ARENA_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define DOCKMINE_ARENA_ASAN 1
+#endif
+#endif
+
+#if defined(DOCKMINE_ARENA_ASAN)
+#include <sanitizer/asan_interface.h>
+#define DOCKMINE_ARENA_POISON(ptr, size) \
+  __asan_poison_memory_region((ptr), (size))
+#define DOCKMINE_ARENA_UNPOISON(ptr, size) \
+  __asan_unpoison_memory_region((ptr), (size))
+#else
+#define DOCKMINE_ARENA_POISON(ptr, size) ((void)0)
+#define DOCKMINE_ARENA_UNPOISON(ptr, size) ((void)0)
+#endif
+
+namespace dockmine::mem {
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t v) noexcept {
+  std::size_t p = 1024;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+struct ArenaMetrics {
+  obs::Gauge& peak;
+  obs::Counter& resets;
+
+  static ArenaMetrics& get() {
+    auto& reg = obs::Registry::global();
+    static ArenaMetrics m{reg.gauge("dockmine_arena_peak_bytes"),
+                          reg.counter("dockmine_arena_resets_total")};
+    return m;
+  }
+};
+
+/// Process-wide high-water maximum backing the peak gauge (Gauge has no
+/// max-fold; arenas race to publish, the atomic keeps the max honest).
+std::atomic<std::uint64_t> g_peak_bytes{0};
+
+void publish_peak(std::size_t high_water) {
+  std::uint64_t seen = g_peak_bytes.load(std::memory_order_relaxed);
+  while (high_water > seen &&
+         !g_peak_bytes.compare_exchange_weak(seen, high_water,
+                                             std::memory_order_relaxed)) {
+  }
+  ArenaMetrics& metrics = ArenaMetrics::get();
+  metrics.peak.set(static_cast<std::int64_t>(
+      g_peak_bytes.load(std::memory_order_relaxed)));
+  metrics.resets.add();
+}
+
+}  // namespace
+
+Arena::Arena(std::size_t first_block_bytes)
+    : first_block_bytes_(round_up_pow2(first_block_bytes)) {}
+
+Arena::~Arena() { release_blocks(); }
+
+void Arena::release_blocks() {
+  for (Block& block : blocks_) {
+    DOCKMINE_ARENA_UNPOISON(block.data, block.capacity);
+    std::free(block.data);
+  }
+  blocks_.clear();
+}
+
+Arena::Block& Arena::grow(std::size_t min_bytes) {
+  std::size_t want = blocks_.empty() ? first_block_bytes_
+                                     : blocks_.back().capacity * 2;
+  want = round_up_pow2(std::max(want, min_bytes));
+  Block block;
+  block.data = static_cast<char*>(std::malloc(want));
+  if (block.data == nullptr) throw std::bad_alloc();
+  block.capacity = want;
+  DOCKMINE_ARENA_POISON(block.data, block.capacity);
+  blocks_.push_back(block);
+  active_ = blocks_.size() - 1;
+  return blocks_.back();
+}
+
+void* Arena::allocate(std::size_t bytes, std::size_t align) {
+  if (blocks_.empty()) grow(bytes + align);
+  Block* block = &blocks_[active_];
+  // Align the address, not the offset — malloc blocks only guarantee
+  // max_align_t, so over-aligned requests need the pad computed from the
+  // actual base pointer.
+  auto aligned_offset = [align](const Block& b) {
+    const auto addr = reinterpret_cast<std::uintptr_t>(b.data) + b.used;
+    const auto aligned = (addr + align - 1) & ~(static_cast<std::uintptr_t>(align) - 1);
+    return b.used + static_cast<std::size_t>(aligned - addr);
+  };
+  std::size_t offset = aligned_offset(*block);
+  if (offset + bytes > block->capacity) {
+    // Charge the abandoned tail so high_water sizes the coalesced block
+    // generously enough to avoid re-splitting next unit.
+    used_ += block->capacity - block->used;
+    block->used = block->capacity;
+    block = &grow(bytes + align);
+    offset = aligned_offset(*block);
+  }
+  char* ptr = block->data + offset;
+  used_ += (offset - block->used) + bytes;
+  block->used = offset + bytes;
+  if (used_ > high_water_) high_water_ = used_;
+  DOCKMINE_ARENA_UNPOISON(ptr, bytes);
+  return ptr;
+}
+
+std::string_view Arena::intern(std::string_view bytes) {
+  if (bytes.empty()) return std::string_view{};
+  char* copy = static_cast<char*>(allocate(bytes.size(), 1));
+  std::memcpy(copy, bytes.data(), bytes.size());
+  return std::string_view(copy, bytes.size());
+}
+
+void Arena::reset() {
+  ++resets_;
+  publish_peak(high_water_);
+  if (blocks_.empty()) {
+    used_ = 0;
+    return;
+  }
+  if (blocks_.size() > 1) {
+    // The unit overflowed the resident block: coalesce to one block that
+    // holds the whole high-water working set, so the steady state is a
+    // single bump region with no mid-unit growth.
+    release_blocks();
+    grow(high_water_);
+  }
+  Block& block = blocks_.front();
+  block.used = 0;
+  active_ = 0;
+  used_ = 0;
+  DOCKMINE_ARENA_POISON(block.data, block.capacity);
+}
+
+std::size_t Arena::bytes_reserved() const noexcept {
+  std::size_t total = 0;
+  for (const Block& block : blocks_) total += block.capacity;
+  return total;
+}
+
+}  // namespace dockmine::mem

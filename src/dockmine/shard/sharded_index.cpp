@@ -34,13 +34,13 @@ ShardedDedupIndex::ShardedDedupIndex(Config config)
   shift_ = config_.shards == 1 ? 64u : 64u - log2_of(config_.shards);
   if (config_.expected_contents_per_shard == 0)
     config_.expected_contents_per_shard = 64;
+  config_.backend = resolve_backend(config_.backend);
 
-  // An empty map already owns its table; spilling below ~2x that baseline
-  // would freeze near-empty runs on every add. Lift the effective threshold
-  // to keep each run worth its header.
-  const util::FlatMap64<dedup::ContentEntry> probe(
-      config_.expected_contents_per_shard);
-  spill_floor_ = 2 * probe.memory_bytes();
+  // Spilling below ~2x an empty store's baseline would freeze near-empty
+  // runs on every add. Lift the effective threshold to keep each run worth
+  // its header.
+  const ShardStore probe(config_.backend, config_.expected_contents_per_shard);
+  spill_floor_ = probe.spill_floor();
 
   if (config_.spill_enabled()) {
     std::error_code ec;
@@ -64,6 +64,12 @@ ShardedDedupIndex::ShardedDedupIndex(Config config)
         &registry.gauge("dockmine_shard_occupancy_bytes{shard=\"" +
                         std::to_string(s) + "\"}"));
   }
+  for (std::size_t i = 0; i < art_node_gauges_.size(); ++i) {
+    static constexpr const char* kKinds[] = {"4", "16", "48", "256"};
+    art_node_gauges_[i] = &registry.gauge(
+        std::string("dockmine_art_nodes{kind=\"") + kKinds[i] + "\"}");
+  }
+  art_keys_gauge_ = &registry.gauge("dockmine_art_keys");
   resident_gauge_ = &registry.gauge("dockmine_shard_resident_bytes");
   peak_gauge_ = &registry.gauge("dockmine_shard_resident_peak_bytes");
   spill_counter_ = &registry.counter("dockmine_shard_spills_total");
@@ -75,9 +81,10 @@ ShardedDedupIndex::ShardedDedupIndex(Config config)
 
 ShardedDedupIndex::Writer::Writer(ShardedDedupIndex* owner) : owner_(owner) {
   const std::uint32_t shards = owner_->config_.shards;
-  maps_.reserve(shards);
+  stores_.reserve(shards);
   for (std::uint32_t s = 0; s < shards; ++s) {
-    maps_.emplace_back(owner_->config_.expected_contents_per_shard);
+    stores_.emplace_back(owner_->config_.backend,
+                         owner_->config_.expected_contents_per_shard);
   }
   tracked_bytes_.assign(shards, 0);
   for (std::uint32_t s = 0; s < shards; ++s) track(s);
@@ -93,14 +100,13 @@ void ShardedDedupIndex::Writer::add(std::uint64_t content_key,
   observation.size = size;
   observation.type = type;
   observation.first_layer = layer_index;
-  if (dedup::merge_content_entries(maps_[shard][key], observation))
-    ++conflicts_;
+  if (stores_[shard].merge(key, observation)) ++conflicts_;
   ++observations_;
   track(shard);
 }
 
 void ShardedDedupIndex::Writer::track(std::uint32_t shard) {
-  const std::uint64_t now = maps_[shard].memory_bytes();
+  const std::uint64_t now = stores_[shard].memory_bytes();
   if (now != tracked_bytes_[shard]) {
     owner_->on_occupancy_delta(
         shard, static_cast<std::int64_t>(now) -
@@ -110,26 +116,21 @@ void ShardedDedupIndex::Writer::track(std::uint32_t shard) {
   if (owner_->config_.spill_enabled() && !owner_->spill_disabled() &&
       now >= std::max(owner_->config_.spill_threshold_bytes,
                       owner_->spill_floor_) &&
-      !maps_[shard].empty()) {
+      !stores_[shard].empty()) {
     spill(shard, owner_->config_.spill_dir);
   }
 }
 
 void ShardedDedupIndex::Writer::spill(std::uint32_t shard,
                                       const std::string& dir) {
-  auto& map = maps_[shard];
+  ShardStore& store = stores_[shard];
   std::vector<RunEntry> entries;
-  entries.reserve(map.size());
-  map.for_each([&](std::uint64_t key, const dedup::ContentEntry& entry) {
-    entries.push_back(RunEntry{key, entry});
-  });
-  std::sort(entries.begin(), entries.end(),
-            [](const RunEntry& a, const RunEntry& b) { return a.key < b.key; });
+  store.collect_sorted(entries);  // already ascending — the store's contract
 
   const std::string path = owner_->next_run_path(dir, shard);
   if (auto s = write_run_file(path, owner_->config_.shards, shard, entries);
       !s.ok()) {
-    // Keep the map resident — the data is still correct, just not bounded.
+    // Keep the store resident — the data is still correct, just not bounded.
     owner_->record_spill_error(s.error());
     return;
   }
@@ -137,10 +138,7 @@ void ShardedDedupIndex::Writer::spill(std::uint32_t shard,
       kRunHeaderBytes + entries.size() * kRunEntryBytes;
   owner_->record_run(RunFile{path, shard, entries.size()}, file_bytes);
 
-  // Shrink back to the sizing hint (clear() would keep the grown table and
-  // immediately re-trip the threshold).
-  map = util::FlatMap64<dedup::ContentEntry>(
-      owner_->config_.expected_contents_per_shard);
+  store.reset();
   track(shard);
 }
 
@@ -218,18 +216,13 @@ util::Status ShardedDedupIndex::seal_into(ShardMerger& merger) {
     if (has_spill_error_) return spill_error_;
   }
   std::lock_guard<std::mutex> lock(writers_mutex_);
+  publish_art_census_locked();
   for (const auto& writer : writers_) {
     for (std::uint32_t s = 0; s < config_.shards; ++s) {
-      auto& map = writer->maps_[s];
-      if (map.empty()) continue;
+      const ShardStore& store = writer->stores_[s];
+      if (store.empty()) continue;
       std::vector<RunEntry> entries;
-      entries.reserve(map.size());
-      map.for_each([&](std::uint64_t key, const dedup::ContentEntry& entry) {
-        entries.push_back(RunEntry{key, entry});
-      });
-      std::sort(
-          entries.begin(), entries.end(),
-          [](const RunEntry& a, const RunEntry& b) { return a.key < b.key; });
+      store.collect_sorted(entries);
       merger.add_memory_run(std::move(entries));
     }
   }
@@ -242,9 +235,10 @@ util::Status ShardedDedupIndex::seal_into(ShardMerger& merger) {
 
 util::Status ShardedDedupIndex::flush_residents_to(const std::string& dir) {
   std::lock_guard<std::mutex> lock(writers_mutex_);
+  publish_art_census_locked();
   for (const auto& writer : writers_) {
     for (std::uint32_t s = 0; s < config_.shards; ++s) {
-      if (writer->maps_[s].empty()) continue;
+      if (writer->stores_[s].empty()) continue;
       writer->spill(s, dir);
     }
   }
@@ -320,6 +314,31 @@ std::uint64_t ShardedDedupIndex::observations() const {
   std::uint64_t total = 0;
   for (const auto& writer : writers_) total += writer->observations_;
   return total;
+}
+
+art::Stats ShardedDedupIndex::art_stats() const {
+  std::lock_guard<std::mutex> lock(writers_mutex_);
+  art::Stats total;
+  for (const auto& writer : writers_) {
+    for (const ShardStore& store : writer->stores_) {
+      total += store.art_stats();
+    }
+  }
+  return total;
+}
+
+void ShardedDedupIndex::publish_art_census_locked() {
+  art::Stats total;
+  for (const auto& writer : writers_) {
+    for (const ShardStore& store : writer->stores_) {
+      total += store.art_stats();
+    }
+  }
+  art_node_gauges_[0]->set(static_cast<std::int64_t>(total.node4));
+  art_node_gauges_[1]->set(static_cast<std::int64_t>(total.node16));
+  art_node_gauges_[2]->set(static_cast<std::int64_t>(total.node48));
+  art_node_gauges_[3]->set(static_cast<std::int64_t>(total.node256));
+  art_keys_gauge_->set(static_cast<std::int64_t>(total.values));
 }
 
 }  // namespace dockmine::shard

@@ -2,24 +2,29 @@
 // counterpart of dedup::FileDedupIndex).
 //
 // Content keys route to one of N shards by their top log2(N) bits. Each
-// producer thread owns a private Writer holding one small FlatMap64 per
-// shard, so concurrent routing in the streamed pipeline is lock-free: a
-// writer never shares a map with another thread, and the only cross-thread
-// traffic is relaxed occupancy accounting. When a writer's map for some
-// shard grows past the spill threshold, the map is frozen to a sorted,
-// checksummed run file (run_format.h) and reset — bounding resident memory
-// per (writer, shard) regardless of how many distinct contents flow
-// through. seal_into() hands every resident map and every spilled run to a
-// ShardMerger, whose commutative/associative fold reconstructs the exact
-// monolithic aggregates; export_shard_set() instead freezes everything to a
-// manifest-described directory another process or node can merge later.
+// producer thread owns a private Writer holding one small ShardStore per
+// shard (FlatMap64 or ART, see store.h), so concurrent routing in the
+// streamed pipeline is lock-free: a writer never shares a store with
+// another thread, and the only cross-thread traffic is relaxed occupancy
+// accounting. When a writer's store for some shard grows past the spill
+// threshold, the store is frozen to a sorted, checksummed run file
+// (run_format.h) and reset — bounding resident memory per (writer, shard)
+// regardless of how many distinct contents flow through. Run entries leave
+// the store already in ascending key order (the store's contract); this
+// file contains no sort. seal_into() hands every resident store and every
+// spilled run to a ShardMerger, whose commutative/associative fold
+// reconstructs the exact monolithic aggregates; export_shard_set() instead
+// freezes everything to a manifest-described directory another process or
+// node can merge later.
 //
 // Observability (off by default, like all obs instruments):
 //   dockmine_shard_occupancy_bytes{shard="K"}  resident bytes per shard
 //   dockmine_shard_resident_bytes / _resident_peak_bytes
 //   dockmine_shard_spills_total / _spilled_entries_total / _spilled_bytes_total
+//   dockmine_art_nodes{kind="4|16|48|256"}     ART node census at seal time
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <memory>
@@ -32,8 +37,8 @@
 #include "dockmine/filetype/taxonomy.h"
 #include "dockmine/obs/obs.h"
 #include "dockmine/shard/run_format.h"
+#include "dockmine/shard/store.h"
 #include "dockmine/util/error.h"
-#include "dockmine/util/flat_map.h"
 
 namespace dockmine::shard {
 
@@ -52,8 +57,12 @@ struct Config {
   /// Directory for spill run files; empty disables spilling.
   std::string spill_dir;
 
-  /// Initial sizing hint for each writer-shard map.
+  /// Initial sizing hint for each writer-shard store.
   std::size_t expected_contents_per_shard = 64;
+
+  /// Per-(writer, shard) store implementation. kDefault resolves from the
+  /// DOCKMINE_SHARD_INDEX environment variable, falling back to the ART.
+  IndexBackend backend = IndexBackend::kDefault;
 
   bool enabled() const noexcept { return shards != 0; }
   bool spill_enabled() const noexcept {
@@ -96,7 +105,7 @@ class ShardedDedupIndex {
     void spill(std::uint32_t shard, const std::string& dir);
 
     ShardedDedupIndex* owner_;
-    std::vector<util::FlatMap64<dedup::ContentEntry>> maps_;
+    std::vector<ShardStore> stores_;
     std::vector<std::uint64_t> tracked_bytes_;  ///< last memory pushed to owner
     std::uint64_t observations_ = 0;
     std::uint64_t conflicts_ = 0;
@@ -127,8 +136,16 @@ class ShardedDedupIndex {
   /// Size/type conflicts observed by writers so far (quiesced threads only).
   std::uint64_t metadata_conflicts() const;
   std::uint64_t observations() const;
+  /// Aggregate ART node census across all writers (all-zero for the map
+  /// backend). Quiesced producers only.
+  art::Stats art_stats() const;
   const Config& config() const noexcept { return config_; }
   std::uint32_t shards() const noexcept { return config_.shards; }
+  /// The resolved (concrete) store backend.
+  IndexBackend backend() const noexcept { return config_.backend; }
+  /// Effective minimum store footprint before a spill triggers, whatever
+  /// the configured threshold says.
+  std::uint64_t spill_floor() const noexcept { return spill_floor_; }
 
  private:
   struct RunFile {
@@ -144,13 +161,15 @@ class ShardedDedupIndex {
   bool spill_disabled() const noexcept {
     return spill_failed_.load(std::memory_order_relaxed);
   }
-  /// Flush every writer's resident maps as run files into `dir`.
+  /// Flush every writer's resident stores as run files into `dir`.
   util::Status flush_residents_to(const std::string& dir);
+  /// Publish the ART node census to the obs gauges (writers_mutex_ held).
+  void publish_art_census_locked();
 
   Config config_;
   std::uint32_t shift_ = 64;       ///< 64 - log2(shards); 64 means 1 shard
   std::uint64_t generation_ = 0;   ///< process-unique instance id
-  std::uint64_t spill_floor_ = 0;  ///< min map bytes before a spill triggers
+  std::uint64_t spill_floor_ = 0;  ///< min store bytes before a spill triggers
 
   mutable std::mutex writers_mutex_;
   std::vector<std::unique_ptr<Writer>> writers_;
@@ -170,6 +189,8 @@ class ShardedDedupIndex {
   std::atomic<std::uint64_t> spilled_bytes_{0};
 
   std::vector<obs::Gauge*> occupancy_gauges_;
+  std::array<obs::Gauge*, 4> art_node_gauges_{};  ///< kind 4/16/48/256
+  obs::Gauge* art_keys_gauge_ = nullptr;
   obs::Gauge* resident_gauge_ = nullptr;
   obs::Gauge* peak_gauge_ = nullptr;
   obs::Counter* spill_counter_ = nullptr;

@@ -23,23 +23,24 @@ constexpr std::size_t kPrefixOff = 345, kPrefixLen = 155;
 
 constexpr char kMagic[8] = {'u', 's', 't', 'a', 'r', '\0', '0', '0'};
 
-std::string read_c_string(std::string_view block, std::size_t off,
-                          std::size_t len) {
+std::string_view c_string_view(std::string_view block, std::size_t off,
+                               std::size_t len) {
   const std::string_view field = block.substr(off, len);
   const std::size_t end = field.find('\0');
-  return std::string(field.substr(0, end == std::string_view::npos ? len : end));
+  return field.substr(0, end == std::string_view::npos ? len : end);
 }
 
 std::uint32_t header_checksum(std::string_view block) {
+  // Branch-free so the whole-block sum vectorizes: add every byte, then
+  // swap the checksum field's contribution for the spaces it counts as.
   std::uint32_t sum = 0;
   for (std::size_t i = 0; i < kBlockSize; ++i) {
-    // The checksum field itself counts as spaces.
-    const bool in_chksum = i >= kChksumOff && i < kChksumOff + kChksumLen;
-    sum += in_chksum ? 0x20u
-                     : static_cast<std::uint32_t>(
-                           static_cast<unsigned char>(block[i]));
+    sum += static_cast<unsigned char>(block[i]);
   }
-  return sum;
+  for (std::size_t i = kChksumOff; i < kChksumOff + kChksumLen; ++i) {
+    sum -= static_cast<unsigned char>(block[i]);
+  }
+  return sum + kChksumLen * 0x20u;
 }
 
 }  // namespace
@@ -111,7 +112,7 @@ bool is_zero_block(std::string_view block) noexcept {
   return true;
 }
 
-util::Result<Header> decode_header(std::string_view block) {
+util::Status decode_header_into(std::string_view block, Header& header) {
   if (block.size() != kBlockSize) {
     return util::corrupt("tar header block must be 512 bytes");
   }
@@ -124,11 +125,18 @@ util::Result<Header> decode_header(std::string_view block) {
     return util::corrupt("tar header checksum mismatch");
   }
 
-  Header header;
-  header.name = read_c_string(block, kNameOff, kNameLen);
+  const std::string_view name = c_string_view(block, kNameOff, kNameLen);
   // ustar prefix field extends names to 255 chars.
-  const std::string prefix = read_c_string(block, kPrefixOff, kPrefixLen);
-  if (!prefix.empty()) header.name = prefix + "/" + header.name;
+  const std::string_view prefix = c_string_view(block, kPrefixOff, kPrefixLen);
+  if (prefix.empty()) {
+    header.name.assign(name);
+  } else {
+    header.name.clear();
+    header.name.reserve(prefix.size() + 1 + name.size());
+    header.name.append(prefix);
+    header.name.push_back('/');
+    header.name.append(name);
+  }
 
   auto mode = read_octal(block.substr(kModeOff, kModeLen));
   if (!mode.ok()) return std::move(mode).error();
@@ -144,9 +152,15 @@ util::Result<Header> decode_header(std::string_view block) {
 
   const char type = block[kTypeOff];
   header.type = type == '\0' ? EntryType::kFile : static_cast<EntryType>(type);
-  header.linkname = read_c_string(block, kLinkOff, kLinkLen);
-  header.uname = read_c_string(block, kUnameOff, kUnameLen);
-  header.gname = read_c_string(block, kGnameOff, kGnameLen);
+  header.linkname.assign(c_string_view(block, kLinkOff, kLinkLen));
+  header.uname.assign(c_string_view(block, kUnameOff, kUnameLen));
+  header.gname.assign(c_string_view(block, kGnameOff, kGnameLen));
+  return util::Status::success();
+}
+
+util::Result<Header> decode_header(std::string_view block) {
+  Header header;
+  if (auto s = decode_header_into(block, header); !s.ok()) return s.error();
   return header;
 }
 

@@ -49,6 +49,12 @@ void encode_header(const Header& header, std::string& out);
 /// a checksum mismatch yields kCorrupt.
 util::Result<Header> decode_header(std::string_view block);
 
+/// Allocation-reusing variant: decodes into `header`, assigning over its
+/// string fields so a caller looping over millions of entries amortizes
+/// their capacity instead of paying four heap allocations per entry. On
+/// failure `header` is unspecified. Same error contract as decode_header.
+util::Status decode_header_into(std::string_view block, Header& header);
+
 /// True if the 512 bytes are all zero.
 bool is_zero_block(std::string_view block) noexcept;
 

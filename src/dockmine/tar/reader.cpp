@@ -9,32 +9,31 @@ bool Entry::is_whiteout() const noexcept {
   return name.substr(0, 4) == ".wh.";
 }
 
-util::Result<std::optional<Entry>> Reader::next() {
+util::Result<bool> Reader::next(Entry& out) {
   if (failed_) return util::corrupt("reader in failed state");
-  std::string pending_long_name;
+  bool have_long_name = false;
   for (;;) {
     if (pos_ + kBlockSize > archive_.size()) {
       // Clean end without the zero-block trailer is tolerated (some writers
       // truncate); mid-header garbage is not.
-      if (pos_ == archive_.size()) return std::optional<Entry>{};
+      if (pos_ == archive_.size()) return false;
       failed_ = true;
       return util::corrupt("trailing partial block in tar stream");
     }
     const std::string_view block = archive_.substr(pos_, kBlockSize);
     if (is_zero_block(block)) {
       // End marker: two zero blocks; accept one as well.
-      return std::optional<Entry>{};
+      return false;
     }
-    auto header = decode_header(block);
-    if (!header.ok()) {
+    if (auto s = decode_header_into(block, out.header); !s.ok()) {
       failed_ = true;
-      return std::move(header).error();
+      return s.error();
     }
     pos_ += kBlockSize;
 
-    const std::uint64_t body_size = header.value().size;
-    const bool has_body = header.value().type == EntryType::kFile ||
-                          header.value().type == EntryType::kGnuLongName;
+    const std::uint64_t body_size = out.header.size;
+    const bool has_body = out.header.type == EntryType::kFile ||
+                          out.header.type == EntryType::kGnuLongName;
     const std::uint64_t stored = has_body ? body_size : 0;
     if (pos_ + stored > archive_.size()) {
       failed_ = true;
@@ -44,18 +43,27 @@ util::Result<std::optional<Entry>> Reader::next() {
     pos_ += stored + padding_for(stored);
     if (pos_ > archive_.size()) pos_ = archive_.size();
 
-    if (header.value().type == EntryType::kGnuLongName) {
+    if (out.header.type == EntryType::kGnuLongName) {
       // Body holds the real name (NUL-terminated) of the *next* entry.
-      pending_long_name = std::string(body.substr(0, body.find('\0')));
+      long_name_.assign(body.substr(0, body.find('\0')));
+      have_long_name = true;
       continue;
     }
 
-    Entry entry{std::move(header).value(), body};
-    if (!pending_long_name.empty()) {
-      entry.header.name = std::move(pending_long_name);
-    }
-    return std::optional<Entry>{std::move(entry)};
+    out.content = body;
+    // Swap rather than assign: the displaced short name's capacity becomes
+    // next round's long-name scratch.
+    if (have_long_name) out.header.name.swap(long_name_);
+    return true;
   }
+}
+
+util::Result<std::optional<Entry>> Reader::next() {
+  Entry entry;
+  auto got = next(entry);
+  if (!got.ok()) return std::move(got).error();
+  if (!got.value()) return std::optional<Entry>{};
+  return std::optional<Entry>{std::move(entry)};
 }
 
 }  // namespace dockmine::tar

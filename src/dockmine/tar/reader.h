@@ -40,15 +40,23 @@ class Reader {
   /// refuses to continue.
   util::Result<std::optional<Entry>> next();
 
-  /// Convenience: iterate all entries, invoking `fn(entry)`.
-  /// Stops early and returns the error on corruption.
+  /// Allocation-reusing variant: decodes into `out` (assigning over its
+  /// header strings, so a caller looping with one Entry amortizes their
+  /// capacity) and returns true, or false at end of archive. Same error
+  /// contract as next().
+  util::Result<bool> next(Entry& out);
+
+  /// Convenience: iterate all entries, invoking `fn(entry)`. The Entry is
+  /// reused between calls — `fn` must copy anything it retains. Stops
+  /// early and returns the error on corruption.
   template <typename Fn>
   util::Status for_each(Fn&& fn) {
+    Entry entry;
     for (;;) {
-      auto entry = next();
-      if (!entry.ok()) return std::move(entry).error();
-      if (!entry.value().has_value()) return util::Status::success();
-      fn(*entry.value());
+      auto got = next(entry);
+      if (!got.ok()) return std::move(got).error();
+      if (!got.value()) return util::Status::success();
+      fn(entry);
     }
   }
 
@@ -56,6 +64,7 @@ class Reader {
   std::string_view archive_;
   std::size_t pos_ = 0;
   bool failed_ = false;
+  std::string long_name_;  ///< reused GNU 'L' scratch across entries
 };
 
 }  // namespace dockmine::tar

@@ -1,0 +1,213 @@
+// Arena invariants: reset/reuse semantics, the no-escape lifetime rule
+// (enforced by ASan poisoning when available), per-thread isolation under
+// TSan, and the obs peak-residency gauge.
+#include "dockmine/mem/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dockmine/obs/obs.h"
+
+#if defined(__SANITIZE_ADDRESS__)
+#define ARENA_TEST_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define ARENA_TEST_ASAN 1
+#endif
+#endif
+
+#if defined(ARENA_TEST_ASAN)
+#include <sanitizer/asan_interface.h>
+#endif
+
+namespace dockmine::mem {
+namespace {
+
+TEST(ArenaTest, FreshArenaIsEmpty) {
+  Arena arena;
+  EXPECT_EQ(arena.bytes_used(), 0u);
+  EXPECT_EQ(arena.high_water(), 0u);
+  EXPECT_EQ(arena.resets(), 0u);
+}
+
+TEST(ArenaTest, AllocateBumpsAndAligns) {
+  Arena arena;
+  void* a = arena.allocate(1, 1);
+  ASSERT_NE(a, nullptr);
+  void* b = arena.allocate(8, 8);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) % 8, 0u);
+  void* c = arena.allocate(64, 64);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(c) % 64, 0u);
+  EXPECT_GE(arena.bytes_used(), 1u + 8u + 64u);
+  // Distinct live allocations never alias.
+  EXPECT_NE(a, b);
+  EXPECT_NE(b, c);
+}
+
+TEST(ArenaTest, ResetReturnsUsedToZeroAndReusesCapacity) {
+  Arena arena(1024);
+  (void)arena.allocate(500);
+  ASSERT_GE(arena.bytes_used(), 500u);
+  const std::size_t reserved = arena.bytes_reserved();
+  arena.reset();
+  EXPECT_EQ(arena.bytes_used(), 0u);
+  EXPECT_EQ(arena.resets(), 1u);
+  // Capacity is retained, not freed: the next unit reuses the same block.
+  EXPECT_EQ(arena.bytes_reserved(), reserved);
+  void* again = arena.allocate(500);
+  ASSERT_NE(again, nullptr);
+  EXPECT_EQ(arena.bytes_reserved(), reserved) << "steady state must not grow";
+}
+
+TEST(ArenaTest, HighWaterTracksMaxAcrossResets) {
+  Arena arena(1024);
+  (void)arena.allocate(300);
+  arena.reset();
+  EXPECT_EQ(arena.high_water(), arena.bytes_used() + 300u);
+  (void)arena.allocate(100);
+  arena.reset();
+  EXPECT_GE(arena.high_water(), 300u) << "high water is a max, not last-unit";
+  (void)arena.allocate(5000);
+  EXPECT_GE(arena.high_water(), 5000u);
+}
+
+TEST(ArenaTest, OverflowGrowsThenResetCoalesces) {
+  Arena arena(1024);
+  // Overflow the first block several times within one unit.
+  for (int i = 0; i < 40; ++i) (void)arena.allocate(1000);
+  const std::size_t high = arena.high_water();
+  ASSERT_GE(high, 40u * 1000u);
+  arena.reset();
+  // The retained capacity must hold the whole observed working set so the
+  // steady state bumps within a single block.
+  EXPECT_GE(arena.bytes_reserved(), high);
+  const std::size_t reserved = arena.bytes_reserved();
+  for (int i = 0; i < 40; ++i) (void)arena.allocate(1000);
+  EXPECT_EQ(arena.bytes_reserved(), reserved) << "re-split after coalesce";
+}
+
+TEST(ArenaTest, InternCopiesBytes) {
+  Arena arena;
+  std::string source = "var/lib/docker";
+  const std::string_view interned = arena.intern(source);
+  source.assign("XXXXXXXXXXXXXX");  // mutating the source must not matter
+  EXPECT_EQ(interned, "var/lib/docker");
+  EXPECT_TRUE(arena.intern("").empty());
+  // Binary safety: embedded zero bytes survive.
+  const std::string_view blob = arena.intern(std::string_view("a\0b", 3));
+  ASSERT_EQ(blob.size(), 3u);
+  EXPECT_EQ(blob[1], '\0');
+}
+
+TEST(ArenaTest, CreateConstructsTriviallyDestructibleTypes) {
+  struct Pod {
+    std::uint64_t a;
+    std::uint32_t b;
+  };
+  Arena arena;
+  Pod* pod = arena.create<Pod>(Pod{7, 9});
+  ASSERT_NE(pod, nullptr);
+  EXPECT_EQ(pod->a, 7u);
+  EXPECT_EQ(pod->b, 9u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(pod) % alignof(Pod), 0u);
+}
+
+TEST(ArenaTest, AllocatorWorksWithStdContainers) {
+  Arena arena;
+  using Alloc = ArenaAllocator<std::pair<const std::string_view, int>>;
+  std::map<std::string_view, int, std::less<>, Alloc> map{std::less<>{},
+                                                          Alloc(arena)};
+  for (int i = 0; i < 100; ++i) {
+    map.emplace(arena.intern("key" + std::to_string(i)), i);
+  }
+  EXPECT_EQ(map.size(), 100u);
+  EXPECT_EQ(map.find("key42")->second, 42);
+  EXPECT_GE(arena.bytes_used(), 100 * sizeof(std::pair<std::string_view, int>));
+
+  std::vector<int, ArenaAllocator<int>> vec{ArenaAllocator<int>(arena)};
+  for (int i = 0; i < 1000; ++i) vec.push_back(i);
+  EXPECT_EQ(vec[999], 999);
+}
+
+// The lifetime rule (DESIGN.md §14): nothing survives reset(). Under ASan
+// the retained block is poisoned, so a stale pointer is not just invalid
+// by contract but actively faults — this test proves the poison is armed.
+TEST(ArenaTest, ResetPoisonsRetainedCapacityUnderAsan) {
+#if defined(ARENA_TEST_ASAN)
+  Arena arena(1024);
+  char* stale = static_cast<char*>(arena.allocate(64));
+  std::memset(stale, 0xAB, 64);
+  EXPECT_FALSE(__asan_address_is_poisoned(stale));
+  arena.reset();
+  EXPECT_TRUE(__asan_address_is_poisoned(stale))
+      << "stale pointer must fault after reset, not read recycled scratch";
+  // Fresh allocations from the recycled block are unpoisoned again.
+  char* fresh = static_cast<char*>(arena.allocate(64));
+  EXPECT_FALSE(__asan_address_is_poisoned(fresh));
+  std::memset(fresh, 0xCD, 64);
+#else
+  GTEST_SKIP() << "AddressSanitizer not enabled in this build";
+#endif
+}
+
+// Per-thread arenas share only the process-wide peak publication (a relaxed
+// atomic); everything else is thread-private. Run a hammer so TSan can
+// certify there is no hidden sharing.
+TEST(ArenaTest, PerThreadArenasAreIsolated) {
+  constexpr int kThreads = 4;
+  constexpr int kUnits = 200;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      Arena arena(2048);
+      for (int unit = 0; unit < kUnits; ++unit) {
+        std::vector<std::string_view> mine;
+        for (int i = 0; i < 50; ++i) {
+          const std::string value =
+              "t" + std::to_string(t) + "u" + std::to_string(unit) + "i" +
+              std::to_string(i);
+          mine.push_back(arena.intern(value));
+        }
+        // Verify under concurrency: another thread corrupting our block
+        // would break these equalities.
+        for (int i = 0; i < 50; ++i) {
+          const std::string want =
+              "t" + std::to_string(t) + "u" + std::to_string(unit) + "i" +
+              std::to_string(i);
+          ASSERT_EQ(mine[static_cast<std::size_t>(i)], want);
+        }
+        arena.reset();
+        ASSERT_EQ(arena.bytes_used(), 0u);
+      }
+      ASSERT_EQ(arena.resets(), static_cast<std::uint64_t>(kUnits));
+    });
+  }
+  for (auto& thread : threads) thread.join();
+}
+
+TEST(ArenaTest, ObsGaugeTracksPeakResidency) {
+  auto& registry = obs::Registry::global();
+  obs::set_enabled(true);
+  auto& peak = registry.gauge("dockmine_arena_peak_bytes");
+  auto& resets = registry.counter("dockmine_arena_resets_total");
+  const std::uint64_t resets_before = resets.value();
+
+  Arena arena;
+  (void)arena.allocate(100000);
+  arena.reset();  // metrics publish at unit boundaries
+
+  EXPECT_GE(peak.value(), 100000) << "peak gauge must cover the high water";
+  EXPECT_GE(resets.value(), resets_before + 1);
+  obs::set_enabled(false);
+}
+
+}  // namespace
+}  // namespace dockmine::mem

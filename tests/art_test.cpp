@@ -1,0 +1,343 @@
+// Differential test of the adaptive radix tree against a std::map oracle.
+//
+// The ART's contract is exactly std::map<std::string, V>'s observable
+// behavior: operator[] find-or-insert, erase-by-key, and in-order
+// (lexicographic) iteration. Every suite here drives both structures with
+// the same operation stream and asserts they never diverge — including key
+// shapes chosen to force each node representation (4 -> 16 -> 48 -> 256
+// and back down), both prefix-compression split paths, and adversarial
+// keys (long shared prefixes, embedded zero bytes, prefix-of-another).
+#include "dockmine/art/art.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dockmine/util/rng.h"
+
+namespace dockmine::art {
+namespace {
+
+using Oracle = std::map<std::string, std::uint64_t>;
+
+/// Assert identical contents via in-order iteration: same keys, same
+/// values, same order.
+void expect_matches(const Art<std::uint64_t>& tree, const Oracle& oracle) {
+  ASSERT_EQ(tree.size(), oracle.size());
+  auto expect = oracle.begin();
+  std::string previous;
+  bool first = true;
+  tree.for_each([&](std::string_view key, const std::uint64_t& value) {
+    ASSERT_NE(expect, oracle.end());
+    EXPECT_EQ(key, expect->first);
+    EXPECT_EQ(value, expect->second);
+    if (!first) {
+      EXPECT_LT(previous, std::string(key)) << "iteration out of order";
+    }
+    previous.assign(key);
+    first = false;
+    ++expect;
+  });
+  EXPECT_EQ(expect, oracle.end());
+}
+
+TEST(ArtTest, EmptyTree) {
+  Art<std::uint64_t> tree;
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.find("anything"), nullptr);
+  EXPECT_FALSE(tree.erase("anything"));
+  std::size_t visited = 0;
+  tree.for_each([&](std::string_view, const std::uint64_t&) { ++visited; });
+  EXPECT_EQ(visited, 0u);
+  EXPECT_EQ(tree.memory_bytes(), 0u);
+}
+
+TEST(ArtTest, InsertFindRoundTrip) {
+  Art<std::uint64_t> tree;
+  tree["alpha"] = 1;
+  tree["beta"] = 2;
+  tree[""] = 3;  // empty key terminates at the root
+  ASSERT_NE(tree.find("alpha"), nullptr);
+  EXPECT_EQ(*tree.find("alpha"), 1u);
+  ASSERT_NE(tree.find(""), nullptr);
+  EXPECT_EQ(*tree.find(""), 3u);
+  EXPECT_EQ(tree.find("alph"), nullptr);
+  EXPECT_EQ(tree.find("alphaa"), nullptr);
+  EXPECT_EQ(tree.size(), 3u);
+  tree["alpha"] = 9;  // overwrite, not duplicate
+  EXPECT_EQ(tree.size(), 3u);
+  EXPECT_EQ(*tree.find("alpha"), 9u);
+}
+
+// Split path A: inserting a key that terminates exactly at the split point
+// of an existing compressed prefix ("romane" then "roman").
+TEST(ArtTest, PrefixSplitAtKeyEnd) {
+  Art<std::uint64_t> tree;
+  Oracle oracle;
+  tree["romane"] = 1;
+  oracle["romane"] = 1;
+  tree["roman"] = 2;  // proper prefix of an existing key
+  oracle["roman"] = 2;
+  expect_matches(tree, oracle);
+  tree["rom"] = 3;
+  oracle["rom"] = 3;
+  expect_matches(tree, oracle);
+}
+
+// Split path B: inserting a key that diverges mid-prefix, creating a new
+// parent with two children ("romane" then "romulus").
+TEST(ArtTest, PrefixSplitDiverging) {
+  Art<std::uint64_t> tree;
+  Oracle oracle;
+  for (const char* key : {"romane", "romulus", "rubens", "ruber",
+                          "rubicon", "rubicundus"}) {
+    tree[key] = oracle[key] = static_cast<std::uint64_t>(oracle.size());
+  }
+  expect_matches(tree, oracle);
+}
+
+TEST(ArtTest, NodeGrowthThroughEveryRepresentation) {
+  Art<std::uint64_t> tree;
+  Oracle oracle;
+  // 256 distinct first bytes under one root: 4 -> 16 -> 48 -> 256.
+  for (int byte = 0; byte < 256; ++byte) {
+    std::string key;
+    key.push_back(static_cast<char>(byte));
+    key += "tail";
+    tree[key] = oracle[key] = static_cast<std::uint64_t>(byte);
+    // Check continuously so each transition is exercised, not just the end
+    // state.
+    if (byte == 3 || byte == 4 || byte == 15 || byte == 16 || byte == 47 ||
+        byte == 48 || byte == 255) {
+      expect_matches(tree, oracle);
+    }
+  }
+  const Stats stats = tree.stats();
+  EXPECT_EQ(stats.node256, 1u) << "root should have grown to Node256";
+  EXPECT_EQ(stats.values, 256u);
+
+  // And back down: erase to below each shrink threshold.
+  std::vector<std::string> keys;
+  for (const auto& [key, value] : oracle) keys.push_back(key);
+  for (const auto& key : keys) {
+    ASSERT_TRUE(tree.erase(key));
+    oracle.erase(key);
+    if (oracle.size() == 40 || oracle.size() == 12 || oracle.size() == 3 ||
+        oracle.size() == 1) {
+      expect_matches(tree, oracle);
+    }
+  }
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.memory_bytes(), 0u);
+}
+
+TEST(ArtTest, SharedLongPrefixKeys) {
+  // 48-byte shared prefix: path compression must hold the run, and the
+  // first diverging byte must split it correctly.
+  const std::string prefix(48, 'p');
+  Art<std::uint64_t> tree;
+  Oracle oracle;
+  for (int i = 0; i < 64; ++i) {
+    const std::string key = prefix + "/" + std::to_string(i);
+    tree[key] = oracle[key] = static_cast<std::uint64_t>(i);
+  }
+  // The prefix itself, and a key that diverges inside the run.
+  tree[prefix] = oracle[prefix] = 1000;
+  const std::string diverging = prefix.substr(0, 20) + "X";
+  tree[diverging] = oracle[diverging] = 1001;
+  expect_matches(tree, oracle);
+  EXPECT_GT(tree.stats().prefix_bytes, 40u);
+}
+
+TEST(ArtTest, EmbeddedZeroBytes) {
+  Art<std::uint64_t> tree;
+  Oracle oracle;
+  const std::string keys[] = {
+      std::string("a\0b", 3),   std::string("a\0", 2),
+      std::string("a", 1),      std::string("\0", 1),
+      std::string("\0\0", 2),   std::string("a\0c", 3),
+      std::string("\0a", 2),    std::string(),
+  };
+  std::uint64_t next = 0;
+  for (const auto& key : keys) {
+    tree[key] = oracle[key] = next++;
+  }
+  expect_matches(tree, oracle);
+  for (const auto& key : keys) {
+    ASSERT_NE(tree.find(key), nullptr) << "zero-byte key lost";
+  }
+  ASSERT_TRUE(tree.erase(std::string("a\0", 2)));
+  oracle.erase(std::string("a\0", 2));
+  expect_matches(tree, oracle);
+}
+
+TEST(ArtTest, EraseMergesSingleChildChains) {
+  Art<std::uint64_t> tree;
+  Oracle oracle;
+  tree["abcdef"] = oracle["abcdef"] = 1;
+  tree["abcxyz"] = oracle["abcxyz"] = 2;
+  tree["abc"] = oracle["abc"] = 3;
+  // Removing the middle value and one branch must re-compress the chain.
+  ASSERT_TRUE(tree.erase("abc"));
+  oracle.erase("abc");
+  expect_matches(tree, oracle);
+  ASSERT_TRUE(tree.erase("abcxyz"));
+  oracle.erase("abcxyz");
+  expect_matches(tree, oracle);
+  // Single remaining key should live in a single re-merged node.
+  EXPECT_EQ(tree.stats().nodes(), 1u);
+  ASSERT_TRUE(tree.erase("abcdef"));
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.memory_bytes(), 0u);
+}
+
+TEST(ArtTest, Key64EncodingOrdersNumerically) {
+  // Big-endian keys: lexicographic byte order == numeric u64 order.
+  const std::uint64_t values[] = {0,
+                                  1,
+                                  0xff,
+                                  0x100,
+                                  0x123456789abcdef0ULL,
+                                  0x8000000000000000ULL,
+                                  ~0ULL};
+  Art64<std::uint64_t> tree;
+  for (std::uint64_t v : values) tree[v] = v;
+  std::uint64_t previous = 0;
+  bool first = true;
+  std::size_t count = 0;
+  tree.for_each([&](std::uint64_t key, const std::uint64_t& value) {
+    EXPECT_EQ(key, value) << "decode must invert encode";
+    if (!first) {
+      EXPECT_LT(previous, key);
+    }
+    previous = key;
+    first = false;
+    ++count;
+  });
+  EXPECT_EQ(count, std::size(values));
+}
+
+/// One randomized differential run: interleaved insert/lookup/erase against
+/// the oracle, with periodic full-iteration checks.
+void differential_run(std::uint64_t seed) {
+  util::Rng rng(seed);
+  Art<std::uint64_t> tree;
+  Oracle oracle;
+
+  // Key generator biased toward collisions and structure: a small alphabet
+  // over short fragments makes shared prefixes, prefix-of-key pairs, and
+  // dense branch bytes all common.
+  auto random_key = [&] {
+    std::string key;
+    const std::uint64_t fragments = rng.uniform(7);
+    for (std::uint64_t f = 0; f < fragments; ++f) {
+      switch (rng.uniform(4)) {
+        case 0: key += "usr"; break;
+        case 1: key += "/"; break;
+        case 2: key.push_back(static_cast<char>(rng.uniform(256))); break;
+        default:
+          key.push_back(static_cast<char>('a' + rng.uniform(4)));
+          break;
+      }
+    }
+    return key;
+  };
+
+  std::vector<std::string> live;  // sample of inserted keys for hit-heavy ops
+  for (int op = 0; op < 20000; ++op) {
+    const std::uint64_t kind = rng.uniform(100);
+    if (kind < 50) {  // insert / overwrite
+      const std::string key = random_key();
+      const std::uint64_t value = rng();
+      tree[key] = value;
+      oracle[key] = value;
+      live.push_back(key);
+    } else if (kind < 75) {  // lookup (mix of hits and misses)
+      const std::string key = !live.empty() && rng.uniform(2) == 0
+                                  ? live[rng.uniform(live.size())]
+                                  : random_key();
+      const std::uint64_t* got = tree.find(key);
+      auto expect = oracle.find(key);
+      if (expect == oracle.end()) {
+        EXPECT_EQ(got, nullptr) << "phantom key: " << testing::PrintToString(key);
+      } else {
+        ASSERT_NE(got, nullptr) << "lost key: " << testing::PrintToString(key);
+        EXPECT_EQ(*got, expect->second);
+      }
+    } else {  // erase (mix of present and absent)
+      const std::string key = !live.empty() && rng.uniform(3) != 0
+                                  ? live[rng.uniform(live.size())]
+                                  : random_key();
+      EXPECT_EQ(tree.erase(key), oracle.erase(key) > 0)
+          << "erase disagreement: " << testing::PrintToString(key);
+    }
+    if (op % 2500 == 2499) expect_matches(tree, oracle);
+  }
+  expect_matches(tree, oracle);
+
+  // Drain completely through erase; memory accounting must return to zero.
+  std::vector<std::string> remaining;
+  for (const auto& [key, value] : oracle) remaining.push_back(key);
+  for (const auto& key : remaining) {
+    ASSERT_TRUE(tree.erase(key));
+  }
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.memory_bytes(), 0u);
+}
+
+TEST(ArtDifferentialTest, Seed1) { differential_run(0xD0C1); }
+TEST(ArtDifferentialTest, Seed2) { differential_run(0xD0C2); }
+TEST(ArtDifferentialTest, Seed3) { differential_run(0xD0C3); }
+
+TEST(ArtDifferentialTest, U64KeyStream) {
+  // The shard workload shape: u64 content keys via Art64, against a u64
+  // oracle. Clustered keys (shared high bytes) exercise compression.
+  util::Rng rng(0xA57);
+  Art64<std::uint64_t> tree;
+  std::map<std::uint64_t, std::uint64_t> oracle;
+  for (int op = 0; op < 30000; ++op) {
+    // Half the keys share a 4-byte cluster prefix, half are uniform.
+    const std::uint64_t key = rng.uniform(2) == 0
+                                  ? (0xDEADBEEF00000000ULL | rng.uniform(0x10000))
+                                  : rng();
+    if (rng.uniform(4) == 0) {
+      EXPECT_EQ(tree.erase(key), oracle.erase(key) > 0);
+    } else {
+      tree[key] += 1;
+      oracle[key] += 1;
+    }
+  }
+  ASSERT_EQ(tree.size(), oracle.size());
+  auto expect = oracle.begin();
+  tree.for_each([&](std::uint64_t key, const std::uint64_t& value) {
+    ASSERT_NE(expect, oracle.end());
+    EXPECT_EQ(key, expect->first);
+    EXPECT_EQ(value, expect->second);
+    ++expect;
+  });
+  EXPECT_EQ(expect, oracle.end());
+}
+
+TEST(ArtTest, StatsCensusIsConsistent) {
+  Art<std::uint64_t> tree;
+  for (int i = 0; i < 1000; ++i) {
+    tree["key/" + std::to_string(i)] = static_cast<std::uint64_t>(i);
+  }
+  const Stats stats = tree.stats();
+  EXPECT_EQ(stats.values, 1000u);
+  EXPECT_GT(stats.nodes(), 0u);
+  EXPECT_GT(tree.memory_bytes(), 0u);
+  Stats sum;
+  sum += stats;
+  sum += stats;
+  EXPECT_EQ(sum.values, 2000u);
+  EXPECT_EQ(sum.nodes(), 2 * stats.nodes());
+}
+
+}  // namespace
+}  // namespace dockmine::art
