@@ -12,6 +12,7 @@
 #include <map>
 
 #include "common.h"
+#include "dockmine/art/art.h"
 #include "dockmine/core/pipeline.h"
 #include "dockmine/json/json.h"
 #include "dockmine/mem/arena.h"
@@ -299,6 +300,83 @@ int main(int argc, char** argv) {
         art_bytes_per_key);
   }
 
+  // Node16 key probe: the inner-loop byte search of every ART descent,
+  // scalar linear scan vs the branchless SSE2 compare+movemask used by
+  // Node::child. Same probe stream through both; the checksums must agree
+  // (the art_test differential pins correctness, this pins the price).
+  double probe_scalar_ms = 0.0, probe_simd_ms = 0.0;
+  {
+    constexpr std::size_t kProbeNodes = 4096;
+    constexpr std::size_t kProbesPerNode = 64;
+    constexpr int kProbeWarmup = 2;
+    constexpr int kProbeReps = 12;
+    struct ProbeNode {
+      std::uint8_t keys[16];
+      std::uint16_t count;
+    };
+    util::Rng rng(0xA27B5);
+    std::vector<ProbeNode> nodes(kProbeNodes);
+    std::vector<std::uint8_t> probes(kProbeNodes * kProbesPerNode);
+    for (auto& node : nodes) {
+      node.count = static_cast<std::uint16_t>(5 + rng.uniform(12));  // 5..16
+      for (std::size_t k = 0; k < 16; ++k) {
+        node.keys[k] = static_cast<std::uint8_t>(rng());
+      }
+    }
+    // ~half the probes hit a stored key, half miss — real descents see both.
+    for (std::size_t i = 0; i < probes.size(); ++i) {
+      const ProbeNode& node = nodes[i % kProbeNodes];
+      probes[i] = (i & 1) ? node.keys[rng.uniform(node.count)]
+                          : static_cast<std::uint8_t>(rng());
+    }
+    auto sweep = [&](auto&& find) {
+      std::int64_t checksum = 0;
+      for (std::size_t i = 0; i < probes.size(); ++i) {
+        const ProbeNode& node = nodes[i % kProbeNodes];
+        checksum += find(node.keys, node.count, probes[i]);
+      }
+      return checksum;
+    };
+    auto time_best = [&](auto&& find, std::int64_t& checksum) {
+      for (int w = 0; w < kProbeWarmup; ++w) checksum = sweep(find);
+      double best_ms = 0.0;
+      for (int rep = 0; rep < kProbeReps; ++rep) {
+        util::Stopwatch probe_clock;
+        checksum = sweep(find);
+        const double ms = probe_clock.seconds() * 1000.0;
+        if (rep == 0 || ms < best_ms) best_ms = ms;
+      }
+      return best_ms;
+    };
+    std::int64_t scalar_sum = 0, simd_sum = 0;
+    probe_scalar_ms = time_best(
+        [](const std::uint8_t* keys, std::uint16_t count, std::uint8_t byte) {
+          return art::detail::find_key_scalar(keys, count, byte);
+        },
+        scalar_sum);
+    probe_simd_ms = time_best(
+        [](const std::uint8_t* keys, std::uint16_t count, std::uint8_t byte) {
+          return art::detail::find_key(keys, count, byte);
+        },
+        simd_sum);
+    if (scalar_sum != simd_sum) {
+      std::fprintf(stderr, "node16 probe mismatch: scalar %lld vs simd %lld\n",
+                   static_cast<long long>(scalar_sum),
+                   static_cast<long long>(simd_sum));
+      return 1;
+    }
+    std::printf(
+        "\n  art node16 probe (%zu probes, best of %d):\n"
+        "    scalar %8.3f ms   simd %8.3f ms   speedup %.2fx%s\n",
+        probes.size(), kProbeReps, probe_scalar_ms, probe_simd_ms,
+        probe_simd_ms > 0.0 ? probe_scalar_ms / probe_simd_ms : 0.0,
+#if defined(__SSE2__)
+        "");
+#else
+        "  (no SSE2: simd path is the scalar fallback)");
+#endif
+  }
+
   util::Stopwatch clock;
   auto run = core::run_end_to_end(options);
   if (!run.ok()) {
@@ -554,6 +632,15 @@ int main(int argc, char** argv) {
     census.set("keys", art_census.values);
     index.set("art_census", std::move(census));
     index.set("art_bytes_per_key", art_bytes_per_key);
+    index.set("node16_probe_scalar_ms", probe_scalar_ms);
+    index.set("node16_probe_simd_ms", probe_simd_ms);
+    index.set("node16_probe_speedup",
+              probe_simd_ms > 0.0 ? probe_scalar_ms / probe_simd_ms : 0.0);
+#if defined(__SSE2__)
+    index.set("node16_probe_simd_enabled", true);
+#else
+    index.set("node16_probe_simd_enabled", false);
+#endif
     hotpath.set("index", std::move(index));
     doc.set("hotpath", std::move(hotpath));
 

@@ -30,7 +30,49 @@
 #include <utility>
 #include <vector>
 
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
 namespace dockmine::art {
+
+namespace detail {
+
+/// Reference branch-byte probe for Node4/Node16: first index whose key
+/// equals `byte`, or -1. Keys are sorted but a linear scan beats binary
+/// search at these widths; kept as the non-SSE2 fallback and as the
+/// baseline side of the bench_pipeline hotpath comparison.
+inline int find_key_scalar(const std::uint8_t* keys, std::uint16_t count,
+                           std::uint8_t byte) noexcept {
+  for (std::uint16_t i = 0; i < count; ++i) {
+    if (keys[i] == byte) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+#if defined(__SSE2__)
+/// Branchless probe: compare all 16 key slots at once, mask to the live
+/// count, take the lowest set bit. Reading the full 16-byte array is safe —
+/// it is an inline Node member — and slots >= count are masked out, so
+/// their (zero-initialized) contents never produce a hit. This is the
+/// probe on the hot descent path of every shard-spill ART operation.
+inline int find_key(const std::uint8_t* keys, std::uint16_t count,
+                    std::uint8_t byte) noexcept {
+  const __m128i needle = _mm_set1_epi8(static_cast<char>(byte));
+  const __m128i haystack =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(keys));
+  int mask = _mm_movemask_epi8(_mm_cmpeq_epi8(haystack, needle));
+  mask &= (1 << count) - 1;
+  return mask == 0 ? -1 : __builtin_ctz(static_cast<unsigned>(mask));
+}
+#else
+inline int find_key(const std::uint8_t* keys, std::uint16_t count,
+                    std::uint8_t byte) noexcept {
+  return find_key_scalar(keys, count, byte);
+}
+#endif
+
+}  // namespace detail
 
 /// Node-type census + footprint, for obs gauges and bench output.
 struct Stats {
@@ -180,11 +222,10 @@ class Art {
     const Node* child(std::uint8_t byte) const noexcept {
       switch (kind) {
         case Kind::k4:
-        case Kind::k16:
-          for (std::uint16_t i = 0; i < count; ++i) {
-            if (keys[i] == byte) return children[i].get();
-          }
-          return nullptr;
+        case Kind::k16: {
+          const int i = detail::find_key(keys.data(), count, byte);
+          return i < 0 ? nullptr : children[static_cast<std::size_t>(i)].get();
+        }
         case Kind::k48: {
           const std::int16_t slot = (*index)[byte];
           return slot < 0 ? nullptr : children[static_cast<std::size_t>(slot)].get();
@@ -198,11 +239,10 @@ class Art {
     NodePtr* child_slot(std::uint8_t byte) noexcept {
       switch (kind) {
         case Kind::k4:
-        case Kind::k16:
-          for (std::uint16_t i = 0; i < count; ++i) {
-            if (keys[i] == byte) return &children[i];
-          }
-          return nullptr;
+        case Kind::k16: {
+          const int i = detail::find_key(keys.data(), count, byte);
+          return i < 0 ? nullptr : &children[static_cast<std::size_t>(i)];
+        }
         case Kind::k48: {
           const std::int16_t slot = (*index)[byte];
           return slot < 0 ? nullptr : &children[static_cast<std::size_t>(slot)];

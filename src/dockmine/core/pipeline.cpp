@@ -219,11 +219,14 @@ util::Result<PipelineResult> run_end_to_end(const PipelineOptions& options) {
   auto& tracer = obs::Tracer::global();
   const auto pipeline_span = tracer.span("pipeline");
 
-  // --- build & publish the snapshot ---
-  synth::HubModel hub(options.calibration, options.scale);
-  registry::Service service;
-  synth::Materializer materializer(hub, options.gzip_level);
-  {
+  // --- build & publish the snapshot (or adopt an external registry) ---
+  registry::Service owned_service;
+  registry::Service& service = options.external_service != nullptr
+                                   ? *options.external_service
+                                   : owned_service;
+  if (options.external_service == nullptr) {
+    synth::HubModel hub(options.calibration, options.scale);
+    synth::Materializer materializer(hub, options.gzip_level);
     const auto span = tracer.span("materialize");
     auto pushed = materializer.populate(service);
     if (!pushed.ok()) return std::move(pushed).error();

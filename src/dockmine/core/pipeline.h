@@ -115,6 +115,15 @@ struct PipelineOptions {
   /// ShardMerger::add_shard_set — the multi-node hand-off.
   std::string shard_export_dir;
 
+  /// When non-null, analyze THIS registry instead of materializing a fresh
+  /// snapshot from `scale`/`calibration` (which then only parameterize the
+  /// crawler's search index): the temporal batch oracle points this at an
+  /// evolving registry advanced to epoch K, and the run crawls, downloads,
+  /// and analyzes whatever that service holds. Not owned; must outlive the
+  /// run. Fault/throttle decorators compose as usual;
+  /// `manifests_pushed` stays 0 because nothing was materialized here.
+  registry::Service* external_service = nullptr;
+
   /// Multi-node simulation (requires shard.enabled() when > 1): this run
   /// acts as node `node_index` of `node_count`. The node crawls the full
   /// snapshot, then downloads/analyzes only its repository partition

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <filesystem>
 #include <fstream>
+#include <string_view>
 #include <utility>
 
 #include "dockmine/filetype/taxonomy.h"
@@ -36,7 +37,21 @@ int grid_index(double q) {
 
 bool known_query(const std::string& q) {
   return q == "report" || q == "image" || q == "layer" || q == "content" ||
-         q == "types" || q == "ecdf" || q == "status" || q == "stats";
+         q == "types" || q == "ecdf" || q == "status" || q == "stats" ||
+         q == "top" || q == "repos";
+}
+
+bool known_top_metric(const std::string& metric) {
+  return metric == "cis" || metric == "fis" || metric == "files" ||
+         metric == "layers";
+}
+
+std::uint64_t metric_value(const RepoMetrics& metrics,
+                           const std::string& metric) {
+  if (metric == "cis") return metrics.cis;
+  if (metric == "fis") return metrics.fis;
+  if (metric == "files") return metrics.files;
+  return metrics.layers;
 }
 
 /// Report location of one queryable ECDF: {section, field} under
@@ -84,12 +99,23 @@ json::Value request_to_json(const Request& request) {
         doc.set("name", request.name);
         if (request.quantile >= 0.0) doc.set("quantile", request.quantile);
       }
+      if (request.q == "top") {
+        doc.set("metric", request.metric);
+        doc.set("n", request.n);
+      }
+      if (request.q == "repos" && !request.prefix.empty()) {
+        doc.set("prefix", request.prefix);
+      }
       break;
     case RequestKind::kIngest:
       doc.set("type", "ingest");
       doc.set("id", request.id);
       doc.set("repositories", request.repositories);
       doc.set("seed", request.seed);
+      break;
+    case RequestKind::kIngestEpoch:
+      doc.set("type", "ingest-epoch");
+      doc.set("id", request.id);
       break;
     case RequestKind::kShutdown:
       doc.set("type", "shutdown");
@@ -119,6 +145,10 @@ util::Result<Request> request_from_json(const json::Value& doc) {
     }
     request.repositories = doc["repositories"].as_uint();
     request.seed = doc["seed"].as_uint();
+    return request;
+  }
+  if (type == "ingest-epoch") {
+    request.kind = RequestKind::kIngestEpoch;
     return request;
   }
   if (type != "query") {
@@ -161,6 +191,24 @@ util::Result<Request> request_from_json(const json::Value& doc) {
       if (!(request.quantile >= 0.0 && request.quantile <= 1.0)) {
         return util::corrupt("serve: ecdf quantile out of [0,1]");
       }
+    }
+  } else if (request.q == "top") {
+    if (!doc["metric"].is_string() ||
+        !known_top_metric(doc["metric"].as_string())) {
+      return util::corrupt("serve: top query requires a metric "
+                           "(cis|fis|files|layers)");
+    }
+    request.metric = doc["metric"].as_string();
+    if (!doc["n"].is_int() || doc["n"].as_int() <= 0) {
+      return util::corrupt("serve: top query requires n >= 1");
+    }
+    request.n = doc["n"].as_uint();
+  } else if (request.q == "repos") {
+    if (doc.contains("prefix")) {
+      if (!doc["prefix"].is_string()) {
+        return util::corrupt("serve: repos prefix must be a string");
+      }
+      request.prefix = doc["prefix"].as_string();
     }
   }
   return request;
@@ -401,6 +449,10 @@ util::Result<std::shared_ptr<Snapshot>> ServeDaemon::build_snapshot() {
     snapshot->images.emplace(
         profile.repository,
         image_report_json(profile, *it->second, result.sharing));
+    snapshot->repo_metrics.emplace(
+        profile.repository,
+        RepoMetrics{profile.cis, profile.fis, profile.file_count,
+                    profile.layer_count});
   }
   snapshot->sharing = std::move(result.sharing);
 
@@ -414,14 +466,61 @@ util::Result<std::shared_ptr<Snapshot>> ServeDaemon::build_snapshot() {
   return snapshot;
 }
 
+util::Result<std::shared_ptr<Snapshot>> ServeDaemon::apply_temporal_epoch(
+    std::uint32_t epoch) {
+  auto advanced = options_.temporal_advance(epoch);
+  if (!advanced.ok()) return advanced.error();
+  PipelineResult& result = advanced.value();
+  if (!result.file_index) {
+    return util::internal("serve: temporal epoch has no resident dedup index");
+  }
+
+  auto snapshot = std::make_shared<Snapshot>();
+  snapshot->epoch = epoch;
+  snapshot->temporal = true;
+  snapshot->report = pipeline_report_json(result);
+  snapshot->types = type_breakdown_json(dedup::TypeBreakdown(*result.file_index));
+
+  std::map<std::string, const registry::Manifest*> manifests_by_repo;
+  for (const registry::Manifest& manifest : result.manifests) {
+    manifests_by_repo[manifest.repository] = &manifest;
+  }
+  for (const analyzer::ImageProfile& profile : result.images) {
+    const auto it = manifests_by_repo.find(profile.repository);
+    if (it == manifests_by_repo.end()) continue;
+    snapshot->images.emplace(
+        profile.repository,
+        image_report_json(profile, *it->second, result.sharing));
+    snapshot->repo_metrics.emplace(
+        profile.repository,
+        RepoMetrics{profile.cis, profile.fis, profile.file_count,
+                    profile.layer_count});
+  }
+  snapshot->sharing = std::move(result.sharing);
+  snapshot->resident =
+      std::shared_ptr<const dedup::FileDedupIndex>(std::move(result.file_index));
+  temporal_applied_ = epoch + 1;
+  return snapshot;
+}
+
 util::Status ServeDaemon::persist_state() {
   auto doc = json::Value::object();
-  doc.set("version", std::uint64_t{1});
-  auto specs = json::Value::array();
-  for (const BatchState& batch : batches_) {
-    specs.push_back(batch_spec_to_json(batch.spec));
+  if (options_.temporal_advance) {
+    // Version 2: a temporal daemon's durable state is just the epoch count
+    // — replay calls temporal_advance(0..K) and the hook's determinism
+    // reproduces the pre-crash snapshot byte-for-byte.
+    doc.set("version", std::uint64_t{2});
+    doc.set("temporal", true);
+    doc.set("epochs",
+            std::uint64_t{temporal_applied_ == 0 ? 0 : temporal_applied_ - 1});
+  } else {
+    doc.set("version", std::uint64_t{1});
+    auto specs = json::Value::array();
+    for (const BatchState& batch : batches_) {
+      specs.push_back(batch_spec_to_json(batch.spec));
+    }
+    doc.set("batches", std::move(specs));
   }
-  doc.set("batches", std::move(specs));
 
   const std::filesystem::path path =
       std::filesystem::path(options_.state_dir) / "state.json";
@@ -455,7 +554,7 @@ util::Status ServeDaemon::start() {
   std::lock_guard<std::mutex> lock(ingest_mutex_);
   const std::filesystem::path state_path =
       std::filesystem::path(options_.state_dir) / "state.json";
-  std::vector<BatchSpec> replay;
+  std::optional<json::Value> state;
   if (std::filesystem::exists(state_path, ec)) {
     std::ifstream in(state_path, std::ios::binary);
     std::string bytes((std::istreambuf_iterator<char>(in)),
@@ -465,37 +564,69 @@ util::Status ServeDaemon::start() {
     }
     auto parsed = json::parse(bytes);
     if (!parsed.ok() || !parsed.value().is_object() ||
-        !parsed.value()["version"].is_int() ||
-        parsed.value()["version"].as_uint() != 1 ||
-        !parsed.value()["batches"].is_array()) {
+        !parsed.value()["version"].is_int()) {
       return util::corrupt("serve: malformed state file " +
                            state_path.string());
     }
-    for (const json::Value& entry : parsed.value()["batches"].items()) {
-      auto spec = batch_spec_from_json(entry);
-      if (!spec.ok()) return spec.error();
-      replay.push_back(spec.value());
-    }
-    if (replay.empty()) {
-      return util::corrupt("serve: state file lists no batches");
-    }
-  } else {
-    replay.push_back(BatchSpec{options_.job.repositories, options_.job.seed});
+    state = std::move(parsed).value();
   }
 
-  for (const BatchSpec& spec : replay) {
-    if (auto ran = run_batch(spec); !ran.ok()) return ran;
+  std::shared_ptr<Snapshot> built_snapshot;
+  if (options_.temporal_advance) {
+    std::uint32_t last_epoch = 0;
+    if (state) {
+      // A batch-mode state dir cannot be adopted by a temporal daemon (or
+      // vice versa): the replay recipes are incompatible.
+      if ((*state)["version"].as_uint() != 2 ||
+          !(*state)["temporal"].is_bool() ||
+          !(*state)["temporal"].as_bool() || !(*state)["epochs"].is_int() ||
+          (*state)["epochs"].as_int() < 0) {
+        return util::corrupt("serve: state file is not a temporal v2 state");
+      }
+      last_epoch = static_cast<std::uint32_t>((*state)["epochs"].as_uint());
+    }
+    for (std::uint32_t epoch = 0; epoch <= last_epoch; ++epoch) {
+      auto applied = apply_temporal_epoch(epoch);
+      if (!applied.ok()) return applied.error();
+      built_snapshot = std::move(applied).value();
+    }
+  } else {
+    std::vector<BatchSpec> replay;
+    if (state) {
+      if ((*state)["version"].as_uint() != 1 ||
+          !(*state)["batches"].is_array()) {
+        return util::corrupt("serve: malformed state file " +
+                             state_path.string());
+      }
+      for (const json::Value& entry : (*state)["batches"].items()) {
+        auto spec = batch_spec_from_json(entry);
+        if (!spec.ok()) return spec.error();
+        replay.push_back(spec.value());
+      }
+      if (replay.empty()) {
+        return util::corrupt("serve: state file lists no batches");
+      }
+    } else {
+      replay.push_back(BatchSpec{options_.job.repositories, options_.job.seed});
+    }
+
+    for (const BatchSpec& spec : replay) {
+      if (auto ran = run_batch(spec); !ran.ok()) return ran;
+    }
+    auto built = build_snapshot();
+    if (!built.ok()) return built.error();
+    built_snapshot = std::move(built).value();
   }
   if (auto persisted = persist_state(); !persisted.ok()) return persisted;
-  auto built = build_snapshot();
-  if (!built.ok()) return built.error();
   {
     std::lock_guard<std::mutex> snap_lock(snapshot_mutex_);
-    snapshot_ = std::move(built).value();
+    snapshot_ = std::move(built_snapshot);
   }
   obs::Registry::global()
       .gauge("dockmine_serve_epoch")
-      .set(static_cast<std::int64_t>(batches_.size()));
+      .set(static_cast<std::int64_t>(options_.temporal_advance
+                                         ? temporal_applied_ - 1
+                                         : batches_.size()));
 
   if (auto bound = listener_.bind_loopback(options_.port); !bound.ok()) {
     return bound;
@@ -663,10 +794,11 @@ void ServeDaemon::session_loop(Session* session) {
 }
 
 Response ServeDaemon::handle_request(const Request& request) {
-  const std::string label = request.kind == RequestKind::kQuery ? request.q
-                            : request.kind == RequestKind::kIngest
-                                ? std::string("ingest")
-                                : std::string("shutdown");
+  const std::string label =
+      request.kind == RequestKind::kQuery         ? request.q
+      : request.kind == RequestKind::kIngest      ? std::string("ingest")
+      : request.kind == RequestKind::kIngestEpoch ? std::string("ingest-epoch")
+                                                  : std::string("shutdown");
   const double start = mono_ms();
   Response response;
   response.id = request.id;
@@ -676,6 +808,17 @@ Response ServeDaemon::handle_request(const Request& request) {
       break;
     case RequestKind::kIngest: {
       auto body = do_ingest(request);
+      response.epoch = snapshot()->epoch;
+      if (body.ok()) {
+        response.ok = true;
+        response.body = std::move(body).value();
+      } else {
+        response.error = body.error().to_string();
+      }
+      break;
+    }
+    case RequestKind::kIngestEpoch: {
+      auto body = do_ingest_epoch(request);
       response.epoch = snapshot()->epoch;
       if (body.ok()) {
         response.ok = true;
@@ -758,7 +901,9 @@ Response ServeDaemon::handle_query(const Request& request) {
     return response;
   }
   if (request.q == "content") {
-    const dedup::ContentEntry* entry = snap->contents.find(request.key);
+    const dedup::ContentEntry* entry = snap->resident
+                                           ? snap->resident->find(request.key)
+                                           : snap->contents.find(request.key);
     if (entry == nullptr) return fail("serve: unknown content key");
     auto body = json::Value::object();
     body.set("key", request.key);
@@ -804,14 +949,73 @@ Response ServeDaemon::handle_query(const Request& request) {
   if (request.q == "status") {
     auto body = json::Value::object();
     body.set("epoch", snap->epoch);
-    auto specs = json::Value::array();
-    for (const BatchSpec& spec : snap->batches) {
-      specs.push_back(batch_spec_to_json(spec));
+    if (snap->temporal) {
+      body.set("temporal", true);
+    } else {
+      auto specs = json::Value::array();
+      for (const BatchSpec& spec : snap->batches) {
+        specs.push_back(batch_spec_to_json(spec));
+      }
+      body.set("batches", std::move(specs));
     }
-    body.set("batches", std::move(specs));
     body.set("images", static_cast<std::uint64_t>(snap->images.size()));
     body.set("distinct_layers", snap->sharing.distinct_layers());
-    body.set("distinct_contents", snap->contents.distinct_contents());
+    body.set("distinct_contents",
+             snap->resident
+                 ? static_cast<std::uint64_t>(snap->resident->distinct_contents())
+                 : snap->contents.distinct_contents());
+    response.ok = true;
+    response.body = std::move(body);
+    return response;
+  }
+  if (request.q == "top") {
+    // Map order is repository-name ascending, so a stable sort by value
+    // descending leaves ties name-ordered — deterministic rows.
+    std::vector<std::pair<std::string_view, std::uint64_t>> rows;
+    rows.reserve(snap->repo_metrics.size());
+    for (const auto& [repo, metrics] : snap->repo_metrics) {
+      rows.emplace_back(repo, metric_value(metrics, request.metric));
+    }
+    std::stable_sort(rows.begin(), rows.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.second > b.second;
+                     });
+    if (rows.size() > request.n) rows.resize(request.n);
+    auto body = json::Value::object();
+    body.set("metric", request.metric);
+    body.set("n", request.n);
+    auto out = json::Value::array();
+    for (const auto& [repo, value] : rows) {
+      auto row = json::Value::object();
+      row.set("repository", std::string(repo));
+      row.set("value", value);
+      out.push_back(std::move(row));
+    }
+    body.set("rows", std::move(out));
+    response.ok = true;
+    response.body = std::move(body);
+    return response;
+  }
+  if (request.q == "repos") {
+    RepoMetrics total;
+    std::uint64_t count = 0;
+    for (const auto& [repo, metrics] : snap->repo_metrics) {
+      if (repo.compare(0, request.prefix.size(), request.prefix) != 0) {
+        continue;
+      }
+      ++count;
+      total.cis += metrics.cis;
+      total.fis += metrics.fis;
+      total.files += metrics.files;
+      total.layers += metrics.layers;
+    }
+    auto body = json::Value::object();
+    body.set("prefix", request.prefix);
+    body.set("count", count);
+    body.set("total_cis", total.cis);
+    body.set("total_fis", total.fis);
+    body.set("total_files", total.files);
+    body.set("total_layers", total.layers);
     response.ok = true;
     response.body = std::move(body);
     return response;
@@ -827,6 +1031,10 @@ Response ServeDaemon::handle_query(const Request& request) {
 util::Result<json::Value> ServeDaemon::do_ingest(const Request& request) {
   if (stopping_.load(std::memory_order_acquire)) {
     return util::unavailable("serve: shutting down");
+  }
+  if (options_.temporal_advance) {
+    return util::invalid_argument(
+        "serve: batch ingest unavailable in temporal mode (use ingest-epoch)");
   }
   std::lock_guard<std::mutex> lock(ingest_mutex_);
   if (options_.on_ingest_begin) options_.on_ingest_begin();
@@ -871,6 +1079,50 @@ util::Result<json::Value> ServeDaemon::do_ingest(const Request& request) {
   body.set("epoch", snapshot->epoch);
   body.set("batches", static_cast<std::uint64_t>(snapshot->batches.size()));
   body.set("images", static_cast<std::uint64_t>(snapshot->images.size()));
+  return body;
+}
+
+util::Result<json::Value> ServeDaemon::do_ingest_epoch(const Request&) {
+  if (stopping_.load(std::memory_order_acquire)) {
+    return util::unavailable("serve: shutting down");
+  }
+  if (!options_.temporal_advance) {
+    return util::invalid_argument("serve: ingest-epoch requires temporal mode");
+  }
+  std::lock_guard<std::mutex> lock(ingest_mutex_);
+  if (options_.on_ingest_begin) options_.on_ingest_begin();
+  if (stopping_.load(std::memory_order_acquire)) {
+    return util::unavailable("serve: shutting down");
+  }
+
+  const std::uint32_t epoch = temporal_applied_;
+  auto built = apply_temporal_epoch(epoch);
+  if (!built.ok()) {
+    serve_counter("dockmine_serve_ingest_aborts_total").add();
+    return built.error();
+  }
+  // Same commit order as batch ingest: durable epoch count first, then the
+  // in-memory publish. A persist failure leaves the published snapshot one
+  // epoch behind the temporal stack — the next restart replays only the
+  // persisted prefix, which the hook's determinism reproduces exactly.
+  if (auto persisted = persist_state(); !persisted.ok()) {
+    serve_counter("dockmine_serve_ingest_aborts_total").add();
+    return persisted.error();
+  }
+  std::shared_ptr<Snapshot> snapshot = std::move(built).value();
+  {
+    std::lock_guard<std::mutex> snap_lock(snapshot_mutex_);
+    snapshot_ = snapshot;
+  }
+  serve_counter("dockmine_serve_ingest_commits_total").add();
+  obs::Registry::global()
+      .gauge("dockmine_serve_epoch")
+      .set(static_cast<std::int64_t>(epoch));
+
+  auto body = json::Value::object();
+  body.set("epoch", snapshot->epoch);
+  body.set("images", static_cast<std::uint64_t>(snapshot->images.size()));
+  body.set("distinct_layers", snapshot->sharing.distinct_layers());
   return body;
 }
 

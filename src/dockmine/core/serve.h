@@ -33,7 +33,10 @@
 //                                             [,"quantile":0.5]}
 //             {"type":"query","id":N,"q":"status"}
 //             {"type":"query","id":N,"q":"stats"}
+//             {"type":"query","id":N,"q":"top","metric":"cis","n":10}
+//             {"type":"query","id":N,"q":"repos"[,"prefix":"library/"]}
 //             {"type":"ingest","id":N,"repositories":R,"seed":S}
+//             {"type":"ingest-epoch","id":N}          (temporal mode)
 //             {"type":"shutdown","id":N}
 //   response  {"type":"result","id":N,"epoch":E,"body":...}
 //             {"type":"error","id":N,"epoch":E,"error":"..."}
@@ -71,13 +74,18 @@ namespace dockmine::core::serve {
 
 // ---- requests / responses ---------------------------------------------
 
-enum class RequestKind : std::uint8_t { kQuery = 1, kIngest = 2, kShutdown = 3 };
+enum class RequestKind : std::uint8_t {
+  kQuery = 1,
+  kIngest = 2,
+  kShutdown = 3,
+  kIngestEpoch = 4,  ///< temporal mode: advance the registry one epoch
+};
 
 struct Request {
   RequestKind kind = RequestKind::kQuery;
   std::uint64_t id = 0;
   std::string q;           ///< query selector: report|image|layer|content|
-                           ///< types|ecdf|status|stats
+                           ///< types|ecdf|status|stats|top|repos
   std::string path;        ///< report: dot path into pipeline_report_json
   std::string repository;  ///< image
   std::uint64_t key = 0;   ///< layer / content
@@ -85,6 +93,9 @@ struct Request {
   double quantile = -1.0;  ///< ecdf: grid quantile; < 0 = whole slice
   std::uint64_t repositories = 0;  ///< ingest batch size
   std::uint64_t seed = 0;          ///< ingest batch seed
+  std::string metric;      ///< top: cis|fis|files|layers
+  std::uint64_t n = 0;     ///< top: result row cap (>= 1)
+  std::string prefix;      ///< repos: repository-name prefix filter ("" = all)
 };
 
 json::Value request_to_json(const Request& request);
@@ -114,19 +125,36 @@ struct BatchSpec {
 json::Value batch_spec_to_json(const BatchSpec& spec);
 util::Result<BatchSpec> batch_spec_from_json(const json::Value& doc);
 
+/// Per-repository scalar metrics for the top/repos aggregation queries;
+/// extracted from the image profiles at snapshot-build time so the read
+/// path never touches the profiles themselves.
+struct RepoMetrics {
+  std::uint64_t cis = 0;
+  std::uint64_t fis = 0;
+  std::uint64_t files = 0;
+  std::uint64_t layers = 0;
+};
+
 /// Immutable queryable state for one epoch. Built once per commit, shared
 /// read-only by every in-flight query via shared_ptr.
 struct Snapshot {
-  std::uint64_t epoch = 0;  ///< == number of committed batches
+  std::uint64_t epoch = 0;  ///< batch mode: committed batches; temporal
+                            ///< mode: the registry epoch served
+  bool temporal = false;
   std::vector<BatchSpec> batches;
   json::Value report;  ///< pipeline_report_json of the folded union
   /// Per-image reports keyed by repository (image_report_json).
   std::map<std::string, json::Value> images;
+  /// Per-repository scalars for top/repos queries.
+  std::map<std::string, RepoMetrics> repo_metrics;
   /// Union layer-sharing analysis for point lookups.
   dedup::LayerSharingAnalysis sharing;
   json::Value types;  ///< type_breakdown_json of the folded breakdown
-  /// Read-path index over every batch's exported shard set.
+  /// Read-path index over every batch's exported shard set (batch mode).
   shard::ShardSetIndex contents;
+  /// Temporal mode: the resident dedup index of the served epoch — content
+  /// queries hit it directly instead of the shard-set index.
+  std::shared_ptr<const dedup::FileDedupIndex> resident;
 };
 
 // ---- shared serializers (the oracle surface) ---------------------------
@@ -157,6 +185,17 @@ struct ServeOptions {
   std::uint32_t io_timeout_ms = 200;   ///< per-socket read deadline
   std::uint64_t slowloris_ms = 10000;  ///< partial frame older than this is dropped
   std::uint64_t accept_backoff_ms = 10;  ///< initial transient-accept backoff
+
+  /// Temporal mode (set => the daemon serves an evolving registry instead
+  /// of folded crawl batches). The hook advances the temporal stack one
+  /// epoch — epoch 0 is the initial ingest — and returns the resident
+  /// analysis state as a PipelineResult. It must be deterministic in the
+  /// epoch sequence: restart replays epochs 0..K and must reproduce the
+  /// pre-crash snapshot byte-for-byte. Invoked only under the ingest lock.
+  /// Regular `ingest` requests are rejected while set (and `ingest-epoch`
+  /// is rejected without it).
+  std::function<util::Result<PipelineResult>(std::uint32_t epoch)>
+      temporal_advance;
 
   /// Test hook: invoked (under the ingest lock) just before an ingest batch
   /// runs — the kill-mid-ingest chaos test uses it to time its stop().
@@ -217,11 +256,17 @@ class ServeDaemon {
   /// Write state.json (temp + rename). Caller holds `ingest_mutex_`.
   util::Status persist_state();
 
+  /// Temporal mode: advance the stack to `epoch` and rebuild the snapshot
+  /// from the returned resident state. Caller holds `ingest_mutex_`.
+  util::Result<std::shared_ptr<Snapshot>> apply_temporal_epoch(
+      std::uint32_t epoch);
+
   void accept_loop();
   void session_loop(Session* session);
   Response handle_request(const Request& request);
   Response handle_query(const Request& request);
   util::Result<json::Value> do_ingest(const Request& request);
+  util::Result<json::Value> do_ingest_epoch(const Request& request);
 
   std::string batch_dir(std::size_t index) const;
 
@@ -237,6 +282,9 @@ class ServeDaemon {
 
   std::mutex ingest_mutex_;  ///< serializes batch runs + commits
   std::vector<BatchState> batches_;
+  /// Temporal mode: epochs applied so far (0 before the initial ingest,
+  /// K+1 once epoch K is served). Guarded by `ingest_mutex_`.
+  std::uint32_t temporal_applied_ = 0;
 
   mutable std::mutex snapshot_mutex_;
   std::shared_ptr<const Snapshot> snapshot_;

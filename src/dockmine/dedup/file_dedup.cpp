@@ -6,25 +6,46 @@ namespace dockmine::dedup {
 
 void FileDedupIndex::add(std::uint64_t content_key, std::uint64_t size,
                          filetype::Type type, std::uint32_t layer_index) {
-  ContentEntry& entry = entries_[remap_key(content_key)];
   ContentEntry observation;
   observation.count = 1;
   observation.size = size;
   observation.type = type;
   observation.first_layer = layer_index;
-  if (merge_content_entries(entry, observation)) ++conflicts_;
+  fold_into(remap_key(content_key), observation);
 }
 
 void FileDedupIndex::merge(const FileDedupIndex& other) {
   conflicts_ += other.conflicts_;
-  other.entries_.for_each([&](std::uint64_t key, const ContentEntry& in) {
-    if (merge_content_entries(entries_[key], in)) ++conflicts_;
+  underflows_ += other.underflows_;
+  other.for_each([&](std::uint64_t key, const ContentEntry& in) {
+    fold_into(key, in);
   });
+}
+
+bool FileDedupIndex::retract_entry(std::uint64_t key,
+                                   const ContentEntry& entry) {
+  if (entry.count == 0) return true;  // retracting nothing is a no-op
+  ContentEntry* resident = entries_.find_mut(key);
+  if (resident == nullptr || resident->count < entry.count) {
+    // The contribution was never folded in (or not fully): clamp to a
+    // tombstone rather than wrapping, and record the anomaly.
+    ++underflows_;
+    if (resident != nullptr && resident->count != 0) {
+      *resident = ContentEntry{};
+      --live_;
+    }
+    return false;
+  }
+  if (resident->size != entry.size || resident->type != entry.type) {
+    ++conflicts_;  // 64-bit key collision: resolution stays deterministic
+  }
+  if (unfold_content_entries(*resident, entry)) --live_;
+  return true;
 }
 
 DedupTotals FileDedupIndex::totals() const {
   DedupTotals totals;
-  entries_.for_each([&](std::uint64_t, const ContentEntry& entry) {
+  for_each([&](std::uint64_t, const ContentEntry& entry) {
     totals.total_files += entry.count;
     totals.total_bytes += entry.count * entry.size;
     totals.unique_files += 1;
@@ -35,8 +56,8 @@ DedupTotals FileDedupIndex::totals() const {
 
 stats::Ecdf FileDedupIndex::repeat_count_cdf() const {
   stats::Ecdf cdf;
-  cdf.reserve(entries_.size());
-  entries_.for_each([&](std::uint64_t, const ContentEntry& entry) {
+  cdf.reserve(live_);
+  for_each([&](std::uint64_t, const ContentEntry& entry) {
     cdf.add(static_cast<double>(entry.count));
   });
   return cdf;
@@ -44,7 +65,7 @@ stats::Ecdf FileDedupIndex::repeat_count_cdf() const {
 
 ContentEntry FileDedupIndex::max_repeat() const {
   ContentEntry best;
-  entries_.for_each([&](std::uint64_t, const ContentEntry& entry) {
+  for_each([&](std::uint64_t, const ContentEntry& entry) {
     if (entry.count > best.count) best = entry;
   });
   return best;

@@ -60,6 +60,26 @@ inline bool merge_content_entries(ContentEntry& into,
   return conflict;
 }
 
+/// Inverse of merge_content_entries on the canonical fields: subtract a
+/// previously folded contribution `out` from `into`. Counts subtract
+/// (saturating — the caller detects underflow by comparing first);
+/// size/type stay, since every contribution to a content-addressed key
+/// carries the same pair (metadata conflicts are possible only under
+/// 64-bit key collisions, which retract_entry counts instead of trusting).
+/// first_layer/multi_layer are NOT invertible (minimum / OR lose their
+/// history) and are left untouched — the canonical report deliberately
+/// excludes both, which is what makes exact retraction possible at all
+/// (DESIGN.md §15). Returns true when the subtraction emptied the entry.
+inline bool unfold_content_entries(ContentEntry& into,
+                                   const ContentEntry& out) noexcept {
+  into.count -= std::min(into.count, out.count);
+  if (into.count == 0) {
+    into = ContentEntry{};
+    return true;
+  }
+  return false;
+}
+
 struct DedupTotals {
   std::uint64_t total_files = 0;
   std::uint64_t unique_files = 0;   ///< distinct contents
@@ -116,8 +136,25 @@ class FileDedupIndex {
   /// merge_content_entries so repeated splices of partial entries behave
   /// exactly like the underlying add() calls would have.
   void insert_entry(std::uint64_t key, const ContentEntry& entry) {
-    if (merge_content_entries(entries_[key], entry)) ++conflicts_;
+    if (entry.count == 0) return;  // nothing observed; never revive a slot
+    fold_into(key, entry);
   }
+
+  /// Retraction: subtract a previously folded contribution (a retired
+  /// layer's per-content entry) from the index. The inverse of
+  /// insert_entry on the canonical fields — fold∘unfold round-trips to a
+  /// byte-identical report (totals, repeat-count ECDF, by-type breakdown).
+  /// An entry whose count reaches zero becomes a tombstone: it stays in
+  /// the table (FlatMap64 cannot erase mid-probe-chain) but is skipped by
+  /// every aggregate and by for_each/find. Returns false — and counts an
+  /// underflow — when the key is unknown or holds fewer instances than
+  /// retracted, which means the caller's contribution was never folded in.
+  bool retract_entry(std::uint64_t key, const ContentEntry& entry);
+
+  /// Retractions that did not match a resident contribution (unknown key
+  /// or count underflow). Nonzero means the caller retracted something it
+  /// never inserted; the index clamps instead of wrapping.
+  std::uint64_t retract_underflows() const noexcept { return underflows_; }
 
   /// Merge another index built over a DISJOINT slice of the layer
   /// population (parallel sharding). Entry folding follows
@@ -141,25 +178,42 @@ class FileDedupIndex {
   /// The single most-repeated content (paper: an empty file, 53.6M copies).
   ContentEntry max_repeat() const;
 
-  /// Entry lookup for cross-duplicate analysis.
+  /// Entry lookup for cross-duplicate analysis. Tombstoned (fully
+  /// retracted) contents read as absent.
   const ContentEntry* find(std::uint64_t content_key) const {
-    return entries_.find(content_key);
+    const ContentEntry* entry = entries_.find(content_key);
+    return entry == nullptr || entry->count == 0 ? nullptr : entry;
   }
   const ContentEntry* find(const digest::Digest& digest) const {
-    return entries_.find(remap_key(digest.key64()));
+    return find(remap_key(digest.key64()));
   }
 
-  std::size_t distinct_contents() const noexcept { return entries_.size(); }
+  /// Live (non-tombstoned) distinct contents.
+  std::size_t distinct_contents() const noexcept { return live_; }
   std::size_t memory_bytes() const noexcept { return entries_.memory_bytes(); }
 
+  /// Iterate live entries only; tombstones never reach `fn`.
   template <typename Fn>
   void for_each(Fn&& fn) const {
-    entries_.for_each(std::forward<Fn>(fn));
+    entries_.for_each([&](std::uint64_t key, const ContentEntry& entry) {
+      if (entry.count != 0) fn(key, entry);
+    });
   }
 
  private:
+  /// Fold one live contribution, maintaining the live-entry count across
+  /// tombstone revivals (a re-observed content reuses its dead slot).
+  void fold_into(std::uint64_t key, const ContentEntry& in) {
+    ContentEntry& entry = entries_[key];
+    const bool was_dead = entry.count == 0;
+    if (merge_content_entries(entry, in)) ++conflicts_;
+    if (was_dead && entry.count != 0) ++live_;
+  }
+
   util::FlatMap64<ContentEntry> entries_;
   std::uint64_t conflicts_ = 0;
+  std::uint64_t underflows_ = 0;
+  std::size_t live_ = 0;
 };
 
 }  // namespace dockmine::dedup

@@ -24,6 +24,13 @@ class Materializer {
   explicit Materializer(const HubModel& hub, int gzip_level = 6)
       : hub_(hub), gzip_level_(gzip_level) {}
 
+  /// Layer-id -> (blob digest, blob size) memo shared across pushes so each
+  /// unique layer is gzipped exactly once. The temporal epoch driver keeps
+  /// one of these alive across epochs: unchanged layer ids reuse their
+  /// epoch-0 digests, which is what makes incremental re-analysis possible.
+  using BlobCache =
+      std::unordered_map<LayerId, std::pair<digest::Digest, std::uint64_t>>;
+
   /// Uncompressed tar bytes of one layer (deterministic).
   std::string layer_tar(const LayerSpec& spec) const;
 
@@ -41,12 +48,25 @@ class Materializer {
   util::Result<std::uint64_t> populate_versions(
       registry::Service& service, const class VersionModel& versions) const;
 
+  /// Push one image under `repository:tag`, materializing any layer id not
+  /// yet in `blob_cache` and reusing cached digests for the rest. Pushing
+  /// an existing tag repoints it — exactly how a re-push moves `latest`.
+  /// This is the temporal epoch driver's surface (dockmine::temporal);
+  /// populate/populate_versions are built on the same call.
+  util::Result<std::uint64_t> push_tagged_image(registry::Service& service,
+                                                const std::string& repository,
+                                                const std::string& tag,
+                                                const ImageSpec& image,
+                                                BlobCache& blob_cache) const {
+    return push_image(service, repository, tag, image, blob_cache);
+  }
+
  private:
-  util::Result<std::uint64_t> push_image(
-      registry::Service& service, const std::string& repository,
-      const std::string& tag, const ImageSpec& image,
-      std::unordered_map<LayerId, std::pair<digest::Digest, std::uint64_t>>&
-          blob_cache) const;
+  util::Result<std::uint64_t> push_image(registry::Service& service,
+                                         const std::string& repository,
+                                         const std::string& tag,
+                                         const ImageSpec& image,
+                                         BlobCache& blob_cache) const;
 
   const HubModel& hub_;
   int gzip_level_;

@@ -1,0 +1,151 @@
+#include "dockmine/temporal/epoch_model.h"
+
+#include <algorithm>
+
+#include "dockmine/util/rng.h"
+
+namespace dockmine::temporal {
+
+bool EpochModel::repushed(std::uint64_t image_index,
+                          std::uint32_t epoch) const {
+  if (epoch == 0 || epoch > kMaxEpoch) return false;
+  // One seeded draw per (image, epoch): independent across both axes so
+  // the per-epoch churn set concentrates around repush_fraction without
+  // any image being permanently hot or cold.
+  std::uint64_t s = hub_.scale().seed ^ (image_index * 0x9ddfea08eb382d69ULL) ^
+                    (static_cast<std::uint64_t>(epoch) * 0xa0761d6478bd642fULL);
+  util::Rng rng(util::splitmix64(s));
+  return rng.chance(config_.repush_fraction);
+}
+
+std::uint32_t EpochModel::effective_epoch(std::uint64_t image_index,
+                                          std::uint32_t epoch) const {
+  for (std::uint32_t e = std::min(epoch, kMaxEpoch); e >= 1; --e) {
+    if (repushed(image_index, e)) return e;
+  }
+  return 0;
+}
+
+synth::ImageSpec EpochModel::image_at(std::uint64_t image_index,
+                                      std::uint32_t epoch) const {
+  const synth::ImageSpec& original = hub_.images().at(image_index);
+  const std::uint32_t effective = effective_epoch(image_index, epoch);
+  if (effective == 0) return original;
+
+  // A rebuild keeps the lower stack verbatim and replaces the top
+  // `churn_layers` with epoch-stamped ids — new digests, deterministic
+  // content, base layers untouched (see header: FROM lines rarely move).
+  synth::ImageSpec rebuilt;
+  rebuilt.repo_index = original.repo_index;
+  const std::size_t total = original.layers.size();
+  const std::size_t churn =
+      std::min<std::size_t>(config_.churn_layers, total);
+  const std::size_t keep = total - churn;
+  rebuilt.layers.assign(original.layers.begin(),
+                        original.layers.begin() + keep);
+  for (std::size_t k = 0; k < churn; ++k) {
+    rebuilt.layers.push_back(synth::VersionModel::versioned_layer_id(
+        image_index, kEpochVersionBase + effective,
+        static_cast<std::uint32_t>(k)));
+  }
+  return rebuilt;
+}
+
+std::vector<std::string> EpochModel::churned_repositories(
+    std::uint32_t epoch) const {
+  std::vector<std::string> churned;
+  if (epoch == 0) return churned;
+  const auto& repos = hub_.repositories();
+  for (std::size_t i = 0; i < repos.size(); ++i) {
+    if (repos[i].image_index < 0) continue;
+    if (repushed(static_cast<std::uint64_t>(repos[i].image_index), epoch)) {
+      churned.push_back(repos[i].name);
+    }
+  }
+  return churned;
+}
+
+util::Result<EvolvingRegistry::EpochPush> EvolvingRegistry::initialize(
+    registry::Service& service) {
+  if (initialized_) {
+    return util::Error(util::ErrorCode::kInvalidArgument,
+                       "evolving registry already initialized");
+  }
+  EpochPush push;
+  push.epoch = 0;
+  const synth::HubModel& hub = model_.hub();
+  for (std::size_t i = 0; i < hub.repositories().size(); ++i) {
+    const synth::RepoSpec& repo = hub.repositories()[i];
+    registry::Repository entry;
+    entry.name = repo.name;
+    entry.official = repo.official;
+    entry.requires_auth = repo.requires_auth;
+    entry.pull_count = repo.pull_count;
+    service.put_repository(std::move(entry));
+    if (repo.image_index < 0) continue;
+
+    const std::size_t before = blob_cache_.size();
+    const synth::ImageSpec image =
+        model_.image_at(static_cast<std::uint64_t>(repo.image_index), 0);
+    auto pushed = materializer_.push_tagged_image(service, repo.name, "latest",
+                                                 image, blob_cache_);
+    if (!pushed.ok()) return std::move(pushed).error();
+    push.manifests += pushed.value();
+    const std::size_t materialized = blob_cache_.size() - before;
+    push.layers_materialized += materialized;
+    push.layers_reused += image.layers.size() - materialized;
+  }
+  initialized_ = true;
+  return push;
+}
+
+util::Result<EvolvingRegistry::EpochPush> EvolvingRegistry::advance(
+    registry::Service& service) {
+  if (!initialized_) {
+    return util::Error(util::ErrorCode::kInvalidArgument,
+                       "evolving registry not initialized");
+  }
+  if (epoch_ >= EpochModel::kMaxEpoch) {
+    return util::Error(util::ErrorCode::kOutOfRange, "epoch limit reached");
+  }
+  EpochPush push;
+  push.epoch = epoch_ + 1;
+  push.repushed = model_.churned_repositories(push.epoch);
+  const synth::HubModel& hub = model_.hub();
+  for (const std::string& name : push.repushed) {
+    // Churned repositories come from the hub, so the lookup cannot miss.
+    auto repo = std::find_if(
+        hub.repositories().begin(), hub.repositories().end(),
+        [&](const synth::RepoSpec& r) { return r.name == name; });
+    const std::uint64_t image_index =
+        static_cast<std::uint64_t>(repo->image_index);
+    const synth::ImageSpec image = model_.image_at(image_index, push.epoch);
+    const std::size_t before = blob_cache_.size();
+    auto pushed = materializer_.push_tagged_image(service, name, "latest",
+                                                 image, blob_cache_);
+    if (!pushed.ok()) return std::move(pushed).error();
+    push.manifests += pushed.value();
+    const std::size_t materialized = blob_cache_.size() - before;
+    push.layers_materialized += materialized;
+    push.layers_reused += image.layers.size() - materialized;
+  }
+  epoch_ = push.epoch;
+  return push;
+}
+
+util::Result<std::uint64_t> build_registry_at_epoch(
+    const EpochModel& model, std::uint32_t epoch, int gzip_level,
+    registry::Service& service) {
+  EvolvingRegistry evolving(model, gzip_level);
+  auto init = evolving.initialize(service);
+  if (!init.ok()) return std::move(init).error();
+  std::uint64_t manifests = init.value().manifests;
+  for (std::uint32_t e = 1; e <= epoch; ++e) {
+    auto push = evolving.advance(service);
+    if (!push.ok()) return std::move(push).error();
+    manifests += push.value().manifests;
+  }
+  return manifests;
+}
+
+}  // namespace dockmine::temporal

@@ -1,0 +1,50 @@
+// Trend report: the per-epoch time series behind the temporal figures —
+// dedup ratio, layer sharing, and corpus growth/churn rate over epochs
+// (EXPERIMENTS.md "Temporal trends"). One TrendPoint is appended per
+// applied epoch from the DeltaAnalyzer's resident aggregates; to_json
+// emits a columnar document ready for plotting.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dockmine/json/json.h"
+#include "dockmine/temporal/delta_analyzer.h"
+#include "dockmine/util/error.h"
+
+namespace dockmine::temporal {
+
+struct TrendPoint {
+  std::uint32_t epoch = 0;
+  std::uint64_t images = 0;
+  std::uint64_t distinct_layers = 0;
+  std::uint64_t layers_changed = 0;
+  std::uint64_t layers_removed = 0;
+  std::uint64_t total_files = 0;
+  std::uint64_t unique_files = 0;
+  std::uint64_t total_bytes = 0;
+  std::uint64_t unique_bytes = 0;
+  double count_ratio = 0.0;     ///< dedup ratio by file count
+  double capacity_ratio = 0.0;  ///< dedup ratio by bytes
+  double sharing_ratio = 0.0;   ///< layer logical/physical bytes
+  double epoch_ms = 0.0;
+};
+
+class TrendReport {
+ public:
+  /// Snapshot the analyzer's resident aggregates after an applied epoch.
+  util::Status observe(const DeltaAnalyzer& analyzer);
+
+  const std::vector<TrendPoint>& points() const noexcept { return points_; }
+
+  /// {"epochs": N, "series": {column -> [per-epoch values]}} plus derived
+  /// growth-rate columns (unique_bytes_growth is the registry's physical
+  /// growth per epoch — the operational number a registry operator sizes
+  /// storage with).
+  json::Value to_json() const;
+
+ private:
+  std::vector<TrendPoint> points_;
+};
+
+}  // namespace dockmine::temporal

@@ -39,6 +39,13 @@ class FlatMap64 {
     return slots_[idx].key == 0 ? nullptr : &slots_[idx].value;
   }
 
+  /// Mutable lookup without insertion (the dedup retraction path: update
+  /// an existing entry in place, never grow the table for a miss).
+  Value* find_mut(std::uint64_t key) {
+    const std::size_t idx = probe(key);
+    return slots_[idx].key == 0 ? nullptr : &slots_[idx].value;
+  }
+
   std::size_t size() const noexcept { return size_; }
   bool empty() const noexcept { return size_ == 0; }
 

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <tuple>
+#include <vector>
 
 #include "dockmine/core/dataset.h"
 #include "dockmine/dedup/by_type.h"
@@ -412,6 +414,121 @@ TEST(DatasetParallelTest, WorkersMatchSerial) {
   EXPECT_EQ(a.unique_files, b.unique_files);
   EXPECT_EQ(a.unique_bytes, b.unique_bytes);
   EXPECT_EQ(a.total_files, b.total_files);
+}
+
+// ---------- retraction (fold . unfold) ----------
+
+// Canonical view of an index: every live entry's report-relevant fields in
+// key order. first_layer/multi_layer are deliberately absent — they are
+// not invertible and the canonical report never reads them (DESIGN.md §15).
+std::vector<std::tuple<std::uint64_t, std::uint64_t, std::uint64_t, Type>>
+canonical_entries(const FileDedupIndex& index) {
+  std::vector<std::tuple<std::uint64_t, std::uint64_t, std::uint64_t, Type>>
+      out;
+  index.for_each([&](std::uint64_t key, const ContentEntry& entry) {
+    out.emplace_back(key, entry.count, entry.size, entry.type);
+  });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(RetractionTest, FoldUnfoldRoundTripsToTheBaselineExactly) {
+  // Baseline: layer A's population alone.
+  FileDedupIndex baseline;
+  baseline.add(100, 10, Type::kAsciiText, 0);
+  baseline.add(100, 10, Type::kAsciiText, 0);
+  baseline.add(200, 64, Type::kElfExecutable, 0);
+  baseline.add(300, 0, Type::kEmpty, 0);
+
+  // Same index, plus layer B's pre-folded contribution (overlapping one
+  // shared content and adding a private one), then B retired again.
+  FileDedupIndex evolved;
+  evolved.add(100, 10, Type::kAsciiText, 0);
+  evolved.add(100, 10, Type::kAsciiText, 0);
+  evolved.add(200, 64, Type::kElfExecutable, 0);
+  evolved.add(300, 0, Type::kEmpty, 0);
+
+  const std::vector<std::pair<std::uint64_t, ContentEntry>> contribution = {
+      {100, ContentEntry{3, 10, 1, Type::kAsciiText, false}},
+      {400, ContentEntry{2, 1024, 1, Type::kBzip2, false}},
+  };
+  for (const auto& [key, entry] : contribution) {
+    evolved.insert_entry(key, entry);
+  }
+  EXPECT_EQ(evolved.totals().total_files, baseline.totals().total_files + 5);
+  EXPECT_EQ(evolved.distinct_contents(), baseline.distinct_contents() + 1);
+
+  for (const auto& [key, entry] : contribution) {
+    EXPECT_TRUE(evolved.retract_entry(key, entry));
+  }
+  EXPECT_EQ(evolved.retract_underflows(), 0u);
+
+  // Totals, distinct counts, the repeat-count ECDF, and every canonical
+  // entry are back to the baseline.
+  const DedupTotals a = baseline.totals();
+  const DedupTotals b = evolved.totals();
+  EXPECT_EQ(a.total_files, b.total_files);
+  EXPECT_EQ(a.unique_files, b.unique_files);
+  EXPECT_EQ(a.total_bytes, b.total_bytes);
+  EXPECT_EQ(a.unique_bytes, b.unique_bytes);
+  EXPECT_EQ(baseline.distinct_contents(), evolved.distinct_contents());
+  const auto cdf_a = baseline.repeat_count_cdf();
+  const auto cdf_b = evolved.repeat_count_cdf();
+  EXPECT_EQ(cdf_a.size(), cdf_b.size());
+  EXPECT_DOUBLE_EQ(cdf_a.max(), cdf_b.max());
+  EXPECT_EQ(canonical_entries(baseline), canonical_entries(evolved));
+
+  // The by-type breakdown reads through for_each, so it sees the same
+  // world too (tombstones never reach it).
+  TypeBreakdown bt_a(baseline);
+  TypeBreakdown bt_b(evolved);
+  EXPECT_EQ(bt_a.overall().count, bt_b.overall().count);
+  EXPECT_EQ(bt_a.overall().bytes, bt_b.overall().bytes);
+  EXPECT_EQ(bt_a.overall().unique_count, bt_b.overall().unique_count);
+  EXPECT_EQ(bt_a.overall().unique_bytes, bt_b.overall().unique_bytes);
+}
+
+TEST(RetractionTest, TombstonesReadAsAbsentAndCanRevive) {
+  FileDedupIndex index;
+  index.add(700, 8, Type::kPng, 3);
+  ASSERT_NE(index.find(std::uint64_t{700}), nullptr);
+
+  ContentEntry whole{1, 8, 3, Type::kPng, false};
+  EXPECT_TRUE(index.retract_entry(700, whole));  // emptied -> tombstone
+  EXPECT_EQ(index.find(std::uint64_t{700}), nullptr);
+  EXPECT_EQ(index.distinct_contents(), 0u);
+  EXPECT_EQ(index.totals().total_files, 0u);
+  std::size_t visited = 0;
+  index.for_each([&](std::uint64_t, const ContentEntry&) { ++visited; });
+  EXPECT_EQ(visited, 0u);
+
+  // A re-observed content reuses its dead slot and counts as live again.
+  index.add(700, 8, Type::kPng, 5);
+  ASSERT_NE(index.find(std::uint64_t{700}), nullptr);
+  EXPECT_EQ(index.find(std::uint64_t{700})->count, 1u);
+  EXPECT_EQ(index.distinct_contents(), 1u);
+}
+
+TEST(RetractionTest, UnderflowsAreCountedAndClamped) {
+  FileDedupIndex index;
+  index.add(900, 4, Type::kJpeg, 0);
+
+  // Unknown key: nothing to subtract from.
+  ContentEntry ghost{1, 4, 0, Type::kJpeg, false};
+  EXPECT_FALSE(index.retract_entry(12345, ghost));
+  EXPECT_EQ(index.retract_underflows(), 1u);
+
+  // Over-retraction clamps to empty instead of wrapping, and counts.
+  ContentEntry too_many{5, 4, 0, Type::kJpeg, false};
+  EXPECT_FALSE(index.retract_entry(900, too_many));
+  EXPECT_EQ(index.retract_underflows(), 2u);
+  EXPECT_EQ(index.find(std::uint64_t{900}), nullptr);
+  EXPECT_EQ(index.totals().total_files, 0u);
+
+  // Retracting nothing is a successful no-op, never an underflow.
+  ContentEntry nothing{0, 0, 0, Type::kEmpty, false};
+  EXPECT_TRUE(index.retract_entry(900, nothing));
+  EXPECT_EQ(index.retract_underflows(), 2u);
 }
 
 }  // namespace

@@ -199,6 +199,19 @@ TEST(ServeCodec, RequestRoundtripsEveryKind) {
   ingest.repositories = 12;
   ingest.seed = 999;
   requests.push_back(ingest);
+  requests.push_back(query("top"));
+  requests.back().metric = "cis";
+  requests.back().n = 10;
+  requests.push_back(query("top"));
+  requests.back().metric = "layers";
+  requests.back().n = 1;
+  requests.push_back(query("repos"));  // no prefix: whole population
+  requests.push_back(query("repos"));
+  requests.back().prefix = "library/";
+  serve::Request epoch;
+  epoch.kind = serve::RequestKind::kIngestEpoch;
+  epoch.id = 8;
+  requests.push_back(epoch);
   serve::Request shutdown;
   shutdown.kind = serve::RequestKind::kShutdown;
   shutdown.id = 10;
@@ -266,6 +279,13 @@ TEST(ServeCodec, RequestParserRejectsMalformedDocuments) {
       R"({"type":"ingest","id":1,"repositories":0,"seed":1})",
       R"({"type":"ingest","id":1,"repositories":-4,"seed":1})",
       R"({"type":"ingest","id":1,"repositories":4})",   // missing seed
+      R"({"type":"query","id":1,"q":"top"})",           // missing metric
+      R"({"type":"query","id":1,"q":"top","metric":"cis"})",  // missing n
+      R"({"type":"query","id":1,"q":"top","metric":"cis","n":0})",
+      R"({"type":"query","id":1,"q":"top","metric":"bogus","n":5})",
+      R"({"type":"query","id":1,"q":"top","metric":7,"n":5})",
+      R"({"type":"query","id":1,"q":"repos","prefix":7})",
+      R"({"type":"ingest-epoch"})",                     // missing id
       R"({"type":"bogus","id":1})",                     // unknown type
   };
   for (const std::string& text : bad) {
@@ -523,6 +543,99 @@ TEST(ServeOracle, ResponsesAreStampedWithTheSnapshotEpoch) {
   ASSERT_TRUE(response.ok());
   EXPECT_EQ(response.value().epoch, 1u);
   EXPECT_EQ(response.value().id, 42u);
+}
+
+// ---- aggregation queries (top / repos) ---------------------------------
+
+std::uint64_t metric_of(const dockmine::analyzer::ImageProfile& profile,
+                        const std::string& metric) {
+  if (metric == "cis") return profile.cis;
+  if (metric == "fis") return profile.fis;
+  if (metric == "files") return profile.file_count;
+  return profile.layer_count;
+}
+
+TEST(ServeOracle, TopQueryRanksRepositoriesByEveryMetric) {
+  Fixture& f = fixture();
+  for (const std::string metric : {"cis", "fis", "files", "layers"}) {
+    serve::Request request = query("top");
+    request.metric = metric;
+    request.n = 3;
+    const json::Value body = ask(request);
+    EXPECT_EQ(body["metric"].as_string(), metric);
+    const json::Value& rows = body["rows"];
+    ASSERT_TRUE(rows.is_array());
+    ASSERT_LE(rows.size(), 3u);
+    ASSERT_GT(rows.size(), 0u);
+
+    // Expected ranking from the oracle run: value desc, name asc on ties.
+    std::vector<std::pair<std::uint64_t, std::string>> expected;
+    for (const auto& profile : f.oracle.images) {
+      expected.emplace_back(metric_of(profile, metric), profile.repository);
+    }
+    std::sort(expected.begin(), expected.end(),
+              [](const auto& a, const auto& b) {
+                return a.first != b.first ? a.first > b.first
+                                          : a.second < b.second;
+              });
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      EXPECT_EQ(rows.at(i)["repository"].as_string(), expected[i].second)
+          << metric << " row " << i;
+      EXPECT_EQ(rows.at(i)["value"].as_uint(), expected[i].first)
+          << metric << " row " << i;
+    }
+  }
+}
+
+TEST(ServeOracle, TopQueryCapsAtThePopulation) {
+  serve::Request request = query("top");
+  request.metric = "cis";
+  request.n = 10000;
+  const json::Value body = ask(request);
+  EXPECT_EQ(body["rows"].size(), fixture().oracle.images.size());
+}
+
+TEST(ServeOracle, ReposQueryAggregatesThePrefixSlice) {
+  Fixture& f = fixture();
+  // Empty prefix: the whole delivered population, totals equal the sums
+  // over the oracle's image profiles.
+  const json::Value all = ask(query("repos"));
+  EXPECT_EQ(all["count"].as_uint(), f.oracle.images.size());
+  std::uint64_t cis = 0, fis = 0, files = 0, layers = 0;
+  for (const auto& profile : f.oracle.images) {
+    cis += profile.cis;
+    fis += profile.fis;
+    files += profile.file_count;
+    layers += profile.layer_count;
+  }
+  EXPECT_EQ(all["total_cis"].as_uint(), cis);
+  EXPECT_EQ(all["total_fis"].as_uint(), fis);
+  EXPECT_EQ(all["total_files"].as_uint(), files);
+  EXPECT_EQ(all["total_layers"].as_uint(), layers);
+
+  // A real repository name as its own prefix: exactly that repository.
+  const std::string name = f.oracle.images.front().repository;
+  serve::Request one = query("repos");
+  one.prefix = name;
+  const json::Value slice = ask(one);
+  EXPECT_EQ(slice["prefix"].as_string(), name);
+  EXPECT_GE(slice["count"].as_uint(), 1u);
+  EXPECT_LE(slice["total_cis"].as_uint(), cis);
+
+  // A prefix matching nothing: zero rows, zero totals, still a result.
+  serve::Request none = query("repos");
+  none.prefix = "no-such-namespace/";
+  const json::Value empty = ask(none);
+  EXPECT_EQ(empty["count"].as_uint(), 0u);
+  EXPECT_EQ(empty["total_cis"].as_uint(), 0u);
+}
+
+TEST(ServeOracle, IngestEpochIsRejectedOutsideTemporalMode) {
+  serve::Request request;
+  request.kind = serve::RequestKind::kIngestEpoch;
+  request.id = 42;
+  const std::string error = ask_error(request);
+  EXPECT_NE(error.find("temporal"), std::string::npos) << error;
 }
 
 // ---- failure containment -----------------------------------------------

@@ -5,6 +5,8 @@
 //   dockmine serve    [--repos N] [--port P] [--state-dir D]
 //                     long-lived query/ingest daemon (DESIGN.md §13)
 //   dockmine query    SELECTOR --port P                  ask a serve daemon
+//   dockmine evolve   [--epochs K] [--verify]            temporal epochs +
+//                     incremental delta analysis vs batch oracle
 //   dockmine serve-registry [--repos N] [--port P]       HTTP registry
 //   dockmine crawl    --port P                           crawl a registry
 //   dockmine pull     --port P [--workers W] [--token T] mirror a registry
@@ -46,6 +48,9 @@
 #include "dockmine/registry/http_gateway.h"
 #include "dockmine/shard/merger.h"
 #include "dockmine/synth/materialize.h"
+#include "dockmine/temporal/delta_analyzer.h"
+#include "dockmine/temporal/epoch_model.h"
+#include "dockmine/temporal/trend.h"
 #include "dockmine/util/bytes.h"
 #include "dockmine/util/stopwatch.h"
 #include "flags.h"
@@ -609,6 +614,140 @@ int cmd_gc(const Flags& flags) {
   return 0;
 }
 
+// The temporal stack shared by `serve --temporal` and `evolve`: one
+// evolving registry plus the incremental analyzer, advanced one epoch per
+// call. Everything is seeded, so replaying advance_to(0..K) after a restart
+// reproduces the exact resident state.
+struct TemporalStack {
+  synth::HubModel hub;
+  temporal::EpochModel model;
+  registry::Service service;
+  temporal::EvolvingRegistry evolving;
+  temporal::DeltaAnalyzer analyzer;
+
+  TemporalStack(const synth::Calibration& calibration,
+                const synth::Scale& scale, int gzip_level)
+      : hub(calibration, scale), model(hub), evolving(model, gzip_level) {}
+
+  util::Result<temporal::EpochDelta> advance_to(std::uint32_t epoch) {
+    if (epoch == 0) {
+      auto pushed = evolving.initialize(service);
+      if (!pushed.ok()) return std::move(pushed).error();
+      // Epoch 0 is the initial ingest: the churn set is every repository,
+      // exactly the universe the batch crawler would discover.
+      std::vector<std::string> all;
+      all.reserve(hub.repositories().size());
+      for (const auto& repo : hub.repositories()) all.push_back(repo.name);
+      return analyzer.apply_epoch(service, 0, all);
+    }
+    auto pushed = evolving.advance(service);
+    if (!pushed.ok()) return std::move(pushed).error();
+    return analyzer.apply_epoch(service, epoch, pushed.value().repushed);
+  }
+};
+
+int cmd_evolve(const Flags& flags) {
+  synth::Scale scale = scale_from(flags);
+  if (flags.str("repos").empty()) scale.repositories = 120;
+  const synth::Calibration calibration = flags.flag("paper")
+                                             ? synth::Calibration::paper()
+                                             : synth::Calibration::light();
+  const int gzip_level = static_cast<int>(flags.u64("gzip", 1));
+  const auto epochs = static_cast<std::uint32_t>(flags.u64("epochs", 4));
+  const std::string mode = flags.str("mode", "staged");
+  core::ExecutionMode exec_mode;
+  if (mode == "serial") {
+    exec_mode = core::ExecutionMode::kSerial;
+  } else if (mode == "staged") {
+    exec_mode = core::ExecutionMode::kStaged;
+  } else if (mode == "streamed") {
+    exec_mode = core::ExecutionMode::kStreamed;
+  } else {
+    std::cerr << "evolve: --mode must be serial, staged, or streamed\n";
+    return 2;
+  }
+
+  TemporalStack stack(calibration, scale, gzip_level);
+  temporal::TrendReport trend;
+  for (std::uint32_t epoch = 0; epoch <= epochs; ++epoch) {
+    auto delta = stack.advance_to(epoch);
+    if (!delta.ok()) {
+      std::cerr << "evolve: " << delta.error().to_string() << "\n";
+      return 1;
+    }
+    if (auto observed = trend.observe(stack.analyzer); !observed.ok()) {
+      std::cerr << "evolve: " << observed.error().to_string() << "\n";
+      return 1;
+    }
+    const temporal::EpochDelta& d = delta.value();
+    std::cout << "epoch " << epoch << ": " << d.repos_delivered << "/"
+              << d.repos_churned << " repos, " << d.layers_changed
+              << " layers analyzed, " << d.layers_reused << " reused, "
+              << d.layers_removed << " retired ("
+              << util::format_bytes(d.bytes_fetched) << " fetched, "
+              << d.wall_ms << " ms)\n";
+
+    if (flags.flag("verify")) {
+      // Batch oracle: a fresh registry built from scratch at this epoch,
+      // analyzed by the ordinary pipeline — the incremental report must be
+      // byte-identical.
+      registry::Service oracle_service;
+      auto built = temporal::build_registry_at_epoch(stack.model, epoch,
+                                                     gzip_level,
+                                                     oracle_service);
+      if (!built.ok()) {
+        std::cerr << "evolve: " << built.error().to_string() << "\n";
+        return 1;
+      }
+      core::PipelineOptions options;
+      options.scale = scale;
+      options.calibration = calibration;
+      options.gzip_level = gzip_level;
+      options.mode = exec_mode;
+      options.download_workers = flags.u64("workers", 4);
+      options.analyze_workers = flags.u64("workers", 4);
+      options.external_service = &oracle_service;
+      auto batch = core::run_end_to_end(options);
+      if (!batch.ok()) {
+        std::cerr << "evolve: oracle run failed: "
+                  << batch.error().to_string() << "\n";
+        return 1;
+      }
+      auto incremental = stack.analyzer.report();
+      if (!incremental.ok()) {
+        std::cerr << "evolve: " << incremental.error().to_string() << "\n";
+        return 1;
+      }
+      if (incremental.value().dump() !=
+          core::analysis_report_json(batch.value()).dump()) {
+        std::cerr << "evolve: VERIFY FAILED — incremental epoch-" << epoch
+                  << " report differs from the from-scratch batch report\n";
+        return 1;
+      }
+      std::cout << "epoch " << epoch
+                << ": verified — incremental report is byte-identical to"
+                   " the batch oracle\n";
+    }
+  }
+
+  const std::string trend_out = flags.str("trend-out");
+  if (!trend_out.empty()) {
+    std::ofstream file(trend_out, std::ios::binary | std::ios::trunc);
+    if (!file.is_open() || !(file << trend.to_json().dump_pretty() << "\n")) {
+      std::cerr << "evolve: cannot write " << trend_out << "\n";
+      return 1;
+    }
+    std::cout << "trend series written to " << trend_out << "\n";
+  }
+  const auto totals = stack.analyzer.contents().totals();
+  std::cout << "final: epoch " << stack.analyzer.epoch() << ", "
+            << stack.analyzer.resident_images() << " images, "
+            << stack.analyzer.resident_layers() << " layers, dedup "
+            << core::fmt_ratio(totals.count_ratio()) << " count / "
+            << core::fmt_ratio(totals.capacity_ratio()) << " capacity\n";
+  return 0;
+}
+
 core::JobSpec job_spec_from(const Flags& flags) {
   core::JobSpec spec;
   spec.repositories = flags.u64("repos", 120);
@@ -634,6 +773,25 @@ int cmd_serve(const Flags& flags) {
   options.io_timeout_ms =
       static_cast<std::uint32_t>(flags.u64("io-timeout-ms", 200));
   options.slowloris_ms = flags.u64("slowloris-ms", 10000);
+
+  if (flags.flag("temporal")) {
+    // Temporal mode: the daemon serves an evolving registry; ingest-epoch
+    // advances it one epoch. The stack outlives the daemon via the shared
+    // capture.
+    synth::Scale scale;
+    scale.repositories = options.job.repositories;
+    scale.seed = options.job.seed;
+    auto stack = std::make_shared<TemporalStack>(
+        options.job.light_calibration ? synth::Calibration::light()
+                                      : synth::Calibration::paper(),
+        scale, options.job.gzip_level);
+    options.temporal_advance =
+        [stack](std::uint32_t epoch) -> util::Result<core::PipelineResult> {
+      auto delta = stack->advance_to(epoch);
+      if (!delta.ok()) return std::move(delta).error();
+      return stack->analyzer.result();
+    };
+  }
 
   core::serve::ServeDaemon daemon(std::move(options));
   if (auto started = daemon.start(); !started.ok()) {
@@ -683,6 +841,8 @@ int cmd_query(const Flags& flags) {
       std::cerr << "query ingest requires --repos N\n";
       return 2;
     }
+  } else if (selector == "ingest-epoch") {
+    request.kind = core::serve::RequestKind::kIngestEpoch;
   } else if (selector == "shutdown") {
     request.kind = core::serve::RequestKind::kShutdown;
   } else {
@@ -692,14 +852,18 @@ int cmd_query(const Flags& flags) {
     request.repository = flags.str("repo");
     request.key = flags.u64("key", 0);
     request.name = flags.str("name");
+    request.metric = flags.str("metric", "cis");
+    request.n = flags.u64("n", 10);
+    request.prefix = flags.str("prefix");
     const std::string quantile = flags.str("quantile");
     if (!quantile.empty()) {
       request.quantile = std::strtod(quantile.c_str(), nullptr);
     }
   }
-  // Ingest runs a whole pipeline batch before answering; give it room.
+  // Ingest runs a whole pipeline batch (or temporal epoch) before
+  // answering; give it room.
   const std::uint64_t default_timeout =
-      selector == "ingest" ? 600000 : 10000;
+      selector == "ingest" || selector == "ingest-epoch" ? 600000 : 10000;
   auto client = core::serve::Client::connect(
       port, static_cast<std::uint32_t>(flags.u64("timeout-ms", default_timeout)));
   if (!client.ok()) {
@@ -890,11 +1054,20 @@ int usage() {
       "  serve    [--repos N] [--seed S] [--port P] [--state-dir DIR]\n"
       "           [--paper] [--shards N] [--mode serial|staged|streamed]\n"
       "           [--io-timeout-ms N] [--slowloris-ms N] [--report-out F]\n"
-      "           long-lived query/ingest daemon over the wire protocol\n"
+      "           [--temporal]   long-lived query/ingest daemon; with\n"
+      "           --temporal it serves an evolving registry and accepts\n"
+      "           ingest-epoch instead of batch ingest\n"
       "  query    report|image|layer|content|types|ecdf|status|stats|\n"
-      "           ingest|shutdown  --port P  [--path A.B] [--repo NAME]\n"
-      "           [--key K] [--name images.cis] [--quantile Q] [--repos N]\n"
-      "           [--seed S] [--timeout-ms N]   ask a running serve daemon\n"
+      "           top|repos|ingest|ingest-epoch|shutdown  --port P\n"
+      "           [--path A.B] [--repo NAME] [--key K] [--name images.cis]\n"
+      "           [--quantile Q] [--metric cis|fis|files|layers] [--n K]\n"
+      "           [--prefix P] [--repos N] [--seed S] [--timeout-ms N]\n"
+      "           ask a running serve daemon\n"
+      "  evolve   [--repos N] [--seed S] [--epochs K] [--paper] [--gzip L]\n"
+      "           [--mode serial|staged|streamed] [--verify]\n"
+      "           [--trend-out F]   evolve the registry K epochs with\n"
+      "           incremental delta analysis; --verify pins each epoch's\n"
+      "           report byte-for-byte against a from-scratch batch run\n"
       "  serve-registry [--repos N] [--port P] [--workers W] [--light]\n"
       "           [--max-requests N]   HTTP registry for crawl/pull\n"
       "  crawl    --port P [--token T] [--page-size K] [--list]\n"
@@ -938,6 +1111,7 @@ int main(int argc, char** argv) {
   if (command == "dedup") return cmd_dedup(flags);
   if (command == "serve") return cmd_serve(flags);
   if (command == "query") return cmd_query(flags);
+  if (command == "evolve") return cmd_evolve(flags);
   if (command == "serve-registry") return cmd_serve_registry(flags);
   if (command == "crawl") return cmd_crawl(flags);
   if (command == "pull") return cmd_pull(flags);

@@ -38,6 +38,7 @@ configure_and_build "${build_root}/tsan" -DDOCKMINE_SANITIZE=thread
 "${build_root}/tsan/tests/serve_chaos_test"
 "${build_root}/tsan/tests/arena_test"
 "${build_root}/tsan/tests/art_test"
+"${build_root}/tsan/tests/temporal_test"
 # Both index backends under maximum spill churn: default is the ART, the
 # map path stays covered explicitly.
 DOCKMINE_SHARD_SPILL_BYTES=1 "${build_root}/tsan/tests/shard_test"
