@@ -1,12 +1,14 @@
 // Serve-daemon bench: an in-process ServeDaemon answering a mixed query
 // workload (report slices, ecdf lookups, per-image reports, type
 // breakdowns, status) from C concurrent connections, R requests each
-// (DOCKMINE_SERVE_CONNS / DOCKMINE_SERVE_REQS override). Two phases:
-// steady state, then the same hammer while an ingest batch runs and
-// commits — the during-ingest numbers price what snapshot isolation
-// costs readers when a writer is folding. Reports p50/p90/p99/max
-// latency and aggregate QPS per phase; writes BENCH_serve.json
-// (DOCKMINE_BENCH_JSON overrides) for CI trend tracking.
+// (DOCKMINE_SERVE_CONNS / DOCKMINE_SERVE_REQS override). Three phases:
+// steady state; the same hammer while an ingest batch runs and commits —
+// the during-ingest numbers price what snapshot isolation costs readers
+// when a writer is folding; and the steady hammer against a
+// telemetry-enabled daemon (sampler + latency attribution + slowlog +
+// alerts), gated at <=10% p99 overhead vs. plain steady state. Reports
+// p50/p90/p99/max latency and aggregate QPS per phase; writes
+// BENCH_serve.json (DOCKMINE_BENCH_JSON overrides) for CI trend tracking.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -24,6 +26,9 @@
 #include "dockmine/core/pipeline.h"
 #include "dockmine/core/serve.h"
 #include "dockmine/json/json.h"
+#include "dockmine/obs/export.h"
+#include "dockmine/obs/journal.h"
+#include "dockmine/obs/obs.h"
 #include "dockmine/util/stopwatch.h"
 
 namespace {
@@ -242,6 +247,66 @@ int main(int argc, char** argv) {
   daemon.stop();
   std::filesystem::remove_all(state_dir);
 
+  // Phases 3 and 4: price the continuous-telemetry subsystem. Both run
+  // with obs runtime-enabled; phase 3 is the baseline (instrumented serve
+  // path, no telemetry machinery), phase 4 turns on everything ISSUE 10
+  // added — background sampler, per-request latency attribution, slow-query
+  // journal, alert evaluation, trace journal. The gate keeps the
+  // telemetry-on p99 within 10% of the obs-baseline p99 (plus a small
+  // absolute floor so microsecond-scale baselines don't flap the ratio).
+  const bool obs_was_enabled = obs::enabled();
+  obs::set_enabled(true);
+
+  const auto steady_phase = [&](const core::serve::ServeOptions& serve_options,
+                                const char* name,
+                                PhaseResult& out) -> bool {
+    std::filesystem::remove_all(serve_options.state_dir);
+    core::serve::ServeDaemon phase_daemon(serve_options);
+    if (auto status = phase_daemon.start(); !status.ok()) {
+      std::fprintf(stderr, "%s daemon start failed: %s\n", name,
+                   status.error().to_string().c_str());
+      return false;
+    }
+    out = hammer(phase_daemon.port(), connections, per_conn, requests);
+    print_phase(name, out);
+    phase_daemon.stop();
+    std::filesystem::remove_all(serve_options.state_dir);
+    return true;
+  };
+
+  core::serve::ServeOptions baseline_options;
+  baseline_options.job = spec;
+  baseline_options.state_dir = state_dir + "-obs-baseline";
+  PhaseResult obs_baseline;
+  const bool baseline_started =
+      steady_phase(baseline_options, "obs-baseline", obs_baseline);
+  obs::reset_all();
+
+  obs::set_journal_enabled(true);
+  core::serve::ServeOptions telemetry_options;
+  telemetry_options.job = spec;
+  telemetry_options.state_dir = state_dir + "-telemetry";
+  telemetry_options.telemetry.enabled = true;
+  telemetry_options.telemetry.sample_interval_ms = 200;
+  telemetry_options.telemetry.ring_capacity = 256;
+  PhaseResult telemetry;
+  const bool telemetry_started =
+      steady_phase(telemetry_options, "telemetry", telemetry);
+  obs::reset_all();
+  obs::set_journal_enabled(false);
+  obs::set_enabled(obs_was_enabled);
+
+  const double baseline_p99 = percentile(obs_baseline.latencies_ms, 0.99);
+  const double telemetry_p99 = percentile(telemetry.latencies_ms, 0.99);
+  const double telemetry_overhead_ratio =
+      baseline_p99 > 0.0 ? telemetry_p99 / baseline_p99 : 0.0;
+  const bool telemetry_ok = baseline_started && telemetry_started &&
+                            obs_baseline.errors == 0 &&
+                            telemetry.errors == 0 &&
+                            telemetry_p99 <= baseline_p99 * 1.10 + 0.25;
+  std::printf("  telemetry p99 overhead: %.2fx vs obs baseline (%s)\n",
+              telemetry_overhead_ratio, telemetry_ok ? "ok" : "OVER BUDGET");
+
   auto doc = json::Value::object();
   doc.set("bench", "serve");
   doc.set("repositories", spec.repositories);
@@ -251,6 +316,9 @@ int main(int argc, char** argv) {
   doc.set("startup_seconds", startup_seconds);
   doc.set("steady", phase_json(steady));
   doc.set("during_ingest", phase_json(during));
+  doc.set("obs_baseline", phase_json(obs_baseline));
+  doc.set("telemetry", phase_json(telemetry));
+  doc.set("telemetry_overhead_ratio", telemetry_overhead_ratio);
   doc.set("ingest_committed", ingest_ok.load());
   doc.set("final_epoch", final_epoch);
 
@@ -266,6 +334,6 @@ int main(int argc, char** argv) {
   }
 
   const bool ok = steady.errors == 0 && during.errors == 0 &&
-                  ingest_ok.load() && final_epoch == 2;
+                  ingest_ok.load() && final_epoch == 2 && telemetry_ok;
   return ok ? 0 : 1;
 }

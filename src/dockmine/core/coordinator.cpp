@@ -49,6 +49,15 @@ struct WorkerConn {
   std::uint32_t outstanding = 0;
   registry::CircuitBreaker breaker;
 
+  // Per-worker telemetry derived from the obs snapshot riding on each
+  // heartbeat: the summed counter total and the beat's own timestamp, so
+  // the coordinator can publish a per-second event rate per worker. A
+  // worker resets its registry per lease, so totals may decrease; that
+  // re-bases the window instead of producing a negative rate.
+  bool prev_beat_valid = false;
+  double prev_beat_obs_ms = 0.0;
+  std::uint64_t prev_counter_total = 0;
+
   // Reader-thread-only: the result header whose binary file frames are
   // currently streaming in.
   wire::FrameBuffer frames;
@@ -239,11 +248,38 @@ struct Coordinator::Impl {
     conn.pid = msg["pid"].as_uint();
   }
 
-  void on_heartbeat(WorkerConn& conn) {
+  void on_heartbeat(WorkerConn& conn, const json::Value& msg) {
     std::lock_guard<std::mutex> lock(mutex);
     ++stats.heartbeats_received;
     obs::Registry::global().counter("dockmine_coord_heartbeats_total").add();
     conn.last_beat_ms = mono_ms();
+
+    // Aggregate the worker's sampled series: sum its counter snapshot and
+    // publish the per-second delta between consecutive beats as a gauge,
+    // one series per worker. `dockmine watch` / `query metrics` against a
+    // telemetry-enabled coordinator then shows live per-worker throughput.
+    const json::Value& snapshot = msg["obs"];
+    if (!snapshot.is_object() || !snapshot["counters"].is_object() ||
+        !snapshot["ts_ms"].is_number()) {
+      return;
+    }
+    std::uint64_t total = 0;
+    for (const auto& [name, value] : snapshot["counters"].members()) {
+      if (value.is_number()) total += value.as_uint();
+    }
+    const double beat_ms = snapshot["ts_ms"].as_double();
+    if (conn.prev_beat_valid && beat_ms > conn.prev_beat_obs_ms &&
+        total >= conn.prev_counter_total) {
+      const double rate = (total - conn.prev_counter_total) * 1000.0 /
+                          (beat_ms - conn.prev_beat_obs_ms);
+      obs::Registry::global()
+          .gauge("dockmine_coord_worker_events_per_s{worker=\"" +
+                 std::to_string(conn.id) + "\"}")
+          .set(static_cast<std::int64_t>(rate));
+    }
+    conn.prev_beat_valid = true;
+    conn.prev_beat_obs_ms = beat_ms;
+    conn.prev_counter_total = total;
   }
 
   void on_lease_failed(WorkerConn& conn, const json::Value& msg) {
@@ -354,7 +390,7 @@ struct Coordinator::Impl {
       return true;
     }
     if (type == "heartbeat") {
-      on_heartbeat(conn);
+      on_heartbeat(conn, msg);
       return true;
     }
     if (type == "lease-failed") {

@@ -10,7 +10,9 @@
 
 #include "dockmine/filetype/taxonomy.h"
 #include "dockmine/obs/export.h"
+#include "dockmine/obs/journal.h"
 #include "dockmine/obs/obs.h"
+#include "dockmine/obs/timeseries.h"
 
 namespace dockmine::core::serve {
 namespace {
@@ -38,7 +40,12 @@ int grid_index(double q) {
 bool known_query(const std::string& q) {
   return q == "report" || q == "image" || q == "layer" || q == "content" ||
          q == "types" || q == "ecdf" || q == "status" || q == "stats" ||
-         q == "top" || q == "repos";
+         q == "top" || q == "repos" || q == "metrics" || q == "trace-tail" ||
+         q == "slowlog";
+}
+
+bool known_metrics_op(const std::string& op) {
+  return op.empty() || op == "rate" || op == "quantile";
 }
 
 bool known_top_metric(const std::string& metric) {
@@ -105,6 +112,18 @@ json::Value request_to_json(const Request& request) {
       }
       if (request.q == "repos" && !request.prefix.empty()) {
         doc.set("prefix", request.prefix);
+      }
+      if (request.q == "metrics") {
+        if (!request.name.empty()) doc.set("name", request.name);
+        if (!request.op.empty()) doc.set("op", request.op);
+        if (request.window_ms > 0) doc.set("window_ms", request.window_ms);
+        if (request.op == "quantile" && request.quantile >= 0.0) {
+          doc.set("quantile", request.quantile);
+        }
+        if (request.range_ms > 0) doc.set("range_ms", request.range_ms);
+      }
+      if (request.q == "trace-tail" && request.n > 0) {
+        doc.set("n", request.n);
       }
       break;
     case RequestKind::kIngest:
@@ -210,6 +229,51 @@ util::Result<Request> request_from_json(const json::Value& doc) {
       }
       request.prefix = doc["prefix"].as_string();
     }
+  } else if (request.q == "metrics") {
+    if (doc.contains("name")) {
+      if (!doc["name"].is_string()) {
+        return util::corrupt("serve: metrics name must be a string");
+      }
+      request.name = doc["name"].as_string();
+    }
+    if (doc.contains("op")) {
+      if (!doc["op"].is_string() ||
+          !known_metrics_op(doc["op"].as_string())) {
+        return util::corrupt("serve: metrics op must be rate|quantile");
+      }
+      request.op = doc["op"].as_string();
+    }
+    if (doc.contains("window_ms")) {
+      if (!doc["window_ms"].is_int() || doc["window_ms"].as_int() <= 0) {
+        return util::corrupt("serve: metrics window_ms must be >= 1");
+      }
+      request.window_ms = doc["window_ms"].as_uint();
+    }
+    if (doc.contains("range_ms")) {
+      if (!doc["range_ms"].is_int() || doc["range_ms"].as_int() <= 0) {
+        return util::corrupt("serve: metrics range_ms must be >= 1");
+      }
+      request.range_ms = doc["range_ms"].as_uint();
+    }
+    if (request.op == "quantile") {
+      if (!doc["quantile"].is_number()) {
+        return util::corrupt("serve: metrics quantile op requires a "
+                             "quantile");
+      }
+      request.quantile = doc["quantile"].as_double();
+      if (!(request.quantile > 0.0 && request.quantile < 1.0)) {
+        return util::corrupt("serve: metrics quantile out of (0,1)");
+      }
+    } else if (doc.contains("quantile")) {
+      return util::corrupt("serve: metrics quantile requires op=quantile");
+    }
+  } else if (request.q == "trace-tail") {
+    if (doc.contains("n")) {
+      if (!doc["n"].is_int() || doc["n"].as_int() <= 0) {
+        return util::corrupt("serve: trace-tail n must be >= 1");
+      }
+      request.n = doc["n"].as_uint();
+    }
   }
   return request;
 }
@@ -224,6 +288,10 @@ json::Value response_to_json(const Response& response) {
   } else {
     doc.set("error", response.error);
   }
+  // Latency attribution rides along only when measured, so telemetry-off
+  // responses are byte-identical to older builds.
+  if (response.parse_ms >= 0.0) doc.set("parse_ms", response.parse_ms);
+  if (response.handle_ms >= 0.0) doc.set("handle_ms", response.handle_ms);
   return doc;
 }
 
@@ -236,6 +304,19 @@ util::Result<Response> response_from_json(const json::Value& doc) {
   Response response;
   response.id = doc["id"].as_uint();
   response.epoch = doc["epoch"].as_uint();
+  if (doc.contains("parse_ms")) {
+    if (!doc["parse_ms"].is_number() || doc["parse_ms"].as_double() < 0.0) {
+      return util::corrupt("serve: parse_ms must be a non-negative number");
+    }
+    response.parse_ms = doc["parse_ms"].as_double();
+  }
+  if (doc.contains("handle_ms")) {
+    if (!doc["handle_ms"].is_number() ||
+        doc["handle_ms"].as_double() < 0.0) {
+      return util::corrupt("serve: handle_ms must be a non-negative number");
+    }
+    response.handle_ms = doc["handle_ms"].as_double();
+  }
   const std::string& type = doc["type"].as_string();
   if (type == "result") {
     if (!doc.contains("body")) {
@@ -628,6 +709,29 @@ util::Status ServeDaemon::start() {
                                          ? temporal_applied_ - 1
                                          : batches_.size()));
 
+  if (options_.telemetry.enabled) {
+    // Continuous telemetry: own the global sampler for this daemon's
+    // lifetime (unless some other component already started it) and
+    // evaluate alert rules on the sampler thread after every scrape.
+    // Latch the uptime baseline now — otherwise the first `query stats`
+    // would capture it and every watch frame would report uptime ~0.
+    (void)obs::collect();
+    obs::TimeSeriesStore& store = obs::TimeSeriesStore::global();
+    alerts_.configure(options_.telemetry.rules.empty()
+                          ? obs::default_serve_rules()
+                          : options_.telemetry.rules);
+    alerts_.set_log_path(options_.telemetry.alert_log_path);
+    if (!store.sampler_running()) {
+      obs::TimeSeriesOptions ts;
+      ts.interval_ms = options_.telemetry.sample_interval_ms;
+      ts.capacity = options_.telemetry.ring_capacity;
+      (void)store.configure(ts);
+      telemetry_started_ = store.start_sampler([this](double sampled_at_ms) {
+        alerts_.evaluate(obs::TimeSeriesStore::global(), sampled_at_ms);
+      });
+    }
+  }
+
   if (auto bound = listener_.bind_loopback(options_.port); !bound.ok()) {
     return bound;
   }
@@ -650,6 +754,10 @@ void ServeDaemon::stop() {
   }
   for (auto& session : sessions) {
     if (session->thread.joinable()) session->thread.join();
+  }
+  if (telemetry_started_) {
+    obs::TimeSeriesStore::global().stop_sampler();
+    telemetry_started_ = false;
   }
 }
 
@@ -754,12 +862,17 @@ void ServeDaemon::session_loop(Session* session) {
       // session lives on: framing integrity and request validity fail at
       // different blast radii.
       Response response;
+      const bool attribute =
+          options_.telemetry.enabled && obs::enabled();
+      const double parse_start = attribute ? mono_ms() : 0.0;
+      double parse_ms = -1.0;
       auto parsed = json::parse(frame.payload);
       if (!parsed.ok()) {
         serve_counter("dockmine_serve_bad_requests_total").add();
         response.error = "unparseable request: " + parsed.error().to_string();
       } else {
         auto request = request_from_json(parsed.value());
+        if (attribute) parse_ms = mono_ms() - parse_start;
         if (!request.ok()) {
           serve_counter("dockmine_serve_bad_requests_total").add();
           if (parsed.value().is_object() && parsed.value()["id"].is_int() &&
@@ -771,6 +884,7 @@ void ServeDaemon::session_loop(Session* session) {
           response = handle_request(request.value());
         }
       }
+      if (parse_ms >= 0.0) response.parse_ms = parse_ms;
       if (!session->socket
                .write_all(wire::encode_frame(wire::FrameKind::kJson,
                                              response_to_json(response).dump()))
@@ -840,11 +954,39 @@ Response ServeDaemon::handle_request(const Request& request) {
   }
   // `label` is a member of a closed, parser-validated set — safe inside a
   // metric name.
+  const double elapsed = mono_ms() - start;
   serve_counter("dockmine_serve_requests_total{q=\"" + label + "\"}").add();
   obs::Registry::global()
       .histogram("dockmine_serve_request_ms{q=\"" + label + "\"}")
-      .observe(mono_ms() - start);
+      .observe(elapsed);
+  if (options_.telemetry.enabled && obs::enabled()) {
+    response.handle_ms = elapsed;
+    note_slow_query(request, response, elapsed);
+  }
   return response;
+}
+
+void ServeDaemon::note_slow_query(const Request& request,
+                                  const Response& response,
+                                  double handle_ms) {
+  if (handle_ms < options_.telemetry.slowlog_threshold_ms) return;
+  SlowQuery entry;
+  entry.ts_ms = obs::now_ms();
+  entry.q = request.kind == RequestKind::kQuery ? request.q
+            : request.kind == RequestKind::kIngest
+                ? std::string("ingest")
+            : request.kind == RequestKind::kIngestEpoch
+                ? std::string("ingest-epoch")
+                : std::string("shutdown");
+  entry.id = request.id;
+  entry.ms = handle_ms;
+  entry.ok = response.ok;
+  std::lock_guard<std::mutex> lock(slowlog_mutex_);
+  slowlog_.push_back(std::move(entry));
+  while (slowlog_.size() > options_.telemetry.slowlog_capacity) {
+    slowlog_.pop_front();
+    ++slowlog_dropped_;
+  }
 }
 
 Response ServeDaemon::handle_query(const Request& request) {
@@ -964,6 +1106,12 @@ Response ServeDaemon::handle_query(const Request& request) {
              snap->resident
                  ? static_cast<std::uint64_t>(snap->resident->distinct_contents())
                  : snap->contents.distinct_contents());
+    if (options_.telemetry.enabled) {
+      auto alerts = json::Value::object();
+      alerts.set("firing", static_cast<std::uint64_t>(alerts_.firing_count()));
+      alerts.set("rules", alerts_.to_json());
+      body.set("alerts", std::move(alerts));
+    }
     response.ok = true;
     response.body = std::move(body);
     return response;
@@ -1023,6 +1171,127 @@ Response ServeDaemon::handle_query(const Request& request) {
   if (request.q == "stats") {
     response.ok = true;
     response.body = obs::to_json(obs::collect());
+    return response;
+  }
+  if (request.q == "metrics") {
+    const obs::TimeSeriesStore& store = obs::TimeSeriesStore::global();
+    const double window = request.window_ms > 0
+                              ? static_cast<double>(request.window_ms)
+                              : 60000.0;
+    if (request.op == "quantile") {
+      const double q = request.quantile;
+      if (!(std::fabs(q - 0.50) < 1e-9 || std::fabs(q - 0.90) < 1e-9 ||
+            std::fabs(q - 0.99) < 1e-9)) {
+        return fail("serve: metrics quantile must be 0.5, 0.9, or 0.99");
+      }
+    }
+    auto series_out = json::Value::array();
+    for (const obs::TimeSeriesStore::SeriesInfo& info :
+         store.series(request.name)) {
+      auto row = json::Value::object();
+      row.set("name", info.name);
+      row.set("kind", std::string(obs::to_string(info.kind)));
+      if (request.op == "rate") {
+        const std::optional<double> rate =
+            store.rate_per_s(info.name, window);
+        if (!rate) continue;  // gauge / fewer than two samples in window
+        row.set("rate_per_s", *rate);
+      } else if (request.op == "quantile") {
+        const std::optional<double> value =
+            store.quantile(info.name, request.quantile, window);
+        if (!value) continue;  // not a histogram / empty window
+        row.set("quantile", request.quantile);
+        row.set("value", *value);
+      } else {
+        std::vector<obs::TsSample> picked;
+        const std::optional<obs::TsSample> newest = store.latest(info.name);
+        if (newest) {
+          picked = request.range_ms > 0
+                       ? store.range(info.name,
+                                     newest->ts_ms -
+                                         static_cast<double>(request.range_ms),
+                                     newest->ts_ms)
+                       : std::vector<obs::TsSample>{*newest};
+        }
+        auto samples = json::Value::array();
+        for (const obs::TsSample& sample : picked) {
+          auto point = json::Value::object();
+          point.set("ts_ms", sample.ts_ms);
+          point.set("value", sample.value);
+          if (info.kind != obs::SeriesKind::kGauge) {
+            point.set("delta", sample.delta);
+          }
+          if (info.kind == obs::SeriesKind::kHistogram) {
+            point.set("sum", sample.sum);
+            point.set("p50", sample.p50);
+            point.set("p90", sample.p90);
+            point.set("p99", sample.p99);
+          }
+          samples.push_back(std::move(point));
+        }
+        row.set("samples", std::move(samples));
+      }
+      series_out.push_back(std::move(row));
+    }
+    auto body = json::Value::object();
+    body.set("series", std::move(series_out));
+    body.set("samples_taken", store.samples_taken());
+    response.ok = true;
+    response.body = std::move(body);
+    return response;
+  }
+  if (request.q == "trace-tail") {
+    const obs::TraceJournal& journal = obs::TraceJournal::global();
+    const std::uint64_t n = request.n > 0 ? request.n : 64;
+    const std::vector<obs::TraceEvent> events = journal.snapshot();
+    const std::size_t begin =
+        events.size() > n ? events.size() - static_cast<std::size_t>(n) : 0;
+    auto out = json::Value::array();
+    for (std::size_t i = begin; i < events.size(); ++i) {
+      const obs::TraceEvent& event = events[i];
+      auto row = json::Value::object();
+      row.set("name", event.name);
+      row.set("kind", std::string(obs::to_string(event.kind)));
+      row.set("trace_id", event.trace_id);
+      row.set("span_id", event.span_id);
+      row.set("parent_id", event.parent_id);
+      row.set("node", std::uint64_t{event.node});
+      row.set("lane", std::uint64_t{event.lane});
+      row.set("start_ms", event.start_ms);
+      row.set("end_ms", event.end_ms);
+      row.set("cpu_ms", event.cpu_ms);
+      out.push_back(std::move(row));
+    }
+    auto body = json::Value::object();
+    body.set("events", std::move(out));
+    body.set("recorded", journal.recorded());
+    body.set("dropped", journal.dropped());
+    response.ok = true;
+    response.body = std::move(body);
+    return response;
+  }
+  if (request.q == "slowlog") {
+    auto out = json::Value::array();
+    std::uint64_t dropped = 0;
+    {
+      std::lock_guard<std::mutex> lock(slowlog_mutex_);
+      for (const SlowQuery& entry : slowlog_) {
+        auto row = json::Value::object();
+        row.set("ts_ms", entry.ts_ms);
+        row.set("q", entry.q);
+        row.set("id", entry.id);
+        row.set("ms", entry.ms);
+        row.set("ok", entry.ok);
+        out.push_back(std::move(row));
+      }
+      dropped = slowlog_dropped_;
+    }
+    auto body = json::Value::object();
+    body.set("entries", std::move(out));
+    body.set("dropped", dropped);
+    body.set("threshold_ms", options_.telemetry.slowlog_threshold_ms);
+    response.ok = true;
+    response.body = std::move(body);
     return response;
   }
   return fail("serve: unknown query: " + request.q);  // unreachable (parser)

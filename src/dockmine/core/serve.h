@@ -35,6 +35,11 @@
 //             {"type":"query","id":N,"q":"stats"}
 //             {"type":"query","id":N,"q":"top","metric":"cis","n":10}
 //             {"type":"query","id":N,"q":"repos"[,"prefix":"library/"]}
+//             {"type":"query","id":N,"q":"metrics"[,"name":SELECTOR]
+//                 [,"op":"rate"|"quantile"][,"window_ms":W]
+//                 [,"quantile":0.99][,"range_ms":R]}
+//             {"type":"query","id":N,"q":"trace-tail"[,"n":64]}
+//             {"type":"query","id":N,"q":"slowlog"}
 //             {"type":"ingest","id":N,"repositories":R,"seed":S}
 //             {"type":"ingest-epoch","id":N}          (temporal mode)
 //             {"type":"shutdown","id":N}
@@ -52,6 +57,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -67,6 +73,7 @@
 #include "dockmine/core/wire.h"
 #include "dockmine/http/socket.h"
 #include "dockmine/json/json.h"
+#include "dockmine/obs/alert.h"
 #include "dockmine/shard/lookup.h"
 #include "dockmine/util/error.h"
 
@@ -94,8 +101,12 @@ struct Request {
   std::uint64_t repositories = 0;  ///< ingest batch size
   std::uint64_t seed = 0;          ///< ingest batch seed
   std::string metric;      ///< top: cis|fis|files|layers
-  std::uint64_t n = 0;     ///< top: result row cap (>= 1)
+  std::uint64_t n = 0;     ///< top: result row cap (>= 1); trace-tail:
+                           ///< last-N events (0 = default 64)
   std::string prefix;      ///< repos: repository-name prefix filter ("" = all)
+  std::string op;          ///< metrics: ""=samples|rate|quantile
+  std::uint64_t range_ms = 0;   ///< metrics samples: trailing range (0 = latest)
+  std::uint64_t window_ms = 0;  ///< metrics rate/quantile lookback (0 = 60000)
 };
 
 json::Value request_to_json(const Request& request);
@@ -109,6 +120,11 @@ struct Response {
   std::uint64_t epoch = 0;  ///< snapshot epoch the answer was read from
   std::string error;        ///< set when !ok
   json::Value body;         ///< set when ok
+  /// Server-side latency attribution, stamped when obs is enabled
+  /// (negative = not measured, omitted from the wire form — telemetry-off
+  /// responses stay byte-identical to older builds).
+  double parse_ms = -1.0;   ///< frame decode + request parse
+  double handle_ms = -1.0;  ///< request dispatch + serialization
 };
 
 json::Value response_to_json(const Response& response);
@@ -197,6 +213,22 @@ struct ServeOptions {
   std::function<util::Result<PipelineResult>(std::uint32_t epoch)>
       temporal_advance;
 
+  /// Continuous telemetry (DESIGN.md §16). When enabled the daemon starts
+  /// the global TimeSeriesStore sampler on start() (stopping it on stop()),
+  /// evaluates alert rules after every scrape, stamps responses with
+  /// parse/handle timings, and feeds the slow-query journal.
+  struct TelemetryOptions {
+    bool enabled = false;
+    std::uint64_t sample_interval_ms = 1000;
+    std::size_t ring_capacity = 600;
+    double slowlog_threshold_ms = 25.0;   ///< handle_ms above this is logged
+    std::size_t slowlog_capacity = 128;   ///< bounded journal (oldest dropped)
+    std::string alert_log_path;           ///< JSONL transitions (optional)
+    /// Empty = obs::default_serve_rules().
+    std::vector<obs::AlertRule> rules;
+  };
+  TelemetryOptions telemetry;
+
   /// Test hook: invoked (under the ingest lock) just before an ingest batch
   /// runs — the kill-mid-ingest chaos test uses it to time its stop().
   std::function<void()> on_ingest_begin;
@@ -265,6 +297,10 @@ class ServeDaemon {
   void session_loop(Session* session);
   Response handle_request(const Request& request);
   Response handle_query(const Request& request);
+  /// Telemetry: record a handled request into the bounded slow-query
+  /// journal when it crossed the threshold.
+  void note_slow_query(const Request& request, const Response& response,
+                       double handle_ms);
   util::Result<json::Value> do_ingest(const Request& request);
   util::Result<json::Value> do_ingest_epoch(const Request& request);
 
@@ -288,6 +324,20 @@ class ServeDaemon {
 
   mutable std::mutex snapshot_mutex_;
   std::shared_ptr<const Snapshot> snapshot_;
+
+  // ---- telemetry (active only when options_.telemetry.enabled) ----------
+  struct SlowQuery {
+    double ts_ms = 0.0;
+    std::string q;
+    std::uint64_t id = 0;
+    double ms = 0.0;
+    bool ok = false;
+  };
+  bool telemetry_started_ = false;  ///< sampler owned by this daemon
+  obs::AlertRules alerts_;
+  mutable std::mutex slowlog_mutex_;
+  std::deque<SlowQuery> slowlog_;
+  std::uint64_t slowlog_dropped_ = 0;
 };
 
 // ---- client ------------------------------------------------------------

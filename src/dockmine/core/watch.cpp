@@ -1,0 +1,266 @@
+#include "dockmine/core/watch.h"
+
+#include <chrono>
+#include <cstdio>
+#include <string_view>
+#include <thread>
+
+#include "dockmine/obs/obs.h"
+#include "dockmine/stats/histogram.h"
+
+namespace dockmine::core::watch {
+
+namespace {
+
+/// "dockmine_serve_requests_total{q=\"report\"}" -> "report"; "" when the
+/// name is not a labeled serve-request counter.
+std::string request_label(std::string_view name) {
+  constexpr std::string_view kPrefix =
+      "dockmine_serve_requests_total{q=\"";
+  if (name.substr(0, kPrefix.size()) != kPrefix) return {};
+  name.remove_prefix(kPrefix.size());
+  const std::size_t quote = name.find('"');
+  if (quote == std::string_view::npos) return {};
+  return std::string(name.substr(0, quote));
+}
+
+bool is_request_histogram(std::string_view name) {
+  constexpr std::string_view kPrefix = "dockmine_serve_request_ms";
+  return name.substr(0, kPrefix.size()) == kPrefix;
+}
+
+/// Sum of every dockmine_serve_requests_total{...} counter in a stats
+/// body, plus the per-label breakdown.
+std::uint64_t request_totals(const json::Value& stats,
+                             std::map<std::string, std::uint64_t>* by_label) {
+  std::uint64_t total = 0;
+  if (!stats.is_object() || !stats["counters"].is_object()) return 0;
+  for (const auto& [name, value] : stats["counters"].members()) {
+    const std::string label = request_label(name);
+    if (label.empty() || !value.is_number()) continue;
+    total += value.as_uint();
+    if (by_label != nullptr) (*by_label)[label] = value.as_uint();
+  }
+  return total;
+}
+
+std::int64_t gauge_value(const json::Value& stats, std::string_view name) {
+  if (!stats.is_object() || !stats["gauges"].is_object()) return 0;
+  const json::Value& gauge = stats["gauges"][std::string(name)];
+  return gauge.is_number() ? gauge.as_int() : 0;
+}
+
+}  // namespace
+
+WatchFrame derive(const Scrape* previous, const Scrape& current) {
+  WatchFrame frame;
+  frame.ts_ms = current.ts_ms;
+  if (current.status.is_object() && current.status["epoch"].is_int()) {
+    frame.epoch = current.status["epoch"].as_uint();
+  }
+  frame.uptime_s = gauge_value(current.stats, "dockmine_uptime_seconds");
+  frame.active_sessions =
+      gauge_value(current.stats, "dockmine_serve_active_sessions");
+
+  std::map<std::string, std::uint64_t> by_label;
+  frame.requests_total = request_totals(current.stats, &by_label);
+
+  // Windowed rates against the previous scrape; the first frame falls back
+  // to the lifetime average so `--once` still reports real traffic.
+  std::map<std::string, std::uint64_t> prev_by_label;
+  double elapsed_s = 0.0;
+  std::uint64_t prev_total = 0;
+  if (previous != nullptr) {
+    prev_total = request_totals(previous->stats, &prev_by_label);
+    elapsed_s = (current.ts_ms - previous->ts_ms) / 1000.0;
+  }
+  const auto rate = [&](std::uint64_t now, std::uint64_t before) {
+    if (previous != nullptr) {
+      if (elapsed_s <= 0.0) return 0.0;
+      return now >= before ? static_cast<double>(now - before) / elapsed_s
+                           : 0.0;
+    }
+    const double lifetime_s =
+        frame.uptime_s > 0 ? static_cast<double>(frame.uptime_s) : 1.0;
+    return static_cast<double>(now) / lifetime_s;
+  };
+  frame.req_per_s = rate(frame.requests_total, prev_total);
+  for (const auto& [label, count] : by_label) {
+    const auto it = prev_by_label.find(label);
+    frame.rates[label] =
+        rate(count, it == prev_by_label.end() ? 0 : it->second);
+  }
+
+  // Overall latency: merge every request histogram's log2 buckets (buckets
+  // reconstruct exactly from their lower bounds, as in report_from_json).
+  stats::Log2Histogram merged;
+  std::uint64_t observations = 0;
+  if (current.stats.is_object() && current.stats["histograms"].is_object()) {
+    for (const auto& [name, hist] : current.stats["histograms"].members()) {
+      if (!is_request_histogram(name) || !hist.is_object() ||
+          !hist["buckets"].is_array()) {
+        continue;
+      }
+      for (const json::Value& bucket : hist["buckets"].items()) {
+        if (!bucket.is_object() || !bucket["lo"].is_number() ||
+            !bucket["count"].is_number()) {
+          continue;
+        }
+        const double lo = bucket["lo"].as_double();
+        const std::uint64_t count = bucket["count"].as_uint();
+        merged.add(lo < 1.0 ? 0.0 : lo, count);
+        observations += count;
+      }
+    }
+  }
+  if (observations > 0) {
+    frame.p50_ms = merged.quantile(0.50);
+    frame.p99_ms = merged.quantile(0.99);
+  }
+
+  frame.alerts_firing = -1;
+  if (current.status.is_object() && current.status["alerts"].is_object() &&
+      current.status["alerts"]["firing"].is_int()) {
+    frame.alerts_firing = current.status["alerts"]["firing"].as_int();
+  }
+  if (current.trace.is_object() && current.trace["recorded"].is_int()) {
+    frame.journal_recorded = current.trace["recorded"].as_uint();
+    frame.journal_dropped = current.trace["dropped"].is_int()
+                                ? current.trace["dropped"].as_uint()
+                                : 0;
+  }
+  return frame;
+}
+
+std::string jsonl_line(const WatchFrame& frame) {
+  json::Value rates = json::Value::object();
+  for (const auto& [label, value] : frame.rates) rates.set(label, value);
+  json::Value journal = json::Value::object();
+  journal.set("recorded", frame.journal_recorded);
+  journal.set("dropped", frame.journal_dropped);
+
+  json::Value root = json::Value::object();
+  root.set("ts_ms", frame.ts_ms);
+  root.set("epoch", frame.epoch);
+  root.set("uptime_s", frame.uptime_s);
+  root.set("requests_total", frame.requests_total);
+  root.set("req_per_s", frame.req_per_s);
+  root.set("rates", std::move(rates));
+  root.set("p50_ms", frame.p50_ms);
+  root.set("p99_ms", frame.p99_ms);
+  root.set("active_sessions", frame.active_sessions);
+  root.set("alerts_firing", frame.alerts_firing);
+  root.set("journal", std::move(journal));
+  return root.dump();
+}
+
+std::string render(const WatchFrame& frame) {
+  char line[160];
+  std::string out;
+  std::snprintf(line, sizeof line,
+                "dockmine watch — epoch %llu, up %llds, %lld session(s)\n",
+                static_cast<unsigned long long>(frame.epoch),
+                static_cast<long long>(frame.uptime_s),
+                static_cast<long long>(frame.active_sessions));
+  out += line;
+  std::snprintf(line, sizeof line,
+                "  requests   %llu total, %.1f/s    latency p50 %.2f ms  "
+                "p99 %.2f ms\n",
+                static_cast<unsigned long long>(frame.requests_total),
+                frame.req_per_s, frame.p50_ms, frame.p99_ms);
+  out += line;
+  for (const auto& [label, value] : frame.rates) {
+    std::snprintf(line, sizeof line, "    %-14s %.1f/s\n", label.c_str(),
+                  value);
+    out += line;
+  }
+  if (frame.alerts_firing < 0) {
+    out += "  alerts     (telemetry off)\n";
+  } else {
+    std::snprintf(line, sizeof line, "  alerts     %lld firing\n",
+                  static_cast<long long>(frame.alerts_firing));
+    out += line;
+  }
+  std::snprintf(line, sizeof line,
+                "  journal    %llu recorded, %llu dropped\n",
+                static_cast<unsigned long long>(frame.journal_recorded),
+                static_cast<unsigned long long>(frame.journal_dropped));
+  out += line;
+  return out;
+}
+
+util::Result<Scrape> scrape(serve::Client& client, std::uint64_t& next_id) {
+  const auto ask = [&client, &next_id](
+                       const char* q,
+                       std::uint64_t n) -> util::Result<serve::Response> {
+    serve::Request request;
+    request.kind = serve::RequestKind::kQuery;
+    request.id = next_id++;
+    request.q = q;
+    request.n = n;
+    return client.call(request);
+  };
+
+  Scrape result;
+  auto stats = ask("stats", 0);
+  if (!stats.ok()) return stats.error();
+  if (!stats.value().ok) {
+    return util::internal("watch: stats query failed: " +
+                          stats.value().error);
+  }
+  result.stats = std::move(stats).value().body;
+
+  auto status = ask("status", 0);
+  if (!status.ok()) return status.error();
+  if (!status.value().ok) {
+    return util::internal("watch: status query failed: " +
+                          status.value().error);
+  }
+  result.status = std::move(status).value().body;
+
+  // trace-tail is best-effort: an older daemon without the verb still
+  // watches fine, just without journal columns.
+  auto trace = ask("trace-tail", 1);
+  if (trace.ok() && trace.value().ok) {
+    result.trace = std::move(trace).value().body;
+  }
+
+  result.ts_ms = obs::now_ms();
+  return result;
+}
+
+util::Status run(const WatchOptions& options) {
+  auto connected = serve::Client::connect(options.port);
+  if (!connected.ok()) return connected.error();
+  serve::Client client = std::move(connected).value();
+
+  std::uint64_t next_id = 1;
+  std::optional<Scrape> previous;
+  while (true) {
+    auto scraped = scrape(client, next_id);
+    if (!scraped.ok()) {
+      // A daemon that shut down mid-stream ends the watch cleanly after at
+      // least one frame; a first-scrape failure is a real error.
+      if (previous.has_value() && !options.once) break;
+      return scraped.error();
+    }
+    const WatchFrame frame =
+        derive(previous.has_value() ? &*previous : nullptr, scraped.value());
+    if (options.jsonl) {
+      std::fputs(jsonl_line(frame).c_str(), stdout);
+      std::fputc('\n', stdout);
+    } else {
+      // Clear + home, then the block: a cheap refreshing dashboard.
+      std::fputs("\x1b[H\x1b[2J", stdout);
+      std::fputs(render(frame).c_str(), stdout);
+    }
+    std::fflush(stdout);
+    if (options.once) break;
+    previous = std::move(scraped).value();
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(options.interval_ms));
+  }
+  return util::Status::success();
+}
+
+}  // namespace dockmine::core::watch

@@ -1,0 +1,77 @@
+// dockmine watch — live monitoring client for a serve daemon
+// (DESIGN.md §16). Polls `query stats` / `query status` / `query
+// trace-tail` over one connection, derives a per-interval summary frame
+// (request totals and per-selector rates, overall p50/p99, alert and
+// journal state), and renders it either as a refreshing terminal block or
+// as one JSON line per interval (`--jsonl`) for machine consumers.
+//
+// The scrape -> frame -> line pipeline is pure and exposed piecewise
+// (`derive`, `jsonl_line`) so tests pin the machine output byte-for-byte
+// from synthetic scrapes under the injectable clock, without a socket in
+// the loop.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "dockmine/core/serve.h"
+#include "dockmine/json/json.h"
+#include "dockmine/util/error.h"
+
+namespace dockmine::core::watch {
+
+struct WatchOptions {
+  std::uint16_t port = 0;
+  bool jsonl = false;           ///< machine output: one JSON line per frame
+  bool once = false;            ///< single frame, then exit
+  std::uint64_t interval_ms = 1000;  ///< poll cadence
+};
+
+/// One poll of the daemon: the three query bodies plus the client-side
+/// scrape timestamp (obs clock).
+struct Scrape {
+  double ts_ms = 0.0;
+  json::Value stats;   ///< `query stats` body (obs::to_json export)
+  json::Value status;  ///< `query status` body
+  json::Value trace;   ///< `query trace-tail` body ({} when unavailable)
+};
+
+/// The derived summary of one interval.
+struct WatchFrame {
+  double ts_ms = 0.0;
+  std::uint64_t epoch = 0;
+  std::int64_t uptime_s = 0;
+  std::uint64_t requests_total = 0;
+  double req_per_s = 0.0;  ///< windowed vs. prev scrape; lifetime avg first
+  /// Per-selector request rates (label value -> per-second), same window.
+  std::map<std::string, double> rates;
+  double p50_ms = 0.0;  ///< overall request latency (all selectors merged)
+  double p99_ms = 0.0;
+  std::int64_t active_sessions = 0;
+  std::int64_t alerts_firing = 0;  ///< -1 = daemon has no telemetry
+  std::uint64_t journal_recorded = 0;
+  std::uint64_t journal_dropped = 0;
+};
+
+/// Fold a scrape (and optionally the previous one, for windowed rates)
+/// into a frame. With no previous scrape, rates fall back to the lifetime
+/// average total/uptime.
+WatchFrame derive(const Scrape* previous, const Scrape& current);
+
+/// One-line JSON rendering of a frame (no trailing newline) — the
+/// `--jsonl` output, pinned byte-for-byte by timeseries_test.
+std::string jsonl_line(const WatchFrame& frame);
+
+/// Human terminal block (multi-line, no ANSI — the caller clears).
+std::string render(const WatchFrame& frame);
+
+/// Execute one poll against an open client connection.
+util::Result<Scrape> scrape(serve::Client& client, std::uint64_t& next_id);
+
+/// Connect and stream frames to stdout until the daemon goes away (or
+/// forever); one frame with `once`.
+util::Status run(const WatchOptions& options);
+
+}  // namespace dockmine::core::watch

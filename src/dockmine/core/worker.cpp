@@ -21,6 +21,7 @@
 #include "dockmine/obs/export.h"
 #include "dockmine/obs/heartbeat.h"
 #include "dockmine/obs/journal.h"
+#include "dockmine/obs/timeseries.h"
 
 namespace dockmine::core {
 namespace {
@@ -178,9 +179,20 @@ util::Status execute_lease(const WorkerOptions& options, WireWriter& writer,
 
   // Fresh observability per lease, stamped with the partition index — the
   // per-lease obs export is what the coordinator's straggler analysis and
-  // merge-obs view consume.
+  // merge-obs view consume. Each beat the local sampler tick keeps the
+  // worker's own time-series rings warm, so the snapshot riding on the
+  // heartbeat always reflects the just-sampled counter state.
   obs::reset_all();
   obs::set_node_id(grant.node_index);
+  if (obs::enabled()) {
+    obs::TimeSeriesOptions sampling;
+    sampling.interval_ms = options.heartbeat_interval_ms == 0
+                               ? 100
+                               : options.heartbeat_interval_ms;
+    sampling.capacity = 256;
+    obs::TimeSeriesStore::global().configure(sampling);
+    obs::TimeSeriesStore::global().start_sampler();
+  }
 
   util::Result<PipelineResult> result = [&] {
     LeaseHeartbeat heartbeat(writer, worker_id, grant.lease,

@@ -1,0 +1,129 @@
+// SLO alerting on sampled series (dockmine::obs v3, DESIGN.md §16).
+//
+// An `AlertRules` engine owns a set of declarative rules and, on every
+// evaluation tick (the serve daemon runs one after each sampler scrape),
+// reads the `TimeSeriesStore` and walks each rule through the classic
+// pending -> firing -> resolved state machine:
+//
+//   * threshold rules compare an instant value, a windowed rate, or a
+//     windowed histogram quantile against a bound;
+//   * burn-rate rules (nonempty `total_series`) compare the error fraction
+//     rate(series)/rate(total) against the error budget — the exported
+//     value is the burn multiple, and the threshold is "how many budgets
+//     per unit time is too fast" (Google SRE workbook semantics);
+//   * `for_ms` debounces: the condition must hold continuously that long
+//     before the rule fires.
+//
+// Transitions are returned to the caller, mirrored into the
+// `dockmine_alerts_firing` gauge and per-rule
+// `dockmine_alert_transitions_total{rule="..."}` counters, and appended as
+// JSONL to an optional alert log — one object per transition, so `tail -f`
+// is the poor man's pager.
+//
+// Evaluation is driven by the injectable obs clock and reads only the
+// store, so tests pin firing/resolved sequences (and the JSONL log)
+// byte-for-byte under a virtual clock.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dockmine/json/json.h"
+#include "dockmine/obs/timeseries.h"
+
+namespace dockmine::obs {
+
+struct AlertRule {
+  enum class Source : std::uint8_t {
+    kValue = 0,     ///< newest sample's value (gauge level, counter total)
+    kRate = 1,      ///< rate_per_s over `window_ms`
+    kQuantile = 2,  ///< histogram quantile over `window_ms`
+  };
+  enum class Cmp : std::uint8_t { kGt = 0, kLt = 1 };
+
+  std::string name;    ///< rule id, unique within an engine
+  std::string series;  ///< selector (TimeSeriesStore::selector_matches)
+  Source source = Source::kValue;
+  double quantile = 0.99;     ///< kQuantile only; must be 0.5 / 0.9 / 0.99
+  double window_ms = 60'000;  ///< kRate / kQuantile lookback
+  Cmp cmp = Cmp::kGt;
+  double threshold = 0.0;
+  double for_ms = 0.0;  ///< condition must hold this long before firing
+
+  /// Burn-rate mode: when nonempty the observed value becomes
+  /// (rate(series)/rate(total_series)) / error_budget — the SLO burn
+  /// multiple — and `source` is ignored.
+  std::string total_series;
+  double error_budget = 0.001;
+};
+
+/// Point-in-time state of one rule.
+struct AlertStatus {
+  std::string name;
+  bool pending = false;  ///< condition holds, for_ms not yet served
+  bool firing = false;
+  double pending_since_ms = 0.0;
+  double fired_at_ms = 0.0;
+  double resolved_at_ms = 0.0;
+  double last_value = 0.0;  ///< most recent observed value (0 if no data)
+  std::uint64_t transitions = 0;  ///< fire + resolve edges since reset
+};
+
+/// One fire/resolve edge from an evaluate() call.
+struct AlertTransition {
+  std::string name;
+  bool firing = false;  ///< true = fired, false = resolved
+  double ts_ms = 0.0;
+  double value = 0.0;
+};
+
+class AlertRules {
+ public:
+  AlertRules() = default;
+  explicit AlertRules(std::vector<AlertRule> rules) { configure(rules); }
+
+  /// Replace the rule set and drop all state.
+  void configure(std::vector<AlertRule> rules);
+  /// Append fire/resolve lines to this path (empty = no log).
+  void set_log_path(std::string path);
+
+  /// Evaluate every rule against `store` at `now`. Returns the edges that
+  /// occurred this tick (and appends them to the JSONL log). Series with
+  /// no data yet are treated as condition-false, never as firing.
+  std::vector<AlertTransition> evaluate(const TimeSeriesStore& store,
+                                        double now_ms);
+
+  std::vector<AlertStatus> snapshot() const;
+  std::size_t firing_count() const;
+  /// `[{"name":...,"firing":...,"pending":...,"last_value":...}, ...]`
+  json::Value to_json() const;
+
+  /// Drop firing/pending state (rules stay).
+  void reset();
+
+ private:
+  struct Entry {
+    AlertRule rule;
+    AlertStatus status;
+  };
+  /// Observed value for one rule, nullopt when the series has no usable
+  /// data yet.
+  std::optional<double> observe(const Entry& entry,
+                                const TimeSeriesStore& store) const;
+  void log_transition(const AlertTransition& transition);
+
+  mutable std::mutex mutex_;
+  std::vector<Entry> entries_;
+  std::string log_path_;
+};
+
+/// The default rule set `dockmine serve --telemetry` arms: generous
+/// latency/error/availability bounds that a healthy daemon under CI smoke
+/// load never trips, but a wedged one does.
+std::vector<AlertRule> default_serve_rules();
+
+}  // namespace dockmine::obs

@@ -1,6 +1,7 @@
 #include "dockmine/obs/export.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -10,10 +11,48 @@
 
 #include "dockmine/obs/heartbeat.h"
 #include "dockmine/obs/journal.h"
+#include "dockmine/obs/timeseries.h"
+
+#if !defined(DOCKMINE_VERSION)
+#define DOCKMINE_VERSION "0.10.0"
+#endif
 
 namespace dockmine::obs {
 
 namespace {
+
+/// Process start in obs-clock ms, captured at the first collect() (or at
+/// reset_all, which is what "freshly started" means for a reused process).
+/// -1 = not yet captured.
+std::atomic<double> g_start_ms{-1.0};
+
+double uptime_seconds() {
+  double start = g_start_ms.load(std::memory_order_relaxed);
+  if (start < 0.0) {
+    start = now_ms();
+    g_start_ms.store(start, std::memory_order_relaxed);
+  }
+  // A virtual clock injected after start was captured can sit below it;
+  // clamp so exports stay deterministic instead of going negative.
+  return std::max(0.0, (now_ms() - start) / 1000.0);
+}
+
+/// Insert a gauge into an already-sorted snapshot vector, keeping it
+/// sorted (these two are synthesized at collect() time, not registered,
+/// so a runtime-disabled registry stays untouched).
+void inject_gauge(std::vector<std::pair<std::string, std::int64_t>>& gauges,
+                  std::string name, std::int64_t value) {
+  const auto it = std::lower_bound(
+      gauges.begin(), gauges.end(), name,
+      [](const auto& entry, const std::string& key) {
+        return entry.first < key;
+      });
+  if (it != gauges.end() && it->first == name) {
+    it->second = value;
+  } else {
+    gauges.insert(it, {std::move(name), value});
+  }
+}
 
 /// Shortest decimal form that round-trips (same policy as the JSON
 /// serializer): deterministic, human-sized, exact.
@@ -75,15 +114,30 @@ MetricsReport collect() {
   report.metrics = Registry::global().snapshot();
   report.spans = Tracer::global().snapshot();
   report.node = node_id();
+  if constexpr (kCompiledIn) {
+    // Joinability across restarts: which build produced this export, and
+    // how long it had been up. Synthesized here (not registered) so the
+    // compiled-out build's exports stay empty.
+    inject_gauge(report.metrics.gauges,
+                 "dockmine_build_info{backend=\"cpp\",version=\""
+                 DOCKMINE_VERSION "\"}",
+                 1);
+    inject_gauge(report.metrics.gauges, "dockmine_uptime_seconds",
+                 static_cast<std::int64_t>(uptime_seconds()));
+  }
   return report;
 }
 
 void reset_all() {
   stop_heartbeat();
+  reset_heartbeat_seq();
+  TimeSeriesStore::global().stop_sampler();
+  TimeSeriesStore::global().reset();
   Registry::global().reset();
   Tracer::global().reset();
   TraceJournal::global().reset();
   set_node_id(0);
+  g_start_ms.store(now_ms(), std::memory_order_relaxed);
 }
 
 json::Value to_json(const MetricsReport& report) {

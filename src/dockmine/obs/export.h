@@ -36,9 +36,11 @@ MetricsReport collect();
 
 /// Zero the global registry (keeping registrations), clear the global
 /// tracer and trace journal (events, drop counters, id allocators), stop
-/// any running heartbeat, and restore node id 0. For tests and
-/// back-to-back CLI runs: afterwards the process observes like a freshly
-/// started one (the enable switches are left as-is).
+/// any running heartbeat and time-series sampler (dropping sampled rings),
+/// restart the heartbeat sequence counter, re-base uptime, and restore
+/// node id 0. For tests and back-to-back CLI runs: afterwards the process
+/// observes like a freshly started one (the enable switches are left
+/// as-is).
 void reset_all();
 
 /// {"counters":{...},"gauges":{...},"histograms":{...},"spans":[...],

@@ -13,8 +13,12 @@
 #include "dockmine/obs/journal.h"
 #include "dockmine/obs/obs.h"
 
+#include <atomic>
+
 namespace dockmine::obs {
 namespace {
+
+std::atomic<std::uint64_t> g_seq{0};
 
 // The file is written through a raw descriptor (not an ofstream) so the
 // shutdown path can fsync: the contract is that a clean process exit leaves
@@ -70,11 +74,20 @@ std::string heartbeat_line() {
 
   json::Value root = json::Value::object();
   root.set("ts_ms", now_ms());
+  root.set("seq", g_seq.fetch_add(1, std::memory_order_relaxed));
   root.set("node", std::uint64_t{node_id()});
   root.set("counters", std::move(counters));
   root.set("gauges", std::move(gauges));
   root.set("journal", std::move(journal));
   return root.dump();
+}
+
+std::uint64_t heartbeat_seq() noexcept {
+  return g_seq.load(std::memory_order_relaxed);
+}
+
+void reset_heartbeat_seq() noexcept {
+  g_seq.store(0, std::memory_order_relaxed);
 }
 
 bool start_heartbeat(const HeartbeatOptions& options) {

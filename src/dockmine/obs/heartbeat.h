@@ -35,9 +35,15 @@ struct HeartbeatOptions {
 };
 
 /// One heartbeat snapshot as a single-line JSON document (no newline):
-/// {"ts_ms":...,"node":...,"counters":{...},"gauges":{...},
+/// {"ts_ms":...,"seq":...,"node":...,"counters":{...},"gauges":{...},
 ///  "journal":{"recorded":...,"dropped":...}}
+/// `seq` increments per line built, so a consumer detects dropped beats;
+/// obs::reset_all() restarts it at 0 (a fresh start must look fresh).
 std::string heartbeat_line();
+
+/// The sequence number the *next* heartbeat_line() will carry.
+std::uint64_t heartbeat_seq() noexcept;
+void reset_heartbeat_seq() noexcept;
 
 /// Start the emitter (emits one line immediately, then every interval).
 /// Returns false if one is already running, the file cannot be opened, or

@@ -218,6 +218,32 @@ def bad_document_serve_request():
     return wire_frame(1, b'{"type":"query","id":3,"q":"drop-tables"}')
 
 
+SERVE_METRICS_REQUEST = (b'{"type":"query","id":11,"q":"metrics",'
+                         b'"name":"dockmine_serve_requests_total",'
+                         b'"op":"rate","window_ms":60000}')
+
+
+def valid_serve_metrics_request():
+    """A well-formed telemetry query frame (query metrics op=rate):
+    canonical field order matches request_to_json so the round-trip dump
+    comparison in fuzz_test is byte-exact."""
+    return wire_frame(1, SERVE_METRICS_REQUEST)
+
+
+def truncated_serve_metrics_request():
+    """The metrics request cut mid-payload: a read boundary, not an
+    error — the session loop keeps waiting."""
+    return valid_serve_metrics_request()[:40]
+
+
+def bitflipped_serve_metrics_request():
+    """The metrics request with one payload bit flipped: the frame CRC
+    must reject it and poison only that connection."""
+    whole = bytearray(valid_serve_metrics_request())
+    whole[16 + 20] ^= 0x08
+    return bytes(whole)
+
+
 CORPUS = {
     "gzip_truncated_member.bin": truncated_gzip_member,
     "gzip_bad_crc.bin": bad_crc_gzip_member,
@@ -241,6 +267,10 @@ CORPUS = {
     "serve_request_truncated.bin": truncated_serve_request,
     "serve_request_bitflip.bin": bitflipped_serve_request,
     "serve_request_bad_doc.bin": bad_document_serve_request,
+    # Telemetry query frames (query metrics): good, torn, damaged.
+    "serve_request_metrics_valid.bin": valid_serve_metrics_request,
+    "serve_request_metrics_truncated.bin": truncated_serve_metrics_request,
+    "serve_request_metrics_bitflip.bin": bitflipped_serve_metrics_request,
 }
 
 

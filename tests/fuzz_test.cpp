@@ -495,6 +495,67 @@ TEST(CorpusTest, BitflippedServeRequestPoisonsOnlyItsStream) {
   EXPECT_TRUE(polled.value());
 }
 
+TEST(CorpusTest, ValidMetricsRequestDecodesParsesAndRoundtrips) {
+  namespace serve = core::serve;
+  const std::string blob = read_corpus("serve_request_metrics_valid.bin");
+  for (int replay = 0; replay < 2; ++replay) {
+    core::wire::FrameBuffer buffer;
+    buffer.feed(blob);
+    core::wire::Frame frame;
+    auto polled = buffer.poll(frame);
+    ASSERT_TRUE(polled.ok()) << polled.error().message();
+    ASSERT_TRUE(polled.value());
+    ASSERT_EQ(frame.kind, core::wire::FrameKind::kJson);
+
+    auto doc = json::parse(frame.payload);
+    ASSERT_TRUE(doc.ok());
+    auto request = serve::request_from_json(doc.value());
+    ASSERT_TRUE(request.ok()) << request.error().to_string();
+    EXPECT_EQ(request.value().kind, serve::RequestKind::kQuery);
+    EXPECT_EQ(request.value().q, "metrics");
+    EXPECT_EQ(request.value().name, "dockmine_serve_requests_total");
+    EXPECT_EQ(request.value().op, "rate");
+    EXPECT_EQ(request.value().window_ms, 60000u);
+    EXPECT_EQ(serve::request_to_json(request.value()).dump(), frame.payload);
+  }
+}
+
+TEST(CorpusTest, TruncatedMetricsRequestIsAReadBoundary) {
+  const std::string good = read_corpus("serve_request_metrics_valid.bin");
+  const std::string torn = read_corpus("serve_request_metrics_truncated.bin");
+  ASSERT_EQ(torn, good.substr(0, torn.size()));
+
+  core::wire::FrameBuffer buffer;
+  buffer.feed(torn);
+  core::wire::Frame frame;
+  auto polled = buffer.poll(frame);
+  ASSERT_TRUE(polled.ok());
+  EXPECT_FALSE(polled.value());
+  EXPECT_FALSE(buffer.corrupt());
+  buffer.feed(good.substr(torn.size()));
+  auto completed = buffer.poll(frame);
+  ASSERT_TRUE(completed.ok());
+  EXPECT_TRUE(completed.value());
+}
+
+TEST(CorpusTest, BitflippedMetricsRequestPoisonsOnlyItsStream) {
+  const std::string good = read_corpus("serve_request_metrics_valid.bin");
+  const std::string bad = read_corpus("serve_request_metrics_bitflip.bin");
+  ASSERT_EQ(bad.size(), good.size());
+  ASSERT_NE(bad, good);
+
+  core::wire::FrameBuffer buffer;
+  buffer.feed(bad);
+  core::wire::Frame frame;
+  EXPECT_FALSE(buffer.poll(frame).ok());
+  EXPECT_TRUE(buffer.corrupt());
+  core::wire::FrameBuffer fresh;
+  fresh.feed(good);
+  auto polled = fresh.poll(frame);
+  ASSERT_TRUE(polled.ok());
+  EXPECT_TRUE(polled.value());
+}
+
 TEST(CorpusTest, WellFramedNonRequestIsRejectedByTheTotalParser) {
   const std::string blob = read_corpus("serve_request_bad_doc.bin");
   core::wire::FrameBuffer buffer;

@@ -19,11 +19,13 @@
 // tests at the end mutate daemon state in a fixed order.
 
 #include <cerrno>
+#include <chrono>
 #include <cstdint>
 #include <filesystem>
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -34,6 +36,9 @@
 #include "dockmine/core/wire.h"
 #include "dockmine/http/socket.h"
 #include "dockmine/json/json.h"
+#include "dockmine/obs/export.h"
+#include "dockmine/obs/journal.h"
+#include "dockmine/obs/obs.h"
 #include "dockmine/shard/lookup.h"
 #include "dockmine/shard/merger.h"
 #include "dockmine/util/error.h"
@@ -208,6 +213,23 @@ TEST(ServeCodec, RequestRoundtripsEveryKind) {
   requests.push_back(query("repos"));  // no prefix: whole population
   requests.push_back(query("repos"));
   requests.back().prefix = "library/";
+  requests.push_back(query("metrics"));  // bare: every series, latest only
+  requests.push_back(query("metrics"));
+  requests.back().name = "dockmine_serve_requests_total";
+  requests.back().op = "rate";
+  requests.back().window_ms = 60000;
+  requests.push_back(query("metrics"));
+  requests.back().name = "dockmine_serve_request_ms";
+  requests.back().op = "quantile";
+  requests.back().quantile = 0.99;
+  requests.back().window_ms = 30000;
+  requests.push_back(query("metrics"));
+  requests.back().name = "dockmine_serve_epoch";
+  requests.back().range_ms = 120000;
+  requests.push_back(query("trace-tail"));  // no n: server default
+  requests.push_back(query("trace-tail"));
+  requests.back().n = 32;
+  requests.push_back(query("slowlog"));
   serve::Request epoch;
   epoch.kind = serve::RequestKind::kIngestEpoch;
   epoch.id = 8;
@@ -238,7 +260,11 @@ TEST(ServeCodec, ResponseRoundtrips) {
   error.id = 4;
   error.epoch = 1;
   error.error = "serve: unknown layer key";
-  for (const serve::Response& response : {ok, error}) {
+  serve::Response attributed = ok;  // telemetry stamps server-side timings
+  attributed.id = 5;
+  attributed.parse_ms = 0.125;
+  attributed.handle_ms = 2.5;
+  for (const serve::Response& response : {ok, error, attributed}) {
     const json::Value encoded = serve::response_to_json(response);
     auto decoded = serve::response_from_json(encoded);
     ASSERT_TRUE(decoded.ok()) << decoded.error().to_string();
@@ -285,6 +311,19 @@ TEST(ServeCodec, RequestParserRejectsMalformedDocuments) {
       R"({"type":"query","id":1,"q":"top","metric":"bogus","n":5})",
       R"({"type":"query","id":1,"q":"top","metric":7,"n":5})",
       R"({"type":"query","id":1,"q":"repos","prefix":7})",
+      R"({"type":"query","id":1,"q":"metrics","op":"bogus"})",
+      R"({"type":"query","id":1,"q":"metrics","op":7})",
+      R"({"type":"query","id":1,"q":"metrics","window_ms":0})",
+      R"({"type":"query","id":1,"q":"metrics","range_ms":0})",
+      R"({"type":"query","id":1,"q":"metrics","range_ms":"all"})",
+      // quantile without op=quantile is ambiguous, not defaulted
+      R"({"type":"query","id":1,"q":"metrics","quantile":0.99})",
+      R"({"type":"query","id":1,"q":"metrics","op":"rate","quantile":0.99})",
+      R"({"type":"query","id":1,"q":"metrics","op":"quantile"})",
+      R"({"type":"query","id":1,"q":"metrics","op":"quantile","quantile":0})",
+      R"({"type":"query","id":1,"q":"metrics","op":"quantile","quantile":1.5})",
+      R"({"type":"query","id":1,"q":"trace-tail","n":0})",
+      R"({"type":"query","id":1,"q":"trace-tail","n":"many"})",
       R"({"type":"ingest-epoch"})",                     // missing id
       R"({"type":"bogus","id":1})",                     // unknown type
   };
@@ -874,6 +913,82 @@ TEST(ServeZIngest, ShutdownRequestFlagsTheOwnerAndAnswersFirst) {
   EXPECT_TRUE(f.daemon->shutdown_requested());
   f.daemon->stop();
   f.daemon.reset();
+}
+
+// ---- continuous telemetry (its own daemon; the shared fixture stays
+// telemetry-off so the oracle byte-equalities above are undisturbed) ------
+
+TEST(ServeZTelemetry, LiveMetricsTraceTailAndSlowlogAnswer) {
+  if constexpr (!dockmine::obs::kCompiledIn) GTEST_SKIP();
+  dockmine::obs::reset_all();
+  dockmine::obs::set_enabled(true);
+  dockmine::obs::set_journal_enabled(true);
+
+  TempDir state{"dockmine-serve-test-telemetry"};
+  serve::ServeOptions options;
+  options.job = test_spec();
+  options.state_dir = state.str();
+  options.telemetry.enabled = true;
+  options.telemetry.sample_interval_ms = 10;
+  options.telemetry.ring_capacity = 64;
+  options.telemetry.slowlog_threshold_ms = 0.0;  // journal every query
+  serve::ServeDaemon daemon(options);
+  ASSERT_TRUE(daemon.start().ok());
+
+  auto client = serve::Client::connect(daemon.port(), 10000);
+  ASSERT_TRUE(client.ok());
+  const auto call = [&client](serve::Request request) {
+    auto response = client.value().call(request);
+    EXPECT_TRUE(response.ok());
+    EXPECT_TRUE(response.value().ok) << response.value().error;
+    return std::move(response).value();
+  };
+
+  // Generate some traffic, then give the 10 ms sampler a few ticks.
+  for (int i = 0; i < 5; ++i) (void)call(query("status"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  // Per-request latency attribution stamps server-side timings.
+  const serve::Response stamped = call(query("status"));
+  EXPECT_GE(stamped.parse_ms, 0.0);
+  EXPECT_GE(stamped.handle_ms, 0.0);
+
+  // status carries the alert block; the healthy daemon fires nothing.
+  const json::Value status = stamped.body;
+  ASSERT_TRUE(status["alerts"].is_object());
+  EXPECT_EQ(status["alerts"]["firing"].as_int(), 0);
+
+  // metrics: the sampled request-counter series exists and has samples.
+  serve::Request metrics = query("metrics");
+  metrics.name = "dockmine_serve_requests_total";
+  const json::Value sampled = call(metrics).body;
+  ASSERT_TRUE(sampled["series"].is_array());
+  ASSERT_GT(sampled["series"].size(), 0u);
+  EXPECT_GT(sampled["samples_taken"].as_uint(), 0u);
+
+  // metrics op=rate answers for the same selector.
+  metrics.op = "rate";
+  metrics.window_ms = 60000;
+  const json::Value rated = call(metrics).body;
+  ASSERT_TRUE(rated["series"].is_array());
+
+  // trace-tail: the journal recorded the handled requests.
+  serve::Request tail = query("trace-tail");
+  tail.n = 16;
+  const json::Value trace = call(tail).body;
+  ASSERT_TRUE(trace["events"].is_array());
+  EXPECT_GT(trace["recorded"].as_uint(), 0u);
+
+  // slowlog at threshold 0: every prior query is an entry.
+  const json::Value slow = call(query("slowlog")).body;
+  ASSERT_TRUE(slow["entries"].is_array());
+  EXPECT_GT(slow["entries"].size(), 0u);
+  EXPECT_DOUBLE_EQ(slow["threshold_ms"].as_double(), 0.0);
+
+  daemon.stop();
+  dockmine::obs::set_journal_enabled(false);
+  dockmine::obs::set_enabled(false);
+  dockmine::obs::reset_all();
 }
 
 }  // namespace

@@ -1,0 +1,675 @@
+// Continuous-telemetry suite (dockmine::obs v3 + dockmine watch): ring
+// contents, range/rate/quantile answers, selector matching, alert rule
+// transitions (threshold, debounce, burn-rate) and the JSONL alert log,
+// the watch frame derivation with its `--jsonl` line pinned byte-for-byte
+// — all driven by sample_once() under the injectable clock — plus the
+// reset_all satellite pins (heartbeat sequence restart, journal drop
+// counter) and a TSan-aimed scrape-while-ingest hammer that runs the real
+// background sampler against concurrent writers and readers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dockmine/core/watch.h"
+#include "dockmine/json/json.h"
+#include "dockmine/obs/alert.h"
+#include "dockmine/obs/export.h"
+#include "dockmine/obs/heartbeat.h"
+#include "dockmine/obs/journal.h"
+#include "dockmine/obs/obs.h"
+#include "dockmine/obs/timeseries.h"
+#include "dockmine/stats/histogram.h"
+
+namespace dockmine {
+namespace {
+
+/// Fresh observability on a virtual clock owned by the caller. Follows the
+/// obs_export_test discipline: reset first (re-bases uptime on the real
+/// clock), then install the tick source, then enable.
+std::shared_ptr<std::atomic<double>> fresh_obs(double start_ms = 0.0) {
+  obs::reset_all();
+  auto tick = std::make_shared<std::atomic<double>>(start_ms);
+  obs::set_clock([tick] { return tick->load(); });
+  obs::set_enabled(true);
+  return tick;
+}
+
+void teardown_obs() {
+  obs::set_enabled(false);
+  obs::reset_clock();
+  obs::reset_all();
+}
+
+TEST(TimeSeriesTest, SampleOncePinsRingContents) {
+  auto tick = fresh_obs(1000.0);
+  obs::TimeSeriesStore store;
+  ASSERT_TRUE(store.configure({.interval_ms = 1000, .capacity = 8}));
+
+  auto& reg = obs::Registry::global();
+  reg.counter("ts_test_events_total").add(100);
+  reg.gauge("ts_test_depth").set(7);
+  auto& hist = reg.histogram("ts_test_latency_ms");
+  hist.observe(2.0);
+  hist.observe(8.0);
+  store.sample_once();
+
+  tick->store(2000.0);
+  reg.counter("ts_test_events_total").add(50);
+  reg.gauge("ts_test_depth").set(-3);
+  hist.observe(512.0);
+  store.sample_once();
+
+  if constexpr (obs::kCompiledIn) {
+    EXPECT_EQ(store.samples_taken(), 2u);
+
+    const auto counter = store.read("ts_test_events_total");
+    ASSERT_EQ(counter.size(), 2u);
+    EXPECT_DOUBLE_EQ(counter[0].ts_ms, 1000.0);
+    EXPECT_DOUBLE_EQ(counter[0].value, 100.0);
+    EXPECT_DOUBLE_EQ(counter[0].delta, 0.0);  // no previous sample
+    EXPECT_DOUBLE_EQ(counter[1].ts_ms, 2000.0);
+    EXPECT_DOUBLE_EQ(counter[1].value, 150.0);
+    EXPECT_DOUBLE_EQ(counter[1].delta, 50.0);
+
+    const auto gauge = store.read("ts_test_depth");
+    ASSERT_EQ(gauge.size(), 2u);
+    EXPECT_DOUBLE_EQ(gauge[0].value, 7.0);
+    EXPECT_DOUBLE_EQ(gauge[1].value, -3.0);
+    EXPECT_DOUBLE_EQ(gauge[1].delta, 0.0);  // gauges never carry deltas
+
+    stats::Log2Histogram expect_first;
+    expect_first.add(2.0);
+    expect_first.add(8.0);
+    stats::Log2Histogram expect_second = expect_first;
+    expect_second.add(512.0);
+    const auto latency = store.read("ts_test_latency_ms");
+    ASSERT_EQ(latency.size(), 2u);
+    EXPECT_DOUBLE_EQ(latency[0].value, 2.0);  // observation count
+    EXPECT_DOUBLE_EQ(latency[0].sum, 10.0);
+    EXPECT_DOUBLE_EQ(latency[0].p50, expect_first.quantile(0.50));
+    EXPECT_DOUBLE_EQ(latency[0].p99, expect_first.quantile(0.99));
+    EXPECT_DOUBLE_EQ(latency[1].value, 3.0);
+    EXPECT_DOUBLE_EQ(latency[1].delta, 1.0);
+    EXPECT_DOUBLE_EQ(latency[1].sum, 522.0);
+    EXPECT_DOUBLE_EQ(latency[1].p90, expect_second.quantile(0.90));
+
+    // A registry reset (back-to-back CLI runs) drops the cumulative total;
+    // the counter delta clamps to zero instead of going negative.
+    tick->store(3000.0);
+    obs::Registry::global().reset();
+    store.sample_once();
+    const auto after_reset = store.read("ts_test_events_total");
+    ASSERT_EQ(after_reset.size(), 3u);
+    EXPECT_DOUBLE_EQ(after_reset[2].value, 0.0);
+    EXPECT_DOUBLE_EQ(after_reset[2].delta, 0.0);
+
+    const auto infos = store.series("ts_test_latency_ms");
+    ASSERT_EQ(infos.size(), 1u);
+    EXPECT_EQ(infos[0].kind, obs::SeriesKind::kHistogram);
+    EXPECT_EQ(obs::to_string(infos[0].kind), "histogram");
+  } else {
+    EXPECT_TRUE(store.read("ts_test_events_total").empty());
+  }
+  teardown_obs();
+}
+
+TEST(TimeSeriesTest, RingWrapsAtCapacityAndFootprintIsTracked) {
+  auto tick = fresh_obs(0.0);
+  obs::TimeSeriesStore store;
+  ASSERT_TRUE(store.configure({.interval_ms = 1000, .capacity = 3}));
+
+  auto& counter = obs::Registry::global().counter("ts_wrap_total");
+  for (int i = 1; i <= 5; ++i) {
+    tick->store(i * 1000.0);
+    counter.add(10);
+    store.sample_once();
+  }
+
+  if constexpr (obs::kCompiledIn) {
+    const auto ring = store.read("ts_wrap_total");
+    ASSERT_EQ(ring.size(), 3u);  // capacity bound: oldest two evicted
+    EXPECT_DOUBLE_EQ(ring[0].ts_ms, 3000.0);
+    EXPECT_DOUBLE_EQ(ring[2].ts_ms, 5000.0);
+    EXPECT_DOUBLE_EQ(ring[2].value, 50.0);
+    ASSERT_TRUE(store.latest("ts_wrap_total").has_value());
+    EXPECT_DOUBLE_EQ(store.latest("ts_wrap_total")->ts_ms, 5000.0);
+
+    // The store watches itself: nonzero resident bytes, exported as a
+    // gauge on every tick.
+    EXPECT_GT(store.footprint_bytes(), 0u);
+    const auto metrics = obs::Registry::global().snapshot();
+    bool saw_self_gauge = false;
+    for (const auto& [name, value] : metrics.gauges) {
+      if (name == "dockmine_timeseries_bytes") {
+        saw_self_gauge = true;
+        EXPECT_GT(value, 0);
+      }
+    }
+    EXPECT_TRUE(saw_self_gauge);
+
+    store.reset();
+    EXPECT_TRUE(store.read("ts_wrap_total").empty());
+    EXPECT_FALSE(store.latest("ts_wrap_total").has_value());
+  }
+  teardown_obs();
+}
+
+TEST(TimeSeriesTest, RangeRateAndQuantileArePinned) {
+  auto tick = fresh_obs(0.0);
+  obs::TimeSeriesStore store;
+  ASSERT_TRUE(store.configure({.interval_ms = 1000, .capacity = 16}));
+
+  auto& counter = obs::Registry::global().counter("ts_rate_total");
+  auto& gauge = obs::Registry::global().gauge("ts_rate_level");
+  auto& hist = obs::Registry::global().histogram("ts_rate_ms");
+  for (int i = 1; i <= 5; ++i) {
+    tick->store(i * 1000.0);
+    counter.add(100);
+    gauge.set(i);
+    hist.observe(static_cast<double>(1 << i));
+    store.sample_once();
+  }
+
+  if constexpr (obs::kCompiledIn) {
+    const auto window = store.range("ts_rate_total", 2000.0, 4000.0);
+    ASSERT_EQ(window.size(), 3u);
+    EXPECT_DOUBLE_EQ(window.front().ts_ms, 2000.0);
+    EXPECT_DOUBLE_EQ(window.back().ts_ms, 4000.0);
+    EXPECT_TRUE(store.range("ts_rate_total", 9000.0, 10000.0).empty());
+
+    // 100 events per 1000 ms tick = exactly 100/s over any window that
+    // holds >= 2 samples.
+    ASSERT_TRUE(store.rate_per_s("ts_rate_total", 4000.0).has_value());
+    EXPECT_DOUBLE_EQ(*store.rate_per_s("ts_rate_total", 4000.0), 100.0);
+    ASSERT_TRUE(store.rate_per_s("ts_rate_total", 1000.0).has_value());
+    EXPECT_DOUBLE_EQ(*store.rate_per_s("ts_rate_total", 1000.0), 100.0);
+    // A window too short for two samples, a gauge, an unknown series:
+    // nullopt, never a fabricated zero.
+    EXPECT_FALSE(store.rate_per_s("ts_rate_total", 500.0).has_value());
+    EXPECT_FALSE(store.rate_per_s("ts_rate_level", 4000.0).has_value());
+    EXPECT_FALSE(store.rate_per_s("ts_missing", 4000.0).has_value());
+
+    // Quantile = max of the sampled quantile across the window
+    // (conservative envelope for alerting).
+    stats::Log2Histogram all;
+    for (int i = 1; i <= 5; ++i) all.add(static_cast<double>(1 << i));
+    ASSERT_TRUE(store.quantile("ts_rate_ms", 0.99, 10000.0).has_value());
+    EXPECT_DOUBLE_EQ(*store.quantile("ts_rate_ms", 0.99, 10000.0),
+                     all.quantile(0.99));
+    EXPECT_FALSE(store.quantile("ts_rate_ms", 0.75, 10000.0).has_value())
+        << "off the sampled 0.5/0.9/0.99 grid";
+    EXPECT_FALSE(store.quantile("ts_rate_total", 0.99, 10000.0).has_value())
+        << "not a histogram";
+  }
+  teardown_obs();
+}
+
+TEST(TimeSeriesTest, SelectorMatchingTable) {
+  using Store = obs::TimeSeriesStore;
+  struct Row {
+    const char* selector;
+    const char* name;
+    bool matches;
+  };
+  const Row rows[] = {
+      {"", "anything_total", true},
+      {"f_total", "f_total", true},
+      {"f_total", "f_total{q=\"a\"}", true},  // bare base: every variant
+      {"f_total{q=\"a\"}", "f_total{q=\"a\"}", true},
+      {"f_total{q=\"a\"}", "f_total{q=\"a\",r=\"b\"}", true},  // subset
+      {"f_total{q=\"a\",r=\"b\"}", "f_total{q=\"a\"}", false},
+      {"f_total{q=\"b\"}", "f_total{q=\"a\"}", false},
+      {"f_total", "g_total", false},
+      {"f_total{q=\"a\"}", "g_total{q=\"a\"}", false},
+      {"f", "f_total", false},  // base names don't prefix-match
+  };
+  for (const Row& row : rows) {
+    EXPECT_EQ(Store::selector_matches(row.selector, row.name), row.matches)
+        << "selector=" << row.selector << " name=" << row.name;
+  }
+}
+
+TEST(TimeSeriesTest, ConfigureRefusedWhileSamplerRuns) {
+  fresh_obs(0.0);
+  obs::TimeSeriesStore store;
+  ASSERT_TRUE(store.configure({.interval_ms = 5, .capacity = 16}));
+  if constexpr (obs::kCompiledIn) {
+    ASSERT_TRUE(store.start_sampler());
+    EXPECT_TRUE(store.sampler_running());
+    EXPECT_FALSE(store.start_sampler()) << "already running";
+    EXPECT_FALSE(store.configure({.interval_ms = 10, .capacity = 8}))
+        << "reconfigure must stop the sampler first";
+    store.stop_sampler();
+    EXPECT_FALSE(store.sampler_running());
+    EXPECT_TRUE(store.configure({.interval_ms = 10, .capacity = 8}));
+  } else {
+    EXPECT_FALSE(store.start_sampler());
+  }
+  teardown_obs();
+}
+
+TEST(AlertRulesTest, ThresholdRuleWalksPendingFiringResolved) {
+  if constexpr (!obs::kCompiledIn) GTEST_SKIP() << "obs compiled out";
+  auto tick = fresh_obs(0.0);
+  obs::TimeSeriesStore store;
+  ASSERT_TRUE(store.configure({.interval_ms = 1000, .capacity = 16}));
+
+  obs::AlertRule rule;
+  rule.name = "depth_too_high";
+  rule.series = "alert_test_depth";
+  rule.source = obs::AlertRule::Source::kValue;
+  rule.cmp = obs::AlertRule::Cmp::kGt;
+  rule.threshold = 5.0;
+  rule.for_ms = 1500.0;
+  obs::AlertRules alerts({rule});
+
+  auto& gauge = obs::Registry::global().gauge("alert_test_depth");
+
+  // No data yet: condition-false, not firing.
+  EXPECT_TRUE(alerts.evaluate(store, 500.0).empty());
+  EXPECT_EQ(alerts.firing_count(), 0u);
+
+  // Breach at t=1000: pending (for_ms not served), still no edge.
+  tick->store(1000.0);
+  gauge.set(9);
+  store.sample_once();
+  EXPECT_TRUE(alerts.evaluate(store, 1000.0).empty());
+  {
+    const auto statuses = alerts.snapshot();
+    ASSERT_EQ(statuses.size(), 1u);
+    EXPECT_TRUE(statuses[0].pending);
+    EXPECT_FALSE(statuses[0].firing);
+    EXPECT_DOUBLE_EQ(statuses[0].pending_since_ms, 1000.0);
+    EXPECT_DOUBLE_EQ(statuses[0].last_value, 9.0);
+  }
+
+  // Still breached at t=3000 (>= 1500 ms pending): fires.
+  tick->store(3000.0);
+  store.sample_once();
+  const auto fired = alerts.evaluate(store, 3000.0);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].name, "depth_too_high");
+  EXPECT_TRUE(fired[0].firing);
+  EXPECT_DOUBLE_EQ(fired[0].ts_ms, 3000.0);
+  EXPECT_DOUBLE_EQ(fired[0].value, 9.0);
+  EXPECT_EQ(alerts.firing_count(), 1u);
+
+  // Back under the bound: resolves on the next tick.
+  tick->store(4000.0);
+  gauge.set(1);
+  store.sample_once();
+  const auto resolved = alerts.evaluate(store, 4000.0);
+  ASSERT_EQ(resolved.size(), 1u);
+  EXPECT_FALSE(resolved[0].firing);
+  EXPECT_EQ(alerts.firing_count(), 0u);
+  {
+    const auto statuses = alerts.snapshot();
+    ASSERT_EQ(statuses.size(), 1u);
+    EXPECT_FALSE(statuses[0].pending);
+    EXPECT_DOUBLE_EQ(statuses[0].fired_at_ms, 3000.0);
+    EXPECT_DOUBLE_EQ(statuses[0].resolved_at_ms, 4000.0);
+    EXPECT_EQ(statuses[0].transitions, 2u);
+  }
+
+  // The edges are mirrored into the registry.
+  const auto metrics = obs::Registry::global().snapshot();
+  bool saw_transitions = false;
+  for (const auto& [name, value] : metrics.counters) {
+    if (name ==
+        "dockmine_alert_transitions_total{rule=\"depth_too_high\"}") {
+      saw_transitions = true;
+      EXPECT_EQ(value, 2u);
+    }
+  }
+  EXPECT_TRUE(saw_transitions);
+
+  // A momentary breach shorter than for_ms never fires.
+  tick->store(5000.0);
+  gauge.set(9);
+  store.sample_once();
+  EXPECT_TRUE(alerts.evaluate(store, 5000.0).empty());
+  tick->store(5500.0);
+  gauge.set(1);
+  store.sample_once();
+  EXPECT_TRUE(alerts.evaluate(store, 5500.0).empty());
+  EXPECT_EQ(alerts.firing_count(), 0u);
+
+  teardown_obs();
+}
+
+TEST(AlertRulesTest, BurnRateRuleComputesBurnMultiple) {
+  if constexpr (!obs::kCompiledIn) GTEST_SKIP() << "obs compiled out";
+  auto tick = fresh_obs(0.0);
+  obs::TimeSeriesStore store;
+  ASSERT_TRUE(store.configure({.interval_ms = 1000, .capacity = 16}));
+
+  obs::AlertRule rule;
+  rule.name = "error_budget_burn";
+  rule.series = "burn_test_errors_total";
+  rule.total_series = "burn_test_requests_total";
+  rule.error_budget = 0.001;  // SLO: 99.9% success
+  rule.window_ms = 10000.0;
+  rule.cmp = obs::AlertRule::Cmp::kGt;
+  rule.threshold = 50.0;  // firing at >50x budget burn
+  rule.for_ms = 0.0;
+  obs::AlertRules alerts({rule});
+
+  auto& errors = obs::Registry::global().counter("burn_test_errors_total");
+  auto& total = obs::Registry::global().counter("burn_test_requests_total");
+
+  // 1000 requests and 100 errors per second: error fraction 0.1 =
+  // 100 budgets/s burn — way past the 50x threshold.
+  for (int i = 1; i <= 3; ++i) {
+    tick->store(i * 1000.0);
+    total.add(1000);
+    errors.add(100);
+    store.sample_once();
+  }
+  const auto fired = alerts.evaluate(store, 3000.0);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_TRUE(fired[0].firing);
+  EXPECT_DOUBLE_EQ(fired[0].value, (100.0 / 1000.0) / 0.001);
+
+  // Errors stop; the burn multiple collapses and the rule resolves.
+  for (int i = 4; i <= 13; ++i) {
+    tick->store(i * 1000.0);
+    total.add(1000);
+    store.sample_once();
+  }
+  const auto resolved = alerts.evaluate(store, 13000.0);
+  ASSERT_EQ(resolved.size(), 1u);
+  EXPECT_FALSE(resolved[0].firing);
+  teardown_obs();
+}
+
+TEST(AlertRulesTest, TransitionsAppendToJsonlLog) {
+  if constexpr (!obs::kCompiledIn) GTEST_SKIP() << "obs compiled out";
+  auto tick = fresh_obs(0.0);
+  obs::TimeSeriesStore store;
+  ASSERT_TRUE(store.configure({.interval_ms = 1000, .capacity = 16}));
+
+  const std::string log_path =
+      (std::filesystem::temp_directory_path() /
+       ("dockmine-alert-log-" + std::to_string(::getpid()) + ".jsonl"))
+          .string();
+  std::filesystem::remove(log_path);
+
+  obs::AlertRule rule;
+  rule.name = "level_high";
+  rule.series = "alert_log_level";
+  rule.cmp = obs::AlertRule::Cmp::kGt;
+  rule.threshold = 10.0;
+  obs::AlertRules alerts({rule});
+  alerts.set_log_path(log_path);
+
+  auto& gauge = obs::Registry::global().gauge("alert_log_level");
+  tick->store(1000.0);
+  gauge.set(25);
+  store.sample_once();
+  ASSERT_EQ(alerts.evaluate(store, 1000.0).size(), 1u);
+  tick->store(2000.0);
+  gauge.set(3);
+  store.sample_once();
+  ASSERT_EQ(alerts.evaluate(store, 2000.0).size(), 1u);
+
+  std::ifstream in(log_path);
+  ASSERT_TRUE(in.is_open());
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0],
+            R"({"ts_ms":1000,"alert":"level_high","state":"firing","value":25})");
+  EXPECT_EQ(lines[1],
+            R"({"ts_ms":2000,"alert":"level_high","state":"resolved","value":3})");
+
+  std::filesystem::remove(log_path);
+  teardown_obs();
+}
+
+TEST(WatchTest, DeriveAndJsonlLinePinnedByteForByte) {
+  const auto parse = [](const char* text) {
+    auto parsed = json::parse(text);
+    EXPECT_TRUE(parsed.ok());
+    return std::move(parsed).value();
+  };
+
+  core::watch::Scrape first;
+  first.ts_ms = 10000.0;
+  first.stats = parse(R"({
+    "counters": {"dockmine_serve_requests_total{q=\"report\"}": 100,
+                 "dockmine_serve_requests_total{q=\"status\"}": 30},
+    "gauges": {"dockmine_serve_active_sessions": 1,
+               "dockmine_uptime_seconds": 10},
+    "histograms": {}})");
+  first.status = parse(R"({"epoch": 3, "alerts": {"firing": 0}})");
+  first.trace = parse(R"({"events": [], "recorded": 12, "dropped": 0})");
+
+  // First frame: no previous scrape, so rates are the lifetime average
+  // (total / uptime) — `watch --once` still reports real traffic.
+  const core::watch::WatchFrame lone = core::watch::derive(nullptr, first);
+  EXPECT_EQ(core::watch::jsonl_line(lone),
+            R"({"ts_ms":10000,"epoch":3,"uptime_s":10,"requests_total":130,)"
+            R"("req_per_s":13,"rates":{"report":10,"status":3},"p50_ms":0,)"
+            R"("p99_ms":0,"active_sessions":1,"alerts_firing":0,)"
+            R"("journal":{"recorded":12,"dropped":0}})");
+
+  core::watch::Scrape second = first;
+  second.ts_ms = 20000.0;
+  second.stats = parse(R"({
+    "counters": {"dockmine_serve_requests_total{q=\"report\"}": 120,
+                 "dockmine_serve_requests_total{q=\"status\"}": 40},
+    "gauges": {"dockmine_serve_active_sessions": 2,
+               "dockmine_uptime_seconds": 20},
+    "histograms": {}})");
+  second.trace = parse(R"({"events": [], "recorded": 40, "dropped": 2})");
+
+  // Second frame: windowed rates over the 10 s between scrapes.
+  const core::watch::WatchFrame windowed =
+      core::watch::derive(&first, second);
+  EXPECT_EQ(core::watch::jsonl_line(windowed),
+            R"({"ts_ms":20000,"epoch":3,"uptime_s":20,"requests_total":160,)"
+            R"("req_per_s":3,"rates":{"report":2,"status":1},"p50_ms":0,)"
+            R"("p99_ms":0,"active_sessions":2,"alerts_firing":0,)"
+            R"("journal":{"recorded":40,"dropped":2}})");
+
+  // The human rendering carries the same numbers.
+  const std::string block = core::watch::render(windowed);
+  EXPECT_NE(block.find("epoch 3"), std::string::npos);
+  EXPECT_NE(block.find("160 total"), std::string::npos);
+  EXPECT_NE(block.find("0 firing"), std::string::npos);
+}
+
+TEST(WatchTest, DeriveMergesRequestHistogramsAndFlagsMissingTelemetry) {
+  core::watch::Scrape scrape;
+  scrape.ts_ms = 5000.0;
+  auto parsed = json::parse(R"({
+    "counters": {},
+    "gauges": {"dockmine_uptime_seconds": 5},
+    "histograms": {
+      "dockmine_serve_request_ms{q=\"report\"}":
+        {"count": 3, "sum": 6.0,
+         "buckets": [{"lo": 0, "hi": 1, "count": 2},
+                     {"lo": 4, "hi": 8, "count": 1}]},
+      "dockmine_serve_request_ms{q=\"status\"}":
+        {"count": 1, "sum": 16.0,
+         "buckets": [{"lo": 16, "hi": 32, "count": 1}]},
+      "dockmine_other_ms":
+        {"count": 9, "sum": 900.0,
+         "buckets": [{"lo": 64, "hi": 128, "count": 9}]}}})");
+  ASSERT_TRUE(parsed.ok());
+  scrape.stats = std::move(parsed).value();
+  scrape.status = json::Value::object();  // no "alerts": telemetry off
+  scrape.trace = json::Value::object();
+
+  const core::watch::WatchFrame frame = core::watch::derive(nullptr, scrape);
+
+  // Quantiles merge the request histograms only (dockmine_other_ms is not
+  // part of the serve latency surface), reconstructed from bucket lows
+  // exactly as report_from_json does.
+  stats::Log2Histogram expected;
+  expected.add(0.0, 2);
+  expected.add(4.0, 1);
+  expected.add(16.0, 1);
+  EXPECT_DOUBLE_EQ(frame.p50_ms, expected.quantile(0.50));
+  EXPECT_DOUBLE_EQ(frame.p99_ms, expected.quantile(0.99));
+  EXPECT_EQ(frame.alerts_firing, -1) << "no alerts block = telemetry off";
+  EXPECT_NE(core::watch::render(frame).find("(telemetry off)"),
+            std::string::npos);
+}
+
+TEST(ResetAllTest, RestartsHeartbeatSeqAndJournalDropCounter) {
+  if constexpr (!obs::kCompiledIn) GTEST_SKIP() << "obs compiled out";
+  fresh_obs(0.0);
+  obs::set_journal_enabled(true);
+
+  // Heartbeat sequence numbers count up from 0...
+  const auto seq_of = [](const std::string& line) {
+    auto parsed = json::parse(line);
+    EXPECT_TRUE(parsed.ok());
+    return parsed.value()["seq"].as_uint();
+  };
+  EXPECT_EQ(seq_of(obs::heartbeat_line()), 0u);
+  EXPECT_EQ(seq_of(obs::heartbeat_line()), 1u);
+  EXPECT_EQ(obs::heartbeat_seq(), 2u);
+
+  // ...and a one-event ring forced into eviction shows real drops.
+  auto& journal = obs::TraceJournal::global();
+  journal.set_capacity(1);
+  for (int i = 0; i < 3; ++i) {
+    obs::TraceEvent event;
+    event.name = "reset_test_event";
+    event.start_ms = static_cast<double>(i);
+    event.end_ms = event.start_ms + 1.0;
+    journal.record(std::move(event));
+  }
+  ASSERT_GT(journal.dropped(), 0u);
+
+  // reset_all: the process observes like a freshly started one — heartbeat
+  // sequence restarts at 0 and the journal's drop counter is clean.
+  obs::reset_all();
+  EXPECT_EQ(obs::heartbeat_seq(), 0u);
+  EXPECT_EQ(seq_of(obs::heartbeat_line()), 0u);
+  EXPECT_EQ(journal.recorded(), 0u);
+  EXPECT_EQ(journal.dropped(), 0u);
+
+  journal.set_capacity(obs::TraceJournal::kDefaultCapacity);
+  obs::set_journal_enabled(false);
+  teardown_obs();
+}
+
+TEST(ResetAllTest, StopsRunningSamplerAndDropsRings) {
+  if constexpr (!obs::kCompiledIn) GTEST_SKIP() << "obs compiled out";
+  fresh_obs(0.0);
+  auto& store = obs::TimeSeriesStore::global();
+  ASSERT_TRUE(store.configure({.interval_ms = 5, .capacity = 16}));
+  obs::Registry::global().counter("reset_sampler_total").add(3);
+  ASSERT_TRUE(store.start_sampler());
+  EXPECT_TRUE(store.sampler_running());
+
+  obs::reset_all();
+  EXPECT_FALSE(store.sampler_running());
+  EXPECT_TRUE(store.read("reset_sampler_total").empty());
+  EXPECT_EQ(store.samples_taken(), 0u);
+  teardown_obs();
+}
+
+TEST(ExportTest, BuildInfoAndUptimeAreInjected) {
+  if constexpr (!obs::kCompiledIn) GTEST_SKIP() << "obs compiled out";
+  auto tick = fresh_obs(0.0);
+  tick->store(12500.0);  // reset_all re-based uptime on the real clock, so
+                         // the virtual 12.5 s clamps to >= 0 regardless
+
+  const obs::MetricsReport report = obs::collect();
+  bool saw_build_info = false;
+  for (const auto& [name, value] : report.metrics.gauges) {
+    if (name.rfind("dockmine_build_info{", 0) == 0) {
+      saw_build_info = true;
+      EXPECT_EQ(value, 1);
+      EXPECT_NE(name.find("backend=\"cpp\""), std::string::npos);
+      EXPECT_NE(name.find("version=\""), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(saw_build_info);
+  bool saw_uptime = false;
+  for (const auto& [name, value] : report.metrics.gauges) {
+    if (name == "dockmine_uptime_seconds") {
+      saw_uptime = true;
+      EXPECT_GE(value, 0);
+    }
+  }
+  EXPECT_TRUE(saw_uptime);
+
+  // Synthesized into the snapshot, not registered: the registry itself
+  // stays free of them (reset-and-collect would double-inject otherwise).
+  const auto raw = obs::Registry::global().snapshot();
+  for (const auto& [name, value] : raw.gauges) {
+    EXPECT_NE(name, "dockmine_uptime_seconds");
+    EXPECT_EQ(name.rfind("dockmine_build_info{", 0), std::string::npos);
+  }
+  teardown_obs();
+}
+
+// The TSan target: the real background sampler scraping at full tilt while
+// writer threads mutate the registry and reader threads walk rings, rates,
+// and quantiles. Correctness here is "no data race, no torn ring"; the
+// snapshot-swap design makes both structural.
+TEST(TimeSeriesTest, ScrapeWhileIngestHammer) {
+  if constexpr (!obs::kCompiledIn) GTEST_SKIP() << "obs compiled out";
+  fresh_obs(0.0);
+  auto tick = std::make_shared<std::atomic<double>>(0.0);
+  obs::set_clock([tick] { return tick->fetch_add(1.0); });
+
+  obs::TimeSeriesStore store;
+  ASSERT_TRUE(store.configure({.interval_ms = 1, .capacity = 64}));
+  ASSERT_TRUE(store.start_sampler());
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < 2; ++w) {
+    threads.emplace_back([&stop, w] {
+      auto& counter = obs::Registry::global().counter(
+          "hammer_events_total{lane=\"" + std::to_string(w) + "\"}");
+      auto& hist = obs::Registry::global().histogram("hammer_latency_ms");
+      std::uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        counter.add();
+        hist.observe(static_cast<double>(i++ % 97));
+      }
+    });
+  }
+  for (int r = 0; r < 2; ++r) {
+    threads.emplace_back([&stop, &store] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        for (const auto& info : store.series("")) {
+          const auto ring = store.read(info.name);
+          for (std::size_t i = 1; i < ring.size(); ++i) {
+            // Rings are immutable snapshots: time within one never runs
+            // backwards, no matter what the sampler is doing beside us.
+            EXPECT_LE(ring[i - 1].ts_ms, ring[i].ts_ms);
+          }
+          (void)store.rate_per_s(info.name, 32.0);
+          (void)store.quantile(info.name, 0.99, 32.0);
+          (void)store.latest(info.name);
+        }
+        (void)store.footprint_bytes();
+      }
+    });
+  }
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& thread : threads) thread.join();
+  store.stop_sampler();
+  EXPECT_GT(store.samples_taken(), 0u);
+  teardown_obs();
+}
+
+}  // namespace
+}  // namespace dockmine

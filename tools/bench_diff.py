@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Diff two directories of BENCH_*.json artifacts.
+
+Non-gating CI trend step: compares every numeric leaf shared by the old
+and new run of each bench file and prints a table of the changes, with
+regressions (latency/wall up, qps down) flagged. Always exits 0 — the
+output is for the human reading the job log, not for gating merges;
+missing old artifacts (first run, expired retention) just shorten the
+table.
+
+Usage:
+    bench_diff.py --old previous-artifacts/ --new . [--threshold 0.05]
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+# Leaves where a bigger number is better; everything else numeric is
+# treated as cost (latency, wall time, errors) where bigger is worse.
+HIGHER_IS_BETTER = ("qps", "requests", "repositories")
+
+
+def numeric_leaves(doc, prefix=""):
+    """Flatten a parsed bench document to {dotted.path: float}."""
+    out = {}
+    if isinstance(doc, dict):
+        for key, value in doc.items():
+            out.update(numeric_leaves(value, f"{prefix}{key}."))
+    elif isinstance(doc, bool):
+        pass  # ingest_committed etc. — not a trend metric
+    elif isinstance(doc, (int, float)):
+        out[prefix.rstrip(".")] = float(doc)
+    return out
+
+
+def is_higher_better(path):
+    leaf = path.rsplit(".", 1)[-1]
+    return any(leaf.startswith(token) for token in HIGHER_IS_BETTER)
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, ValueError) as error:
+        print(f"  (unreadable {path}: {error})")
+        return None
+
+
+def diff_file(name, old_path, new_path, threshold):
+    old_doc, new_doc = load(old_path), load(new_path)
+    if old_doc is None or new_doc is None:
+        return
+    old_leaves, new_leaves = numeric_leaves(old_doc), numeric_leaves(new_doc)
+    shared = sorted(set(old_leaves) & set(new_leaves))
+    if not shared:
+        print(f"{name}: no shared numeric metrics")
+        return
+
+    print(f"\n{name}")
+    print(f"  {'metric':<44} {'old':>12} {'new':>12} {'delta':>9}")
+    regressions = 0
+    for path in shared:
+        old_value, new_value = old_leaves[path], new_leaves[path]
+        if old_value == 0.0:
+            rel = 0.0 if new_value == 0.0 else float("inf")
+        else:
+            rel = (new_value - old_value) / abs(old_value)
+        worse = rel < -threshold if is_higher_better(path) else rel > threshold
+        flag = "  << regression" if worse else ""
+        regressions += worse
+        delta = "+inf" if rel == float("inf") else f"{rel:+8.1%}"
+        print(f"  {path:<44} {old_value:>12.4g} {new_value:>12.4g} {delta:>9}{flag}")
+    if regressions:
+        print(f"  {regressions} metric(s) moved past the {threshold:.0%} "
+              "threshold (informational — not gating)")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--old", required=True,
+                        help="directory holding the previous run's BENCH_*.json")
+    parser.add_argument("--new", required=True,
+                        help="directory holding this run's BENCH_*.json")
+    parser.add_argument("--threshold", type=float, default=0.05,
+                        help="relative change that flags a row (default 0.05)")
+    args = parser.parse_args()
+
+    new_files = sorted(glob.glob(os.path.join(args.new, "BENCH_*.json")))
+    if not new_files:
+        print(f"bench_diff: no BENCH_*.json under {args.new}")
+        return 0
+    compared = 0
+    for new_path in new_files:
+        name = os.path.basename(new_path)
+        old_path = os.path.join(args.old, name)
+        if not os.path.exists(old_path):
+            # `gh run download` flattens per-artifact dirs one level deep.
+            nested = glob.glob(os.path.join(args.old, "*", name))
+            if not nested:
+                print(f"{name}: no previous artifact — skipped")
+                continue
+            old_path = nested[0]
+        diff_file(name, old_path, new_path, args.threshold)
+        compared += 1
+    print(f"\nbench_diff: compared {compared}/{len(new_files)} bench file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,6 +5,7 @@
 //   dockmine serve    [--repos N] [--port P] [--state-dir D]
 //                     long-lived query/ingest daemon (DESIGN.md §13)
 //   dockmine query    SELECTOR --port P                  ask a serve daemon
+//   dockmine watch    --port P [--jsonl] [--once]        live daemon monitor
 //   dockmine evolve   [--epochs K] [--verify]            temporal epochs +
 //                     incremental delta analysis vs batch oracle
 //   dockmine serve-registry [--repos N] [--port P]       HTTP registry
@@ -35,6 +36,7 @@
 #include "dockmine/core/pipeline.h"
 #include "dockmine/core/report.h"
 #include "dockmine/core/serve.h"
+#include "dockmine/core/watch.h"
 #include "dockmine/core/worker.h"
 #include "dockmine/crawler/crawler.h"
 #include "dockmine/obs/critical_path.h"
@@ -774,6 +776,21 @@ int cmd_serve(const Flags& flags) {
       static_cast<std::uint32_t>(flags.u64("io-timeout-ms", 200));
   options.slowloris_ms = flags.u64("slowloris-ms", 10000);
 
+  if (flags.flag("telemetry")) {
+    // Continuous telemetry implies the obs switches: the sampler scrapes
+    // the registry, and trace-tail serves the journal.
+    obs::set_enabled(true);
+    obs::set_journal_enabled(true);
+    options.telemetry.enabled = true;
+    options.telemetry.sample_interval_ms = flags.u64("sample-ms", 1000);
+    const std::string threshold = flags.str("slowlog-threshold-ms");
+    if (!threshold.empty()) {
+      options.telemetry.slowlog_threshold_ms =
+          std::strtod(threshold.c_str(), nullptr);
+    }
+    options.telemetry.alert_log_path = flags.str("alert-log");
+  }
+
   if (flags.flag("temporal")) {
     // Temporal mode: the daemon serves an evolving registry; ingest-epoch
     // advances it one epoch. The stack outlives the daemon via the shared
@@ -853,8 +870,11 @@ int cmd_query(const Flags& flags) {
     request.key = flags.u64("key", 0);
     request.name = flags.str("name");
     request.metric = flags.str("metric", "cis");
-    request.n = flags.u64("n", 10);
+    request.n = flags.u64("n", selector == "trace-tail" ? 0 : 10);
     request.prefix = flags.str("prefix");
+    request.op = flags.str("op");
+    request.range_ms = flags.u64("range-ms", 0);
+    request.window_ms = flags.u64("window-ms", 0);
     const std::string quantile = flags.str("quantile");
     if (!quantile.empty()) {
       request.quantile = std::strtod(quantile.c_str(), nullptr);
@@ -881,6 +901,24 @@ int cmd_query(const Flags& flags) {
     return 1;
   }
   std::cout << response.value().body.dump() << "\n";
+  return 0;
+}
+
+int cmd_watch(const Flags& flags) {
+  core::watch::WatchOptions options;
+  options.port = static_cast<std::uint16_t>(flags.u64("port", 0));
+  options.jsonl = flags.flag("jsonl");
+  options.once = flags.flag("once");
+  options.interval_ms = flags.u64("interval-ms", 1000);
+  if (options.port == 0) {
+    std::cerr << "watch requires --port\n";
+    return 2;
+  }
+  auto result = core::watch::run(options);
+  if (!result.ok()) {
+    std::cerr << "watch: " << result.error().to_string() << "\n";
+    return 1;
+  }
   return 0;
 }
 
@@ -1057,12 +1095,20 @@ int usage() {
       "           [--temporal]   long-lived query/ingest daemon; with\n"
       "           --temporal it serves an evolving registry and accepts\n"
       "           ingest-epoch instead of batch ingest\n"
+      "           [--telemetry] [--sample-ms N] [--slowlog-threshold-ms T]\n"
+      "           [--alert-log F]   continuous telemetry: background\n"
+      "           sampler, SLO alert rules, slow-query journal\n"
       "  query    report|image|layer|content|types|ecdf|status|stats|\n"
-      "           top|repos|ingest|ingest-epoch|shutdown  --port P\n"
+      "           metrics|trace-tail|slowlog|top|repos|ingest|\n"
+      "           ingest-epoch|shutdown  --port P\n"
       "           [--path A.B] [--repo NAME] [--key K] [--name images.cis]\n"
       "           [--quantile Q] [--metric cis|fis|files|layers] [--n K]\n"
       "           [--prefix P] [--repos N] [--seed S] [--timeout-ms N]\n"
+      "           [--op rate|quantile] [--window-ms N] [--range-ms N]\n"
       "           ask a running serve daemon\n"
+      "  watch    --port P [--jsonl] [--once] [--interval-ms N]\n"
+      "           live daemon monitor: per-interval request rates,\n"
+      "           latency quantiles, alert + journal state\n"
       "  evolve   [--repos N] [--seed S] [--epochs K] [--paper] [--gzip L]\n"
       "           [--mode serial|staged|streamed] [--verify]\n"
       "           [--trend-out F]   evolve the registry K epochs with\n"
@@ -1111,6 +1157,7 @@ int main(int argc, char** argv) {
   if (command == "dedup") return cmd_dedup(flags);
   if (command == "serve") return cmd_serve(flags);
   if (command == "query") return cmd_query(flags);
+  if (command == "watch") return cmd_watch(flags);
   if (command == "evolve") return cmd_evolve(flags);
   if (command == "serve-registry") return cmd_serve_registry(flags);
   if (command == "crawl") return cmd_crawl(flags);

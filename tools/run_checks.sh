@@ -36,6 +36,7 @@ configure_and_build "${build_root}/tsan" -DDOCKMINE_SANITIZE=thread
 "${build_root}/tsan/tests/dist_chaos_test"
 "${build_root}/tsan/tests/serve_test"
 "${build_root}/tsan/tests/serve_chaos_test"
+"${build_root}/tsan/tests/timeseries_test"
 "${build_root}/tsan/tests/arena_test"
 "${build_root}/tsan/tests/art_test"
 "${build_root}/tsan/tests/temporal_test"
@@ -51,5 +52,6 @@ configure_and_build "${build_root}/obs-off" -DDOCKMINE_OBS=OFF
 "${build_root}/obs-off/tests/obs_test"
 "${build_root}/obs-off/tests/obs_export_test"
 "${build_root}/obs-off/tests/trace_journal_test"
+"${build_root}/obs-off/tests/timeseries_test"
 
 echo "All checks passed."
